@@ -1,0 +1,39 @@
+//! Brute-force baseline for sequenced event set pattern matching
+//! (paper §5.2).
+//!
+//! The baseline answers the question the paper's experiment 1 poses: what
+//! does it cost to express an SES pattern with *existing* sequence-only
+//! automata? It enumerates every variable sequence (one permutation per
+//! event set pattern), compiles each into a plain chain automaton through
+//! the same `ses-core` machinery (no divergent implementation tricks), and
+//! executes the whole bank in lock-step over the input.
+//!
+//! ```
+//! use ses_event::{AttrType, CmpOp, Duration, Schema};
+//! use ses_pattern::Pattern;
+//! use ses_baseline::BruteForce;
+//!
+//! let schema = Schema::builder().attr("L", AttrType::Str).build().unwrap();
+//! let pattern = Pattern::builder()
+//!     .set(|s| s.var("c").var("p").var("d"))
+//!     .set(|s| s.var("b"))
+//!     .cond_const("c", "L", CmpOp::Eq, "C")
+//!     .cond_const("p", "L", CmpOp::Eq, "P")
+//!     .cond_const("d", "L", CmpOp::Eq, "D")
+//!     .cond_const("b", "L", CmpOp::Eq, "B")
+//!     .within(Duration::hours(264))
+//!     .build()
+//!     .unwrap();
+//!
+//! let bank = BruteForce::compile(&pattern, &schema).unwrap();
+//! assert_eq!(bank.num_automata(), 6); // 3!·1! — Figure 10(b)
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bank;
+mod permute;
+
+pub use bank::BruteForce;
+pub use permute::{permutations, sequence_count, sequences};

@@ -1,0 +1,160 @@
+//! Permutation and sequence enumeration for the brute-force baseline.
+//!
+//! Paper §5.2: "A sequence of all event variables in P is a concatenation
+//! of one permutation of each event set pattern Vi. The number of all
+//! possible sequences of event variables is |V1|!·|V2|!···|Vn|!."
+
+use ses_pattern::{Pattern, VarId};
+
+/// All permutations of `items`, in lexicographic order of positions
+/// (deterministic, so the generated automaton bank is reproducible).
+pub fn permutations<T: Clone>(items: &[T]) -> Vec<Vec<T>> {
+    let mut out = Vec::new();
+    let mut idx: Vec<usize> = (0..items.len()).collect();
+    loop {
+        out.push(idx.iter().map(|&i| items[i].clone()).collect());
+        if !next_permutation(&mut idx) {
+            break;
+        }
+    }
+    out
+}
+
+/// Standard in-place next-permutation; returns `false` after the last one.
+fn next_permutation(idx: &mut [usize]) -> bool {
+    if idx.len() < 2 {
+        return false;
+    }
+    let mut i = idx.len() - 1;
+    while i > 0 && idx[i - 1] >= idx[i] {
+        i -= 1;
+    }
+    if i == 0 {
+        return false;
+    }
+    let mut j = idx.len() - 1;
+    while idx[j] <= idx[i - 1] {
+        j -= 1;
+    }
+    idx.swap(i - 1, j);
+    idx[i..].reverse();
+    true
+}
+
+/// The variable sequences of the brute-force baseline: the cartesian
+/// product of one permutation per event set pattern, concatenated in set
+/// order.
+pub fn sequences(pattern: &Pattern) -> Vec<Vec<VarId>> {
+    let per_set: Vec<Vec<Vec<VarId>>> = pattern
+        .sets()
+        .iter()
+        .map(|set| permutations(set))
+        .collect();
+    let mut out: Vec<Vec<VarId>> = vec![Vec::new()];
+    for perms in &per_set {
+        let mut next = Vec::with_capacity(out.len() * perms.len());
+        for prefix in &out {
+            for perm in perms {
+                let mut seq = prefix.clone();
+                seq.extend_from_slice(perm);
+                next.push(seq);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// `|V1|!·|V2|!···|Vm|!`, saturating.
+pub fn sequence_count(pattern: &Pattern) -> u64 {
+    pattern
+        .sets()
+        .iter()
+        .map(|s| factorial(s.len() as u64))
+        .try_fold(1u64, |a, b| a.checked_mul(b))
+        .unwrap_or(u64::MAX)
+}
+
+fn factorial(n: u64) -> u64 {
+    (1..=n).try_fold(1u64, |a, b| a.checked_mul(b)).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ses_pattern::Pattern;
+
+    #[test]
+    fn permutation_counts() {
+        assert_eq!(permutations(&[1]).len(), 1);
+        assert_eq!(permutations(&[1, 2]).len(), 2);
+        assert_eq!(permutations(&[1, 2, 3]).len(), 6);
+        assert_eq!(permutations(&[1, 2, 3, 4]).len(), 24);
+        assert_eq!(permutations::<i32>(&[]).len(), 1); // the empty sequence
+    }
+
+    #[test]
+    fn permutations_are_distinct_and_complete() {
+        let mut ps = permutations(&[1, 2, 3]);
+        ps.sort();
+        ps.dedup();
+        assert_eq!(ps.len(), 6);
+        for p in &ps {
+            let mut q = p.clone();
+            q.sort();
+            assert_eq!(q, vec![1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn sequences_match_figure_10() {
+        // Paper Example 11: ⟨{c, p, d}, {b}⟩ → 3!·1! = 6 sequences, each
+        // ending in b.
+        let p = Pattern::builder()
+            .set(|s| s.var("c").var("p").var("d"))
+            .set(|s| s.var("b"))
+            .build()
+            .unwrap();
+        let seqs = sequences(&p);
+        assert_eq!(seqs.len(), 6);
+        assert_eq!(sequence_count(&p), 6);
+        let b = p.var_id("b").unwrap();
+        for s in &seqs {
+            assert_eq!(s.len(), 4);
+            assert_eq!(*s.last().unwrap(), b);
+        }
+        // All distinct.
+        let mut sorted = seqs.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6);
+    }
+
+    #[test]
+    fn sequence_count_multiplies_factorials() {
+        let p = Pattern::builder()
+            .set(|s| s.var("a").var("b").var("c"))
+            .set(|s| s.var("d").var("e"))
+            .build()
+            .unwrap();
+        assert_eq!(sequence_count(&p), 12);
+        assert_eq!(sequences(&p).len(), 12);
+    }
+
+    #[test]
+    fn experiment1_counts() {
+        // |V1| = 2…6 with V2 = {b}: 2, 6, 24, 120, 720 automata.
+        for (n, expect) in [(2u16, 2u64), (3, 6), (4, 24), (5, 120), (6, 720)] {
+            let mut b = Pattern::builder();
+            b = b.set(|s| {
+                for i in 0..n {
+                    s.var(format!("v{i}"));
+                }
+                s
+            });
+            b = b.set(|s| s.var("b"));
+            let p = b.build().unwrap();
+            assert_eq!(sequence_count(&p), expect);
+        }
+    }
+}

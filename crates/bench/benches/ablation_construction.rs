@@ -1,0 +1,56 @@
+//! Ablation: automaton construction cost.
+//!
+//! The powerset construction allocates `Σi 2^|Vi|` states; this bench
+//! measures build time as the first event set pattern grows, and compares
+//! it against the brute-force bank's `|V1|!` chain compilations — the
+//! compile-time side of the paper's §5.2 argument.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ses_baseline::BruteForce;
+use ses_core::Matcher;
+use ses_event::CmpOp;
+use ses_pattern::Pattern;
+use ses_workload::paper;
+
+fn pattern(n: usize) -> Pattern {
+    let mut b = Pattern::builder();
+    b = b.set(move |s| {
+        for i in 0..n {
+            s.var(format!("v{i}"));
+        }
+        s
+    });
+    b = b.set(|s| s.var("b"));
+    for i in 0..n {
+        b = b.cond_const(
+            format!("v{i}"),
+            "L",
+            CmpOp::Eq,
+            paper::MEDICATION_TYPES[i % paper::MEDICATION_TYPES.len()],
+        );
+    }
+    b = b.cond_const("b", "L", CmpOp::Eq, "B");
+    b.within(ses_event::Duration::hours(264)).build().unwrap()
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let schema = paper::schema();
+    let mut group = c.benchmark_group("construction");
+    for n in [2usize, 4, 6, 8, 10, 12] {
+        let p = pattern(n);
+        group.bench_with_input(BenchmarkId::new("ses-powerset", n), &p, |b, p| {
+            b.iter(|| Matcher::compile(p, &schema).unwrap().automaton().num_states())
+        });
+        if n <= 6 {
+            // |V1|! chains explode quickly; cap where the bank stays sane.
+            group.bench_with_input(BenchmarkId::new("bruteforce-chains", n), &p, |b, p| {
+                b.iter(|| BruteForce::compile(p, &schema).unwrap().num_automata())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

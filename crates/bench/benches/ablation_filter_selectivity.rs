@@ -1,0 +1,44 @@
+//! Ablation: filter benefit as a function of event-type selectivity.
+//!
+//! The §4.5 filter pays off proportionally to the fraction of stream
+//! events no pattern variable can ever bind. Sweeping the generator's
+//! auxiliary-event rate moves that fraction, mapping out when the filter
+//! is worth its per-event check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ses_core::{FilterMode, Matcher, MatcherOptions, MatchSemantics};
+use ses_workload::chemo::{generate, ChemoConfig};
+use ses_workload::paper;
+
+fn bench_selectivity(c: &mut Criterion) {
+    let schema = paper::schema();
+    let mut group = c.benchmark_group("filter_selectivity");
+    group.sample_size(10);
+    for aux_per_day in [0.0f64, 1.0, 3.0] {
+        let mut cfg = ChemoConfig::paper_d1().scaled(0.05);
+        cfg.aux_per_day = aux_per_day;
+        let rel = generate(&cfg);
+        for (fname, filter) in [("off", FilterMode::Off), ("paper", FilterMode::Paper)] {
+            let matcher = Matcher::with_options(
+                &paper::exp3_p6(),
+                &schema,
+                MatcherOptions {
+                    filter,
+                    semantics: MatchSemantics::AllRuns,
+                    ..MatcherOptions::default()
+                },
+            )
+            .unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(fname, format!("aux{aux_per_day}")),
+                &rel,
+                |b, rel| b.iter(|| matcher.find(rel).len()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selectivity);
+criterion_main!(benches);

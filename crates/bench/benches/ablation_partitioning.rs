@@ -1,0 +1,62 @@
+//! Ablation: condition-based correlation vs pre-partitioned scans.
+//!
+//! Query Q1 correlates events per patient via `ID`-equality conditions; a
+//! MATCH_RECOGNIZE-style `PARTITION BY ID` can instead split the relation
+//! up front and run the matcher per partition. Both give the same answer
+//! (asserted in `tests/pipeline.rs`); this bench prices the difference —
+//! partitioning shrinks every per-event instance loop but pays the
+//! split and per-partition scheduling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ses_bench::datasets::Datasets;
+use ses_core::{Matcher, MatcherOptions, MatchSemantics};
+use ses_store::EventStore;
+use ses_workload::paper;
+
+fn bench_partitioning(c: &mut Criterion) {
+    let datasets = Datasets::build(0.1, 1);
+    let d1 = datasets.d1().clone();
+    let schema = d1.schema().clone();
+    let matcher = Matcher::with_options(
+        &paper::query_q1(),
+        &schema,
+        MatcherOptions {
+            semantics: MatchSemantics::AllRuns,
+            ..MatcherOptions::default()
+        },
+    )
+    .unwrap();
+    let id_attr = schema.attr_id("ID").expect("chemo schema has ID");
+
+    let mut group = c.benchmark_group("partitioning");
+    group.sample_size(10);
+    group.bench_function("global-correlated", |b| {
+        b.iter(|| matcher.find(&d1).len())
+    });
+    group.bench_function("partition-then-match", |b| {
+        b.iter(|| {
+            let store = EventStore::new("d1", d1.clone());
+            store
+                .partition_by(id_attr)
+                .iter()
+                .map(|(_, part)| matcher.find(part.relation()).len())
+                .sum::<usize>()
+        })
+    });
+    // Pre-partitioned (split cost amortized away, e.g. a partitioned
+    // store maintained incrementally).
+    let parts: Vec<_> = EventStore::new("d1", d1.clone()).partition_by(id_attr);
+    group.bench_function("prepartitioned-match", |b| {
+        b.iter(|| {
+            parts
+                .iter()
+                .map(|(_, part)| matcher.find(part.relation()).len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioning);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Ablation: event selection strategy.
+//!
+//! `SkipTillNextMatch` is the paper's greedy Algorithm 2;
+//! `SkipTillAnyMatch` (this implementation's extension) additionally
+//! retains the source instance whenever a transition fires, making
+//! candidate generation complete w.r.t. `Γ` — at an exponential
+//! worst-case `|Ω|`. This bench prices that completeness on the
+//! deterministic Q1 and the nondeterministic P6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ses_bench::datasets::Datasets;
+use ses_core::{EventSelection, Matcher, MatcherOptions, MatchSemantics};
+use ses_workload::paper;
+
+fn bench_selection(c: &mut Criterion) {
+    // Small data: any-match is exponential on nondeterministic patterns.
+    let datasets = Datasets::build(0.02, 1);
+    let d1 = datasets.d1();
+    let schema = d1.schema().clone();
+
+    let mut group = c.benchmark_group("selection");
+    group.sample_size(10);
+    for (pname, pattern) in [("Q1", paper::query_q1()), ("P6", paper::exp3_p6())] {
+        for (sname, selection) in [
+            ("next-match", EventSelection::SkipTillNextMatch),
+            ("any-match", EventSelection::SkipTillAnyMatch),
+        ] {
+            let matcher = Matcher::with_options(
+                &pattern,
+                &schema,
+                MatcherOptions {
+                    selection,
+                    semantics: MatchSemantics::AllRuns,
+                    ..MatcherOptions::default()
+                },
+            )
+            .unwrap();
+            group.bench_with_input(BenchmarkId::new(pname, sname), d1, |b, rel| {
+                b.iter(|| matcher.find(rel).len())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

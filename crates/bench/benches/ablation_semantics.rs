@@ -1,0 +1,45 @@
+//! Ablation: cost of the Definition-2 semantics post-filter.
+//!
+//! `AllRuns` is the raw Algorithm-1 output; `Definition2` adds the
+//! condition-4/5 filters (swap validity + prefix agreement); `Maximal`
+//! adds global subset removal. The gap between `AllRuns` and the others
+//! prices the declarative guarantees on a match-heavy workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ses_bench::datasets::Datasets;
+use ses_core::{Matcher, MatcherOptions, MatchSemantics};
+use ses_workload::paper;
+
+fn bench_semantics(c: &mut Criterion) {
+    let datasets = Datasets::build(0.05, 2);
+    let d2 = &datasets.relations[1];
+    let schema = d2.schema().clone();
+
+    let mut group = c.benchmark_group("semantics");
+    group.sample_size(10);
+    for (pname, pattern) in [("Q1", paper::query_q1()), ("P6", paper::exp3_p6())] {
+        for (sname, semantics) in [
+            ("allruns", MatchSemantics::AllRuns),
+            ("definition2", MatchSemantics::Definition2),
+            ("maximal", MatchSemantics::Maximal),
+        ] {
+            let matcher = Matcher::with_options(
+                &pattern,
+                &schema,
+                MatcherOptions {
+                    semantics,
+                    ..MatcherOptions::default()
+                },
+            )
+            .unwrap();
+            group.bench_with_input(BenchmarkId::new(pname, sname), d2, |b, rel| {
+                b.iter(|| matcher.find(rel).len())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_semantics);
+criterion_main!(benches);

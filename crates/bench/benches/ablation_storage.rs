@@ -1,0 +1,69 @@
+//! Ablation: storage backends — CSV text vs the binary event log.
+//!
+//! The paper read its relation from Oracle over OCI; our substitutes are
+//! a typed-header CSV file and the segmented binary log. This bench
+//! prices write-out and full-scan for both on the chemotherapy workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ses_store::{read_csv, write_csv, EventLog, LogConfig};
+use ses_workload::chemo::{generate, ChemoConfig};
+
+fn bench_storage(c: &mut Criterion) {
+    let relation = generate(&ChemoConfig::paper_d1().scaled(0.1));
+    let events = relation.len() as u64;
+
+    let mut group = c.benchmark_group("storage");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events));
+
+    group.bench_with_input(BenchmarkId::new("write", "csv"), &relation, |b, rel| {
+        b.iter(|| {
+            let mut buf = Vec::new();
+            write_csv(rel, &mut buf).unwrap();
+            buf.len()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("write", "log"), &relation, |b, rel| {
+        let base = std::env::temp_dir().join("ses-bench-log-write");
+        let mut n = 0usize;
+        b.iter(|| {
+            n += 1;
+            let dir = base.join(n.to_string());
+            std::fs::remove_dir_all(&dir).ok();
+            let mut log =
+                EventLog::create(&dir, rel.schema().clone(), LogConfig::default()).unwrap();
+            for (_, e) in rel.iter() {
+                log.append(e.ts(), e.values().to_vec()).unwrap();
+            }
+            let len = log.len();
+            drop(log);
+            std::fs::remove_dir_all(&dir).ok();
+            len
+        })
+    });
+
+    // Scan benchmarks read pre-written artifacts.
+    let mut csv_buf = Vec::new();
+    write_csv(&relation, &mut csv_buf).unwrap();
+    group.bench_with_input(BenchmarkId::new("scan", "csv"), &csv_buf, |b, buf| {
+        b.iter(|| read_csv(&buf[..]).unwrap().len())
+    });
+
+    let log_dir = std::env::temp_dir().join("ses-bench-log-scan");
+    std::fs::remove_dir_all(&log_dir).ok();
+    let mut log = EventLog::create(&log_dir, relation.schema().clone(), LogConfig::default())
+        .unwrap();
+    for (_, e) in relation.iter() {
+        log.append(e.ts(), e.values().to_vec()).unwrap();
+    }
+    log.sync().unwrap();
+    group.bench_function(BenchmarkId::new("scan", "log"), |b| {
+        b.iter(|| log.scan().unwrap().len())
+    });
+    group.finish();
+    std::fs::remove_dir_all(&log_dir).ok();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Ablation: batch matching vs push-based streaming.
+//!
+//! `Matcher::find` iterates an existing relation; `StreamMatcher::push`
+//! pays per-event call overhead plus relation growth. This bench prices
+//! the streaming surcharge on the chemotherapy workload with Q1.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use ses_core::{Matcher, MatcherOptions, MatchSemantics, StreamMatcher};
+use ses_workload::chemo::{generate, ChemoConfig};
+use ses_workload::paper;
+
+fn bench_streaming(c: &mut Criterion) {
+    let relation = generate(&ChemoConfig::paper_d1().scaled(0.05));
+    let schema = relation.schema().clone();
+    let q1 = paper::query_q1();
+    let options = MatcherOptions {
+        semantics: MatchSemantics::AllRuns,
+        ..MatcherOptions::default()
+    };
+    let matcher = Matcher::with_options(&q1, &schema, options.clone()).unwrap();
+
+    let mut group = c.benchmark_group("streaming");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(relation.len() as u64));
+    group.bench_function("batch", |b| b.iter(|| matcher.find(&relation).len()));
+    group.bench_function("push-per-event", |b| {
+        b.iter(|| {
+            let mut sm =
+                StreamMatcher::with_options(&q1, &schema, options.clone()).unwrap();
+            let mut emitted = 0usize;
+            for e in relation.events() {
+                emitted += sm.push(e.ts(), e.values().to_vec()).unwrap().len();
+            }
+            emitted + sm.finish().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Experiment 2 (paper §5.4, Figure 12): |Ω| growth with the window size
+//! `W` for P3 (group variable, Theorem 3) vs P4 (no group variable,
+//! Theorem 2), on the duplicated data sets D1…D3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ses_bench::datasets::Datasets;
+use ses_core::{Matcher, MatcherOptions, MatchSemantics};
+use ses_workload::paper;
+
+fn bench_exp2(c: &mut Criterion) {
+    let datasets = Datasets::build(0.05, 3);
+    let schema = datasets.d1().schema().clone();
+    let options = MatcherOptions {
+        semantics: MatchSemantics::AllRuns,
+        ..MatcherOptions::default()
+    };
+    let p3 = Matcher::with_options(&paper::exp2_p3(), &schema, options.clone()).unwrap();
+    let p4 = Matcher::with_options(&paper::exp2_p4(), &schema, options).unwrap();
+
+    let mut group = c.benchmark_group("exp2");
+    group.sample_size(10);
+    for (i, rel) in datasets.relations.iter().enumerate() {
+        let w = datasets.window_sizes[i];
+        group.throughput(Throughput::Elements(rel.len() as u64));
+        group.bench_with_input(BenchmarkId::new("P3-group", w), rel, |b, rel| {
+            b.iter(|| p3.find(rel).len())
+        });
+        group.bench_with_input(BenchmarkId::new("P4-singleton", w), rel, |b, rel| {
+            b.iter(|| p4.find(rel).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exp2);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Experiment 3 (paper §5.5, Figure 13): runtime effect of the §4.5
+//! event filter, for P5 (mutually exclusive) and P6 (same type, group
+//! variable) — including the strictly stronger per-variable filter this
+//! implementation adds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ses_bench::datasets::Datasets;
+use ses_core::{FilterMode, Matcher, MatcherOptions, MatchSemantics};
+use ses_workload::paper;
+
+fn bench_exp3(c: &mut Criterion) {
+    let datasets = Datasets::build(0.05, 2);
+    let d2 = &datasets.relations[1];
+    let schema = d2.schema().clone();
+
+    let mut group = c.benchmark_group("exp3");
+    group.sample_size(10);
+    for (pname, pattern) in [("P5", paper::exp3_p5()), ("P6", paper::exp3_p6())] {
+        for (fname, filter) in [
+            ("nofilter", FilterMode::Off),
+            ("paper", FilterMode::Paper),
+            ("pervariable", FilterMode::PerVariable),
+        ] {
+            let matcher = Matcher::with_options(
+                &pattern,
+                &schema,
+                MatcherOptions {
+                    filter,
+                    semantics: MatchSemantics::AllRuns,
+                    ..MatcherOptions::default()
+                },
+            )
+            .unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(pname, fname),
+                d2,
+                |b, rel| b.iter(|| matcher.find(rel).len()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exp3);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Experiment data sets: the synthetic substitute for the paper's D1…D5.
+//!
+//! D1 is the chemotherapy generator calibrated to the paper's window size
+//! (`W = 1322` at full scale); Dk duplicates every event k times, exactly
+//! as §5.1 describes. Because the nondeterministic regimes are super-
+//! linear in `W`, the harness defaults to a scaled-down D1 (`--scale`,
+//! default 0.1) — the *shape* of every figure is preserved, only absolute
+//! magnitudes shrink. Pass `--scale 1.0` for paper-parity sizes (slow).
+
+use ses_event::{Duration, Relation};
+use ses_workload::chemo::{generate, ChemoConfig};
+
+/// The paper's window `τ = 264` hours.
+pub const TAU: Duration = Duration::hours(264);
+
+/// The five data sets D1…D5 plus their window sizes.
+#[derive(Debug, Clone)]
+pub struct Datasets {
+    /// D1…D5 in order (Dk duplicates every D1 event k times).
+    pub relations: Vec<Relation>,
+    /// `W` of each data set at `τ = 264 h`.
+    pub window_sizes: Vec<usize>,
+}
+
+impl Datasets {
+    /// Builds D1…D`max_k` at the given scale factor (1.0 = paper parity,
+    /// `W ≈ 1322` for D1).
+    pub fn build(scale: f64, max_k: usize) -> Datasets {
+        let d1 = generate(&ChemoConfig::paper_d1().scaled(scale));
+        let relations: Vec<Relation> = (1..=max_k).map(|k| d1.duplicate(k)).collect();
+        let window_sizes = relations.iter().map(|r| r.window_size(TAU)).collect();
+        Datasets {
+            relations,
+            window_sizes,
+        }
+    }
+
+    /// D1 (the base data set).
+    pub fn d1(&self) -> &Relation {
+        &self.relations[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_sizes_scale_linearly() {
+        let ds = Datasets::build(0.05, 3);
+        assert_eq!(ds.relations.len(), 3);
+        assert_eq!(ds.window_sizes[1], 2 * ds.window_sizes[0]);
+        assert_eq!(ds.window_sizes[2], 3 * ds.window_sizes[0]);
+        assert_eq!(ds.d1().len() * 2, ds.relations[1].len());
+    }
+}

@@ -1,0 +1,247 @@
+//! The three experiments of the paper's §5, as reusable row computations.
+//!
+//! Each `run_*` function returns the series the corresponding figure or
+//! table plots; the `experiments` binary renders them next to the paper's
+//! reference values, and the criterion benches time the same
+//! configurations.
+//!
+//! Measurement notes:
+//!
+//! * `|Ω|` is sampled after each input event and the maximum is reported —
+//!   the paper's "maximal number of automaton instances that are
+//!   simultaneously active".
+//! * The brute-force number is the *sum* over the whole automaton bank at
+//!   the same instant (the bank executes in lock-step).
+//! * Timings use `MatchSemantics::AllRuns` so they measure `SESExec`
+//!   itself, not the Definition-2 post-filter (which the paper's C
+//!   implementation does not have).
+
+use ses_baseline::BruteForce;
+use ses_core::{FilterMode, Matcher, MatcherOptions, MatchSemantics};
+use ses_event::Relation;
+use ses_metrics::{CountingProbe, Stopwatch};
+use ses_workload::paper;
+
+use crate::datasets::Datasets;
+
+fn engine_options(filter: FilterMode) -> MatcherOptions {
+    MatcherOptions {
+        filter,
+        semantics: MatchSemantics::AllRuns,
+        ..MatcherOptions::default()
+    }
+}
+
+/// Peak |Ω| of the SES automaton on `relation`.
+pub fn ses_peak_omega(pattern: &ses_pattern::Pattern, relation: &Relation) -> usize {
+    let matcher = Matcher::with_options(pattern, relation.schema(), engine_options(FilterMode::Paper))
+        .expect("experiment pattern compiles");
+    let mut probe = CountingProbe::new();
+    matcher.find_with_probe(relation, &mut probe);
+    probe.omega_max
+}
+
+/// Peak summed |Ω| of the brute-force bank on `relation`.
+pub fn bf_peak_omega(pattern: &ses_pattern::Pattern, relation: &Relation) -> usize {
+    let bank =
+        BruteForce::with_options(pattern, relation.schema(), engine_options(FilterMode::Paper))
+            .expect("experiment pattern compiles");
+    let mut probe = CountingProbe::new();
+    bank.find_with_probe(relation, &mut probe);
+    probe.omega_max
+}
+
+/// Wall-clock seconds for one SES run with the given filter mode.
+pub fn ses_runtime(pattern: &ses_pattern::Pattern, relation: &Relation, filter: FilterMode) -> f64 {
+    let matcher = Matcher::with_options(pattern, relation.schema(), engine_options(filter))
+        .expect("experiment pattern compiles");
+    let sw = Stopwatch::start();
+    let _ = matcher.find(relation);
+    sw.elapsed_secs()
+}
+
+// ---------------------------------------------------------------------
+// Experiment 1 (Figure 11 + Table 1)
+// ---------------------------------------------------------------------
+
+/// One row of Figure 11 / Table 1.
+#[derive(Debug, Clone)]
+pub struct Exp1Row {
+    /// `|V1|` (2…6).
+    pub n: usize,
+    /// Peak |Ω|, SES automaton, pattern P1 (mutually exclusive).
+    pub ses_p1: usize,
+    /// Peak summed |Ω|, brute-force bank, pattern P1.
+    pub bf_p1: usize,
+    /// Peak |Ω|, SES automaton, pattern P2 (same type).
+    pub ses_p2: usize,
+    /// Peak summed |Ω|, brute-force bank, pattern P2.
+    pub bf_p2: usize,
+}
+
+impl Exp1Row {
+    /// Table 1's ratio `|Ω|BF / |Ω|SES` for P1.
+    pub fn ratio_p1(&self) -> f64 {
+        self.bf_p1 as f64 / self.ses_p1.max(1) as f64
+    }
+
+    /// Table 1's reference column `(|V1| − 1)!`.
+    pub fn factorial_reference(&self) -> u64 {
+        (1..self.n as u64).product()
+    }
+}
+
+/// Runs experiment 1 on D1 for `|V1| ∈ ns`.
+///
+/// Peak-|Ω| measurements are deterministic, so the (independent) sweep
+/// points run on scoped worker threads — the brute-force bank at
+/// `|V1| = 6` alone steps 720 automata over the whole relation.
+pub fn run_exp1(d1: &Relation, ns: impl IntoIterator<Item = usize>) -> Vec<Exp1Row> {
+    let ns: Vec<usize> = ns.into_iter().collect();
+    let mut rows: Vec<Option<Exp1Row>> = vec![None; ns.len()];
+    crossbeam::thread::scope(|scope| {
+        for (slot, &n) in rows.iter_mut().zip(&ns) {
+            scope.spawn(move |_| {
+                let p1 = paper::exp1_p1(n);
+                let p2 = paper::exp1_p2(n);
+                *slot = Some(Exp1Row {
+                    n,
+                    ses_p1: ses_peak_omega(&p1, d1),
+                    bf_p1: bf_peak_omega(&p1, d1),
+                    ses_p2: ses_peak_omega(&p2, d1),
+                    bf_p2: bf_peak_omega(&p2, d1),
+                });
+            });
+        }
+    })
+    .expect("experiment workers do not panic");
+    rows.into_iter().map(|r| r.expect("every slot filled")).collect()
+}
+
+// ---------------------------------------------------------------------
+// Experiment 2 (Figure 12)
+// ---------------------------------------------------------------------
+
+/// One point of Figure 12.
+#[derive(Debug, Clone)]
+pub struct Exp2Row {
+    /// Data set index (1 = D1 … 5 = D5).
+    pub k: usize,
+    /// Window size `W` of Dk.
+    pub w: usize,
+    /// Peak |Ω| for P3 (`{c, d, p+}` — Theorem 3 regime).
+    pub p3: usize,
+    /// Peak |Ω| for P4 (`{c, d, p}` — Theorem 2 regime).
+    pub p4: usize,
+}
+
+/// Runs experiment 2 over D1…Dk (data-set points in parallel; |Ω| is a
+/// deterministic count, not a timing).
+pub fn run_exp2(datasets: &Datasets) -> Vec<Exp2Row> {
+    let p3 = paper::exp2_p3();
+    let p4 = paper::exp2_p4();
+    let mut rows: Vec<Option<Exp2Row>> = vec![None; datasets.relations.len()];
+    crossbeam::thread::scope(|scope| {
+        for (i, (slot, rel)) in rows.iter_mut().zip(&datasets.relations).enumerate() {
+            let (p3, p4) = (&p3, &p4);
+            let w = datasets.window_sizes[i];
+            scope.spawn(move |_| {
+                *slot = Some(Exp2Row {
+                    k: i + 1,
+                    w,
+                    p3: ses_peak_omega(p3, rel),
+                    p4: ses_peak_omega(p4, rel),
+                });
+            });
+        }
+    })
+    .expect("experiment workers do not panic");
+    rows.into_iter().map(|r| r.expect("every slot filled")).collect()
+}
+
+// ---------------------------------------------------------------------
+// Experiment 3 (Figure 13)
+// ---------------------------------------------------------------------
+
+/// One point of Figure 13.
+#[derive(Debug, Clone)]
+pub struct Exp3Row {
+    /// Data set index (1 = D1 …).
+    pub k: usize,
+    /// Window size `W` of Dk.
+    pub w: usize,
+    /// Runtime (s) of P5 (mutually exclusive) without the §4.5 filter.
+    pub p5_unfiltered: f64,
+    /// Runtime (s) of P5 with the filter.
+    pub p5_filtered: f64,
+    /// Runtime (s) of P6 (same type, group var) without the filter.
+    pub p6_unfiltered: f64,
+    /// Runtime (s) of P6 with the filter.
+    pub p6_filtered: f64,
+}
+
+/// Runs experiment 3 over D1…Dk.
+pub fn run_exp3(datasets: &Datasets) -> Vec<Exp3Row> {
+    let p5 = paper::exp3_p5();
+    let p6 = paper::exp3_p6();
+    datasets
+        .relations
+        .iter()
+        .enumerate()
+        .map(|(i, rel)| Exp3Row {
+            k: i + 1,
+            w: datasets.window_sizes[i],
+            p5_unfiltered: ses_runtime(&p5, rel, FilterMode::Off),
+            p5_filtered: ses_runtime(&p5, rel, FilterMode::Paper),
+            p6_unfiltered: ses_runtime(&p6, rel, FilterMode::Off),
+            p6_filtered: ses_runtime(&p6, rel, FilterMode::Paper),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_datasets() -> Datasets {
+        Datasets::build(0.02, 2)
+    }
+
+    #[test]
+    fn exp1_shapes_hold_at_tiny_scale() {
+        let ds = tiny_datasets();
+        let rows = run_exp1(ds.d1(), [2usize, 3]);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            // The bank never needs fewer instances than the single
+            // automaton, and the P1 gap grows with (n−1)!.
+            assert!(row.bf_p1 >= row.ses_p1, "{row:?}");
+            assert!(row.bf_p2 >= row.ses_p2, "{row:?}");
+        }
+        assert!(rows[1].ratio_p1() > rows[0].ratio_p1());
+        assert_eq!(rows[0].factorial_reference(), 1);
+        assert_eq!(rows[1].factorial_reference(), 2);
+    }
+
+    #[test]
+    fn exp2_group_variable_dominates() {
+        let ds = tiny_datasets();
+        let rows = run_exp2(&ds);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(row.p3 >= row.p4, "group regime must dominate: {row:?}");
+        }
+        // P3 grows with W.
+        assert!(rows[1].p3 > rows[0].p3);
+    }
+
+    #[test]
+    fn exp3_runs_and_produces_positive_times() {
+        let ds = tiny_datasets();
+        let rows = run_exp3(&ds);
+        for row in &rows {
+            assert!(row.p5_unfiltered > 0.0);
+            assert!(row.p6_filtered > 0.0);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Benchmark harness for the paper's evaluation (§5).
+//!
+//! * [`datasets`] — the synthetic D1…D5 (chemotherapy generator +
+//!   duplication), with a scale knob.
+//! * [`experiments`] — row computations for Figure 11 + Table 1
+//!   (experiment 1), Figure 12 (experiment 2), and Figure 13
+//!   (experiment 3).
+//!
+//! The `experiments` binary prints the series next to the paper's
+//! reference values; `cargo bench -p ses-bench` times the same
+//! configurations with criterion, plus the ablation benches listed in
+//! DESIGN.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod experiments;

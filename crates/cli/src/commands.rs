@@ -1,0 +1,526 @@
+//! The `ses-cli` subcommands.
+//!
+//! Every command writes to a generic `Write` sink so tests can capture
+//! output without spawning processes.
+
+use std::io::Write;
+
+use ses_core::{EventSelection, FilterMode, Matcher, MatcherOptions, MatchSemantics, MultiMatcher};
+use ses_event::Duration;
+use ses_metrics::{CountingProbe, Stopwatch, Table};
+use ses_query::TickUnit;
+use ses_store::{EventLog, EventStore, LogConfig};
+
+use crate::args::Args;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+ses-cli — sequenced event set pattern matching over CSV event relations
+
+USAGE:
+  ses-cli run      --query <file-or-text> --data <file.csv>
+                   [--tick hour] [--semantics maximal|definition2|all]
+                   [--filter paper|pervariable|off]
+                   [--selection next-match|any-match] [--closure]
+                   [--limit N] [--stats]
+  ses-cli explain  --query <file-or-text> --data <file.csv> [--dot|--trace]
+  ses-cli generate --workload chemo|finance|rfid|clickstream --out <file.csv>
+                   [--seed N] [--scale F]
+  ses-cli import   --data <file.csv> --out <log-dir>
+  ses-cli stats    --data <file.csv> [--within N]
+
+--data accepts either a CSV file or a binary event-log directory
+(created with `import`). --query accepts inline text, a single-query
+file, or a `;`-separated multi-query file with optional `name:` prefixes
+(evaluated together in one pass over the data).
+
+The query language (THEN NOT x adds a gap constraint):
+  PATTERN PERMUTE(c, p+, d) THEN b
+  WHERE c.L = 'C' AND d.L = 'D' AND p.L = 'P' AND b.L = 'B'
+    AND c.ID = p.ID AND c.ID = d.ID AND d.ID = b.ID
+  WITHIN 264 HOURS
+";
+
+/// Runs one invocation; returns the process exit code.
+pub fn dispatch(args: &Args, out: &mut dyn Write) -> i32 {
+    let result = match args.command.as_deref() {
+        Some("run") => cmd_run(args, out),
+        Some("explain") => cmd_explain(args, out),
+        Some("generate") => cmd_generate(args, out),
+        Some("import") => cmd_import(args, out),
+        Some("stats") => cmd_stats(args, out),
+        Some("help") | None => {
+            let _ = out.write_all(USAGE.as_bytes());
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => 0,
+        Err(msg) => {
+            let _ = writeln!(out, "error: {msg}");
+            1
+        }
+    }
+}
+
+/// Reads `--query` either as a file path (when it exists) or as inline
+/// query text.
+fn load_query(spec: &str) -> Result<String, String> {
+    if std::path::Path::new(spec).exists() {
+        std::fs::read_to_string(spec).map_err(|e| format!("cannot read `{spec}`: {e}"))
+    } else {
+        Ok(spec.to_string())
+    }
+}
+
+fn parse_tick(args: &Args) -> Result<TickUnit, String> {
+    Ok(match args.get("tick").unwrap_or("hour") {
+        "second" | "seconds" => TickUnit::Second,
+        "minute" | "minutes" => TickUnit::Minute,
+        "hour" | "hours" => TickUnit::Hour,
+        "day" | "days" => TickUnit::Day,
+        "abstract" | "ticks" => TickUnit::Abstract,
+        other => return Err(format!("--tick: unknown unit `{other}`")),
+    })
+}
+
+fn parse_semantics(args: &Args) -> Result<MatchSemantics, String> {
+    Ok(match args.get("semantics").unwrap_or("maximal") {
+        "maximal" => MatchSemantics::Maximal,
+        "definition2" | "def2" => MatchSemantics::Definition2,
+        "all" | "allruns" => MatchSemantics::AllRuns,
+        other => return Err(format!("--semantics: unknown mode `{other}`")),
+    })
+}
+
+fn parse_selection(args: &Args) -> Result<EventSelection, String> {
+    Ok(match args.get("selection").unwrap_or("next-match") {
+        "next-match" | "stnm" => EventSelection::SkipTillNextMatch,
+        "any-match" | "stam" => EventSelection::SkipTillAnyMatch,
+        other => return Err(format!("--selection: unknown strategy `{other}`")),
+    })
+}
+
+fn parse_filter(args: &Args) -> Result<FilterMode, String> {
+    Ok(match args.get("filter").unwrap_or("paper") {
+        "paper" => FilterMode::Paper,
+        "pervariable" | "per-variable" => FilterMode::PerVariable,
+        "off" | "none" => FilterMode::Off,
+        other => return Err(format!("--filter: unknown mode `{other}`")),
+    })
+}
+
+fn matcher_options(args: &Args) -> Result<MatcherOptions, String> {
+    Ok(MatcherOptions {
+        filter: parse_filter(args)?,
+        selection: parse_selection(args)?,
+        semantics: parse_semantics(args)?,
+        derive_equalities: args.has_flag("closure"),
+        ..MatcherOptions::default()
+    })
+}
+
+/// Loads `--query` as one or more named patterns (`;`-separated file).
+fn load_patterns(args: &Args) -> Result<Vec<(String, ses_pattern::Pattern)>, String> {
+    let text = load_query(args.require("query")?)?;
+    let items = ses_query::parse_pattern_file(&text, parse_tick(args)?)
+        .map_err(|e| e.to_string())?;
+    Ok(items
+        .into_iter()
+        .enumerate()
+        .map(|(i, (name, p))| (name.unwrap_or_else(|| format!("query-{}", i + 1)), p))
+        .collect())
+}
+
+fn build_matcher(args: &Args, store: &EventStore) -> Result<(Matcher, ses_pattern::Pattern), String> {
+    let (_, pattern) = load_patterns(args)?
+        .into_iter()
+        .next()
+        .ok_or_else(|| "no query given".to_string())?;
+    let matcher = Matcher::with_options(&pattern, store.relation().schema(), matcher_options(args)?)
+        .map_err(|e| e.to_string())?;
+    Ok((matcher, pattern))
+}
+
+/// Loads `--data` from a CSV file or a binary event-log directory.
+fn load_store(path: &str) -> Result<EventStore, String> {
+    let p = std::path::Path::new(path);
+    if p.is_dir() {
+        let log = EventLog::open(p, LogConfig::default()).map_err(|e| e.to_string())?;
+        let relation = log.scan().map_err(|e| e.to_string())?;
+        let name = p
+            .file_name()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "log".into());
+        Ok(EventStore::new(name, relation))
+    } else {
+        EventStore::load_csv(p).map_err(|e| e.to_string())
+    }
+}
+
+fn cmd_import(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let store = EventStore::load_csv(args.require("data")?).map_err(|e| e.to_string())?;
+    let dir = args.require("out")?;
+    let mut log = EventLog::create(dir, store.relation().schema().clone(), LogConfig::default())
+        .map_err(|e| e.to_string())?;
+    for (_, e) in store.relation().iter() {
+        log.append(e.ts(), e.values().to_vec()).map_err(|x| x.to_string())?;
+    }
+    log.sync().map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "imported {} events into {dir} ({} segment(s))",
+        log.len(),
+        log.segment_count()
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
+fn cmd_run(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let store = load_store(args.require("data")?)?;
+    let patterns = load_patterns(args)?;
+    if patterns.len() > 1 {
+        return cmd_run_multi(args, out, &store, patterns);
+    }
+    let (matcher, pattern) = build_matcher(args, &store)?;
+    let limit: usize = args.get_parsed("limit", usize::MAX)?;
+
+    let sw = Stopwatch::start();
+    let mut probe = CountingProbe::new();
+    let matches = matcher.find_with_probe(store.relation(), &mut probe);
+    let elapsed = sw.elapsed_secs();
+
+    for (i, m) in matches.iter().take(limit).enumerate() {
+        writeln!(out, "match {}: {}", i + 1, m.display_with(&pattern)).map_err(io_err)?;
+        for &(var, ev) in m.bindings() {
+            writeln!(
+                out,
+                "  {}/{} = {}",
+                pattern.var_name(var),
+                ev,
+                store.relation().event(ev)
+            )
+            .map_err(io_err)?;
+        }
+    }
+    if matches.len() > limit {
+        writeln!(out, "… {} more matches (raise --limit)", matches.len() - limit)
+            .map_err(io_err)?;
+    }
+    writeln!(out, "{} match(es) in {:.3}s", matches.len(), elapsed).map_err(io_err)?;
+
+    if args.has_flag("stats") {
+        let mut t = Table::new(["metric", "value"]);
+        t.row(["events read", &probe.events_read.to_string()]);
+        t.row(["events filtered", &probe.events_filtered.to_string()]);
+        t.row(["instances spawned", &probe.instances_spawned.to_string()]);
+        t.row(["instances branched", &probe.instances_branched.to_string()]);
+        t.row(["transitions evaluated", &probe.transitions_evaluated.to_string()]);
+        t.row(["max |Ω|", &probe.omega_max.to_string()]);
+        t.row(["raw matches", &probe.matches_emitted.to_string()]);
+        write!(out, "\n{t}").map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Evaluates a multi-query file in a single pass over the data.
+fn cmd_run_multi(
+    args: &Args,
+    out: &mut dyn Write,
+    store: &EventStore,
+    patterns: Vec<(String, ses_pattern::Pattern)>,
+) -> Result<(), String> {
+    let options = matcher_options(args)?;
+    let mut multi = MultiMatcher::new();
+    let mut by_name = Vec::new();
+    for (name, pattern) in patterns {
+        let matcher =
+            Matcher::with_options(&pattern, store.relation().schema(), options.clone())
+                .map_err(|e| format!("{name}: {e}"))?;
+        multi = multi.with(name.clone(), matcher);
+        by_name.push((name, pattern));
+    }
+    let sw = Stopwatch::start();
+    let results = multi.find_all(store.relation());
+    let elapsed = sw.elapsed_secs();
+    let limit: usize = args.get_parsed("limit", usize::MAX)?;
+    for ((name, matches), (_, pattern)) in results.iter().zip(&by_name) {
+        writeln!(out, "== {name}: {} match(es)", matches.len()).map_err(io_err)?;
+        for m in matches.iter().take(limit) {
+            writeln!(out, "  {}", m.display_with(pattern)).map_err(io_err)?;
+        }
+        if matches.len() > limit {
+            writeln!(out, "  … {} more (raise --limit)", matches.len() - limit)
+                .map_err(io_err)?;
+        }
+    }
+    writeln!(
+        out,
+        "{} quer(ies) over {} events in {elapsed:.3}s (single pass)",
+        results.len(),
+        store.len()
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
+fn cmd_explain(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let store = load_store(args.require("data")?)?;
+    let (matcher, pattern) = build_matcher(args, &store)?;
+    let automaton = matcher.automaton();
+
+    if args.has_flag("dot") {
+        write!(out, "{}", automaton.to_dot()).map_err(io_err)?;
+        return Ok(());
+    }
+    if args.has_flag("trace") {
+        let trace = ses_core::trace_execution(
+            automaton,
+            store.relation(),
+            &ses_core::ExecOptions::default(),
+        );
+        write!(out, "{}", trace.render(automaton, None)).map_err(io_err)?;
+        return Ok(());
+    }
+    writeln!(out, "pattern: {pattern}").map_err(io_err)?;
+    let analysis = automaton.pattern().analysis();
+    for (i, class) in analysis.set_classes().iter().enumerate() {
+        writeln!(out, "  V{}: predicted |Ω| bound {class}", i + 1).map_err(io_err)?;
+    }
+    write!(out, "{}", automaton.describe()).map_err(io_err)?;
+    Ok(())
+}
+
+fn cmd_generate(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let workload = args.require("workload")?;
+    let out_path = args.require("out")?.to_string();
+    let seed: u64 = args.get_parsed("seed", 42)?;
+    let scale: f64 = args.get_parsed("scale", 1.0)?;
+
+    let relation = match workload {
+        "clickstream" => {
+            let mut cfg = ses_workload::clickstream::ClickstreamConfig::small();
+            cfg.seed = seed;
+            cfg.buyers = (cfg.buyers as f64 * scale) as usize;
+            cfg.browsers = (cfg.browsers as f64 * scale) as usize;
+            ses_workload::clickstream::generate(&cfg)
+        }
+        "chemo" => ses_workload::chemo::generate(
+            &ses_workload::chemo::ChemoConfig::paper_d1()
+                .scaled(scale)
+                .with_seed(seed),
+        ),
+        "finance" => {
+            let mut cfg = ses_workload::finance::FinanceConfig::small();
+            cfg.seed = seed;
+            cfg.background_trades = (cfg.background_trades as f64 * scale) as usize;
+            ses_workload::finance::generate(&cfg)
+        }
+        "rfid" => {
+            let mut cfg = ses_workload::rfid::RfidConfig::small();
+            cfg.seed = seed;
+            cfg.complete_parcels = (cfg.complete_parcels as f64 * scale) as usize;
+            ses_workload::rfid::generate(&cfg)
+        }
+        "figure1" => ses_workload::paper::figure1(),
+        other => return Err(format!("--workload: unknown workload `{other}`")),
+    };
+    let store = EventStore::new(workload, relation);
+    store.save_csv(&out_path).map_err(|e| e.to_string())?;
+    writeln!(out, "wrote {} events to {out_path}", store.len()).map_err(io_err)?;
+    Ok(())
+}
+
+fn cmd_stats(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let store = load_store(args.require("data")?)?;
+    let within: i64 = args.get_parsed("within", 264)?;
+    let stats = store.stats(Duration::ticks(within));
+    let mut t = Table::new(["metric", "value"]);
+    t.row(["events", &stats.events.to_string()]);
+    t.row(["attributes", &stats.attributes.to_string()]);
+    t.row([
+        "first timestamp",
+        &stats.first_ts.map_or("-".into(), |t| t.to_string()),
+    ]);
+    t.row([
+        "last timestamp",
+        &stats.last_ts.map_or("-".into(), |t| t.to_string()),
+    ]);
+    t.row([
+        &format!("window size W (τ={within})"),
+        &stats.window_size.to_string(),
+    ]);
+    write!(out, "{t}").map_err(io_err)?;
+    Ok(())
+}
+
+fn io_err(e: std::io::Error) -> String {
+    format!("i/o error: {e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(argv: &[&str]) -> (i32, String) {
+        let args = Args::parse(argv.iter().copied()).unwrap();
+        let mut out = Vec::new();
+        let code = dispatch(&args, &mut out);
+        (code, String::from_utf8(out).unwrap())
+    }
+
+    fn figure1_csv() -> String {
+        let dir = std::env::temp_dir().join("ses-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("figure1-{}.csv", std::process::id()));
+        let store = EventStore::new("figure1", ses_workload::paper::figure1());
+        store.save_csv(&path).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    const Q1: &str = "PATTERN PERMUTE(c, p+, d) THEN b \
+                      WHERE c.L = 'C' AND d.L = 'D' AND p.L = 'P' AND b.L = 'B' \
+                        AND c.ID = p.ID AND c.ID = d.ID AND d.ID = b.ID \
+                      WITHIN 264 HOURS";
+
+    #[test]
+    fn help_and_unknown_command() {
+        let (code, out) = run(&["help"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("USAGE"));
+        let (code, out) = run(&["bogus"]);
+        assert_eq!(code, 1);
+        assert!(out.contains("unknown command"));
+    }
+
+    #[test]
+    fn run_finds_the_papers_matches() {
+        let data = figure1_csv();
+        let (code, out) = run(&["run", "--query", Q1, "--data", &data, "--stats"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("2 match(es)"), "{out}");
+        assert!(out.contains("c/e1"), "{out}");
+        assert!(out.contains("b/e13"), "{out}");
+        assert!(out.contains("max |Ω|"), "{out}");
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn run_with_limit_truncates() {
+        let data = figure1_csv();
+        let (code, out) = run(&[
+            "run", "--query", Q1, "--data", &data, "--limit", "1", "--semantics", "all",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("more matches"), "{out}");
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn explain_prints_automaton_and_dot() {
+        let data = figure1_csv();
+        let (code, out) = run(&["explain", "--query", Q1, "--data", &data]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("9 states"), "{out}");
+        assert!(out.contains("predicted |Ω| bound O(1)"), "{out}");
+        let (code, out) = run(&["explain", "--query", Q1, "--data", &data, "--dot"]);
+        assert_eq!(code, 0);
+        assert!(out.starts_with("digraph"));
+        // Figure-6-style execution trace.
+        let (code, out) = run(&["explain", "--query", Q1, "--data", &data, "--trace"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("read e1:"), "{out}");
+        assert!(out.contains("β = {c/e1"), "{out}");
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn generate_then_stats_round_trip() {
+        let dir = std::env::temp_dir().join("ses-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir
+            .join(format!("gen-{}.csv", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let (code, out) = run(&[
+            "generate", "--workload", "rfid", "--out", &path, "--seed", "5",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("wrote"));
+        let (code, out) = run(&["stats", "--data", &path, "--within", "3600"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("window size W"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn import_then_run_from_log_directory() {
+        let data = figure1_csv();
+        let dir = std::env::temp_dir().join(format!("ses-cli-log-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let dir_s = dir.to_string_lossy().into_owned();
+
+        let (code, out) = run(&["import", "--data", &data, "--out", &dir_s]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("imported 14 events"), "{out}");
+
+        // run / stats straight from the log directory.
+        let (code, out) = run(&["run", "--query", Q1, "--data", &dir_s]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("2 match(es)"), "{out}");
+        let (code, out) = run(&["stats", "--data", &dir_s, "--within", "264"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("window size W"), "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn multi_query_file_single_pass() {
+        let data = figure1_csv();
+        let file = std::env::temp_dir().join(format!("ses-multi-{}.ses", std::process::id()));
+        std::fs::write(
+            &file,
+            "protocol: PATTERN PERMUTE(c, p+, d) THEN b \
+               WHERE c.L = 'C' AND d.L = 'D' AND p.L = 'P' AND b.L = 'B' \
+                 AND c.ID = p.ID AND c.ID = d.ID AND d.ID = b.ID \
+               WITHIN 264 HOURS;\n\
+             bloodcounts: PATTERN bc WHERE bc.L = 'B';",
+        )
+        .unwrap();
+        let (code, out) = run(&["run", "--query", &file.to_string_lossy(), "--data", &data]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("== protocol: 2 match(es)"), "{out}");
+        assert!(out.contains("== bloodcounts: 5 match(es)"), "{out}");
+        assert!(out.contains("single pass"), "{out}");
+        std::fs::remove_file(&file).ok();
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn bad_query_reports_error() {
+        let data = figure1_csv();
+        let (code, out) = run(&["run", "--query", "PATTERN", "--data", &data]);
+        assert_eq!(code, 1);
+        assert!(out.contains("error:"), "{out}");
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn option_validation_errors() {
+        let data = figure1_csv();
+        for bad in [
+            vec!["run", "--query", Q1, "--data", &data, "--tick", "wat"],
+            vec!["run", "--query", Q1, "--data", &data, "--semantics", "wat"],
+            vec!["run", "--query", Q1, "--data", &data, "--filter", "wat"],
+            vec!["generate", "--workload", "wat", "--out", "/tmp/x.csv"],
+        ] {
+            let (code, out) = run(&bad);
+            assert_eq!(code, 1, "{out}");
+        }
+        std::fs::remove_file(&data).ok();
+    }
+}

@@ -1,0 +1,17 @@
+//! `ses-cli`: sequenced event set pattern matching from the command line.
+//!
+//! ```text
+//! ses-cli run --query query.ses --data events.csv --stats
+//! ses-cli explain --query query.ses --data events.csv --dot
+//! ses-cli generate --workload chemo --out chemo.csv --scale 0.1
+//! ses-cli stats --data events.csv --within 264
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+
+pub use args::Args;
+pub use commands::{dispatch, USAGE};

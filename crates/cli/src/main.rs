@@ -1,0 +1,16 @@
+//! `ses-cli` entry point.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match ses_cli::Args::parse(argv) {
+        Ok(args) => {
+            let mut out = std::io::stdout().lock();
+            ses_cli::dispatch(&args, &mut out)
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{}", ses_cli::USAGE);
+            2
+        }
+    };
+    std::process::exit(code);
+}

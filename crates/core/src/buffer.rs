@@ -1,0 +1,214 @@
+//! Persistent match buffers.
+//!
+//! The match buffer `β` of an automaton instance collects variable/event
+//! bindings (§4.1). Nondeterminism makes instances *branch* (Algorithm 2
+//! line 5), and in the worst case `|Ω|` grows factorially (Theorems 2–3) —
+//! so buffers must be cheap to fork. [`Buffer`] is an immutable,
+//! structurally shared cons list: `push` allocates one node and shares the
+//! whole tail, making a branch O(1) in time and memory.
+
+use std::fmt;
+use std::sync::Arc;
+
+use ses_event::{EventId, Timestamp};
+use ses_pattern::VarId;
+
+/// One binding `v/e` of a variable to an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Binding {
+    /// The event variable.
+    pub var: VarId,
+    /// The bound event.
+    pub event: EventId,
+    /// The bound event's occurrence time (cached to avoid relation
+    /// lookups in the expiry check).
+    pub ts: Timestamp,
+}
+
+#[derive(Debug)]
+struct Node {
+    binding: Binding,
+    next: Option<Arc<Node>>,
+}
+
+/// An immutable, structurally shared match buffer.
+#[derive(Debug, Clone, Default)]
+pub struct Buffer {
+    head: Option<Arc<Node>>,
+    len: u32,
+    /// Timestamp of the chronologically first binding (`minT`), tracked
+    /// incrementally. Events are consumed in stream order, so this is the
+    /// timestamp of the oldest node — but we keep it explicit for O(1)
+    /// expiry checks.
+    min_ts: Option<Timestamp>,
+}
+
+impl Buffer {
+    /// The empty buffer `β = ∅`.
+    pub const EMPTY: Buffer = Buffer {
+        head: None,
+        len: 0,
+        min_ts: None,
+    };
+
+    /// Returns a new buffer extending `self` with one binding; `self` is
+    /// untouched and shares its nodes with the result.
+    pub fn push(&self, var: VarId, event: EventId, ts: Timestamp) -> Buffer {
+        Buffer {
+            head: Some(Arc::new(Node {
+                binding: Binding { var, event, ts },
+                next: self.head.clone(),
+            })),
+            len: self.len + 1,
+            min_ts: Some(match self.min_ts {
+                Some(m) => m.min(ts),
+                None => ts,
+            }),
+        }
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` iff the buffer holds no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Timestamp of the chronologically earliest binding, if any — the
+    /// `minT(γ)` of Definition 2.
+    pub fn min_ts(&self) -> Option<Timestamp> {
+        self.min_ts
+    }
+
+    /// Iterates bindings newest-first (reverse binding order).
+    pub fn iter(&self) -> BufferIter<'_> {
+        BufferIter {
+            node: self.head.as_deref(),
+        }
+    }
+
+    /// Iterates the bindings of one variable, newest-first.
+    pub fn bindings_of(&self, var: VarId) -> impl Iterator<Item = Binding> + '_ {
+        self.iter().filter(move |b| b.var == var)
+    }
+
+    /// The (single) binding of a variable, if present. For group variables
+    /// this returns the most recent binding.
+    pub fn binding_of(&self, var: VarId) -> Option<Binding> {
+        self.bindings_of(var).next()
+    }
+
+    /// Extracts the bindings as a vector sorted by `(event, var)` — the
+    /// canonical form used for match comparison and deduplication.
+    pub fn to_sorted_bindings(&self) -> Vec<(VarId, EventId)> {
+        let mut v: Vec<(VarId, EventId)> = self.iter().map(|b| (b.var, b.event)).collect();
+        v.sort_unstable_by_key(|&(var, ev)| (ev, var));
+        v
+    }
+}
+
+/// Iterator over a buffer's bindings, newest-first.
+pub struct BufferIter<'a> {
+    node: Option<&'a Node>,
+}
+
+impl Iterator for BufferIter<'_> {
+    type Item = Binding;
+
+    fn next(&mut self) -> Option<Binding> {
+        let n = self.node?;
+        self.node = n.next.as_deref();
+        Some(n.binding)
+    }
+}
+
+impl fmt::Display for Buffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut bindings: Vec<Binding> = self.iter().collect();
+        bindings.reverse(); // oldest first, like the paper's figures
+        write!(f, "{{")?;
+        for (i, b) in bindings.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}/{}", b.var, b.event)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(t: i64) -> Timestamp {
+        Timestamp::new(t)
+    }
+
+    #[test]
+    fn push_is_persistent() {
+        let a = Buffer::EMPTY.push(VarId(0), EventId(0), ts(1));
+        let b = a.push(VarId(1), EventId(1), ts(2));
+        let c = a.push(VarId(2), EventId(2), ts(3)); // fork from a
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 2);
+        assert_eq!(c.len(), 2);
+        assert_eq!(b.binding_of(VarId(1)).unwrap().event, EventId(1));
+        assert_eq!(c.binding_of(VarId(2)).unwrap().event, EventId(2));
+        assert!(b.binding_of(VarId(2)).is_none());
+    }
+
+    #[test]
+    fn min_ts_tracks_earliest() {
+        let b = Buffer::EMPTY
+            .push(VarId(0), EventId(5), ts(10))
+            .push(VarId(1), EventId(6), ts(20));
+        assert_eq!(b.min_ts(), Some(ts(10)));
+        assert_eq!(Buffer::EMPTY.min_ts(), None);
+        // Even if a later push has an earlier ts (ties in stream order).
+        let c = b.push(VarId(2), EventId(7), ts(5));
+        assert_eq!(c.min_ts(), Some(ts(5)));
+    }
+
+    #[test]
+    fn bindings_of_group_variable() {
+        let p = VarId(1);
+        let b = Buffer::EMPTY
+            .push(p, EventId(3), ts(1))
+            .push(VarId(0), EventId(4), ts(2))
+            .push(p, EventId(8), ts(3));
+        let events: Vec<_> = b.bindings_of(p).map(|x| x.event.0).collect();
+        assert_eq!(events, vec![8, 3]); // newest first
+        assert_eq!(b.binding_of(p).unwrap().event, EventId(8));
+    }
+
+    #[test]
+    fn sorted_bindings_are_canonical() {
+        let b = Buffer::EMPTY
+            .push(VarId(2), EventId(9), ts(1))
+            .push(VarId(0), EventId(3), ts(2));
+        assert_eq!(
+            b.to_sorted_bindings(),
+            vec![(VarId(0), EventId(3)), (VarId(2), EventId(9))]
+        );
+    }
+
+    #[test]
+    fn display_oldest_first() {
+        let b = Buffer::EMPTY
+            .push(VarId(0), EventId(0), ts(1))
+            .push(VarId(1), EventId(2), ts(2));
+        assert_eq!(b.to_string(), "{v0/e1, v1/e3}");
+        assert_eq!(Buffer::EMPTY.to_string(), "{}");
+    }
+
+    #[test]
+    fn empty_buffer_iterates_nothing() {
+        assert_eq!(Buffer::EMPTY.iter().count(), 0);
+        assert!(Buffer::EMPTY.is_empty());
+        assert_eq!(Buffer::default().len(), 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Graphviz / textual rendering of SES automata (for `explain`-style
+//! tooling and for eyeballing constructions against the paper's figures).
+
+use std::fmt::Write as _;
+
+use crate::automaton::{Automaton, TransCond, Transition};
+
+impl Automaton {
+    /// Renders the automaton in Graphviz DOT format. States are labelled
+    /// as in the paper's figures (`∅`, `c`, `cd`, …, doubly circled
+    /// accepting state); edges carry the bound variable and the condition
+    /// set.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        out.push_str("digraph ses {\n  rankdir=LR;\n  node [shape=circle];\n");
+        let _ = writeln!(
+            out,
+            "  {} [shape=doublecircle];",
+            self.accept().index()
+        );
+        let _ = writeln!(out, "  start [shape=none, label=\"\"];");
+        let _ = writeln!(out, "  start -> {};", self.start().index());
+        for (i, _state) in self.states().iter().enumerate() {
+            let label = self.state_label(crate::StateId(i as u32));
+            let _ = writeln!(out, "  {i} [label=\"{label}\"];");
+        }
+        for t in self.transitions() {
+            let _ = writeln!(
+                out,
+                "  {} -> {} [label=\"{}\"];",
+                t.source.index(),
+                t.target.index(),
+                escape(&self.transition_label(t)),
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// A short human-readable label for a transition:
+    /// `p+, {p.L = 'P', c.ID = p.ID}`.
+    pub fn transition_label(&self, t: &Transition) -> String {
+        let p = self.pattern().pattern();
+        let mut s = p.var_name(t.var);
+        s.push_str(", {");
+        for (i, tc) in t.conds.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&self.cond_label(t, tc));
+        }
+        s.push('}');
+        s
+    }
+
+    fn cond_label(&self, t: &Transition, tc: &TransCond) -> String {
+        let cp = self.pattern();
+        let p = cp.pattern();
+        let schema = cp.schema();
+        match tc {
+            TransCond::Const { cond } | TransCond::SelfCmp { cond } | TransCond::VsBound { cond, .. } => {
+                let c = cp.condition(*cond);
+                let lhs = format!(
+                    "{}.{}",
+                    p.var(c.lhs_var).name(),
+                    schema.attr_name(c.lhs_attr)
+                );
+                match &c.rhs {
+                    ses_pattern::CompiledRhs::Const(v) => format!("{lhs} {} {v}", c.op),
+                    ses_pattern::CompiledRhs::Attr { var, attr } => format!(
+                        "{lhs} {} {}.{}",
+                        c.op,
+                        p.var(*var).name(),
+                        schema.attr_name(*attr)
+                    ),
+                }
+            }
+            TransCond::TimeAfter { other } => {
+                format!("{}.T < {}.T", p.var(*other).name(), p.var(t.var).name())
+            }
+        }
+    }
+
+    /// A multi-line textual description of the full automaton — the
+    /// `ses-cli explain` output.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "SES automaton: {} states, {} transitions, τ = {}",
+            self.num_states(),
+            self.num_transitions(),
+            self.tau()
+        );
+        let _ = writeln!(out, "  start:  {}", self.state_label(self.start()));
+        let _ = writeln!(out, "  accept: {}", self.state_label(self.accept()));
+        for t in self.transitions() {
+            let _ = writeln!(
+                out,
+                "  {} --[{}]--> {}{}",
+                self.state_label(t.source),
+                self.transition_label(t),
+                self.state_label(t.target),
+                if t.is_loop { "  (loop)" } else { "" },
+            );
+        }
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::automaton::Automaton;
+    use ses_event::{AttrType, CmpOp, Duration, Schema};
+    use ses_pattern::Pattern;
+
+    fn q1_automaton() -> Automaton {
+        let schema = Schema::builder()
+            .attr("ID", AttrType::Int)
+            .attr("L", AttrType::Str)
+            .build()
+            .unwrap();
+        let p = Pattern::builder()
+            .set(|s| s.var("c").plus("p").var("d"))
+            .set(|s| s.var("b"))
+            .cond_const("c", "L", CmpOp::Eq, "C")
+            .cond_const("p", "L", CmpOp::Eq, "P")
+            .cond_const("d", "L", CmpOp::Eq, "D")
+            .cond_const("b", "L", CmpOp::Eq, "B")
+            .cond_vars("c", "ID", CmpOp::Eq, "p", "ID")
+            .cond_vars("d", "ID", CmpOp::Eq, "b", "ID")
+            .within(Duration::hours(264))
+            .build()
+            .unwrap();
+        Automaton::build(p.compile(&schema).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn dot_output_is_wellformed() {
+        let a = q1_automaton();
+        let dot = a.to_dot();
+        assert!(dot.starts_with("digraph ses {"));
+        assert!(dot.ends_with("}\n"));
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("label=\"∅\""));
+        // One edge line per transition.
+        let edges = dot
+            .lines()
+            .filter(|l| l.contains("->") && !l.contains("start"))
+            .count();
+        assert_eq!(edges, a.num_transitions());
+    }
+
+    #[test]
+    fn describe_mentions_conditions_and_loops() {
+        let a = q1_automaton();
+        let d = a.describe();
+        assert!(d.contains("9 states"));
+        assert!(d.contains("(loop)"));
+        assert!(d.contains("p.L = 'P'"));
+        assert!(d.contains("c.ID = p.ID"));
+        assert!(d.contains(".T < b.T"), "{d}");
+    }
+}

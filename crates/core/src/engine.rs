@@ -1,0 +1,798 @@
+//! Execution of a SES automaton over an event relation — the paper's
+//! Algorithm 1 (`SESExec`) and Algorithm 2 (`ConsumeEvent`).
+//!
+//! The engine maintains the set `Ω` of active automaton instances. For
+//! each input event `e` (in chronological order):
+//!
+//! 1. (§4.5) the [`EventFilter`] may drop `e` outright;
+//! 2. a fresh instance `(qs, ∅)` is added to `Ω` (Algorithm 1, line 4);
+//! 3. every instance whose window would exceed `τ` *expires* — if it is in
+//!    the accepting state its buffer is emitted as a raw match;
+//! 4. every surviving instance consumes `e`: each outgoing transition
+//!    whose condition set `Θδ` is satisfied produces a successor instance
+//!    (branching on nondeterminism); if no transition fires the instance
+//!    stays put, unless it is the start-state instance, which is dropped.
+//!
+//! The paper evaluates finite relations; at end of input, instances in the
+//! accepting state emit their buffers (configurable via
+//! [`ExecOptions::flush_at_end`]).
+
+use ses_event::{Event, EventId, Relation, Timestamp};
+
+use crate::automaton::{Automaton, TransCond, Transition};
+use crate::buffer::Buffer;
+use crate::filter::{EventFilter, FilterMode};
+use crate::probe::Probe;
+use crate::state::StateId;
+
+/// An automaton instance `Ñ = (qc, β)` (Definition 4).
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Current state `qc`.
+    pub state: StateId,
+    /// Match buffer `β`.
+    pub buffer: Buffer,
+}
+
+/// The event selection strategy — how an instance treats an event that
+/// fires at least one of its transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EventSelection {
+    /// The paper's Algorithm 2 (skip-till-next-match): every firing
+    /// transition produces a successor and the source instance is
+    /// dropped — a matching event is always consumed. Events that fire
+    /// nothing are skipped.
+    #[default]
+    SkipTillNextMatch,
+    /// SASE+-style skip-till-any-match (an extension beyond the paper):
+    /// the source instance is *also* retained, so runs may skip events
+    /// that other runs consume. Candidate generation becomes complete
+    /// with respect to the substitution space `Γ` of Definition 2 —
+    /// every substitution satisfying conditions 1–3 is produced — at an
+    /// exponential worst-case cost in `|Ω|` (each in-window matching
+    /// event can double the instances on its path).
+    SkipTillAnyMatch,
+}
+
+/// Execution options.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Event pre-filtering strategy (§4.5). Defaults to the paper's
+    /// filter.
+    pub filter: FilterMode,
+    /// Event selection strategy. Defaults to the paper's
+    /// skip-till-next-match.
+    pub selection: EventSelection,
+    /// Emit accepting instances remaining at end of input. The paper's
+    /// Algorithm 1 only emits on expiry, which silently drops matches
+    /// whose window has not elapsed when the relation ends; flushing is
+    /// the natural completion for finite relations. Default: `true`.
+    pub flush_at_end: bool,
+    /// Evaluate each variable's constant conditions **once per event**
+    /// (a 64-bit "which variables can this event bind" mask) instead of
+    /// once per instance-transition — an instance-indexing optimization
+    /// in the spirit of the paper's future-work citation of Cayuga's
+    /// indexing. Semantics-neutral; default `true`. The
+    /// `ablation_precheck` bench prices it.
+    pub type_precheck: bool,
+    /// Optional hard cap on `|Ω|`; exceeding it panics. A guard against
+    /// runaway Theorem-3 worst cases in tests, not a production knob.
+    pub max_instances: Option<usize>,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            filter: FilterMode::Paper,
+            selection: EventSelection::SkipTillNextMatch,
+            flush_at_end: true,
+            type_precheck: true,
+            max_instances: None,
+        }
+    }
+}
+
+/// A raw match: the bindings of an accepted buffer in canonical
+/// `(event, var)` order, *before* the Definition-2 semantics filter.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RawMatch {
+    /// Bindings sorted by `(event, var)`.
+    pub bindings: Vec<(ses_pattern::VarId, EventId)>,
+}
+
+impl RawMatch {
+    /// The earliest bound event (bindings are sorted, and the relation's
+    /// event ids follow chronological order).
+    pub fn first_event(&self) -> EventId {
+        self.bindings[0].1
+    }
+}
+
+/// Executes the automaton over a relation — the paper's `SESExec`.
+///
+/// Returns the raw matches in emission order. Apply
+/// [`crate::semantics::select`] to obtain the matching substitutions of
+/// Definition 2.
+pub fn execute<P: Probe>(
+    automaton: &Automaton,
+    relation: &Relation,
+    options: &ExecOptions,
+    probe: &mut P,
+) -> Vec<RawMatch> {
+    let mut exec = Execution::new(automaton, relation, options.clone());
+    while exec.step(probe) {}
+    exec.finish(probe)
+}
+
+/// An incremental execution of one automaton over one relation.
+///
+/// [`execute`] drives this to completion; the brute-force baseline steps a
+/// whole *bank* of executions event-by-event so that the summed `|Ω|`
+/// across automata is sampled at the same points in time as the paper's
+/// experiment 1.
+#[derive(Debug)]
+pub struct Execution<'a> {
+    automaton: &'a Automaton,
+    relation: &'a Relation,
+    options: ExecOptions,
+    filter: EventFilter,
+    omega: Vec<Instance>,
+    scratch: Vec<Instance>,
+    results: Vec<RawMatch>,
+    position: usize,
+}
+
+impl<'a> Execution<'a> {
+    /// Prepares an execution positioned before the first event.
+    pub fn new(automaton: &'a Automaton, relation: &'a Relation, options: ExecOptions) -> Self {
+        let filter = EventFilter::new(automaton.pattern(), options.filter);
+        Execution {
+            automaton,
+            relation,
+            options,
+            filter,
+            omega: Vec::new(),
+            scratch: Vec::new(),
+            results: Vec::new(),
+            position: 0,
+        }
+    }
+
+    /// Processes the next event. Returns `false` when the relation is
+    /// exhausted (call [`Execution::finish`] afterwards).
+    pub fn step<P: Probe>(&mut self, probe: &mut P) -> bool {
+        if self.position >= self.relation.len() {
+            return false;
+        }
+        let position = self.position;
+        self.position += 1;
+        process_event(
+            self.automaton,
+            self.relation,
+            &self.filter,
+            &self.options,
+            &mut self.omega,
+            &mut self.scratch,
+            position,
+            &mut self.results,
+            probe,
+        );
+        true
+    }
+
+    /// Current number of active instances `|Ω|`.
+    pub fn omega_len(&self) -> usize {
+        self.omega.len()
+    }
+
+    /// The active instances `Ω` (after the most recent step).
+    pub fn instances(&self) -> &[Instance] {
+        &self.omega
+    }
+
+    /// Index of the next event to be consumed.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// `true` iff every event has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.position >= self.relation.len()
+    }
+
+    /// Flushes accepting instances (if configured) and returns all raw
+    /// matches produced by this execution.
+    pub fn finish<P: Probe>(mut self, probe: &mut P) -> Vec<RawMatch> {
+        if self.options.flush_at_end {
+            let accept = self.automaton.accept();
+            for instance in self.omega.drain(..) {
+                if instance.state == accept {
+                    probe.match_emitted();
+                    self.results.push(RawMatch {
+                        bindings: instance.buffer.to_sorted_bindings(),
+                    });
+                }
+            }
+        }
+        self.results
+    }
+}
+
+/// The body of Algorithm 1's per-event iteration: spawn a fresh start
+/// instance, expire/emit, consume. Shared by the batch [`Execution`] and
+/// the push-based [`crate::StreamMatcher`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn process_event<P: Probe>(
+    automaton: &Automaton,
+    relation: &Relation,
+    filter: &EventFilter,
+    options: &ExecOptions,
+    omega: &mut Vec<Instance>,
+    scratch: &mut Vec<Instance>,
+    position: usize,
+    results: &mut Vec<RawMatch>,
+    probe: &mut P,
+) {
+    let event = &relation.events()[position];
+    let event_id = EventId::from(position);
+
+    probe.event_read();
+    let pattern = automaton.pattern();
+    if !filter.passes(pattern, event) {
+        probe.event_filtered();
+        return;
+    }
+
+    let tau = automaton.tau();
+    let start = automaton.start();
+    let accept = automaton.accept();
+
+    // Which variables can this event possibly bind? Computing the mask
+    // once per event amortizes every constant-condition evaluation over
+    // all simultaneous instances.
+    let var_ok: Option<u64> = options.type_precheck.then(|| {
+        let p = pattern.pattern();
+        let mut mask = 0u64;
+        for i in 0..p.num_vars() {
+            if pattern.satisfies_var_constants(ses_pattern::VarId(i as u16), event) {
+                mask |= 1u64 << i;
+            }
+        }
+        mask
+    });
+
+    // Algorithm 1, line 4: a fresh instance per (unfiltered) event.
+    omega.push(Instance {
+        state: start,
+        buffer: Buffer::EMPTY,
+    });
+    probe.instance_spawned();
+
+    scratch.clear();
+    for instance in omega.drain(..) {
+        let expired = match instance.buffer.min_ts() {
+            Some(min) => event.ts().distance(min) > tau,
+            None => false,
+        };
+        if expired {
+            probe.instance_expired();
+            if instance.state == accept {
+                probe.match_emitted();
+                results.push(RawMatch {
+                    bindings: instance.buffer.to_sorted_bindings(),
+                });
+            }
+            continue; // dropped from Ω either way
+        }
+        consume_event(
+            automaton,
+            relation,
+            &instance,
+            event,
+            event_id,
+            start,
+            options.selection,
+            var_ok,
+            scratch,
+            probe,
+        );
+    }
+    std::mem::swap(omega, scratch);
+    probe.omega(omega.len());
+    if let Some(cap) = options.max_instances {
+        assert!(
+            omega.len() <= cap,
+            "instance cap exceeded: |Ω| = {} > {cap}",
+            omega.len()
+        );
+    }
+}
+
+/// Algorithm 2: offers `event` to `instance`; pushes the successor
+/// instances into `out`.
+#[allow(clippy::too_many_arguments)]
+fn consume_event<P: Probe>(
+    automaton: &Automaton,
+    relation: &Relation,
+    instance: &Instance,
+    event: &Event,
+    event_id: EventId,
+    start: StateId,
+    selection: EventSelection,
+    var_ok: Option<u64>,
+    out: &mut Vec<Instance>,
+    probe: &mut P,
+) {
+    let mut fired = 0usize;
+    for transition in automaton.outgoing(instance.state) {
+        // Precheck: an event failing the bound variable's constant
+        // conditions can never take this transition.
+        if let Some(mask) = var_ok {
+            if mask & transition.var.bit() == 0 {
+                continue;
+            }
+        }
+        probe.transition_evaluated();
+        if eval_conditions(automaton, relation, transition, &instance.buffer, event, var_ok.is_some()) {
+            probe.transition_taken();
+            if fired > 0 {
+                probe.instance_branched();
+            }
+            fired += 1;
+            out.push(Instance {
+                state: transition.target,
+                buffer: instance.buffer.push(transition.var, event_id, event.ts()),
+            });
+        }
+    }
+    // The source instance survives when nothing fired (the event is
+    // ignored — skip-till-next-match) or, under skip-till-any-match,
+    // unconditionally (the run may *choose* to skip a matching event).
+    // Fresh start-state instances never linger: a new one is spawned for
+    // every event anyway.
+    let keep_source = instance.state != start
+        && (fired == 0 || selection == EventSelection::SkipTillAnyMatch);
+    if keep_source {
+        if fired > 0 {
+            probe.instance_branched();
+        }
+        out.push(instance.clone());
+    }
+}
+
+/// Evaluates a transition's condition set `Θδ` against the incoming event
+/// and the instance's buffer. Incremental decomposition semantics: only
+/// the condition instances involving the new binding are checked here;
+/// every other combination was checked when its own binding was added.
+#[inline]
+fn eval_conditions(
+    automaton: &Automaton,
+    relation: &Relation,
+    transition: &Transition,
+    buffer: &Buffer,
+    event: &Event,
+    consts_prechecked: bool,
+) -> bool {
+    let pattern = automaton.pattern();
+    let event_ts: Timestamp = event.ts();
+    transition.conds.iter().all(|tc| match tc {
+        // With the per-event precheck, constant conditions were already
+        // verified through the variable mask.
+        TransCond::Const { cond } => {
+            consts_prechecked || pattern.condition(*cond).eval_const(event)
+        }
+        TransCond::SelfCmp { cond } => pattern.condition(*cond).eval_vars(event, event),
+        TransCond::VsBound {
+            cond,
+            other,
+            new_is_lhs,
+        } => {
+            let c = pattern.condition(*cond);
+            buffer.bindings_of(*other).all(|b| {
+                let other_event = relation.event(b.event);
+                if *new_is_lhs {
+                    c.eval_vars(event, other_event)
+                } else {
+                    c.eval_vars(other_event, event)
+                }
+            })
+        }
+        TransCond::TimeAfter { other } => buffer
+            .bindings_of(*other)
+            .all(|b| b.ts < event_ts),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NoProbe;
+    use ses_event::{AttrType, CmpOp, Duration, Schema, Value};
+    use ses_pattern::Pattern;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attr("ID", AttrType::Int)
+            .attr("L", AttrType::Str)
+            .build()
+            .unwrap()
+    }
+
+    fn rel(rows: &[(i64, i64, &str)]) -> Relation {
+        let mut r = Relation::new(schema());
+        for (ts, id, l) in rows {
+            r.push_values(
+                Timestamp::new(*ts),
+                [Value::from(*id), Value::from(*l)],
+            )
+            .unwrap();
+        }
+        r
+    }
+
+    fn automaton(p: Pattern) -> Automaton {
+        Automaton::build(p.compile(&schema()).unwrap()).unwrap()
+    }
+
+    fn run(a: &Automaton, r: &Relation) -> Vec<RawMatch> {
+        execute(a, r, &ExecOptions::default(), &mut NoProbe)
+    }
+
+    fn names(a: &Automaton, m: &RawMatch) -> Vec<String> {
+        m.bindings
+            .iter()
+            .map(|(v, e)| format!("{}/{}", a.pattern().pattern().var(*v).name(), e))
+            .collect()
+    }
+
+    #[test]
+    fn single_variable_pattern_matches_each_a() {
+        let p = Pattern::builder()
+            .set(|s| s.var("a"))
+            .cond_const("a", "L", CmpOp::Eq, "A")
+            .within(Duration::ticks(10))
+            .build()
+            .unwrap();
+        let a = automaton(p);
+        let r = rel(&[(0, 1, "A"), (1, 1, "B"), (2, 1, "A")]);
+        let ms = run(&a, &r);
+        assert_eq!(ms.len(), 2);
+        assert_eq!(names(&a, &ms[0]), vec!["a/e1"]);
+        assert_eq!(names(&a, &ms[1]), vec!["a/e3"]);
+    }
+
+    #[test]
+    fn sequence_requires_strict_time_order() {
+        // ⟨{a},{b}⟩ with a tie in timestamps: b at the same instant as a
+        // must NOT match (strict v'.T < v.T).
+        let p = Pattern::builder()
+            .set(|s| s.var("a"))
+            .set(|s| s.var("b"))
+            .cond_const("a", "L", CmpOp::Eq, "A")
+            .cond_const("b", "L", CmpOp::Eq, "B")
+            .within(Duration::ticks(10))
+            .build()
+            .unwrap();
+        let a = automaton(p);
+        let tie = rel(&[(5, 1, "A"), (5, 1, "B")]);
+        assert!(run(&a, &tie).is_empty());
+        let ok = rel(&[(5, 1, "A"), (6, 1, "B")]);
+        assert_eq!(run(&a, &ok).len(), 1);
+    }
+
+    #[test]
+    fn permutation_within_a_set_is_matched() {
+        // ⟨{a, b}⟩: both orders of A-then-B and B-then-A match.
+        let p = Pattern::builder()
+            .set(|s| s.var("a").var("b"))
+            .cond_const("a", "L", CmpOp::Eq, "A")
+            .cond_const("b", "L", CmpOp::Eq, "B")
+            .within(Duration::ticks(10))
+            .build()
+            .unwrap();
+        let a = automaton(p);
+        let ms = run(&a, &rel(&[(0, 1, "B"), (1, 1, "A")]));
+        assert_eq!(ms.len(), 1);
+        assert_eq!(names(&a, &ms[0]), vec!["b/e1", "a/e2"]);
+        let ms = run(&a, &rel(&[(0, 1, "A"), (1, 1, "B")]));
+        assert_eq!(ms.len(), 1);
+    }
+
+    #[test]
+    fn window_expiry_drops_partial_matches() {
+        let p = Pattern::builder()
+            .set(|s| s.var("a"))
+            .set(|s| s.var("b"))
+            .cond_const("a", "L", CmpOp::Eq, "A")
+            .cond_const("b", "L", CmpOp::Eq, "B")
+            .within(Duration::ticks(5))
+            .build()
+            .unwrap();
+        let a = automaton(p);
+        // B arrives 6 ticks after A: outside τ = 5.
+        assert!(run(&a, &rel(&[(0, 1, "A"), (6, 1, "B")])).is_empty());
+        // Exactly at the window edge (distance 5 ≤ τ): matches.
+        assert_eq!(run(&a, &rel(&[(0, 1, "A"), (5, 1, "B")])).len(), 1);
+    }
+
+    #[test]
+    fn accepting_instance_emits_on_expiry_without_flush() {
+        let p = Pattern::builder()
+            .set(|s| s.var("a"))
+            .cond_const("a", "L", CmpOp::Eq, "A")
+            .within(Duration::ticks(5))
+            .build()
+            .unwrap();
+        let a = automaton(p);
+        let r = rel(&[(0, 1, "A"), (100, 1, "A")]);
+        let opts = ExecOptions {
+            flush_at_end: false,
+            ..ExecOptions::default()
+        };
+        // First A's instance expires when the second A arrives → emitted.
+        // Second A's instance is still live at end of input → dropped.
+        let ms = execute(&a, &r, &opts, &mut NoProbe);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(names(&a, &ms[0]), vec!["a/e1"]);
+    }
+
+    #[test]
+    fn group_variable_collects_multiple_events() {
+        let p = Pattern::builder()
+            .set(|s| s.plus("p"))
+            .set(|s| s.var("b"))
+            .cond_const("p", "L", CmpOp::Eq, "P")
+            .cond_const("b", "L", CmpOp::Eq, "B")
+            .within(Duration::ticks(100))
+            .build()
+            .unwrap();
+        let a = automaton(p);
+        // One accepting run per starting P event (suffix runs are kept by
+        // Definition 2 too, since their first bindings differ).
+        let mut ms = run(&a, &rel(&[(0, 1, "P"), (1, 1, "P"), (2, 1, "P"), (3, 1, "B")]));
+        ms.sort();
+        assert_eq!(ms.len(), 3);
+        assert_eq!(names(&a, &ms[0]), vec!["p/e1", "p/e2", "p/e3", "b/e4"]);
+        assert_eq!(names(&a, &ms[1]), vec!["p/e2", "p/e3", "b/e4"]);
+        assert_eq!(names(&a, &ms[2]), vec!["p/e3", "b/e4"]);
+    }
+
+    #[test]
+    fn variable_conditions_correlate_events() {
+        // Same-ID correlation across two sets.
+        let p = Pattern::builder()
+            .set(|s| s.var("a"))
+            .set(|s| s.var("b"))
+            .cond_const("a", "L", CmpOp::Eq, "A")
+            .cond_const("b", "L", CmpOp::Eq, "B")
+            .cond_vars("a", "ID", CmpOp::Eq, "b", "ID")
+            .within(Duration::ticks(100))
+            .build()
+            .unwrap();
+        let a = automaton(p);
+        // B of a different patient must not match.
+        let ms = run(&a, &rel(&[(0, 1, "A"), (1, 2, "B"), (2, 1, "B")]));
+        assert_eq!(ms.len(), 1);
+        assert_eq!(names(&a, &ms[0]), vec!["a/e1", "b/e3"]);
+    }
+
+    #[test]
+    fn skip_till_next_match_ignores_interleaved_events() {
+        let p = Pattern::builder()
+            .set(|s| s.var("a"))
+            .set(|s| s.var("b"))
+            .cond_const("a", "L", CmpOp::Eq, "A")
+            .cond_const("b", "L", CmpOp::Eq, "B")
+            .within(Duration::ticks(100))
+            .build()
+            .unwrap();
+        let a = automaton(p);
+        // X events between A and B are ignored (with filter they never
+        // reach the instances; without filter the instance stays put).
+        for filter in [FilterMode::Off, FilterMode::Paper, FilterMode::PerVariable] {
+            let opts = ExecOptions {
+                filter,
+                ..ExecOptions::default()
+            };
+            let ms = execute(
+                &a,
+                &rel(&[(0, 1, "A"), (1, 1, "X"), (2, 1, "X"), (3, 1, "B")]),
+                &opts,
+                &mut NoProbe,
+            );
+            assert_eq!(ms.len(), 1, "filter mode {filter:?}");
+        }
+    }
+
+    #[test]
+    fn nondeterminism_branches_instances() {
+        // Two variables with the same constraint: an 'M' event can bind
+        // either; two 'M' events yield both assignments.
+        let p = Pattern::builder()
+            .set(|s| s.var("x").var("y"))
+            .cond_const("x", "L", CmpOp::Eq, "M")
+            .cond_const("y", "L", CmpOp::Eq, "M")
+            .within(Duration::ticks(100))
+            .build()
+            .unwrap();
+        let a = automaton(p);
+        let ms = run(&a, &rel(&[(0, 1, "M"), (1, 1, "M")]));
+        // x/e1,y/e2 and y/e1,x/e2 — both are raw matches.
+        assert_eq!(ms.len(), 2);
+        let mut sets: Vec<Vec<String>> = ms.iter().map(|m| names(&a, m)).collect();
+        sets.sort();
+        assert_eq!(
+            sets,
+            vec![
+                vec!["x/e1".to_string(), "y/e2".to_string()],
+                vec!["y/e1".to_string(), "x/e2".to_string()],
+            ]
+        );
+    }
+
+    #[test]
+    fn max_instances_cap_panics_when_exceeded() {
+        let p = Pattern::builder()
+            .set(|s| s.var("x").var("y").var("z"))
+            .cond_const("x", "L", CmpOp::Eq, "M")
+            .cond_const("y", "L", CmpOp::Eq, "M")
+            .cond_const("z", "L", CmpOp::Eq, "M")
+            .within(Duration::ticks(1000))
+            .build()
+            .unwrap();
+        let a = automaton(p);
+        let rows: Vec<(i64, i64, &str)> = (0..20).map(|i| (i, 1, "M")).collect();
+        let r = rel(&rows);
+        let opts = ExecOptions {
+            max_instances: Some(2),
+            ..ExecOptions::default()
+        };
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute(&a, &r, &opts, &mut NoProbe)
+        }));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn skip_till_any_match_recovers_skipped_runs() {
+        // ⟨{a},{x,y}⟩ on A X A Y: skip-till-next-match greedily binds the
+        // first A…X…? — the run that waits for the second A only exists
+        // under skip-till-any-match.
+        let p = Pattern::builder()
+            .set(|s| s.var("a"))
+            .set(|s| s.var("x").var("y"))
+            .cond_const("a", "L", CmpOp::Eq, "A")
+            .cond_const("x", "L", CmpOp::Eq, "X")
+            .cond_const("y", "L", CmpOp::Eq, "A")
+            .within(Duration::ticks(100))
+            .build()
+            .unwrap();
+        let a = automaton(p);
+        let r = rel(&[(0, 1, "A"), (1, 1, "X"), (2, 1, "A"), (3, 1, "A")]);
+
+        let stnm = run(&a, &r);
+        let opts = ExecOptions {
+            selection: EventSelection::SkipTillAnyMatch,
+            ..ExecOptions::default()
+        };
+        let mut stam = execute(&a, &r, &opts, &mut NoProbe);
+        stam.sort();
+        stam.dedup();
+        // STNM: instance at e1 binds a; e2 binds x; e3 binds y → one run
+        // {a/e1,x/e2,y/e3}; the variant ending y/e4 requires *skipping*
+        // e3 while x was already bound — impossible greedily.
+        assert!(stnm
+            .iter()
+            .all(|m| !m.bindings.contains(&(ses_pattern::VarId(2), EventId(3)))
+                || m.bindings.contains(&(ses_pattern::VarId(0), EventId(2)))),
+            "greedy runs cannot skip e3 for y");
+        // STAM is a superset and contains the skipped variant.
+        for m in &stnm {
+            assert!(stam.contains(m), "STAM must contain every greedy run");
+        }
+        assert!(
+            stam.iter().any(|m| m.bindings
+                == vec![
+                    (ses_pattern::VarId(0), EventId(0)),
+                    (ses_pattern::VarId(1), EventId(1)),
+                    (ses_pattern::VarId(2), EventId(3)),
+                ]),
+            "{stam:?}"
+        );
+    }
+
+    #[test]
+    fn skip_till_any_match_explodes_instances() {
+        // The cost of completeness: on a stream of n same-type events,
+        // STAM's |Ω| grows exponentially while STNM stays polynomial.
+        let p = Pattern::builder()
+            .set(|s| s.plus("p"))
+            .cond_const("p", "L", CmpOp::Eq, "M")
+            .within(Duration::ticks(1000))
+            .build()
+            .unwrap();
+        let a = automaton(p);
+        let rows: Vec<(i64, i64, &str)> = (0..10).map(|i| (i, 1, "M")).collect();
+        let r = rel(&rows);
+
+        struct MaxOmega(usize);
+        impl crate::Probe for MaxOmega {
+            fn omega(&mut self, n: usize) {
+                self.0 = self.0.max(n);
+            }
+        }
+        let mut stnm = MaxOmega(0);
+        execute(&a, &r, &ExecOptions::default(), &mut stnm);
+        let mut stam = MaxOmega(0);
+        execute(
+            &a,
+            &r,
+            &ExecOptions {
+                selection: EventSelection::SkipTillAnyMatch,
+                ..ExecOptions::default()
+            },
+            &mut stam,
+        );
+        assert!(stnm.0 <= 10, "greedy p+ keeps one instance per start");
+        assert!(
+            stam.0 > 100,
+            "any-match explores every subset: got {}",
+            stam.0
+        );
+    }
+
+    #[test]
+    fn type_precheck_is_semantics_neutral() {
+        // Same results with and without the per-event variable mask, for
+        // every selection strategy and filter mode.
+        let p = Pattern::builder()
+            .set(|s| s.var("x").plus("y"))
+            .set(|s| s.var("b"))
+            .cond_const("x", "L", CmpOp::Eq, "M")
+            .cond_const("y", "L", CmpOp::Eq, "M")
+            .cond_const("b", "L", CmpOp::Eq, "B")
+            .cond_vars("x", "ID", CmpOp::Eq, "b", "ID")
+            .within(Duration::ticks(50))
+            .build()
+            .unwrap();
+        let a = automaton(p);
+        let r = rel(&[
+            (0, 1, "M"),
+            (1, 2, "M"),
+            (2, 1, "M"),
+            (3, 1, "Z"),
+            (4, 1, "B"),
+            (5, 2, "B"),
+        ]);
+        for selection in [
+            EventSelection::SkipTillNextMatch,
+            EventSelection::SkipTillAnyMatch,
+        ] {
+            for filter in [FilterMode::Off, FilterMode::Paper] {
+                let run = |precheck: bool| {
+                    let opts = ExecOptions {
+                        selection,
+                        filter,
+                        type_precheck: precheck,
+                        ..ExecOptions::default()
+                    };
+                    let mut out = execute(&a, &r, &opts, &mut NoProbe);
+                    out.sort();
+                    out
+                };
+                assert_eq!(run(true), run(false), "{selection:?}/{filter:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_relation_yields_nothing() {
+        let p = Pattern::builder()
+            .set(|s| s.var("a"))
+            .cond_const("a", "L", CmpOp::Eq, "A")
+            .build()
+            .unwrap();
+        let a = automaton(p);
+        assert!(run(&a, &Relation::new(schema())).is_empty());
+    }
+}

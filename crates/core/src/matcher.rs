@@ -1,0 +1,302 @@
+//! High-level matching API.
+//!
+//! [`Matcher`] bundles automaton construction, execution options, and the
+//! Definition-2 semantics filter behind one call:
+//!
+//! ```
+//! use ses_event::{AttrType, CmpOp, Duration, Schema, Timestamp, Value, Relation};
+//! use ses_pattern::Pattern;
+//! use ses_core::Matcher;
+//!
+//! let schema = Schema::builder()
+//!     .attr("L", AttrType::Str)
+//!     .build()
+//!     .unwrap();
+//! let pattern = Pattern::builder()
+//!     .set(|s| s.var("a").var("b"))
+//!     .cond_const("a", "L", CmpOp::Eq, "A")
+//!     .cond_const("b", "L", CmpOp::Eq, "B")
+//!     .within(Duration::ticks(10))
+//!     .build()
+//!     .unwrap();
+//!
+//! let matcher = Matcher::compile(&pattern, &schema).unwrap();
+//!
+//! let mut rel = Relation::new(schema);
+//! rel.push_values(Timestamp::new(0), [Value::from("B")]).unwrap();
+//! rel.push_values(Timestamp::new(1), [Value::from("A")]).unwrap();
+//!
+//! let matches = matcher.find(&rel);
+//! assert_eq!(matches.len(), 1); // B and A in any order
+//! ```
+
+use ses_event::{Relation, Schema};
+use ses_pattern::{CompiledPattern, Pattern};
+
+use crate::automaton::{Automaton, DEFAULT_MAX_STATES};
+use crate::engine::{execute, EventSelection, ExecOptions};
+use crate::filter::FilterMode;
+use crate::matches::Match;
+use crate::probe::{NoProbe, Probe};
+use crate::semantics::{select, MatchSemantics};
+use crate::CoreError;
+
+/// Configuration for a [`Matcher`].
+#[derive(Debug, Clone)]
+pub struct MatcherOptions {
+    /// Event pre-filtering (§4.5). Default: the paper's filter.
+    pub filter: FilterMode,
+    /// Event selection strategy. Default: the paper's
+    /// skip-till-next-match; see [`EventSelection::SkipTillAnyMatch`]
+    /// for the Γ-complete extension.
+    pub selection: EventSelection,
+    /// Match selection semantics. Default: [`MatchSemantics::Maximal`],
+    /// the paper's worked query answers.
+    pub semantics: MatchSemantics,
+    /// Emit accepting instances at end of input. Default: `true`.
+    pub flush_at_end: bool,
+    /// Per-event variable precheck optimization (see
+    /// [`ExecOptions::type_precheck`]). Default: `true`.
+    pub type_precheck: bool,
+    /// Apply [`ses_pattern::equality_closure`] before compiling: derive
+    /// the transitive closure of `=` conditions so every intermediate
+    /// transition is fully correlated. Semantically conservative w.r.t.
+    /// Definition 2, but under greedy skip-till-next-match it prevents
+    /// instances from derailing on under-correlated patterns (strictly
+    /// more matches found). Default: `false` (paper-faithful Θ).
+    pub derive_equalities: bool,
+    /// State budget for the powerset construction.
+    pub max_states: usize,
+    /// Optional hard cap on simultaneous instances (tests/guards only).
+    pub max_instances: Option<usize>,
+}
+
+impl Default for MatcherOptions {
+    fn default() -> Self {
+        MatcherOptions {
+            filter: FilterMode::Paper,
+            selection: EventSelection::SkipTillNextMatch,
+            semantics: MatchSemantics::Maximal,
+            flush_at_end: true,
+            type_precheck: true,
+            derive_equalities: false,
+            max_states: DEFAULT_MAX_STATES,
+            max_instances: None,
+        }
+    }
+}
+
+/// A compiled, reusable matcher for one pattern over one schema.
+#[derive(Debug, Clone)]
+pub struct Matcher {
+    automaton: Automaton,
+    options: MatcherOptions,
+}
+
+impl Matcher {
+    /// Compiles `pattern` against `schema` with default options.
+    pub fn compile(pattern: &Pattern, schema: &Schema) -> Result<Matcher, CoreError> {
+        Matcher::with_options(pattern, schema, MatcherOptions::default())
+    }
+
+    /// Compiles `pattern` against `schema` with explicit options.
+    pub fn with_options(
+        pattern: &Pattern,
+        schema: &Schema,
+        options: MatcherOptions,
+    ) -> Result<Matcher, CoreError> {
+        let compiled = if options.derive_equalities {
+            ses_pattern::equality_closure(pattern).compile(schema)?
+        } else {
+            pattern.compile(schema)?
+        };
+        Matcher::from_compiled(compiled, options)
+    }
+
+    /// Builds a matcher from an already compiled pattern.
+    pub fn from_compiled(
+        compiled: CompiledPattern,
+        options: MatcherOptions,
+    ) -> Result<Matcher, CoreError> {
+        let automaton = Automaton::build_with_limit(compiled, options.max_states)?;
+        Ok(Matcher { automaton, options })
+    }
+
+    /// The underlying SES automaton.
+    pub fn automaton(&self) -> &Automaton {
+        &self.automaton
+    }
+
+    /// The matcher's options.
+    pub fn options(&self) -> &MatcherOptions {
+        &self.options
+    }
+
+    /// Finds all matching substitutions in `relation`.
+    pub fn find(&self, relation: &Relation) -> Vec<Match> {
+        self.find_with_probe(relation, &mut NoProbe)
+    }
+
+    /// Finds all matching substitutions, reporting engine events to
+    /// `probe`.
+    pub fn find_with_probe<P: Probe>(&self, relation: &Relation, probe: &mut P) -> Vec<Match> {
+        let exec = ExecOptions {
+            filter: self.options.filter,
+            selection: self.options.selection,
+            flush_at_end: self.options.flush_at_end,
+            type_precheck: self.options.type_precheck,
+            max_instances: self.options.max_instances,
+        };
+        let raw = execute(&self.automaton, relation, &exec, probe);
+        let raw = crate::negation::filter_negations(raw, relation, self.automaton.pattern());
+        select(raw, relation, self.automaton.pattern(), self.options.semantics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ses_event::{AttrType, CmpOp, Duration, Timestamp, Value};
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attr("ID", AttrType::Int)
+            .attr("L", AttrType::Str)
+            .build()
+            .unwrap()
+    }
+
+    fn rel(rows: &[(i64, i64, &str)]) -> Relation {
+        let mut r = Relation::new(schema());
+        for (ts, id, l) in rows {
+            r.push_values(Timestamp::new(*ts), [Value::from(*id), Value::from(*l)])
+                .unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn paper_semantics_collapses_symmetric_runs() {
+        // ⟨{x,y}⟩ same-type: raw runs {x/e1,y/e2} and {y/e1,x/e2}. Both
+        // satisfy Definition 2 (neither violates cond. 4: the alternative
+        // binding at e1 is not strictly inside (e1, e2)... it IS the min).
+        let p = Pattern::builder()
+            .set(|s| s.var("x").var("y"))
+            .cond_const("x", "L", CmpOp::Eq, "M")
+            .cond_const("y", "L", CmpOp::Eq, "M")
+            .within(Duration::ticks(100))
+            .build()
+            .unwrap();
+        let m = Matcher::compile(&p, &schema()).unwrap();
+        let out = m.find(&rel(&[(0, 1, "M"), (1, 1, "M")]));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn semantics_modes_on_group_extension() {
+        // ⟨{p+},{b}⟩ on P P B: one accepting run per starting P.
+        let p = Pattern::builder()
+            .set(|s| s.plus("p"))
+            .set(|s| s.var("b"))
+            .cond_const("p", "L", CmpOp::Eq, "P")
+            .cond_const("b", "L", CmpOp::Eq, "B")
+            .within(Duration::ticks(100))
+            .build()
+            .unwrap();
+        let r = rel(&[(0, 1, "P"), (1, 1, "P"), (2, 1, "B")]);
+
+        let count = |sem: MatchSemantics| {
+            let m = Matcher::with_options(
+                &p,
+                &schema(),
+                MatcherOptions {
+                    semantics: sem,
+                    ..MatcherOptions::default()
+                },
+            )
+            .unwrap();
+            m.find(&r).len()
+        };
+        // Definition 2 keeps the suffix run {p/e2, b/e3} (different first
+        // binding); Maximal drops it as a proper subset of the full match.
+        assert_eq!(count(MatchSemantics::AllRuns), 2);
+        assert_eq!(count(MatchSemantics::Definition2), 2);
+        assert_eq!(count(MatchSemantics::Maximal), 1);
+
+        let m = Matcher::compile(&p, &schema()).unwrap();
+        let out = m.find(&r);
+        assert_eq!(out[0].to_string(), "{v0/e1, v0/e2, v1/e3}");
+    }
+
+    #[test]
+    fn options_expose_filter_downgrade_behaviour() {
+        let p = Pattern::builder()
+            .set(|s| s.var("a"))
+            .cond_const("a", "L", CmpOp::Eq, "A")
+            .within(Duration::ticks(5))
+            .build()
+            .unwrap();
+        let m = Matcher::with_options(
+            &p,
+            &schema(),
+            MatcherOptions {
+                filter: FilterMode::PerVariable,
+                ..MatcherOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(m.options().filter, FilterMode::PerVariable);
+        assert_eq!(m.find(&rel(&[(0, 1, "A")])).len(), 1);
+    }
+
+    #[test]
+    fn equality_closure_rescues_star_correlated_patterns() {
+        // Star: a.ID = hub.ID, b.ID = hub.ID — the a–b pair is
+        // unconstrained, so a greedy instance in state {a} absorbs a
+        // foreign b and derails. With derive_equalities the implied
+        // a.ID = b.ID keeps it on track.
+        let p = Pattern::builder()
+            .set(|s| s.var("a").var("b").var("hub"))
+            .cond_const("a", "L", CmpOp::Eq, "A")
+            .cond_const("b", "L", CmpOp::Eq, "B")
+            .cond_const("hub", "L", CmpOp::Eq, "H")
+            .cond_vars("a", "ID", CmpOp::Eq, "hub", "ID")
+            .cond_vars("b", "ID", CmpOp::Eq, "hub", "ID")
+            .within(Duration::ticks(100))
+            .build()
+            .unwrap();
+        // Patient 1's A, then patient 2's B (the trap), then patient 1's
+        // B and H.
+        let r = rel(&[(0, 1, "A"), (1, 2, "B"), (2, 1, "B"), (3, 1, "H")]);
+
+        let plain = Matcher::compile(&p, &schema()).unwrap().find(&r);
+        assert!(plain.is_empty(), "greedy star pattern derails");
+
+        let closed = Matcher::with_options(
+            &p,
+            &schema(),
+            MatcherOptions {
+                derive_equalities: true,
+                ..MatcherOptions::default()
+            },
+        )
+        .unwrap();
+        let found = closed.find(&r);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].to_string(), "{v0/e1, v1/e3, v2/e4}");
+    }
+
+    #[test]
+    fn matcher_is_reusable_across_relations() {
+        let p = Pattern::builder()
+            .set(|s| s.var("a"))
+            .cond_const("a", "L", CmpOp::Eq, "A")
+            .within(Duration::ticks(5))
+            .build()
+            .unwrap();
+        let m = Matcher::compile(&p, &schema()).unwrap();
+        assert_eq!(m.find(&rel(&[(0, 1, "A")])).len(), 1);
+        assert_eq!(m.find(&rel(&[(0, 1, "B")])).len(), 0);
+        assert_eq!(m.find(&rel(&[(0, 1, "A"), (100, 2, "A")])).len(), 2);
+    }
+}

@@ -1,0 +1,219 @@
+//! Aggregation measures over matches.
+//!
+//! A match binds concrete events; downstream analyses usually want
+//! numbers derived from them — "total Prednisone dose", "number of
+//! administrations", "worst toxicity grade". [`aggregate`] evaluates such
+//! measures over the events one variable bound (a singleton yields one
+//! event, a group variable one or more).
+
+use ses_event::{AttrId, Relation, Value};
+use ses_pattern::VarId;
+
+use crate::matches::Match;
+
+/// An aggregation function over the events bound to one variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// Number of bound events.
+    Count,
+    /// Sum of a numeric attribute.
+    Sum,
+    /// Arithmetic mean of a numeric attribute.
+    Avg,
+    /// Minimum attribute value (any comparable type).
+    Min,
+    /// Maximum attribute value (any comparable type).
+    Max,
+    /// Attribute value of the chronologically first binding.
+    First,
+    /// Attribute value of the chronologically last binding.
+    Last,
+}
+
+/// Evaluates `agg` over `attr` of the events `m` binds to `var`.
+///
+/// Returns `None` when the variable has no bindings, or when a numeric
+/// aggregate meets a non-numeric value.
+pub fn aggregate(
+    m: &Match,
+    var: VarId,
+    attr: AttrId,
+    agg: Aggregate,
+    relation: &Relation,
+) -> Option<Value> {
+    let values: Vec<&Value> = m
+        .events_of(var)
+        .map(|e| relation.event(e).value(attr))
+        .collect();
+    if values.is_empty() {
+        return None;
+    }
+    match agg {
+        Aggregate::Count => Some(Value::Int(values.len() as i64)),
+        Aggregate::First => Some(values[0].clone()),
+        Aggregate::Last => Some(values[values.len() - 1].clone()),
+        Aggregate::Min => {
+            let mut best = values[0];
+            for v in &values[1..] {
+                if v.try_cmp(best)? == std::cmp::Ordering::Less {
+                    best = v;
+                }
+            }
+            Some(best.clone())
+        }
+        Aggregate::Max => {
+            let mut best = values[0];
+            for v in &values[1..] {
+                if v.try_cmp(best)? == std::cmp::Ordering::Greater {
+                    best = v;
+                }
+            }
+            Some(best.clone())
+        }
+        Aggregate::Sum | Aggregate::Avg => {
+            let mut sum = 0.0f64;
+            let mut all_int = true;
+            for v in &values {
+                match v {
+                    Value::Int(i) => sum += *i as f64,
+                    Value::Float(f) => {
+                        all_int = false;
+                        sum += f;
+                    }
+                    _ => return None,
+                }
+            }
+            if agg == Aggregate::Avg {
+                Some(Value::Float(sum / values.len() as f64))
+            } else if all_int {
+                Some(Value::Int(sum as i64))
+            } else {
+                Some(Value::Float(sum))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ses_event::{AttrType, EventId, Schema, Timestamp};
+
+    fn setup() -> (Relation, Match) {
+        let schema = Schema::builder()
+            .attr("L", AttrType::Str)
+            .attr("V", AttrType::Float)
+            .attr("N", AttrType::Int)
+            .build()
+            .unwrap();
+        let mut rel = Relation::new(schema);
+        for (t, l, v, n) in [
+            (0, "P", 100.0, 1i64),
+            (1, "P", 110.0, 2),
+            (2, "P", 90.0, 3),
+            (3, "B", 1.0, 4),
+        ] {
+            rel.push_values(
+                Timestamp::new(t),
+                [Value::from(l), Value::from(v), Value::from(n)],
+            )
+            .unwrap();
+        }
+        // p+ bound to e1..e3, b to e4.
+        let m = Match::from_bindings(vec![
+            (VarId(0), EventId(0)),
+            (VarId(0), EventId(1)),
+            (VarId(0), EventId(2)),
+            (VarId(1), EventId(3)),
+        ]);
+        (rel, m)
+    }
+
+    #[test]
+    fn numeric_aggregates() {
+        let (rel, m) = setup();
+        let v = AttrId(1);
+        assert_eq!(
+            aggregate(&m, VarId(0), v, Aggregate::Count, &rel),
+            Some(Value::Int(3))
+        );
+        assert_eq!(
+            aggregate(&m, VarId(0), v, Aggregate::Sum, &rel),
+            Some(Value::Float(300.0))
+        );
+        assert_eq!(
+            aggregate(&m, VarId(0), v, Aggregate::Avg, &rel),
+            Some(Value::Float(100.0))
+        );
+        assert_eq!(
+            aggregate(&m, VarId(0), v, Aggregate::Min, &rel),
+            Some(Value::Float(90.0))
+        );
+        assert_eq!(
+            aggregate(&m, VarId(0), v, Aggregate::Max, &rel),
+            Some(Value::Float(110.0))
+        );
+    }
+
+    #[test]
+    fn int_sum_stays_int() {
+        let (rel, m) = setup();
+        let n = AttrId(2);
+        assert_eq!(
+            aggregate(&m, VarId(0), n, Aggregate::Sum, &rel),
+            Some(Value::Int(6))
+        );
+        assert_eq!(
+            aggregate(&m, VarId(0), n, Aggregate::Avg, &rel),
+            Some(Value::Float(2.0))
+        );
+    }
+
+    #[test]
+    fn first_last_follow_chronology() {
+        let (rel, m) = setup();
+        let v = AttrId(1);
+        assert_eq!(
+            aggregate(&m, VarId(0), v, Aggregate::First, &rel),
+            Some(Value::Float(100.0))
+        );
+        assert_eq!(
+            aggregate(&m, VarId(0), v, Aggregate::Last, &rel),
+            Some(Value::Float(90.0))
+        );
+    }
+
+    #[test]
+    fn string_min_max_but_not_sum() {
+        let (rel, m) = setup();
+        let l = AttrId(0);
+        assert_eq!(
+            aggregate(&m, VarId(0), l, Aggregate::Max, &rel),
+            Some(Value::from("P"))
+        );
+        assert_eq!(aggregate(&m, VarId(0), l, Aggregate::Sum, &rel), None);
+        assert_eq!(aggregate(&m, VarId(0), l, Aggregate::Avg, &rel), None);
+    }
+
+    #[test]
+    fn unbound_variable_yields_none() {
+        let (rel, m) = setup();
+        assert_eq!(
+            aggregate(&m, VarId(9), AttrId(1), Aggregate::Count, &rel),
+            None
+        );
+    }
+
+    #[test]
+    fn singleton_variable() {
+        let (rel, m) = setup();
+        assert_eq!(
+            aggregate(&m, VarId(1), AttrId(1), Aggregate::Count, &rel),
+            Some(Value::Int(1))
+        );
+        assert_eq!(
+            aggregate(&m, VarId(1), AttrId(1), Aggregate::Sum, &rel),
+            Some(Value::Float(1.0))
+        );
+    }
+}

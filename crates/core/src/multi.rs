@@ -1,0 +1,236 @@
+//! Multi-query matching: evaluate many patterns over one relation in a
+//! single pass.
+//!
+//! A monitoring deployment rarely runs one query. [`MultiMatcher`] steps
+//! every compiled matcher's execution in lock-step over the shared input,
+//! so the relation is traversed once regardless of how many patterns are
+//! registered, and per-query probes sample `|Ω|` at the same instants
+//! (the same mechanism the brute-force baseline uses for its bank).
+
+use ses_event::Relation;
+
+use crate::engine::{ExecOptions, Execution};
+use crate::matcher::Matcher;
+use crate::matches::Match;
+use crate::probe::{NoProbe, Probe};
+use crate::semantics::select;
+
+/// A bank of independent matchers evaluated in one pass.
+#[derive(Debug, Default)]
+pub struct MultiMatcher {
+    matchers: Vec<(String, Matcher)>,
+}
+
+impl MultiMatcher {
+    /// An empty bank.
+    pub fn new() -> MultiMatcher {
+        MultiMatcher::default()
+    }
+
+    /// Registers a named matcher; returns `self` for chaining.
+    pub fn with(mut self, name: impl Into<String>, matcher: Matcher) -> MultiMatcher {
+        self.matchers.push((name.into(), matcher));
+        self
+    }
+
+    /// Number of registered queries.
+    pub fn len(&self) -> usize {
+        self.matchers.len()
+    }
+
+    /// `true` iff no queries are registered.
+    pub fn is_empty(&self) -> bool {
+        self.matchers.is_empty()
+    }
+
+    /// The registered query names, in registration order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.matchers.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Evaluates every query over `relation` in one pass; results are
+    /// returned per query, in registration order, each under its own
+    /// matcher's semantics. Identical to running each matcher alone.
+    pub fn find_all(&self, relation: &Relation) -> Vec<(String, Vec<Match>)> {
+        self.find_all_with_probe(relation, &mut NoProbe)
+    }
+
+    /// [`MultiMatcher::find_all`] with a shared probe (receives the
+    /// union of all queries' engine callbacks; `omega` reports the sum
+    /// across queries after each event).
+    pub fn find_all_with_probe<P: Probe>(
+        &self,
+        relation: &Relation,
+        probe: &mut P,
+    ) -> Vec<(String, Vec<Match>)> {
+        struct SuppressOmega<'p, P: Probe>(&'p mut P);
+        impl<P: Probe> Probe for SuppressOmega<'_, P> {
+            fn event_read(&mut self) {}
+            fn event_filtered(&mut self) {
+                self.0.event_filtered();
+            }
+            fn instance_spawned(&mut self) {
+                self.0.instance_spawned();
+            }
+            fn instance_branched(&mut self) {
+                self.0.instance_branched();
+            }
+            fn instance_expired(&mut self) {
+                self.0.instance_expired();
+            }
+            fn transition_evaluated(&mut self) {
+                self.0.transition_evaluated();
+            }
+            fn transition_taken(&mut self) {
+                self.0.transition_taken();
+            }
+            fn match_emitted(&mut self) {
+                self.0.match_emitted();
+            }
+            fn omega(&mut self, _n: usize) {}
+        }
+
+        let mut executions: Vec<Execution<'_>> = self
+            .matchers
+            .iter()
+            .map(|(_, m)| {
+                let o = m.options();
+                Execution::new(
+                    m.automaton(),
+                    relation,
+                    ExecOptions {
+                        filter: o.filter,
+                        selection: o.selection,
+                        flush_at_end: o.flush_at_end,
+                        type_precheck: o.type_precheck,
+                        max_instances: o.max_instances,
+                    },
+                )
+            })
+            .collect();
+
+        let mut shared = SuppressOmega(probe);
+        for _ in 0..relation.len() {
+            for exec in &mut executions {
+                exec.step(&mut shared);
+            }
+            let total: usize = executions.iter().map(Execution::omega_len).sum();
+            shared.0.omega(total);
+            shared.0.event_read();
+        }
+
+        executions
+            .into_iter()
+            .zip(&self.matchers)
+            .map(|(exec, (name, matcher))| {
+                let raw = exec.finish(&mut shared);
+                let raw = crate::negation::filter_negations(
+                    raw,
+                    relation,
+                    matcher.automaton().pattern(),
+                );
+                let matches = select(
+                    raw,
+                    relation,
+                    matcher.automaton().pattern(),
+                    matcher.options().semantics,
+                );
+                (name.clone(), matches)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ses_event::{AttrType, CmpOp, Duration, Schema, Timestamp, Value};
+    use ses_pattern::Pattern;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attr("ID", AttrType::Int)
+            .attr("L", AttrType::Str)
+            .build()
+            .unwrap()
+    }
+
+    fn rel(rows: &[(i64, i64, &str)]) -> Relation {
+        let mut r = Relation::new(schema());
+        for (ts, id, l) in rows {
+            r.push_values(Timestamp::new(*ts), [Value::from(*id), Value::from(*l)])
+                .unwrap();
+        }
+        r
+    }
+
+    fn seq(first: &str, second: &str) -> Pattern {
+        Pattern::builder()
+            .set(|s| s.var("a"))
+            .set(|s| s.var("b"))
+            .cond_const("a", "L", CmpOp::Eq, first)
+            .cond_const("b", "L", CmpOp::Eq, second)
+            .within(Duration::ticks(100))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn multi_matches_equal_individual_runs() {
+        let schema = schema();
+        let r = rel(&[
+            (0, 1, "A"),
+            (1, 1, "B"),
+            (2, 1, "C"),
+            (3, 1, "A"),
+            (4, 1, "C"),
+        ]);
+        let q_ab = Matcher::compile(&seq("A", "B"), &schema).unwrap();
+        let q_ac = Matcher::compile(&seq("A", "C"), &schema).unwrap();
+        let q_bc = Matcher::compile(&seq("B", "C"), &schema).unwrap();
+
+        let multi = MultiMatcher::new()
+            .with("ab", q_ab.clone())
+            .with("ac", q_ac.clone())
+            .with("bc", q_bc.clone());
+        assert_eq!(multi.len(), 3);
+        assert_eq!(multi.names().collect::<Vec<_>>(), vec!["ab", "ac", "bc"]);
+
+        let grouped = multi.find_all(&r);
+        for ((name, got), single) in grouped.iter().zip([&q_ab, &q_ac, &q_bc]) {
+            let expected = single.find(&r);
+            assert_eq!(got, &expected, "query {name}");
+        }
+        // Sanity on actual contents.
+        assert_eq!(grouped[0].1.len(), 1); // A→B
+        assert_eq!(grouped[1].1.len(), 2); // A→C twice
+        assert_eq!(grouped[2].1.len(), 1); // B→C
+    }
+
+    #[test]
+    fn shared_probe_sums_omega() {
+        struct MaxOmega(usize);
+        impl Probe for MaxOmega {
+            fn omega(&mut self, n: usize) {
+                self.0 = self.0.max(n);
+            }
+        }
+        let schema = schema();
+        let r = rel(&[(0, 1, "A"), (1, 1, "B"), (2, 1, "C")]);
+        let multi = MultiMatcher::new()
+            .with("ab", Matcher::compile(&seq("A", "B"), &schema).unwrap())
+            .with("ac", Matcher::compile(&seq("A", "C"), &schema).unwrap());
+        let mut probe = MaxOmega(0);
+        multi.find_all_with_probe(&r, &mut probe);
+        // Both queries hold an instance after e1 → the summed |Ω| ≥ 2.
+        assert!(probe.0 >= 2, "summed |Ω| = {}", probe.0);
+    }
+
+    #[test]
+    fn empty_bank_is_fine() {
+        let r = rel(&[(0, 1, "A")]);
+        let multi = MultiMatcher::new();
+        assert!(multi.is_empty());
+        assert!(multi.find_all(&r).is_empty());
+    }
+}

@@ -1,0 +1,226 @@
+//! Enforcement of negated variables (gap constraints) on candidate
+//! matches.
+//!
+//! A negation `¬x` between event set patterns `Vi` and `Vi+1` (see
+//! [`ses_pattern::Negation`]) rejects a candidate match when any event
+//! strictly inside the gap — after the chronologically last `Vi` binding
+//! and before the first `Vi+1` binding — satisfies all of `x`'s
+//! conditions against the candidate's own bindings. Negations are
+//! checked on raw candidates *before* the Definition-2 semantics filter,
+//! so maximality never resurrects a negated match's subsets.
+
+use ses_event::{EventId, Relation, Timestamp};
+use ses_pattern::{CompiledPattern, VarId};
+
+use crate::engine::RawMatch;
+
+/// Retains only the raw matches that satisfy every negation. A no-op
+/// (and allocation-free) for patterns without negations.
+pub fn filter_negations(
+    raw: Vec<RawMatch>,
+    relation: &Relation,
+    pattern: &CompiledPattern,
+) -> Vec<RawMatch> {
+    if pattern.negations().is_empty() {
+        return raw;
+    }
+    raw.into_iter()
+        .filter(|m| passes_negations(m, relation, pattern))
+        .collect()
+}
+
+/// Whether one raw match satisfies every negation of the pattern.
+pub fn passes_negations(m: &RawMatch, relation: &Relation, pattern: &CompiledPattern) -> bool {
+    let p = pattern.pattern();
+    let bindings_of = |var: VarId| -> Vec<EventId> {
+        m.bindings
+            .iter()
+            .filter(|&&(v, _)| v == var)
+            .map(|&(_, e)| e)
+            .collect()
+    };
+
+    for neg in pattern.negations() {
+        let set_ts = |set_idx: usize| -> Vec<Timestamp> {
+            p.set(set_idx)
+                .iter()
+                .flat_map(|&v| bindings_of(v))
+                .map(|e| relation.event(e).ts())
+                .collect()
+        };
+        let Some(gap_lo) = set_ts(neg.after_set).into_iter().max() else {
+            continue; // incomplete candidate (cannot happen for accepts)
+        };
+        let Some(gap_hi) = set_ts(neg.after_set + 1).into_iter().min() else {
+            continue;
+        };
+        if gap_lo >= gap_hi {
+            continue; // empty gap
+        }
+        // Events strictly inside (gap_lo, gap_hi); ids are chronological,
+        // so binary-search the boundaries.
+        let events = relation.events();
+        let from = events.partition_point(|e| e.ts() <= gap_lo);
+        let to = events.partition_point(|e| e.ts() < gap_hi);
+        for event in &events[from..to] {
+            if neg.violated_by(event, relation, &bindings_of) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Matcher, MatcherOptions, MatchSemantics};
+    use ses_event::{AttrType, CmpOp, Duration, Schema, Value};
+    use ses_pattern::Pattern;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attr("ID", AttrType::Int)
+            .attr("L", AttrType::Str)
+            .build()
+            .unwrap()
+    }
+
+    fn rel(rows: &[(i64, i64, &str)]) -> Relation {
+        let mut r = Relation::new(schema());
+        for (t, id, l) in rows {
+            r.push_values(Timestamp::new(*t), [Value::from(*id), Value::from(*l)])
+                .unwrap();
+        }
+        r
+    }
+
+    /// ⟨{a}, ¬x, {b}⟩: no X event between the A and the B.
+    fn neg_pattern(correlated: bool) -> Pattern {
+        let mut b = Pattern::builder()
+            .set(|s| s.var("a"))
+            .negate("x")
+            .set(|s| s.var("b"))
+            .cond_const("a", "L", CmpOp::Eq, "A")
+            .cond_const("b", "L", CmpOp::Eq, "B")
+            .neg_cond_const("x", "L", CmpOp::Eq, "X");
+        if correlated {
+            b = b.neg_cond_vars("x", "ID", CmpOp::Eq, "a", "ID");
+        }
+        b.within(Duration::ticks(100)).build().unwrap()
+    }
+
+    #[test]
+    fn negation_blocks_gap_events() {
+        let m = Matcher::compile(&neg_pattern(false), &schema()).unwrap();
+        // A X B → blocked; A Y B → allowed.
+        assert!(m.find(&rel(&[(0, 1, "A"), (1, 1, "X"), (2, 1, "B")])).is_empty());
+        assert_eq!(m.find(&rel(&[(0, 1, "A"), (1, 1, "Y"), (2, 1, "B")])).len(), 1);
+    }
+
+    #[test]
+    fn negation_only_guards_the_gap() {
+        let m = Matcher::compile(&neg_pattern(false), &schema()).unwrap();
+        // X before A or after B is harmless.
+        assert_eq!(m.find(&rel(&[(0, 1, "X"), (1, 1, "A"), (2, 1, "B")])).len(), 1);
+        assert_eq!(m.find(&rel(&[(0, 1, "A"), (1, 1, "B"), (2, 1, "X")])).len(), 1);
+        // X exactly at the boundary timestamps is *not* inside the open
+        // interval.
+        let tie = rel(&[(0, 1, "A"), (0, 1, "X"), (2, 1, "B")]);
+        assert_eq!(m.find(&tie).len(), 1);
+    }
+
+    #[test]
+    fn correlated_negation_scopes_to_bindings() {
+        let m = Matcher::compile(&neg_pattern(true), &schema()).unwrap();
+        // The gap X belongs to another patient → allowed.
+        assert_eq!(
+            m.find(&rel(&[(0, 1, "A"), (1, 2, "X"), (2, 1, "B")])).len(),
+            1
+        );
+        // Same patient → blocked.
+        assert!(m
+            .find(&rel(&[(0, 1, "A"), (1, 1, "X"), (2, 1, "B")]))
+            .is_empty());
+    }
+
+    #[test]
+    fn negation_applies_before_maximality() {
+        // ⟨{p+}, ¬x, {b}⟩ on P P X B: both the 2-P and the suffix 1-P run
+        // have an X in their gap → nothing survives (maximality cannot
+        // resurrect a shorter variant whose gap is clean, because the gap
+        // is the same).
+        let p = Pattern::builder()
+            .set(|s| s.plus("p"))
+            .negate("x")
+            .set(|s| s.var("b"))
+            .cond_const("p", "L", CmpOp::Eq, "P")
+            .cond_const("b", "L", CmpOp::Eq, "B")
+            .neg_cond_const("x", "L", CmpOp::Eq, "X")
+            .within(Duration::ticks(100))
+            .build()
+            .unwrap();
+        let m = Matcher::compile(&p, &schema()).unwrap();
+        assert!(m
+            .find(&rel(&[(0, 1, "P"), (1, 1, "P"), (2, 1, "X"), (3, 1, "B")]))
+            .is_empty());
+        // Without the X the maximal match returns.
+        assert_eq!(
+            m.find(&rel(&[(0, 1, "P"), (1, 1, "P"), (3, 1, "B")])).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn multi_gap_negations() {
+        // ⟨{a}, ¬x, {b}, ¬y, {c}⟩.
+        let p = Pattern::builder()
+            .set(|s| s.var("a"))
+            .negate("x")
+            .set(|s| s.var("b"))
+            .negate("y")
+            .set(|s| s.var("c"))
+            .cond_const("a", "L", CmpOp::Eq, "A")
+            .cond_const("b", "L", CmpOp::Eq, "B")
+            .cond_const("c", "L", CmpOp::Eq, "C")
+            .neg_cond_const("x", "L", CmpOp::Eq, "X")
+            .neg_cond_const("y", "L", CmpOp::Eq, "Y")
+            .within(Duration::ticks(100))
+            .build()
+            .unwrap();
+        let m = Matcher::compile(&p, &schema()).unwrap();
+        // Y in the first gap is fine; Y in the second gap blocks.
+        assert_eq!(
+            m.find(&rel(&[(0, 1, "A"), (1, 1, "Y"), (2, 1, "B"), (3, 1, "C")])).len(),
+            1
+        );
+        assert!(m
+            .find(&rel(&[(0, 1, "A"), (1, 1, "B"), (2, 1, "Y"), (3, 1, "C")]))
+            .is_empty());
+        assert!(m
+            .find(&rel(&[(0, 1, "A"), (1, 1, "X"), (2, 1, "B"), (3, 1, "C")]))
+            .is_empty());
+    }
+
+    #[test]
+    fn all_semantics_respect_negations() {
+        let pat = neg_pattern(false);
+        let blocked = rel(&[(0, 1, "A"), (1, 1, "X"), (2, 1, "B")]);
+        for semantics in [
+            MatchSemantics::AllRuns,
+            MatchSemantics::Definition2,
+            MatchSemantics::Maximal,
+        ] {
+            let m = Matcher::with_options(
+                &pat,
+                &schema(),
+                MatcherOptions {
+                    semantics,
+                    ..MatcherOptions::default()
+                },
+            )
+            .unwrap();
+            assert!(m.find(&blocked).is_empty(), "{semantics:?}");
+        }
+    }
+}

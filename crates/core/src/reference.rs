@@ -1,0 +1,305 @@
+//! Reference (naive) semantics: a from-scratch validator and enumerator
+//! for matching substitutions.
+//!
+//! [`satisfies_conditions_1_3`] checks a substitution directly against
+//! conditions 1–3 of Definition 2 — full condition decomposition, set
+//! order, window — without any automaton machinery. It serves two roles:
+//!
+//! * the **swap-validity check** of the condition-4 semantics filter
+//!   (`semantics` module);
+//! * an independent **test oracle**: [`enumerate_candidates`] brute-forces
+//!   the substitution space `Γ` of small inputs so property tests can
+//!   cross-validate the engine.
+
+use ses_event::{EventId, Relation};
+use ses_pattern::{CompiledPattern, CompiledRhs, VarId};
+
+/// Checks conditions 1–3 of Definition 2 for a complete substitution.
+///
+/// `bindings` must be sorted by `(event, var)` (the canonical match
+/// order); each singleton variable must be bound exactly once, each group
+/// variable at least once, and events must be pairwise distinct.
+pub fn satisfies_conditions_1_3(
+    pattern: &CompiledPattern,
+    relation: &Relation,
+    bindings: &[(VarId, EventId)],
+) -> bool {
+    let p = pattern.pattern();
+
+    // Structural checks: binding multiplicities and event distinctness.
+    let mut counts = vec![0usize; p.num_vars()];
+    let mut events: Vec<EventId> = Vec::with_capacity(bindings.len());
+    for &(v, e) in bindings {
+        if v.index() >= p.num_vars() {
+            return false;
+        }
+        counts[v.index()] += 1;
+        events.push(e);
+    }
+    events.sort_unstable();
+    if events.windows(2).any(|w| w[0] == w[1]) {
+        return false; // events in a substitution are distinct
+    }
+    for (i, var) in p.variables().iter().enumerate() {
+        let ok = if var.is_group() {
+            counts[i] >= 1
+        } else {
+            counts[i] == 1
+        };
+        if !ok {
+            return false;
+        }
+    }
+
+    let events_of = |v: VarId| {
+        bindings
+            .iter()
+            .filter(move |&&(var, _)| var == v)
+            .map(|&(_, e)| e)
+    };
+
+    // Condition 1: every condition holds for every decomposition.
+    for cond in pattern.conditions() {
+        match &cond.rhs {
+            CompiledRhs::Const(_) => {
+                for e in events_of(cond.lhs_var) {
+                    if !cond.eval_const(relation.event(e)) {
+                        return false;
+                    }
+                }
+            }
+            CompiledRhs::Attr { var, .. } => {
+                if *var == cond.lhs_var {
+                    // Self-condition: each decomposition instantiates both
+                    // occurrences to the same event.
+                    for e in events_of(cond.lhs_var) {
+                        let ev = relation.event(e);
+                        if !cond.eval_vars(ev, ev) {
+                            return false;
+                        }
+                    }
+                } else {
+                    for el in events_of(cond.lhs_var) {
+                        for er in events_of(*var) {
+                            if !cond.eval_vars(relation.event(el), relation.event(er)) {
+                                return false;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Condition 2: events of set Vi strictly precede events of set Vi+1
+    // (transitively: a strictly increasing chain of set extents).
+    for i in 1..p.num_sets() {
+        let max_prev = p.set(i - 1)
+            .iter()
+            .flat_map(|&v| events_of(v))
+            .map(|e| relation.event(e).ts())
+            .max();
+        let min_cur = p.set(i)
+            .iter()
+            .flat_map(|&v| events_of(v))
+            .map(|e| relation.event(e).ts())
+            .min();
+        match (max_prev, min_cur) {
+            (Some(a), Some(b)) if a < b => {}
+            _ => return false,
+        }
+    }
+
+    // Condition 3: window.
+    let min_ts = bindings
+        .iter()
+        .map(|&(_, e)| relation.event(e).ts())
+        .min()
+        .expect("non-empty substitution");
+    let max_ts = bindings
+        .iter()
+        .map(|&(_, e)| relation.event(e).ts())
+        .max()
+        .expect("non-empty substitution");
+    max_ts.distance(min_ts) <= p.within()
+}
+
+/// Brute-force enumeration of every substitution satisfying conditions
+/// 1–3 (`Γ` of Definition 2). Exponential — intended for test oracles on
+/// tiny inputs only; panics if the search space exceeds `limit` candidate
+/// assignments.
+pub fn enumerate_candidates(
+    pattern: &CompiledPattern,
+    relation: &Relation,
+    limit: usize,
+) -> Vec<Vec<(VarId, EventId)>> {
+    let p = pattern.pattern();
+    let n_vars = p.num_vars();
+    let n_events = relation.len();
+    // Each event is either unused (n_vars) or bound to one variable:
+    // (n_vars+1)^n_events assignments.
+    let space = (n_vars as u128 + 1).checked_pow(n_events as u32);
+    assert!(
+        space.is_some_and(|s| s <= limit as u128),
+        "enumeration space too large for the oracle"
+    );
+
+    let mut out = Vec::new();
+    let mut assignment = vec![n_vars; n_events]; // n_vars = unused
+    loop {
+        let mut bindings: Vec<(VarId, EventId)> = assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v < n_vars)
+            .map(|(e, &v)| (VarId(v as u16), EventId::from(e)))
+            .collect();
+        bindings.sort_unstable_by_key(|&(var, ev)| (ev, var));
+        if !bindings.is_empty() && satisfies_conditions_1_3(pattern, relation, &bindings) {
+            out.push(bindings);
+        }
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == n_events {
+                return out;
+            }
+            if assignment[i] == 0 {
+                assignment[i] = n_vars;
+                i += 1;
+            } else {
+                assignment[i] -= 1;
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ses_event::{AttrType, CmpOp, Duration, Schema, Timestamp, Value};
+    use ses_pattern::Pattern;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attr("ID", AttrType::Int)
+            .attr("L", AttrType::Str)
+            .build()
+            .unwrap()
+    }
+
+    fn rel(rows: &[(i64, i64, &str)]) -> Relation {
+        let mut r = Relation::new(schema());
+        for (ts, id, l) in rows {
+            r.push_values(Timestamp::new(*ts), [Value::from(*id), Value::from(*l)])
+                .unwrap();
+        }
+        r
+    }
+
+    fn ab_pattern() -> CompiledPattern {
+        Pattern::builder()
+            .set(|s| s.var("a"))
+            .set(|s| s.var("b"))
+            .cond_const("a", "L", CmpOp::Eq, "A")
+            .cond_const("b", "L", CmpOp::Eq, "B")
+            .cond_vars("a", "ID", CmpOp::Eq, "b", "ID")
+            .within(Duration::ticks(10))
+            .build()
+            .unwrap()
+            .compile(&schema())
+            .unwrap()
+    }
+
+    fn bind(pairs: &[(u16, u32)]) -> Vec<(VarId, EventId)> {
+        let mut v: Vec<(VarId, EventId)> = pairs
+            .iter()
+            .map(|&(var, e)| (VarId(var), EventId(e)))
+            .collect();
+        v.sort_unstable_by_key(|&(var, ev)| (ev, var));
+        v
+    }
+
+    #[test]
+    fn validator_accepts_good_substitution() {
+        let cp = ab_pattern();
+        let r = rel(&[(0, 1, "A"), (1, 1, "B")]);
+        assert!(satisfies_conditions_1_3(&cp, &r, &bind(&[(0, 0), (1, 1)])));
+    }
+
+    #[test]
+    fn validator_rejects_condition_violations() {
+        let cp = ab_pattern();
+        // Wrong label for b.
+        let r = rel(&[(0, 1, "A"), (1, 1, "A")]);
+        assert!(!satisfies_conditions_1_3(&cp, &r, &bind(&[(0, 0), (1, 1)])));
+        // ID mismatch.
+        let r = rel(&[(0, 1, "A"), (1, 2, "B")]);
+        assert!(!satisfies_conditions_1_3(&cp, &r, &bind(&[(0, 0), (1, 1)])));
+        // Set order violated (b before a).
+        let r = rel(&[(0, 1, "B"), (1, 1, "A")]);
+        assert!(!satisfies_conditions_1_3(&cp, &r, &bind(&[(0, 1), (1, 0)])));
+        // Tie between sets (strict order required).
+        let r = rel(&[(0, 1, "A"), (0, 1, "B")]);
+        assert!(!satisfies_conditions_1_3(&cp, &r, &bind(&[(0, 0), (1, 1)])));
+        // Window exceeded.
+        let r = rel(&[(0, 1, "A"), (11, 1, "B")]);
+        assert!(!satisfies_conditions_1_3(&cp, &r, &bind(&[(0, 0), (1, 1)])));
+    }
+
+    #[test]
+    fn validator_rejects_structural_violations() {
+        let cp = ab_pattern();
+        let r = rel(&[(0, 1, "A"), (1, 1, "B"), (2, 1, "B")]);
+        // Missing b binding.
+        assert!(!satisfies_conditions_1_3(&cp, &r, &bind(&[(0, 0)])));
+        // Duplicate singleton binding.
+        assert!(!satisfies_conditions_1_3(
+            &cp,
+            &r,
+            &bind(&[(0, 0), (1, 1), (1, 2)])
+        ));
+        // Same event bound twice.
+        assert!(!satisfies_conditions_1_3(
+            &cp,
+            &r,
+            &bind(&[(0, 0), (1, 0)])
+        ));
+    }
+
+    #[test]
+    fn group_variables_need_at_least_one_binding() {
+        let cp = Pattern::builder()
+            .set(|s| s.plus("p"))
+            .cond_const("p", "L", CmpOp::Eq, "P")
+            .within(Duration::ticks(10))
+            .build()
+            .unwrap()
+            .compile(&schema())
+            .unwrap();
+        let r = rel(&[(0, 1, "P"), (1, 1, "P")]);
+        assert!(satisfies_conditions_1_3(&cp, &r, &bind(&[(0, 0)])));
+        assert!(satisfies_conditions_1_3(&cp, &r, &bind(&[(0, 0), (0, 1)])));
+        assert!(!satisfies_conditions_1_3(&cp, &r, &bind(&[])));
+    }
+
+    #[test]
+    fn enumerator_finds_gamma() {
+        let cp = ab_pattern();
+        let r = rel(&[(0, 1, "A"), (1, 1, "B"), (2, 1, "B")]);
+        let gamma = enumerate_candidates(&cp, &r, 1_000_000);
+        // {a/e1,b/e2} and {a/e1,b/e3}.
+        assert_eq!(gamma.len(), 2);
+        assert!(gamma.contains(&bind(&[(0, 0), (1, 1)])));
+        assert!(gamma.contains(&bind(&[(0, 0), (1, 2)])));
+    }
+
+    #[test]
+    #[should_panic(expected = "enumeration space too large")]
+    fn enumerator_guards_space() {
+        let cp = ab_pattern();
+        let rows: Vec<(i64, i64, &str)> = (0..40).map(|i| (i, 1, "A")).collect();
+        let r = rel(&rows);
+        enumerate_candidates(&cp, &r, 1000);
+    }
+}

@@ -1,0 +1,367 @@
+//! Match selection semantics — conditions 4 and 5 of Definition 2.
+//!
+//! Algorithm 1 emits the buffer of every accepting automaton run. With
+//! nondeterminism (variables that are not pairwise mutually exclusive) and
+//! with overlapping starts, the raw runs are a superset of the paper's
+//! intended query answers. This module post-filters them. Three modes:
+//!
+//! * [`MatchSemantics::AllRuns`] — every distinct accepting run, i.e. the
+//!   literal output of the paper's Algorithm 1 (conditions 1–3 only).
+//! * [`MatchSemantics::Definition2`] — adds conditions 4 and 5:
+//!   - **Condition 4 (skip-till-next-match)**: γ is rejected when some
+//!     variable `v'` could have been bound to a strictly earlier event
+//!     `e''` (with `minT(γ).T < e''.T < e'.T`) by a run that *agrees with
+//!     γ on everything before `e''`*. Two sound tests implement this:
+//!     the **swap** test (replacing `v'/e'` by `v'/e''` still satisfies
+//!     conditions 1–3 — the agreeing run is γ itself minus the swap) and
+//!     the **prefix** test (another candidate binds `v'/e''` and has
+//!     exactly γ's bindings before `e''`). *Interpretation note*: read
+//!     literally, condition 4 quantifies over bindings in arbitrary
+//!     `γ' ∈ Γ`, which would reject the paper's own worked answer for
+//!     patient 1 (patient 2's `p/e6` falls between `p/e4` and `p/e9`);
+//!     the paper's explanation and Example 4 make clear the intended
+//!     reading is the earliest *compatible* binding, which the
+//!     prefix-agreement formulation captures. See DESIGN.md.
+//!   - **Condition 5 (MAXIMAL, greedy)**: γ is rejected if it is a proper
+//!     subset of another candidate with the same first binding.
+//! * [`MatchSemantics::Maximal`] — [`MatchSemantics::Definition2`] plus
+//!   global proper-subset removal. This reproduces the paper's stated Q1
+//!   answers exactly: Definition 2 still admits *suffix* matches (e.g.
+//!   `{d/e7, c/e8, p/e10, p/e11, b/e13}` in Figure 1, a strict subset of
+//!   patient 2's answer that starts one event later), which the paper's
+//!   prose — "(1) the earliest possible matching events and (2) the
+//!   maximal number of matching events" — clearly excludes.
+
+use ses_event::{EventId, Relation, Timestamp};
+use ses_pattern::{CompiledPattern, VarId};
+
+use crate::engine::RawMatch;
+use crate::matches::Match;
+use crate::reference::satisfies_conditions_1_3;
+
+/// Which substitutions [`select`] returns. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatchSemantics {
+    /// Every distinct accepting run of Algorithm 1 (conditions 1–3 only).
+    AllRuns,
+    /// Conditions 1–5 of Definition 2 (swap interpretation of cond. 4).
+    Definition2,
+    /// [`MatchSemantics::Definition2`] plus global subset removal — the
+    /// paper's worked query answers. The default.
+    #[default]
+    Maximal,
+}
+
+/// Applies the selected semantics to the engine's raw matches.
+pub fn select(
+    raw: Vec<RawMatch>,
+    relation: &Relation,
+    pattern: &CompiledPattern,
+    semantics: MatchSemantics,
+) -> Vec<Match> {
+    let mut candidates: Vec<Match> = raw.into_iter().map(Match::from_raw).collect();
+    candidates.sort();
+    candidates.dedup();
+    if semantics == MatchSemantics::AllRuns {
+        return candidates;
+    }
+
+    let survivors: Vec<Match> = candidates
+        .iter()
+        .filter(|m| {
+            survives_condition_4(m, relation, pattern, &candidates)
+                && survives_condition_5(m, &candidates)
+        })
+        .cloned()
+        .collect();
+
+    if semantics == MatchSemantics::Definition2 {
+        return survivors;
+    }
+
+    // Maximal: drop matches properly contained in any other survivor.
+    survivors
+        .iter()
+        .filter(|m| !survivors.iter().any(|o| m.is_proper_subset_of(o)))
+        .cloned()
+        .collect()
+}
+
+/// Condition 4: no variable of γ could have bound a strictly earlier
+/// in-extent event via an agreeing-prefix run. Implemented as the union
+/// of the swap test (against the full `Γ`, via direct validity checking)
+/// and the prefix test (against the accepted candidate set).
+fn survives_condition_4(
+    m: &Match,
+    relation: &Relation,
+    pattern: &CompiledPattern,
+    candidates: &[Match],
+) -> bool {
+    let min_ts = relation.event(m.first_event()).ts();
+    for &(var, event) in m.bindings() {
+        let bound_ts = relation.event(event).ts();
+        // Candidate earlier events strictly inside (minT, e.T). Event ids
+        // are chronological, so a linear scan up to `event` suffices.
+        for alt_idx in 0..event.index() {
+            let alt = EventId::from(alt_idx);
+            let alt_ts = relation.event(alt).ts();
+            if alt_ts <= min_ts || alt_ts >= bound_ts {
+                continue;
+            }
+            if m.events().any(|e| e == alt) {
+                continue; // already used in γ (possibly by another variable)
+            }
+            if swap_is_valid(m, var, event, alt, relation, pattern)
+                || prefix_alternative_exists(m, var, alt, alt_ts, relation, candidates)
+            {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// `true` iff some candidate binds `var/alt` and agrees with `m` on every
+/// binding strictly before `alt`'s timestamp (stream position for ties).
+fn prefix_alternative_exists(
+    m: &Match,
+    var: VarId,
+    alt: EventId,
+    alt_ts: Timestamp,
+    relation: &Relation,
+    candidates: &[Match],
+) -> bool {
+    let prefix_of = |x: &Match| -> Vec<(VarId, EventId)> {
+        x.bindings()
+            .iter()
+            .copied()
+            .filter(|&(_, e)| relation.event(e).ts() < alt_ts)
+            .collect()
+    };
+    let m_prefix = prefix_of(m);
+    candidates.iter().any(|other| {
+        other.contains(var, alt) && prefix_of(other) == m_prefix
+    })
+}
+
+/// Checks whether γ with binding `var/event` replaced by `var/alt`
+/// satisfies conditions 1–3.
+fn swap_is_valid(
+    m: &Match,
+    var: VarId,
+    event: EventId,
+    alt: EventId,
+    relation: &Relation,
+    pattern: &CompiledPattern,
+) -> bool {
+    let mut bindings: Vec<(VarId, EventId)> = m
+        .bindings()
+        .iter()
+        .map(|&(v, e)| {
+            if v == var && e == event {
+                (v, alt)
+            } else {
+                (v, e)
+            }
+        })
+        .collect();
+    bindings.sort_unstable_by_key(|&(v, e)| (e, v));
+    satisfies_conditions_1_3(pattern, relation, &bindings)
+}
+
+/// Condition 5: not a proper subset of another candidate with the same
+/// first binding.
+fn survives_condition_5(m: &Match, all: &[Match]) -> bool {
+    let first = m.bindings()[0];
+    !all.iter()
+        .any(|other| other.bindings()[0] == first && m.is_proper_subset_of(other))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ses_event::{AttrType, CmpOp, Duration, Schema, Timestamp, Value};
+    use ses_pattern::Pattern;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attr("ID", AttrType::Int)
+            .attr("L", AttrType::Str)
+            .build()
+            .unwrap()
+    }
+
+    fn rel(rows: &[(i64, i64, &str)]) -> Relation {
+        let mut r = Relation::new(schema());
+        for (ts, id, l) in rows {
+            r.push_values(Timestamp::new(*ts), [Value::from(*id), Value::from(*l)])
+                .unwrap();
+        }
+        r
+    }
+
+    fn raw(bindings: &[(u16, u32)]) -> RawMatch {
+        let mut b: Vec<(VarId, EventId)> = bindings
+            .iter()
+            .map(|&(v, e)| (VarId(v), EventId(e)))
+            .collect();
+        b.sort_unstable_by_key(|&(var, ev)| (ev, var));
+        RawMatch { bindings: b }
+    }
+
+    fn ab_pattern() -> CompiledPattern {
+        // a then b, same ID.
+        Pattern::builder()
+            .set(|s| s.var("a"))
+            .set(|s| s.var("b"))
+            .cond_const("a", "L", CmpOp::Eq, "A")
+            .cond_const("b", "L", CmpOp::Eq, "B")
+            .cond_vars("a", "ID", CmpOp::Eq, "b", "ID")
+            .within(Duration::ticks(100))
+            .build()
+            .unwrap()
+            .compile(&schema())
+            .unwrap()
+    }
+
+    fn pb_pattern() -> CompiledPattern {
+        // p+ then b.
+        Pattern::builder()
+            .set(|s| s.plus("p"))
+            .set(|s| s.var("b"))
+            .cond_const("p", "L", CmpOp::Eq, "P")
+            .cond_const("b", "L", CmpOp::Eq, "B")
+            .within(Duration::ticks(100))
+            .build()
+            .unwrap()
+            .compile(&schema())
+            .unwrap()
+    }
+
+    #[test]
+    fn all_runs_dedups_identical() {
+        let cp = ab_pattern();
+        let r = rel(&[(0, 1, "A"), (1, 1, "B")]);
+        let out = select(
+            vec![raw(&[(0, 0), (1, 1)]), raw(&[(0, 0), (1, 1)])],
+            &r,
+            &cp,
+            MatchSemantics::AllRuns,
+        );
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn condition4_rejects_later_than_necessary_binding() {
+        let cp = ab_pattern();
+        // A@0, B@1, B@2 (same ID): {a/e1, b/e3} can swap b to e2 → drop;
+        // {a/e1, b/e2} survives.
+        let r = rel(&[(0, 1, "A"), (1, 1, "B"), (2, 1, "B")]);
+        let out = select(
+            vec![raw(&[(0, 0), (1, 1)]), raw(&[(0, 0), (1, 2)])],
+            &r,
+            &cp,
+            MatchSemantics::Definition2,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].last_event(), EventId(1));
+    }
+
+    #[test]
+    fn condition4_swap_respects_other_conditions() {
+        let cp = ab_pattern();
+        // The earlier B belongs to a different patient: the swap violates
+        // a.ID = b.ID, so the later binding is legitimate.
+        let r = rel(&[(0, 1, "A"), (1, 2, "B"), (2, 1, "B")]);
+        let out = select(
+            vec![raw(&[(0, 0), (1, 2)])],
+            &r,
+            &cp,
+            MatchSemantics::Definition2,
+        );
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn condition4_alternative_before_min_is_harmless() {
+        let cp = pb_pattern();
+        // P@0 P@1 B@2: the suffix run {p/e2, b/e3} has an earlier P at e1,
+        // but e1.T ≤ minT(γ)... it *is* before the start → cannot violate.
+        let r = rel(&[(0, 1, "P"), (1, 1, "P"), (2, 1, "B")]);
+        let out = select(
+            vec![
+                raw(&[(0, 0), (0, 1), (1, 2)]),
+                raw(&[(0, 1), (1, 2)]),
+            ],
+            &r,
+            &cp,
+            MatchSemantics::Definition2,
+        );
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn maximal_drops_suffix_runs() {
+        let cp = pb_pattern();
+        let r = rel(&[(0, 1, "P"), (1, 1, "P"), (2, 1, "B")]);
+        let out = select(
+            vec![
+                raw(&[(0, 0), (0, 1), (1, 2)]),
+                raw(&[(0, 1), (1, 2)]),
+            ],
+            &r,
+            &cp,
+            MatchSemantics::Maximal,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].len(), 3);
+    }
+
+    #[test]
+    fn condition5_drops_nonmaximal_same_start() {
+        let cp = pb_pattern();
+        // Non-greedy run {p/e1, b/e3} is a proper subset of the greedy
+        // {p/e1, p/e2, b/e3} with the same first binding.
+        let r = rel(&[(0, 1, "P"), (1, 1, "P"), (2, 1, "B")]);
+        let out = select(
+            vec![
+                raw(&[(0, 0), (1, 2)]),
+                raw(&[(0, 0), (0, 1), (1, 2)]),
+            ],
+            &r,
+            &cp,
+            MatchSemantics::Definition2,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].len(), 3);
+    }
+
+    #[test]
+    fn condition5_keeps_subsets_with_different_start() {
+        let cp = pb_pattern();
+        let r = rel(&[(0, 1, "P"), (1, 1, "P"), (2, 1, "B")]);
+        let out = select(
+            vec![
+                raw(&[(0, 0), (0, 1), (1, 2)]),
+                raw(&[(0, 1), (1, 2)]), // different first binding
+            ],
+            &r,
+            &cp,
+            MatchSemantics::Definition2,
+        );
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let cp = ab_pattern();
+        let r = rel(&[]);
+        for sem in [
+            MatchSemantics::AllRuns,
+            MatchSemantics::Definition2,
+            MatchSemantics::Maximal,
+        ] {
+            assert!(select(vec![], &r, &cp, sem).is_empty());
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Automaton states as variable bitsets.
+//!
+//! A state of the SES automaton is a subset `q ⊆ V` of the pattern's event
+//! variables (Definition 3). With at most 64 variables per pattern, a state
+//! is a `u64` bitmask over [`VarId`] indices; the powerset construction and
+//! transition targets are then O(1) mask operations.
+
+use std::fmt;
+
+use ses_pattern::VarId;
+
+/// A set of event variables, i.e. the label of an automaton state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct StateSet(u64);
+
+impl StateSet {
+    /// The empty set (the automaton's start state `∅`).
+    pub const EMPTY: StateSet = StateSet(0);
+
+    /// Creates a state set from a raw bitmask.
+    #[inline]
+    pub const fn from_bits(bits: u64) -> StateSet {
+        StateSet(bits)
+    }
+
+    /// The raw bitmask.
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// The singleton set `{v}`.
+    #[inline]
+    pub fn singleton(v: VarId) -> StateSet {
+        StateSet(v.bit())
+    }
+
+    /// `self ∪ {v}`.
+    #[inline]
+    pub fn with(self, v: VarId) -> StateSet {
+        StateSet(self.0 | v.bit())
+    }
+
+    /// `v ∈ self`.
+    #[inline]
+    pub fn contains(self, v: VarId) -> bool {
+        self.0 & v.bit() != 0
+    }
+
+    /// `self ∪ other`.
+    #[inline]
+    pub fn union(self, other: StateSet) -> StateSet {
+        StateSet(self.0 | other.0)
+    }
+
+    /// `self ∩ other`.
+    #[inline]
+    pub fn intersection(self, other: StateSet) -> StateSet {
+        StateSet(self.0 & other.0)
+    }
+
+    /// `self ⊆ other`.
+    #[inline]
+    pub fn is_subset_of(self, other: StateSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Number of variables in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// `true` iff the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates the member variables in increasing id order.
+    pub fn iter(self) -> impl Iterator<Item = VarId> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros() as u16;
+                bits &= bits - 1;
+                Some(VarId(i))
+            }
+        })
+    }
+
+    /// Iterates every subset of `self` (including `∅` and `self`) in
+    /// ascending bitmask order — the powerset enumeration of the
+    /// automaton construction (§4.2.1).
+    pub fn subsets(self) -> impl Iterator<Item = StateSet> {
+        let full = self.0;
+        let mut next = Some(0u64);
+        std::iter::from_fn(move || {
+            let cur = next?;
+            // Standard submask enumeration: (cur - full) & full steps
+            // through submasks in increasing order.
+            next = if cur == full {
+                None
+            } else {
+                Some(cur.wrapping_sub(full) & full)
+            };
+            Some(StateSet(cur))
+        })
+    }
+}
+
+impl fmt::Display for StateSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Dense identifier of a state within an automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(pub u32);
+
+impl StateId {
+    /// The state's index in the automaton's state table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_operations() {
+        let a = StateSet::EMPTY.with(VarId(0)).with(VarId(2));
+        assert!(a.contains(VarId(0)));
+        assert!(!a.contains(VarId(1)));
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+        assert!(StateSet::EMPTY.is_empty());
+        assert!(StateSet::singleton(VarId(2)).is_subset_of(a));
+        assert!(!a.is_subset_of(StateSet::singleton(VarId(2))));
+        assert_eq!(
+            a.union(StateSet::singleton(VarId(1))).len(),
+            3
+        );
+        assert_eq!(a.intersection(StateSet::singleton(VarId(2))).len(), 1);
+    }
+
+    #[test]
+    fn iter_yields_sorted_vars() {
+        let s = StateSet::from_bits(0b1011);
+        let vars: Vec<_> = s.iter().map(|v| v.0).collect();
+        assert_eq!(vars, vec![0, 1, 3]);
+        assert_eq!(StateSet::EMPTY.iter().count(), 0);
+    }
+
+    #[test]
+    fn subsets_enumerate_full_powerset() {
+        let s = StateSet::from_bits(0b101);
+        let subs: Vec<_> = s.subsets().map(StateSet::bits).collect();
+        assert_eq!(subs, vec![0b000, 0b001, 0b100, 0b101]);
+        // Powerset cardinality 2^n.
+        assert_eq!(StateSet::from_bits(0b111).subsets().count(), 8);
+        assert_eq!(StateSet::EMPTY.subsets().count(), 1);
+    }
+
+    #[test]
+    fn subsets_are_all_subsets() {
+        let s = StateSet::from_bits(0b11010);
+        for sub in s.subsets() {
+            assert!(sub.is_subset_of(s));
+        }
+    }
+
+    #[test]
+    fn display() {
+        let s = StateSet::EMPTY.with(VarId(1)).with(VarId(3));
+        assert_eq!(s.to_string(), "{v1,v3}");
+        assert_eq!(StateSet::EMPTY.to_string(), "{}");
+        assert_eq!(StateId(4).to_string(), "q4");
+    }
+}

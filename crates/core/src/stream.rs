@@ -1,0 +1,284 @@
+//! Push-based streaming matching.
+//!
+//! The paper evaluates finite relations, but event pattern matching is a
+//! streaming technique at heart. [`StreamMatcher`] owns a growing
+//! relation and exposes `push`: feed events one at a time (in timestamp
+//! order) and receive the raw matches whose windows closed at that event.
+//!
+//! Streaming results are **raw accepting runs** (the `AllRuns` view):
+//! the Definition-2 filters compare candidates against each other, so a
+//! definitive answer only exists once the input is complete — call
+//! [`StreamMatcher::finish`] to flush remaining accepting instances and
+//! apply the configured semantics over everything seen.
+//!
+//! Memory note: the matcher retains all pushed events (match buffers
+//! reference them by id and late conditions may need any past bound
+//! event). For unbounded streams, recreate the matcher per logical
+//! segment or window of interest.
+
+use ses_event::{Event, EventError, Relation, Schema, Timestamp, Value};
+use ses_pattern::Pattern;
+
+use crate::engine::{process_event, ExecOptions, Instance, RawMatch};
+use crate::filter::EventFilter;
+use crate::matcher::MatcherOptions;
+use crate::matches::Match;
+use crate::probe::{NoProbe, Probe};
+use crate::semantics::select;
+use crate::{Automaton, CoreError};
+
+/// An incremental, push-based matcher over an owned, growing relation.
+#[derive(Debug)]
+pub struct StreamMatcher {
+    automaton: Automaton,
+    options: MatcherOptions,
+    filter: EventFilter,
+    relation: Relation,
+    omega: Vec<Instance>,
+    scratch: Vec<Instance>,
+    results: Vec<RawMatch>,
+}
+
+impl StreamMatcher {
+    /// Compiles `pattern` against `schema` with default options.
+    pub fn compile(pattern: &Pattern, schema: &Schema) -> Result<StreamMatcher, CoreError> {
+        StreamMatcher::with_options(pattern, schema, MatcherOptions::default())
+    }
+
+    /// Compiles with explicit options.
+    pub fn with_options(
+        pattern: &Pattern,
+        schema: &Schema,
+        options: MatcherOptions,
+    ) -> Result<StreamMatcher, CoreError> {
+        let compiled = if options.derive_equalities {
+            ses_pattern::equality_closure(pattern).compile(schema)?
+        } else {
+            pattern.compile(schema)?
+        };
+        let automaton = Automaton::build_with_limit(compiled, options.max_states)?;
+        let filter = EventFilter::new(automaton.pattern(), options.filter);
+        Ok(StreamMatcher {
+            relation: Relation::new(schema.clone()),
+            automaton,
+            options,
+            filter,
+            omega: Vec::new(),
+            scratch: Vec::new(),
+            results: Vec::new(),
+        })
+    }
+
+    /// Pushes one event (timestamps must be non-decreasing) and returns
+    /// the raw matches whose windows expired at this event.
+    pub fn push(
+        &mut self,
+        ts: Timestamp,
+        values: impl Into<Vec<Value>>,
+    ) -> Result<Vec<Match>, EventError> {
+        self.push_with_probe(ts, values, &mut NoProbe)
+    }
+
+    /// [`StreamMatcher::push`] with an instrumentation probe.
+    pub fn push_with_probe<P: Probe>(
+        &mut self,
+        ts: Timestamp,
+        values: impl Into<Vec<Value>>,
+        probe: &mut P,
+    ) -> Result<Vec<Match>, EventError> {
+        let id = self.relation.push_values(ts, values)?;
+        let before = self.results.len();
+        process_event(
+            &self.automaton,
+            &self.relation,
+            &self.filter,
+            &self.exec_options(),
+            &mut self.omega,
+            &mut self.scratch,
+            id.index(),
+            &mut self.results,
+            probe,
+        );
+        Ok(self.results[before..]
+            .iter()
+            .filter(|r| {
+                crate::negation::passes_negations(r, &self.relation, self.automaton.pattern())
+            })
+            .map(|r| Match::from_raw(r.clone()))
+            .collect())
+    }
+
+    /// Pushes a pre-built event.
+    pub fn push_event(&mut self, event: Event) -> Result<Vec<Match>, EventError> {
+        let values = event.values().to_vec();
+        self.push(event.ts(), values)
+    }
+
+    /// The events seen so far.
+    pub fn relation(&self) -> &Relation {
+        &self.relation
+    }
+
+    /// Current number of active instances `|Ω|`.
+    pub fn active_instances(&self) -> usize {
+        self.omega.len()
+    }
+
+    /// Raw matches emitted so far (windows already expired).
+    pub fn emitted_so_far(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Ends the stream: flushes accepting instances and returns all
+    /// matches under the configured [`crate::MatchSemantics`].
+    pub fn finish(mut self) -> Vec<Match> {
+        if self.options.flush_at_end {
+            let accept = self.automaton.accept();
+            for instance in self.omega.drain(..) {
+                if instance.state == accept {
+                    self.results.push(RawMatch {
+                        bindings: instance.buffer.to_sorted_bindings(),
+                    });
+                }
+            }
+        }
+        let raw =
+            crate::negation::filter_negations(self.results, &self.relation, self.automaton.pattern());
+        select(
+            raw,
+            &self.relation,
+            self.automaton.pattern(),
+            self.options.semantics,
+        )
+    }
+
+    fn exec_options(&self) -> ExecOptions {
+        ExecOptions {
+            filter: self.options.filter,
+            selection: self.options.selection,
+            flush_at_end: self.options.flush_at_end,
+            type_precheck: self.options.type_precheck,
+            max_instances: self.options.max_instances,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matcher;
+    use ses_event::{AttrType, CmpOp, Duration};
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attr("ID", AttrType::Int)
+            .attr("L", AttrType::Str)
+            .build()
+            .unwrap()
+    }
+
+    fn ab_pattern() -> Pattern {
+        Pattern::builder()
+            .set(|s| s.var("a").var("b"))
+            .cond_const("a", "L", CmpOp::Eq, "A")
+            .cond_const("b", "L", CmpOp::Eq, "B")
+            .within(Duration::ticks(5))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn streaming_emits_on_window_expiry() {
+        let mut sm = StreamMatcher::compile(&ab_pattern(), &schema()).unwrap();
+        assert!(sm
+            .push(Timestamp::new(0), [Value::from(1), Value::from("B")])
+            .unwrap()
+            .is_empty());
+        assert!(sm
+            .push(Timestamp::new(1), [Value::from(1), Value::from("A")])
+            .unwrap()
+            .is_empty());
+        assert!(sm.active_instances() > 0);
+        // A *filtered* event (satisfies no constant condition) is dropped
+        // before the expiry sweep — §4.5 of the paper — so emission is
+        // deferred, never lost.
+        let emitted = sm
+            .push(Timestamp::new(100), [Value::from(1), Value::from("X")])
+            .unwrap();
+        assert!(emitted.is_empty(), "filtered events defer expiry");
+        // The next pattern-relevant event expires the accepting instance.
+        let emitted = sm
+            .push(Timestamp::new(101), [Value::from(1), Value::from("B")])
+            .unwrap();
+        assert_eq!(emitted.len(), 1);
+        assert_eq!(emitted[0].to_string(), "{v1/e1, v0/e2}");
+        assert_eq!(sm.emitted_so_far(), 1);
+    }
+
+    #[test]
+    fn finish_agrees_with_batch_matcher() {
+        let rows: &[(i64, i64, &str)] = &[
+            (0, 1, "A"),
+            (1, 1, "B"),
+            (3, 1, "X"),
+            (10, 1, "B"),
+            (12, 1, "A"),
+            (30, 1, "A"),
+        ];
+        let schema = schema();
+        let pattern = ab_pattern();
+
+        let mut rel = Relation::new(schema.clone());
+        let mut sm = StreamMatcher::compile(&pattern, &schema).unwrap();
+        for (t, id, l) in rows {
+            let values = [Value::from(*id), Value::from(*l)];
+            rel.push_values(Timestamp::new(*t), values.clone()).unwrap();
+            sm.push(Timestamp::new(*t), values).unwrap();
+        }
+        let mut streamed = sm.finish();
+        let mut batch = Matcher::compile(&pattern, &schema).unwrap().find(&rel);
+        streamed.sort();
+        batch.sort();
+        assert_eq!(streamed, batch);
+        assert!(!streamed.is_empty());
+    }
+
+    #[test]
+    fn out_of_order_push_is_rejected() {
+        let mut sm = StreamMatcher::compile(&ab_pattern(), &schema()).unwrap();
+        sm.push(Timestamp::new(5), [Value::from(1), Value::from("A")])
+            .unwrap();
+        let err = sm
+            .push(Timestamp::new(4), [Value::from(1), Value::from("B")])
+            .unwrap_err();
+        assert!(matches!(err, EventError::OutOfOrder { .. }));
+        // The matcher stays usable.
+        assert!(sm
+            .push(Timestamp::new(6), [Value::from(1), Value::from("B")])
+            .unwrap()
+            .is_empty());
+        assert_eq!(sm.finish().len(), 1);
+    }
+
+    #[test]
+    fn push_event_and_accessors() {
+        let mut sm = StreamMatcher::compile(&ab_pattern(), &schema()).unwrap();
+        let e = Event::new(
+            Timestamp::new(0),
+            vec![Value::from(1), Value::from("A")],
+        );
+        sm.push_event(e).unwrap();
+        assert_eq!(sm.relation().len(), 1);
+        assert_eq!(sm.active_instances(), 1);
+        assert_eq!(sm.emitted_so_far(), 0);
+    }
+
+    #[test]
+    fn schema_violations_are_rejected() {
+        let mut sm = StreamMatcher::compile(&ab_pattern(), &schema()).unwrap();
+        assert!(sm
+            .push(Timestamp::new(0), [Value::from("wrong"), Value::from("A")])
+            .is_err());
+        assert_eq!(sm.relation().len(), 0);
+    }
+}

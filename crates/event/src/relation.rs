@@ -1,0 +1,430 @@
+//! Event relations: schema-conformant, chronologically ordered event sets.
+
+use std::fmt;
+
+use crate::{Duration, Event, EventError, EventId, Schema, Timestamp, Value};
+
+/// An event relation: a sequence of events totally ordered by their
+/// timestamps (ties broken by insertion order).
+///
+/// This is the paper's input `E`. The matching engine consumes events in
+/// chronological order; [`Relation`] guarantees that order structurally.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: Schema,
+    events: Vec<Event>,
+}
+
+impl Relation {
+    /// Creates an empty relation over `schema`.
+    pub fn new(schema: Schema) -> Relation {
+        Relation {
+            schema,
+            events: Vec::new(),
+        }
+    }
+
+    /// Starts a builder that accepts rows in any order and sorts them
+    /// stably by timestamp on [`RelationBuilder::build`].
+    pub fn builder(schema: Schema) -> RelationBuilder {
+        RelationBuilder {
+            relation: Relation::new(schema),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` iff the relation holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events in chronological order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The event with the given id.
+    pub fn event(&self, id: EventId) -> &Event {
+        &self.events[id.index()]
+    }
+
+    /// Iterates `(id, event)` pairs in chronological order.
+    pub fn iter(&self) -> impl Iterator<Item = (EventId, &Event)> {
+        self.events
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EventId::from(i), e))
+    }
+
+    /// Appends an event from raw values, validating schema conformance and
+    /// chronological order (`ts` must not precede the last event).
+    pub fn push_values(
+        &mut self,
+        ts: Timestamp,
+        values: impl Into<Vec<Value>>,
+    ) -> Result<EventId, EventError> {
+        let values = values.into();
+        self.schema.check_row(&values)?;
+        self.push_event(Event::new(ts, values))
+    }
+
+    /// Appends a pre-built event, validating chronological order only.
+    pub fn push_event(&mut self, event: Event) -> Result<EventId, EventError> {
+        if let Some(last) = self.events.last() {
+            if event.ts() < last.ts() {
+                return Err(EventError::OutOfOrder {
+                    previous: last.ts().ticks(),
+                    got: event.ts().ticks(),
+                });
+            }
+        }
+        let id = EventId::from(self.events.len());
+        self.events.push(event);
+        Ok(id)
+    }
+
+    /// Returns the window size `W` for window width `τ`: the maximal number
+    /// of events whose timestamps span at most `τ` (Definition 5 of the
+    /// paper). Computed with a two-pointer sweep in O(n).
+    pub fn window_size(&self, tau: Duration) -> usize {
+        let mut best = 0;
+        let mut lo = 0;
+        for hi in 0..self.events.len() {
+            while self.events[hi].ts().distance(self.events[lo].ts()) > tau {
+                lo += 1;
+            }
+            best = best.max(hi - lo + 1);
+        }
+        best
+    }
+
+    /// Produces the relation `Dk` of the paper's evaluation: every event
+    /// appears `k` times (identical values and timestamp, consecutive in
+    /// the tie order). `duplicate(1)` is a plain clone.
+    pub fn duplicate(&self, k: usize) -> Relation {
+        let mut events = Vec::with_capacity(self.events.len() * k);
+        for e in &self.events {
+            for _ in 0..k {
+                events.push(e.clone());
+            }
+        }
+        Relation {
+            schema: self.schema.clone(),
+            events,
+        }
+    }
+
+    /// Merges several relations over compatible schemas into one
+    /// chronological relation (a k-way merge; stable across inputs — ties
+    /// keep the order of the `sources` slice).
+    pub fn merge(sources: &[&Relation]) -> Result<Relation, EventError> {
+        let Some(first) = sources.first() else {
+            panic!("merge requires at least one source relation");
+        };
+        for s in &sources[1..] {
+            if !s.schema().is_compatible(first.schema()) {
+                return Err(EventError::ArityMismatch {
+                    expected: first.schema().len(),
+                    got: s.schema().len(),
+                });
+            }
+        }
+        let mut cursors = vec![0usize; sources.len()];
+        let total = sources.iter().map(|s| s.len()).sum();
+        let mut events = Vec::with_capacity(total);
+        loop {
+            let mut best: Option<(usize, Timestamp)> = None;
+            for (i, src) in sources.iter().enumerate() {
+                if let Some(e) = src.events.get(cursors[i]) {
+                    if best.is_none_or(|(_, ts)| e.ts() < ts) {
+                        best = Some((i, e.ts()));
+                    }
+                }
+            }
+            let Some((i, _)) = best else { break };
+            events.push(sources[i].events[cursors[i]].clone());
+            cursors[i] += 1;
+        }
+        Ok(Relation {
+            schema: first.schema().clone(),
+            events,
+        })
+    }
+
+    /// The sub-relation of events with `lo ≤ T ≤ hi` (inclusive bounds),
+    /// found by binary search. Event values are shared (`Arc` innards),
+    /// so slicing is cheap.
+    pub fn between(&self, lo: Timestamp, hi: Timestamp) -> Relation {
+        let from = self.events.partition_point(|e| e.ts() < lo);
+        let to = self.events.partition_point(|e| e.ts() <= hi);
+        Relation {
+            schema: self.schema.clone(),
+            events: self.events[from..to.max(from)].to_vec(),
+        }
+    }
+
+    /// Splits the relation into tumbling windows of `width` ticks
+    /// (aligned to the first event's timestamp). Each window is a
+    /// relation over `[start, start + width)`; empty windows are
+    /// omitted. Useful for bounding [`Relation`] growth when matching
+    /// unbounded streams segment by segment.
+    pub fn tumbling_windows(&self, width: Duration) -> Vec<Relation> {
+        assert!(width.as_ticks() > 0, "window width must be positive");
+        let Some(first) = self.first_ts() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut start = first;
+        let mut idx = 0;
+        while idx < self.events.len() {
+            let end = start.saturating_add(width);
+            let to = self.events.partition_point(|e| e.ts() < end);
+            if to > idx {
+                out.push(Relation {
+                    schema: self.schema.clone(),
+                    events: self.events[idx..to].to_vec(),
+                });
+                idx = to;
+            }
+            if idx < self.events.len() {
+                // Jump to the window containing the next event.
+                let next_ts = self.events[idx].ts();
+                let gap = (next_ts - start).as_ticks();
+                let steps = gap / width.as_ticks();
+                start = start.saturating_add(Duration::ticks(steps * width.as_ticks()));
+            }
+        }
+        out
+    }
+
+    /// Timestamp of the first event, if any.
+    pub fn first_ts(&self) -> Option<Timestamp> {
+        self.events.first().map(Event::ts)
+    }
+
+    /// Timestamp of the last event, if any.
+    pub fn last_ts(&self) -> Option<Timestamp> {
+        self.events.last().map(Event::ts)
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} with {} events", self.schema, self.events.len())?;
+        for (id, e) in self.iter() {
+            writeln!(f, "  {id}: {e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder that accepts rows in arbitrary timestamp order.
+#[derive(Debug)]
+pub struct RelationBuilder {
+    relation: Relation,
+    rows: Vec<Event>,
+}
+
+impl RelationBuilder {
+    /// Adds a row (any timestamp order).
+    pub fn row(
+        mut self,
+        ts: Timestamp,
+        values: impl Into<Vec<Value>>,
+    ) -> Result<RelationBuilder, EventError> {
+        let values = values.into();
+        self.relation.schema.check_row(&values)?;
+        self.rows.push(Event::new(ts, values));
+        Ok(self)
+    }
+
+    /// Adds a pre-built event (any timestamp order, unchecked values).
+    pub fn event(mut self, event: Event) -> RelationBuilder {
+        self.rows.push(event);
+        self
+    }
+
+    /// Sorts rows stably by timestamp and produces the relation.
+    pub fn build(mut self) -> Relation {
+        self.rows.sort_by_key(Event::ts);
+        self.relation.events = self.rows;
+        self.relation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AttrType;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attr("ID", AttrType::Int)
+            .attr("L", AttrType::Str)
+            .build()
+            .unwrap()
+    }
+
+    fn rel_with(ts: &[i64]) -> Relation {
+        let mut r = Relation::new(schema());
+        for (i, t) in ts.iter().enumerate() {
+            r.push_values(Timestamp::new(*t), [Value::from(i as i64), Value::from("X")])
+                .unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn push_enforces_order() {
+        let mut r = Relation::new(schema());
+        r.push_values(Timestamp::new(5), [1.into(), "A".into()]).unwrap();
+        r.push_values(Timestamp::new(5), [2.into(), "B".into()]).unwrap(); // tie ok
+        let err = r
+            .push_values(Timestamp::new(4), [3.into(), "C".into()])
+            .unwrap_err();
+        assert!(matches!(err, EventError::OutOfOrder { previous: 5, got: 4 }));
+    }
+
+    #[test]
+    fn push_validates_rows() {
+        let mut r = Relation::new(schema());
+        assert!(r
+            .push_values(Timestamp::new(1), [Value::from("oops"), Value::from("A")])
+            .is_err());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn builder_sorts_stably() {
+        let r = Relation::builder(schema())
+            .row(Timestamp::new(9), [1.into(), "late".into()])
+            .unwrap()
+            .row(Timestamp::new(3), [2.into(), "early".into()])
+            .unwrap()
+            .row(Timestamp::new(9), [3.into(), "late2".into()])
+            .unwrap()
+            .build();
+        let labels: Vec<_> = r
+            .events()
+            .iter()
+            .map(|e| e.value(crate::AttrId(1)).to_string())
+            .collect();
+        assert_eq!(labels, vec!["'early'", "'late'", "'late2'"]);
+    }
+
+    #[test]
+    fn window_size_two_pointer() {
+        // timestamps: 0,1,2,10,11,50
+        let r = rel_with(&[0, 1, 2, 10, 11, 50]);
+        assert_eq!(r.window_size(Duration::ticks(0)), 1);
+        assert_eq!(r.window_size(Duration::ticks(2)), 3);
+        assert_eq!(r.window_size(Duration::ticks(11)), 5);
+        assert_eq!(r.window_size(Duration::ticks(100)), 6);
+        assert_eq!(Relation::new(schema()).window_size(Duration::ticks(5)), 0);
+    }
+
+    #[test]
+    fn window_size_counts_ties() {
+        let r = rel_with(&[7, 7, 7]);
+        assert_eq!(r.window_size(Duration::ZERO), 3);
+    }
+
+    #[test]
+    fn duplicate_matches_paper_datasets() {
+        let d1 = rel_with(&[0, 1, 2]);
+        let d3 = d1.duplicate(3);
+        assert_eq!(d3.len(), 9);
+        // Duplicates are consecutive and share timestamps.
+        assert_eq!(d3.event(EventId(0)).ts(), d3.event(EventId(2)).ts());
+        assert_eq!(
+            d3.window_size(Duration::ticks(2)),
+            3 * d1.window_size(Duration::ticks(2))
+        );
+        assert_eq!(d1.duplicate(1).len(), d1.len());
+        assert_eq!(d1.duplicate(0).len(), 0);
+    }
+
+    #[test]
+    fn merge_interleaves_chronologically() {
+        let a = rel_with(&[0, 4, 8]);
+        let b = rel_with(&[1, 4, 9]);
+        let c = rel_with(&[2]);
+        let merged = Relation::merge(&[&a, &b, &c]).unwrap();
+        let ts: Vec<i64> = merged.events().iter().map(|e| e.ts().ticks()).collect();
+        assert_eq!(ts, vec![0, 1, 2, 4, 4, 8, 9]);
+        // Ties keep source order: a's t=4 row (ID 1) precedes b's (ID 1).
+        assert_eq!(merged.len(), 7);
+        // Merging a single relation is a copy.
+        assert_eq!(Relation::merge(&[&a]).unwrap().len(), a.len());
+    }
+
+    #[test]
+    fn merge_rejects_incompatible_schemas() {
+        let a = rel_with(&[0]);
+        let other_schema = Schema::builder().attr("X", crate::AttrType::Int).build().unwrap();
+        let b = Relation::new(other_schema);
+        assert!(Relation::merge(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn between_slices_inclusive() {
+        let r = rel_with(&[0, 1, 2, 5, 5, 9]);
+        assert_eq!(r.between(Timestamp::new(1), Timestamp::new(5)).len(), 4);
+        assert_eq!(r.between(Timestamp::new(5), Timestamp::new(5)).len(), 2);
+        assert_eq!(r.between(Timestamp::new(3), Timestamp::new(4)).len(), 0);
+        assert_eq!(r.between(Timestamp::new(-10), Timestamp::new(100)).len(), 6);
+        // Inverted range is empty.
+        assert_eq!(r.between(Timestamp::new(9), Timestamp::new(0)).len(), 0);
+        // Slices stay chronological and share values.
+        let s = r.between(Timestamp::new(1), Timestamp::new(9));
+        assert_eq!(s.first_ts(), Some(Timestamp::new(1)));
+        assert_eq!(s.last_ts(), Some(Timestamp::new(9)));
+    }
+
+    #[test]
+    fn tumbling_windows_partition_events() {
+        let r = rel_with(&[0, 1, 2, 10, 11, 25, 26]);
+        let windows = r.tumbling_windows(Duration::ticks(10));
+        // [0,10): 0,1,2 — [10,20): 10,11 — [20,30): 25,26.
+        assert_eq!(windows.len(), 3);
+        assert_eq!(windows[0].len(), 3);
+        assert_eq!(windows[1].len(), 2);
+        assert_eq!(windows[2].len(), 2);
+        let total: usize = windows.iter().map(Relation::len).sum();
+        assert_eq!(total, r.len());
+        // Sparse data skips empty windows entirely.
+        let sparse = rel_with(&[0, 1000]);
+        let windows = sparse.tumbling_windows(Duration::ticks(10));
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[1].first_ts(), Some(Timestamp::new(1000)));
+        // Empty relation.
+        assert!(Relation::new(schema())
+            .tumbling_windows(Duration::ticks(5))
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn tumbling_windows_reject_zero_width() {
+        rel_with(&[0]).tumbling_windows(Duration::ZERO);
+    }
+
+    #[test]
+    fn first_last_and_iter() {
+        let r = rel_with(&[2, 5, 9]);
+        assert_eq!(r.first_ts(), Some(Timestamp::new(2)));
+        assert_eq!(r.last_ts(), Some(Timestamp::new(9)));
+        let ids: Vec<_> = r.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,330 @@
+//! Event schemas: named, typed, non-temporal attributes.
+//!
+//! The temporal attribute `T` is *not* part of the schema's attribute list;
+//! it is a structural field of every [`crate::Event`], mirroring the paper's
+//! schema `E = (A1, …, Al, T)` where `T` plays a distinguished role.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::{EventError, Value};
+
+/// Dense index of an attribute within a [`Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrId(pub u16);
+
+impl AttrId {
+    /// The attribute's position in the schema.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "attr#{}", self.0)
+    }
+}
+
+/// The type of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+}
+
+impl AttrType {
+    /// Whether values of type `self` can be compared against values of
+    /// type `other` (numeric types interoperate).
+    pub fn comparable_with(self, other: AttrType) -> bool {
+        use AttrType::*;
+        matches!(
+            (self, other),
+            (Int, Int) | (Int, Float) | (Float, Int) | (Float, Float) | (Str, Str) | (Bool, Bool)
+        )
+    }
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AttrType::Int => "INT",
+            AttrType::Float => "FLOAT",
+            AttrType::Str => "STR",
+            AttrType::Bool => "BOOL",
+        })
+    }
+}
+
+/// A named, typed attribute definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrDef {
+    /// Attribute name, unique within a schema (case-sensitive).
+    pub name: Arc<str>,
+    /// Attribute type.
+    pub ty: AttrType,
+}
+
+/// An event schema: an ordered list of uniquely named attributes.
+///
+/// Schemas are cheap to clone (`Arc` innards) and are shared by every event
+/// relation, compiled pattern, and store partition that uses them.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    inner: Arc<SchemaInner>,
+}
+
+#[derive(Debug)]
+struct SchemaInner {
+    attrs: Vec<AttrDef>,
+    by_name: HashMap<Arc<str>, AttrId>,
+}
+
+impl Schema {
+    /// Starts building a schema.
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder { attrs: Vec::new() }
+    }
+
+    /// The attributes, in declaration order.
+    pub fn attrs(&self) -> &[AttrDef] {
+        &self.inner.attrs
+    }
+
+    /// Number of non-temporal attributes.
+    pub fn len(&self) -> usize {
+        self.inner.attrs.len()
+    }
+
+    /// `true` iff the schema has no non-temporal attributes.
+    pub fn is_empty(&self) -> bool {
+        self.inner.attrs.is_empty()
+    }
+
+    /// Resolves an attribute name to its id.
+    pub fn attr_id(&self, name: &str) -> Option<AttrId> {
+        self.inner.by_name.get(name).copied()
+    }
+
+    /// The definition of an attribute.
+    pub fn attr(&self, id: AttrId) -> &AttrDef {
+        &self.inner.attrs[id.index()]
+    }
+
+    /// The name of an attribute.
+    pub fn attr_name(&self, id: AttrId) -> &str {
+        &self.inner.attrs[id.index()].name
+    }
+
+    /// The type of an attribute.
+    pub fn attr_type(&self, id: AttrId) -> AttrType {
+        self.inner.attrs[id.index()].ty
+    }
+
+    /// Checks that `values` conforms to this schema (arity and types).
+    pub fn check_row(&self, values: &[Value]) -> Result<(), EventError> {
+        if values.len() != self.len() {
+            return Err(EventError::ArityMismatch {
+                expected: self.len(),
+                got: values.len(),
+            });
+        }
+        for (i, v) in values.iter().enumerate() {
+            let expected = self.inner.attrs[i].ty;
+            let got = v.attr_type();
+            // Ints are accepted where floats are declared (lossless enough
+            // for the workloads here), but not vice versa.
+            let ok = got == expected || (expected == AttrType::Float && got == AttrType::Int);
+            if !ok {
+                return Err(EventError::TypeMismatch {
+                    attr: self.inner.attrs[i].name.to_string(),
+                    expected,
+                    got,
+                });
+            }
+            if let Value::Float(f) = v {
+                if f.is_nan() {
+                    return Err(EventError::NanValue {
+                        attr: self.inner.attrs[i].name.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Two schemas are compatible when their attribute names and types match
+    /// pairwise (used when appending relations or loading CSV against an
+    /// expected schema).
+    pub fn is_compatible(&self, other: &Schema) -> bool {
+        self.inner.attrs == other.inner.attrs
+    }
+}
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner) || self.is_compatible(other)
+    }
+}
+
+impl Eq for Schema {}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, a) in self.inner.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", a.name, a.ty)?;
+        }
+        write!(f, ", T)")
+    }
+}
+
+/// Builder for [`Schema`].
+#[derive(Debug)]
+pub struct SchemaBuilder {
+    attrs: Vec<AttrDef>,
+}
+
+impl SchemaBuilder {
+    /// Appends an attribute.
+    pub fn attr(mut self, name: impl AsRef<str>, ty: AttrType) -> Self {
+        self.attrs.push(AttrDef {
+            name: Arc::from(name.as_ref()),
+            ty,
+        });
+        self
+    }
+
+    /// Finalizes the schema, rejecting duplicate or empty attribute names
+    /// and the reserved temporal attribute name `T`.
+    pub fn build(self) -> Result<Schema, EventError> {
+        let mut by_name = HashMap::with_capacity(self.attrs.len());
+        if self.attrs.len() > u16::MAX as usize {
+            return Err(EventError::TooManyAttrs(self.attrs.len()));
+        }
+        for (i, a) in self.attrs.iter().enumerate() {
+            if a.name.is_empty() {
+                return Err(EventError::EmptyAttrName);
+            }
+            if a.name.as_ref() == "T" {
+                return Err(EventError::ReservedAttrName);
+            }
+            if by_name.insert(a.name.clone(), AttrId(i as u16)).is_some() {
+                return Err(EventError::DuplicateAttr(a.name.to_string()));
+            }
+        }
+        Ok(Schema {
+            inner: Arc::new(SchemaInner {
+                attrs: self.attrs,
+                by_name,
+            }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chemo_schema() -> Schema {
+        Schema::builder()
+            .attr("ID", AttrType::Int)
+            .attr("L", AttrType::Str)
+            .attr("V", AttrType::Float)
+            .attr("U", AttrType::Str)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builds_and_resolves_names() {
+        let s = chemo_schema();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.attr_id("L"), Some(AttrId(1)));
+        assert_eq!(s.attr_id("missing"), None);
+        assert_eq!(s.attr_name(AttrId(2)), "V");
+        assert_eq!(s.attr_type(AttrId(0)), AttrType::Int);
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let err = Schema::builder()
+            .attr("A", AttrType::Int)
+            .attr("A", AttrType::Str)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, EventError::DuplicateAttr(n) if n == "A"));
+    }
+
+    #[test]
+    fn rejects_reserved_and_empty_names() {
+        assert!(matches!(
+            Schema::builder().attr("T", AttrType::Int).build(),
+            Err(EventError::ReservedAttrName)
+        ));
+        assert!(matches!(
+            Schema::builder().attr("", AttrType::Int).build(),
+            Err(EventError::EmptyAttrName)
+        ));
+    }
+
+    #[test]
+    fn check_row_validates_arity_and_types() {
+        let s = chemo_schema();
+        assert!(s
+            .check_row(&[1.into(), "C".into(), 1672.5.into(), "mg".into()])
+            .is_ok());
+        // Int accepted for Float attribute.
+        assert!(s.check_row(&[1.into(), "C".into(), 84.into(), "mgl".into()]).is_ok());
+        assert!(matches!(
+            s.check_row(&[1.into(), "C".into(), 1.5.into()]),
+            Err(EventError::ArityMismatch { expected: 4, got: 3 })
+        ));
+        assert!(matches!(
+            s.check_row(&[1.into(), 2.into(), 1.5.into(), "mg".into()]),
+            Err(EventError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            s.check_row(&[1.into(), "C".into(), f64::NAN.into(), "mg".into()]),
+            Err(EventError::NanValue { .. })
+        ));
+    }
+
+    #[test]
+    fn compatibility_and_equality() {
+        let a = chemo_schema();
+        let b = chemo_schema();
+        assert!(a.is_compatible(&b));
+        assert_eq!(a, b);
+        let c = Schema::builder().attr("ID", AttrType::Str).build().unwrap();
+        assert!(!a.is_compatible(&c));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn comparable_with_matrix() {
+        use AttrType::*;
+        assert!(Int.comparable_with(Float));
+        assert!(Float.comparable_with(Int));
+        assert!(Str.comparable_with(Str));
+        assert!(!Str.comparable_with(Int));
+        assert!(!Bool.comparable_with(Float));
+    }
+
+    #[test]
+    fn display_shows_temporal_attribute() {
+        let s = chemo_schema();
+        assert_eq!(s.to_string(), "(ID: INT, L: STR, V: FLOAT, U: STR, T)");
+    }
+}

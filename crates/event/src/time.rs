@@ -1,0 +1,239 @@
+//! Discrete, ordered time domain.
+//!
+//! The paper assumes "a discrete and ordered time domain T, such as calendar
+//! days and hours". We model it as a signed 64-bit tick count. The unit of a
+//! tick is up to the application (the paper's running example uses hours and
+//! a window of `τ = 264` hours = 11 days).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in the discrete time domain (a tick count).
+///
+/// Ordering on timestamps is the total temporal order of the event model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(i64);
+
+impl Timestamp {
+    /// The smallest representable timestamp.
+    pub const MIN: Timestamp = Timestamp(i64::MIN);
+    /// The largest representable timestamp.
+    pub const MAX: Timestamp = Timestamp(i64::MAX);
+
+    /// Creates a timestamp from a raw tick count.
+    #[inline]
+    pub const fn new(ticks: i64) -> Self {
+        Timestamp(ticks)
+    }
+
+    /// Returns the raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> i64 {
+        self.0
+    }
+
+    /// Absolute temporal distance `|self − other|` as a [`Duration`].
+    ///
+    /// This is the quantity bounded by `τ` in condition 3 of the paper's
+    /// Definition 2 (`|e.T − e'.T| ≤ τ`). Saturates at the numeric limits.
+    #[inline]
+    pub fn distance(self, other: Timestamp) -> Duration {
+        Duration(self.0.saturating_sub(other.0).saturating_abs())
+    }
+
+    /// Saturating addition of a duration.
+    #[inline]
+    pub fn saturating_add(self, d: Duration) -> Timestamp {
+        Timestamp(self.0.saturating_add(d.0))
+    }
+}
+
+impl From<i64> for Timestamp {
+    #[inline]
+    fn from(t: i64) -> Self {
+        Timestamp(t)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl Add<Duration> for Timestamp {
+    type Output = Timestamp;
+    #[inline]
+    fn add(self, d: Duration) -> Timestamp {
+        Timestamp(self.0 + d.0)
+    }
+}
+
+impl AddAssign<Duration> for Timestamp {
+    #[inline]
+    fn add_assign(&mut self, d: Duration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<Duration> for Timestamp {
+    type Output = Timestamp;
+    #[inline]
+    fn sub(self, d: Duration) -> Timestamp {
+        Timestamp(self.0 - d.0)
+    }
+}
+
+impl SubAssign<Duration> for Timestamp {
+    #[inline]
+    fn sub_assign(&mut self, d: Duration) {
+        self.0 -= d.0;
+    }
+}
+
+impl Sub for Timestamp {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, other: Timestamp) -> Duration {
+        Duration(self.0 - other.0)
+    }
+}
+
+/// A span of time, in ticks.
+///
+/// Used for the maximal window `τ` of an SES pattern. A duration may be
+/// negative when produced by subtracting timestamps; pattern validation
+/// rejects negative `τ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(i64);
+
+impl Duration {
+    /// The zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+    /// The largest representable duration (an effectively unbounded window).
+    pub const MAX: Duration = Duration(i64::MAX);
+
+    /// Creates a duration from a raw tick count.
+    #[inline]
+    pub const fn ticks(ticks: i64) -> Self {
+        Duration(ticks)
+    }
+
+    /// Returns the raw tick count.
+    #[inline]
+    pub const fn as_ticks(self) -> i64 {
+        self.0
+    }
+
+    /// `true` iff the duration is negative.
+    #[inline]
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// Convenience constructor when a tick is interpreted as one hour.
+    #[inline]
+    pub const fn hours(h: i64) -> Self {
+        Duration(h)
+    }
+
+    /// Convenience constructor when a tick is interpreted as one hour:
+    /// `days(d)` = `hours(24 d)`.
+    #[inline]
+    pub const fn days(d: i64) -> Self {
+        Duration(d * 24)
+    }
+}
+
+impl From<i64> for Duration {
+    #[inline]
+    fn from(t: i64) -> Self {
+        Duration(t)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ticks", self.0)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, other: Duration) -> Duration {
+        Duration(self.0 + other.0)
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, other: Duration) -> Duration {
+        Duration(self.0 - other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_ordering_is_total() {
+        let a = Timestamp::new(5);
+        let b = Timestamp::new(9);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(Timestamp::MIN.min(a), Timestamp::MIN);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_nonnegative() {
+        let a = Timestamp::new(-3);
+        let b = Timestamp::new(10);
+        assert_eq!(a.distance(b), Duration::ticks(13));
+        assert_eq!(b.distance(a), Duration::ticks(13));
+        assert_eq!(a.distance(a), Duration::ZERO);
+    }
+
+    #[test]
+    fn distance_saturates_at_extremes() {
+        assert_eq!(Timestamp::MIN.distance(Timestamp::MAX), Duration::MAX);
+        assert_eq!(Timestamp::MAX.distance(Timestamp::MIN), Duration::MAX);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        assert_eq!(Duration::days(11), Duration::hours(264));
+        assert_eq!(Duration::hours(2) + Duration::hours(3), Duration::hours(5));
+        assert_eq!(Duration::hours(2) - Duration::hours(3), Duration::hours(-1));
+        assert!((Duration::hours(2) - Duration::hours(3)).is_negative());
+    }
+
+    #[test]
+    fn timestamp_duration_arithmetic() {
+        let t = Timestamp::new(100);
+        assert_eq!(t + Duration::ticks(10), Timestamp::new(110));
+        assert_eq!(t - Duration::ticks(10), Timestamp::new(90));
+        assert_eq!(Timestamp::new(110) - t, Duration::ticks(10));
+        let mut u = t;
+        u += Duration::ticks(1);
+        u -= Duration::ticks(2);
+        assert_eq!(u, Timestamp::new(99));
+    }
+
+    #[test]
+    fn saturating_add_caps_at_max() {
+        assert_eq!(Timestamp::MAX.saturating_add(Duration::ticks(5)), Timestamp::MAX);
+        assert_eq!(
+            Timestamp::new(0).saturating_add(Duration::ticks(5)),
+            Timestamp::new(5)
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Timestamp::new(42).to_string(), "t42");
+        assert_eq!(Duration::ticks(7).to_string(), "7 ticks");
+    }
+}

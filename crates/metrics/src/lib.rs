@@ -1,0 +1,13 @@
+//! Instrumentation for the SES experiments: a counting engine probe, a
+//! stopwatch, summary statistics, and plain-text report tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod probe;
+mod report;
+mod stopwatch;
+
+pub use probe::{CountingProbe, SeriesProbe};
+pub use report::{fmt_f64, Align, Table};
+pub use stopwatch::{timed, Stopwatch, Summary};

@@ -1,0 +1,198 @@
+//! A counting [`Probe`] recording the quantities the paper's evaluation
+//! reports.
+
+use ses_core::Probe;
+
+/// Counters collected during one engine run.
+///
+/// `omega_max` is the paper's measured parameter in experiments 1 and 2:
+/// "the maximal number of automaton instances that are simultaneously
+/// active during the execution".
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CountingProbe {
+    /// Events read from the relation.
+    pub events_read: u64,
+    /// Events dropped by the §4.5 filter.
+    pub events_filtered: u64,
+    /// Fresh instances spawned in the start state.
+    pub instances_spawned: u64,
+    /// Instances created by nondeterministic branching.
+    pub instances_branched: u64,
+    /// Instances that expired (window exceeded).
+    pub instances_expired: u64,
+    /// Transition condition sets evaluated.
+    pub transitions_evaluated: u64,
+    /// Transitions taken.
+    pub transitions_taken: u64,
+    /// Raw matches emitted.
+    pub matches_emitted: u64,
+    /// Peak simultaneous instances, `max |Ω|`.
+    pub omega_max: usize,
+    /// Sum of per-event `|Ω|` samples (for averages).
+    pub omega_sum: u64,
+    /// Number of `|Ω|` samples.
+    pub omega_samples: u64,
+}
+
+impl CountingProbe {
+    /// A fresh probe with all counters at zero.
+    pub fn new() -> CountingProbe {
+        CountingProbe::default()
+    }
+
+    /// Mean `|Ω|` over all samples (0.0 when nothing was sampled).
+    pub fn omega_mean(&self) -> f64 {
+        if self.omega_samples == 0 {
+            0.0
+        } else {
+            self.omega_sum as f64 / self.omega_samples as f64
+        }
+    }
+
+    /// Fraction of read events dropped by the filter.
+    pub fn filter_rate(&self) -> f64 {
+        if self.events_read == 0 {
+            0.0
+        } else {
+            self.events_filtered as f64 / self.events_read as f64
+        }
+    }
+
+    /// Resets every counter.
+    pub fn reset(&mut self) {
+        *self = CountingProbe::default();
+    }
+}
+
+impl Probe for CountingProbe {
+    fn event_read(&mut self) {
+        self.events_read += 1;
+    }
+    fn event_filtered(&mut self) {
+        self.events_filtered += 1;
+    }
+    fn instance_spawned(&mut self) {
+        self.instances_spawned += 1;
+    }
+    fn instance_branched(&mut self) {
+        self.instances_branched += 1;
+    }
+    fn instance_expired(&mut self) {
+        self.instances_expired += 1;
+    }
+    fn transition_evaluated(&mut self) {
+        self.transitions_evaluated += 1;
+    }
+    fn transition_taken(&mut self) {
+        self.transitions_taken += 1;
+    }
+    fn match_emitted(&mut self) {
+        self.matches_emitted += 1;
+    }
+    fn omega(&mut self, n: usize) {
+        self.omega_max = self.omega_max.max(n);
+        self.omega_sum += n as u64;
+        self.omega_samples += 1;
+    }
+}
+
+/// A probe that additionally records the full per-event `|Ω|` series —
+/// the data behind Figure-12-style plots. Heavier than [`CountingProbe`]
+/// (one `usize` per event); use for analysis, not steady-state matching.
+#[derive(Debug, Clone, Default)]
+pub struct SeriesProbe {
+    /// Aggregate counters.
+    pub counts: CountingProbe,
+    /// `|Ω|` after each (unfiltered) event, in stream order.
+    pub omega_series: Vec<usize>,
+}
+
+impl SeriesProbe {
+    /// A fresh probe.
+    pub fn new() -> SeriesProbe {
+        SeriesProbe::default()
+    }
+
+    /// `(index, |Ω|)` of the peak sample, if any events were processed.
+    pub fn peak(&self) -> Option<(usize, usize)> {
+        self.omega_series
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &n)| (n, std::cmp::Reverse(i)))
+            .map(|(i, &n)| (i, n))
+    }
+}
+
+impl Probe for SeriesProbe {
+    fn event_read(&mut self) {
+        self.counts.event_read();
+    }
+    fn event_filtered(&mut self) {
+        self.counts.event_filtered();
+    }
+    fn instance_spawned(&mut self) {
+        self.counts.instance_spawned();
+    }
+    fn instance_branched(&mut self) {
+        self.counts.instance_branched();
+    }
+    fn instance_expired(&mut self) {
+        self.counts.instance_expired();
+    }
+    fn transition_evaluated(&mut self) {
+        self.counts.transition_evaluated();
+    }
+    fn transition_taken(&mut self) {
+        self.counts.transition_taken();
+    }
+    fn match_emitted(&mut self) {
+        self.counts.match_emitted();
+    }
+    fn omega(&mut self, n: usize) {
+        self.counts.omega(n);
+        self.omega_series.push(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_probe_records_samples() {
+        let mut p = SeriesProbe::new();
+        for n in [1usize, 4, 2, 4, 0] {
+            p.omega(n);
+        }
+        assert_eq!(p.omega_series, vec![1, 4, 2, 4, 0]);
+        assert_eq!(p.counts.omega_max, 4);
+        // Peak reports the first index attaining the maximum.
+        assert_eq!(p.peak(), Some((1, 4)));
+        assert_eq!(SeriesProbe::new().peak(), None);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut p = CountingProbe::new();
+        p.event_read();
+        p.event_read();
+        p.event_filtered();
+        p.omega(3);
+        p.omega(7);
+        p.omega(2);
+        assert_eq!(p.events_read, 2);
+        assert_eq!(p.omega_max, 7);
+        assert_eq!(p.omega_samples, 3);
+        assert!((p.omega_mean() - 4.0).abs() < 1e-12);
+        assert!((p.filter_rate() - 0.5).abs() < 1e-12);
+        p.reset();
+        assert_eq!(p, CountingProbe::default());
+    }
+
+    #[test]
+    fn empty_probe_rates_are_zero() {
+        let p = CountingProbe::new();
+        assert_eq!(p.omega_mean(), 0.0);
+        assert_eq!(p.filter_rate(), 0.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Plain-text report tables for the experiment harness.
+//!
+//! The `experiments` binary prints the same rows the paper's tables and
+//! figure series report; [`Table`] renders them with aligned columns and
+//! no third-party dependencies.
+
+use std::fmt;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple aligned text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers; numeric alignment
+    /// defaults to [`Align::Right`] for all but the first column.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Table {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let aligns = headers
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        Table {
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Overrides the alignment of column `col`.
+    pub fn align(mut self, col: usize, align: Align) -> Table {
+        self.aligns[col] = align;
+        self
+    }
+
+    /// Appends a row; panics if the arity does not match the headers.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Table {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity must match headers"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for i in 0..ncols {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                let pad = widths[i] - cells[i].chars().count();
+                match self.aligns[i] {
+                    Align::Left => write!(f, "{}{}", cells[i], " ".repeat(pad))?,
+                    Align::Right => write!(f, "{}{}", " ".repeat(pad), cells[i])?,
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        writeln!(f, "{}", "-".repeat(rule))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with `digits` significant decimals, trimming trailing
+/// zeros (for table cells).
+pub fn fmt_f64(x: f64, digits: usize) -> String {
+    let s = format!("{x:.digits$}");
+    if s.contains('.') {
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["pattern", "|Ω| SES", "|Ω| BF"]);
+        t.row(["P1", "45", "45"]);
+        t.row(["P2-long-name", "116", "14150"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("pattern"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Right-aligned numbers end at the same column.
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(lines[3].ends_with("14150"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn alignment_override() {
+        let mut t = Table::new(["n", "label"]).align(1, Align::Left);
+        t.row(["1", "x"]);
+        t.row(["2", "yy"]);
+        let s = t.to_string();
+        assert!(s.lines().nth(2).unwrap().contains("x "));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(1.5000, 3), "1.5");
+        assert_eq!(fmt_f64(2.0, 2), "2");
+        assert_eq!(fmt_f64(0.1234, 2), "0.12");
+        assert_eq!(fmt_f64(122.0, 1), "122");
+    }
+}

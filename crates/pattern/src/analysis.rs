@@ -1,0 +1,432 @@
+//! Static pattern analysis: mutual exclusion (Definition 6) and the
+//! complexity classes of Theorems 1–3.
+//!
+//! The analysis is **conservative in the sound direction**: when it reports
+//! two variables as mutually exclusive, no single event can satisfy both
+//! variables' constant conditions; when it cannot prove exclusion it says
+//! "not exclusive" (e.g. over discrete integer domains where `> 5 ∧ < 6`
+//! is in fact unsatisfiable, we assume density and report satisfiable).
+//! This errs toward predicting *more* nondeterminism, never less.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use ses_event::{CmpOp, Value};
+
+use crate::compiled::{CompiledCondition, CompiledRhs};
+use crate::{Pattern, VarId};
+
+/// Upper bound on the number of simultaneous automaton instances
+/// contributed by one event set pattern (Theorems 1–3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComplexityClass {
+    /// Theorem 1: all variables pairwise mutually exclusive → `O(1)`.
+    Constant,
+    /// Theorem 2: not mutually exclusive, no group variable → `O(n!)`.
+    Factorial {
+        /// `n = |Vi|`.
+        n: usize,
+    },
+    /// Theorem 3, `k = 1`: one group variable → `O((n−1)!·W^n)`.
+    GroupPolynomial {
+        /// `n = |Vi|`.
+        n: usize,
+    },
+    /// Theorem 3, `k > 1`: `k` group variables → `O(k·(n−1)!·k^(W·n))`.
+    GroupExponential {
+        /// `n = |Vi|`.
+        n: usize,
+        /// Number of group variables.
+        k: usize,
+    },
+}
+
+impl ComplexityClass {
+    /// Evaluates the bound for a concrete window size `W`, saturating at
+    /// `u64::MAX`. Useful for plotting predicted vs measured |Ω|.
+    pub fn bound(&self, window: u64) -> u64 {
+        fn fact(n: u64) -> u64 {
+            (1..=n).try_fold(1u64, |a, b| a.checked_mul(b)).unwrap_or(u64::MAX)
+        }
+        fn pow(b: u64, e: u64) -> u64 {
+            let e = u32::try_from(e).unwrap_or(u32::MAX);
+            b.checked_pow(e).unwrap_or(u64::MAX)
+        }
+        match *self {
+            ComplexityClass::Constant => 1,
+            ComplexityClass::Factorial { n } => fact(n as u64),
+            ComplexityClass::GroupPolynomial { n } => {
+                fact(n as u64 - 1).saturating_mul(pow(window, n as u64))
+            }
+            ComplexityClass::GroupExponential { n, k } => (k as u64)
+                .checked_mul(fact(n as u64 - 1))
+                .and_then(|x| x.checked_mul(pow(k as u64, window.saturating_mul(n as u64))))
+                .unwrap_or(u64::MAX),
+        }
+    }
+}
+
+impl fmt::Display for ComplexityClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ComplexityClass::Constant => write!(f, "O(1)"),
+            ComplexityClass::Factorial { n } => write!(f, "O({n}!)"),
+            ComplexityClass::GroupPolynomial { n } => write!(f, "O({}!·W^{n})", n - 1),
+            ComplexityClass::GroupExponential { n, k } => {
+                write!(f, "O({k}·{}!·{k}^(W·{n}))", n - 1)
+            }
+        }
+    }
+}
+
+/// The result of statically analyzing a compiled pattern.
+#[derive(Debug, Clone)]
+pub struct PatternAnalysis {
+    num_vars: usize,
+    /// Row `i` holds a bitmask of the variables mutually exclusive with
+    /// variable `i`.
+    exclusive: Vec<u64>,
+    per_set: Vec<ComplexityClass>,
+}
+
+impl PatternAnalysis {
+    pub(crate) fn analyze(pattern: &Pattern, conditions: &[CompiledCondition]) -> PatternAnalysis {
+        let n = pattern.num_vars();
+        let mut exclusive = vec![0u64; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if vars_mutually_exclusive(VarId(i as u16), VarId(j as u16), conditions) {
+                    exclusive[i] |= 1 << j;
+                    exclusive[j] |= 1 << i;
+                }
+            }
+        }
+        let analysis = PatternAnalysis {
+            num_vars: n,
+            exclusive,
+            per_set: Vec::new(),
+        };
+        let per_set = (0..pattern.num_sets())
+            .map(|s| analysis.classify_set(pattern, s))
+            .collect();
+        PatternAnalysis { per_set, ..analysis }
+    }
+
+    fn classify_set(&self, pattern: &Pattern, set_idx: usize) -> ComplexityClass {
+        let set = pattern.set(set_idx);
+        let n = set.len();
+        if self.set_pairwise_exclusive(set) {
+            return ComplexityClass::Constant;
+        }
+        let k = pattern.group_count(set_idx);
+        match k {
+            0 => ComplexityClass::Factorial { n },
+            1 => ComplexityClass::GroupPolynomial { n },
+            _ => ComplexityClass::GroupExponential { n, k },
+        }
+    }
+
+    fn set_pairwise_exclusive(&self, set: &[VarId]) -> bool {
+        set.iter().all(|&u| {
+            set.iter()
+                .all(|&v| u == v || self.is_exclusive(u, v))
+        })
+    }
+
+    /// `true` iff variables `u` and `v` are provably mutually exclusive
+    /// (Definition 6): some pair of constant conditions on the same
+    /// attribute cannot be satisfied by a single event.
+    pub fn is_exclusive(&self, u: VarId, v: VarId) -> bool {
+        u != v && (self.exclusive[u.index()] >> v.index()) & 1 == 1
+    }
+
+    /// `true` iff all variables of event set pattern `set_idx` are pairwise
+    /// mutually exclusive (the premise of Theorem 1).
+    pub fn all_pairwise_mutually_exclusive(&self, set_idx: usize) -> bool {
+        self.per_set[set_idx] == ComplexityClass::Constant
+    }
+
+    /// The complexity class of event set pattern `set_idx`.
+    pub fn set_class(&self, set_idx: usize) -> ComplexityClass {
+        self.per_set[set_idx]
+    }
+
+    /// Per-set complexity classes in sequence order.
+    pub fn set_classes(&self) -> &[ComplexityClass] {
+        &self.per_set
+    }
+
+    /// The worst per-set bound evaluated at window size `W` — the
+    /// `|Ω|max` of the paper's overall bound `O(W · |Ω|max^m)`.
+    pub fn worst_set_bound(&self, window: u64) -> u64 {
+        self.per_set.iter().map(|c| c.bound(window)).max().unwrap_or(1)
+    }
+
+    /// Number of variables analyzed.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+}
+
+/// Definition 6: `v` and `v'` are mutually exclusive iff there exist
+/// constant conditions `v.A φ C` and `v'.A φ' C'` (same attribute `A`)
+/// that no single event can satisfy simultaneously.
+fn vars_mutually_exclusive(u: VarId, v: VarId, conditions: &[CompiledCondition]) -> bool {
+    let consts_of = |var: VarId| {
+        conditions
+            .iter()
+            .filter(move |c| c.lhs_var == var && c.is_constant())
+    };
+    for cu in consts_of(u) {
+        for cv in consts_of(v) {
+            if cu.lhs_attr != cv.lhs_attr {
+                continue;
+            }
+            let (CompiledRhs::Const(a), CompiledRhs::Const(b)) = (&cu.rhs, &cv.rhs) else {
+                continue;
+            };
+            if constraints_incompatible(cu.op, a, cv.op, b) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Decides whether `x φ1 c1 ∧ x φ2 c2` is unsatisfiable over a dense,
+/// totally ordered domain (sound under-approximation for discrete domains).
+pub(crate) fn constraints_incompatible(op1: CmpOp, c1: &Value, op2: CmpOp, c2: &Value) -> bool {
+    use CmpOp::*;
+    let Some(ord) = c1.try_cmp(c2) else {
+        // Incomparable constant types: an equality against each cannot both
+        // hold; anything else we conservatively call satisfiable.
+        return op1 == Eq && op2 == Eq;
+    };
+    match (op1, op2) {
+        (Eq, Eq) => ord != Ordering::Equal,
+        (Eq, Ne) | (Ne, Eq) => ord == Ordering::Equal,
+        (Eq, _) => !op2.eval(ord), // c1 must satisfy φ2 vs c2
+        (_, Eq) => !op1.eval(ord.reverse()), // c2 must satisfy φ1 vs c1
+        (Ne, _) | (_, Ne) => false, // rays minus a point are never empty (dense)
+        _ => {
+            // Two rays. Empty iff one is a lower ray, the other an upper
+            // ray, and they do not overlap.
+            let lower = |op: CmpOp| matches!(op, Lt | Le);
+            let strict = |op: CmpOp| matches!(op, Lt | Gt);
+            if lower(op1) == lower(op2) {
+                return false; // same direction always overlaps
+            }
+            // Normalize: `lo_bound` from the upper ray (x > / ≥ bound),
+            // `hi_bound` from the lower ray (x < / ≤ bound).
+            let (hi, hi_op, lo, lo_op) = if lower(op1) {
+                (c1, op1, c2, op2)
+            } else {
+                (c2, op2, c1, op1)
+            };
+            match lo.try_cmp(hi) {
+                Some(Ordering::Greater) => true,
+                Some(Ordering::Equal) => strict(lo_op) || strict(hi_op),
+                _ => false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ses_event::{AttrType, Duration, Schema};
+    use crate::Pattern;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attr("ID", AttrType::Int)
+            .attr("L", AttrType::Str)
+            .attr("V", AttrType::Float)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn incompatible_equalities() {
+        let a = Value::from("C");
+        let b = Value::from("D");
+        assert!(constraints_incompatible(CmpOp::Eq, &a, CmpOp::Eq, &b));
+        assert!(!constraints_incompatible(CmpOp::Eq, &a, CmpOp::Eq, &a));
+    }
+
+    #[test]
+    fn eq_vs_ne() {
+        let a = Value::from(5);
+        assert!(constraints_incompatible(CmpOp::Eq, &a, CmpOp::Ne, &a));
+        assert!(constraints_incompatible(CmpOp::Ne, &a, CmpOp::Eq, &a));
+        assert!(!constraints_incompatible(CmpOp::Eq, &a, CmpOp::Ne, &Value::from(6)));
+    }
+
+    #[test]
+    fn eq_vs_ranges() {
+        let five = Value::from(5);
+        let ten = Value::from(10);
+        // x = 10 ∧ x < 5 → unsat
+        assert!(constraints_incompatible(CmpOp::Eq, &ten, CmpOp::Lt, &five));
+        // x = 3 ∧ x < 5 → sat
+        assert!(!constraints_incompatible(CmpOp::Eq, &Value::from(3), CmpOp::Lt, &five));
+        // x > 10 ∧ x = 5 → unsat (Eq on the right)
+        assert!(constraints_incompatible(CmpOp::Gt, &ten, CmpOp::Eq, &five));
+        // x ≥ 5 ∧ x = 5 → sat
+        assert!(!constraints_incompatible(CmpOp::Ge, &five, CmpOp::Eq, &five));
+        // x < 5 ∧ x = 5 → unsat
+        assert!(constraints_incompatible(CmpOp::Lt, &five, CmpOp::Eq, &five));
+    }
+
+    #[test]
+    fn opposite_rays() {
+        let five = Value::from(5);
+        let ten = Value::from(10);
+        // x < 5 ∧ x > 10 → unsat
+        assert!(constraints_incompatible(CmpOp::Lt, &five, CmpOp::Gt, &ten));
+        // x > 10 ∧ x < 5 (swapped) → unsat
+        assert!(constraints_incompatible(CmpOp::Gt, &ten, CmpOp::Lt, &five));
+        // x < 5 ∧ x ≥ 5 → unsat (touching, one strict)
+        assert!(constraints_incompatible(CmpOp::Lt, &five, CmpOp::Ge, &five));
+        // x ≤ 5 ∧ x ≥ 5 → sat (both inclusive)
+        assert!(!constraints_incompatible(CmpOp::Le, &five, CmpOp::Ge, &five));
+        // x ≤ 10 ∧ x ≥ 5 → sat (overlap)
+        assert!(!constraints_incompatible(CmpOp::Le, &ten, CmpOp::Ge, &five));
+        // same direction always sat
+        assert!(!constraints_incompatible(CmpOp::Lt, &five, CmpOp::Le, &ten));
+        assert!(!constraints_incompatible(CmpOp::Gt, &five, CmpOp::Ge, &ten));
+    }
+
+    #[test]
+    fn ne_with_rays_is_satisfiable() {
+        let five = Value::from(5);
+        assert!(!constraints_incompatible(CmpOp::Ne, &five, CmpOp::Lt, &five));
+        assert!(!constraints_incompatible(CmpOp::Ne, &five, CmpOp::Ne, &five));
+    }
+
+    #[test]
+    fn incomparable_constants_only_exclude_equalities() {
+        let s = Value::from("x");
+        let i = Value::from(1);
+        assert!(constraints_incompatible(CmpOp::Eq, &s, CmpOp::Eq, &i));
+        assert!(!constraints_incompatible(CmpOp::Lt, &s, CmpOp::Gt, &i));
+    }
+
+    fn classify(p: &Pattern) -> PatternAnalysis {
+        p.compile(&schema()).unwrap().analysis().clone()
+    }
+
+    #[test]
+    fn theorem1_mutually_exclusive_pattern() {
+        // Paper P1: distinct L values per variable.
+        let p = Pattern::builder()
+            .set(|s| s.var("c").var("d").var("p"))
+            .set(|s| s.var("b"))
+            .cond_const("c", "L", CmpOp::Eq, "C")
+            .cond_const("d", "L", CmpOp::Eq, "D")
+            .cond_const("p", "L", CmpOp::Eq, "P")
+            .cond_const("b", "L", CmpOp::Eq, "B")
+            .within(Duration::hours(264))
+            .build()
+            .unwrap();
+        let a = classify(&p);
+        assert!(a.is_exclusive(VarId(0), VarId(1)));
+        assert!(!a.is_exclusive(VarId(0), VarId(0)));
+        assert_eq!(a.set_class(0), ComplexityClass::Constant);
+        assert_eq!(a.set_class(1), ComplexityClass::Constant);
+        assert!(a.all_pairwise_mutually_exclusive(0));
+        assert_eq!(a.worst_set_bound(1000), 1);
+    }
+
+    #[test]
+    fn theorem2_same_type_pattern() {
+        // Paper P2/P4: all V1 variables match the same L value.
+        let p = Pattern::builder()
+            .set(|s| s.var("c").var("d").var("p"))
+            .set(|s| s.var("b"))
+            .cond_const("c", "L", CmpOp::Eq, "M")
+            .cond_const("d", "L", CmpOp::Eq, "M")
+            .cond_const("p", "L", CmpOp::Eq, "M")
+            .cond_const("b", "L", CmpOp::Eq, "B")
+            .build()
+            .unwrap();
+        let a = classify(&p);
+        assert_eq!(a.set_class(0), ComplexityClass::Factorial { n: 3 });
+        assert_eq!(a.set_class(0).bound(0), 6);
+        assert!(!a.all_pairwise_mutually_exclusive(0));
+    }
+
+    #[test]
+    fn theorem3_single_group_var() {
+        // Paper P3: {c, d, p+} with identical types.
+        let p = Pattern::builder()
+            .set(|s| s.var("c").var("d").plus("p"))
+            .cond_const("c", "L", CmpOp::Eq, "M")
+            .cond_const("d", "L", CmpOp::Eq, "M")
+            .cond_const("p", "L", CmpOp::Eq, "M")
+            .build()
+            .unwrap();
+        let a = classify(&p);
+        assert_eq!(a.set_class(0), ComplexityClass::GroupPolynomial { n: 3 });
+        // (3-1)! · W^3 at W=10 → 2000
+        assert_eq!(a.set_class(0).bound(10), 2000);
+    }
+
+    #[test]
+    fn theorem3_multiple_group_vars() {
+        let p = Pattern::builder()
+            .set(|s| s.plus("a").plus("b").var("c"))
+            .cond_const("a", "L", CmpOp::Eq, "M")
+            .cond_const("b", "L", CmpOp::Eq, "M")
+            .cond_const("c", "L", CmpOp::Eq, "M")
+            .build()
+            .unwrap();
+        let a = classify(&p);
+        assert_eq!(
+            a.set_class(0),
+            ComplexityClass::GroupExponential { n: 3, k: 2 }
+        );
+        assert_eq!(a.set_class(0).bound(64), u64::MAX); // saturates
+    }
+
+    #[test]
+    fn group_vars_with_exclusive_types_are_constant() {
+        // Mutual exclusion wins even with a group variable present
+        // (Theorem 1 has no caveat about quantifiers).
+        let p = Pattern::builder()
+            .set(|s| s.var("c").plus("p"))
+            .cond_const("c", "L", CmpOp::Eq, "C")
+            .cond_const("p", "L", CmpOp::Eq, "P")
+            .build()
+            .unwrap();
+        assert_eq!(classify(&p).set_class(0), ComplexityClass::Constant);
+    }
+
+    #[test]
+    fn range_based_exclusion() {
+        let p = Pattern::builder()
+            .set(|s| s.var("small").var("big"))
+            .cond_const("small", "V", CmpOp::Lt, 10.0)
+            .cond_const("big", "V", CmpOp::Ge, 10.0)
+            .build()
+            .unwrap();
+        let a = classify(&p);
+        assert!(a.is_exclusive(VarId(0), VarId(1)));
+        assert_eq!(a.set_class(0), ComplexityClass::Constant);
+    }
+
+    #[test]
+    fn display_bounds() {
+        assert_eq!(ComplexityClass::Constant.to_string(), "O(1)");
+        assert_eq!(ComplexityClass::Factorial { n: 4 }.to_string(), "O(4!)");
+        assert_eq!(
+            ComplexityClass::GroupPolynomial { n: 3 }.to_string(),
+            "O(2!·W^3)"
+        );
+        assert_eq!(
+            ComplexityClass::GroupExponential { n: 3, k: 2 }.to_string(),
+            "O(2·2!·2^(W·3))"
+        );
+    }
+}

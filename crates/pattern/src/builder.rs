@@ -1,0 +1,415 @@
+//! Fluent builder for [`Pattern`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ses_event::{CmpOp, Duration, Value};
+
+use crate::condition::{AttrRef, Rhs};
+use crate::{Condition, Pattern, PatternError, Quantifier, VarId, Variable};
+
+/// Builder for one event set pattern `Vi`; obtained through
+/// [`PatternBuilder::set`].
+#[derive(Debug, Default)]
+pub struct SetBuilder {
+    vars: Vec<(String, Quantifier)>,
+}
+
+impl SetBuilder {
+    /// Adds a singleton variable `v`.
+    pub fn var(&mut self, name: impl Into<String>) -> &mut Self {
+        self.vars.push((name.into(), Quantifier::Singleton));
+        self
+    }
+
+    /// Adds a group variable `v+` (Kleene plus).
+    pub fn plus(&mut self, name: impl Into<String>) -> &mut Self {
+        self.vars.push((name.into(), Quantifier::Plus));
+        self
+    }
+}
+
+/// Named (pre-resolution) condition as collected by the builder.
+#[derive(Debug)]
+struct RawCondition {
+    lhs_var: String,
+    lhs_attr: String,
+    op: CmpOp,
+    rhs: RawRhs,
+}
+
+#[derive(Debug)]
+enum RawRhs {
+    Const(Value),
+    Attr { var: String, attr: String },
+}
+
+/// Named (pre-resolution) negation condition.
+#[derive(Debug)]
+struct RawNegCondition {
+    neg: String,
+    attr: String,
+    op: CmpOp,
+    rhs: RawRhs,
+}
+
+/// Fluent builder for [`Pattern`]; see the crate-level example.
+#[derive(Debug, Default)]
+pub struct PatternBuilder {
+    sets: Vec<Vec<(String, Quantifier)>>,
+    conditions: Vec<RawCondition>,
+    /// `(name, after_set)` — declared between two `.set(…)` calls.
+    negations: Vec<(String, usize)>,
+    neg_conditions: Vec<RawNegCondition>,
+    within: Option<Duration>,
+}
+
+impl PatternBuilder {
+    pub(crate) fn new() -> PatternBuilder {
+        PatternBuilder::default()
+    }
+
+    /// Appends an event set pattern, populated by the closure:
+    ///
+    /// ```
+    /// # use ses_pattern::Pattern;
+    /// # use ses_event::Duration;
+    /// let p = Pattern::builder()
+    ///     .set(|s| s.var("c").plus("p").var("d"))
+    ///     .set(|s| s.var("b"))
+    ///     .within(Duration::hours(264))
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(p.num_sets(), 2);
+    /// ```
+    pub fn set(mut self, f: impl FnOnce(&mut SetBuilder) -> &mut SetBuilder) -> Self {
+        let mut sb = SetBuilder::default();
+        f(&mut sb);
+        self.sets.push(sb.vars);
+        self
+    }
+
+    /// Appends a constant condition `var.attr op value`.
+    pub fn cond_const(
+        mut self,
+        var: impl Into<String>,
+        attr: impl Into<String>,
+        op: CmpOp,
+        value: impl Into<Value>,
+    ) -> Self {
+        self.conditions.push(RawCondition {
+            lhs_var: var.into(),
+            lhs_attr: attr.into(),
+            op,
+            rhs: RawRhs::Const(value.into()),
+        });
+        self
+    }
+
+    /// Appends a variable condition `var.attr op other.other_attr`.
+    pub fn cond_vars(
+        mut self,
+        var: impl Into<String>,
+        attr: impl Into<String>,
+        op: CmpOp,
+        other: impl Into<String>,
+        other_attr: impl Into<String>,
+    ) -> Self {
+        self.conditions.push(RawCondition {
+            lhs_var: var.into(),
+            lhs_attr: attr.into(),
+            op,
+            rhs: RawRhs::Attr {
+                var: other.into(),
+                attr: other_attr.into(),
+            },
+        });
+        self
+    }
+
+    /// Declares a negated variable guarding the gap between the most
+    /// recently declared set and the next one (extension beyond the
+    /// paper; see [`crate::Negation`]). Must be called after at least one
+    /// `.set(…)` and before the following one.
+    ///
+    /// ```
+    /// # use ses_pattern::Pattern;
+    /// # use ses_event::CmpOp;
+    /// let p = Pattern::builder()
+    ///     .set(|s| s.var("a"))
+    ///     .negate("x")
+    ///     .set(|s| s.var("b"))
+    ///     .neg_cond_const("x", "L", CmpOp::Eq, "X")
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(p.negations().len(), 1);
+    /// ```
+    pub fn negate(mut self, name: impl Into<String>) -> Self {
+        let after = self.sets.len().wrapping_sub(1);
+        self.negations.push((name.into(), after));
+        self
+    }
+
+    /// Appends a constant condition on a negated variable:
+    /// `neg.attr op value`.
+    pub fn neg_cond_const(
+        mut self,
+        neg: impl Into<String>,
+        attr: impl Into<String>,
+        op: CmpOp,
+        value: impl Into<Value>,
+    ) -> Self {
+        self.neg_conditions.push(RawNegCondition {
+            neg: neg.into(),
+            attr: attr.into(),
+            op,
+            rhs: RawRhs::Const(value.into()),
+        });
+        self
+    }
+
+    /// Appends a condition relating a negated variable to a positive
+    /// one: `neg.attr op var.var_attr`.
+    pub fn neg_cond_vars(
+        mut self,
+        neg: impl Into<String>,
+        attr: impl Into<String>,
+        op: CmpOp,
+        var: impl Into<String>,
+        var_attr: impl Into<String>,
+    ) -> Self {
+        self.neg_conditions.push(RawNegCondition {
+            neg: neg.into(),
+            attr: attr.into(),
+            op,
+            rhs: RawRhs::Attr {
+                var: var.into(),
+                attr: var_attr.into(),
+            },
+        });
+        self
+    }
+
+    /// Sets the maximal window `τ`.
+    pub fn within(mut self, tau: Duration) -> Self {
+        self.within = Some(tau);
+        self
+    }
+
+    /// Validates and produces the pattern.
+    ///
+    /// Checks: at least one non-empty set, globally unique non-empty
+    /// variable names, at most 64 variables, all condition variables
+    /// declared, and a non-negative window (defaulting to
+    /// [`Duration::MAX`], i.e. no window, when [`Self::within`] was not
+    /// called).
+    pub fn build(self) -> Result<Pattern, PatternError> {
+        if self.sets.is_empty() {
+            return Err(PatternError::NoSets);
+        }
+        let within = self.within.unwrap_or(Duration::MAX);
+        if within.is_negative() {
+            return Err(PatternError::NegativeWindow(within.as_ticks()));
+        }
+
+        let mut vars: Vec<Variable> = Vec::new();
+        let mut sets: Vec<Vec<VarId>> = Vec::new();
+        let mut by_name: HashMap<String, VarId> = HashMap::new();
+        for (set_index, set) in self.sets.iter().enumerate() {
+            if set.is_empty() {
+                return Err(PatternError::EmptySet { set_index });
+            }
+            let mut ids = Vec::with_capacity(set.len());
+            for (name, quant) in set {
+                if name.is_empty() {
+                    return Err(PatternError::EmptyVariableName);
+                }
+                let id = VarId(vars.len() as u16);
+                if by_name.insert(name.clone(), id).is_some() {
+                    return Err(PatternError::DuplicateVariable(name.clone()));
+                }
+                vars.push(Variable::new(Arc::from(name.as_str()), *quant, set_index));
+                ids.push(id);
+            }
+            sets.push(ids);
+        }
+        if vars.len() > 64 {
+            return Err(PatternError::TooManyVariables(vars.len()));
+        }
+
+        // Negations: unique names (also vs positive variables), declared
+        // strictly between two sets.
+        let mut negations: Vec<crate::Negation> = Vec::with_capacity(self.negations.len());
+        for (name, after_set) in &self.negations {
+            if name.is_empty() {
+                return Err(PatternError::EmptyVariableName);
+            }
+            if by_name.contains_key(name) || negations.iter().any(|n| n.name() == name) {
+                return Err(PatternError::DuplicateVariable(name.clone()));
+            }
+            if *after_set == usize::MAX {
+                return Err(PatternError::NegationPosition {
+                    name: name.clone(),
+                    reason: "declared before any event set pattern".into(),
+                });
+            }
+            if *after_set + 1 >= sets.len() {
+                return Err(PatternError::NegationPosition {
+                    name: name.clone(),
+                    reason: "must be followed by another event set pattern".into(),
+                });
+            }
+            negations.push(crate::Negation::new(Arc::from(name.as_str()), *after_set));
+        }
+
+        for rnc in self.neg_conditions {
+            let neg = negations
+                .iter_mut()
+                .find(|n| n.name() == rnc.neg)
+                .ok_or_else(|| PatternError::UnknownVariable(rnc.neg.clone()))?;
+            let rhs = match rnc.rhs {
+                RawRhs::Const(v) => Rhs::Const(v),
+                RawRhs::Attr { var, attr } => {
+                    let id = *by_name
+                        .get(&var)
+                        .ok_or_else(|| PatternError::UnknownVariable(var.clone()))?;
+                    Rhs::Attr(AttrRef::new(id, attr))
+                }
+            };
+            neg.push_condition(crate::negation::NegCondition {
+                attr: Arc::from(rnc.attr.as_str()),
+                op: rnc.op,
+                rhs,
+            });
+        }
+
+        let mut conditions = Vec::with_capacity(self.conditions.len());
+        for rc in self.conditions {
+            let lhs_var = *by_name
+                .get(&rc.lhs_var)
+                .ok_or_else(|| PatternError::UnknownVariable(rc.lhs_var.clone()))?;
+            let rhs = match rc.rhs {
+                RawRhs::Const(v) => Rhs::Const(v),
+                RawRhs::Attr { var, attr } => {
+                    let id = *by_name
+                        .get(&var)
+                        .ok_or_else(|| PatternError::UnknownVariable(var.clone()))?;
+                    Rhs::Attr(AttrRef::new(id, attr))
+                }
+            };
+            conditions.push(Condition {
+                lhs: AttrRef::new(lhs_var, rc.lhs_attr),
+                op: rc.op,
+                rhs,
+            });
+        }
+
+        Ok(Pattern::from_parts(vars, sets, conditions, negations, within))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_pattern() {
+        assert!(matches!(
+            Pattern::builder().build(),
+            Err(PatternError::NoSets)
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_set() {
+        let err = Pattern::builder()
+            .set(|s| s.var("a"))
+            .set(|s| s)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, PatternError::EmptySet { set_index: 1 }));
+    }
+
+    #[test]
+    fn rejects_duplicate_variable_across_sets() {
+        let err = Pattern::builder()
+            .set(|s| s.var("a"))
+            .set(|s| s.var("a"))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, PatternError::DuplicateVariable(n) if n == "a"));
+    }
+
+    #[test]
+    fn rejects_duplicate_variable_within_set() {
+        let err = Pattern::builder()
+            .set(|s| s.var("a").plus("a"))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, PatternError::DuplicateVariable(_)));
+    }
+
+    #[test]
+    fn rejects_unknown_condition_variable() {
+        let err = Pattern::builder()
+            .set(|s| s.var("a"))
+            .cond_const("zz", "L", CmpOp::Eq, 1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, PatternError::UnknownVariable(n) if n == "zz"));
+
+        let err = Pattern::builder()
+            .set(|s| s.var("a"))
+            .cond_vars("a", "L", CmpOp::Eq, "zz", "L")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, PatternError::UnknownVariable(n) if n == "zz"));
+    }
+
+    #[test]
+    fn rejects_negative_window() {
+        let err = Pattern::builder()
+            .set(|s| s.var("a"))
+            .within(Duration::ticks(-1))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, PatternError::NegativeWindow(-1)));
+    }
+
+    #[test]
+    fn rejects_too_many_variables() {
+        let mut b = Pattern::builder();
+        b = b.set(|s| {
+            // 65 variables in one set.
+            s.var("v0");
+            s
+        });
+        // Building sets via the closure: add the remaining 64 in a second set.
+        b = b.set(|s| {
+            for i in 1..=64 {
+                s.var(format!("v{i}"));
+            }
+            s
+        });
+        assert!(matches!(b.build(), Err(PatternError::TooManyVariables(65))));
+    }
+
+    #[test]
+    fn default_window_is_unbounded() {
+        let p = Pattern::builder().set(|s| s.var("a")).build().unwrap();
+        assert_eq!(p.within(), Duration::MAX);
+    }
+
+    #[test]
+    fn var_ids_follow_declaration_order() {
+        let p = Pattern::builder()
+            .set(|s| s.var("c").plus("p").var("d"))
+            .set(|s| s.var("b"))
+            .build()
+            .unwrap();
+        assert_eq!(p.var_id("c"), Some(VarId(0)));
+        assert_eq!(p.var_id("p"), Some(VarId(1)));
+        assert_eq!(p.var_id("d"), Some(VarId(2)));
+        assert_eq!(p.var_id("b"), Some(VarId(3)));
+    }
+}

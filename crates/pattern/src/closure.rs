@@ -1,0 +1,237 @@
+//! Equality-condition closure.
+//!
+//! Conditions like `c.ID = p.ID` and `c.ID = d.ID` imply `p.ID = d.ID`,
+//! but the implied condition is *not* in `Θ` — and under the paper's
+//! greedy skip-till-next-match execution that matters operationally: a
+//! transition binding `d` from a state containing only `p` carries no
+//! `ID` constraint, so the instance can absorb an unrelated event and
+//! derail (see the `ses-workload::rfid` documentation).
+//!
+//! [`equality_closure`] computes the transitive closure of the `=`
+//! conditions over `(variable, attribute)` nodes with a union–find and
+//! returns a pattern whose `Θ` contains one equality per connected pair.
+//! The closure is semantically conservative — every added condition is
+//! implied by the originals, so conditions 1–3 of Definition 2 accept
+//! exactly the same substitutions — but it makes every intermediate
+//! transition fully constrained.
+
+use std::sync::Arc;
+
+use ses_event::CmpOp;
+
+use crate::condition::{AttrRef, Rhs};
+use crate::{Condition, Pattern, VarId};
+
+/// Returns an equivalent pattern with the equality conditions closed
+/// under transitivity (see the module docs). Non-equality conditions,
+/// negations, sets, and the window are untouched. Idempotent.
+pub fn equality_closure(pattern: &Pattern) -> Pattern {
+    // Collect the distinct (var, attr) nodes participating in `=`
+    // var-var conditions.
+    let mut nodes: Vec<(VarId, Arc<str>)> = Vec::new();
+    let node_id = |nodes: &mut Vec<(VarId, Arc<str>)>, var: VarId, attr: &Arc<str>| -> usize {
+        if let Some(i) = nodes
+            .iter()
+            .position(|(v, a)| *v == var && a.as_ref() == attr.as_ref())
+        {
+            i
+        } else {
+            nodes.push((var, attr.clone()));
+            nodes.len() - 1
+        }
+    };
+
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for c in pattern.conditions() {
+        if c.op != CmpOp::Eq {
+            continue;
+        }
+        if let Rhs::Attr(r) = &c.rhs {
+            let a = node_id(&mut nodes, c.lhs.var, &c.lhs.attr);
+            let b = node_id(&mut nodes, r.var, &r.attr);
+            edges.push((a, b));
+        }
+    }
+    if edges.is_empty() {
+        return pattern.clone();
+    }
+
+    // Union-find over the nodes.
+    let mut parent: Vec<usize> = (0..nodes.len()).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    for (a, b) in edges {
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    }
+
+    // Emit one equality per pair within each class, skipping pairs the
+    // pattern already relates (in either orientation).
+    let already_related = |a: &(VarId, Arc<str>), b: &(VarId, Arc<str>)| {
+        pattern.conditions().iter().any(|c| {
+            if c.op != CmpOp::Eq {
+                return false;
+            }
+            let Rhs::Attr(r) = &c.rhs else { return false };
+            let lhs = (c.lhs.var, c.lhs.attr.as_ref());
+            let rhs = (r.var, r.attr.as_ref());
+            (lhs == (a.0, a.1.as_ref()) && rhs == (b.0, b.1.as_ref()))
+                || (lhs == (b.0, b.1.as_ref()) && rhs == (a.0, a.1.as_ref()))
+        })
+    };
+
+    let mut conditions: Vec<Condition> = pattern.conditions().to_vec();
+    for i in 0..nodes.len() {
+        for j in (i + 1)..nodes.len() {
+            if find(&mut parent, i) != find(&mut parent, j)
+                || already_related(&nodes[i], &nodes[j])
+            {
+                continue;
+            }
+            conditions.push(Condition {
+                lhs: AttrRef {
+                    var: nodes[i].0,
+                    attr: nodes[i].1.clone(),
+                },
+                op: CmpOp::Eq,
+                rhs: Rhs::Attr(AttrRef {
+                    var: nodes[j].0,
+                    attr: nodes[j].1.clone(),
+                }),
+            });
+        }
+    }
+
+    Pattern::from_parts(
+        pattern.variables().to_vec(),
+        pattern.sets().to_vec(),
+        conditions,
+        pattern.negations().to_vec(),
+        pattern.within(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ses_event::Duration;
+
+    fn star_pattern() -> Pattern {
+        // c.ID = p.ID, c.ID = d.ID — p–d unrelated.
+        Pattern::builder()
+            .set(|s| s.var("c").var("p").var("d"))
+            .cond_const("c", "L", CmpOp::Eq, "C")
+            .cond_vars("c", "ID", CmpOp::Eq, "p", "ID")
+            .cond_vars("c", "ID", CmpOp::Eq, "d", "ID")
+            .within(Duration::ticks(10))
+            .build()
+            .unwrap()
+    }
+
+    fn equality_count(p: &Pattern) -> usize {
+        p.conditions()
+            .iter()
+            .filter(|c| c.op == CmpOp::Eq && !c.is_constant())
+            .count()
+    }
+
+    #[test]
+    fn star_becomes_clique() {
+        let p = star_pattern();
+        assert_eq!(equality_count(&p), 2);
+        let closed = equality_closure(&p);
+        // c–p, c–d, + derived p–d.
+        assert_eq!(equality_count(&closed), 3);
+        // Sets, window, constants untouched.
+        assert_eq!(closed.num_sets(), p.num_sets());
+        assert_eq!(closed.within(), p.within());
+        assert_eq!(
+            closed.conditions().iter().filter(|c| c.is_constant()).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn closure_is_idempotent() {
+        let once = equality_closure(&star_pattern());
+        let twice = equality_closure(&once);
+        assert_eq!(equality_count(&once), equality_count(&twice));
+    }
+
+    #[test]
+    fn distinct_attributes_stay_separate() {
+        // c.ID = p.ID and c.GROUP = d.GROUP are different attribute
+        // classes; no p–d condition is implied.
+        let p = Pattern::builder()
+            .set(|s| s.var("c").var("p").var("d"))
+            .cond_vars("c", "ID", CmpOp::Eq, "p", "ID")
+            .cond_vars("c", "GROUP", CmpOp::Eq, "d", "GROUP")
+            .build()
+            .unwrap();
+        let closed = equality_closure(&p);
+        assert_eq!(equality_count(&closed), 2);
+    }
+
+    #[test]
+    fn cross_attribute_equalities_chain() {
+        // a.X = b.Y and b.Y = c.Z imply a.X = c.Z (the chain runs through
+        // the shared (b, Y) node).
+        let p = Pattern::builder()
+            .set(|s| s.var("a").var("b").var("c"))
+            .cond_vars("a", "X", CmpOp::Eq, "b", "Y")
+            .cond_vars("b", "Y", CmpOp::Eq, "c", "Z")
+            .build()
+            .unwrap();
+        let closed = equality_closure(&p);
+        assert_eq!(equality_count(&closed), 3);
+    }
+
+    #[test]
+    fn non_equalities_are_ignored() {
+        let p = Pattern::builder()
+            .set(|s| s.var("a").var("b").var("c"))
+            .cond_vars("a", "X", CmpOp::Lt, "b", "X")
+            .cond_vars("b", "X", CmpOp::Lt, "c", "X")
+            .build()
+            .unwrap();
+        let closed = equality_closure(&p);
+        // `<` is not closed (it would change nothing operationally and
+        // a < b < c ⇒ a < c is *not* an equality edge).
+        assert_eq!(closed.conditions().len(), 2);
+    }
+
+    #[test]
+    fn no_var_conditions_is_a_clone() {
+        let p = Pattern::builder()
+            .set(|s| s.var("a"))
+            .cond_const("a", "L", CmpOp::Eq, "A")
+            .build()
+            .unwrap();
+        let closed = equality_closure(&p);
+        assert_eq!(closed.conditions().len(), 1);
+        assert_eq!(closed.to_string(), p.to_string());
+    }
+
+    #[test]
+    fn negations_survive_closure() {
+        let p = Pattern::builder()
+            .set(|s| s.var("a").var("b"))
+            .negate("x")
+            .set(|s| s.var("z"))
+            .cond_vars("a", "ID", CmpOp::Eq, "z", "ID")
+            .cond_vars("b", "ID", CmpOp::Eq, "z", "ID")
+            .neg_cond_const("x", "L", CmpOp::Eq, "X")
+            .build()
+            .unwrap();
+        let closed = equality_closure(&p);
+        assert_eq!(closed.negations().len(), 1);
+        assert_eq!(equality_count(&closed), 3); // a–z, b–z, derived a–b
+    }
+}

@@ -1,0 +1,150 @@
+//! The condition algebra `Θ` of an SES pattern.
+//!
+//! A condition has one of the two forms of the paper's Definition 1:
+//!
+//! * `v.A φ C` — a **constant condition**: the value of attribute `A` of
+//!   the event bound to variable `v` compares against constant `C`;
+//! * `v.A φ v'.A'` — a **variable condition**: attribute values of events
+//!   bound to two (not necessarily distinct) variables compare against
+//!   each other.
+//!
+//! with `φ ∈ {=, ≠, <, ≤, >, ≥}`.
+
+use std::fmt;
+use std::sync::Arc;
+
+use ses_event::{CmpOp, Value};
+
+use crate::VarId;
+
+/// A reference `v.A` to an attribute of the event(s) bound to a variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrRef {
+    /// The event variable.
+    pub var: VarId,
+    /// The attribute name (resolved against a schema at compile time).
+    pub attr: Arc<str>,
+}
+
+impl AttrRef {
+    /// Creates an attribute reference.
+    pub fn new(var: VarId, attr: impl AsRef<str>) -> AttrRef {
+        AttrRef {
+            var,
+            attr: Arc::from(attr.as_ref()),
+        }
+    }
+}
+
+/// Right-hand side of a condition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rhs {
+    /// A constant `C`.
+    Const(Value),
+    /// An attribute `v'.A'` of another (or the same) variable.
+    Attr(AttrRef),
+}
+
+/// A single condition `lhs.attr φ rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Condition {
+    /// Left-hand attribute reference `v.A`.
+    pub lhs: AttrRef,
+    /// Comparison operator `φ`.
+    pub op: CmpOp,
+    /// Right-hand side: constant or attribute reference.
+    pub rhs: Rhs,
+}
+
+impl Condition {
+    /// Creates a constant condition `v.A φ C`.
+    pub fn constant(var: VarId, attr: impl AsRef<str>, op: CmpOp, value: impl Into<Value>) -> Condition {
+        Condition {
+            lhs: AttrRef::new(var, attr),
+            op,
+            rhs: Rhs::Const(value.into()),
+        }
+    }
+
+    /// Creates a variable condition `v.A φ v'.A'`.
+    pub fn vars(
+        var: VarId,
+        attr: impl AsRef<str>,
+        op: CmpOp,
+        other: VarId,
+        other_attr: impl AsRef<str>,
+    ) -> Condition {
+        Condition {
+            lhs: AttrRef::new(var, attr),
+            op,
+            rhs: Rhs::Attr(AttrRef::new(other, other_attr)),
+        }
+    }
+
+    /// `true` iff this is a constant condition `v.A φ C`.
+    pub fn is_constant(&self) -> bool {
+        matches!(self.rhs, Rhs::Const(_))
+    }
+
+    /// The variables mentioned by the condition: `(lhs, Some(rhs))` for a
+    /// variable condition, `(lhs, None)` for a constant condition.
+    pub fn variables(&self) -> (VarId, Option<VarId>) {
+        match &self.rhs {
+            Rhs::Const(_) => (self.lhs.var, None),
+            Rhs::Attr(r) => (self.lhs.var, Some(r.var)),
+        }
+    }
+
+    /// `true` iff the condition mentions `var` on either side.
+    pub fn mentions(&self, var: VarId) -> bool {
+        let (a, b) = self.variables();
+        a == var || b == Some(var)
+    }
+}
+
+/// Renders the condition with variable names supplied by `names`
+/// (falls back to `v<i>` when a name is unknown).
+pub(crate) fn display_condition(c: &Condition, names: &dyn Fn(VarId) -> String) -> String {
+    let lhs = format!("{}.{}", names(c.lhs.var), c.lhs.attr);
+    match &c.rhs {
+        Rhs::Const(v) => format!("{} {} {}", lhs, c.op, v),
+        Rhs::Attr(r) => format!("{} {} {}.{}", lhs, c.op, names(r.var), r.attr),
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&display_condition(self, &|v: VarId| v.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_condition_shape() {
+        let c = Condition::constant(VarId(0), "L", CmpOp::Eq, "C");
+        assert!(c.is_constant());
+        assert_eq!(c.variables(), (VarId(0), None));
+        assert!(c.mentions(VarId(0)));
+        assert!(!c.mentions(VarId(1)));
+        assert_eq!(c.to_string(), "v0.L = 'C'");
+    }
+
+    #[test]
+    fn variable_condition_shape() {
+        let c = Condition::vars(VarId(0), "ID", CmpOp::Eq, VarId(2), "ID");
+        assert!(!c.is_constant());
+        assert_eq!(c.variables(), (VarId(0), Some(VarId(2))));
+        assert!(c.mentions(VarId(2)));
+        assert_eq!(c.to_string(), "v0.ID = v2.ID");
+    }
+
+    #[test]
+    fn self_condition_mentions_once() {
+        let c = Condition::vars(VarId(1), "high", CmpOp::Gt, VarId(1), "low");
+        assert_eq!(c.variables(), (VarId(1), Some(VarId(1))));
+        assert!(c.mentions(VarId(1)));
+    }
+}

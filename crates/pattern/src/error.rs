@@ -1,0 +1,110 @@
+//! Pattern construction and compilation errors.
+
+use std::fmt;
+
+use ses_event::AttrType;
+
+/// Errors raised while building or compiling a pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternError {
+    /// The pattern has no event set patterns (`m ≥ 1` is required).
+    NoSets,
+    /// An event set pattern is empty (`|Vi| ≥ 1` is required).
+    EmptySet {
+        /// 0-based index of the empty set.
+        set_index: usize,
+    },
+    /// Two variables share a name; the paper requires `Vi ∩ Vj = ∅` and we
+    /// additionally require globally unique names.
+    DuplicateVariable(String),
+    /// A variable name is empty.
+    EmptyVariableName,
+    /// More than 64 variables — the bitset state representation would
+    /// overflow.
+    TooManyVariables(usize),
+    /// A condition references a variable name the pattern does not declare.
+    UnknownVariable(String),
+    /// The window `τ` is negative.
+    NegativeWindow(i64),
+    /// Compilation: a condition references an attribute absent from the
+    /// schema.
+    UnknownAttribute {
+        /// The missing attribute name.
+        attr: String,
+    },
+    /// Compilation: a condition compares incomparable attribute types.
+    IncomparableTypes {
+        /// The condition, pretty-printed.
+        condition: String,
+        /// Left-hand type.
+        lhs: AttrType,
+        /// Right-hand type.
+        rhs: AttrType,
+    },
+    /// Compilation: a constant condition's literal is `NaN`.
+    NanConstant {
+        /// The condition, pretty-printed.
+        condition: String,
+    },
+    /// A negated variable is declared at an invalid position.
+    NegationPosition {
+        /// The negated variable's name.
+        name: String,
+        /// Why the position is invalid.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::NoSets => write!(f, "a pattern needs at least one event set pattern"),
+            PatternError::EmptySet { set_index } => {
+                write!(f, "event set pattern V{} is empty", set_index + 1)
+            }
+            PatternError::DuplicateVariable(n) => {
+                write!(f, "variable `{n}` is declared more than once")
+            }
+            PatternError::EmptyVariableName => write!(f, "variable names must be non-empty"),
+            PatternError::TooManyVariables(n) => {
+                write!(f, "pattern has {n} variables; at most 64 are supported")
+            }
+            PatternError::UnknownVariable(n) => {
+                write!(f, "condition references undeclared variable `{n}`")
+            }
+            PatternError::NegativeWindow(t) => {
+                write!(f, "window τ must be non-negative, got {t} ticks")
+            }
+            PatternError::UnknownAttribute { attr } => {
+                write!(f, "schema has no attribute `{attr}`")
+            }
+            PatternError::IncomparableTypes { condition, lhs, rhs } => {
+                write!(f, "condition `{condition}` compares {lhs} with {rhs}")
+            }
+            PatternError::NanConstant { condition } => {
+                write!(f, "condition `{condition}` uses a NaN constant")
+            }
+            PatternError::NegationPosition { name, reason } => {
+                write!(f, "negation `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert_eq!(
+            PatternError::EmptySet { set_index: 1 }.to_string(),
+            "event set pattern V2 is empty"
+        );
+        assert!(PatternError::UnknownVariable("x".into())
+            .to_string()
+            .contains("`x`"));
+    }
+}

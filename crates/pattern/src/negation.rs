@@ -1,0 +1,387 @@
+//! Negated event variables — an extension beyond the paper.
+//!
+//! A negation `NOT x` placed between event set patterns `Vi` and `Vi+1`
+//! asserts that **no** event satisfying `x`'s conditions occurs strictly
+//! between the (chronologically) last event bound to `Vi` and the first
+//! event bound to `Vi+1`. This is the classic `SEQ(A, ¬B, C)` gap
+//! constraint of SASE/Cayuga, generalized to event *sets*; the paper's
+//! conclusion lists "support [for] a broader class of SES patterns" as
+//! future work, and negation is the most requested member of that class.
+//!
+//! A negated variable never binds into a match; its conditions may
+//! reference constants and *positive* pattern variables (e.g.
+//! `x.ID = c.ID` to scope the prohibition to the matched patient).
+
+use std::sync::Arc;
+
+use ses_event::{AttrId, CmpOp, Event, Relation, Schema, Value};
+
+use crate::condition::Rhs;
+use crate::{PatternError, VarId};
+
+/// A negated variable and its placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Negation {
+    name: Arc<str>,
+    /// The negation guards the gap between `sets[after_set]` and
+    /// `sets[after_set + 1]`.
+    after_set: usize,
+    conditions: Vec<NegCondition>,
+}
+
+/// One condition on a negated event: `x.attr φ rhs` where `rhs` is a
+/// constant or an attribute of a positive variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NegCondition {
+    /// The negated event's attribute name.
+    pub attr: Arc<str>,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Constant or positive-variable attribute.
+    pub rhs: Rhs,
+}
+
+impl Negation {
+    pub(crate) fn new(name: Arc<str>, after_set: usize) -> Negation {
+        Negation {
+            name,
+            after_set,
+            conditions: Vec::new(),
+        }
+    }
+
+    pub(crate) fn push_condition(&mut self, cond: NegCondition) {
+        self.conditions.push(cond);
+    }
+
+    /// The negated variable's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Index `i` such that the negation guards the gap `Vi → Vi+1`
+    /// (0-based).
+    pub fn after_set(&self) -> usize {
+        self.after_set
+    }
+
+    /// The conditions a gap event must satisfy to violate the negation.
+    pub fn conditions(&self) -> &[NegCondition] {
+        &self.conditions
+    }
+
+    /// With a new `after_set` (used by the brute-force chain mapping).
+    pub fn relocated(&self, after_set: usize) -> Negation {
+        Negation {
+            after_set,
+            ..self.clone()
+        }
+    }
+}
+
+/// A negation with attributes resolved against a schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledNegation {
+    /// Source negation's name.
+    pub name: Arc<str>,
+    /// Guarded gap (between `after_set` and `after_set + 1`).
+    pub after_set: usize,
+    /// Resolved conditions.
+    pub conditions: Vec<CompiledNegCondition>,
+}
+
+/// A resolved negation condition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledNegCondition {
+    /// The negated event's attribute.
+    pub attr: AttrId,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Constant or positive-variable attribute.
+    pub rhs: CompiledNegRhs,
+}
+
+/// Resolved right-hand side of a negation condition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompiledNegRhs {
+    /// A constant.
+    Const(Value),
+    /// An attribute of a positive variable's binding(s).
+    Attr {
+        /// The positive variable.
+        var: VarId,
+        /// Its attribute.
+        attr: AttrId,
+    },
+}
+
+impl CompiledNegation {
+    pub(crate) fn compile(
+        neg: &Negation,
+        schema: &Schema,
+        pretty_var: &dyn Fn(VarId) -> String,
+    ) -> Result<CompiledNegation, PatternError> {
+        let mut conditions = Vec::with_capacity(neg.conditions.len());
+        for c in &neg.conditions {
+            let attr = schema
+                .attr_id(&c.attr)
+                .ok_or_else(|| PatternError::UnknownAttribute {
+                    attr: c.attr.to_string(),
+                })?;
+            let lhs_ty = schema.attr_type(attr);
+            let pretty = || match &c.rhs {
+                Rhs::Const(v) => format!("{}.{} {} {}", neg.name, c.attr, c.op, v),
+                Rhs::Attr(r) => format!(
+                    "{}.{} {} {}.{}",
+                    neg.name,
+                    c.attr,
+                    c.op,
+                    pretty_var(r.var),
+                    r.attr
+                ),
+            };
+            let rhs = match &c.rhs {
+                Rhs::Const(v) => {
+                    if !lhs_ty.comparable_with(v.attr_type()) {
+                        return Err(PatternError::IncomparableTypes {
+                            condition: pretty(),
+                            lhs: lhs_ty,
+                            rhs: v.attr_type(),
+                        });
+                    }
+                    CompiledNegRhs::Const(v.clone())
+                }
+                Rhs::Attr(r) => {
+                    let rattr = schema.attr_id(&r.attr).ok_or_else(|| {
+                        PatternError::UnknownAttribute {
+                            attr: r.attr.to_string(),
+                        }
+                    })?;
+                    let rhs_ty = schema.attr_type(rattr);
+                    if !lhs_ty.comparable_with(rhs_ty) {
+                        return Err(PatternError::IncomparableTypes {
+                            condition: pretty(),
+                            lhs: lhs_ty,
+                            rhs: rhs_ty,
+                        });
+                    }
+                    CompiledNegRhs::Attr {
+                        var: r.var,
+                        attr: rattr,
+                    }
+                }
+            };
+            conditions.push(CompiledNegCondition {
+                attr,
+                op: c.op,
+                rhs,
+            });
+        }
+        Ok(CompiledNegation {
+            name: neg.name.clone(),
+            after_set: neg.after_set,
+            conditions,
+        })
+    }
+
+    /// Whether `event` violates this negation, given resolvers for the
+    /// positive bindings: `bindings_of(var)` yields the events bound to
+    /// `var` in the candidate match.
+    ///
+    /// Decomposition semantics: the negation fires if **some** choice of
+    /// one binding per referenced variable satisfies every condition
+    /// simultaneously. Referenced variables are resolved through
+    /// `relation`.
+    pub fn violated_by(
+        &self,
+        event: &Event,
+        relation: &Relation,
+        bindings_of: &dyn Fn(VarId) -> Vec<ses_event::EventId>,
+    ) -> bool {
+        // Collect the referenced variables and their candidate bindings.
+        let mut vars: Vec<VarId> = self
+            .conditions
+            .iter()
+            .filter_map(|c| match &c.rhs {
+                CompiledNegRhs::Attr { var, .. } => Some(*var),
+                CompiledNegRhs::Const(_) => None,
+            })
+            .collect();
+        vars.sort_unstable();
+        vars.dedup();
+
+        // Constant conditions must hold regardless of the choice.
+        for c in &self.conditions {
+            if let CompiledNegRhs::Const(v) = &c.rhs {
+                if !event.value(c.attr).compare(c.op, v) {
+                    return false;
+                }
+            }
+        }
+        if vars.is_empty() {
+            return true;
+        }
+
+        // Cartesian product over per-variable binding choices (group
+        // variables may have several; singletons have one).
+        let choices: Vec<Vec<ses_event::EventId>> = vars.iter().map(|v| bindings_of(*v)).collect();
+        if choices.iter().any(Vec::is_empty) {
+            return false; // referenced variable unbound — cannot relate
+        }
+        let mut idx = vec![0usize; vars.len()];
+        loop {
+            let satisfied = self.conditions.iter().all(|c| match &c.rhs {
+                CompiledNegRhs::Const(_) => true, // checked above
+                CompiledNegRhs::Attr { var, attr } => {
+                    let vi = vars.iter().position(|v| v == var).expect("collected");
+                    let bound = relation.event(choices[vi][idx[vi]]);
+                    event.value(c.attr).compare(c.op, bound.value(*attr))
+                }
+            });
+            if satisfied {
+                return true;
+            }
+            // Odometer.
+            let mut i = 0;
+            loop {
+                if i == idx.len() {
+                    return false;
+                }
+                idx[i] += 1;
+                if idx[i] < choices[i].len() {
+                    break;
+                }
+                idx[i] = 0;
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ses_event::{AttrType, EventId, Schema, Timestamp};
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attr("ID", AttrType::Int)
+            .attr("L", AttrType::Str)
+            .build()
+            .unwrap()
+    }
+
+    fn compiled(conds: Vec<NegCondition>) -> CompiledNegation {
+        let mut n = Negation::new(Arc::from("x"), 0);
+        for c in conds {
+            n.push_condition(c);
+        }
+        CompiledNegation::compile(&n, &schema(), &|v| v.to_string()).unwrap()
+    }
+
+    fn rel(rows: &[(i64, i64, &str)]) -> Relation {
+        let mut r = Relation::new(schema());
+        for (t, id, l) in rows {
+            r.push_values(Timestamp::new(*t), [Value::from(*id), Value::from(*l)])
+                .unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn constant_only_negation() {
+        let n = compiled(vec![NegCondition {
+            attr: Arc::from("L"),
+            op: CmpOp::Eq,
+            rhs: Rhs::Const(Value::from("X")),
+        }]);
+        let r = rel(&[(0, 1, "X"), (1, 1, "Y")]);
+        let none = |_v: VarId| Vec::new();
+        assert!(n.violated_by(r.event(EventId(0)), &r, &none));
+        assert!(!n.violated_by(r.event(EventId(1)), &r, &none));
+    }
+
+    #[test]
+    fn correlated_negation_uses_bindings() {
+        // x.L='X' ∧ x.ID = v0.ID
+        let n = compiled(vec![
+            NegCondition {
+                attr: Arc::from("L"),
+                op: CmpOp::Eq,
+                rhs: Rhs::Const(Value::from("X")),
+            },
+            NegCondition {
+                attr: Arc::from("ID"),
+                op: CmpOp::Eq,
+                rhs: Rhs::Attr(crate::AttrRef::new(VarId(0), "ID")),
+            },
+        ]);
+        // e1 is patient-1 X, e2 patient-2 X; v0 bound to a patient-1 event e3.
+        let r = rel(&[(0, 1, "X"), (1, 2, "X"), (2, 1, "A")]);
+        let bindings = |v: VarId| {
+            if v == VarId(0) {
+                vec![EventId(2)]
+            } else {
+                vec![]
+            }
+        };
+        assert!(n.violated_by(r.event(EventId(0)), &r, &bindings));
+        assert!(!n.violated_by(r.event(EventId(1)), &r, &bindings));
+    }
+
+    #[test]
+    fn group_variable_rhs_uses_any_binding() {
+        // x.ID = v0.ID with v0 bound to two events of different patients:
+        // either choice may fire the negation.
+        let n = compiled(vec![NegCondition {
+            attr: Arc::from("ID"),
+            op: CmpOp::Eq,
+            rhs: Rhs::Attr(crate::AttrRef::new(VarId(0), "ID")),
+        }]);
+        let r = rel(&[(0, 1, "X"), (1, 1, "A"), (2, 2, "A")]);
+        let bindings = |v: VarId| {
+            if v == VarId(0) {
+                vec![EventId(1), EventId(2)]
+            } else {
+                vec![]
+            }
+        };
+        assert!(n.violated_by(r.event(EventId(0)), &r, &bindings));
+        // Unbound referenced variable → cannot relate → no violation.
+        let none = |_v: VarId| Vec::new();
+        assert!(!n.violated_by(r.event(EventId(0)), &r, &none));
+    }
+
+    #[test]
+    fn compile_rejects_bad_attrs_and_types() {
+        let mut n = Negation::new(Arc::from("x"), 0);
+        n.push_condition(NegCondition {
+            attr: Arc::from("NOPE"),
+            op: CmpOp::Eq,
+            rhs: Rhs::Const(Value::from(1)),
+        });
+        assert!(matches!(
+            CompiledNegation::compile(&n, &schema(), &|v| v.to_string()),
+            Err(PatternError::UnknownAttribute { .. })
+        ));
+
+        let mut n = Negation::new(Arc::from("x"), 0);
+        n.push_condition(NegCondition {
+            attr: Arc::from("L"),
+            op: CmpOp::Eq,
+            rhs: Rhs::Const(Value::from(1)), // INT vs STR
+        });
+        assert!(matches!(
+            CompiledNegation::compile(&n, &schema(), &|v| v.to_string()),
+            Err(PatternError::IncomparableTypes { .. })
+        ));
+    }
+
+    #[test]
+    fn relocated_changes_only_position() {
+        let n = Negation::new(Arc::from("x"), 0);
+        let moved = n.relocated(3);
+        assert_eq!(moved.after_set(), 3);
+        assert_eq!(moved.name(), "x");
+    }
+}

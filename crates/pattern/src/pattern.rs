@@ -1,0 +1,230 @@
+//! The [`Pattern`] type: `P = (⟨V1, …, Vm⟩, Θ, τ)`.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use ses_event::{Duration, Schema};
+
+use crate::builder::PatternBuilder;
+use crate::{CompiledPattern, Condition, PatternError, VarId, Variable};
+
+/// A sequenced event set pattern (Definition 1 of the paper).
+///
+/// Immutable once built; construct via [`Pattern::builder`]. A pattern is
+/// schema-independent — compile it against a concrete [`Schema`] with
+/// [`Pattern::compile`] before matching.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    vars: Vec<Variable>,
+    sets: Vec<Vec<VarId>>,
+    conditions: Vec<Condition>,
+    negations: Vec<crate::Negation>,
+    within: Duration,
+    by_name: HashMap<Arc<str>, VarId>,
+}
+
+impl Pattern {
+    /// Starts building a pattern.
+    pub fn builder() -> PatternBuilder {
+        PatternBuilder::new()
+    }
+
+    pub(crate) fn from_parts(
+        vars: Vec<Variable>,
+        sets: Vec<Vec<VarId>>,
+        conditions: Vec<Condition>,
+        negations: Vec<crate::Negation>,
+        within: Duration,
+    ) -> Pattern {
+        let by_name = vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (Arc::from(v.name()), VarId(i as u16)))
+            .collect();
+        Pattern {
+            vars,
+            sets,
+            conditions,
+            negations,
+            within,
+            by_name,
+        }
+    }
+
+    /// Number of event set patterns `m`.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Total number of event variables `|V|`.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// The variable ids of event set pattern `Vi` (0-based `i`).
+    pub fn set(&self, i: usize) -> &[VarId] {
+        &self.sets[i]
+    }
+
+    /// All event set patterns in sequence order.
+    pub fn sets(&self) -> &[Vec<VarId>] {
+        &self.sets
+    }
+
+    /// All variables in declaration order (indexable by [`VarId`]).
+    pub fn variables(&self) -> &[Variable] {
+        &self.vars
+    }
+
+    /// The variable with the given id.
+    pub fn var(&self, id: VarId) -> &Variable {
+        &self.vars[id.index()]
+    }
+
+    /// Resolves a variable name.
+    pub fn var_id(&self, name: &str) -> Option<VarId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The display name of a variable (with `+` suffix for group variables).
+    pub fn var_name(&self, id: VarId) -> String {
+        self.vars[id.index()].to_string()
+    }
+
+    /// The conditions `Θ`.
+    pub fn conditions(&self) -> &[Condition] {
+        &self.conditions
+    }
+
+    /// The negated variables (extension beyond the paper; see
+    /// [`crate::Negation`]).
+    pub fn negations(&self) -> &[crate::Negation] {
+        &self.negations
+    }
+
+    /// `true` iff the pattern uses negation.
+    pub fn has_negations(&self) -> bool {
+        !self.negations.is_empty()
+    }
+
+    /// The maximal window `τ`.
+    pub fn within(&self) -> Duration {
+        self.within
+    }
+
+    /// `true` iff event set pattern `Vi` contains at least one group
+    /// variable.
+    pub fn set_has_group(&self, i: usize) -> bool {
+        self.sets[i].iter().any(|v| self.var(*v).is_group())
+    }
+
+    /// Number of group variables in event set pattern `Vi`.
+    pub fn group_count(&self, i: usize) -> usize {
+        self.sets[i].iter().filter(|v| self.var(**v).is_group()).count()
+    }
+
+    /// Ids of all group variables.
+    pub fn group_vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_group())
+            .map(|(i, _)| VarId(i as u16))
+    }
+
+    /// Resolves attribute names against `schema`, type-checks all
+    /// conditions, and runs the static analysis (Definition 6, Theorems
+    /// 1–3).
+    pub fn compile(&self, schema: &Schema) -> Result<CompiledPattern, PatternError> {
+        CompiledPattern::compile(self.clone(), schema)
+    }
+}
+
+impl fmt::Display for Pattern {
+    /// Pretty-prints in the paper's notation:
+    /// `(⟨{c, p+, d}, {b}⟩, {…}, 264 ticks)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(⟨")?;
+        for (i, set) in self.sets.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{{")?;
+            for (j, v) in set.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self.var(*v))?;
+            }
+            write!(f, "}}")?;
+            for n in &self.negations {
+                if n.after_set() == i {
+                    write!(f, ", ¬{}", n.name())?;
+                }
+            }
+        }
+        write!(f, "⟩, {{")?;
+        let names = |v: VarId| self.var(v).name().to_string();
+        for (i, c) in self.conditions.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            f.write_str(&crate::condition::display_condition(c, &names))?;
+        }
+        write!(f, "}}, {})", self.within)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ses_event::CmpOp;
+
+    fn q1() -> Pattern {
+        Pattern::builder()
+            .set(|s| s.var("c").plus("p").var("d"))
+            .set(|s| s.var("b"))
+            .cond_const("c", "L", CmpOp::Eq, "C")
+            .cond_vars("c", "ID", CmpOp::Eq, "p", "ID")
+            .within(Duration::hours(264))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let p = q1();
+        assert_eq!(p.num_sets(), 2);
+        assert_eq!(p.num_vars(), 4);
+        assert_eq!(p.set(0).len(), 3);
+        assert_eq!(p.set(1).len(), 1);
+        assert_eq!(p.var_id("p"), Some(VarId(1)));
+        assert_eq!(p.var_id("nope"), None);
+        assert!(p.var(VarId(1)).is_group());
+        assert_eq!(p.var(VarId(1)).set_index(), 0);
+        assert_eq!(p.var(VarId(3)).set_index(), 1);
+        assert_eq!(p.within(), Duration::hours(264));
+        assert_eq!(p.conditions().len(), 2);
+    }
+
+    #[test]
+    fn group_helpers() {
+        let p = q1();
+        assert!(p.set_has_group(0));
+        assert!(!p.set_has_group(1));
+        assert_eq!(p.group_count(0), 1);
+        assert_eq!(p.group_count(1), 0);
+        assert_eq!(p.group_vars().collect::<Vec<_>>(), vec![VarId(1)]);
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        let p = q1();
+        let s = p.to_string();
+        assert!(s.starts_with("(⟨{c, p+, d}, {b}⟩, {"), "got {s}");
+        assert!(s.contains("c.L = 'C'"));
+        assert!(s.contains("c.ID = p.ID"));
+        assert!(s.ends_with("264 ticks)"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Event variables: the atoms of an SES pattern.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Dense identifier of an event variable within a [`crate::Pattern`].
+///
+/// Variable ids are assigned in declaration order across all event set
+/// patterns, so they also index the bit positions of the automaton's
+/// state bitsets in `ses-core`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u16);
+
+impl VarId {
+    /// The variable's position in the pattern's declaration order.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The bitmask with only this variable's bit set (used by the automaton
+    /// state representation; patterns are limited to 64 variables).
+    #[inline]
+    pub fn bit(self) -> u64 {
+        1u64 << self.0
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// How many events a variable binds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Quantifier {
+    /// A singleton variable binds exactly one event.
+    Singleton,
+    /// A group variable (`v+`, Kleene plus) binds one or more events.
+    Plus,
+}
+
+impl Quantifier {
+    /// `true` for group variables.
+    #[inline]
+    pub fn is_group(self) -> bool {
+        matches!(self, Quantifier::Plus)
+    }
+}
+
+/// An event variable: a name plus a quantifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Variable {
+    name: Arc<str>,
+    quantifier: Quantifier,
+    set_index: usize,
+}
+
+impl Variable {
+    pub(crate) fn new(name: Arc<str>, quantifier: Quantifier, set_index: usize) -> Variable {
+        Variable {
+            name,
+            quantifier,
+            set_index,
+        }
+    }
+
+    /// The variable's name, unique within its pattern.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Singleton or group.
+    pub fn quantifier(&self) -> Quantifier {
+        self.quantifier
+    }
+
+    /// `true` iff this is a group variable (`v+`).
+    pub fn is_group(&self) -> bool {
+        self.quantifier.is_group()
+    }
+
+    /// Index of the event set pattern `Vi` the variable belongs to
+    /// (0-based).
+    pub fn set_index(&self) -> usize {
+        self.set_index
+    }
+}
+
+impl fmt::Display for Variable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if self.is_group() {
+            write!(f, "+")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_id_bits() {
+        assert_eq!(VarId(0).bit(), 1);
+        assert_eq!(VarId(3).bit(), 8);
+        assert_eq!(VarId(5).index(), 5);
+        assert_eq!(VarId(2).to_string(), "v2");
+    }
+
+    #[test]
+    fn variable_display_marks_groups() {
+        let v = Variable::new(Arc::from("p"), Quantifier::Plus, 0);
+        assert_eq!(v.to_string(), "p+");
+        assert!(v.is_group());
+        let s = Variable::new(Arc::from("c"), Quantifier::Singleton, 1);
+        assert_eq!(s.to_string(), "c");
+        assert!(!s.is_group());
+        assert_eq!(s.set_index(), 1);
+    }
+}

@@ -1,0 +1,367 @@
+//! Semantic analysis: AST → [`ses_pattern::Pattern`].
+//!
+//! Checks variable declarations, normalizes conditions (the pattern model
+//! keeps `variable.attribute` on the left — literal-left conditions are
+//! flipped), converts the `WITHIN` clause into ticks under a [`TickUnit`],
+//! and delegates structural validation to the pattern builder.
+
+use ses_event::Duration;
+use ses_pattern::Pattern;
+
+use crate::ast::{CondAst, OperandAst, QueryAst, TickUnit, WithinAst};
+use crate::{QueryError, QueryErrorKind};
+
+/// Lowers a parsed query into a [`Pattern`].
+pub fn analyze(ast: &QueryAst, tick: TickUnit) -> Result<Pattern, QueryError> {
+    // Declared variables, with duplicate detection at the AST level so the
+    // error carries a source position.
+    let mut declared: Vec<&str> = Vec::new();
+    for set in &ast.sets {
+        for v in &set.vars {
+            if declared.contains(&v.name.as_str()) {
+                return Err(QueryError::at(
+                    QueryErrorKind::DuplicateVariable(v.name.clone()),
+                    v.pos,
+                ));
+            }
+            declared.push(&v.name);
+        }
+    }
+    let mut negated: Vec<&str> = Vec::new();
+    for n in &ast.negations {
+        if declared.contains(&n.name.as_str()) || negated.contains(&n.name.as_str()) {
+            return Err(QueryError::at(
+                QueryErrorKind::DuplicateVariable(n.name.clone()),
+                n.pos,
+            ));
+        }
+        negated.push(&n.name);
+    }
+
+    let mut b = Pattern::builder();
+    for (i, set) in ast.sets.iter().enumerate() {
+        let vars: Vec<(String, bool)> = set
+            .vars
+            .iter()
+            .map(|v| (v.name.clone(), v.plus))
+            .collect();
+        b = b.set(move |s| {
+            for (name, plus) in &vars {
+                if *plus {
+                    s.plus(name.clone());
+                } else {
+                    s.var(name.clone());
+                }
+            }
+            s
+        });
+        for n in ast.negations.iter().filter(|n| n.after_set == i) {
+            b = b.negate(n.name.clone());
+        }
+    }
+
+    for cond in &ast.conditions {
+        b = lower_condition(b, cond, &declared, &negated)?;
+    }
+
+    if let Some(w) = &ast.within {
+        b = b.within(window_ticks(w, tick)?);
+    }
+
+    Ok(b.build()?)
+}
+
+fn lower_condition(
+    b: ses_pattern::PatternBuilder,
+    cond: &CondAst,
+    declared: &[&str],
+    negated: &[&str],
+) -> Result<ses_pattern::PatternBuilder, QueryError> {
+    let classify = |var: &str, pos| -> Result<bool, QueryError> {
+        if negated.contains(&var) {
+            Ok(true)
+        } else if declared.contains(&var) {
+            Ok(false)
+        } else {
+            Err(QueryError::at(
+                QueryErrorKind::UnknownVariable(var.to_string()),
+                pos,
+            ))
+        }
+    };
+    match (&cond.lhs, &cond.rhs) {
+        (
+            OperandAst::Attr { var, attr, pos },
+            OperandAst::Attr {
+                var: var2,
+                attr: attr2,
+                pos: pos2,
+            },
+        ) => {
+            let lhs_neg = classify(var, *pos)?;
+            let rhs_neg = classify(var2, *pos2)?;
+            match (lhs_neg, rhs_neg) {
+                (false, false) => Ok(b.cond_vars(
+                    var.clone(),
+                    attr.clone(),
+                    cond.op,
+                    var2.clone(),
+                    attr2.clone(),
+                )),
+                (true, false) => Ok(b.neg_cond_vars(
+                    var.clone(),
+                    attr.clone(),
+                    cond.op,
+                    var2.clone(),
+                    attr2.clone(),
+                )),
+                // `v.A φ ¬x.A'` ⇒ `¬x.A' φ.flip() v.A`.
+                (false, true) => Ok(b.neg_cond_vars(
+                    var2.clone(),
+                    attr2.clone(),
+                    cond.op.flip(),
+                    var.clone(),
+                    attr.clone(),
+                )),
+                (true, true) => Err(QueryError::at(
+                    QueryErrorKind::BothNegated {
+                        lhs: var.clone(),
+                        rhs: var2.clone(),
+                    },
+                    *pos,
+                )),
+            }
+        }
+        (OperandAst::Attr { var, attr, pos }, OperandAst::Literal { value, .. }) => {
+            if classify(var, *pos)? {
+                Ok(b.neg_cond_const(var.clone(), attr.clone(), cond.op, value.clone()))
+            } else {
+                Ok(b.cond_const(var.clone(), attr.clone(), cond.op, value.clone()))
+            }
+        }
+        (OperandAst::Literal { value, .. }, OperandAst::Attr { var, attr, pos }) => {
+            // `C φ v.A` ⇒ `v.A φ.flip() C`.
+            if classify(var, *pos)? {
+                Ok(b.neg_cond_const(var.clone(), attr.clone(), cond.op.flip(), value.clone()))
+            } else {
+                Ok(b.cond_const(var.clone(), attr.clone(), cond.op.flip(), value.clone()))
+            }
+        }
+        (OperandAst::Literal { pos, .. }, OperandAst::Literal { .. }) => Err(QueryError::at(
+            QueryErrorKind::ConstantComparison,
+            *pos,
+        )),
+    }
+}
+
+fn window_ticks(w: &WithinAst, tick: TickUnit) -> Result<Duration, QueryError> {
+    if w.amount < 0 {
+        return Err(QueryError::at(
+            QueryErrorKind::BadWindow(format!("window must be non-negative, got {}", w.amount)),
+            w.pos,
+        ));
+    }
+    let Some(unit_secs) = w.unit.seconds() else {
+        return Ok(Duration::ticks(w.amount)); // raw ticks
+    };
+    let Some(tick_secs) = tick.seconds() else {
+        return Err(QueryError::at(
+            QueryErrorKind::BadWindow(
+                "this relation's time domain is abstract; use WITHIN … TICKS".to_string(),
+            ),
+            w.pos,
+        ));
+    };
+    let total = w.amount.checked_mul(unit_secs).ok_or_else(|| {
+        QueryError::at(
+            QueryErrorKind::BadWindow(format!("window overflows: {} {:?}", w.amount, w.unit)),
+            w.pos,
+        )
+    })?;
+    if total % tick_secs != 0 {
+        return Err(QueryError::at(
+            QueryErrorKind::BadWindow(format!(
+                "{} {:?} is not a whole number of ticks ({} seconds per tick)",
+                w.amount, w.unit, tick_secs
+            )),
+            w.pos,
+        ));
+    }
+    Ok(Duration::ticks(total / tick_secs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::WindowUnit;
+    use crate::parser::parse;
+    use crate::token::Pos;
+    use ses_event::CmpOp;
+
+    fn pattern(q: &str, tick: TickUnit) -> Result<Pattern, QueryError> {
+        analyze(&parse(q).unwrap(), tick)
+    }
+
+    #[test]
+    fn q1_lowers_to_the_paper_pattern() {
+        let q = "PATTERN PERMUTE(c, p+, d) THEN b \
+                 WHERE c.L = 'C' AND d.L = 'D' AND p.L = 'P' AND b.L = 'B' \
+                   AND c.ID = p.ID AND c.ID = d.ID AND d.ID = b.ID \
+                 WITHIN 264 HOURS";
+        let p = pattern(q, TickUnit::Hour).unwrap();
+        assert_eq!(p.num_sets(), 2);
+        assert_eq!(p.num_vars(), 4);
+        assert_eq!(p.conditions().len(), 7);
+        assert_eq!(p.within(), Duration::hours(264));
+        assert!(p.var(p.var_id("p").unwrap()).is_group());
+        // Equivalent to the programmatic Q1 up to display.
+        assert_eq!(
+            p.to_string(),
+            ses_workload_free_q1().to_string()
+        );
+    }
+
+    /// A local copy of Q1 built programmatically (this crate must not
+    /// depend on `ses-workload`).
+    fn ses_workload_free_q1() -> Pattern {
+        Pattern::builder()
+            .set(|s| s.var("c").plus("p").var("d"))
+            .set(|s| s.var("b"))
+            .cond_const("c", "L", CmpOp::Eq, "C")
+            .cond_const("d", "L", CmpOp::Eq, "D")
+            .cond_const("p", "L", CmpOp::Eq, "P")
+            .cond_const("b", "L", CmpOp::Eq, "B")
+            .cond_vars("c", "ID", CmpOp::Eq, "p", "ID")
+            .cond_vars("c", "ID", CmpOp::Eq, "d", "ID")
+            .cond_vars("d", "ID", CmpOp::Eq, "b", "ID")
+            .within(Duration::hours(264))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn flipped_literal_conditions() {
+        let p = pattern("PATTERN a WHERE 100 < a.V", TickUnit::Hour).unwrap();
+        let c = &p.conditions()[0];
+        // 100 < a.V ⇒ a.V > 100.
+        assert_eq!(c.op, CmpOp::Gt);
+        assert!(c.is_constant());
+    }
+
+    #[test]
+    fn unknown_variable_carries_position() {
+        let err = pattern("PATTERN a WHERE zz.L = 'C'", TickUnit::Hour).unwrap_err();
+        assert!(matches!(err.kind, QueryErrorKind::UnknownVariable(ref v) if v == "zz"));
+        assert!(err.pos.is_some());
+    }
+
+    #[test]
+    fn duplicate_variable_detected() {
+        let err = pattern("PATTERN PERMUTE(a, a)", TickUnit::Hour).unwrap_err();
+        assert!(matches!(err.kind, QueryErrorKind::DuplicateVariable(_)));
+        let err = pattern("PATTERN a THEN a", TickUnit::Hour).unwrap_err();
+        assert!(matches!(err.kind, QueryErrorKind::DuplicateVariable(_)));
+    }
+
+    #[test]
+    fn constant_comparison_rejected() {
+        let err = pattern("PATTERN a WHERE 1 = 2", TickUnit::Hour).unwrap_err();
+        assert!(matches!(err.kind, QueryErrorKind::ConstantComparison));
+    }
+
+    #[test]
+    fn window_conversions() {
+        // 1 tick = 1 hour: 2 DAYS = 48 ticks.
+        let p = pattern("PATTERN a WITHIN 2 DAYS", TickUnit::Hour).unwrap();
+        assert_eq!(p.within(), Duration::ticks(48));
+        // 1 tick = 1 minute: 264 HOURS = 15840 ticks.
+        let p = pattern("PATTERN a WITHIN 264 HOURS", TickUnit::Minute).unwrap();
+        assert_eq!(p.within(), Duration::ticks(15840));
+        // Raw ticks pass through regardless of tick unit.
+        let p = pattern("PATTERN a WITHIN 99 TICKS", TickUnit::Abstract).unwrap();
+        assert_eq!(p.within(), Duration::ticks(99));
+    }
+
+    #[test]
+    fn window_errors() {
+        // Non-integral: 90 seconds at minute ticks.
+        let w = WithinAst {
+            amount: 90,
+            unit: WindowUnit::Seconds,
+            pos: Pos { line: 1, col: 1 },
+        };
+        assert!(matches!(
+            window_ticks(&w, TickUnit::Minute).unwrap_err().kind,
+            QueryErrorKind::BadWindow(_)
+        ));
+        // Abstract ticks reject wall-clock units.
+        assert!(pattern("PATTERN a WITHIN 5 HOURS", TickUnit::Abstract).is_err());
+        // Negative window.
+        assert!(pattern("PATTERN a WITHIN -5 TICKS", TickUnit::Hour).is_err());
+    }
+
+    #[test]
+    fn negation_lowered_with_conditions() {
+        let p = pattern(
+            "PATTERN a THEN NOT x THEN b \
+             WHERE a.L = 'A' AND b.L = 'B' AND x.L = 'X' AND x.ID = a.ID \
+             WITHIN 10 TICKS",
+            TickUnit::Hour,
+        )
+        .unwrap();
+        assert_eq!(p.num_sets(), 2);
+        assert_eq!(p.negations().len(), 1);
+        let n = &p.negations()[0];
+        assert_eq!(n.name(), "x");
+        assert_eq!(n.after_set(), 0);
+        assert_eq!(n.conditions().len(), 2);
+        // Positive conditions stay with the pattern.
+        assert_eq!(p.conditions().len(), 2);
+        assert!(p.to_string().contains("¬x"));
+    }
+
+    #[test]
+    fn negation_condition_flipping() {
+        // `a.ID = x.ID` (negation on the right) flips onto the negation.
+        let p = pattern(
+            "PATTERN a THEN NOT x THEN b WHERE a.ID = x.ID",
+            TickUnit::Hour,
+        )
+        .unwrap();
+        assert_eq!(p.negations()[0].conditions().len(), 1);
+        // `5 > x.V` becomes `x.V < 5`.
+        let p = pattern(
+            "PATTERN a THEN NOT x THEN b WHERE 5 > x.ID",
+            TickUnit::Hour,
+        )
+        .unwrap();
+        let c = &p.negations()[0].conditions()[0];
+        assert_eq!(c.op, CmpOp::Lt);
+    }
+
+    #[test]
+    fn negation_errors() {
+        // NOT as the final element.
+        let err = pattern("PATTERN a THEN NOT x", TickUnit::Hour).unwrap_err();
+        assert!(err.to_string().contains("followed by another"), "{err}");
+        // Two negations related to each other.
+        let err = pattern(
+            "PATTERN a THEN NOT x THEN b THEN NOT y THEN c WHERE x.ID = y.ID",
+            TickUnit::Hour,
+        )
+        .unwrap_err();
+        assert!(matches!(err.kind, QueryErrorKind::BothNegated { .. }));
+        // Duplicate between positive and negated names.
+        let err = pattern("PATTERN a THEN NOT a THEN b", TickUnit::Hour).unwrap_err();
+        assert!(matches!(err.kind, QueryErrorKind::DuplicateVariable(_)));
+        // Kleene plus on a negation is rejected by the parser.
+        let err = parse("PATTERN a THEN NOT x+ THEN b").unwrap_err();
+        assert!(err.to_string().contains("Kleene plus"), "{err}");
+    }
+
+    #[test]
+    fn no_within_means_unbounded() {
+        let p = pattern("PATTERN a", TickUnit::Hour).unwrap();
+        assert_eq!(p.within(), Duration::MAX);
+    }
+}

@@ -1,0 +1,184 @@
+//! Abstract syntax tree of a parsed SES query.
+
+use ses_event::{CmpOp, Value};
+
+use crate::token::Pos;
+
+/// A parsed query, before semantic analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryAst {
+    /// The event set patterns of the `PATTERN` clause, in sequence order.
+    pub sets: Vec<SetAst>,
+    /// `NOT` variables with the index of the set they follow.
+    pub negations: Vec<NegAst>,
+    /// The conditions of the `WHERE` clause.
+    pub conditions: Vec<CondAst>,
+    /// The `WITHIN` clause, if present.
+    pub within: Option<WithinAst>,
+}
+
+/// A `NOT x` element of the pattern clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NegAst {
+    /// The negated variable's name.
+    pub name: String,
+    /// 0-based index of the set the negation follows.
+    pub after_set: usize,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// One event set pattern: a bare variable or a `PERMUTE(…)` group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetAst {
+    /// The variables of the set.
+    pub vars: Vec<VarAst>,
+    /// `true` when written as `PERMUTE(…)` (informational; a singleton
+    /// `PERMUTE(v)` is equivalent to a bare `v`).
+    pub permute: bool,
+    /// Source position of the set.
+    pub pos: Pos,
+}
+
+/// A variable declaration `v` or `v+`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarAst {
+    /// Variable name.
+    pub name: String,
+    /// `true` for `v+` (Kleene plus).
+    pub plus: bool,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// One side of a condition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OperandAst {
+    /// `variable.attribute`.
+    Attr {
+        /// Variable name.
+        var: String,
+        /// Attribute name.
+        attr: String,
+        /// Source position.
+        pos: Pos,
+    },
+    /// A literal value.
+    Literal {
+        /// The value.
+        value: Value,
+        /// Source position.
+        pos: Pos,
+    },
+}
+
+impl OperandAst {
+    /// The operand's source position.
+    pub fn pos(&self) -> Pos {
+        match self {
+            OperandAst::Attr { pos, .. } | OperandAst::Literal { pos, .. } => *pos,
+        }
+    }
+}
+
+/// A condition `lhs φ rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CondAst {
+    /// Left operand.
+    pub lhs: OperandAst,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right operand.
+    pub rhs: OperandAst,
+}
+
+/// The `WITHIN` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WithinAst {
+    /// The magnitude.
+    pub amount: i64,
+    /// The unit it was written in.
+    pub unit: WindowUnit,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// Units accepted by `WITHIN`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowUnit {
+    /// Raw ticks of the relation's time domain.
+    Ticks,
+    /// Seconds.
+    Seconds,
+    /// Minutes.
+    Minutes,
+    /// Hours.
+    Hours,
+    /// Days.
+    Days,
+}
+
+impl WindowUnit {
+    /// Seconds per unit (`None` for raw ticks).
+    pub fn seconds(self) -> Option<i64> {
+        match self {
+            WindowUnit::Ticks => None,
+            WindowUnit::Seconds => Some(1),
+            WindowUnit::Minutes => Some(60),
+            WindowUnit::Hours => Some(3600),
+            WindowUnit::Days => Some(86400),
+        }
+    }
+}
+
+/// What one tick of the relation's time domain means, used to convert
+/// `WITHIN` clauses written in wall-clock units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickUnit {
+    /// One tick is one second.
+    Second,
+    /// One tick is one minute.
+    Minute,
+    /// One tick is one hour (the paper's chemotherapy domain).
+    Hour,
+    /// One tick is one day.
+    Day,
+    /// Ticks are abstract; only `WITHIN … TICKS` is allowed.
+    Abstract,
+}
+
+impl TickUnit {
+    /// Seconds per tick (`None` when abstract).
+    pub fn seconds(self) -> Option<i64> {
+        match self {
+            TickUnit::Second => Some(1),
+            TickUnit::Minute => Some(60),
+            TickUnit::Hour => Some(3600),
+            TickUnit::Day => Some(86400),
+            TickUnit::Abstract => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(WindowUnit::Hours.seconds(), Some(3600));
+        assert_eq!(WindowUnit::Ticks.seconds(), None);
+        assert_eq!(TickUnit::Hour.seconds(), Some(3600));
+        assert_eq!(TickUnit::Abstract.seconds(), None);
+    }
+
+    #[test]
+    fn operand_pos() {
+        let p = Pos { line: 1, col: 7 };
+        let o = OperandAst::Literal {
+            value: Value::from(1),
+            pos: p,
+        };
+        assert_eq!(o.pos(), p);
+    }
+}

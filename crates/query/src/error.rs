@@ -1,0 +1,120 @@
+//! Query language errors with source positions.
+
+use std::fmt;
+
+use crate::token::Pos;
+
+/// What went wrong.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryErrorKind {
+    /// A character the lexer cannot start a token with.
+    UnexpectedChar(char),
+    /// A string literal without a closing quote.
+    UnterminatedString,
+    /// A numeric literal that does not parse.
+    InvalidNumber(String),
+    /// The parser expected something else.
+    Unexpected {
+        /// What was found (token rendering).
+        found: String,
+        /// What the parser expected.
+        expected: String,
+    },
+    /// A variable was declared twice in the pattern clause.
+    DuplicateVariable(String),
+    /// Two queries in a file share a name.
+    DuplicateQueryName(String),
+    /// A condition references an undeclared variable.
+    UnknownVariable(String),
+    /// Both sides of a condition are literals.
+    ConstantComparison,
+    /// A condition relates two negated variables (each negation is an
+    /// independent prohibition; they cannot see each other's events).
+    BothNegated {
+        /// Left negated variable.
+        lhs: String,
+        /// Right negated variable.
+        rhs: String,
+    },
+    /// `WITHIN` value does not convert to a whole number of ticks.
+    BadWindow(String),
+    /// Pattern-level validation failed after parsing.
+    Pattern(ses_pattern::PatternError),
+}
+
+/// An error with the position it was detected at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryError {
+    /// The error.
+    pub kind: QueryErrorKind,
+    /// Source position (1-based line:column), if known.
+    pub pos: Option<Pos>,
+}
+
+impl QueryError {
+    pub(crate) fn at(kind: QueryErrorKind, pos: Pos) -> QueryError {
+        QueryError {
+            kind,
+            pos: Some(pos),
+        }
+    }
+
+    pub(crate) fn nowhere(kind: QueryErrorKind) -> QueryError {
+        QueryError { kind, pos: None }
+    }
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(pos) = self.pos {
+            write!(f, "{pos}: ")?;
+        }
+        match &self.kind {
+            QueryErrorKind::UnexpectedChar(c) => write!(f, "unexpected character `{c}`"),
+            QueryErrorKind::UnterminatedString => write!(f, "unterminated string literal"),
+            QueryErrorKind::InvalidNumber(s) => write!(f, "invalid number `{s}`"),
+            QueryErrorKind::Unexpected { found, expected } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            QueryErrorKind::DuplicateVariable(v) => {
+                write!(f, "variable `{v}` declared more than once")
+            }
+            QueryErrorKind::DuplicateQueryName(n) => {
+                write!(f, "query name `{n}` used more than once")
+            }
+            QueryErrorKind::UnknownVariable(v) => {
+                write!(f, "condition references undeclared variable `{v}`")
+            }
+            QueryErrorKind::ConstantComparison => {
+                write!(f, "at least one side of a condition must be `variable.attribute`")
+            }
+            QueryErrorKind::BothNegated { lhs, rhs } => write!(
+                f,
+                "cannot relate two negated variables (`{lhs}` and `{rhs}`)"
+            ),
+            QueryErrorKind::BadWindow(msg) => write!(f, "invalid WITHIN window: {msg}"),
+            QueryErrorKind::Pattern(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<ses_pattern::PatternError> for QueryError {
+    fn from(e: ses_pattern::PatternError) -> Self {
+        QueryError::nowhere(QueryErrorKind::Pattern(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_position() {
+        let e = QueryError::at(QueryErrorKind::UnexpectedChar('@'), Pos { line: 2, col: 5 });
+        assert_eq!(e.to_string(), "2:5: unexpected character `@`");
+        let e = QueryError::nowhere(QueryErrorKind::ConstantComparison);
+        assert!(e.to_string().starts_with("at least one side"));
+    }
+}

@@ -1,0 +1,87 @@
+//! A textual query language for SES patterns, modeled on the SQL change
+//! proposal's `PERMUTE` operator (reference \[27\] of the paper).
+//!
+//! The paper notes that the proposal specifies `PERMUTE` but that no
+//! implementation exists; this crate provides a small, self-contained
+//! surface syntax that lowers to [`ses_pattern::Pattern`]:
+//!
+//! ```text
+//! PATTERN PERMUTE(c, p+, d) THEN b
+//! WHERE c.L = 'C' AND d.L = 'D' AND p.L = 'P' AND b.L = 'B'
+//!   AND c.ID = p.ID AND c.ID = d.ID AND d.ID = b.ID
+//! WITHIN 264 HOURS
+//! ```
+//!
+//! * `PERMUTE(…)` declares an event set pattern (any order); `THEN`
+//!   sequences sets; `v+` marks a group variable (Kleene plus).
+//! * `WHERE` takes `AND`-connected comparisons between
+//!   `variable.attribute` operands and literals.
+//! * `WITHIN` takes a window in `TICKS` or wall-clock units, converted
+//!   via a [`TickUnit`] describing the relation's time granularity.
+//!
+//! # Example
+//!
+//! ```
+//! use ses_query::{parse_pattern, TickUnit};
+//!
+//! let pattern = parse_pattern(
+//!     "PATTERN PERMUTE(buy, sell) THEN alert \
+//!      WHERE buy.TYPE = 'BUY' AND sell.TYPE = 'SELL' \
+//!        AND alert.TYPE = 'ALERT' \
+//!        AND buy.SYM = sell.SYM \
+//!      WITHIN 60 TICKS",
+//!     TickUnit::Minute,
+//! )
+//! .unwrap();
+//! assert_eq!(pattern.num_sets(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analyze;
+mod ast;
+mod error;
+mod parser;
+mod render;
+mod token;
+
+pub use analyze::analyze;
+pub use ast::{
+    CondAst, NegAst, OperandAst, QueryAst, SetAst, TickUnit, VarAst, WindowUnit, WithinAst,
+};
+pub use error::{QueryError, QueryErrorKind};
+pub use parser::{parse, parse_file};
+pub use render::render;
+pub use token::{lex, Keyword, Pos, Tok, Token};
+
+use ses_pattern::Pattern;
+
+/// Parses and analyzes query text into a [`Pattern`] in one call.
+pub fn parse_pattern(input: &str, tick: TickUnit) -> Result<Pattern, QueryError> {
+    analyze(&parse(input)?, tick)
+}
+
+/// Parses a `;`-separated query file into named patterns (see
+/// [`parse_file`]). Names must be unique when given.
+pub fn parse_pattern_file(
+    input: &str,
+    tick: TickUnit,
+) -> Result<Vec<(Option<String>, Pattern)>, QueryError> {
+    let items = parse_file(input)?;
+    let mut seen: Vec<&str> = Vec::new();
+    for (name, _) in &items {
+        if let Some(n) = name {
+            if seen.contains(&n.as_str()) {
+                return Err(QueryError::nowhere(QueryErrorKind::DuplicateQueryName(
+                    n.clone(),
+                )));
+            }
+            seen.push(n);
+        }
+    }
+    items
+        .iter()
+        .map(|(name, ast)| Ok((name.clone(), analyze(ast, tick)?)))
+        .collect()
+}

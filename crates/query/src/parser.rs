@@ -1,0 +1,434 @@
+//! Recursive-descent parser for the SES query language.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query    := "PATTERN" set ("THEN" set)*
+//!             ["WHERE" cond ("AND" cond)*]
+//!             ["WITHIN" INT unit]
+//! set      := "PERMUTE" "(" var ("," var)* ")" | var
+//! var      := IDENT ["+"]
+//! cond     := operand op operand
+//! operand  := IDENT "." IDENT | STRING | NUMBER | TRUE | FALSE
+//! op       := "=" | "!=" | "<>" | "<" | "<=" | ">" | ">="
+//! unit     := "TICKS" | "SECONDS" | "MINUTES" | "HOURS" | "DAYS"
+//! ```
+
+use ses_event::{CmpOp, Value};
+
+use crate::ast::{CondAst, OperandAst, QueryAst, SetAst, VarAst, WindowUnit, WithinAst};
+use crate::token::{lex, Keyword, Pos, Tok, Token};
+use crate::{QueryError, QueryErrorKind};
+
+/// Parses query text into an AST.
+pub fn parse(input: &str) -> Result<QueryAst, QueryError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, at: 0 };
+    let ast = p.query()?;
+    // A single trailing `;` is tolerated.
+    p.eat(&Tok::Semicolon);
+    p.expect_eof()?;
+    Ok(ast)
+}
+
+/// Parses a query *file*: one or more `;`-separated queries, each
+/// optionally prefixed with `name:`.
+///
+/// ```text
+/// protocol: PATTERN PERMUTE(c, p+, d) THEN b WHERE … WITHIN 264 HOURS;
+/// fever:    PATTERN t WHERE t.L = 'T';
+/// ```
+pub fn parse_file(input: &str) -> Result<Vec<(Option<String>, QueryAst)>, QueryError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, at: 0 };
+    let mut out = Vec::new();
+    loop {
+        while p.eat(&Tok::Semicolon) {}
+        if p.peek().tok == Tok::Eof {
+            break;
+        }
+        // `name :` prefix?
+        let name = if let Tok::Ident(n) = p.peek().tok.clone() {
+            if p.peek_next() == &Tok::Colon {
+                p.bump();
+                p.bump();
+                Some(n)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        let ast = p.query()?;
+        if !(p.eat(&Tok::Semicolon) || p.peek().tok == Tok::Eof) {
+            return p.unexpected("`;` between queries or end of input");
+        }
+        out.push((name, ast));
+    }
+    if out.is_empty() {
+        return p.unexpected("at least one query");
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.at]
+    }
+
+    fn peek_next(&self) -> &Tok {
+        &self.tokens[(self.at + 1).min(self.tokens.len() - 1)].tok
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.at].clone();
+        if self.at + 1 < self.tokens.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn unexpected<T>(&self, expected: &str) -> Result<T, QueryError> {
+        let t = self.peek();
+        Err(QueryError::at(
+            QueryErrorKind::Unexpected {
+                found: t.tok.to_string(),
+                expected: expected.to_string(),
+            },
+            t.pos,
+        ))
+    }
+
+    fn expect_kw(&mut self, kw: Keyword, what: &str) -> Result<Pos, QueryError> {
+        if self.peek().tok == Tok::Kw(kw) {
+            Ok(self.bump().pos)
+        } else {
+            self.unexpected(what)
+        }
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if &self.peek().tok == tok {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), QueryError> {
+        if self.peek().tok == Tok::Eof {
+            Ok(())
+        } else {
+            self.unexpected("end of input")
+        }
+    }
+
+    fn query(&mut self) -> Result<QueryAst, QueryError> {
+        self.expect_kw(Keyword::Pattern, "`PATTERN`")?;
+        let mut sets = vec![self.set()?];
+        let mut negations = Vec::new();
+        while self.eat(&Tok::Kw(Keyword::Then)) {
+            if self.eat(&Tok::Kw(Keyword::Not)) {
+                let v = self.var()?;
+                if v.plus {
+                    return Err(QueryError::at(
+                        QueryErrorKind::Unexpected {
+                            found: "`+`".into(),
+                            expected: "a singleton NOT variable (Kleene plus is not allowed)"
+                                .into(),
+                        },
+                        v.pos,
+                    ));
+                }
+                negations.push(crate::ast::NegAst {
+                    name: v.name,
+                    after_set: sets.len() - 1,
+                    pos: v.pos,
+                });
+            } else {
+                sets.push(self.set()?);
+            }
+        }
+
+        let mut conditions = Vec::new();
+        if self.eat(&Tok::Kw(Keyword::Where)) {
+            conditions.push(self.condition()?);
+            while self.eat(&Tok::Kw(Keyword::And)) {
+                conditions.push(self.condition()?);
+            }
+        }
+
+        let within = if self.peek().tok == Tok::Kw(Keyword::Within) {
+            Some(self.within()?)
+        } else {
+            None
+        };
+
+        Ok(QueryAst {
+            sets,
+            negations,
+            conditions,
+            within,
+        })
+    }
+
+    fn set(&mut self) -> Result<SetAst, QueryError> {
+        let pos = self.peek().pos;
+        if self.eat(&Tok::Kw(Keyword::Permute)) {
+            if !self.eat(&Tok::LParen) {
+                return self.unexpected("`(` after PERMUTE");
+            }
+            let mut vars = vec![self.var()?];
+            while self.eat(&Tok::Comma) {
+                vars.push(self.var()?);
+            }
+            if !self.eat(&Tok::RParen) {
+                return self.unexpected("`,` or `)` in PERMUTE list");
+            }
+            Ok(SetAst {
+                vars,
+                permute: true,
+                pos,
+            })
+        } else {
+            let v = self.var()?;
+            Ok(SetAst {
+                vars: vec![v],
+                permute: false,
+                pos,
+            })
+        }
+    }
+
+    fn var(&mut self) -> Result<VarAst, QueryError> {
+        let pos = self.peek().pos;
+        let Tok::Ident(name) = self.peek().tok.clone() else {
+            return self.unexpected("a variable name");
+        };
+        self.bump();
+        let plus = self.eat(&Tok::Plus);
+        Ok(VarAst { name, plus, pos })
+    }
+
+    fn condition(&mut self) -> Result<CondAst, QueryError> {
+        let lhs = self.operand()?;
+        let op = self.cmp_op()?;
+        let rhs = self.operand()?;
+        Ok(CondAst { lhs, op, rhs })
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, QueryError> {
+        let op = match self.peek().tok {
+            Tok::Eq => CmpOp::Eq,
+            Tok::Ne => CmpOp::Ne,
+            Tok::Lt => CmpOp::Lt,
+            Tok::Le => CmpOp::Le,
+            Tok::Gt => CmpOp::Gt,
+            Tok::Ge => CmpOp::Ge,
+            _ => return self.unexpected("a comparison operator"),
+        };
+        self.bump();
+        Ok(op)
+    }
+
+    fn operand(&mut self) -> Result<OperandAst, QueryError> {
+        let pos = self.peek().pos;
+        match self.peek().tok.clone() {
+            Tok::Ident(var) => {
+                self.bump();
+                if !self.eat(&Tok::Dot) {
+                    return self.unexpected("`.` (conditions reference `variable.attribute`)");
+                }
+                let Tok::Ident(attr) = self.peek().tok.clone() else {
+                    return self.unexpected("an attribute name");
+                };
+                self.bump();
+                Ok(OperandAst::Attr { var, attr, pos })
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(OperandAst::Literal {
+                    value: Value::str(s),
+                    pos,
+                })
+            }
+            Tok::Int(v) => {
+                self.bump();
+                Ok(OperandAst::Literal {
+                    value: Value::Int(v),
+                    pos,
+                })
+            }
+            Tok::Float(v) => {
+                self.bump();
+                Ok(OperandAst::Literal {
+                    value: Value::Float(v),
+                    pos,
+                })
+            }
+            Tok::Kw(Keyword::True) => {
+                self.bump();
+                Ok(OperandAst::Literal {
+                    value: Value::Bool(true),
+                    pos,
+                })
+            }
+            Tok::Kw(Keyword::False) => {
+                self.bump();
+                Ok(OperandAst::Literal {
+                    value: Value::Bool(false),
+                    pos,
+                })
+            }
+            _ => self.unexpected("an operand (`variable.attribute` or a literal)"),
+        }
+    }
+
+    fn within(&mut self) -> Result<WithinAst, QueryError> {
+        let pos = self.expect_kw(Keyword::Within, "`WITHIN`")?;
+        let Tok::Int(amount) = self.peek().tok else {
+            return self.unexpected("an integer window size");
+        };
+        self.bump();
+        let unit = match self.peek().tok {
+            Tok::Kw(Keyword::Ticks) => WindowUnit::Ticks,
+            Tok::Kw(Keyword::Seconds) => WindowUnit::Seconds,
+            Tok::Kw(Keyword::Minutes) => WindowUnit::Minutes,
+            Tok::Kw(Keyword::Hours) => WindowUnit::Hours,
+            Tok::Kw(Keyword::Days) => WindowUnit::Days,
+            _ => return self.unexpected("a time unit (TICKS/SECONDS/MINUTES/HOURS/DAYS)"),
+        };
+        self.bump();
+        Ok(WithinAst { amount, unit, pos })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q1: &str = "PATTERN PERMUTE(c, p+, d) THEN b \
+                      WHERE c.L = 'C' AND d.L = 'D' AND p.L = 'P' AND b.L = 'B' \
+                        AND c.ID = p.ID AND c.ID = d.ID AND d.ID = b.ID \
+                      WITHIN 264 HOURS";
+
+    #[test]
+    fn parses_q1() {
+        let ast = parse(Q1).unwrap();
+        assert_eq!(ast.sets.len(), 2);
+        assert_eq!(ast.sets[0].vars.len(), 3);
+        assert!(ast.sets[0].permute);
+        assert!(ast.sets[0].vars[1].plus);
+        assert_eq!(ast.sets[1].vars.len(), 1);
+        assert!(!ast.sets[1].permute);
+        assert_eq!(ast.conditions.len(), 7);
+        let w = ast.within.unwrap();
+        assert_eq!(w.amount, 264);
+        assert_eq!(w.unit, WindowUnit::Hours);
+    }
+
+    #[test]
+    fn parses_minimal_query() {
+        let ast = parse("PATTERN a").unwrap();
+        assert_eq!(ast.sets.len(), 1);
+        assert!(ast.conditions.is_empty());
+        assert!(ast.within.is_none());
+    }
+
+    #[test]
+    fn parses_literal_kinds() {
+        let ast = parse(
+            "PATTERN a WHERE a.X = 5 AND a.Y = 2.5 AND a.Z = 'hi' AND a.B = TRUE AND a.C != FALSE",
+        )
+        .unwrap();
+        assert_eq!(ast.conditions.len(), 5);
+        assert!(matches!(
+            &ast.conditions[0].rhs,
+            OperandAst::Literal { value: Value::Int(5), .. }
+        ));
+        assert!(matches!(
+            &ast.conditions[3].rhs,
+            OperandAst::Literal { value: Value::Bool(true), .. }
+        ));
+    }
+
+    #[test]
+    fn literal_on_the_left_parses() {
+        let ast = parse("PATTERN a WHERE 5 < a.X").unwrap();
+        assert!(matches!(ast.conditions[0].lhs, OperandAst::Literal { .. }));
+    }
+
+    #[test]
+    fn error_messages_point_at_the_problem() {
+        let err = parse("PATTERN PERMUTE(c p)").unwrap_err();
+        assert!(err.to_string().contains("`,` or `)`"), "{err}");
+        let err = parse("PATTERN").unwrap_err();
+        assert!(err.to_string().contains("a variable name"), "{err}");
+        let err = parse("PATTERN a WHERE a.X ~ 1");
+        assert!(err.is_err());
+        let err = parse("PATTERN a WITHIN x HOURS").unwrap_err();
+        assert!(err.to_string().contains("integer window"), "{err}");
+        let err = parse("PATTERN a WITHIN 5 PARSECS").unwrap_err();
+        assert!(err.to_string().contains("time unit"), "{err}");
+        let err = parse("PATTERN a extra").unwrap_err();
+        assert!(err.to_string().contains("end of input"), "{err}");
+    }
+
+    #[test]
+    fn condition_requires_dot_access() {
+        let err = parse("PATTERN a WHERE a = 1").unwrap_err();
+        assert!(err.to_string().contains("`.`"), "{err}");
+    }
+
+    #[test]
+    fn trailing_then_is_an_error() {
+        assert!(parse("PATTERN a THEN").is_err());
+    }
+
+    #[test]
+    fn single_query_tolerates_trailing_semicolon() {
+        assert!(parse("PATTERN a;").is_ok());
+        assert!(parse("PATTERN a; PATTERN b").is_err()); // parse() is single-query
+    }
+
+    #[test]
+    fn parses_query_files() {
+        let file = "\
+            protocol: PATTERN PERMUTE(c, d) THEN b WHERE c.L = 'C' WITHIN 10 TICKS;\n\
+            -- a comment between queries\n\
+            PATTERN x;\n\
+            fever: PATTERN t WHERE t.L = 'T';";
+        let items = parse_file(file).unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].0.as_deref(), Some("protocol"));
+        assert_eq!(items[0].1.sets.len(), 2);
+        assert_eq!(items[1].0, None);
+        assert_eq!(items[2].0.as_deref(), Some("fever"));
+        assert_eq!(items[2].1.conditions.len(), 1);
+    }
+
+    #[test]
+    fn query_file_errors() {
+        // Missing separator.
+        let err = parse_file("PATTERN a PATTERN b").unwrap_err();
+        assert!(err.to_string().contains("`;`"), "{err}");
+        // Empty file.
+        assert!(parse_file("  -- nothing here\n").is_err());
+        // A name without a query.
+        assert!(parse_file("lonely:").is_err());
+    }
+
+    #[test]
+    fn file_names_do_not_clash_with_keywords_or_queries() {
+        // `PATTERN` at file start is a query, not a name.
+        let items = parse_file("PATTERN a; b: PATTERN c").unwrap();
+        assert_eq!(items[0].0, None);
+        assert_eq!(items[1].0.as_deref(), Some("b"));
+    }
+}

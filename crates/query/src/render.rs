@@ -1,0 +1,189 @@
+//! Rendering patterns back to query text.
+//!
+//! [`render`] is the inverse of [`crate::parse_pattern`]: it serializes a
+//! [`Pattern`] into the `PATTERN … WHERE … WITHIN` syntax, such that
+//! parsing the result yields an equivalent pattern (round-trip
+//! property-tested in `tests/query_roundtrip.rs`). Useful for persisting
+//! programmatically built patterns and for `explain`-style tooling.
+
+use std::fmt::Write as _;
+
+use ses_event::{Duration, Value};
+use ses_pattern::{Pattern, Rhs};
+
+/// Serializes a pattern into parseable query text. The `WITHIN` clause is
+/// emitted in raw `TICKS` (lossless under every [`crate::TickUnit`]);
+/// an unbounded window ([`Duration::MAX`]) omits the clause.
+pub fn render(pattern: &Pattern) -> String {
+    let mut out = String::from("PATTERN ");
+    for (i, set) in pattern.sets().iter().enumerate() {
+        if i > 0 {
+            out.push_str(" THEN ");
+        }
+        if set.len() == 1 && !pattern.var(set[0]).is_group() {
+            out.push_str(pattern.var(set[0]).name());
+        } else {
+            out.push_str("PERMUTE(");
+            for (j, v) in set.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(pattern.var(*v).name());
+                if pattern.var(*v).is_group() {
+                    out.push('+');
+                }
+            }
+            out.push(')');
+        }
+        for neg in pattern.negations().iter().filter(|n| n.after_set() == i) {
+            let _ = write!(out, " THEN NOT {}", neg.name());
+        }
+    }
+
+    let mut clauses: Vec<String> = Vec::new();
+    for c in pattern.conditions() {
+        let lhs = format!("{}.{}", pattern.var(c.lhs.var).name(), c.lhs.attr);
+        clauses.push(match &c.rhs {
+            Rhs::Const(v) => format!("{lhs} {} {}", op_text(c.op), literal(v)),
+            Rhs::Attr(r) => format!(
+                "{lhs} {} {}.{}",
+                op_text(c.op),
+                pattern.var(r.var).name(),
+                r.attr
+            ),
+        });
+    }
+    for neg in pattern.negations() {
+        for c in neg.conditions() {
+            let lhs = format!("{}.{}", neg.name(), c.attr);
+            clauses.push(match &c.rhs {
+                Rhs::Const(v) => format!("{lhs} {} {}", op_text(c.op), literal(v)),
+                Rhs::Attr(r) => format!(
+                    "{lhs} {} {}.{}",
+                    op_text(c.op),
+                    pattern.var(r.var).name(),
+                    r.attr
+                ),
+            });
+        }
+    }
+    if !clauses.is_empty() {
+        out.push_str("\nWHERE ");
+        out.push_str(&clauses.join("\n  AND "));
+    }
+
+    if pattern.within() != Duration::MAX {
+        let _ = write!(out, "\nWITHIN {} TICKS", pattern.within().as_ticks());
+    }
+    out
+}
+
+fn op_text(op: ses_event::CmpOp) -> &'static str {
+    match op {
+        ses_event::CmpOp::Eq => "=",
+        ses_event::CmpOp::Ne => "!=",
+        ses_event::CmpOp::Lt => "<",
+        ses_event::CmpOp::Le => "<=",
+        ses_event::CmpOp::Gt => ">",
+        ses_event::CmpOp::Ge => ">=",
+    }
+}
+
+fn literal(v: &Value) -> String {
+    match v {
+        Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => {
+            // Keep a decimal point so the literal lexes back as a float.
+            if f.fract() == 0.0 && f.is_finite() {
+                format!("{f:.1}")
+            } else {
+                f.to_string()
+            }
+        }
+        Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_pattern, TickUnit};
+    use ses_event::CmpOp;
+
+    fn round_trip(p: &Pattern) -> Pattern {
+        let text = render(p);
+        parse_pattern(&text, TickUnit::Abstract)
+            .unwrap_or_else(|e| panic!("rendered text must parse: {e}\n{text}"))
+    }
+
+    #[test]
+    fn renders_q1_shape() {
+        let q1 = Pattern::builder()
+            .set(|s| s.var("c").plus("p").var("d"))
+            .set(|s| s.var("b"))
+            .cond_const("c", "L", CmpOp::Eq, "C")
+            .cond_vars("c", "ID", CmpOp::Eq, "p", "ID")
+            .within(Duration::hours(264))
+            .build()
+            .unwrap();
+        let text = render(&q1);
+        assert!(text.starts_with("PATTERN PERMUTE(c, p+, d) THEN b"), "{text}");
+        assert!(text.contains("c.L = 'C'"));
+        assert!(text.contains("c.ID = p.ID"));
+        assert!(text.ends_with("WITHIN 264 TICKS"));
+        assert_eq!(round_trip(&q1).to_string(), q1.to_string());
+    }
+
+    #[test]
+    fn single_singleton_set_needs_no_permute() {
+        let p = Pattern::builder()
+            .set(|s| s.var("a"))
+            .set(|s| s.plus("g"))
+            .build()
+            .unwrap();
+        let text = render(&p);
+        assert!(text.contains("PATTERN a THEN PERMUTE(g+)"), "{text}");
+        assert_eq!(round_trip(&p).to_string(), p.to_string());
+    }
+
+    #[test]
+    fn renders_negations_and_their_conditions() {
+        let p = Pattern::builder()
+            .set(|s| s.var("a"))
+            .negate("x")
+            .set(|s| s.var("b"))
+            .cond_const("a", "L", CmpOp::Eq, "A")
+            .neg_cond_const("x", "L", CmpOp::Eq, "X")
+            .neg_cond_vars("x", "ID", CmpOp::Ne, "a", "ID")
+            .within(Duration::ticks(9))
+            .build()
+            .unwrap();
+        let text = render(&p);
+        assert!(text.contains("THEN NOT x THEN b"), "{text}");
+        assert!(text.contains("x.L = 'X'"));
+        assert!(text.contains("x.ID != a.ID"));
+        let rt = round_trip(&p);
+        assert_eq!(rt.negations().len(), 1);
+        assert_eq!(rt.negations()[0].conditions().len(), 2);
+        assert_eq!(rt.to_string(), p.to_string());
+    }
+
+    #[test]
+    fn literal_kinds_round_trip() {
+        let p = Pattern::builder()
+            .set(|s| s.var("a"))
+            .cond_const("a", "I", CmpOp::Gt, -3)
+            .cond_const("a", "F", CmpOp::Le, 2.0)
+            .cond_const("a", "S", CmpOp::Eq, "it's")
+            .cond_const("a", "B", CmpOp::Ne, true)
+            .build()
+            .unwrap();
+        let text = render(&p);
+        assert!(text.contains("a.F <= 2.0"), "{text}");
+        assert!(text.contains("'it''s'"));
+        assert!(text.contains("!= TRUE"));
+        assert!(!text.contains("WITHIN"), "unbounded window omits WITHIN");
+        assert_eq!(round_trip(&p).to_string(), p.to_string());
+    }
+}

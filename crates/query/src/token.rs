@@ -1,0 +1,455 @@
+//! Tokens and the hand-rolled lexer of the SES query language.
+
+use std::fmt;
+
+use crate::{QueryError, QueryErrorKind};
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (in characters).
+    pub col: u32,
+}
+
+impl Pos {
+    pub(crate) const START: Pos = Pos { line: 1, col: 1 };
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Keywords of the language (case-insensitive in source).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    /// `PATTERN`
+    Pattern,
+    /// `PERMUTE`
+    Permute,
+    /// `THEN`
+    Then,
+    /// `NOT`
+    Not,
+    /// `WHERE`
+    Where,
+    /// `AND`
+    And,
+    /// `WITHIN`
+    Within,
+    /// `TICKS`
+    Ticks,
+    /// `SECONDS`
+    Seconds,
+    /// `MINUTES`
+    Minutes,
+    /// `HOURS`
+    Hours,
+    /// `DAYS`
+    Days,
+    /// `TRUE`
+    True,
+    /// `FALSE`
+    False,
+}
+
+impl Keyword {
+    fn from_ident(s: &str) -> Option<Keyword> {
+        Some(match s.to_ascii_uppercase().as_str() {
+            "PATTERN" => Keyword::Pattern,
+            "PERMUTE" => Keyword::Permute,
+            "THEN" => Keyword::Then,
+            "NOT" => Keyword::Not,
+            "WHERE" => Keyword::Where,
+            "AND" => Keyword::And,
+            "WITHIN" => Keyword::Within,
+            "TICKS" | "TICK" => Keyword::Ticks,
+            "SECONDS" | "SECOND" => Keyword::Seconds,
+            "MINUTES" | "MINUTE" => Keyword::Minutes,
+            "HOURS" | "HOUR" => Keyword::Hours,
+            "DAYS" | "DAY" => Keyword::Days,
+            "TRUE" => Keyword::True,
+            "FALSE" => Keyword::False,
+            _ => return None,
+        })
+    }
+}
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// A keyword.
+    Kw(Keyword),
+    /// An identifier (variable or attribute name; case-sensitive).
+    Ident(String),
+    /// A single-quoted string literal (with `''` escaping).
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// `+`
+    Plus,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `.`
+    Dot,
+    /// `:`
+    Colon,
+    /// `;`
+    Semicolon,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Kw(k) => write!(f, "{k:?}").map(|()| ()),
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Str(s) => write!(f, "string '{s}'"),
+            Tok::Int(v) => write!(f, "integer {v}"),
+            Tok::Float(v) => write!(f, "float {v}"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::Dot => write!(f, "`.`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Semicolon => write!(f, "`;`"),
+            Tok::Eq => write!(f, "`=`"),
+            Tok::Ne => write!(f, "`!=`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Ge => write!(f, "`>=`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// Tokenizes `input`; the final token is always [`Tok::Eof`].
+pub fn lex(input: &str) -> Result<Vec<Token>, QueryError> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    let mut pos = Pos::START;
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if let Some(c) = c {
+                if c == '\n' {
+                    pos.line += 1;
+                    pos.col = 1;
+                } else {
+                    pos.col += 1;
+                }
+            }
+            c
+        }};
+    }
+
+    loop {
+        // Skip whitespace and `--` comments.
+        loop {
+            match chars.peek() {
+                Some(c) if c.is_whitespace() => {
+                    bump!();
+                }
+                Some('-') => {
+                    let mut ahead = chars.clone();
+                    ahead.next();
+                    if ahead.peek() == Some(&'-') {
+                        while let Some(&c) = chars.peek() {
+                            if c == '\n' {
+                                break;
+                            }
+                            bump!();
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let start = pos;
+        let Some(&c) = chars.peek() else {
+            out.push(Token {
+                tok: Tok::Eof,
+                pos: start,
+            });
+            return Ok(out);
+        };
+
+        let tok = match c {
+            '+' => {
+                bump!();
+                Tok::Plus
+            }
+            ',' => {
+                bump!();
+                Tok::Comma
+            }
+            '(' => {
+                bump!();
+                Tok::LParen
+            }
+            ')' => {
+                bump!();
+                Tok::RParen
+            }
+            '.' => {
+                bump!();
+                Tok::Dot
+            }
+            ':' => {
+                bump!();
+                Tok::Colon
+            }
+            ';' => {
+                bump!();
+                Tok::Semicolon
+            }
+            '=' => {
+                bump!();
+                Tok::Eq
+            }
+            '!' => {
+                bump!();
+                if chars.peek() == Some(&'=') {
+                    bump!();
+                    Tok::Ne
+                } else {
+                    return Err(QueryError::at(
+                        QueryErrorKind::UnexpectedChar('!'),
+                        start,
+                    ));
+                }
+            }
+            '<' => {
+                bump!();
+                match chars.peek() {
+                    Some('=') => {
+                        bump!();
+                        Tok::Le
+                    }
+                    Some('>') => {
+                        bump!();
+                        Tok::Ne
+                    }
+                    _ => Tok::Lt,
+                }
+            }
+            '>' => {
+                bump!();
+                if chars.peek() == Some(&'=') {
+                    bump!();
+                    Tok::Ge
+                } else {
+                    Tok::Gt
+                }
+            }
+            '\'' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    match bump!() {
+                        None => {
+                            return Err(QueryError::at(
+                                QueryErrorKind::UnterminatedString,
+                                start,
+                            ))
+                        }
+                        Some('\'') => {
+                            if chars.peek() == Some(&'\'') {
+                                bump!();
+                                s.push('\'');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(c) => s.push(c),
+                    }
+                }
+                Tok::Str(s)
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && {
+                    let mut ahead = chars.clone();
+                    ahead.next();
+                    ahead.peek().is_some_and(char::is_ascii_digit)
+                }) =>
+            {
+                let mut text = String::new();
+                if c == '-' {
+                    text.push('-');
+                    bump!();
+                }
+                let mut is_float = false;
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        text.push(c);
+                        bump!();
+                    } else if c == '.' && !is_float {
+                        // Lookahead: `.` must be followed by a digit to be
+                        // part of the number (avoid eating `v.A`).
+                        let mut ahead = chars.clone();
+                        ahead.next();
+                        if ahead.peek().is_some_and(char::is_ascii_digit) {
+                            is_float = true;
+                            text.push('.');
+                            bump!();
+                        } else {
+                            break;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                if is_float {
+                    text.parse::<f64>().map(Tok::Float).map_err(|_| {
+                        QueryError::at(QueryErrorKind::InvalidNumber(text.clone()), start)
+                    })?
+                } else {
+                    text.parse::<i64>().map(Tok::Int).map_err(|_| {
+                        QueryError::at(QueryErrorKind::InvalidNumber(text.clone()), start)
+                    })?
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        ident.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                match Keyword::from_ident(&ident) {
+                    Some(kw) => Tok::Kw(kw),
+                    None => Tok::Ident(ident),
+                }
+            }
+            other => {
+                return Err(QueryError::at(QueryErrorKind::UnexpectedChar(other), start));
+            }
+        };
+        out.push(Token { tok, pos: start });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(input: &str) -> Vec<Tok> {
+        lex(input).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_the_q1_query() {
+        let q = "PATTERN PERMUTE(c, p+, d) THEN b WHERE c.L = 'C' WITHIN 264 HOURS";
+        let ts = toks(q);
+        assert_eq!(ts[0], Tok::Kw(Keyword::Pattern));
+        assert_eq!(ts[1], Tok::Kw(Keyword::Permute));
+        assert_eq!(ts[2], Tok::LParen);
+        assert_eq!(ts[3], Tok::Ident("c".into()));
+        assert_eq!(ts[5], Tok::Ident("p".into()));
+        assert_eq!(ts[6], Tok::Plus);
+        assert!(ts.contains(&Tok::Str("C".into())));
+        assert!(ts.contains(&Tok::Int(264)));
+        assert_eq!(*ts.last().unwrap(), Tok::Eof);
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive_idents_are_not() {
+        assert_eq!(toks("pattern Pattern PATTERN")[..3].to_vec(), vec![
+            Tok::Kw(Keyword::Pattern);
+            3
+        ]);
+        assert_eq!(toks("Foo foo")[..2], [Tok::Ident("Foo".into()), Tok::Ident("foo".into())]);
+    }
+
+    #[test]
+    fn numbers_ints_floats_negatives() {
+        assert_eq!(toks("42")[0], Tok::Int(42));
+        assert_eq!(toks("-7")[0], Tok::Int(-7));
+        assert_eq!(toks("3.5")[0], Tok::Float(3.5));
+        assert_eq!(toks("-0.25")[0], Tok::Float(-0.25));
+        // `1.x` stops before the dot (attribute access on a weird name).
+        assert_eq!(toks("1.x")[..3], [Tok::Int(1), Tok::Dot, Tok::Ident("x".into())]);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(toks("'it''s'")[0], Tok::Str("it's".into()));
+        assert_eq!(toks("''")[0], Tok::Str("".into()));
+        assert!(lex("'open").is_err());
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("= != <> < <= > >=")[..7],
+            [Tok::Eq, Tok::Ne, Tok::Ne, Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge]
+        );
+        assert!(lex("!x").is_err());
+    }
+
+    #[test]
+    fn comments_and_whitespace() {
+        let ts = toks("a -- a comment\n  b");
+        assert_eq!(ts[..2], [Tok::Ident("a".into()), Tok::Ident("b".into())]);
+        // `a - b` (no second dash): `-` followed by non-digit is an error.
+        assert!(lex("a - b").is_err());
+    }
+
+    #[test]
+    fn positions_track_lines_and_columns() {
+        let tokens = lex("a\n  bb").unwrap();
+        assert_eq!(tokens[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(tokens[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn unexpected_character_reports_position() {
+        let err = lex("a @").unwrap_err();
+        assert!(err.to_string().contains("1:3"), "{err}");
+    }
+
+    #[test]
+    fn singular_unit_keywords() {
+        assert_eq!(toks("HOUR")[0], Tok::Kw(Keyword::Hours));
+        assert_eq!(toks("day")[0], Tok::Kw(Keyword::Days));
+    }
+}

@@ -1,0 +1,114 @@
+//! A thread-safe catalog of named event stores.
+//!
+//! The experiment harness sweeps parameters across worker threads that
+//! share the base data sets (D1…D5); the catalog hands out cheap
+//! `Arc<EventStore>` clones under a `parking_lot` read-write lock.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::{EventStore, StoreError};
+
+/// A shared, named collection of event stores.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    stores: RwLock<HashMap<String, Arc<EventStore>>>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Registers (or replaces) a store under its own name.
+    pub fn insert(&self, store: EventStore) -> Arc<EventStore> {
+        let arc = Arc::new(store);
+        self.stores
+            .write()
+            .insert(arc.name().to_string(), Arc::clone(&arc));
+        arc
+    }
+
+    /// Looks up a store by name.
+    pub fn get(&self, name: &str) -> Result<Arc<EventStore>, StoreError> {
+        self.stores
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StoreError::NotFound(name.to_string()))
+    }
+
+    /// Removes a store; returns it if present.
+    pub fn remove(&self, name: &str) -> Option<Arc<EventStore>> {
+        self.stores.write().remove(name)
+    }
+
+    /// The registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.stores.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered stores.
+    pub fn len(&self) -> usize {
+        self.stores.read().len()
+    }
+
+    /// `true` iff no stores are registered.
+    pub fn is_empty(&self) -> bool {
+        self.stores.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ses_event::{AttrType, Relation, Schema};
+
+    fn store(name: &str) -> EventStore {
+        let schema = Schema::builder().attr("X", AttrType::Int).build().unwrap();
+        EventStore::new(name, Relation::new(schema))
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let cat = Catalog::new();
+        assert!(cat.is_empty());
+        cat.insert(store("a"));
+        cat.insert(store("b"));
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.names(), vec!["a", "b"]);
+        assert_eq!(cat.get("a").unwrap().name(), "a");
+        assert!(matches!(cat.get("zz"), Err(StoreError::NotFound(_))));
+        assert!(cat.remove("a").is_some());
+        assert!(cat.remove("a").is_none());
+        assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let cat = Catalog::new();
+        cat.insert(store("x"));
+        cat.insert(store("x"));
+        assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let cat = Arc::new(Catalog::new());
+        cat.insert(store("shared"));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let cat = Arc::clone(&cat);
+                std::thread::spawn(move || cat.get("shared").unwrap().name().to_string())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), "shared");
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Store errors.
+
+use std::fmt;
+
+/// Errors raised by the event store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// CSV syntax or value parse failure.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// The file's header schema does not match the expected schema.
+    SchemaMismatch {
+        /// Expected schema rendering.
+        expected: String,
+        /// Schema found in the file.
+        found: String,
+    },
+    /// Event-model violation while assembling the relation.
+    Event(ses_event::EventError),
+    /// A named store was not found in the catalog.
+    NotFound(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            StoreError::SchemaMismatch { expected, found } => {
+                write!(f, "schema mismatch: expected {expected}, found {found}")
+            }
+            StoreError::Event(e) => write!(f, "event error: {e}"),
+            StoreError::NotFound(name) => write!(f, "no store named `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Event(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<ses_event::EventError> for StoreError {
+    fn from(e: ses_event::EventError) -> Self {
+        StoreError::Event(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = StoreError::Parse {
+            line: 3,
+            message: "bad int".into(),
+        };
+        assert_eq!(e.to_string(), "line 3: bad int");
+        assert!(StoreError::NotFound("x".into()).to_string().contains("`x`"));
+    }
+}

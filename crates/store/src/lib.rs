@@ -1,0 +1,33 @@
+//! Event store substrate for SES pattern matching.
+//!
+//! The paper's evaluation reads its event relation from an Oracle 11.1
+//! database over OCI, strictly in timestamp order. This crate provides the
+//! equivalent tuple-source contract without the external dependency:
+//!
+//! * [`EventStore`] — a named, in-memory, time-ordered event relation with
+//!   CSV persistence ([`read_csv`]/[`write_csv`] use a typed header, no
+//!   third-party CSV crate);
+//! * dataset scaling ([`EventStore::datasets`]) reproducing the paper's
+//!   D1…D5 duplication scheme;
+//! * [`EventStore::partition_by`] — per-key sub-stores (e.g. one per
+//!   patient), used by the partitioning ablation;
+//! * [`Catalog`] — a thread-safe name → store registry for the experiment
+//!   harness;
+//! * [`EventLog`] — an append-only, segmented, checksummed binary log
+//!   with torn-tail recovery and time-range pruning, for workloads that
+//!   outgrow CSV.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+mod csv;
+mod log;
+mod error;
+mod store;
+
+pub use catalog::Catalog;
+pub use csv::{parse_header, read_csv, write_csv};
+pub use error::StoreError;
+pub use log::{EventLog, LogConfig};
+pub use store::{EventStore, StoreStats};

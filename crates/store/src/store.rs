@@ -1,0 +1,285 @@
+//! The event store: a named, persistent event relation with scan,
+//! partition, and dataset-scaling operations.
+//!
+//! The paper keeps its input relation "in an Oracle database, Enterprise
+//! Edition 11.1, which is accessed over the OCI API" and reads it in
+//! timestamp order. [`EventStore`] provides the same contract — a
+//! time-ordered tuple source — from an in-memory relation with CSV
+//! persistence.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+use ses_event::{AttrId, Duration, Relation, Schema, Value};
+
+use crate::csv::{read_csv, write_csv};
+use crate::StoreError;
+
+/// A named event relation with persistence and analytical helpers.
+#[derive(Debug, Clone)]
+pub struct EventStore {
+    name: String,
+    relation: Relation,
+}
+
+impl EventStore {
+    /// Wraps a relation.
+    pub fn new(name: impl Into<String>, relation: Relation) -> EventStore {
+        EventStore {
+            name: name.into(),
+            relation,
+        }
+    }
+
+    /// Loads a store from a CSV file (schema inferred from the typed
+    /// header); the store is named after the file stem.
+    pub fn load_csv(path: impl AsRef<Path>) -> Result<EventStore, StoreError> {
+        let path = path.as_ref();
+        let relation = read_csv(BufReader::new(File::open(path)?))?;
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "store".to_string());
+        Ok(EventStore { name, relation })
+    }
+
+    /// Loads a store, validating the file's schema against `expected`.
+    pub fn load_csv_with_schema(
+        path: impl AsRef<Path>,
+        expected: &Schema,
+    ) -> Result<EventStore, StoreError> {
+        let store = EventStore::load_csv(path)?;
+        if !store.relation.schema().is_compatible(expected) {
+            return Err(StoreError::SchemaMismatch {
+                expected: expected.to_string(),
+                found: store.relation.schema().to_string(),
+            });
+        }
+        Ok(store)
+    }
+
+    /// Writes the store as CSV.
+    pub fn save_csv(&self, path: impl AsRef<Path>) -> Result<(), StoreError> {
+        let mut out = BufWriter::new(File::create(path)?);
+        write_csv(&self.relation, &mut out)
+    }
+
+    /// The store's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying relation (the matcher's input).
+    pub fn relation(&self) -> &Relation {
+        &self.relation
+    }
+
+    /// Consumes the store, returning the relation.
+    pub fn into_relation(self) -> Relation {
+        self.relation
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.relation.len()
+    }
+
+    /// `true` iff the store holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.relation.is_empty()
+    }
+
+    /// Window size `W` for window width `τ` (Definition 5).
+    pub fn window_size(&self, tau: Duration) -> usize {
+        self.relation.window_size(tau)
+    }
+
+    /// The paper's scaled data sets: `datasets(5)` returns D1…D5 where Dk
+    /// contains every event `k` times. Names are suffixed `-D1` … `-Dk`.
+    pub fn datasets(&self, max_k: usize) -> Vec<EventStore> {
+        (1..=max_k)
+            .map(|k| EventStore {
+                name: format!("{}-D{k}", self.name),
+                relation: self.relation.duplicate(k),
+            })
+            .collect()
+    }
+
+    /// Splits the store by the distinct values of `attr` (e.g. one
+    /// sub-store per patient). Partitions preserve chronological order and
+    /// are returned in first-occurrence order of their key.
+    pub fn partition_by(&self, attr: AttrId) -> Vec<(Value, EventStore)> {
+        let mut keys: Vec<Value> = Vec::new();
+        let mut parts: Vec<Relation> = Vec::new();
+        for (_, event) in self.relation.iter() {
+            let key = event.value(attr);
+            let idx = match keys.iter().position(|k| k == key) {
+                Some(i) => i,
+                None => {
+                    keys.push(key.clone());
+                    parts.push(Relation::new(self.relation.schema().clone()));
+                    keys.len() - 1
+                }
+            };
+            parts[idx]
+                .push_event(event.clone())
+                .expect("chronological order is preserved by a linear scan");
+        }
+        keys.into_iter()
+            .zip(parts)
+            .enumerate()
+            .map(|(i, (k, rel))| {
+                (
+                    k.clone(),
+                    EventStore {
+                        name: format!("{}[{}={}]", self.name, i, k),
+                        relation: rel,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// The sub-store of events with `lo ≤ T ≤ hi` (inclusive).
+    pub fn between(
+        &self,
+        lo: ses_event::Timestamp,
+        hi: ses_event::Timestamp,
+    ) -> EventStore {
+        EventStore {
+            name: format!("{}[{}..{}]", self.name, lo.ticks(), hi.ticks()),
+            relation: self.relation.between(lo, hi),
+        }
+    }
+
+    /// Quick descriptive statistics used by `ses-cli stats`.
+    pub fn stats(&self, tau: Duration) -> StoreStats {
+        StoreStats {
+            events: self.relation.len(),
+            attributes: self.relation.schema().len(),
+            first_ts: self.relation.first_ts().map(|t| t.ticks()),
+            last_ts: self.relation.last_ts().map(|t| t.ticks()),
+            window_size: self.relation.window_size(tau),
+        }
+    }
+}
+
+/// Descriptive statistics of a store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of events.
+    pub events: usize,
+    /// Number of non-temporal attributes.
+    pub attributes: usize,
+    /// First timestamp (ticks), if any.
+    pub first_ts: Option<i64>,
+    /// Last timestamp (ticks), if any.
+    pub last_ts: Option<i64>,
+    /// Window size `W` for the queried `τ`.
+    pub window_size: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ses_event::{AttrType, Timestamp};
+
+    fn sample() -> EventStore {
+        let schema = Schema::builder()
+            .attr("ID", AttrType::Int)
+            .attr("L", AttrType::Str)
+            .build()
+            .unwrap();
+        let mut r = Relation::new(schema);
+        for (t, id, l) in [(0, 1, "A"), (1, 2, "B"), (2, 1, "C"), (3, 2, "D")] {
+            r.push_values(Timestamp::new(t), [Value::from(id), Value::from(l)])
+                .unwrap();
+        }
+        EventStore::new("sample", r)
+    }
+
+    #[test]
+    fn csv_file_round_trip() {
+        let store = sample();
+        let dir = std::env::temp_dir().join("ses-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.csv");
+        store.save_csv(&path).unwrap();
+        let loaded = EventStore::load_csv(&path).unwrap();
+        assert_eq!(loaded.name(), "sample");
+        assert_eq!(loaded.len(), 4);
+        assert_eq!(
+            loaded.relation().events()[2].values()[1],
+            Value::from("C")
+        );
+        // Schema validation path.
+        let ok = EventStore::load_csv_with_schema(&path, store.relation().schema());
+        assert!(ok.is_ok());
+        let other = Schema::builder().attr("X", AttrType::Int).build().unwrap();
+        assert!(matches!(
+            EventStore::load_csv_with_schema(&path, &other),
+            Err(StoreError::SchemaMismatch { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn datasets_scale_like_the_paper() {
+        let store = sample();
+        let ds = store.datasets(5);
+        assert_eq!(ds.len(), 5);
+        for (k, d) in ds.iter().enumerate() {
+            assert_eq!(d.len(), 4 * (k + 1));
+            assert_eq!(d.name(), format!("sample-D{}", k + 1));
+            assert_eq!(
+                d.window_size(Duration::ticks(3)),
+                4 * (k + 1),
+                "duplication multiplies W"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_by_id() {
+        let store = sample();
+        let parts = store.partition_by(AttrId(0));
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].0, Value::from(1));
+        assert_eq!(parts[0].1.len(), 2);
+        assert_eq!(parts[1].0, Value::from(2));
+        assert_eq!(parts[1].1.len(), 2);
+        // Partition events keep chronological order.
+        let p1 = &parts[0].1;
+        assert!(p1.relation().events()[0].ts() < p1.relation().events()[1].ts());
+        // Partition of empty store.
+        let empty = EventStore::new("e", Relation::new(store.relation().schema().clone()));
+        assert!(empty.partition_by(AttrId(0)).is_empty());
+    }
+
+    #[test]
+    fn between_slices_by_time() {
+        let store = sample();
+        let mid = store.between(Timestamp::new(1), Timestamp::new(2));
+        assert_eq!(mid.len(), 2);
+        assert_eq!(mid.name(), "sample[1..2]");
+        assert!(store
+            .between(Timestamp::new(10), Timestamp::new(20))
+            .is_empty());
+    }
+
+    #[test]
+    fn stats_summary() {
+        let s = sample().stats(Duration::ticks(1));
+        assert_eq!(
+            s,
+            StoreStats {
+                events: 4,
+                attributes: 2,
+                first_ts: Some(0),
+                last_ts: Some(3),
+                window_size: 2,
+            }
+        );
+    }
+}

@@ -1,0 +1,289 @@
+//! Synthetic chemotherapy workload.
+//!
+//! Substitute for the paper's proprietary data set (chemotherapy events
+//! from the Department of Haematology, Hospital Meran-Merano). The
+//! algorithms under test are sensitive to three data characteristics —
+//! the event-type mix reachable by conditions, the number of events per
+//! `τ`-window (`W`), and per-patient interleaving — and the generator
+//! controls all three:
+//!
+//! * patients follow a CHOP-like protocol: cycles every `cycle_days`
+//!   days with Ciclofosfamide (C), Doxorubicina (D), and Vincristine (V)
+//!   on day 1, Prednisone (P) on days 1–5, optional Rituximab (R) and
+//!   L-Asparaginase (L), and blood counts (B) before and mid-cycle;
+//! * patient start times are staggered uniformly, so events interleave
+//!   across patients exactly as in a real ward;
+//! * the schema is Figure 1's `(ID, L, V, U, T)` with hour-granularity
+//!   timestamps, doses in `mg`/`mgl` and blood counts as WHO-Tox grades.
+//!
+//! [`ChemoConfig::paper_d1`] is calibrated so the generated relation has a
+//! window size `W ≈ 1322` at `τ = 264 h`, matching the paper's D1; the
+//! D2–D5 data sets are obtained with [`ses_event::Relation::duplicate`]
+//! exactly as in the paper.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use ses_event::{Relation, Timestamp, Value};
+
+use crate::paper::schema;
+
+/// Configuration of the chemotherapy generator.
+#[derive(Debug, Clone)]
+pub struct ChemoConfig {
+    /// Number of concurrently treated patients.
+    pub patients: usize,
+    /// Chemotherapy cycles per patient.
+    pub cycles: usize,
+    /// Days between cycle starts (21 for CHOP).
+    pub cycle_days: i64,
+    /// Patient start times are staggered uniformly over this many hours.
+    pub stagger_hours: i64,
+    /// Probability that a cycle includes Rituximab.
+    pub rituximab_prob: f64,
+    /// Probability that a cycle includes L-Asparaginase.
+    pub asparaginase_prob: f64,
+    /// Expected auxiliary clinical events (labs, vitals, supportive
+    /// medication) per patient per treatment day. Real ward data is
+    /// dominated by such events; they are what the §4.5 filter discards.
+    pub aux_per_day: f64,
+    /// RNG seed — generation is fully deterministic per seed.
+    pub seed: u64,
+}
+
+/// Auxiliary clinical event types: haemoglobin, white cells, neutrophils,
+/// temperature, creatinine, glucose, oximetry, antiemetic, fluids.
+pub const AUX_TYPES: [&str; 9] = ["H", "W", "N", "T", "K", "G", "O", "A", "F"];
+
+impl ChemoConfig {
+    /// A small workload for unit tests and examples (a few hundred
+    /// events).
+    pub fn small() -> ChemoConfig {
+        ChemoConfig {
+            patients: 8,
+            cycles: 3,
+            cycle_days: 21,
+            stagger_hours: 21 * 24,
+            rituximab_prob: 0.5,
+            asparaginase_prob: 0.2,
+            aux_per_day: 1.0,
+            seed: 42,
+        }
+    }
+
+    /// Calibrated to the paper's D1: window size `W ≈ 1322` at
+    /// `τ = 264 h` (asserted by a calibration test).
+    pub fn paper_d1() -> ChemoConfig {
+        ChemoConfig {
+            patients: 65,
+            cycles: 4,
+            cycle_days: 21,
+            stagger_hours: 21 * 24,
+            rituximab_prob: 0.5,
+            asparaginase_prob: 0.2,
+            aux_per_day: 1.5,
+            seed: 2011, // EDBT 2011
+        }
+    }
+
+    /// A copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> ChemoConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Scales the patient count (the main `W` lever) by `factor`,
+    /// keeping at least one patient.
+    pub fn scaled(mut self, factor: f64) -> ChemoConfig {
+        self.patients = ((self.patients as f64 * factor).round() as usize).max(1);
+        self
+    }
+}
+
+/// Generates the chemotherapy event relation for `config`.
+pub fn generate(config: &ChemoConfig) -> Relation {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rows: Vec<(Timestamp, Vec<Value>)> = Vec::new();
+
+    for patient in 0..config.patients {
+        let id = patient as i64 + 1;
+        let start = rng.random_range(0..=config.stagger_hours);
+        // Per-patient dose baselines (body-surface dependent in reality).
+        let c_dose = rng.random_range(1200.0..1800.0);
+        let d_dose = rng.random_range(75.0..95.0);
+        let p_dose = rng.random_range(80.0..120.0);
+
+        for cycle in 0..config.cycles {
+            let day0 = start + cycle as i64 * config.cycle_days * 24;
+            let jitter = |rng: &mut StdRng| rng.random_range(-1..=1);
+
+            // Pre-cycle blood count on day −1.
+            push(&mut rows, id, "B", who_tox(&mut rng), "WHO-Tox", day0 - 24 + 9 + jitter(&mut rng));
+
+            // Day 1: C at 9 am, V at 10 am, D at 11 am.
+            push(&mut rows, id, "C", dose(&mut rng, c_dose), "mg", day0 + 9 + jitter(&mut rng));
+            push(&mut rows, id, "V", 2.0, "mg", day0 + 10);
+            push(&mut rows, id, "D", dose(&mut rng, d_dose), "mgl", day0 + 11 + jitter(&mut rng));
+            if rng.random_bool(config.rituximab_prob) {
+                push(&mut rows, id, "R", 375.0, "mg", day0 + 8);
+            }
+            if rng.random_bool(config.asparaginase_prob) {
+                push(&mut rows, id, "L", rng.random_range(5000.0..7000.0), "IU", day0 + 13);
+            }
+
+            // Days 1–5: P at 10 am.
+            for day in 0..5 {
+                push(
+                    &mut rows,
+                    id,
+                    "P",
+                    dose(&mut rng, p_dose),
+                    "mg",
+                    day0 + day * 24 + 10 + jitter(&mut rng),
+                );
+            }
+
+            // Mid-cycle and recovery blood counts (days 7 and 14).
+            push(&mut rows, id, "B", who_tox(&mut rng), "WHO-Tox", day0 + 7 * 24 + 9 + jitter(&mut rng));
+            push(&mut rows, id, "B", who_tox(&mut rng), "WHO-Tox", day0 + 14 * 24 + 9 + jitter(&mut rng));
+
+            // Auxiliary clinical events: labs, vitals, supportive care.
+            // These dominate real ward data and are exactly what the
+            // §4.5 filter discards before instance iteration.
+            for day in -1..16i64 {
+                let mut expected = config.aux_per_day;
+                while expected > 0.0 {
+                    if rng.random_bool(expected.min(1.0)) {
+                        let ty = AUX_TYPES[rng.random_range(0..AUX_TYPES.len())];
+                        let hour = day0 + day * 24 + rng.random_range(7..20);
+                        push(&mut rows, id, ty, rng.random_range(0.0..200.0), "misc", hour);
+                    }
+                    expected -= 1.0;
+                }
+            }
+        }
+    }
+
+    let mut builder = Relation::builder(schema());
+    rows.sort_by_key(|(ts, _)| *ts);
+    for (ts, values) in rows {
+        builder = builder.row(ts, values).expect("generated rows are well-typed");
+    }
+    builder.build()
+}
+
+fn push(rows: &mut Vec<(Timestamp, Vec<Value>)>, id: i64, l: &str, v: f64, u: &str, hour: i64) {
+    rows.push((
+        Timestamp::new(hour),
+        vec![
+            Value::from(id),
+            Value::from(l),
+            Value::from(v),
+            Value::from(u),
+        ],
+    ));
+}
+
+fn dose(rng: &mut StdRng, base: f64) -> f64 {
+    // ±5% day-to-day variation, rounded to half a milligram.
+    let v = base * rng.random_range(0.95..1.05);
+    (v * 2.0).round() / 2.0
+}
+
+fn who_tox(rng: &mut StdRng) -> f64 {
+    // WHO toxicity grades 0–4, skewed toward low grades.
+    let r: f64 = rng.random();
+    match r {
+        x if x < 0.45 => 0.0,
+        x if x < 0.75 => 1.0,
+        x if x < 0.90 => 2.0,
+        x if x < 0.98 => 3.0,
+        _ => 4.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ses_event::Duration;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = ChemoConfig::small();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.events().iter().zip(b.events()) {
+            assert_eq!(x.ts(), y.ts());
+            assert_eq!(x.values(), y.values());
+        }
+        // Different seed ⇒ different data.
+        let c = generate(&cfg.clone().with_seed(7));
+        assert!(
+            a.events()
+                .iter()
+                .zip(c.events())
+                .any(|(x, y)| x.values() != y.values() || x.ts() != y.ts()),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn events_are_chronological_and_typed() {
+        let rel = generate(&ChemoConfig::small());
+        assert!(!rel.is_empty());
+        for w in rel.events().windows(2) {
+            assert!(w[0].ts() <= w[1].ts());
+        }
+        for e in rel.events() {
+            let l = &e.values()[1];
+            let l = match l {
+                Value::Str(s) => s.as_ref(),
+                _ => panic!("L must be a string"),
+            };
+            assert!(
+                ["C", "D", "P", "V", "R", "L", "B"].contains(&l) || AUX_TYPES.contains(&l),
+                "unexpected type {l}"
+            );
+        }
+    }
+
+    #[test]
+    fn type_mix_includes_all_protocol_events() {
+        let rel = generate(&ChemoConfig::small());
+        for ty in ["C", "D", "P", "V", "B"] {
+            assert!(
+                rel.events()
+                    .iter()
+                    .any(|e| e.values()[1] == Value::from(ty)),
+                "missing {ty}"
+            );
+        }
+        // P is the most frequent medication (given daily for 5 days).
+        let count = |ty: &str| {
+            rel.events()
+                .iter()
+                .filter(|e| e.values()[1] == Value::from(ty))
+                .count()
+        };
+        assert!(count("P") > count("C"));
+        assert!(count("P") >= 5 * ChemoConfig::small().patients);
+    }
+
+    #[test]
+    fn paper_d1_window_size_is_calibrated() {
+        let rel = generate(&ChemoConfig::paper_d1());
+        let w = rel.window_size(Duration::hours(264));
+        assert!(
+            (1200..=1450).contains(&w),
+            "W = {w}, expected ≈ 1322 (paper's D1)"
+        );
+    }
+
+    #[test]
+    fn scaled_changes_patient_count() {
+        let cfg = ChemoConfig::paper_d1().scaled(0.1);
+        assert_eq!(cfg.patients, 7);
+        assert_eq!(ChemoConfig::small().scaled(0.0).patients, 1);
+    }
+}

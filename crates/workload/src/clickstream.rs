@@ -1,0 +1,195 @@
+//! Synthetic clickstream workload.
+//!
+//! The paper's introduction cites click-stream analysis as a driving
+//! application. This generator produces web sessions with a **research
+//! funnel**: before buying, a user views the product page, reads reviews,
+//! and checks shipping — in any order (tab-happy users differ!) — and
+//! then checks out, unless a `support_ticket` intervenes.
+//!
+//! Schema: `(USER, PAGE, T)` with second-granularity timestamps.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+use ses_event::{AttrType, CmpOp, Duration, Relation, Schema, Timestamp, Value};
+use ses_pattern::Pattern;
+
+/// The click schema.
+pub fn schema() -> Schema {
+    Schema::builder()
+        .attr("USER", AttrType::Int)
+        .attr("PAGE", AttrType::Str)
+        .build()
+        .expect("static schema is valid")
+}
+
+/// Pages outside the funnel that pad the stream.
+pub const NOISE_PAGES: [&str; 5] = ["home", "search", "category", "account", "wishlist"];
+
+/// Configuration of the clickstream generator.
+#[derive(Debug, Clone)]
+pub struct ClickstreamConfig {
+    /// Users that complete the research funnel and buy.
+    pub buyers: usize,
+    /// Buyers whose funnel is interrupted by a support ticket (these
+    /// must NOT match the negated funnel pattern).
+    pub interrupted_buyers: usize,
+    /// Users that browse without completing the funnel.
+    pub browsers: usize,
+    /// Noise clicks per user.
+    pub noise_clicks: usize,
+    /// Horizon in seconds.
+    pub horizon_seconds: i64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ClickstreamConfig {
+    /// A small deterministic stream.
+    pub fn small() -> ClickstreamConfig {
+        ClickstreamConfig {
+            buyers: 20,
+            interrupted_buyers: 8,
+            browsers: 30,
+            noise_clicks: 6,
+            horizon_seconds: 2 * 3600,
+            seed: 17,
+        }
+    }
+}
+
+/// Generates the click tape.
+pub fn generate(config: &ClickstreamConfig) -> Relation {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rows: Vec<(Timestamp, Vec<Value>)> = Vec::new();
+    let mut user = 0i64;
+
+    let click = |rows: &mut Vec<(Timestamp, Vec<Value>)>, user: i64, page: &str, t: i64| {
+        rows.push((Timestamp::new(t), vec![Value::from(user), Value::from(page)]));
+    };
+
+    let mut session = |rng: &mut StdRng,
+                       rows: &mut Vec<(Timestamp, Vec<Value>)>,
+                       kind: SessionKind| {
+        user += 1;
+        let start = rng.random_range(0..config.horizon_seconds - 1800);
+        let mut t = start;
+        // Noise clicks sprinkled through the session.
+        for _ in 0..config.noise_clicks {
+            t += rng.random_range(5..60);
+            let page = NOISE_PAGES[rng.random_range(0..NOISE_PAGES.len())];
+            click(rows, user, page, t);
+        }
+        if kind == SessionKind::Browser {
+            return;
+        }
+        // The research steps, in a random order.
+        let mut steps = ["product", "reviews", "shipping"];
+        steps.shuffle(rng);
+        for step in steps {
+            t += rng.random_range(10..120);
+            click(rows, user, step, t);
+        }
+        if kind == SessionKind::Interrupted {
+            t += rng.random_range(5..60);
+            click(rows, user, "support_ticket", t);
+        }
+        t += rng.random_range(30..300);
+        click(rows, user, "checkout", t);
+    };
+
+    #[derive(PartialEq, Clone, Copy)]
+    enum SessionKind {
+        Buyer,
+        Interrupted,
+        Browser,
+    }
+
+    for _ in 0..config.buyers {
+        session(&mut rng, &mut rows, SessionKind::Buyer);
+    }
+    for _ in 0..config.interrupted_buyers {
+        session(&mut rng, &mut rows, SessionKind::Interrupted);
+    }
+    for _ in 0..config.browsers {
+        session(&mut rng, &mut rows, SessionKind::Browser);
+    }
+
+    rows.sort_by_key(|(ts, _)| *ts);
+    let mut builder = Relation::builder(schema());
+    for (ts, values) in rows {
+        builder = builder.row(ts, values).expect("generated rows are well-typed");
+    }
+    builder.build()
+}
+
+/// The research funnel as an SES pattern: product page, reviews, and
+/// shipping info in **any order**, then checkout — same user, within
+/// `window` — optionally with no intervening support ticket.
+pub fn funnel_pattern(window: Duration, exclude_tickets: bool) -> Pattern {
+    let mut b = Pattern::builder()
+        .set(|s| s.var("product").var("reviews").var("shipping"));
+    if exclude_tickets {
+        b = b.negate("ticket");
+    }
+    b = b
+        .set(|s| s.var("buy"))
+        .cond_const("product", "PAGE", CmpOp::Eq, "product")
+        .cond_const("reviews", "PAGE", CmpOp::Eq, "reviews")
+        .cond_const("shipping", "PAGE", CmpOp::Eq, "shipping")
+        .cond_const("buy", "PAGE", CmpOp::Eq, "checkout")
+        .cond_vars("product", "USER", CmpOp::Eq, "reviews", "USER")
+        .cond_vars("product", "USER", CmpOp::Eq, "shipping", "USER")
+        .cond_vars("reviews", "USER", CmpOp::Eq, "shipping", "USER")
+        .cond_vars("product", "USER", CmpOp::Eq, "buy", "USER");
+    if exclude_tickets {
+        b = b
+            .neg_cond_const("ticket", "PAGE", CmpOp::Eq, "support_ticket")
+            .neg_cond_vars("ticket", "USER", CmpOp::Eq, "product", "USER");
+    }
+    b.within(window).build().expect("funnel pattern is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ses_core::Matcher;
+
+    #[test]
+    fn deterministic_and_chronological() {
+        let cfg = ClickstreamConfig::small();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.len(), b.len());
+        for w in a.events().windows(2) {
+            assert!(w[0].ts() <= w[1].ts());
+        }
+        // buyers×(noise+4) + interrupted×(noise+5) + browsers×noise.
+        let n = cfg.noise_clicks;
+        assert_eq!(
+            a.len(),
+            cfg.buyers * (n + 4) + cfg.interrupted_buyers * (n + 5) + cfg.browsers * n
+        );
+    }
+
+    #[test]
+    fn funnel_counts_match_session_kinds() {
+        let cfg = ClickstreamConfig::small();
+        let tape = generate(&cfg);
+        let schema = schema();
+        let window = Duration::ticks(3600);
+
+        // Without ticket exclusion: every buyer and interrupted buyer.
+        let all = Matcher::compile(&funnel_pattern(window, false), &schema)
+            .unwrap()
+            .find(&tape);
+        assert_eq!(all.len(), cfg.buyers + cfg.interrupted_buyers);
+
+        // With ticket exclusion: clean buyers only.
+        let clean = Matcher::compile(&funnel_pattern(window, true), &schema)
+            .unwrap()
+            .find(&tape);
+        assert_eq!(clean.len(), cfg.buyers);
+    }
+}

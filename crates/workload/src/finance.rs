@@ -1,0 +1,195 @@
+//! Synthetic financial trading workload.
+//!
+//! The paper's introduction motivates event pattern matching with
+//! financial services; this workload exercises SES patterns on a trade
+//! tape. Schema: `(SYM, TYPE, PRICE, QTY, T)` with minute-granularity
+//! timestamps. Event types: `BUY`, `SELL` (trades) and `ALERT` (a price
+//! spike signal).
+//!
+//! The generator plants **accumulation motifs** — a large buy and a large
+//! sell of the same symbol in close succession (in either order!),
+//! followed by a price alert — inside background noise. The motif order
+//! varies, which is precisely what `PERMUTE`-style matching is for:
+//! [`accumulation_pattern`] finds the motif regardless of the buy/sell
+//! order.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use ses_event::{AttrType, CmpOp, Duration, Relation, Schema, Timestamp, Value};
+use ses_pattern::Pattern;
+
+/// Symbols traded by the generator.
+pub const SYMBOLS: [&str; 6] = ["ACME", "GLOBEX", "INITECH", "UMBRELLA", "WAYNE", "STARK"];
+
+/// The trade-tape schema.
+pub fn schema() -> Schema {
+    Schema::builder()
+        .attr("SYM", AttrType::Str)
+        .attr("TYPE", AttrType::Str)
+        .attr("PRICE", AttrType::Float)
+        .attr("QTY", AttrType::Int)
+        .build()
+        .expect("static schema is valid")
+}
+
+/// Configuration of the finance generator.
+#[derive(Debug, Clone)]
+pub struct FinanceConfig {
+    /// Number of background trades.
+    pub background_trades: usize,
+    /// Number of planted accumulation motifs.
+    pub motifs: usize,
+    /// Tape length in minutes.
+    pub minutes: i64,
+    /// Quantity threshold that makes a trade "large".
+    pub large_qty: i64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl FinanceConfig {
+    /// A small deterministic tape for tests and examples.
+    pub fn small() -> FinanceConfig {
+        FinanceConfig {
+            background_trades: 400,
+            motifs: 6,
+            minutes: 8 * 60,
+            large_qty: 10_000,
+            seed: 7,
+        }
+    }
+}
+
+/// Generates the trade tape; returns the relation and the number of
+/// planted motifs (each should yield at least one match of
+/// [`accumulation_pattern`]).
+pub fn generate(config: &FinanceConfig) -> Relation {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rows: Vec<(Timestamp, Vec<Value>)> = Vec::new();
+
+    let mut prices: Vec<f64> = SYMBOLS
+        .iter()
+        .map(|_| rng.random_range(20.0..200.0))
+        .collect();
+
+    // Background: small trades, random walk prices.
+    for _ in 0..config.background_trades {
+        let s = rng.random_range(0..SYMBOLS.len());
+        prices[s] *= rng.random_range(0.998..1.002);
+        let side = if rng.random_bool(0.5) { "BUY" } else { "SELL" };
+        let qty = rng.random_range(100..config.large_qty / 2);
+        let t = rng.random_range(0..config.minutes);
+        rows.push(trade(SYMBOLS[s], side, prices[s], qty, t));
+    }
+
+    // Motifs: large buy + large sell (random order, 1–10 minutes apart),
+    // alert 5–30 minutes after the later trade.
+    for _ in 0..config.motifs {
+        let s = rng.random_range(0..SYMBOLS.len());
+        let t0 = rng.random_range(0..config.minutes - 60);
+        let gap = rng.random_range(1..10);
+        let (first, second) = if rng.random_bool(0.5) {
+            ("BUY", "SELL")
+        } else {
+            ("SELL", "BUY")
+        };
+        let q1 = rng.random_range(config.large_qty..config.large_qty * 3);
+        let q2 = rng.random_range(config.large_qty..config.large_qty * 3);
+        rows.push(trade(SYMBOLS[s], first, prices[s], q1, t0));
+        rows.push(trade(SYMBOLS[s], second, prices[s] * 1.01, q2, t0 + gap));
+        let alert_t = t0 + gap + rng.random_range(5..30);
+        rows.push((
+            Timestamp::new(alert_t),
+            vec![
+                Value::from(SYMBOLS[s]),
+                Value::from("ALERT"),
+                Value::from(prices[s] * 1.05),
+                Value::from(0i64),
+            ],
+        ));
+    }
+
+    rows.sort_by_key(|(ts, _)| *ts);
+    let mut builder = Relation::builder(schema());
+    for (ts, values) in rows {
+        builder = builder.row(ts, values).expect("generated rows are well-typed");
+    }
+    builder.build()
+}
+
+fn trade(sym: &str, side: &str, price: f64, qty: i64, minute: i64) -> (Timestamp, Vec<Value>) {
+    (
+        Timestamp::new(minute),
+        vec![
+            Value::from(sym),
+            Value::from(side),
+            Value::from((price * 100.0).round() / 100.0),
+            Value::from(qty),
+        ],
+    )
+}
+
+/// The accumulation SES pattern: a large BUY and a large SELL of the same
+/// symbol **in any order**, followed by an ALERT for that symbol, all
+/// within `window` minutes.
+pub fn accumulation_pattern(large_qty: i64, window: Duration) -> Pattern {
+    Pattern::builder()
+        .set(|s| s.var("buy").var("sell"))
+        .set(|s| s.var("alert"))
+        .cond_const("buy", "TYPE", CmpOp::Eq, "BUY")
+        .cond_const("buy", "QTY", CmpOp::Ge, large_qty)
+        .cond_const("sell", "TYPE", CmpOp::Eq, "SELL")
+        .cond_const("sell", "QTY", CmpOp::Ge, large_qty)
+        .cond_const("alert", "TYPE", CmpOp::Eq, "ALERT")
+        .cond_vars("buy", "SYM", CmpOp::Eq, "sell", "SYM")
+        .cond_vars("buy", "SYM", CmpOp::Eq, "alert", "SYM")
+        .within(window)
+        .build()
+        .expect("accumulation pattern is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_chronological() {
+        let cfg = FinanceConfig::small();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), cfg.background_trades + 3 * cfg.motifs);
+        for w in a.events().windows(2) {
+            assert!(w[0].ts() <= w[1].ts());
+        }
+    }
+
+    #[test]
+    fn motifs_contain_both_orders_eventually() {
+        // With several motifs and a fixed seed, both BUY-first and
+        // SELL-first large pairs should occur.
+        let rel = generate(&FinanceConfig {
+            motifs: 12,
+            ..FinanceConfig::small()
+        });
+        let large: Vec<&str> = rel
+            .events()
+            .iter()
+            .filter(|e| matches!(e.values()[3], Value::Int(q) if q >= 10_000))
+            .map(|e| match &e.values()[1] {
+                Value::Str(s) => if s.as_ref() == "BUY" { "B" } else { "S" },
+                _ => unreachable!(),
+            })
+            .collect();
+        assert!(large.contains(&"B") && large.contains(&"S"));
+    }
+
+    #[test]
+    fn pattern_compiles_and_is_exclusive() {
+        let p = accumulation_pattern(10_000, Duration::ticks(60));
+        let cp = p.compile(&schema()).unwrap();
+        // BUY ≠ SELL on TYPE ⇒ mutually exclusive first set.
+        assert!(cp.analysis().all_pairwise_mutually_exclusive(0));
+    }
+}

@@ -1,0 +1,24 @@
+//! Workload generators for SES pattern matching.
+//!
+//! * [`paper`] — the paper's Figure 1 relation, Query Q1, and the
+//!   experiment patterns P1–P6, verbatim.
+//! * [`chemo`] — a synthetic chemotherapy ward (the substitute for the
+//!   paper's proprietary hospital data set; calibrated to D1's
+//!   `W ≈ 1322`).
+//! * [`finance`] — a trade tape with planted any-order accumulation
+//!   motifs.
+//! * [`rfid`] — warehouse RFID reads with permuted station visits.
+//! * [`clickstream`] — web sessions with any-order research funnels and
+//!   negation-relevant interruptions.
+//!
+//! All generators are deterministic per seed and emit chronologically
+//! ordered, schema-conformant relations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chemo;
+pub mod clickstream;
+pub mod finance;
+pub mod paper;
+pub mod rfid;

@@ -1,0 +1,258 @@
+//! The paper's running example and experiment patterns, verbatim.
+//!
+//! * [`schema`] — the `Event` relation schema of Figure 1:
+//!   `(ID, L, V, U, T)` with patient id, event type, value, unit, time.
+//! * [`figure1`] — the 14 events `e1…e14` of Figure 1. Timestamps are
+//!   hours since July 1st, 00:00 (so `9 am 3 Jul` = 57).
+//! * [`query_q1`] — the SES pattern of Example 2:
+//!   `(⟨{c, p+, d}, {b}⟩, Θ, 264)`.
+//! * [`exp1_p1`]/[`exp1_p2`], [`exp2_p3`]/[`exp2_p4`],
+//!   [`exp3_p5`]/[`exp3_p6`] — the patterns of experiments 1–3 (§5.3–5.5).
+
+use ses_event::{AttrType, CmpOp, Duration, Relation, Schema, Timestamp, Value};
+use ses_pattern::Pattern;
+
+/// Event types used by the experiment patterns, in the order the paper
+/// grows `|V1|`: Ciclofosfamide, Doxorubicina, Prednisone, Vincristine,
+/// Rituximab, L-Asparaginase — plus `B` for blood counts.
+pub const MEDICATION_TYPES: [&str; 6] = ["C", "D", "P", "V", "R", "L"];
+
+/// The chemotherapy event schema of Figure 1 (temporal attribute `T` is
+/// implicit).
+pub fn schema() -> Schema {
+    Schema::builder()
+        .attr("ID", AttrType::Int)
+        .attr("L", AttrType::Str)
+        .attr("V", AttrType::Float)
+        .attr("U", AttrType::Str)
+        .build()
+        .expect("static schema is valid")
+}
+
+/// Hours since July 1st 00:00 for `(day_of_july, hour)`.
+fn jul(day: i64, hour: i64) -> Timestamp {
+    Timestamp::new((day - 1) * 24 + hour)
+}
+
+/// The event relation of Figure 1 (events `e1…e14`).
+pub fn figure1() -> Relation {
+    let rows: [(i64, &str, f64, &str, i64, i64); 14] = [
+        (1, "C", 1672.5, "mg", 3, 9),       // e1
+        (1, "B", 0.0, "WHO-Tox", 3, 10),    // e2
+        (1, "D", 84.0, "mgl", 3, 11),       // e3
+        (1, "P", 111.5, "mg", 4, 9),        // e4
+        (2, "B", 0.0, "WHO-Tox", 5, 9),     // e5
+        (2, "P", 88.0, "mg", 5, 10),        // e6
+        (2, "D", 84.0, "mgl", 5, 11),       // e7
+        (2, "C", 1320.0, "mg", 6, 9),       // e8
+        (1, "P", 111.5, "mg", 6, 10),       // e9
+        (2, "P", 88.0, "mg", 6, 11),        // e10
+        (2, "P", 88.0, "mg", 7, 9),         // e11
+        (1, "B", 1.0, "WHO-Tox", 12, 9),    // e12
+        (2, "B", 1.0, "WHO-Tox", 13, 9),    // e13
+        (2, "B", 0.0, "WHO-Tox", 14, 9),    // e14
+    ];
+    let mut rel = Relation::new(schema());
+    for (id, l, v, u, day, hour) in rows {
+        rel.push_values(
+            jul(day, hour),
+            [
+                Value::from(id),
+                Value::from(l),
+                Value::from(v),
+                Value::from(u),
+            ],
+        )
+        .expect("figure 1 rows are chronological and well-typed");
+    }
+    rel
+}
+
+/// Query Q1 (Example 2): one Ciclofosfamide, one or more Prednisone, and
+/// one Doxorubicina in any order, followed by a blood count, all for the
+/// same patient within 264 hours.
+pub fn query_q1() -> Pattern {
+    Pattern::builder()
+        .set(|s| s.var("c").plus("p").var("d"))
+        .set(|s| s.var("b"))
+        .cond_const("c", "L", CmpOp::Eq, "C") // θ1
+        .cond_const("d", "L", CmpOp::Eq, "D") // θ2
+        .cond_const("p", "L", CmpOp::Eq, "P") // θ3
+        .cond_const("b", "L", CmpOp::Eq, "B") // θ4
+        .cond_vars("c", "ID", CmpOp::Eq, "p", "ID") // θ5
+        .cond_vars("c", "ID", CmpOp::Eq, "d", "ID") // θ6
+        .cond_vars("d", "ID", CmpOp::Eq, "b", "ID") // θ7
+        .within(Duration::hours(264))
+        .build()
+        .expect("Q1 is a valid pattern")
+}
+
+/// Builds `⟨V1, {b}⟩` with `n` singleton variables in `V1` whose type
+/// conditions are given by `types[i]`, plus `b.L = 'B'` and `τ = 264 h` —
+/// the shape shared by all experiment patterns.
+fn experiment_pattern(var_specs: &[(&str, bool, &str)]) -> Pattern {
+    let specs: Vec<(String, bool, String)> = var_specs
+        .iter()
+        .map(|(n, g, t)| (n.to_string(), *g, t.to_string()))
+        .collect();
+    let mut b = Pattern::builder();
+    {
+        let names: Vec<(String, bool)> =
+            specs.iter().map(|(n, g, _)| (n.clone(), *g)).collect();
+        b = b.set(move |s| {
+            for (name, group) in &names {
+                if *group {
+                    s.plus(name.clone());
+                } else {
+                    s.var(name.clone());
+                }
+            }
+            s
+        });
+    }
+    b = b.set(|s| s.var("b"));
+    for (name, _, ty) in &specs {
+        b = b.cond_const(name.clone(), "L", CmpOp::Eq, ty.as_str());
+    }
+    b = b.cond_const("b", "L", CmpOp::Eq, "B");
+    b.within(Duration::hours(264))
+        .build()
+        .expect("experiment patterns are valid")
+}
+
+/// Experiment 1, pattern P1 restricted to `|V1| = n` (2 ≤ n ≤ 6):
+/// pairwise mutually exclusive variables (distinct medication types).
+pub fn exp1_p1(n: usize) -> Pattern {
+    assert!((2..=6).contains(&n), "the paper sweeps |V1| from 2 to 6");
+    let names = ["c", "d", "p", "v", "r", "l"];
+    let specs: Vec<(&str, bool, &str)> = (0..n)
+        .map(|i| (names[i], false, MEDICATION_TYPES[i]))
+        .collect();
+    experiment_pattern(&specs)
+}
+
+/// The medication type shared by all variables in the non-mutually-
+/// exclusive experiment patterns (P2, P3, P4, P6).
+///
+/// The paper does not name the type; its measured |Ω| values (e.g. 116
+/// for the SES automaton at `|V1| = 6`, Table 1) imply a *rare* type —
+/// with a frequent one the Theorem-2/3 regimes explode factorially far
+/// beyond the reported numbers. We use Vincristine (`V`), administered
+/// once per cycle, which reproduces the reported magnitudes' shape.
+pub const SHARED_TYPE: &str = "V";
+
+/// Experiment 1, pattern P2 restricted to `|V1| = n`: all variables match
+/// the *same* medication type (not mutually exclusive).
+pub fn exp1_p2(n: usize) -> Pattern {
+    assert!((2..=6).contains(&n), "the paper sweeps |V1| from 2 to 6");
+    let names = ["c", "d", "p", "v", "r", "l"];
+    let specs: Vec<(&str, bool, &str)> = (0..n).map(|i| (names[i], false, SHARED_TYPE)).collect();
+    experiment_pattern(&specs)
+}
+
+/// Experiment 2, pattern P3: `⟨{c, d, p+}, {b}⟩`, all `V1` variables of
+/// the same type (Theorem 3 regime, one group variable).
+pub fn exp2_p3() -> Pattern {
+    experiment_pattern(&[
+        ("c", false, SHARED_TYPE),
+        ("d", false, SHARED_TYPE),
+        ("p", true, SHARED_TYPE),
+    ])
+}
+
+/// Experiment 2, pattern P4: `⟨{c, d, p}, {b}⟩`, all `V1` variables of the
+/// same type, no group variable (Theorem 2 regime).
+pub fn exp2_p4() -> Pattern {
+    experiment_pattern(&[
+        ("c", false, SHARED_TYPE),
+        ("d", false, SHARED_TYPE),
+        ("p", false, SHARED_TYPE),
+    ])
+}
+
+/// Experiment 3, pattern P5: `⟨{c, d, p+}, {b}⟩` with pairwise mutually
+/// exclusive types.
+pub fn exp3_p5() -> Pattern {
+    experiment_pattern(&[("c", false, "C"), ("d", false, "D"), ("p", true, "P")])
+}
+
+/// Experiment 3, pattern P6: `⟨{c, d, p+}, {b}⟩` with identical types.
+pub fn exp3_p6() -> Pattern {
+    experiment_pattern(&[
+        ("c", false, SHARED_TYPE),
+        ("d", false, SHARED_TYPE),
+        ("p", true, SHARED_TYPE),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ses_pattern::ComplexityClass;
+
+    #[test]
+    fn figure1_matches_the_table() {
+        let rel = figure1();
+        assert_eq!(rel.len(), 14);
+        // Spot checks against Figure 1.
+        let e1 = &rel.events()[0];
+        assert_eq!(e1.values()[0], Value::from(1));
+        assert_eq!(e1.values()[1], Value::from("C"));
+        assert_eq!(e1.values()[2], Value::from(1672.5));
+        assert_eq!(e1.ts(), Timestamp::new(2 * 24 + 9));
+        let e14 = &rel.events()[13];
+        assert_eq!(e14.values()[0], Value::from(2));
+        assert_eq!(e14.values()[1], Value::from("B"));
+        // Example 4: e6 to e13 span 191 hours.
+        let e6 = &rel.events()[5];
+        let e13 = &rel.events()[12];
+        assert_eq!(e13.ts().distance(e6.ts()), Duration::hours(191));
+        // Example 9: W = 14 for τ = 264 h.
+        assert_eq!(rel.window_size(Duration::hours(264)), 14);
+    }
+
+    #[test]
+    fn q1_shape() {
+        let q1 = query_q1();
+        assert_eq!(q1.num_sets(), 2);
+        assert_eq!(q1.num_vars(), 4);
+        assert_eq!(q1.conditions().len(), 7);
+        assert_eq!(q1.within(), Duration::hours(264));
+        assert!(q1.var(q1.var_id("p").unwrap()).is_group());
+        let compiled = q1.compile(&schema()).unwrap();
+        // Example 10: all variables pairwise mutually exclusive.
+        assert!(compiled.analysis().all_pairwise_mutually_exclusive(0));
+        assert!(compiled.analysis().all_pairwise_mutually_exclusive(1));
+    }
+
+    #[test]
+    fn experiment_pattern_classes_match_theorems() {
+        let s = schema();
+        for n in 2..=6 {
+            let p1 = exp1_p1(n).compile(&s).unwrap();
+            assert_eq!(p1.analysis().set_class(0), ComplexityClass::Constant);
+            let p2 = exp1_p2(n).compile(&s).unwrap();
+            assert_eq!(p2.analysis().set_class(0), ComplexityClass::Factorial { n });
+        }
+        let p3 = exp2_p3().compile(&s).unwrap();
+        assert_eq!(
+            p3.analysis().set_class(0),
+            ComplexityClass::GroupPolynomial { n: 3 }
+        );
+        let p4 = exp2_p4().compile(&s).unwrap();
+        assert_eq!(p4.analysis().set_class(0), ComplexityClass::Factorial { n: 3 });
+        let p5 = exp3_p5().compile(&s).unwrap();
+        assert_eq!(p5.analysis().set_class(0), ComplexityClass::Constant);
+        let p6 = exp3_p6().compile(&s).unwrap();
+        assert_eq!(
+            p6.analysis().set_class(0),
+            ComplexityClass::GroupPolynomial { n: 3 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sweeps")]
+    fn exp1_rejects_out_of_range() {
+        exp1_p1(7);
+    }
+}

@@ -1,0 +1,75 @@
+//! Quickstart: define a schema, load events, match an SES pattern.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ses::prelude::*;
+
+fn main() {
+    // 1. A schema: login events with a user id and an action label.
+    let schema = Schema::builder()
+        .attr("USER", AttrType::Int)
+        .attr("ACTION", AttrType::Str)
+        .build()
+        .expect("valid schema");
+
+    // 2. A relation: events must arrive in timestamp order.
+    let mut relation = Relation::new(schema.clone());
+    for (t, user, action) in [
+        (0, 1, "badge_in"),
+        (2, 1, "vpn_connect"),
+        (3, 2, "badge_in"),
+        (5, 1, "download"),
+        (6, 2, "download"),
+        (9, 2, "vpn_connect"), // vpn *after* download — different order!
+        (12, 2, "logout"),
+        (14, 1, "logout"),
+    ] {
+        relation
+            .push_values(Timestamp::new(t), [Value::from(user), Value::from(action)])
+            .expect("rows are well-typed and chronological");
+    }
+
+    // 3. An SES pattern: a badge-in, a VPN connect, and a download by the
+    //    same user IN ANY ORDER, followed by that user's logout, all
+    //    within 20 ticks. The any-order set is what plain sequence
+    //    matchers cannot express without enumerating all 3! orderings.
+    let pattern = Pattern::builder()
+        .set(|s| s.var("badge").var("vpn").var("dl"))
+        .set(|s| s.var("out"))
+        .cond_const("badge", "ACTION", CmpOp::Eq, "badge_in")
+        .cond_const("vpn", "ACTION", CmpOp::Eq, "vpn_connect")
+        .cond_const("dl", "ACTION", CmpOp::Eq, "download")
+        .cond_const("out", "ACTION", CmpOp::Eq, "logout")
+        // Correlation conditions form a clique over the any-order set:
+        // under skip-till-next-match the automaton consumes greedily, so
+        // every pair of set variables should be related (see the
+        // rfid_tracking example for what happens otherwise).
+        .cond_vars("badge", "USER", CmpOp::Eq, "vpn", "USER")
+        .cond_vars("badge", "USER", CmpOp::Eq, "dl", "USER")
+        .cond_vars("vpn", "USER", CmpOp::Eq, "dl", "USER")
+        .cond_vars("badge", "USER", CmpOp::Eq, "out", "USER")
+        .within(Duration::ticks(20))
+        .build()
+        .expect("valid pattern");
+
+    println!("pattern: {pattern}\n");
+
+    // 4. Compile once, match as often as you like.
+    let matcher = Matcher::compile(&pattern, &schema).expect("pattern compiles against schema");
+    let matches = matcher.find(&relation);
+
+    println!("{} match(es):", matches.len());
+    for m in &matches {
+        println!("  {}", m.display_with(&pattern));
+        for &(var, event) in m.bindings() {
+            println!(
+                "    {:<6} = {}",
+                pattern.var_name(var),
+                relation.event(event)
+            );
+        }
+    }
+
+    // Both users match, although their vpn/download orders differ.
+    assert_eq!(matches.len(), 2);
+}

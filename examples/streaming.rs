@@ -1,0 +1,67 @@
+//! Push-based streaming: feed events one at a time and receive matches
+//! as their windows close — no batch relation required up front.
+//!
+//! Run with: `cargo run --example streaming`
+
+use ses::prelude::*;
+
+fn main() {
+    // Server monitoring: a deploy and a config change in any order,
+    // followed by an error spike on the same host within 30 minutes.
+    let schema = Schema::builder()
+        .attr("HOST", AttrType::Str)
+        .attr("KIND", AttrType::Str)
+        .build()
+        .expect("valid schema");
+    let pattern = Pattern::builder()
+        .set(|s| s.var("deploy").var("cfg"))
+        .set(|s| s.var("spike"))
+        .cond_const("deploy", "KIND", CmpOp::Eq, "deploy")
+        .cond_const("cfg", "KIND", CmpOp::Eq, "config_change")
+        .cond_const("spike", "KIND", CmpOp::Eq, "error_spike")
+        .cond_vars("deploy", "HOST", CmpOp::Eq, "cfg", "HOST")
+        .cond_vars("deploy", "HOST", CmpOp::Eq, "spike", "HOST")
+        .within(Duration::ticks(30))
+        .build()
+        .expect("valid pattern");
+
+    let mut stream =
+        StreamMatcher::compile(&pattern, &schema).expect("pattern compiles against schema");
+
+    // Minute-granularity feed. Note web-1's config change precedes its
+    // deploy, while web-2 deploys first — one pattern covers both.
+    let feed = [
+        (0, "web-1", "config_change"),
+        (2, "web-2", "deploy"),
+        (3, "web-1", "deploy"),
+        (5, "web-2", "config_change"),
+        (7, "web-1", "heartbeat"),
+        (9, "web-1", "error_spike"),
+        (11, "web-2", "heartbeat"),
+        (14, "web-2", "error_spike"),
+        (60, "web-1", "heartbeat"), // far future: expires open windows
+    ];
+
+    for (t, host, kind) in feed {
+        let emitted = stream
+            .push(Timestamp::new(t), [Value::from(host), Value::from(kind)])
+            .expect("events arrive in order");
+        println!(
+            "t={t:<3} {host:<6} {kind:<14} |Ω|={:<3} emitted={}",
+            stream.active_instances(),
+            emitted.len()
+        );
+        for m in &emitted {
+            println!("      ⚠ incident window closed: {}", m.display_with(&pattern));
+        }
+    }
+
+    // End of stream: flush still-open accepting instances and apply the
+    // full Definition-2 semantics over everything seen.
+    let final_matches = stream.finish();
+    println!("\nfinal incident reports: {}", final_matches.len());
+    for m in &final_matches {
+        println!("  {}", m.display_with(&pattern));
+    }
+    assert_eq!(final_matches.len(), 2, "one incident per host");
+}

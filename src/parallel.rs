@@ -1,0 +1,113 @@
+//! Parallel partitioned matching.
+//!
+//! When a pattern correlates all variables on one key (Q1's patient id,
+//! the RFID tag, the clickstream user), matches never span two key
+//! values, so the relation can be split per key and matched on worker
+//! threads. [`find_partitioned`] does the split, fans partitions out over
+//! [`std::thread::scope`], and maps the per-partition matches back to the
+//! original relation's event ids — the result is set-equal to matching
+//! the whole relation directly (asserted by the in-module tests and the
+//! partitioned-vs-global check in `tests/pipeline.rs`).
+//!
+//! **Soundness caveat**: partitioning is only equivalent when the
+//! pattern's conditions confine every match to a single key value;
+//! the helper cannot check that contract for you.
+
+use std::collections::HashMap;
+
+use ses_core::{Match, Matcher};
+use ses_event::{AttrId, EventId, Relation};
+
+/// Matches `relation` per distinct value of `key`, in parallel, and
+/// returns all matches with bindings expressed in the *original*
+/// relation's event ids, sorted canonically.
+pub fn find_partitioned(matcher: &Matcher, relation: &Relation, key: AttrId) -> Vec<Match> {
+    // Split into per-key partitions, remembering each partition event's
+    // original id.
+    let mut order: Vec<String> = Vec::new();
+    let mut partitions: HashMap<String, (Relation, Vec<EventId>)> = HashMap::new();
+    for (id, event) in relation.iter() {
+        let k = event.value(key).to_string();
+        let entry = partitions.entry(k.clone()).or_insert_with(|| {
+            order.push(k);
+            (Relation::new(relation.schema().clone()), Vec::new())
+        });
+        entry
+            .0
+            .push_event(event.clone())
+            .expect("a linear scan preserves chronological order");
+        entry.1.push(id);
+    }
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let work: Vec<(&Relation, &[EventId])> = order
+        .iter()
+        .map(|k| {
+            let (rel, ids) = &partitions[k];
+            (rel, ids.as_slice())
+        })
+        .collect();
+
+    let mut all: Vec<Match> = std::thread::scope(|scope| {
+        let chunk = work.len().div_ceil(workers).max(1);
+        let handles: Vec<_> = work
+            .chunks(chunk)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for (rel, ids) in chunk {
+                        for m in matcher.find(rel) {
+                            // Remap partition-local event ids to global.
+                            let bindings = m
+                                .bindings()
+                                .iter()
+                                .map(|&(v, e)| (v, ids[e.index()]))
+                                .collect();
+                            out.push(Match::from_bindings(bindings));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("partition workers do not panic"))
+            .collect()
+    });
+    all.sort();
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitioned_equals_global_on_q1() {
+        let ward = crate::workload::chemo::generate(
+            &crate::workload::chemo::ChemoConfig::small(),
+        );
+        let q1 = crate::workload::paper::query_q1();
+        let matcher = Matcher::compile(&q1, ward.schema()).unwrap();
+        let key = ward.schema().attr_id("ID").unwrap();
+
+        let mut global = matcher.find(&ward);
+        global.sort();
+        let parallel = find_partitioned(&matcher, &ward, key);
+        assert_eq!(parallel, global);
+        assert!(!parallel.is_empty());
+    }
+
+    #[test]
+    fn empty_relation() {
+        let schema = crate::workload::paper::schema();
+        let q1 = crate::workload::paper::query_q1();
+        let matcher = Matcher::compile(&q1, &schema).unwrap();
+        let rel = Relation::new(schema.clone());
+        let key = schema.attr_id("ID").unwrap();
+        assert!(find_partitioned(&matcher, &rel, key).is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! End-to-end tests of the negation extension: query language →
+//! matcher → workloads, plus agreement between batch, streaming, and
+//! brute-force execution.
+
+use ses::prelude::*;
+use ses::workload::{chemo, paper};
+
+/// Query Q1 extended with "and no fever reading (aux type 'T') for that
+/// patient between the administrations and the blood count".
+fn q1_no_fever_text() -> &'static str {
+    "PATTERN PERMUTE(c, p+, d) THEN NOT fever THEN b \
+     WHERE c.L = 'C' AND d.L = 'D' AND p.L = 'P' AND b.L = 'B' \
+       AND c.ID = p.ID AND c.ID = d.ID AND d.ID = b.ID \
+       AND fever.L = 'T' AND fever.ID = c.ID \
+     WITHIN 264 HOURS"
+}
+
+#[test]
+fn negated_q1_parses_and_matches_figure1() {
+    let pattern = ses::query::parse_pattern(q1_no_fever_text(), TickUnit::Hour).unwrap();
+    assert_eq!(pattern.negations().len(), 1);
+    // Figure 1 contains no 'T' events, so the results are unchanged.
+    let relation = paper::figure1();
+    let matches = Matcher::compile(&pattern, relation.schema())
+        .unwrap()
+        .find(&relation);
+    assert_eq!(matches.len(), 2);
+}
+
+#[test]
+fn negation_prunes_ward_matches() {
+    // On the synthetic ward (which generates 'T' temperature readings),
+    // the negated query returns a subset of the plain query.
+    let plain = paper::query_q1();
+    let negated = ses::query::parse_pattern(q1_no_fever_text(), TickUnit::Hour).unwrap();
+    let ward = chemo::generate(&chemo::ChemoConfig::small());
+    let schema = paper::schema();
+
+    let plain_matches = Matcher::compile(&plain, &schema).unwrap().find(&ward);
+    let negated_matches = Matcher::compile(&negated, &schema).unwrap().find(&ward);
+    assert!(
+        negated_matches.len() < plain_matches.len(),
+        "fever readings must prune some matches ({} vs {})",
+        negated_matches.len(),
+        plain_matches.len()
+    );
+    assert!(
+        !negated_matches.is_empty(),
+        "some cycles have no fever reading in the gap"
+    );
+    // Every negated match is also a plain match (with identical bindings).
+    for m in &negated_matches {
+        assert!(plain_matches.contains(m));
+    }
+    // And no surviving match has a same-patient 'T' event in its gap.
+    let compiled = negated.compile(&schema).unwrap();
+    for m in &negated_matches {
+        let raw = ses::core::RawMatch {
+            bindings: m.bindings().to_vec(),
+        };
+        assert!(ses::core::passes_negations(&raw, &ward, &compiled));
+    }
+}
+
+#[test]
+fn streaming_respects_negations() {
+    let schema = Schema::builder().attr("L", AttrType::Str).build().unwrap();
+    let pattern = ses::query::parse_pattern(
+        "PATTERN a THEN NOT x THEN b \
+         WHERE a.L = 'A' AND b.L = 'B' AND x.L = 'X' \
+         WITHIN 10 TICKS",
+        TickUnit::Abstract,
+    )
+    .unwrap();
+    let mut sm = StreamMatcher::compile(&pattern, &schema).unwrap();
+    for (t, l) in [(0, "A"), (1, "X"), (2, "B"), (20, "A"), (21, "B"), (60, "A")] {
+        sm.push(Timestamp::new(t), [Value::from(l)]).unwrap();
+    }
+    // The first A…B pair has an X in the gap and must not be emitted;
+    // the second pair is clean.
+    let matches = sm.finish();
+    assert_eq!(matches.len(), 1);
+    assert_eq!(matches[0].first_event(), EventId(3));
+}
+
+#[test]
+fn brute_force_bank_respects_negations() {
+    let schema = Schema::builder().attr("L", AttrType::Str).build().unwrap();
+    let pattern = ses::query::parse_pattern(
+        "PATTERN PERMUTE(a, c) THEN NOT x THEN b \
+         WHERE a.L = 'A' AND c.L = 'C' AND b.L = 'B' AND x.L = 'X' \
+         WITHIN 20 TICKS",
+        TickUnit::Abstract,
+    )
+    .unwrap();
+    let mut rel = Relation::new(schema.clone());
+    for (t, l) in [
+        (0, "C"),
+        (1, "A"),
+        (2, "X"), // inside the gap → blocks
+        (3, "B"),
+        (30, "A"),
+        (31, "C"),
+        (33, "B"), // clean
+    ] {
+        rel.push_values(Timestamp::new(t), [Value::from(l)]).unwrap();
+    }
+    let ses_matches = Matcher::compile(&pattern, &schema).unwrap().find(&rel);
+    let bank_matches = BruteForce::compile(&pattern, &schema).unwrap().find(&rel);
+    assert_eq!(ses_matches.len(), 1);
+    assert_eq!(ses_matches, bank_matches);
+    assert_eq!(ses_matches[0].first_event(), EventId(4));
+}

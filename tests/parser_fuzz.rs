@@ -1,0 +1,66 @@
+//! Robustness fuzzing: the query parser must never panic — every input,
+//! however mangled, either parses or returns a positioned error.
+
+use proptest::prelude::*;
+
+use ses::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1024))]
+
+    /// Arbitrary unicode strings neither panic nor hang.
+    #[test]
+    fn arbitrary_strings_never_panic(input in ".{0,120}") {
+        let _ = ses::query::parse_pattern(&input, TickUnit::Hour);
+    }
+
+    /// Query-shaped soup from the language's own token vocabulary —
+    /// much denser coverage of parser states than uniform noise.
+    #[test]
+    fn token_soup_never_panics(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("PATTERN".to_string()),
+                Just("PERMUTE".to_string()),
+                Just("THEN".to_string()),
+                Just("NOT".to_string()),
+                Just("WHERE".to_string()),
+                Just("AND".to_string()),
+                Just("WITHIN".to_string()),
+                Just("HOURS".to_string()),
+                Just("TICKS".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just(",".to_string()),
+                Just("+".to_string()),
+                Just(".".to_string()),
+                Just("=".to_string()),
+                Just("!=".to_string()),
+                Just("<".to_string()),
+                Just(">=".to_string()),
+                Just("'str'".to_string()),
+                Just("42".to_string()),
+                Just("-7.5".to_string()),
+                Just("TRUE".to_string()),
+                "[a-c]{1,3}",
+            ],
+            0..25,
+        )
+    ) {
+        let input = tokens.join(" ");
+        let _ = ses::query::parse_pattern(&input, TickUnit::Abstract);
+    }
+
+    /// Mutations of a valid query (random truncations and splices)
+    /// never panic.
+    #[test]
+    fn mutated_valid_query_never_panics(cut in 0usize..200, splice in ".{0,10}") {
+        let base = "PATTERN PERMUTE(c, p+, d) THEN NOT x THEN b \
+                    WHERE c.L = 'C' AND x.ID = c.ID AND 5 < b.V \
+                    WITHIN 264 HOURS";
+        let cut = cut.min(base.len());
+        // Keep the cut on a char boundary (ASCII base, so trivial).
+        let mutated = format!("{}{}{}", &base[..cut], splice, &base[cut..]);
+        let _ = ses::query::parse_pattern(&mutated, TickUnit::Hour);
+    }
+}

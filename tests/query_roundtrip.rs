@@ -1,0 +1,114 @@
+//! Property test: render → parse is the identity on patterns (up to
+//! display equivalence), for randomly generated patterns with sets,
+//! group variables, negations, all condition kinds, and all operators.
+
+use proptest::prelude::*;
+
+use ses::prelude::*;
+
+const OPS: [CmpOp; 6] = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+const ATTRS: [&str; 3] = ["ID", "L", "V"];
+
+#[derive(Debug, Clone)]
+enum RandRhs {
+    Int(i64),
+    Float(i64),
+    Str(String),
+    Bool(bool),
+    Var(usize), // index into declared positive variables
+}
+
+fn rhs_strategy() -> impl Strategy<Value = RandRhs> {
+    prop_oneof![
+        (-100i64..100).prop_map(RandRhs::Int),
+        (-100i64..100).prop_map(RandRhs::Float),
+        "[a-z]{1,6}".prop_map(RandRhs::Str),
+        proptest::bool::ANY.prop_map(RandRhs::Bool),
+        (0usize..6).prop_map(RandRhs::Var),
+    ]
+}
+
+fn pattern_strategy() -> impl Strategy<Value = Pattern> {
+    (
+        proptest::collection::vec(proptest::collection::vec(proptest::bool::ANY, 1..4), 1..4),
+        proptest::collection::vec(
+            (0usize..6, 0usize..3, 0usize..6, rhs_strategy()),
+            0..6,
+        ),
+        proptest::bool::ANY, // include a negation?
+        proptest::option::of(0i64..100_000),
+    )
+        .prop_map(|(sets, conds, negate, within)| {
+            let mut b = Pattern::builder();
+            let mut names: Vec<String> = Vec::new();
+            for (si, set) in sets.iter().enumerate() {
+                for (vi, _) in set.iter().enumerate() {
+                    names.push(format!("v{si}_{vi}"));
+                }
+                let local: Vec<(String, bool)> = set
+                    .iter()
+                    .enumerate()
+                    .map(|(vi, plus)| (format!("v{si}_{vi}"), *plus))
+                    .collect();
+                b = b.set(move |s| {
+                    for (n, plus) in &local {
+                        if *plus {
+                            s.plus(n.clone());
+                        } else {
+                            s.var(n.clone());
+                        }
+                    }
+                    s
+                });
+                // Negation between the first two sets, when present.
+                if negate && si == 0 && sets.len() > 1 {
+                    b = b.negate("nn");
+                }
+            }
+            for (var, attr, op, rhs) in conds {
+                let v = names[var % names.len()].clone();
+                let attr = ATTRS[attr];
+                let op = OPS[op];
+                b = match rhs {
+                    RandRhs::Int(i) => b.cond_const(v, attr, op, i),
+                    RandRhs::Float(f) => b.cond_const(v, attr, op, f as f64 / 2.0),
+                    RandRhs::Str(s) => b.cond_const(v, attr, op, s.as_str()),
+                    RandRhs::Bool(x) => b.cond_const(v, attr, op, x),
+                    RandRhs::Var(o) => {
+                        let other = names[o % names.len()].clone();
+                        b.cond_vars(v, attr, op, other, attr)
+                    }
+                };
+            }
+            if negate && sets.len() > 1 {
+                b = b
+                    .neg_cond_const("nn", "L", CmpOp::Eq, "NEG")
+                    .neg_cond_vars("nn", "ID", CmpOp::Eq, names[0].clone(), "ID");
+            }
+            if let Some(w) = within {
+                b = b.within(Duration::ticks(w));
+            }
+            b.build().expect("generated patterns are structurally valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `parse(render(p))` reproduces `p` (compared through the canonical
+    /// display rendering, which covers sets, quantifiers, negations,
+    /// conditions, and the window).
+    #[test]
+    fn render_parse_roundtrip(p in pattern_strategy()) {
+        let text = ses::query::render(&p);
+        let reparsed = ses::query::parse_pattern(&text, TickUnit::Abstract)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n---\n{text}")))?;
+        prop_assert_eq!(reparsed.to_string(), p.to_string(), "\n{}", text);
+        prop_assert_eq!(reparsed.within(), p.within());
+        prop_assert_eq!(reparsed.negations().len(), p.negations().len());
+        for (a, b) in reparsed.negations().iter().zip(p.negations()) {
+            prop_assert_eq!(a.after_set(), b.after_set());
+            prop_assert_eq!(a.conditions().len(), b.conditions().len());
+        }
+    }
+}
