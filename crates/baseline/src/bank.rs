@@ -224,8 +224,8 @@ impl<P: Probe> Probe for SuppressOmega<'_, P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ses_event::{AttrType, CmpOp, Duration, Timestamp, Value};
     use ses_core::Matcher;
+    use ses_event::{AttrType, CmpOp, Duration, Timestamp, Value};
 
     fn schema() -> Schema {
         Schema::builder()
@@ -273,11 +273,7 @@ mod tests {
     #[test]
     fn bank_finds_any_permutation_order() {
         let bf = BruteForce::compile(&two_set_pattern(), &schema()).unwrap();
-        for order in [
-            ["C", "P", "D"],
-            ["P", "D", "C"],
-            ["D", "C", "P"],
-        ] {
+        for order in [["C", "P", "D"], ["P", "D", "C"], ["D", "C", "P"]] {
             let r = rel(&[
                 (0, 1, order[0]),
                 (1, 1, order[1]),

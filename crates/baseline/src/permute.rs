@@ -45,11 +45,8 @@ fn next_permutation(idx: &mut [usize]) -> bool {
 /// product of one permutation per event set pattern, concatenated in set
 /// order.
 pub fn sequences(pattern: &Pattern) -> Vec<Vec<VarId>> {
-    let per_set: Vec<Vec<Vec<VarId>>> = pattern
-        .sets()
-        .iter()
-        .map(|set| permutations(set))
-        .collect();
+    let per_set: Vec<Vec<Vec<VarId>>> =
+        pattern.sets().iter().map(|set| permutations(set)).collect();
     let mut out: Vec<Vec<VarId>> = vec![Vec::new()];
     for perms in &per_set {
         let mut next = Vec::with_capacity(out.len() * perms.len());
@@ -76,7 +73,9 @@ pub fn sequence_count(pattern: &Pattern) -> u64 {
 }
 
 fn factorial(n: u64) -> u64 {
-    (1..=n).try_fold(1u64, |a, b| a.checked_mul(b)).unwrap_or(u64::MAX)
+    (1..=n)
+        .try_fold(1u64, |a, b| a.checked_mul(b))
+        .unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]

@@ -40,7 +40,12 @@ fn bench_construction(c: &mut Criterion) {
     for n in [2usize, 4, 6, 8, 10, 12] {
         let p = pattern(n);
         group.bench_with_input(BenchmarkId::new("ses-powerset", n), &p, |b, p| {
-            b.iter(|| Matcher::compile(p, &schema).unwrap().automaton().num_states())
+            b.iter(|| {
+                Matcher::compile(p, &schema)
+                    .unwrap()
+                    .automaton()
+                    .num_states()
+            })
         });
         if n <= 6 {
             // |V1|! chains explode quickly; cap where the bank stays sane.

@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use ses_core::{FilterMode, Matcher, MatcherOptions, MatchSemantics};
+use ses_core::{FilterMode, MatchSemantics, Matcher, MatcherOptions};
 use ses_workload::chemo::{generate, ChemoConfig};
 use ses_workload::paper;
 

@@ -10,7 +10,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use ses_bench::datasets::Datasets;
-use ses_core::{Matcher, MatcherOptions, MatchSemantics};
+use ses_core::{MatchSemantics, Matcher, MatcherOptions};
 use ses_store::EventStore;
 use ses_workload::paper;
 
@@ -31,9 +31,7 @@ fn bench_partitioning(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("partitioning");
     group.sample_size(10);
-    group.bench_function("global-correlated", |b| {
-        b.iter(|| matcher.find(&d1).len())
-    });
+    group.bench_function("global-correlated", |b| b.iter(|| matcher.find(&d1).len()));
     group.bench_function("partition-then-match", |b| {
         b.iter(|| {
             let store = EventStore::new("d1", d1.clone());

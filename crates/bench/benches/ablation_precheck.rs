@@ -10,7 +10,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use ses_bench::datasets::Datasets;
-use ses_core::{Matcher, MatcherOptions, MatchSemantics};
+use ses_core::{MatchSemantics, Matcher, MatcherOptions};
 use ses_workload::paper;
 
 fn bench_precheck(c: &mut Criterion) {

@@ -52,8 +52,8 @@ fn bench_storage(c: &mut Criterion) {
 
     let log_dir = std::env::temp_dir().join("ses-bench-log-scan");
     std::fs::remove_dir_all(&log_dir).ok();
-    let mut log = EventLog::create(&log_dir, relation.schema().clone(), LogConfig::default())
-        .unwrap();
+    let mut log =
+        EventLog::create(&log_dir, relation.schema().clone(), LogConfig::default()).unwrap();
     for (_, e) in relation.iter() {
         log.append(e.ts(), e.values().to_vec()).unwrap();
     }

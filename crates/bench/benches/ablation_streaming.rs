@@ -1,12 +1,15 @@
-//! Ablation: batch matching vs push-based streaming.
+//! Ablation: batch matching vs push-based streaming, with and without
+//! watermark eviction.
 //!
 //! `Matcher::find` iterates an existing relation; `StreamMatcher::push`
-//! pays per-event call overhead plus relation growth. This bench prices
-//! the streaming surcharge on the chemotherapy workload with Q1.
+//! pays per-event call overhead plus eager adjudication. This bench
+//! prices the streaming surcharge on the chemotherapy workload with Q1,
+//! and shows that eviction (the bounded-memory mode) does not regress
+//! push throughput — compaction is amortized by hysteresis.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
-use ses_core::{Matcher, MatcherOptions, MatchSemantics, StreamMatcher};
+use ses_core::{MatchSemantics, Matcher, MatcherOptions, StreamMatcher};
 use ses_workload::chemo::{generate, ChemoConfig};
 use ses_workload::paper;
 
@@ -20,21 +23,23 @@ fn bench_streaming(c: &mut Criterion) {
     };
     let matcher = Matcher::with_options(&q1, &schema, options.clone()).unwrap();
 
+    let push_all = |evict: bool| {
+        let mut sm = StreamMatcher::with_options(&q1, &schema, options.clone())
+            .unwrap()
+            .with_eviction(evict);
+        let mut emitted = 0usize;
+        for e in relation.events() {
+            emitted += sm.push(e.ts(), e.values().to_vec()).unwrap().len();
+        }
+        emitted + sm.finish().len()
+    };
+
     let mut group = c.benchmark_group("streaming");
     group.sample_size(10);
     group.throughput(Throughput::Elements(relation.len() as u64));
     group.bench_function("batch", |b| b.iter(|| matcher.find(&relation).len()));
-    group.bench_function("push-per-event", |b| {
-        b.iter(|| {
-            let mut sm =
-                StreamMatcher::with_options(&q1, &schema, options.clone()).unwrap();
-            let mut emitted = 0usize;
-            for e in relation.events() {
-                emitted += sm.push(e.ts(), e.values().to_vec()).unwrap().len();
-            }
-            emitted + sm.finish().len()
-        })
-    });
+    group.bench_function("push-evict-on", |b| b.iter(|| push_all(true)));
+    group.bench_function("push-evict-off", |b| b.iter(|| push_all(false)));
     group.finish();
 }
 

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use ses_bench::datasets::Datasets;
-use ses_core::{Matcher, MatcherOptions, MatchSemantics};
+use ses_core::{MatchSemantics, Matcher, MatcherOptions};
 use ses_workload::paper;
 
 fn bench_exp2(c: &mut Criterion) {

@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use ses_bench::datasets::Datasets;
-use ses_core::{FilterMode, Matcher, MatcherOptions, MatchSemantics};
+use ses_core::{FilterMode, MatchSemantics, Matcher, MatcherOptions};
 use ses_workload::paper;
 
 fn bench_exp3(c: &mut Criterion) {
@@ -32,11 +32,9 @@ fn bench_exp3(c: &mut Criterion) {
                 },
             )
             .unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(pname, fname),
-                d2,
-                |b, rel| b.iter(|| matcher.find(rel).len()),
-            );
+            group.bench_with_input(BenchmarkId::new(pname, fname), d2, |b, rel| {
+                b.iter(|| matcher.find(rel).len())
+            });
         }
     }
     group.finish();

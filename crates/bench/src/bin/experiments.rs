@@ -78,7 +78,10 @@ fn main() {
         }
     };
 
-    println!("building data sets (scale {}, {} sets)…", opts.scale, opts.datasets);
+    println!(
+        "building data sets (scale {}, {} sets)…",
+        opts.scale, opts.datasets
+    );
     let datasets = Datasets::build(opts.scale, opts.datasets);
     println!(
         "D1: {} events, W = {} at τ = {} (paper: W = 1322)",
@@ -151,7 +154,14 @@ fn experiment1(datasets: &Datasets, nmax: usize, csv: Option<&std::path::Path>) 
         write_series(dir, "figure11.csv", "n,bf_p1,ses_p1,bf_p2,ses_p2", &lines);
     }
 
-    let mut t1 = Table::new(["|V1|", "|Ω|BF", "|Ω|SES", "ratio", "(|V1|-1)!", "paper ratio"]);
+    let mut t1 = Table::new([
+        "|V1|",
+        "|Ω|BF",
+        "|Ω|SES",
+        "ratio",
+        "(|V1|-1)!",
+        "paper ratio",
+    ]);
     for r in &rows {
         let paper = PAPER_TABLE1.iter().find(|p| p.0 == r.n);
         t1.row([
@@ -189,14 +199,19 @@ fn experiment1(datasets: &Datasets, nmax: usize, csv: Option<&std::path::Path>) 
     );
     println!(
         "  BF ≥ SES everywhere  {}",
-        verdict(rows.iter().all(|r| r.bf_p1 >= r.ses_p1 && r.bf_p2 >= r.ses_p2)),
+        verdict(
+            rows.iter()
+                .all(|r| r.bf_p1 >= r.ses_p1 && r.bf_p2 >= r.ses_p2)
+        ),
     );
     println!();
 }
 
 fn experiment2(datasets: &Datasets, csv: Option<&std::path::Path>) {
     println!("== Experiment 2 — |Ω| vs window size (Figure 12) ==");
-    println!("P3 = ⟨{{c,d,p+}},{{b}}⟩ same type (Thm 3); P4 = ⟨{{c,d,p}},{{b}}⟩ same type (Thm 2)\n");
+    println!(
+        "P3 = ⟨{{c,d,p+}},{{b}}⟩ same type (Thm 3); P4 = ⟨{{c,d,p}},{{b}}⟩ same type (Thm 2)\n"
+    );
     let rows = run_exp2(datasets);
     let mut fig12 = Table::new(["dataset", "W", "SES P3", "SES P4"]);
     for r in &rows {
@@ -281,10 +296,18 @@ fn experiment3(datasets: &Datasets, csv: Option<&std::path::Path>) {
             &lines,
         );
     }
-    println!("paper: filtering reduces execution time by ≈ an order of magnitude for both patterns");
+    println!(
+        "paper: filtering reduces execution time by ≈ an order of magnitude for both patterns"
+    );
 
-    let speedup_p5: Vec<f64> = rows.iter().map(|r| r.p5_unfiltered / r.p5_filtered.max(1e-9)).collect();
-    let speedup_p6: Vec<f64> = rows.iter().map(|r| r.p6_unfiltered / r.p6_filtered.max(1e-9)).collect();
+    let speedup_p5: Vec<f64> = rows
+        .iter()
+        .map(|r| r.p5_unfiltered / r.p5_filtered.max(1e-9))
+        .collect();
+    let speedup_p6: Vec<f64> = rows
+        .iter()
+        .map(|r| r.p6_unfiltered / r.p6_filtered.max(1e-9))
+        .collect();
     let gmean = |xs: &[f64]| (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp();
     println!("\nshape checks:");
     println!(

@@ -17,7 +17,7 @@
 //!   implementation does not have).
 
 use ses_baseline::BruteForce;
-use ses_core::{FilterMode, Matcher, MatcherOptions, MatchSemantics};
+use ses_core::{FilterMode, MatchSemantics, Matcher, MatcherOptions};
 use ses_event::Relation;
 use ses_metrics::{CountingProbe, Stopwatch};
 use ses_workload::paper;
@@ -34,8 +34,12 @@ fn engine_options(filter: FilterMode) -> MatcherOptions {
 
 /// Peak |Ω| of the SES automaton on `relation`.
 pub fn ses_peak_omega(pattern: &ses_pattern::Pattern, relation: &Relation) -> usize {
-    let matcher = Matcher::with_options(pattern, relation.schema(), engine_options(FilterMode::Paper))
-        .expect("experiment pattern compiles");
+    let matcher = Matcher::with_options(
+        pattern,
+        relation.schema(),
+        engine_options(FilterMode::Paper),
+    )
+    .expect("experiment pattern compiles");
     let mut probe = CountingProbe::new();
     matcher.find_with_probe(relation, &mut probe);
     probe.omega_max
@@ -43,9 +47,12 @@ pub fn ses_peak_omega(pattern: &ses_pattern::Pattern, relation: &Relation) -> us
 
 /// Peak summed |Ω| of the brute-force bank on `relation`.
 pub fn bf_peak_omega(pattern: &ses_pattern::Pattern, relation: &Relation) -> usize {
-    let bank =
-        BruteForce::with_options(pattern, relation.schema(), engine_options(FilterMode::Paper))
-            .expect("experiment pattern compiles");
+    let bank = BruteForce::with_options(
+        pattern,
+        relation.schema(),
+        engine_options(FilterMode::Paper),
+    )
+    .expect("experiment pattern compiles");
     let mut probe = CountingProbe::new();
     bank.find_with_probe(relation, &mut probe);
     probe.omega_max
@@ -99,9 +106,9 @@ impl Exp1Row {
 pub fn run_exp1(d1: &Relation, ns: impl IntoIterator<Item = usize>) -> Vec<Exp1Row> {
     let ns: Vec<usize> = ns.into_iter().collect();
     let mut rows: Vec<Option<Exp1Row>> = vec![None; ns.len()];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, &n) in rows.iter_mut().zip(&ns) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let p1 = paper::exp1_p1(n);
                 let p2 = paper::exp1_p2(n);
                 *slot = Some(Exp1Row {
@@ -113,9 +120,10 @@ pub fn run_exp1(d1: &Relation, ns: impl IntoIterator<Item = usize>) -> Vec<Exp1R
                 });
             });
         }
-    })
-    .expect("experiment workers do not panic");
-    rows.into_iter().map(|r| r.expect("every slot filled")).collect()
+    });
+    rows.into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -141,11 +149,11 @@ pub fn run_exp2(datasets: &Datasets) -> Vec<Exp2Row> {
     let p3 = paper::exp2_p3();
     let p4 = paper::exp2_p4();
     let mut rows: Vec<Option<Exp2Row>> = vec![None; datasets.relations.len()];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (i, (slot, rel)) in rows.iter_mut().zip(&datasets.relations).enumerate() {
             let (p3, p4) = (&p3, &p4);
             let w = datasets.window_sizes[i];
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some(Exp2Row {
                     k: i + 1,
                     w,
@@ -154,9 +162,10 @@ pub fn run_exp2(datasets: &Datasets) -> Vec<Exp2Row> {
                 });
             });
         }
-    })
-    .expect("experiment workers do not panic");
-    rows.into_iter().map(|r| r.expect("every slot filled")).collect()
+    });
+    rows.into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
 }
 
 // ---------------------------------------------------------------------

@@ -19,8 +19,19 @@ pub struct Args {
 /// Option keys that take a value; everything else starting with `--` is a
 /// switch.
 const VALUED: &[&str] = &[
-    "query", "data", "out", "tick", "semantics", "filter", "workload", "seed", "scale", "within",
-    "schema", "limit", "selection",
+    "query",
+    "data",
+    "out",
+    "tick",
+    "semantics",
+    "filter",
+    "workload",
+    "seed",
+    "scale",
+    "within",
+    "schema",
+    "limit",
+    "selection",
 ];
 
 impl Args {
@@ -72,7 +83,9 @@ impl Args {
     pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse `{v}`")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse `{v}`")),
         }
     }
 }

@@ -5,7 +5,7 @@
 
 use std::io::Write;
 
-use ses_core::{EventSelection, FilterMode, Matcher, MatcherOptions, MatchSemantics, MultiMatcher};
+use ses_core::{EventSelection, FilterMode, MatchSemantics, Matcher, MatcherOptions, MultiMatcher};
 use ses_event::Duration;
 use ses_metrics::{CountingProbe, Stopwatch, Table};
 use ses_query::TickUnit;
@@ -23,6 +23,11 @@ USAGE:
                    [--filter paper|pervariable|off]
                    [--selection next-match|any-match] [--closure]
                    [--limit N] [--stats]
+  ses-cli stream   --query <file-or-text> --data <file.csv>
+                   [--no-evict] [--limit N] [--stats]
+                   (replays the data as a stream: matches are finalized
+                    eagerly at the watermark and old events are evicted
+                    unless --no-evict)
   ses-cli explain  --query <file-or-text> --data <file.csv> [--dot|--trace]
   ses-cli generate --workload chemo|finance|rfid|clickstream --out <file.csv>
                    [--seed N] [--scale F]
@@ -45,6 +50,7 @@ The query language (THEN NOT x adds a gap constraint):
 pub fn dispatch(args: &Args, out: &mut dyn Write) -> i32 {
     let result = match args.command.as_deref() {
         Some("run") => cmd_run(args, out),
+        Some("stream") => cmd_stream(args, out),
         Some("explain") => cmd_explain(args, out),
         Some("generate") => cmd_generate(args, out),
         Some("import") => cmd_import(args, out),
@@ -124,8 +130,8 @@ fn matcher_options(args: &Args) -> Result<MatcherOptions, String> {
 /// Loads `--query` as one or more named patterns (`;`-separated file).
 fn load_patterns(args: &Args) -> Result<Vec<(String, ses_pattern::Pattern)>, String> {
     let text = load_query(args.require("query")?)?;
-    let items = ses_query::parse_pattern_file(&text, parse_tick(args)?)
-        .map_err(|e| e.to_string())?;
+    let items =
+        ses_query::parse_pattern_file(&text, parse_tick(args)?).map_err(|e| e.to_string())?;
     Ok(items
         .into_iter()
         .enumerate()
@@ -133,13 +139,17 @@ fn load_patterns(args: &Args) -> Result<Vec<(String, ses_pattern::Pattern)>, Str
         .collect())
 }
 
-fn build_matcher(args: &Args, store: &EventStore) -> Result<(Matcher, ses_pattern::Pattern), String> {
+fn build_matcher(
+    args: &Args,
+    store: &EventStore,
+) -> Result<(Matcher, ses_pattern::Pattern), String> {
     let (_, pattern) = load_patterns(args)?
         .into_iter()
         .next()
         .ok_or_else(|| "no query given".to_string())?;
-    let matcher = Matcher::with_options(&pattern, store.relation().schema(), matcher_options(args)?)
-        .map_err(|e| e.to_string())?;
+    let matcher =
+        Matcher::with_options(&pattern, store.relation().schema(), matcher_options(args)?)
+            .map_err(|e| e.to_string())?;
     Ok((matcher, pattern))
 }
 
@@ -165,7 +175,8 @@ fn cmd_import(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let mut log = EventLog::create(dir, store.relation().schema().clone(), LogConfig::default())
         .map_err(|e| e.to_string())?;
     for (_, e) in store.relation().iter() {
-        log.append(e.ts(), e.values().to_vec()).map_err(|x| x.to_string())?;
+        log.append(e.ts(), e.values().to_vec())
+            .map_err(|x| x.to_string())?;
     }
     log.sync().map_err(|e| e.to_string())?;
     writeln!(
@@ -206,8 +217,12 @@ fn cmd_run(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         }
     }
     if matches.len() > limit {
-        writeln!(out, "… {} more matches (raise --limit)", matches.len() - limit)
-            .map_err(io_err)?;
+        writeln!(
+            out,
+            "… {} more matches (raise --limit)",
+            matches.len() - limit
+        )
+        .map_err(io_err)?;
     }
     writeln!(out, "{} match(es) in {:.3}s", matches.len(), elapsed).map_err(io_err)?;
 
@@ -217,9 +232,81 @@ fn cmd_run(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         t.row(["events filtered", &probe.events_filtered.to_string()]);
         t.row(["instances spawned", &probe.instances_spawned.to_string()]);
         t.row(["instances branched", &probe.instances_branched.to_string()]);
-        t.row(["transitions evaluated", &probe.transitions_evaluated.to_string()]);
+        t.row([
+            "transitions evaluated",
+            &probe.transitions_evaluated.to_string(),
+        ]);
         t.row(["max |Ω|", &probe.omega_max.to_string()]);
         t.row(["raw matches", &probe.matches_emitted.to_string()]);
+        write!(out, "\n{t}").map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Replays `--data` through the streaming matcher: matches print as the
+/// watermark finalizes them, and `--stats` reports the eviction counters
+/// that demonstrate bounded-memory operation.
+fn cmd_stream(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let store = load_store(args.require("data")?)?;
+    let (_, pattern) = load_patterns(args)?
+        .into_iter()
+        .next()
+        .ok_or_else(|| "no query given".to_string())?;
+    let evict = !args.has_flag("no-evict");
+    let mut sm = ses_core::StreamMatcher::with_options(
+        &pattern,
+        store.relation().schema(),
+        matcher_options(args)?,
+    )
+    .map_err(|e| e.to_string())?
+    .with_eviction(evict);
+    let limit: usize = args.get_parsed("limit", usize::MAX)?;
+
+    let sw = Stopwatch::start();
+    let mut probe = CountingProbe::new();
+    let mut total = 0usize;
+    for (_, e) in store.relation().iter() {
+        let emitted = sm
+            .push_with_probe(e.ts(), e.values().to_vec(), &mut probe)
+            .map_err(|x| x.to_string())?;
+        for m in &emitted {
+            total += 1;
+            if total <= limit {
+                writeln!(
+                    out,
+                    "[t={}] match {total}: {}",
+                    e.ts(),
+                    m.display_with(&pattern)
+                )
+                .map_err(io_err)?;
+            }
+        }
+    }
+    let retained = sm.retained_events();
+    let evicted = sm.evicted_events();
+    for m in &sm.finish() {
+        total += 1;
+        if total <= limit {
+            writeln!(out, "[finish] match {total}: {}", m.display_with(&pattern))
+                .map_err(io_err)?;
+        }
+    }
+    let elapsed = sw.elapsed_secs();
+    if total > limit {
+        writeln!(out, "… {} more matches (raise --limit)", total - limit).map_err(io_err)?;
+    }
+    writeln!(out, "{total} match(es) streamed in {elapsed:.3}s").map_err(io_err)?;
+
+    if args.has_flag("stats") {
+        let mut t = Table::new(["metric", "value"]);
+        t.row(["events pushed", &probe.events_read.to_string()]);
+        t.row(["events evicted", &probe.events_evicted.to_string()]);
+        t.row(["retained at end", &retained.to_string()]);
+        t.row(["evicted at end", &evicted.to_string()]);
+        t.row(["peak retained", &probe.retained_max.to_string()]);
+        t.row(["max |Ω|", &probe.omega_max.to_string()]);
+        t.row(["instances expired", &probe.instances_expired.to_string()]);
+        t.row(["eviction", if evict { "on" } else { "off" }]);
         write!(out, "\n{t}").map_err(io_err)?;
     }
     Ok(())
@@ -236,9 +323,8 @@ fn cmd_run_multi(
     let mut multi = MultiMatcher::new();
     let mut by_name = Vec::new();
     for (name, pattern) in patterns {
-        let matcher =
-            Matcher::with_options(&pattern, store.relation().schema(), options.clone())
-                .map_err(|e| format!("{name}: {e}"))?;
+        let matcher = Matcher::with_options(&pattern, store.relation().schema(), options.clone())
+            .map_err(|e| format!("{name}: {e}"))?;
         multi = multi.with(name.clone(), matcher);
         by_name.push((name, pattern));
     }
@@ -252,8 +338,7 @@ fn cmd_run_multi(
             writeln!(out, "  {}", m.display_with(pattern)).map_err(io_err)?;
         }
         if matches.len() > limit {
-            writeln!(out, "  … {} more (raise --limit)", matches.len() - limit)
-                .map_err(io_err)?;
+            writeln!(out, "  … {} more (raise --limit)", matches.len() - limit).map_err(io_err)?;
         }
     }
     writeln!(
@@ -411,10 +496,34 @@ mod tests {
     fn run_with_limit_truncates() {
         let data = figure1_csv();
         let (code, out) = run(&[
-            "run", "--query", Q1, "--data", &data, "--limit", "1", "--semantics", "all",
+            "run",
+            "--query",
+            Q1,
+            "--data",
+            &data,
+            "--limit",
+            "1",
+            "--semantics",
+            "all",
         ]);
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("more matches"), "{out}");
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn stream_replays_data_and_reports_eviction() {
+        let data = figure1_csv();
+        let (code, out) = run(&["stream", "--query", Q1, "--data", &data, "--stats"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("2 match(es) streamed"), "{out}");
+        assert!(out.contains("events evicted"), "{out}");
+        assert!(out.contains("peak retained"), "{out}");
+        // Same answer with eviction disabled.
+        let (code, out) = run(&["stream", "--query", Q1, "--data", &data, "--no-evict"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("2 match(es) streamed"), "{out}");
+        assert!(out.contains("c/e1"), "{out}");
         std::fs::remove_file(&data).ok();
     }
 
@@ -445,7 +554,13 @@ mod tests {
             .to_string_lossy()
             .into_owned();
         let (code, out) = run(&[
-            "generate", "--workload", "rfid", "--out", &path, "--seed", "5",
+            "generate",
+            "--workload",
+            "rfid",
+            "--out",
+            &path,
+            "--seed",
+            "5",
         ]);
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("wrote"));

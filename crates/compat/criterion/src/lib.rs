@@ -1,0 +1,300 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion API the benches in this
+//! workspace use — `Criterion::benchmark_group`, `sample_size`,
+//! `throughput`, `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! and the `criterion_group!` / `criterion_main!` macros — over a
+//! simple wall-clock measurement loop. No statistical regression
+//! analysis, no HTML reports; each benchmark prints one line with
+//! min / mean / max per-iteration time (and throughput when set).
+//!
+//! Measurement scheme: one untimed warm-up call sizes the batch so a
+//! sample lasts ≥ ~5 ms, then `sample_size` timed batches run
+//! back-to-back (capped to keep any one benchmark under ~2 s).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-sample time floor: batches are sized so one sample spans this.
+const SAMPLE_FLOOR: Duration = Duration::from_millis(5);
+/// Soft wall-clock cap for one benchmark's measurement phase.
+const BENCH_BUDGET: Duration = Duration::from_secs(2);
+
+/// The benchmark manager handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n{name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// Units for reporting processed volume per unit time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter rendered via `Display`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id consisting of a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.name.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.name, p),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Conversion into a [`BenchmarkId`], so benches can pass `&str`
+/// labels or structured ids interchangeably.
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            name: self,
+            parameter: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the per-iteration processed volume for throughput lines.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into_benchmark_id(), &mut f);
+        self
+    }
+
+    /// Runs a benchmark closure with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into_benchmark_id(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&id.label(), self.throughput);
+    }
+
+    /// Ends the group (reporting is per-benchmark, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// The timing loop handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean per-iteration nanoseconds of each collected sample.
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Untimed warm-up that also sizes the batch.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let batch = (SAMPLE_FLOOR.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut samples = self.sample_size;
+        // Keep one benchmark's total under the budget.
+        let projected = once * batch as u32 * samples as u32;
+        if projected > BENCH_BUDGET {
+            let affordable = (BENCH_BUDGET.as_nanos() / (once.as_nanos() * batch as u128)).max(2);
+            samples = samples.min(affordable as usize);
+        }
+
+        self.samples_ns.clear();
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples_ns
+                .push(elapsed.as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    fn report(&self, label: &str, throughput: Option<Throughput>) {
+        if self.samples_ns.is_empty() {
+            eprintln!("  {label:<40} (no samples — did the closure call iter?)");
+            return;
+        }
+        let min = self
+            .samples_ns
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let max = self.samples_ns.iter().cloned().fold(0.0, f64::max);
+        let mean = self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64;
+        let mut line = format!(
+            "  {label:<40} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max)
+        );
+        if let Some(t) = throughput {
+            let (volume, unit) = match t {
+                Throughput::Elements(n) => (n as f64, "elem/s"),
+                Throughput::Bytes(n) => (n as f64, "B/s"),
+            };
+            let per_sec = volume / (mean / 1e9);
+            line.push_str(&format!("  thrpt: {} {unit}", fmt_count(per_sec)));
+        }
+        eprintln!("{line}");
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn fmt_count(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2}K", v / 1e3)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// Declares a benchmark group function that runs each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each benchmark group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_smoke() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("sum", |b| b.iter(|| (0..10u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum-to", 100u64), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,1078 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crate registry, so this workspace
+//! vendors a small, deterministic property-testing harness exposing the
+//! `proptest` API subset its test suites use:
+//!
+//! - the [`strategy::Strategy`] trait with `prop_map` / `prop_filter`,
+//!   ranges, tuples, [`strategy::Just`], `prop_oneof!`, and string
+//!   strategies from a practical regex subset (`"[a-z]{1,6}"`, `"."`,
+//!   `{m,n}` quantifiers),
+//! - [`collection::vec`], [`bool::ANY`], [`option::of`],
+//!   [`arbitrary::any`],
+//! - the [`proptest!`] macro with `#![proptest_config(..)]`,
+//!   `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`, and
+//!   `?`-compatible bodies returning [`test_runner::TestCaseError`],
+//! - `.proptest-regressions` files: failing case seeds are appended and
+//!   replayed first on the next run (`cc <16-hex-digit seed>` lines).
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **No shrinking.** A failure reports the generated case verbatim
+//!   plus its seed; rerun with `PROPTEST_SEED=<seed> PROPTEST_CASES=1`
+//!   to replay it under a debugger.
+//! - **Deterministic by default.** The base seed is derived from the
+//!   test's name, so CI runs are reproducible. Set `PROPTEST_SEED` to
+//!   explore fresh cases, `PROPTEST_CASES` to change the case count.
+
+pub mod strategy {
+    //! Value-generation strategies (no shrinking).
+
+    use super::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: Debug;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Discards generated values failing `pred`, resampling (up to
+        /// an attempt cap) until one passes.
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: impl Into<String>,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                whence: whence.into(),
+                pred,
+            }
+        }
+
+        /// Type-erases the strategy for heterogeneous composition
+        /// (e.g. the arms of `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Object-safe generation, used behind [`BoxedStrategy`].
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+    impl<T: Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: String,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter '{}' rejected 10000 consecutive samples — \
+                 strategy and filter are incompatible",
+                self.whence
+            );
+        }
+    }
+
+    /// A strategy producing one fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice over type-erased alternatives; the expansion of
+    /// `prop_oneof!`.
+    pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+    impl<T> Union<T> {
+        /// A union over the given alternatives (must be non-empty).
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union(arms)
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let arm = rng.below(self.0.len() as u64) as usize;
+            self.0[arm].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    if span == 0 {
+                        return rng.next_u64() as $t; // full-width range
+                    }
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (self.end - self.start) * rng.unit_f64()
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy!((A)(A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E)(
+        A, B, C, D, E, G
+    )(A, B, C, D, E, G, H)(A, B, C, D, E, G, H, I));
+
+    /// `&str` regex patterns are strategies over matching strings
+    /// (supported subset: literals, `.`, `[..]` classes with ranges,
+    /// and `{m}` / `{m,n}` / `?` / `+` / `*` quantifiers).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            super::string::generate_matching(self, rng)
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The deterministic case runner, RNG, and failure plumbing.
+
+    use std::fmt::Debug;
+    use std::path::{Path, PathBuf};
+
+    /// Deterministic splitmix64 generator driving all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator whose output is a pure function of `seed`.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+
+        /// Next 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, span)`; `span` must be non-zero.
+        pub fn below(&mut self, span: u64) -> u64 {
+            debug_assert!(span > 0);
+            ((self.next_u64() as u128 * span as u128) >> 64) as u64
+        }
+
+        /// Uniform draw from `[0, 1)` with 53 bits of precision.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property was falsified.
+        Fail(String),
+        /// The case could not be evaluated (kept for API parity).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A falsification with the given explanation.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// A rejection with the given explanation.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "{r}"),
+                TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+            }
+        }
+    }
+
+    /// Runner configuration, set via `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A default configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Locates `relative` (a `file!()` path, relative to the workspace
+    /// root) by walking up from the current directory — `cargo test`
+    /// runs with the *package* root as cwd, which for sub-crates is
+    /// below the workspace root.
+    fn resolve_source(relative: &str) -> Option<PathBuf> {
+        let mut dir = std::env::current_dir().ok()?;
+        loop {
+            let candidate = dir.join(relative);
+            if candidate.is_file() {
+                return Some(candidate);
+            }
+            if !dir.pop() {
+                return None;
+            }
+        }
+    }
+
+    fn regression_path(source_file: &str) -> Option<PathBuf> {
+        let mut p = resolve_source(source_file)?;
+        p.set_extension("proptest-regressions");
+        Some(p)
+    }
+
+    /// Parses `cc <hex>` lines, folding each hex blob to a 64-bit
+    /// replay seed (real-proptest 256-bit hashes fold losslessly enough
+    /// to serve as extra deterministic cases).
+    fn load_regression_seeds(path: &Path) -> Vec<u64> {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        text.lines()
+            .filter_map(|line| {
+                let rest = line.trim().strip_prefix("cc ")?;
+                let hex: String = rest.chars().take_while(|c| c.is_ascii_hexdigit()).collect();
+                if hex.is_empty() {
+                    return None;
+                }
+                let mut seed = 0u64;
+                for c in hex.chars() {
+                    seed = seed
+                        .rotate_left(4)
+                        .wrapping_add(c.to_digit(16).unwrap() as u64);
+                }
+                Some(seed)
+            })
+            .collect()
+    }
+
+    fn record_regression(source_file: &str, seed: u64, case: &str) {
+        let Some(path) = regression_path(source_file) else {
+            return;
+        };
+        let header_needed = !path.exists();
+        let one_line = case.replace('\n', " ");
+        let mut entry = String::new();
+        if header_needed {
+            entry.push_str(
+                "# Seeds for failure cases the proptest harness generated in the past.\n\
+                 # Automatically read and replayed before any novel cases; check in to\n\
+                 # share regressions. Format: `cc <16-hex-digit splitmix64 seed>`.\n",
+            );
+        }
+        entry.push_str(&format!("cc {seed:016x} # shrinks to {one_line}\n"));
+        use std::io::Write;
+        let _ = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(entry.as_bytes()));
+    }
+
+    /// Renders a caught panic payload.
+    pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            format!("panic: {s}")
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            format!("panic: {s}")
+        } else {
+            "panic: <non-string payload>".to_string()
+        }
+    }
+
+    /// Drives one property: replays recorded regression seeds, then
+    /// runs `config.cases` fresh cases. Panics (failing the enclosing
+    /// `#[test]`) on the first falsified case, after appending its seed
+    /// to the `.proptest-regressions` file next to the test source.
+    pub fn run_cases<F>(source_file: &str, test_name: &str, config: &ProptestConfig, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+    {
+        let base_seed = match std::env::var("PROPTEST_SEED") {
+            Ok(v) => {
+                let v = v.trim();
+                u64::from_str_radix(v.trim_start_matches("0x"), 16)
+                    .or_else(|_| v.parse())
+                    .unwrap_or_else(|_| panic!("unparseable PROPTEST_SEED: {v:?}"))
+            }
+            Err(_) => fnv1a(test_name.as_bytes()) ^ fnv1a(source_file.as_bytes()),
+        };
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(config.cases);
+
+        let replays = regression_path(source_file)
+            .map(|p| load_regression_seeds(&p))
+            .unwrap_or_default();
+
+        let fresh = (0..cases as u64).map(|i| {
+            // Decorrelate per-case seeds from the sequential index.
+            base_seed ^ (i.wrapping_mul(0x2545_f491_4f6c_dd1d).rotate_left(17))
+        });
+
+        for (replay, seed) in replays
+            .into_iter()
+            .map(|s| (true, s))
+            .chain(fresh.map(|s| (false, s)))
+        {
+            let mut rng = TestRng::from_seed(seed);
+            let (case_desc, outcome) = case(&mut rng);
+            if let Err(err) = outcome {
+                if !replay {
+                    record_regression(source_file, seed, &case_desc);
+                }
+                panic!(
+                    "proptest: property `{test_name}` falsified\n\
+                     {err}\n\
+                     seed: 0x{seed:016x}{replay_note}\n\
+                     minimal-input shrinking is not implemented; failing case:\n\
+                     {case_desc}",
+                    replay_note = if replay { " (replayed regression)" } else { "" },
+                );
+            }
+        }
+    }
+
+    /// Generates one value for debugging / doc examples.
+    pub fn sample<S: crate::strategy::Strategy>(strategy: &S, seed: u64) -> S::Value
+    where
+        S::Value: Debug,
+    {
+        strategy.generate(&mut TestRng::from_seed(seed))
+    }
+}
+
+mod string {
+    //! Generation of strings matching a practical regex subset.
+
+    use super::test_runner::TestRng;
+
+    #[derive(Debug, Clone)]
+    enum CharSet {
+        /// `.` — any char except newline.
+        Any,
+        /// `[..]` — inclusive ranges (singletons are 1-wide ranges).
+        Class(Vec<(char, char)>),
+        /// A literal character.
+        Lit(char),
+    }
+
+    #[derive(Debug, Clone)]
+    struct Atom {
+        set: CharSet,
+        min: u32,
+        max: u32,
+    }
+
+    fn parse(pattern: &str) -> Vec<Atom> {
+        let mut chars = pattern.chars().peekable();
+        let mut atoms = Vec::new();
+        while let Some(c) = chars.next() {
+            let set = match c {
+                '.' => CharSet::Any,
+                '[' => {
+                    let mut ranges = Vec::new();
+                    let mut pending: Option<char> = None;
+                    loop {
+                        let Some(d) = chars.next() else {
+                            panic!("unterminated character class in regex {pattern:?}");
+                        };
+                        match d {
+                            ']' => {
+                                if let Some(p) = pending {
+                                    ranges.push((p, p));
+                                }
+                                break;
+                            }
+                            '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                                let lo = pending.take().unwrap();
+                                let hi = unescape(chars.next().unwrap(), &mut chars);
+                                assert!(lo <= hi, "inverted class range in regex {pattern:?}");
+                                ranges.push((lo, hi));
+                            }
+                            other => {
+                                if let Some(p) = pending.replace(unescape(other, &mut chars)) {
+                                    ranges.push((p, p));
+                                }
+                            }
+                        }
+                    }
+                    assert!(!ranges.is_empty(), "empty character class in {pattern:?}");
+                    CharSet::Class(ranges)
+                }
+                '\\' => CharSet::Lit(unescape('\\', &mut chars)),
+                lit => CharSet::Lit(lit),
+            };
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for d in chars.by_ref() {
+                        if d == '}' {
+                            break;
+                        }
+                        spec.push(d);
+                    }
+                    match spec.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("bad {m,n} in regex"),
+                            hi.trim().parse().expect("bad {m,n} in regex"),
+                        ),
+                        None => {
+                            let n = spec.trim().parse().expect("bad {m} in regex");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            assert!(min <= max, "inverted quantifier in regex {pattern:?}");
+            atoms.push(Atom { set, min, max });
+        }
+        atoms
+    }
+
+    fn unescape(c: char, chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> char {
+        if c != '\\' {
+            return c;
+        }
+        match chars.next().expect("dangling backslash in regex") {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    /// A small non-ASCII sample set, so `.` occasionally exercises
+    /// multi-byte UTF-8 handling in parsers under fuzz.
+    const EXOTIC: [char; 6] = ['é', 'λ', '→', '„', '日', '\u{7f}'];
+
+    fn draw(set: &CharSet, rng: &mut TestRng) -> char {
+        match set {
+            CharSet::Any => {
+                if rng.below(20) == 0 {
+                    EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+                } else {
+                    char::from_u32(0x20 + rng.below(0x7f - 0x20) as u32).unwrap()
+                }
+            }
+            CharSet::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|&(lo, hi)| (hi as u64) - (lo as u64) + 1)
+                    .sum();
+                let mut k = rng.below(total);
+                for &(lo, hi) in ranges {
+                    let width = (hi as u64) - (lo as u64) + 1;
+                    if k < width {
+                        // In-range by construction (classes in this
+                        // workspace never straddle surrogates).
+                        return char::from_u32(lo as u32 + k as u32).unwrap();
+                    }
+                    k -= width;
+                }
+                unreachable!()
+            }
+            CharSet::Lit(c) => *c,
+        }
+    }
+
+    /// Generates a string matching `pattern`.
+    pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse(pattern) {
+            let n = atom.min + rng.below((atom.max - atom.min + 1) as u64) as u32;
+            for _ in 0..n {
+                out.push(draw(&atom.set, rng));
+            }
+        }
+        out
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive length range for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// A strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.max - self.size.min + 1) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// The uniform boolean strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniform `true` / `false`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// `Some(inner)` half the time, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64() & 1 == 1 {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — canonical whole-domain strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Debug + Sized {
+        /// Draws one value (edge-biased for integers).
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    // Bias towards boundary values, where integer bugs live.
+                    match rng.below(8) {
+                        0 => <$t>::MIN,
+                        1 => <$t>::MAX,
+                        2 => 0,
+                        3 => 1,
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            match rng.below(8) {
+                0 => 0.0,
+                1 => -0.0,
+                2 => f64::MAX,
+                3 => f64::MIN_POSITIVE,
+                _ => {
+                    f64::from_bits(rng.next_u64() >> 12)
+                        * if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 }
+                }
+            }
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for the whole domain of `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ..) { .. }`
+/// expands to a `#[test]` running the body over generated cases; see
+/// the crate docs for runner semantics.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                let __strategy = ( $($strategy,)+ );
+                $crate::test_runner::run_cases(
+                    file!(),
+                    stringify!($name),
+                    &__config,
+                    |__rng| {
+                        let ( $($arg,)+ ) =
+                            $crate::strategy::Strategy::generate(&__strategy, __rng);
+                        let __case_desc = format!(
+                            concat!($(stringify!($arg), " = {:?}\n",)+),
+                            $(&$arg,)+
+                        );
+                        let __outcome = ::std::panic::catch_unwind(
+                            ::std::panic::AssertUnwindSafe(
+                                move || -> ::std::result::Result<
+                                    (),
+                                    $crate::test_runner::TestCaseError,
+                                > {
+                                    $body
+                                    #[allow(unreachable_code)]
+                                    ::std::result::Result::Ok(())
+                                },
+                            ),
+                        )
+                        .unwrap_or_else(|payload| {
+                            ::std::result::Result::Err(
+                                $crate::test_runner::TestCaseError::fail(
+                                    $crate::test_runner::panic_message(payload),
+                                ),
+                            )
+                        });
+                        (__case_desc, __outcome)
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: {:?}\n right: {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`: {}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*),
+            left,
+            right
+        );
+    }};
+}
+
+/// Fails the current case if the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: {:?}",
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`: {}\n  both: {:?}",
+            format!($($fmt)*),
+            left
+        );
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($arm) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        let strat = (0u8..4, 1i64..3, -1.0f64..1.0);
+        for _ in 0..500 {
+            let (a, b, c) = strat.generate(&mut rng);
+            assert!(a < 4);
+            assert!((1..3).contains(&b));
+            assert!((-1.0..1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn regex_subset_matches_shape() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..500 {
+            let s = crate::strategy::Strategy::generate(&"[a-c]{1,3}", &mut rng);
+            assert!((1..=3).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+
+            let t = crate::strategy::Strategy::generate(&"[ -~\n]{0,12}", &mut rng);
+            assert!(t.chars().count() <= 12);
+            assert!(
+                t.chars().all(|c| c == '\n' || (' '..='~').contains(&c)),
+                "{t:?}"
+            );
+
+            let dot = crate::strategy::Strategy::generate(&".{0,120}", &mut rng);
+            assert!(dot.chars().count() <= 120);
+        }
+    }
+
+    #[test]
+    fn vec_and_filter_and_map_compose() {
+        let mut rng = TestRng::from_seed(3);
+        let strat = crate::collection::vec((0u8..3, 1i64..3), 3..12)
+            .prop_filter("nonempty", |v| !v.is_empty())
+            .prop_map(|v| v.len());
+        for _ in 0..200 {
+            let n = strat.generate(&mut rng);
+            assert!((3..12).contains(&n));
+        }
+    }
+
+    #[test]
+    fn oneof_unifies_heterogeneous_arms() {
+        let mut rng = TestRng::from_seed(4);
+        let strat = prop_oneof![
+            Just("PATTERN".to_string()),
+            Just("(".to_string()),
+            "[a-c]{1,3}",
+        ];
+        let mut saw_just = false;
+        let mut saw_regex = false;
+        for _ in 0..200 {
+            let s = strat.generate(&mut rng);
+            match s.as_str() {
+                "PATTERN" | "(" => saw_just = true,
+                _ => saw_regex = true,
+            }
+        }
+        assert!(saw_just && saw_regex);
+    }
+
+    // The macro itself, end-to-end (also exercises `prop_assert*`,
+    // `?`-style bodies, and config parsing).
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Doc comments and `#[test]` metas pass through.
+        #[test]
+        fn macro_end_to_end(xs in crate::collection::vec(0i64..100, 0..8), flip in crate::bool::ANY) {
+            prop_assert!(xs.len() < 8);
+            let doubled: Vec<i64> = xs.iter().map(|x| x * 2).collect();
+            prop_assert_eq!(doubled.len(), xs.len(), "flip = {}", flip);
+            let parsed: i64 = "42".parse().map_err(|e| TestCaseError::fail(format!("{e}")))?;
+            prop_assert_ne!(parsed, 0);
+        }
+
+        #[test]
+        fn options_and_any(v in crate::option::of(0i64..10), n in any::<i64>()) {
+            if let Some(x) = v {
+                prop_assert!((0..10).contains(&x));
+            }
+            let _ = n.checked_add(1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn failing_property_panics_with_seed() {
+        // Point PROPTEST-style regression recording at a nonexistent
+        // source so this intentional failure writes nothing.
+        crate::test_runner::run_cases(
+            "no/such/source.rs",
+            "failing_property",
+            &ProptestConfig::with_cases(10),
+            |rng| {
+                let v = crate::strategy::Strategy::generate(&(0i64..100), rng);
+                (
+                    format!("v = {v:?}"),
+                    Err(TestCaseError::fail("always fails")),
+                )
+            },
+        );
+    }
+}

@@ -1,0 +1,281 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to a crate registry, so this
+//! workspace vendors the *subset* of the `rand` API it actually uses:
+//! a seedable deterministic generator (`rngs::StdRng`), uniform range
+//! sampling (`RngExt::random_range`), Bernoulli draws
+//! (`RngExt::random_bool`), unit-interval floats (`RngExt::random`),
+//! and Fisher–Yates shuffling (`seq::SliceRandom::shuffle`).
+//!
+//! The generator is xoshiro256** seeded through splitmix64 — the same
+//! construction real `StdRng` implementations have used — so workload
+//! streams are deterministic per seed and well-mixed, though the exact
+//! streams differ from any upstream `rand` version.
+
+/// A source of 64-bit random words.
+pub trait RngCore {
+    /// Returns the next word of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** — deterministic, fast, and statistically strong
+    /// enough for synthetic workload generation.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types drawable uniformly from their "natural" distribution by
+/// [`RngExt::random`].
+pub trait Random {
+    /// Draws one value.
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Random for u64 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Random for i64 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Random for bool {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for f64 {
+    /// Uniform on `[0, 1)` with 53 bits of precision.
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types uniformly samplable from a range. Dispatching on the
+/// *element* type (not the range type) lets integer literals in
+/// `rng.random_range(5..30)` infer their width from the call context.
+pub trait SampleUniform: Copy {
+    /// Draws one value from `[lo, hi]` expressed as `RangeBounds`
+    /// bounds. Panics on an empty or unbounded-below/above range.
+    fn sample_bounds<R: RngCore + ?Sized>(
+        lo: core::ops::Bound<&Self>,
+        hi: core::ops::Bound<&Self>,
+        rng: &mut R,
+    ) -> Self;
+}
+
+/// Uniform draw from `[0, span)` by multiply-shift (Lemire reduction,
+/// without the rejection loop — bias is < 2⁻⁶⁴·span, irrelevant here).
+fn below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_bounds<R: RngCore + ?Sized>(
+                lo: core::ops::Bound<&Self>,
+                hi: core::ops::Bound<&Self>,
+                rng: &mut R,
+            ) -> Self {
+                use core::ops::Bound;
+                let lo = match lo {
+                    Bound::Included(&x) => x as i128,
+                    Bound::Excluded(&x) => x as i128 + 1,
+                    Bound::Unbounded => <$t>::MIN as i128,
+                };
+                let hi = match hi {
+                    Bound::Included(&x) => x as i128,
+                    Bound::Excluded(&x) => x as i128 - 1,
+                    Bound::Unbounded => <$t>::MAX as i128,
+                };
+                assert!(lo <= hi, "empty range in random_range");
+                let span = (hi - lo + 1) as u64;
+                if span == 0 {
+                    // Full-width range: every word is a valid sample.
+                    return rng.next_u64() as $t;
+                }
+                (lo + below(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl SampleUniform for f64 {
+    fn sample_bounds<R: RngCore + ?Sized>(
+        lo: core::ops::Bound<&Self>,
+        hi: core::ops::Bound<&Self>,
+        rng: &mut R,
+    ) -> Self {
+        use core::ops::Bound;
+        let lo = match lo {
+            Bound::Included(&x) | Bound::Excluded(&x) => x,
+            Bound::Unbounded => panic!("random_range needs a bounded float range"),
+        };
+        let hi = match hi {
+            Bound::Included(&x) | Bound::Excluded(&x) => x,
+            Bound::Unbounded => panic!("random_range needs a bounded float range"),
+        };
+        assert!(lo < hi, "empty range in random_range");
+        lo + (hi - lo) * f64::random(rng)
+    }
+}
+
+/// The convenience sampling surface (`rand`'s `Rng`, under the name
+/// this workspace imports).
+pub trait RngExt: RngCore {
+    /// Uniform draw from `range`.
+    fn random_range<T: SampleUniform>(&mut self, range: impl core::ops::RangeBounds<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_bounds(range.start_bound(), range.end_bound(), self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to [0, 1]).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::random(self) < p
+    }
+
+    /// Draws a value from the type's natural distribution
+    /// (unit-interval for `f64`, full width for integers).
+    fn random<T: Random>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::random(self)
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::RngCore;
+
+    /// In-place uniform shuffling.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = super::below(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(
+                a.random_range(0..1_000_000i64),
+                b.random_range(0..1_000_000i64)
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = rng.random_range(-1..=1);
+            assert!((-1i64..=1).contains(&v));
+            let u = rng.random_range(3usize..12);
+            assert!((3..12).contains(&u));
+            let f = rng.random_range(0.95f64..1.05);
+            assert!((0.95..1.05).contains(&f));
+            let unit: f64 = rng.random();
+            assert!((0.0..1.0).contains(&unit));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "got {hits}");
+    }
+}

@@ -149,9 +149,7 @@ impl Automaton {
         let mut prefix = StateSet::EMPTY;
         let start = intern(prefix, 0, &mut states);
         for (i, set) in p.sets().iter().enumerate() {
-            let set_mask = set
-                .iter()
-                .fold(StateSet::EMPTY, |acc, v| acc.with(*v));
+            let set_mask = set.iter().fold(StateSet::EMPTY, |acc, v| acc.with(*v));
             for sub in set_mask.subsets() {
                 intern(prefix.union(sub), i, &mut states);
             }
@@ -177,8 +175,13 @@ impl Automaton {
                         continue;
                     }
                     let target = by_set[&q_set.with(v).bits()];
-                    let conds =
-                        compile_conditions(&pattern, v, q_set, /*boundary=*/ sub.is_empty(), prefix);
+                    let conds = compile_conditions(
+                        &pattern,
+                        v,
+                        q_set,
+                        /*boundary=*/ sub.is_empty(),
+                        prefix,
+                    );
                     per_source[q.index()].push(Transition {
                         source: q,
                         target,
@@ -288,7 +291,10 @@ impl Automaton {
             return "∅".to_string();
         }
         let p = self.pattern.pattern();
-        set.iter().map(|v| p.var_name(v)).collect::<Vec<_>>().join("")
+        set.iter()
+            .map(|v| p.var_name(v))
+            .collect::<Vec<_>>()
+            .join("")
     }
 }
 
@@ -389,7 +395,9 @@ mod tests {
         assert_eq!(loops, 4);
         // Loops only at states containing p (VarId 1).
         for t in a.transitions().iter().filter(|t| t.is_loop) {
-            assert!(a.states()[t.source.index()].set.contains(ses_pattern::VarId(1)));
+            assert!(a.states()[t.source.index()]
+                .set
+                .contains(ses_pattern::VarId(1)));
             assert_eq!(t.source, t.target);
         }
     }
@@ -397,10 +405,7 @@ mod tests {
     #[test]
     fn start_has_no_incoming_accept_no_outgoing_nonloop() {
         let a = q1();
-        assert!(a
-            .transitions()
-            .iter()
-            .all(|t| t.target != a.start()));
+        assert!(a.transitions().iter().all(|t| t.target != a.start()));
         // Accept state cdpb: no outgoing at all (b is a singleton).
         assert!(a.outgoing(a.accept()).is_empty());
     }
@@ -431,7 +436,9 @@ mod tests {
         for t in a.transitions() {
             if a.pattern().pattern().var(t.var).set_index() == 0 {
                 assert!(
-                    !t.conds.iter().any(|c| matches!(c, TransCond::TimeAfter { .. })),
+                    !t.conds
+                        .iter()
+                        .any(|c| matches!(c, TransCond::TimeAfter { .. })),
                     "V1 transition must not carry time constraints"
                 );
             }
@@ -469,12 +476,13 @@ mod tests {
         let p = ses_pattern::VarId(1);
         let c = ses_pattern::VarId(0);
         // Loop at {c,p}: must include p.L='P' and c.ID=p.ID (paper's Θ13).
-        let cp = a
-            .state_for(StateSet::singleton(c).with(p))
-            .unwrap();
+        let cp = a.state_for(StateSet::singleton(c).with(p)).unwrap();
         let lp: Vec<_> = a.outgoing(cp).iter().filter(|t| t.is_loop).collect();
         assert_eq!(lp.len(), 1);
-        assert!(lp[0].conds.iter().any(|tc| matches!(tc, TransCond::Const { .. })));
+        assert!(lp[0]
+            .conds
+            .iter()
+            .any(|tc| matches!(tc, TransCond::Const { .. })));
         assert!(lp[0].conds.iter().any(
             |tc| matches!(tc, TransCond::VsBound { other, new_is_lhs: false, .. } if *other == c)
         ));

@@ -13,11 +13,7 @@ impl Automaton {
     pub fn to_dot(&self) -> String {
         let mut out = String::new();
         out.push_str("digraph ses {\n  rankdir=LR;\n  node [shape=circle];\n");
-        let _ = writeln!(
-            out,
-            "  {} [shape=doublecircle];",
-            self.accept().index()
-        );
+        let _ = writeln!(out, "  {} [shape=doublecircle];", self.accept().index());
         let _ = writeln!(out, "  start [shape=none, label=\"\"];");
         let _ = writeln!(out, "  start -> {};", self.start().index());
         for (i, _state) in self.states().iter().enumerate() {
@@ -58,7 +54,9 @@ impl Automaton {
         let p = cp.pattern();
         let schema = cp.schema();
         match tc {
-            TransCond::Const { cond } | TransCond::SelfCmp { cond } | TransCond::VsBound { cond, .. } => {
+            TransCond::Const { cond }
+            | TransCond::SelfCmp { cond }
+            | TransCond::VsBound { cond, .. } => {
                 let c = cp.condition(*cond);
                 let lhs = format!(
                     "{}.{}",

@@ -173,7 +173,7 @@ impl<'a> Execution<'a> {
             &self.options,
             &mut self.omega,
             &mut self.scratch,
-            position,
+            EventId::from(position),
             &mut self.results,
             probe,
         );
@@ -218,6 +218,44 @@ impl<'a> Execution<'a> {
     }
 }
 
+/// Drops every instance whose window cannot contain `watermark` anymore
+/// (Algorithm 1's expiry step, detached from event consumption), emitting
+/// accepting buffers as raw matches.
+///
+/// [`process_event`] performs the same sweep inline; this standalone form
+/// lets the push-based [`crate::StreamMatcher`] advance expiry on *every*
+/// arrival — including events the §4.5 filter drops, which the batch path
+/// skips entirely. Sweeping early is semantics-neutral: an instance whose
+/// window excludes the current timestamp also excludes every later one,
+/// and filtered events are never offered to instances, so the raw match
+/// set is unchanged — only its emission time moves earlier.
+pub(crate) fn sweep_expired<P: Probe>(
+    automaton: &Automaton,
+    omega: &mut Vec<Instance>,
+    watermark: Timestamp,
+    results: &mut Vec<RawMatch>,
+    probe: &mut P,
+) {
+    let tau = automaton.tau();
+    let accept = automaton.accept();
+    omega.retain(|instance| {
+        let expired = match instance.buffer.min_ts() {
+            Some(min) => watermark.distance(min) > tau,
+            None => false,
+        };
+        if expired {
+            probe.instance_expired();
+            if instance.state == accept {
+                probe.match_emitted();
+                results.push(RawMatch {
+                    bindings: instance.buffer.to_sorted_bindings(),
+                });
+            }
+        }
+        !expired
+    });
+}
+
 /// The body of Algorithm 1's per-event iteration: spawn a fresh start
 /// instance, expire/emit, consume. Shared by the batch [`Execution`] and
 /// the push-based [`crate::StreamMatcher`].
@@ -229,12 +267,11 @@ pub(crate) fn process_event<P: Probe>(
     options: &ExecOptions,
     omega: &mut Vec<Instance>,
     scratch: &mut Vec<Instance>,
-    position: usize,
+    event_id: EventId,
     results: &mut Vec<RawMatch>,
     probe: &mut P,
 ) {
-    let event = &relation.events()[position];
-    let event_id = EventId::from(position);
+    let event = relation.event(event_id);
 
     probe.event_read();
     let pattern = automaton.pattern();
@@ -333,7 +370,14 @@ fn consume_event<P: Probe>(
             }
         }
         probe.transition_evaluated();
-        if eval_conditions(automaton, relation, transition, &instance.buffer, event, var_ok.is_some()) {
+        if eval_conditions(
+            automaton,
+            relation,
+            transition,
+            &instance.buffer,
+            event,
+            var_ok.is_some(),
+        ) {
             probe.transition_taken();
             if fired > 0 {
                 probe.instance_branched();
@@ -350,8 +394,8 @@ fn consume_event<P: Probe>(
     // unconditionally (the run may *choose* to skip a matching event).
     // Fresh start-state instances never linger: a new one is spawned for
     // every event anyway.
-    let keep_source = instance.state != start
-        && (fired == 0 || selection == EventSelection::SkipTillAnyMatch);
+    let keep_source =
+        instance.state != start && (fired == 0 || selection == EventSelection::SkipTillAnyMatch);
     if keep_source {
         if fired > 0 {
             probe.instance_branched();
@@ -397,9 +441,7 @@ fn eval_conditions(
                 }
             })
         }
-        TransCond::TimeAfter { other } => buffer
-            .bindings_of(*other)
-            .all(|b| b.ts < event_ts),
+        TransCond::TimeAfter { other } => buffer.bindings_of(*other).all(|b| b.ts < event_ts),
     })
 }
 
@@ -421,11 +463,8 @@ mod tests {
     fn rel(rows: &[(i64, i64, &str)]) -> Relation {
         let mut r = Relation::new(schema());
         for (ts, id, l) in rows {
-            r.push_values(
-                Timestamp::new(*ts),
-                [Value::from(*id), Value::from(*l)],
-            )
-            .unwrap();
+            r.push_values(Timestamp::new(*ts), [Value::from(*id), Value::from(*l)])
+                .unwrap();
         }
         r
     }
@@ -549,7 +588,10 @@ mod tests {
         let a = automaton(p);
         // One accepting run per starting P event (suffix runs are kept by
         // Definition 2 too, since their first bindings differ).
-        let mut ms = run(&a, &rel(&[(0, 1, "P"), (1, 1, "P"), (2, 1, "P"), (3, 1, "B")]));
+        let mut ms = run(
+            &a,
+            &rel(&[(0, 1, "P"), (1, 1, "P"), (2, 1, "P"), (3, 1, "B")]),
+        );
         ms.sort();
         assert_eq!(ms.len(), 3);
         assert_eq!(names(&a, &ms[0]), vec!["p/e1", "p/e2", "p/e3", "b/e4"]);
@@ -681,11 +723,13 @@ mod tests {
         // STNM: instance at e1 binds a; e2 binds x; e3 binds y → one run
         // {a/e1,x/e2,y/e3}; the variant ending y/e4 requires *skipping*
         // e3 while x was already bound — impossible greedily.
-        assert!(stnm
-            .iter()
-            .all(|m| !m.bindings.contains(&(ses_pattern::VarId(2), EventId(3)))
-                || m.bindings.contains(&(ses_pattern::VarId(0), EventId(2)))),
-            "greedy runs cannot skip e3 for y");
+        assert!(
+            stnm.iter().all(
+                |m| !m.bindings.contains(&(ses_pattern::VarId(2), EventId(3)))
+                    || m.bindings.contains(&(ses_pattern::VarId(0), EventId(2)))
+            ),
+            "greedy runs cannot skip e3 for y"
+        );
         // STAM is a superset and contains the skipped variant.
         for m in &stnm {
             assert!(stam.contains(m), "STAM must contain every greedy run");

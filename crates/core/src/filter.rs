@@ -73,9 +73,7 @@ impl EventFilter {
             FilterMode::Paper => pattern.satisfies_any_constant(event),
             FilterMode::PerVariable => {
                 let n = pattern.pattern().num_vars();
-                (0..n).any(|i| {
-                    pattern.satisfies_var_constants(ses_pattern::VarId(i as u16), event)
-                })
+                (0..n).any(|i| pattern.satisfies_var_constants(ses_pattern::VarId(i as u16), event))
             }
         }
     }
@@ -141,7 +139,13 @@ mod tests {
         let p = pattern_two_consts();
         let paper = EventFilter::new(&p, FilterMode::Paper);
         let pv = EventFilter::new(&p, FilterMode::PerVariable);
-        for e in [ev("A", 1.0), ev("A", 11.0), ev("B", 0.0), ev("X", 50.0), ev("X", 0.0)] {
+        for e in [
+            ev("A", 1.0),
+            ev("A", 11.0),
+            ev("B", 0.0),
+            ev("X", 50.0),
+            ev("X", 0.0),
+        ] {
             if pv.passes(&p, &e) {
                 assert!(paper.passes(&p, &e), "PerVariable must be ⊆ Paper");
             }

@@ -149,7 +149,12 @@ impl Matcher {
         };
         let raw = execute(&self.automaton, relation, &exec, probe);
         let raw = crate::negation::filter_negations(raw, relation, self.automaton.pattern());
-        select(raw, relation, self.automaton.pattern(), self.options.semantics)
+        select(
+            raw,
+            relation,
+            self.automaton.pattern(),
+            self.options.semantics,
+        )
     }
 }
 

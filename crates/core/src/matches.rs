@@ -78,10 +78,7 @@ impl Match {
     /// `true` iff `self ⊊ other` as binding sets.
     pub fn is_proper_subset_of(&self, other: &Match) -> bool {
         self.bindings.len() < other.bindings.len()
-            && self
-                .bindings
-                .iter()
-                .all(|b| other.bindings.contains(b))
+            && self.bindings.iter().all(|b| other.bindings.contains(b))
     }
 
     /// The time spanned by the match's first and last events.
@@ -140,7 +137,11 @@ mod tests {
         let x = m(&[(1, 5), (0, 2), (2, 5)]);
         assert_eq!(
             x.bindings(),
-            &[(VarId(0), EventId(2)), (VarId(1), EventId(5)), (VarId(2), EventId(5))]
+            &[
+                (VarId(0), EventId(2)),
+                (VarId(1), EventId(5)),
+                (VarId(2), EventId(5))
+            ]
         );
         assert_eq!(x.first_event(), EventId(2));
         assert_eq!(x.last_event(), EventId(5));

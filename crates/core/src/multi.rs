@@ -124,11 +124,8 @@ impl MultiMatcher {
             .zip(&self.matchers)
             .map(|(exec, (name, matcher))| {
                 let raw = exec.finish(&mut shared);
-                let raw = crate::negation::filter_negations(
-                    raw,
-                    relation,
-                    matcher.automaton().pattern(),
-                );
+                let raw =
+                    crate::negation::filter_negations(raw, relation, matcher.automaton().pattern());
                 let matches = select(
                     raw,
                     relation,

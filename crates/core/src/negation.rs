@@ -74,7 +74,7 @@ pub fn passes_negations(m: &RawMatch, relation: &Relation, pattern: &CompiledPat
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Matcher, MatcherOptions, MatchSemantics};
+    use crate::{MatchSemantics, Matcher, MatcherOptions};
     use ses_event::{AttrType, CmpOp, Duration, Schema, Value};
     use ses_pattern::Pattern;
 
@@ -114,16 +114,27 @@ mod tests {
     fn negation_blocks_gap_events() {
         let m = Matcher::compile(&neg_pattern(false), &schema()).unwrap();
         // A X B → blocked; A Y B → allowed.
-        assert!(m.find(&rel(&[(0, 1, "A"), (1, 1, "X"), (2, 1, "B")])).is_empty());
-        assert_eq!(m.find(&rel(&[(0, 1, "A"), (1, 1, "Y"), (2, 1, "B")])).len(), 1);
+        assert!(m
+            .find(&rel(&[(0, 1, "A"), (1, 1, "X"), (2, 1, "B")]))
+            .is_empty());
+        assert_eq!(
+            m.find(&rel(&[(0, 1, "A"), (1, 1, "Y"), (2, 1, "B")])).len(),
+            1
+        );
     }
 
     #[test]
     fn negation_only_guards_the_gap() {
         let m = Matcher::compile(&neg_pattern(false), &schema()).unwrap();
         // X before A or after B is harmless.
-        assert_eq!(m.find(&rel(&[(0, 1, "X"), (1, 1, "A"), (2, 1, "B")])).len(), 1);
-        assert_eq!(m.find(&rel(&[(0, 1, "A"), (1, 1, "B"), (2, 1, "X")])).len(), 1);
+        assert_eq!(
+            m.find(&rel(&[(0, 1, "X"), (1, 1, "A"), (2, 1, "B")])).len(),
+            1
+        );
+        assert_eq!(
+            m.find(&rel(&[(0, 1, "A"), (1, 1, "B"), (2, 1, "X")])).len(),
+            1
+        );
         // X exactly at the boundary timestamps is *not* inside the open
         // interval.
         let tie = rel(&[(0, 1, "A"), (0, 1, "X"), (2, 1, "B")]);
@@ -191,7 +202,8 @@ mod tests {
         let m = Matcher::compile(&p, &schema()).unwrap();
         // Y in the first gap is fine; Y in the second gap blocks.
         assert_eq!(
-            m.find(&rel(&[(0, 1, "A"), (1, 1, "Y"), (2, 1, "B"), (3, 1, "C")])).len(),
+            m.find(&rel(&[(0, 1, "A"), (1, 1, "Y"), (2, 1, "B"), (3, 1, "C")]))
+                .len(),
             1
         );
         assert!(m

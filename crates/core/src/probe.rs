@@ -46,6 +46,16 @@ pub trait Probe {
     /// the paper's Figures 11 and 12 is the maximum over these samples.
     #[inline]
     fn omega(&mut self, _n: usize) {}
+
+    /// The streaming matcher evicted `_n` events from its relation.
+    #[inline]
+    fn events_evicted(&mut self, _n: usize) {}
+
+    /// Events retained by the streaming matcher after one push —
+    /// bounded-memory operation means the maximum over these samples
+    /// stays flat as the stream grows.
+    #[inline]
+    fn retained_events(&mut self, _n: usize) {}
 }
 
 /// The no-op probe: compiles to nothing.
@@ -90,6 +100,14 @@ impl<P: Probe + ?Sized> Probe for &mut P {
     #[inline]
     fn omega(&mut self, n: usize) {
         (**self).omega(n);
+    }
+    #[inline]
+    fn events_evicted(&mut self, n: usize) {
+        (**self).events_evicted(n);
+    }
+    #[inline]
+    fn retained_events(&mut self, n: usize) {
+        (**self).retained_events(n);
     }
 }
 

@@ -94,12 +94,14 @@ pub fn satisfies_conditions_1_3(
     // Condition 2: events of set Vi strictly precede events of set Vi+1
     // (transitively: a strictly increasing chain of set extents).
     for i in 1..p.num_sets() {
-        let max_prev = p.set(i - 1)
+        let max_prev = p
+            .set(i - 1)
             .iter()
             .flat_map(|&v| events_of(v))
             .map(|e| relation.event(e).ts())
             .max();
-        let min_cur = p.set(i)
+        let min_cur = p
+            .set(i)
             .iter()
             .flat_map(|&v| events_of(v))
             .map(|e| relation.event(e).ts())
@@ -260,11 +262,7 @@ mod tests {
             &bind(&[(0, 0), (1, 1), (1, 2)])
         ));
         // Same event bound twice.
-        assert!(!satisfies_conditions_1_3(
-            &cp,
-            &r,
-            &bind(&[(0, 0), (1, 0)])
-        ));
+        assert!(!satisfies_conditions_1_3(&cp, &r, &bind(&[(0, 0), (1, 0)])));
     }
 
     #[test]

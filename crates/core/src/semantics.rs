@@ -66,25 +66,138 @@ pub fn select(
         return candidates;
     }
 
-    let survivors: Vec<Match> = candidates
-        .iter()
-        .filter(|m| {
-            survives_condition_4(m, relation, pattern, &candidates)
-                && survives_condition_5(m, &candidates)
-        })
-        .cloned()
-        .collect();
+    // Conditions 4 and 5 are closed within first-binding groups (see
+    // [`Adjudicator`]), and a Maximal killer's first binding never
+    // follows its victim's — so adjudicating the groups in ascending
+    // first-binding order reproduces the global filter exactly. Batch
+    // and streaming share this code path, which is what makes the
+    // stream-vs-batch differential suite a structural equivalence.
+    let mut groups: std::collections::BTreeMap<GroupKey, Vec<Match>> =
+        std::collections::BTreeMap::new();
+    for m in candidates {
+        groups.entry(group_key(&m)).or_default().push(m);
+    }
+    let mut adjudicator = Adjudicator::new(semantics);
+    let mut out = Vec::new();
+    for (_, group) in groups {
+        out.extend(adjudicator.adjudicate_group(group, relation, pattern));
+    }
+    // Group order is event-major; restore the canonical match order.
+    out.sort();
+    out
+}
 
-    if semantics == MatchSemantics::Definition2 {
-        return survivors;
+/// A candidate group key: the first binding in `(event, variable)` order.
+/// Event ids are chronological, so ascending keys are ascending `minT`.
+pub(crate) type GroupKey = (EventId, VarId);
+
+/// The group a candidate belongs to for adjudication purposes.
+pub(crate) fn group_key(m: &Match) -> GroupKey {
+    let (var, event) = m.bindings()[0];
+    (event, var)
+}
+
+/// Incremental application of conditions 4–5 and maximality, one
+/// first-binding group at a time.
+///
+/// Feeding groups in ascending [`GroupKey`] order yields exactly the
+/// matches the one-shot global filter produces, because the quantifiers
+/// of Definition 2 decompose along first bindings:
+///
+/// * **Condition 4 (prefix test)** — an agreeing run shares every
+///   binding of γ strictly before the alternative's timestamp, and the
+///   alternative lies strictly after `minT(γ)`; agreement therefore
+///   forces the same first binding. The swap test needs no candidate set
+///   at all. Both are closed within the group.
+/// * **Condition 5** — quantifies over candidates with the same first
+///   binding by definition.
+/// * **Maximality** — a killer `γ' ⊋ γ` contains γ's first binding, so
+///   its own first binding cannot be later: killers live in the same or
+///   an earlier group. Earlier groups' Definition-2 survivors are
+///   accumulated; later groups can never retroactively kill an emitted
+///   match.
+///
+/// For streaming, a group is adjudicated once the watermark makes it
+/// complete (no run starting at `minT` can still grow once
+/// `watermark − minT > τ`), and accumulated survivors are prunable once
+/// `minT < watermark − 2τ` — any later victim's window reaches back at
+/// most τ before its own `minT`, which is itself at least
+/// `watermark − τ`.
+#[derive(Debug)]
+pub(crate) struct Adjudicator {
+    semantics: MatchSemantics,
+    /// Definition-2 survivors of adjudicated groups, kept (with their
+    /// `minT`) as potential Maximal killers for later groups.
+    survivors: Vec<(Timestamp, Match)>,
+}
+
+impl Adjudicator {
+    /// An adjudicator with no groups processed yet.
+    pub(crate) fn new(semantics: MatchSemantics) -> Adjudicator {
+        Adjudicator {
+            semantics,
+            survivors: Vec::new(),
+        }
     }
 
-    // Maximal: drop matches properly contained in any other survivor.
-    survivors
-        .iter()
-        .filter(|m| !survivors.iter().any(|o| m.is_proper_subset_of(o)))
-        .cloned()
-        .collect()
+    /// Adjudicates one complete group of candidates (all sharing a first
+    /// binding). Groups must arrive in ascending [`GroupKey`] order.
+    /// Returns the group's final matches under the configured semantics.
+    pub(crate) fn adjudicate_group(
+        &mut self,
+        group: Vec<Match>,
+        relation: &Relation,
+        pattern: &CompiledPattern,
+    ) -> Vec<Match> {
+        let mut group = group;
+        group.sort();
+        group.dedup();
+        if self.semantics == MatchSemantics::AllRuns {
+            return group;
+        }
+
+        let kept: Vec<Match> = group
+            .iter()
+            .filter(|m| {
+                survives_condition_4(m, relation, pattern, &group)
+                    && survives_condition_5(m, &group)
+            })
+            .cloned()
+            .collect();
+
+        if self.semantics == MatchSemantics::Definition2 {
+            return kept;
+        }
+
+        // Maximal: drop matches properly contained in a same-group or
+        // earlier-group Definition-2 survivor, then remember this
+        // group's survivors as killers for later groups.
+        let finals: Vec<Match> = kept
+            .iter()
+            .filter(|m| {
+                !kept.iter().any(|o| m.is_proper_subset_of(o))
+                    && !self.survivors.iter().any(|(_, o)| m.is_proper_subset_of(o))
+            })
+            .cloned()
+            .collect();
+        for m in kept {
+            let min_ts = relation.event(m.first_event()).ts();
+            self.survivors.push((min_ts, m));
+        }
+        finals
+    }
+
+    /// Discards accumulated survivors whose `minT` precedes `cutoff` —
+    /// they can no longer kill any group still to come. Used by the
+    /// streaming matcher to bound memory; harmless to never call.
+    pub(crate) fn prune_survivors(&mut self, cutoff: Timestamp) {
+        self.survivors.retain(|&(min_ts, _)| min_ts >= cutoff);
+    }
+
+    /// Number of retained killer candidates (streaming memory probe).
+    pub(crate) fn survivor_count(&self) -> usize {
+        self.survivors.len()
+    }
 }
 
 /// Condition 4: no variable of γ could have bound a strictly earlier
@@ -102,7 +215,9 @@ fn survives_condition_4(
         let bound_ts = relation.event(event).ts();
         // Candidate earlier events strictly inside (minT, e.T). Event ids
         // are chronological, so a linear scan up to `event` suffices.
-        for alt_idx in 0..event.index() {
+        // Start at the first retained event: anything evicted is older
+        // than `minT` of every live candidate and would be skipped anyway.
+        for alt_idx in relation.first_index()..event.index() {
             let alt = EventId::from(alt_idx);
             let alt_ts = relation.event(alt).ts();
             if alt_ts <= min_ts || alt_ts >= bound_ts {
@@ -139,9 +254,9 @@ fn prefix_alternative_exists(
             .collect()
     };
     let m_prefix = prefix_of(m);
-    candidates.iter().any(|other| {
-        other.contains(var, alt) && prefix_of(other) == m_prefix
-    })
+    candidates
+        .iter()
+        .any(|other| other.contains(var, alt) && prefix_of(other) == m_prefix)
 }
 
 /// Checks whether γ with binding `var/event` replaced by `var/alt`
@@ -289,10 +404,7 @@ mod tests {
         // but e1.T ≤ minT(γ)... it *is* before the start → cannot violate.
         let r = rel(&[(0, 1, "P"), (1, 1, "P"), (2, 1, "B")]);
         let out = select(
-            vec![
-                raw(&[(0, 0), (0, 1), (1, 2)]),
-                raw(&[(0, 1), (1, 2)]),
-            ],
+            vec![raw(&[(0, 0), (0, 1), (1, 2)]), raw(&[(0, 1), (1, 2)])],
             &r,
             &cp,
             MatchSemantics::Definition2,
@@ -305,10 +417,7 @@ mod tests {
         let cp = pb_pattern();
         let r = rel(&[(0, 1, "P"), (1, 1, "P"), (2, 1, "B")]);
         let out = select(
-            vec![
-                raw(&[(0, 0), (0, 1), (1, 2)]),
-                raw(&[(0, 1), (1, 2)]),
-            ],
+            vec![raw(&[(0, 0), (0, 1), (1, 2)]), raw(&[(0, 1), (1, 2)])],
             &r,
             &cp,
             MatchSemantics::Maximal,
@@ -324,10 +433,7 @@ mod tests {
         // {p/e1, p/e2, b/e3} with the same first binding.
         let r = rel(&[(0, 1, "P"), (1, 1, "P"), (2, 1, "B")]);
         let out = select(
-            vec![
-                raw(&[(0, 0), (1, 2)]),
-                raw(&[(0, 0), (0, 1), (1, 2)]),
-            ],
+            vec![raw(&[(0, 0), (1, 2)]), raw(&[(0, 0), (0, 1), (1, 2)])],
             &r,
             &cp,
             MatchSemantics::Definition2,

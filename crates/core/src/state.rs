@@ -156,10 +156,7 @@ mod tests {
         assert!(StateSet::EMPTY.is_empty());
         assert!(StateSet::singleton(VarId(2)).is_subset_of(a));
         assert!(!a.is_subset_of(StateSet::singleton(VarId(2))));
-        assert_eq!(
-            a.union(StateSet::singleton(VarId(1))).len(),
-            3
-        );
+        assert_eq!(a.union(StateSet::singleton(VarId(1))).len(), 3);
         assert_eq!(a.intersection(StateSet::singleton(VarId(2))).len(), 1);
     }
 

@@ -1,33 +1,61 @@
-//! Push-based streaming matching.
+//! Push-based, bounded-memory streaming matching.
 //!
 //! The paper evaluates finite relations, but event pattern matching is a
-//! streaming technique at heart. [`StreamMatcher`] owns a growing
-//! relation and exposes `push`: feed events one at a time (in timestamp
-//! order) and receive the raw matches whose windows closed at that event.
+//! streaming technique at heart. [`StreamMatcher`] owns a relation and
+//! exposes `push`: feed events one at a time (in timestamp order) and
+//! receive **finalized matches** — matches that are already correct under
+//! the configured [`crate::MatchSemantics`] and that no future event can
+//! add, remove, or change. [`StreamMatcher::finish`] flushes whatever is
+//! still undecided; concatenating every `push` result with the `finish`
+//! result yields exactly the batch [`crate::Matcher::find`] answer
+//! (each match exactly once).
 //!
-//! Streaming results are **raw accepting runs** (the `AllRuns` view):
-//! the Definition-2 filters compare candidates against each other, so a
-//! definitive answer only exists once the input is complete — call
-//! [`StreamMatcher::finish`] to flush remaining accepting instances and
-//! apply the configured semantics over everything seen.
+//! # Watermarks and eager emission
 //!
-//! Memory note: the matcher retains all pushed events (match buffers
-//! reference them by id and late conditions may need any past bound
-//! event). For unbounded streams, recreate the matcher per logical
-//! segment or window of interest.
+//! The latest pushed timestamp is the stream's *watermark* `w`. Because
+//! timestamps are non-decreasing and every match spans at most the
+//! window `τ`, a candidate whose first binding is at `minT` is complete
+//! once `w − minT > τ`: no run starting at `minT` can still grow. The
+//! Definition-2 filters (conditions 4–5) and maximality are closed
+//! within *first-binding groups* adjudicated in ascending order (see
+//! [`crate::semantics`]), so each group is emitted the moment the
+//! watermark passes `minT + τ` — not deferred to end of stream.
+//!
+//! # Bounded memory
+//!
+//! Three retained structures are pruned against the watermark:
+//!
+//! * **Events** — once no live run can bind or compare against an event
+//!   (its timestamp precedes `w − τ`), it is evicted from the relation.
+//!   Eviction keeps event ids stable ([`Relation::evict_before`]) and is
+//!   on by default; disable it with [`StreamMatcher::with_eviction`] to
+//!   trade memory for a fully replayable relation.
+//! * **Instances** — automaton runs whose window can no longer close are
+//!   swept on *every* push (even filtered ones), emitting accepting
+//!   buffers into the pending candidate set.
+//! * **Killer matches** — Definition-2 survivors retained for maximality
+//!   checks are dropped once `minT < w − 2τ` (no later group can reach
+//!   back that far).
+//!
+//! With eviction on, steady-state memory is proportional to the number
+//! of events inside one window `τ` (times a small constant for the
+//! compaction hysteresis) — independent of stream length.
+
+use std::collections::BTreeMap;
 
 use ses_event::{Event, EventError, Relation, Schema, Timestamp, Value};
 use ses_pattern::Pattern;
 
-use crate::engine::{process_event, ExecOptions, Instance, RawMatch};
+use crate::engine::{process_event, sweep_expired, ExecOptions, Instance, RawMatch};
 use crate::filter::EventFilter;
 use crate::matcher::MatcherOptions;
 use crate::matches::Match;
+use crate::negation::passes_negations;
 use crate::probe::{NoProbe, Probe};
-use crate::semantics::select;
+use crate::semantics::{Adjudicator, GroupKey};
 use crate::{Automaton, CoreError};
 
-/// An incremental, push-based matcher over an owned, growing relation.
+/// An incremental, push-based matcher with watermark-driven eviction.
 #[derive(Debug)]
 pub struct StreamMatcher {
     automaton: Automaton,
@@ -36,7 +64,16 @@ pub struct StreamMatcher {
     relation: Relation,
     omega: Vec<Instance>,
     scratch: Vec<Instance>,
+    /// Per-push engine output buffer, drained into `pending`.
     results: Vec<RawMatch>,
+    /// Emitted accepting runs awaiting adjudication, grouped by first
+    /// binding. `BTreeMap` gives the ascending group order adjudication
+    /// requires.
+    pending: BTreeMap<GroupKey, Vec<RawMatch>>,
+    adjudicator: Adjudicator,
+    watermark: Option<Timestamp>,
+    evict: bool,
+    emitted: usize,
 }
 
 impl StreamMatcher {
@@ -58,6 +95,7 @@ impl StreamMatcher {
         };
         let automaton = Automaton::build_with_limit(compiled, options.max_states)?;
         let filter = EventFilter::new(automaton.pattern(), options.filter);
+        let adjudicator = Adjudicator::new(options.semantics);
         Ok(StreamMatcher {
             relation: Relation::new(schema.clone()),
             automaton,
@@ -66,11 +104,26 @@ impl StreamMatcher {
             omega: Vec::new(),
             scratch: Vec::new(),
             results: Vec::new(),
+            pending: BTreeMap::new(),
+            adjudicator,
+            watermark: None,
+            evict: true,
+            emitted: 0,
         })
     }
 
+    /// Enables or disables watermark eviction of old events (on by
+    /// default). With eviction off the full relation is retained and
+    /// remains accessible via [`StreamMatcher::relation`]; emitted
+    /// matches are identical either way.
+    pub fn with_eviction(mut self, evict: bool) -> StreamMatcher {
+        self.evict = evict;
+        self
+    }
+
     /// Pushes one event (timestamps must be non-decreasing) and returns
-    /// the raw matches whose windows expired at this event.
+    /// the matches finalized at this push — already filtered under the
+    /// configured [`crate::MatchSemantics`], never revised later.
     pub fn push(
         &mut self,
         ts: Timestamp,
@@ -87,7 +140,18 @@ impl StreamMatcher {
         probe: &mut P,
     ) -> Result<Vec<Match>, EventError> {
         let id = self.relation.push_values(ts, values)?;
-        let before = self.results.len();
+        self.watermark = Some(ts);
+        // Retire runs whose window can no longer close *before* the new
+        // event is processed — on every push, including filtered ones
+        // (sweeping early is observationally identical; see
+        // `sweep_expired`). Their accepting buffers join `pending`.
+        sweep_expired(
+            &self.automaton,
+            &mut self.omega,
+            ts,
+            &mut self.results,
+            probe,
+        );
         process_event(
             &self.automaton,
             &self.relation,
@@ -95,17 +159,24 @@ impl StreamMatcher {
             &self.exec_options(),
             &mut self.omega,
             &mut self.scratch,
-            id.index(),
+            id,
             &mut self.results,
             probe,
         );
-        Ok(self.results[before..]
-            .iter()
-            .filter(|r| {
-                crate::negation::passes_negations(r, &self.relation, self.automaton.pattern())
-            })
-            .map(|r| Match::from_raw(r.clone()))
-            .collect())
+        self.queue_results();
+        let out = self.drain_decidable(ts);
+        let tau = self.automaton.tau();
+        // Killers older than 2τ can no longer contain any future group.
+        self.adjudicator.prune_survivors(ts - tau - tau);
+        if self.evict {
+            let evicted = self.relation.evict_before(ts - tau);
+            if evicted > 0 {
+                probe.events_evicted(evicted);
+            }
+        }
+        probe.retained_events(self.relation.len());
+        self.emitted += out.len();
+        Ok(out)
     }
 
     /// Pushes a pre-built event.
@@ -114,7 +185,9 @@ impl StreamMatcher {
         self.push(event.ts(), values)
     }
 
-    /// The events seen so far.
+    /// The retained relation. With eviction on (the default) this holds
+    /// only events young enough to still matter — see
+    /// [`Relation::evicted`] for how many were dropped.
     pub fn relation(&self) -> &Relation {
         &self.relation
     }
@@ -124,13 +197,42 @@ impl StreamMatcher {
         self.omega.len()
     }
 
-    /// Raw matches emitted so far (windows already expired).
+    /// Finalized matches returned by `push` calls so far (excludes
+    /// whatever [`StreamMatcher::finish`] will still return).
     pub fn emitted_so_far(&self) -> usize {
-        self.results.len()
+        self.emitted
     }
 
-    /// Ends the stream: flushes accepting instances and returns all
-    /// matches under the configured [`crate::MatchSemantics`].
+    /// The latest pushed timestamp, if any.
+    pub fn watermark(&self) -> Option<Timestamp> {
+        self.watermark
+    }
+
+    /// Number of events currently retained in the relation.
+    pub fn retained_events(&self) -> usize {
+        self.relation.len()
+    }
+
+    /// Total number of events evicted so far.
+    pub fn evicted_events(&self) -> usize {
+        self.relation.evicted()
+    }
+
+    /// Accepting runs buffered for adjudication (their windows may still
+    /// admit competing runs).
+    pub fn pending_candidates(&self) -> usize {
+        self.pending.values().map(Vec::len).sum()
+    }
+
+    /// Definition-2 survivors retained as maximality killers for groups
+    /// still to come (pruned against the watermark like everything else).
+    pub fn retained_killers(&self) -> usize {
+        self.adjudicator.survivor_count()
+    }
+
+    /// Ends the stream: flushes accepting instances, adjudicates every
+    /// remaining group, and returns the matches **not already emitted**
+    /// by `push` — together with those, exactly the batch answer.
     pub fn finish(mut self) -> Vec<Match> {
         if self.options.flush_at_end {
             let accept = self.automaton.accept();
@@ -142,14 +244,58 @@ impl StreamMatcher {
                 }
             }
         }
-        let raw =
-            crate::negation::filter_negations(self.results, &self.relation, self.automaton.pattern());
-        select(
-            raw,
-            &self.relation,
-            self.automaton.pattern(),
-            self.options.semantics,
-        )
+        self.queue_results();
+        let pending = std::mem::take(&mut self.pending);
+        let mut out = Vec::new();
+        for (_, group) in pending {
+            out.extend(self.adjudicate(group));
+        }
+        out.sort();
+        out
+    }
+
+    /// Moves freshly emitted accepting runs into their first-binding
+    /// groups.
+    fn queue_results(&mut self) {
+        for raw in self.results.drain(..) {
+            let (var, event) = raw.bindings[0];
+            self.pending.entry((event, var)).or_default().push(raw);
+        }
+    }
+
+    /// Adjudicates (in ascending group order) every pending group whose
+    /// window the watermark has passed. Such groups can no longer gain
+    /// candidates — their runs were already swept — and their verdicts
+    /// are final.
+    fn drain_decidable(&mut self, watermark: Timestamp) -> Vec<Match> {
+        let tau = self.automaton.tau();
+        let mut out = Vec::new();
+        while let Some((&(event, var), _)) = self.pending.iter().next() {
+            // Group keys ascend with `minT`, so the first undecidable
+            // group ends the scan. The first event of a pending group is
+            // never evicted: eviction runs after adjudication and only
+            // reaches `watermark − τ`, which undecided groups straddle.
+            let min_ts = self.relation.event(event).ts();
+            if watermark.distance(min_ts) <= tau {
+                break;
+            }
+            let group = self.pending.remove(&(event, var)).unwrap();
+            out.extend(self.adjudicate(group));
+        }
+        out
+    }
+
+    /// Runs one complete group through negation filtering and the shared
+    /// batch/stream adjudicator.
+    fn adjudicate(&mut self, group: Vec<RawMatch>) -> Vec<Match> {
+        let pattern = self.automaton.pattern();
+        let group: Vec<Match> = group
+            .into_iter()
+            .filter(|r| passes_negations(r, &self.relation, pattern))
+            .map(Match::from_raw)
+            .collect();
+        self.adjudicator
+            .adjudicate_group(group, &self.relation, pattern)
     }
 
     fn exec_options(&self) -> ExecOptions {
@@ -199,20 +345,26 @@ mod tests {
             .unwrap()
             .is_empty());
         assert!(sm.active_instances() > 0);
-        // A *filtered* event (satisfies no constant condition) is dropped
-        // before the expiry sweep — §4.5 of the paper — so emission is
-        // deferred, never lost.
+        // Even a *filtered* event (satisfies no constant condition)
+        // advances the watermark: the expiry sweep runs on every push,
+        // so the match is finalized here, not deferred to the next
+        // pattern-relevant event.
         let emitted = sm
             .push(Timestamp::new(100), [Value::from(1), Value::from("X")])
             .unwrap();
-        assert!(emitted.is_empty(), "filtered events defer expiry");
-        // The next pattern-relevant event expires the accepting instance.
+        assert_eq!(emitted.len(), 1, "watermark finalizes eagerly");
+        assert_eq!(emitted[0].to_string(), "{v1/e1, v0/e2}");
+        assert_eq!(sm.emitted_so_far(), 1);
+        // The decided window is also reclaimed: only the fresh event
+        // remains retained.
+        assert_eq!(sm.retained_events(), 1);
+        assert_eq!(sm.evicted_events(), 2);
+        // Nothing left for later pushes or finish — exactly-once.
         let emitted = sm
             .push(Timestamp::new(101), [Value::from(1), Value::from("B")])
             .unwrap();
-        assert_eq!(emitted.len(), 1);
-        assert_eq!(emitted[0].to_string(), "{v1/e1, v0/e2}");
-        assert_eq!(sm.emitted_so_far(), 1);
+        assert!(emitted.is_empty());
+        assert!(sm.finish().is_empty());
     }
 
     #[test]
@@ -230,17 +382,138 @@ mod tests {
 
         let mut rel = Relation::new(schema.clone());
         let mut sm = StreamMatcher::compile(&pattern, &schema).unwrap();
+        let mut streamed = Vec::new();
         for (t, id, l) in rows {
             let values = [Value::from(*id), Value::from(*l)];
             rel.push_values(Timestamp::new(*t), values.clone()).unwrap();
-            sm.push(Timestamp::new(*t), values).unwrap();
+            streamed.extend(sm.push(Timestamp::new(*t), values).unwrap());
         }
-        let mut streamed = sm.finish();
+        assert!(sm.evicted_events() > 0, "old windows were reclaimed");
+        streamed.extend(sm.finish());
         let mut batch = Matcher::compile(&pattern, &schema).unwrap().find(&rel);
         streamed.sort();
         batch.sort();
         assert_eq!(streamed, batch);
         assert!(!streamed.is_empty());
+    }
+
+    #[test]
+    fn boundary_event_at_watermark_minus_tau_survives() {
+        // a@0 … b@5 is exactly τ apart — a valid match whose last event
+        // sits exactly on the eviction cutoff when the watermark reaches
+        // 10. Strict eviction (`ts < w − τ`) must keep it until decided.
+        let mut sm = StreamMatcher::compile(&ab_pattern(), &schema()).unwrap();
+        sm.push(Timestamp::new(0), [Value::from(1), Value::from("A")])
+            .unwrap();
+        sm.push(Timestamp::new(5), [Value::from(1), Value::from("B")])
+            .unwrap();
+        let emitted = sm
+            .push(Timestamp::new(10), [Value::from(1), Value::from("X")])
+            .unwrap();
+        assert_eq!(emitted.len(), 1);
+        assert_eq!(emitted[0].to_string(), "{v0/e1, v1/e2}");
+        // Push further so the hysteresis threshold is met and the decided
+        // window is physically reclaimed.
+        sm.push(Timestamp::new(12), [Value::from(1), Value::from("X")])
+            .unwrap();
+        assert_eq!(sm.evicted_events(), 2);
+        assert_eq!(sm.retained_events(), 2);
+        assert!(sm.finish().is_empty());
+    }
+
+    #[test]
+    fn equal_timestamps_across_the_horizon() {
+        // Two complete pairs at a single timestamp each, pushed through a
+        // window small enough that the first pair is decided and evicted
+        // while the second is still live.
+        let pattern = Pattern::builder()
+            .set(|s| s.var("a").var("b"))
+            .cond_const("a", "L", CmpOp::Eq, "A")
+            .cond_const("b", "L", CmpOp::Eq, "B")
+            .within(Duration::ticks(3))
+            .build()
+            .unwrap();
+        let schema = schema();
+        let rows: &[(i64, &str)] = &[(0, "A"), (0, "B"), (5, "A"), (5, "B"), (9, "X")];
+
+        let mut rel = Relation::new(schema.clone());
+        let mut sm = StreamMatcher::compile(&pattern, &schema).unwrap();
+        let mut streamed = Vec::new();
+        for (t, l) in rows {
+            let values = [Value::from(1), Value::from(*l)];
+            rel.push_values(Timestamp::new(*t), values.clone()).unwrap();
+            streamed.extend(sm.push(Timestamp::new(*t), values).unwrap());
+        }
+        assert_eq!(streamed.len(), 2, "both equal-ts pairs finalized eagerly");
+        assert!(sm.evicted_events() > 0);
+        streamed.extend(sm.finish());
+        streamed.sort();
+        let mut batch = Matcher::compile(&pattern, &schema).unwrap().find(&rel);
+        batch.sort();
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn group_bindings_straddling_the_eviction_point() {
+        // A `p+` group whose bindings span almost the whole window: when
+        // the group is adjudicated, its earliest binding is already past
+        // the *next* eviction cutoff — adjudication must run first.
+        let pattern = Pattern::builder()
+            .set(|s| s.plus("p"))
+            .set(|s| s.var("b"))
+            .cond_const("p", "L", CmpOp::Eq, "A")
+            .cond_const("b", "L", CmpOp::Eq, "B")
+            .within(Duration::ticks(5))
+            .build()
+            .unwrap();
+        let schema = schema();
+        let rows: &[(i64, &str)] = &[(0, "A"), (3, "A"), (4, "B"), (10, "X"), (12, "X")];
+
+        let mut rel = Relation::new(schema.clone());
+        let mut sm = StreamMatcher::compile(&pattern, &schema).unwrap();
+        let mut streamed = Vec::new();
+        for (t, l) in rows {
+            let values = [Value::from(1), Value::from(*l)];
+            rel.push_values(Timestamp::new(*t), values.clone()).unwrap();
+            streamed.extend(sm.push(Timestamp::new(*t), values).unwrap());
+        }
+        assert_eq!(sm.evicted_events(), 3, "the decided group was reclaimed");
+        streamed.extend(sm.finish());
+        streamed.sort();
+        let mut batch = Matcher::compile(&pattern, &schema).unwrap().find(&rel);
+        batch.sort();
+        assert_eq!(streamed, batch);
+        // The maximal match binds both A events and the B.
+        assert!(streamed.iter().any(|m| m.bindings().len() == 3));
+    }
+
+    #[test]
+    fn out_of_order_rejected_even_after_total_eviction() {
+        // Evict *everything*, then verify the order check still holds
+        // (it relies on the cached last-pushed timestamp, not on any
+        // retained event) and that matching continues cleanly.
+        let mut sm = StreamMatcher::compile(&ab_pattern(), &schema()).unwrap();
+        sm.push(Timestamp::new(0), [Value::from(1), Value::from("A")])
+            .unwrap();
+        sm.push(Timestamp::new(100), [Value::from(1), Value::from("X")])
+            .unwrap();
+        sm.push(Timestamp::new(200), [Value::from(1), Value::from("X")])
+            .unwrap();
+        assert_eq!(sm.retained_events(), 1, "history fully reclaimed");
+        let err = sm
+            .push(Timestamp::new(150), [Value::from(1), Value::from("A")])
+            .unwrap_err();
+        assert!(matches!(err, EventError::OutOfOrder { .. }));
+        // Still fully operational after the rejection.
+        sm.push(Timestamp::new(300), [Value::from(1), Value::from("A")])
+            .unwrap();
+        sm.push(Timestamp::new(301), [Value::from(1), Value::from("B")])
+            .unwrap();
+        let emitted = sm
+            .push(Timestamp::new(400), [Value::from(1), Value::from("X")])
+            .unwrap();
+        assert_eq!(emitted.len(), 1);
+        assert!(sm.finish().is_empty());
     }
 
     #[test]
@@ -263,10 +536,7 @@ mod tests {
     #[test]
     fn push_event_and_accessors() {
         let mut sm = StreamMatcher::compile(&ab_pattern(), &schema()).unwrap();
-        let e = Event::new(
-            Timestamp::new(0),
-            vec![Value::from(1), Value::from("A")],
-        );
+        let e = Event::new(Timestamp::new(0), vec![Value::from(1), Value::from("A")]);
         sm.push_event(e).unwrap();
         assert_eq!(sm.relation().len(), 1);
         assert_eq!(sm.active_instances(), 1);

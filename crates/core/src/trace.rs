@@ -180,7 +180,9 @@ mod tests {
                 .instances
                 .iter()
                 .filter(|(_, b)| {
-                    b.iter().last().is_some_and(|x| x.event == ses_event::EventId(0))
+                    b.iter()
+                        .last()
+                        .is_some_and(|x| x.event == ses_event::EventId(0))
                 })
                 .map(|(s, _)| automaton.state_label(*s))
                 .collect()
@@ -191,11 +193,15 @@ mod tests {
         assert_eq!(find_state(2), vec!["cd"]); // Fig. 6(d): e3 matched
         assert_eq!(find_state(3), vec!["cp+d"]); // Fig. 6(e): e4 matched
         assert_eq!(find_state(5), vec!["cp+d"]); // Fig. 6(f): e6 ignored
-        // Fig. 6(g): e9 loop extends the buffer.
+                                                 // Fig. 6(g): e9 loop extends the buffer.
         let e9_buffers: Vec<usize> = trace.steps[8]
             .instances
             .iter()
-            .filter(|(_, b)| b.iter().last().is_some_and(|x| x.event == ses_event::EventId(0)))
+            .filter(|(_, b)| {
+                b.iter()
+                    .last()
+                    .is_some_and(|x| x.event == ses_event::EventId(0))
+            })
             .map(|(_, b)| b.len())
             .collect();
         assert_eq!(e9_buffers, vec![4]); // c, d, p, p

@@ -60,7 +60,11 @@ impl fmt::Display for EventError {
             EventError::ArityMismatch { expected, got } => {
                 write!(f, "row has {got} values, schema has {expected} attributes")
             }
-            EventError::TypeMismatch { attr, expected, got } => {
+            EventError::TypeMismatch {
+                attr,
+                expected,
+                got,
+            } => {
                 write!(f, "attribute `{attr}` expects {expected}, got {got}")
             }
             EventError::NanValue { attr } => write!(f, "attribute `{attr}` is NaN"),
@@ -86,8 +90,11 @@ mod tests {
             got: AttrType::Int,
         };
         assert_eq!(e.to_string(), "attribute `L` expects STR, got INT");
-        assert!(EventError::OutOfOrder { previous: 5, got: 3 }
-            .to_string()
-            .contains("t3"));
+        assert!(EventError::OutOfOrder {
+            previous: 5,
+            got: 3
+        }
+        .to_string()
+        .contains("t3"));
     }
 }

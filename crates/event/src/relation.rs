@@ -9,10 +9,26 @@ use crate::{Duration, Event, EventError, EventId, Schema, Timestamp, Value};
 ///
 /// This is the paper's input `E`. The matching engine consumes events in
 /// chronological order; [`Relation`] guarantees that order structurally.
+///
+/// # Eviction
+///
+/// For long-running streams the relation supports *front eviction*
+/// ([`Relation::evict_before`]): events older than a cutoff are dropped
+/// while every surviving event keeps its original [`EventId`]. Ids are
+/// positions in the *total* pushed order; `base` records how many of the
+/// oldest have been evicted, so `event(id)` indexes at
+/// `id.index() - base`. Looking up an evicted id panics, exactly like an
+/// out-of-bounds id — callers (the streaming matcher) guarantee they only
+/// dereference retained events.
 #[derive(Debug, Clone)]
 pub struct Relation {
     schema: Schema,
     events: Vec<Event>,
+    /// Number of events evicted from the front; ids `< base` are gone.
+    base: usize,
+    /// Timestamp of the most recently pushed event, cached so the
+    /// chronological-order check survives eviction of the backing vector.
+    last_ts: Option<Timestamp>,
 }
 
 impl Relation {
@@ -21,6 +37,19 @@ impl Relation {
         Relation {
             schema,
             events: Vec::new(),
+            base: 0,
+            last_ts: None,
+        }
+    }
+
+    /// Builds a relation from an already-chronological event vector.
+    fn from_events(schema: Schema, events: Vec<Event>) -> Relation {
+        let last_ts = events.last().map(Event::ts);
+        Relation {
+            schema,
+            events,
+            base: 0,
+            last_ts,
         }
     }
 
@@ -38,32 +67,57 @@ impl Relation {
         &self.schema
     }
 
-    /// Number of events.
+    /// Number of *retained* events. Equal to the total pushed count
+    /// unless [`Relation::evict_before`] has been used.
     pub fn len(&self) -> usize {
         self.events.len()
     }
 
-    /// `true` iff the relation holds no events.
+    /// `true` iff the relation retains no events.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
 
-    /// The events in chronological order.
+    /// Total number of events ever pushed, including evicted ones. The
+    /// next pushed event receives this as its id.
+    pub fn total_len(&self) -> usize {
+        self.base + self.events.len()
+    }
+
+    /// Number of events evicted from the front so far.
+    pub fn evicted(&self) -> usize {
+        self.base
+    }
+
+    /// Index of the oldest retained event — the lower bound for id scans.
+    /// Equal to [`Relation::evicted`]; when the relation is empty this is
+    /// the index the next pushed event will get.
+    pub fn first_index(&self) -> usize {
+        self.base
+    }
+
+    /// The retained events in chronological order.
     pub fn events(&self) -> &[Event] {
         &self.events
     }
 
     /// The event with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` has been evicted or was never pushed.
     pub fn event(&self, id: EventId) -> &Event {
-        &self.events[id.index()]
+        &self.events[id.index() - self.base]
     }
 
-    /// Iterates `(id, event)` pairs in chronological order.
+    /// Iterates `(id, event)` pairs over the retained events in
+    /// chronological order.
     pub fn iter(&self) -> impl Iterator<Item = (EventId, &Event)> {
+        let base = self.base;
         self.events
             .iter()
             .enumerate()
-            .map(|(i, e)| (EventId::from(i), e))
+            .map(move |(i, e)| (EventId::from(base + i), e))
     }
 
     /// Appends an event from raw values, validating schema conformance and
@@ -79,18 +133,41 @@ impl Relation {
     }
 
     /// Appends a pre-built event, validating chronological order only.
+    /// The order check uses the cached last-pushed timestamp, so it keeps
+    /// rejecting out-of-order events even after the tail of the relation
+    /// has been evicted.
     pub fn push_event(&mut self, event: Event) -> Result<EventId, EventError> {
-        if let Some(last) = self.events.last() {
-            if event.ts() < last.ts() {
+        if let Some(last) = self.last_ts {
+            if event.ts() < last {
                 return Err(EventError::OutOfOrder {
-                    previous: last.ts().ticks(),
+                    previous: last.ticks(),
                     got: event.ts().ticks(),
                 });
             }
         }
-        let id = EventId::from(self.events.len());
+        let id = EventId::from(self.base + self.events.len());
+        self.last_ts = Some(event.ts());
         self.events.push(event);
         Ok(id)
+    }
+
+    /// Evicts retained events with `ts < cutoff` from the front of the
+    /// relation, keeping every surviving event's id stable. Returns the
+    /// number of events physically removed.
+    ///
+    /// To keep eviction amortized O(1) per pushed event, the backing
+    /// vector is only compacted when at least half of it is evictable
+    /// (hysteresis); below that threshold the call is a no-op and returns
+    /// 0. Consequently the retained count stays within 2× of the events
+    /// actually inside the cutoff horizon.
+    pub fn evict_before(&mut self, cutoff: Timestamp) -> usize {
+        let evictable = self.events.partition_point(|e| e.ts() < cutoff);
+        if evictable == 0 || evictable * 2 < self.events.len() {
+            return 0;
+        }
+        self.events.drain(..evictable);
+        self.base += evictable;
+        evictable
     }
 
     /// Returns the window size `W` for window width `τ`: the maximal number
@@ -118,10 +195,7 @@ impl Relation {
                 events.push(e.clone());
             }
         }
-        Relation {
-            schema: self.schema.clone(),
-            events,
-        }
+        Relation::from_events(self.schema.clone(), events)
     }
 
     /// Merges several relations over compatible schemas into one
@@ -155,10 +229,7 @@ impl Relation {
             events.push(sources[i].events[cursors[i]].clone());
             cursors[i] += 1;
         }
-        Ok(Relation {
-            schema: first.schema().clone(),
-            events,
-        })
+        Ok(Relation::from_events(first.schema().clone(), events))
     }
 
     /// The sub-relation of events with `lo ≤ T ≤ hi` (inclusive bounds),
@@ -167,10 +238,10 @@ impl Relation {
     pub fn between(&self, lo: Timestamp, hi: Timestamp) -> Relation {
         let from = self.events.partition_point(|e| e.ts() < lo);
         let to = self.events.partition_point(|e| e.ts() <= hi);
-        Relation {
-            schema: self.schema.clone(),
-            events: self.events[from..to.max(from)].to_vec(),
-        }
+        Relation::from_events(
+            self.schema.clone(),
+            self.events[from..to.max(from)].to_vec(),
+        )
     }
 
     /// Splits the relation into tumbling windows of `width` ticks
@@ -190,10 +261,10 @@ impl Relation {
             let end = start.saturating_add(width);
             let to = self.events.partition_point(|e| e.ts() < end);
             if to > idx {
-                out.push(Relation {
-                    schema: self.schema.clone(),
-                    events: self.events[idx..to].to_vec(),
-                });
+                out.push(Relation::from_events(
+                    self.schema.clone(),
+                    self.events[idx..to].to_vec(),
+                ));
                 idx = to;
             }
             if idx < self.events.len() {
@@ -207,14 +278,15 @@ impl Relation {
         out
     }
 
-    /// Timestamp of the first event, if any.
+    /// Timestamp of the first retained event, if any.
     pub fn first_ts(&self) -> Option<Timestamp> {
         self.events.first().map(Event::ts)
     }
 
-    /// Timestamp of the last event, if any.
+    /// Timestamp of the last event ever pushed, if any. Served from a
+    /// cache, so it stays valid even if eviction empties the relation.
     pub fn last_ts(&self) -> Option<Timestamp> {
-        self.events.last().map(Event::ts)
+        self.last_ts
     }
 }
 
@@ -257,8 +329,7 @@ impl RelationBuilder {
     /// Sorts rows stably by timestamp and produces the relation.
     pub fn build(mut self) -> Relation {
         self.rows.sort_by_key(Event::ts);
-        self.relation.events = self.rows;
-        self.relation
+        Relation::from_events(self.relation.schema, self.rows)
     }
 }
 
@@ -278,8 +349,11 @@ mod tests {
     fn rel_with(ts: &[i64]) -> Relation {
         let mut r = Relation::new(schema());
         for (i, t) in ts.iter().enumerate() {
-            r.push_values(Timestamp::new(*t), [Value::from(i as i64), Value::from("X")])
-                .unwrap();
+            r.push_values(
+                Timestamp::new(*t),
+                [Value::from(i as i64), Value::from("X")],
+            )
+            .unwrap();
         }
         r
     }
@@ -287,12 +361,20 @@ mod tests {
     #[test]
     fn push_enforces_order() {
         let mut r = Relation::new(schema());
-        r.push_values(Timestamp::new(5), [1.into(), "A".into()]).unwrap();
-        r.push_values(Timestamp::new(5), [2.into(), "B".into()]).unwrap(); // tie ok
+        r.push_values(Timestamp::new(5), [1.into(), "A".into()])
+            .unwrap();
+        r.push_values(Timestamp::new(5), [2.into(), "B".into()])
+            .unwrap(); // tie ok
         let err = r
             .push_values(Timestamp::new(4), [3.into(), "C".into()])
             .unwrap_err();
-        assert!(matches!(err, EventError::OutOfOrder { previous: 5, got: 4 }));
+        assert!(matches!(
+            err,
+            EventError::OutOfOrder {
+                previous: 5,
+                got: 4
+            }
+        ));
     }
 
     #[test]
@@ -371,7 +453,10 @@ mod tests {
     #[test]
     fn merge_rejects_incompatible_schemas() {
         let a = rel_with(&[0]);
-        let other_schema = Schema::builder().attr("X", crate::AttrType::Int).build().unwrap();
+        let other_schema = Schema::builder()
+            .attr("X", crate::AttrType::Int)
+            .build()
+            .unwrap();
         let b = Relation::new(other_schema);
         assert!(Relation::merge(&[&a, &b]).is_err());
     }
@@ -426,5 +511,73 @@ mod tests {
         assert_eq!(r.last_ts(), Some(Timestamp::new(9)));
         let ids: Vec<_> = r.iter().map(|(id, _)| id.0).collect();
         assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn eviction_keeps_ids_stable() {
+        let mut r = rel_with(&[0, 1, 2, 10, 11]);
+        // 3 of 5 evictable: past the hysteresis threshold.
+        assert_eq!(r.evict_before(Timestamp::new(10)), 3);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.total_len(), 5);
+        assert_eq!(r.evicted(), 3);
+        assert_eq!(r.first_index(), 3);
+        // Survivors answer to their original ids.
+        assert_eq!(r.event(EventId(3)).ts(), Timestamp::new(10));
+        assert_eq!(r.event(EventId(4)).ts(), Timestamp::new(11));
+        let ids: Vec<u32> = r.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![3, 4]);
+        // New pushes continue the id sequence.
+        let id = r
+            .push_values(Timestamp::new(12), [9.into(), "X".into()])
+            .unwrap();
+        assert_eq!(id, EventId(5));
+    }
+
+    #[test]
+    fn eviction_hysteresis_defers_small_compactions() {
+        let mut r = rel_with(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        // Only 1 of 8 evictable: below the half threshold → no-op.
+        assert_eq!(r.evict_before(Timestamp::new(1)), 0);
+        assert_eq!(r.len(), 8);
+        assert_eq!(r.evicted(), 0);
+        // 4 of 8 evictable: exactly at the threshold → compacts.
+        assert_eq!(r.evict_before(Timestamp::new(4)), 4);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.first_ts(), Some(Timestamp::new(4)));
+    }
+
+    #[test]
+    fn eviction_boundary_is_strict() {
+        let mut r = rel_with(&[0, 5, 5, 6]);
+        // Events exactly at the cutoff are retained.
+        assert_eq!(r.evict_before(Timestamp::new(5)), 0); // 1 of 4: hysteresis
+        let mut r2 = rel_with(&[0, 1, 5, 6]);
+        assert_eq!(r2.evict_before(Timestamp::new(5)), 2);
+        assert_eq!(r2.first_ts(), Some(Timestamp::new(5)));
+    }
+
+    #[test]
+    fn order_check_survives_total_eviction() {
+        let mut r = rel_with(&[0, 1, 2, 9]);
+        assert_eq!(r.evict_before(Timestamp::new(10)), 4);
+        assert!(r.is_empty());
+        assert_eq!(r.last_ts(), Some(Timestamp::new(9)));
+        // An event older than the last pushed one is still rejected.
+        let err = r
+            .push_values(Timestamp::new(8), [0.into(), "X".into()])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EventError::OutOfOrder {
+                previous: 9,
+                got: 8
+            }
+        ));
+        assert_eq!(
+            r.push_values(Timestamp::new(9), [0.into(), "X".into()])
+                .unwrap(),
+            EventId(4)
+        );
     }
 }

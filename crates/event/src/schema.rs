@@ -286,10 +286,15 @@ mod tests {
             .check_row(&[1.into(), "C".into(), 1672.5.into(), "mg".into()])
             .is_ok());
         // Int accepted for Float attribute.
-        assert!(s.check_row(&[1.into(), "C".into(), 84.into(), "mgl".into()]).is_ok());
+        assert!(s
+            .check_row(&[1.into(), "C".into(), 84.into(), "mgl".into()])
+            .is_ok());
         assert!(matches!(
             s.check_row(&[1.into(), "C".into(), 1.5.into()]),
-            Err(EventError::ArityMismatch { expected: 4, got: 3 })
+            Err(EventError::ArityMismatch {
+                expected: 4,
+                got: 3
+            })
         ));
         assert!(matches!(
             s.check_row(&[1.into(), 2.into(), 1.5.into(), "mg".into()]),

@@ -224,7 +224,10 @@ mod tests {
 
     #[test]
     fn saturating_add_caps_at_max() {
-        assert_eq!(Timestamp::MAX.saturating_add(Duration::ticks(5)), Timestamp::MAX);
+        assert_eq!(
+            Timestamp::MAX.saturating_add(Duration::ticks(5)),
+            Timestamp::MAX
+        );
         assert_eq!(
             Timestamp::new(0).saturating_add(Duration::ticks(5)),
             Timestamp::new(5)

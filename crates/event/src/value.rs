@@ -149,7 +149,14 @@ pub enum CmpOp {
 
 impl CmpOp {
     /// All six operators.
-    pub const ALL: [CmpOp; 6] = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+    pub const ALL: [CmpOp; 6] = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ];
 
     /// Whether an ordering outcome satisfies the operator.
     #[inline]

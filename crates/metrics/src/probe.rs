@@ -32,6 +32,11 @@ pub struct CountingProbe {
     pub omega_sum: u64,
     /// Number of `|Ω|` samples.
     pub omega_samples: u64,
+    /// Total events evicted by a streaming matcher's watermark.
+    pub events_evicted: u64,
+    /// Peak retained-relation size across streaming pushes. Stays flat
+    /// on unbounded streams when eviction is working.
+    pub retained_max: usize,
 }
 
 impl CountingProbe {
@@ -94,6 +99,12 @@ impl Probe for CountingProbe {
         self.omega_sum += n as u64;
         self.omega_samples += 1;
     }
+    fn events_evicted(&mut self, n: usize) {
+        self.events_evicted += n as u64;
+    }
+    fn retained_events(&mut self, n: usize) {
+        self.retained_max = self.retained_max.max(n);
+    }
 }
 
 /// A probe that additionally records the full per-event `|Ω|` series —
@@ -152,6 +163,12 @@ impl Probe for SeriesProbe {
         self.counts.omega(n);
         self.omega_series.push(n);
     }
+    fn events_evicted(&mut self, n: usize) {
+        self.counts.events_evicted(n);
+    }
+    fn retained_events(&mut self, n: usize) {
+        self.counts.retained_events(n);
+    }
 }
 
 #[cfg(test)]
@@ -180,7 +197,14 @@ mod tests {
         p.omega(3);
         p.omega(7);
         p.omega(2);
+        p.events_evicted(3);
+        p.events_evicted(2);
+        p.retained_events(4);
+        p.retained_events(9);
+        p.retained_events(6);
         assert_eq!(p.events_read, 2);
+        assert_eq!(p.events_evicted, 5);
+        assert_eq!(p.retained_max, 9);
         assert_eq!(p.omega_max, 7);
         assert_eq!(p.omega_samples, 3);
         assert!((p.omega_mean() - 4.0).abs() < 1e-12);

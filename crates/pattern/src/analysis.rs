@@ -46,7 +46,9 @@ impl ComplexityClass {
     /// `u64::MAX`. Useful for plotting predicted vs measured |Ω|.
     pub fn bound(&self, window: u64) -> u64 {
         fn fact(n: u64) -> u64 {
-            (1..=n).try_fold(1u64, |a, b| a.checked_mul(b)).unwrap_or(u64::MAX)
+            (1..=n)
+                .try_fold(1u64, |a, b| a.checked_mul(b))
+                .unwrap_or(u64::MAX)
         }
         fn pow(b: u64, e: u64) -> u64 {
             let e = u32::try_from(e).unwrap_or(u32::MAX);
@@ -109,7 +111,10 @@ impl PatternAnalysis {
         let per_set = (0..pattern.num_sets())
             .map(|s| analysis.classify_set(pattern, s))
             .collect();
-        PatternAnalysis { per_set, ..analysis }
+        PatternAnalysis {
+            per_set,
+            ..analysis
+        }
     }
 
     fn classify_set(&self, pattern: &Pattern, set_idx: usize) -> ComplexityClass {
@@ -127,10 +132,8 @@ impl PatternAnalysis {
     }
 
     fn set_pairwise_exclusive(&self, set: &[VarId]) -> bool {
-        set.iter().all(|&u| {
-            set.iter()
-                .all(|&v| u == v || self.is_exclusive(u, v))
-        })
+        set.iter()
+            .all(|&u| set.iter().all(|&v| u == v || self.is_exclusive(u, v)))
     }
 
     /// `true` iff variables `u` and `v` are provably mutually exclusive
@@ -159,7 +162,11 @@ impl PatternAnalysis {
     /// The worst per-set bound evaluated at window size `W` — the
     /// `|Ω|max` of the paper's overall bound `O(W · |Ω|max^m)`.
     pub fn worst_set_bound(&self, window: u64) -> u64 {
-        self.per_set.iter().map(|c| c.bound(window)).max().unwrap_or(1)
+        self.per_set
+            .iter()
+            .map(|c| c.bound(window))
+            .max()
+            .unwrap_or(1)
     }
 
     /// Number of variables analyzed.
@@ -205,9 +212,9 @@ pub(crate) fn constraints_incompatible(op1: CmpOp, c1: &Value, op2: CmpOp, c2: &
     match (op1, op2) {
         (Eq, Eq) => ord != Ordering::Equal,
         (Eq, Ne) | (Ne, Eq) => ord == Ordering::Equal,
-        (Eq, _) => !op2.eval(ord), // c1 must satisfy φ2 vs c2
+        (Eq, _) => !op2.eval(ord),           // c1 must satisfy φ2 vs c2
         (_, Eq) => !op1.eval(ord.reverse()), // c2 must satisfy φ1 vs c1
-        (Ne, _) | (_, Ne) => false, // rays minus a point are never empty (dense)
+        (Ne, _) | (_, Ne) => false,          // rays minus a point are never empty (dense)
         _ => {
             // Two rays. Empty iff one is a lower ray, the other an upper
             // ray, and they do not overlap.
@@ -235,8 +242,8 @@ pub(crate) fn constraints_incompatible(op1: CmpOp, c1: &Value, op2: CmpOp, c2: &
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ses_event::{AttrType, Duration, Schema};
     use crate::Pattern;
+    use ses_event::{AttrType, Duration, Schema};
 
     fn schema() -> Schema {
         Schema::builder()
@@ -260,7 +267,12 @@ mod tests {
         let a = Value::from(5);
         assert!(constraints_incompatible(CmpOp::Eq, &a, CmpOp::Ne, &a));
         assert!(constraints_incompatible(CmpOp::Ne, &a, CmpOp::Eq, &a));
-        assert!(!constraints_incompatible(CmpOp::Eq, &a, CmpOp::Ne, &Value::from(6)));
+        assert!(!constraints_incompatible(
+            CmpOp::Eq,
+            &a,
+            CmpOp::Ne,
+            &Value::from(6)
+        ));
     }
 
     #[test]
@@ -270,11 +282,21 @@ mod tests {
         // x = 10 ∧ x < 5 → unsat
         assert!(constraints_incompatible(CmpOp::Eq, &ten, CmpOp::Lt, &five));
         // x = 3 ∧ x < 5 → sat
-        assert!(!constraints_incompatible(CmpOp::Eq, &Value::from(3), CmpOp::Lt, &five));
+        assert!(!constraints_incompatible(
+            CmpOp::Eq,
+            &Value::from(3),
+            CmpOp::Lt,
+            &five
+        ));
         // x > 10 ∧ x = 5 → unsat (Eq on the right)
         assert!(constraints_incompatible(CmpOp::Gt, &ten, CmpOp::Eq, &five));
         // x ≥ 5 ∧ x = 5 → sat
-        assert!(!constraints_incompatible(CmpOp::Ge, &five, CmpOp::Eq, &five));
+        assert!(!constraints_incompatible(
+            CmpOp::Ge,
+            &five,
+            CmpOp::Eq,
+            &five
+        ));
         // x < 5 ∧ x = 5 → unsat
         assert!(constraints_incompatible(CmpOp::Lt, &five, CmpOp::Eq, &five));
     }
@@ -290,7 +312,12 @@ mod tests {
         // x < 5 ∧ x ≥ 5 → unsat (touching, one strict)
         assert!(constraints_incompatible(CmpOp::Lt, &five, CmpOp::Ge, &five));
         // x ≤ 5 ∧ x ≥ 5 → sat (both inclusive)
-        assert!(!constraints_incompatible(CmpOp::Le, &five, CmpOp::Ge, &five));
+        assert!(!constraints_incompatible(
+            CmpOp::Le,
+            &five,
+            CmpOp::Ge,
+            &five
+        ));
         // x ≤ 10 ∧ x ≥ 5 → sat (overlap)
         assert!(!constraints_incompatible(CmpOp::Le, &ten, CmpOp::Ge, &five));
         // same direction always sat
@@ -301,8 +328,18 @@ mod tests {
     #[test]
     fn ne_with_rays_is_satisfiable() {
         let five = Value::from(5);
-        assert!(!constraints_incompatible(CmpOp::Ne, &five, CmpOp::Lt, &five));
-        assert!(!constraints_incompatible(CmpOp::Ne, &five, CmpOp::Ne, &five));
+        assert!(!constraints_incompatible(
+            CmpOp::Ne,
+            &five,
+            CmpOp::Lt,
+            &five
+        ));
+        assert!(!constraints_incompatible(
+            CmpOp::Ne,
+            &five,
+            CmpOp::Ne,
+            &five
+        ));
     }
 
     #[test]

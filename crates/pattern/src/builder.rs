@@ -304,7 +304,9 @@ impl PatternBuilder {
             });
         }
 
-        Ok(Pattern::from_parts(vars, sets, conditions, negations, within))
+        Ok(Pattern::from_parts(
+            vars, sets, conditions, negations, within,
+        ))
     }
 }
 

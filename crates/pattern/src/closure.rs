@@ -90,8 +90,7 @@ pub fn equality_closure(pattern: &Pattern) -> Pattern {
     let mut conditions: Vec<Condition> = pattern.conditions().to_vec();
     for i in 0..nodes.len() {
         for j in (i + 1)..nodes.len() {
-            if find(&mut parent, i) != find(&mut parent, j)
-                || already_related(&nodes[i], &nodes[j])
+            if find(&mut parent, i) != find(&mut parent, j) || already_related(&nodes[i], &nodes[j])
             {
                 continue;
             }
@@ -153,7 +152,11 @@ mod tests {
         assert_eq!(closed.num_sets(), p.num_sets());
         assert_eq!(closed.within(), p.within());
         assert_eq!(
-            closed.conditions().iter().filter(|c| c.is_constant()).count(),
+            closed
+                .conditions()
+                .iter()
+                .filter(|c| c.is_constant())
+                .count(),
             1
         );
     }

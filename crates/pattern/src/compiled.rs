@@ -91,7 +91,10 @@ pub struct CompiledPattern {
 }
 
 impl CompiledPattern {
-    pub(crate) fn compile(pattern: Pattern, schema: &Schema) -> Result<CompiledPattern, PatternError> {
+    pub(crate) fn compile(
+        pattern: Pattern,
+        schema: &Schema,
+    ) -> Result<CompiledPattern, PatternError> {
         let mut conditions = Vec::with_capacity(pattern.conditions().len());
         let mut const_conds_by_var = vec![Vec::new(); pattern.num_vars()];
 
@@ -99,17 +102,20 @@ impl CompiledPattern {
             let pretty = || {
                 crate::condition::display_condition(cond, &|v| pattern.var(v).name().to_string())
             };
-            let lhs_attr = schema.attr_id(&cond.lhs.attr).ok_or_else(|| {
-                PatternError::UnknownAttribute {
-                    attr: cond.lhs.attr.to_string(),
-                }
-            })?;
+            let lhs_attr =
+                schema
+                    .attr_id(&cond.lhs.attr)
+                    .ok_or_else(|| PatternError::UnknownAttribute {
+                        attr: cond.lhs.attr.to_string(),
+                    })?;
             let lhs_ty = schema.attr_type(lhs_attr);
             let rhs = match &cond.rhs {
                 Rhs::Const(v) => {
                     if let Value::Float(f) = v {
                         if f.is_nan() {
-                            return Err(PatternError::NanConstant { condition: pretty() });
+                            return Err(PatternError::NanConstant {
+                                condition: pretty(),
+                            });
                         }
                     }
                     if !lhs_ty.comparable_with(v.attr_type()) {
@@ -122,11 +128,12 @@ impl CompiledPattern {
                     CompiledRhs::Const(v.clone())
                 }
                 Rhs::Attr(r) => {
-                    let attr = schema.attr_id(&r.attr).ok_or_else(|| {
-                        PatternError::UnknownAttribute {
-                            attr: r.attr.to_string(),
-                        }
-                    })?;
+                    let attr =
+                        schema
+                            .attr_id(&r.attr)
+                            .ok_or_else(|| PatternError::UnknownAttribute {
+                                attr: r.attr.to_string(),
+                            })?;
                     let rhs_ty = schema.attr_type(attr);
                     if !lhs_ty.comparable_with(rhs_ty) {
                         return Err(PatternError::IncomparableTypes {
@@ -296,7 +303,10 @@ mod tests {
             .build()
             .unwrap();
         let err = p.compile(&schema()).unwrap_err();
-        assert!(matches!(err, PatternError::IncomparableTypes { .. }), "{err}");
+        assert!(
+            matches!(err, PatternError::IncomparableTypes { .. }),
+            "{err}"
+        );
 
         let p = Pattern::builder()
             .set(|s| s.var("a").var("b"))

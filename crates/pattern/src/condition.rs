@@ -58,7 +58,12 @@ pub struct Condition {
 
 impl Condition {
     /// Creates a constant condition `v.A φ C`.
-    pub fn constant(var: VarId, attr: impl AsRef<str>, op: CmpOp, value: impl Into<Value>) -> Condition {
+    pub fn constant(
+        var: VarId,
+        attr: impl AsRef<str>,
+        op: CmpOp,
+        value: impl Into<Value>,
+    ) -> Condition {
         Condition {
             lhs: AttrRef::new(var, attr),
             op,

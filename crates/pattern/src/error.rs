@@ -78,7 +78,11 @@ impl fmt::Display for PatternError {
             PatternError::UnknownAttribute { attr } => {
                 write!(f, "schema has no attribute `{attr}`")
             }
-            PatternError::IncomparableTypes { condition, lhs, rhs } => {
+            PatternError::IncomparableTypes {
+                condition,
+                lhs,
+                rhs,
+            } => {
                 write!(f, "condition `{condition}` compares {lhs} with {rhs}")
             }
             PatternError::NanConstant { condition } => {

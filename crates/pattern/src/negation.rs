@@ -152,11 +152,12 @@ impl CompiledNegation {
                     CompiledNegRhs::Const(v.clone())
                 }
                 Rhs::Attr(r) => {
-                    let rattr = schema.attr_id(&r.attr).ok_or_else(|| {
-                        PatternError::UnknownAttribute {
-                            attr: r.attr.to_string(),
-                        }
-                    })?;
+                    let rattr =
+                        schema
+                            .attr_id(&r.attr)
+                            .ok_or_else(|| PatternError::UnknownAttribute {
+                                attr: r.attr.to_string(),
+                            })?;
                     let rhs_ty = schema.attr_type(rattr);
                     if !lhs_ty.comparable_with(rhs_ty) {
                         return Err(PatternError::IncomparableTypes {

@@ -121,7 +121,10 @@ impl Pattern {
 
     /// Number of group variables in event set pattern `Vi`.
     pub fn group_count(&self, i: usize) -> usize {
-        self.sets[i].iter().filter(|v| self.var(**v).is_group()).count()
+        self.sets[i]
+            .iter()
+            .filter(|v| self.var(**v).is_group())
+            .count()
     }
 
     /// Ids of all group variables.

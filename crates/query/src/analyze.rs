@@ -40,11 +40,7 @@ pub fn analyze(ast: &QueryAst, tick: TickUnit) -> Result<Pattern, QueryError> {
 
     let mut b = Pattern::builder();
     for (i, set) in ast.sets.iter().enumerate() {
-        let vars: Vec<(String, bool)> = set
-            .vars
-            .iter()
-            .map(|v| (v.name.clone(), v.plus))
-            .collect();
+        let vars: Vec<(String, bool)> = set.vars.iter().map(|v| (v.name.clone(), v.plus)).collect();
         b = b.set(move |s| {
             for (name, plus) in &vars {
                 if *plus {
@@ -147,10 +143,9 @@ fn lower_condition(
                 Ok(b.cond_const(var.clone(), attr.clone(), cond.op.flip(), value.clone()))
             }
         }
-        (OperandAst::Literal { pos, .. }, OperandAst::Literal { .. }) => Err(QueryError::at(
-            QueryErrorKind::ConstantComparison,
-            *pos,
-        )),
+        (OperandAst::Literal { pos, .. }, OperandAst::Literal { .. }) => {
+            Err(QueryError::at(QueryErrorKind::ConstantComparison, *pos))
+        }
     }
 }
 
@@ -215,10 +210,7 @@ mod tests {
         assert_eq!(p.within(), Duration::hours(264));
         assert!(p.var(p.var_id("p").unwrap()).is_group());
         // Equivalent to the programmatic Q1 up to display.
-        assert_eq!(
-            p.to_string(),
-            ses_workload_free_q1().to_string()
-        );
+        assert_eq!(p.to_string(), ses_workload_free_q1().to_string());
     }
 
     /// A local copy of Q1 built programmatically (this crate must not
@@ -330,11 +322,7 @@ mod tests {
         .unwrap();
         assert_eq!(p.negations()[0].conditions().len(), 1);
         // `5 > x.V` becomes `x.V < 5`.
-        let p = pattern(
-            "PATTERN a THEN NOT x THEN b WHERE 5 > x.ID",
-            TickUnit::Hour,
-        )
-        .unwrap();
+        let p = pattern("PATTERN a THEN NOT x THEN b WHERE 5 > x.ID", TickUnit::Hour).unwrap();
         let c = &p.negations()[0].conditions()[0];
         assert_eq!(c.op, CmpOp::Lt);
     }

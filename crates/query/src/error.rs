@@ -86,7 +86,10 @@ impl fmt::Display for QueryError {
                 write!(f, "condition references undeclared variable `{v}`")
             }
             QueryErrorKind::ConstantComparison => {
-                write!(f, "at least one side of a condition must be `variable.attribute`")
+                write!(
+                    f,
+                    "at least one side of a condition must be `variable.attribute`"
+                )
             }
             QueryErrorKind::BothNegated { lhs, rhs } => write!(
                 f,

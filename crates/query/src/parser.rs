@@ -350,11 +350,17 @@ mod tests {
         assert_eq!(ast.conditions.len(), 5);
         assert!(matches!(
             &ast.conditions[0].rhs,
-            OperandAst::Literal { value: Value::Int(5), .. }
+            OperandAst::Literal {
+                value: Value::Int(5),
+                ..
+            }
         ));
         assert!(matches!(
             &ast.conditions[3].rhs,
-            OperandAst::Literal { value: Value::Bool(true), .. }
+            OperandAst::Literal {
+                value: Value::Bool(true),
+                ..
+            }
         ));
     }
 

@@ -128,7 +128,10 @@ mod tests {
             .build()
             .unwrap();
         let text = render(&q1);
-        assert!(text.starts_with("PATTERN PERMUTE(c, p+, d) THEN b"), "{text}");
+        assert!(
+            text.starts_with("PATTERN PERMUTE(c, p+, d) THEN b"),
+            "{text}"
+        );
         assert!(text.contains("c.L = 'C'"));
         assert!(text.contains("c.ID = p.ID"));
         assert!(text.ends_with("WITHIN 264 TICKS"));

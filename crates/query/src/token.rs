@@ -249,10 +249,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, QueryError> {
                     bump!();
                     Tok::Ne
                 } else {
-                    return Err(QueryError::at(
-                        QueryErrorKind::UnexpectedChar('!'),
-                        start,
-                    ));
+                    return Err(QueryError::at(QueryErrorKind::UnexpectedChar('!'), start));
                 }
             }
             '<' => {
@@ -284,10 +281,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, QueryError> {
                 loop {
                     match bump!() {
                         None => {
-                            return Err(QueryError::at(
-                                QueryErrorKind::UnterminatedString,
-                                start,
-                            ))
+                            return Err(QueryError::at(QueryErrorKind::UnterminatedString, start))
                         }
                         Some('\'') => {
                             if chars.peek() == Some(&'\'') {
@@ -393,11 +387,14 @@ mod tests {
 
     #[test]
     fn keywords_are_case_insensitive_idents_are_not() {
-        assert_eq!(toks("pattern Pattern PATTERN")[..3].to_vec(), vec![
-            Tok::Kw(Keyword::Pattern);
-            3
-        ]);
-        assert_eq!(toks("Foo foo")[..2], [Tok::Ident("Foo".into()), Tok::Ident("foo".into())]);
+        assert_eq!(
+            toks("pattern Pattern PATTERN")[..3].to_vec(),
+            vec![Tok::Kw(Keyword::Pattern); 3]
+        );
+        assert_eq!(
+            toks("Foo foo")[..2],
+            [Tok::Ident("Foo".into()), Tok::Ident("foo".into())]
+        );
     }
 
     #[test]
@@ -407,7 +404,10 @@ mod tests {
         assert_eq!(toks("3.5")[0], Tok::Float(3.5));
         assert_eq!(toks("-0.25")[0], Tok::Float(-0.25));
         // `1.x` stops before the dot (attribute access on a weird name).
-        assert_eq!(toks("1.x")[..3], [Tok::Int(1), Tok::Dot, Tok::Ident("x".into())]);
+        assert_eq!(
+            toks("1.x")[..3],
+            [Tok::Int(1), Tok::Dot, Tok::Ident("x".into())]
+        );
     }
 
     #[test]
@@ -421,7 +421,15 @@ mod tests {
     fn comparison_operators() {
         assert_eq!(
             toks("= != <> < <= > >=")[..7],
-            [Tok::Eq, Tok::Ne, Tok::Ne, Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge]
+            [
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Ne,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge
+            ]
         );
         assert!(lex("!x").is_err());
     }

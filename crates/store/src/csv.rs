@@ -176,9 +176,7 @@ impl<'a> RecordReader<'a> {
             } else {
                 match c {
                     '"' if !field_started => in_quotes = true,
-                    '"' => {
-                        return Err((self.line, "stray quote inside unquoted field".into()))
-                    }
+                    '"' => return Err((self.line, "stray quote inside unquoted field".into())),
                     ',' => {
                         fields.push(std::mem::take(&mut field));
                         field_started = false;
@@ -406,8 +404,10 @@ mod tests {
     fn bool_values() {
         let schema = Schema::builder().attr("B", AttrType::Bool).build().unwrap();
         let mut r = Relation::new(schema);
-        r.push_values(Timestamp::new(0), [Value::Bool(true)]).unwrap();
-        r.push_values(Timestamp::new(1), [Value::Bool(false)]).unwrap();
+        r.push_values(Timestamp::new(0), [Value::Bool(true)])
+            .unwrap();
+        r.push_values(Timestamp::new(1), [Value::Bool(false)])
+            .unwrap();
         let rt = round_trip(&r);
         assert_eq!(rt.events()[0].values()[0], Value::Bool(true));
         assert_eq!(rt.events()[1].values()[0], Value::Bool(false));

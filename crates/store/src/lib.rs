@@ -22,8 +22,8 @@
 
 mod catalog;
 mod csv;
-mod log;
 mod error;
+mod log;
 mod store;
 
 pub use catalog::Catalog;

@@ -454,8 +454,7 @@ fn parse_segment_header(path: &Path, data: &[u8]) -> Result<(Schema, usize), Sto
             message: format!("{} is not a SESLOG1 segment", path.display()),
         });
     }
-    let header_len =
-        u16::from_le_bytes([data[MAGIC.len()], data[MAGIC.len() + 1]]) as usize;
+    let header_len = u16::from_le_bytes([data[MAGIC.len()], data[MAGIC.len() + 1]]) as usize;
     let header_start = MAGIC.len() + 2;
     if data.len() < header_start + header_len {
         return Err(StoreError::Parse {
@@ -463,10 +462,12 @@ fn parse_segment_header(path: &Path, data: &[u8]) -> Result<(Schema, usize), Sto
             message: "truncated segment header".into(),
         });
     }
-    let header = std::str::from_utf8(&data[header_start..header_start + header_len])
-        .map_err(|_| StoreError::Parse {
-            line: 0,
-            message: "segment header is not UTF-8".into(),
+    let header =
+        std::str::from_utf8(&data[header_start..header_start + header_len]).map_err(|_| {
+            StoreError::Parse {
+                line: 0,
+                message: "segment header is not UTF-8".into(),
+            }
         })?;
     Ok((parse_header(header)?, header_start + header_len))
 }
@@ -517,15 +518,11 @@ fn read_segment_events(
     loop {
         match next_record(&data, offset, schema) {
             RecordOutcome::Record { next, .. } => {
-                let len = u32::from_le_bytes(
-                    data[offset..offset + 4].try_into().expect("4 bytes"),
-                ) as usize;
+                let len = u32::from_le_bytes(data[offset..offset + 4].try_into().expect("4 bytes"))
+                    as usize;
                 let payload = &data[offset + 12..offset + 12 + len];
-                let (ts, values) =
-                    decode_payload(payload, schema).map_err(|message| StoreError::Parse {
-                        line: 0,
-                        message,
-                    })?;
+                let (ts, values) = decode_payload(payload, schema)
+                    .map_err(|message| StoreError::Parse { line: 0, message })?;
                 sink(ts, values)?;
                 offset = next;
             }
@@ -717,9 +714,7 @@ mod tests {
     fn schema_violations_and_order_are_enforced() {
         let dir = temp_dir("checks");
         let mut log = EventLog::create(&dir, schema(), LogConfig::default()).unwrap();
-        assert!(log
-            .append(Timestamp::new(0), vec![Value::Int(1)])
-            .is_err());
+        assert!(log.append(Timestamp::new(0), vec![Value::Int(1)]).is_err());
         log.append(Timestamp::new(5), row(1)).unwrap();
         assert!(matches!(
             log.append(Timestamp::new(4), row(2)),
@@ -734,7 +729,8 @@ mod tests {
         let s = Schema::builder().attr("S", AttrType::Str).build().unwrap();
         let mut log = EventLog::create(&dir, s, LogConfig::default()).unwrap();
         let nasty = "commas, \"quotes\", newlines\n, unicode ¬∃γ, and '' quotes";
-        log.append(Timestamp::new(0), vec![Value::str(nasty)]).unwrap();
+        log.append(Timestamp::new(0), vec![Value::str(nasty)])
+            .unwrap();
         let rel = log.scan().unwrap();
         assert_eq!(rel.events()[0].values()[0], Value::str(nasty));
         std::fs::remove_dir_all(&dir).ok();

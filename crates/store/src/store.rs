@@ -142,11 +142,7 @@ impl EventStore {
     }
 
     /// The sub-store of events with `lo ≤ T ≤ hi` (inclusive).
-    pub fn between(
-        &self,
-        lo: ses_event::Timestamp,
-        hi: ses_event::Timestamp,
-    ) -> EventStore {
+    pub fn between(&self, lo: ses_event::Timestamp, hi: ses_event::Timestamp) -> EventStore {
         EventStore {
             name: format!("{}[{}..{}]", self.name, lo.ticks(), hi.ticks()),
             relation: self.relation.between(lo, hi),
@@ -209,10 +205,7 @@ mod tests {
         let loaded = EventStore::load_csv(&path).unwrap();
         assert_eq!(loaded.name(), "sample");
         assert_eq!(loaded.len(), 4);
-        assert_eq!(
-            loaded.relation().events()[2].values()[1],
-            Value::from("C")
-        );
+        assert_eq!(loaded.relation().events()[2].values()[1], Value::from("C"));
         // Schema validation path.
         let ok = EventStore::load_csv_with_schema(&path, store.relation().schema());
         assert!(ok.is_ok());

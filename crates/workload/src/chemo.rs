@@ -118,17 +118,45 @@ pub fn generate(config: &ChemoConfig) -> Relation {
             let jitter = |rng: &mut StdRng| rng.random_range(-1..=1);
 
             // Pre-cycle blood count on day −1.
-            push(&mut rows, id, "B", who_tox(&mut rng), "WHO-Tox", day0 - 24 + 9 + jitter(&mut rng));
+            push(
+                &mut rows,
+                id,
+                "B",
+                who_tox(&mut rng),
+                "WHO-Tox",
+                day0 - 24 + 9 + jitter(&mut rng),
+            );
 
             // Day 1: C at 9 am, V at 10 am, D at 11 am.
-            push(&mut rows, id, "C", dose(&mut rng, c_dose), "mg", day0 + 9 + jitter(&mut rng));
+            push(
+                &mut rows,
+                id,
+                "C",
+                dose(&mut rng, c_dose),
+                "mg",
+                day0 + 9 + jitter(&mut rng),
+            );
             push(&mut rows, id, "V", 2.0, "mg", day0 + 10);
-            push(&mut rows, id, "D", dose(&mut rng, d_dose), "mgl", day0 + 11 + jitter(&mut rng));
+            push(
+                &mut rows,
+                id,
+                "D",
+                dose(&mut rng, d_dose),
+                "mgl",
+                day0 + 11 + jitter(&mut rng),
+            );
             if rng.random_bool(config.rituximab_prob) {
                 push(&mut rows, id, "R", 375.0, "mg", day0 + 8);
             }
             if rng.random_bool(config.asparaginase_prob) {
-                push(&mut rows, id, "L", rng.random_range(5000.0..7000.0), "IU", day0 + 13);
+                push(
+                    &mut rows,
+                    id,
+                    "L",
+                    rng.random_range(5000.0..7000.0),
+                    "IU",
+                    day0 + 13,
+                );
             }
 
             // Days 1–5: P at 10 am.
@@ -144,8 +172,22 @@ pub fn generate(config: &ChemoConfig) -> Relation {
             }
 
             // Mid-cycle and recovery blood counts (days 7 and 14).
-            push(&mut rows, id, "B", who_tox(&mut rng), "WHO-Tox", day0 + 7 * 24 + 9 + jitter(&mut rng));
-            push(&mut rows, id, "B", who_tox(&mut rng), "WHO-Tox", day0 + 14 * 24 + 9 + jitter(&mut rng));
+            push(
+                &mut rows,
+                id,
+                "B",
+                who_tox(&mut rng),
+                "WHO-Tox",
+                day0 + 7 * 24 + 9 + jitter(&mut rng),
+            );
+            push(
+                &mut rows,
+                id,
+                "B",
+                who_tox(&mut rng),
+                "WHO-Tox",
+                day0 + 14 * 24 + 9 + jitter(&mut rng),
+            );
 
             // Auxiliary clinical events: labs, vitals, supportive care.
             // These dominate real ward data and are exactly what the
@@ -156,7 +198,14 @@ pub fn generate(config: &ChemoConfig) -> Relation {
                     if rng.random_bool(expected.min(1.0)) {
                         let ty = AUX_TYPES[rng.random_range(0..AUX_TYPES.len())];
                         let hour = day0 + day * 24 + rng.random_range(7..20);
-                        push(&mut rows, id, ty, rng.random_range(0.0..200.0), "misc", hour);
+                        push(
+                            &mut rows,
+                            id,
+                            ty,
+                            rng.random_range(0.0..200.0),
+                            "misc",
+                            hour,
+                        );
                     }
                     expected -= 1.0;
                 }
@@ -167,7 +216,9 @@ pub fn generate(config: &ChemoConfig) -> Relation {
     let mut builder = Relation::builder(schema());
     rows.sort_by_key(|(ts, _)| *ts);
     for (ts, values) in rows {
-        builder = builder.row(ts, values).expect("generated rows are well-typed");
+        builder = builder
+            .row(ts, values)
+            .expect("generated rows are well-typed");
     }
     builder.build()
 }

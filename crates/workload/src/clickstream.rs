@@ -66,38 +66,40 @@ pub fn generate(config: &ClickstreamConfig) -> Relation {
     let mut user = 0i64;
 
     let click = |rows: &mut Vec<(Timestamp, Vec<Value>)>, user: i64, page: &str, t: i64| {
-        rows.push((Timestamp::new(t), vec![Value::from(user), Value::from(page)]));
+        rows.push((
+            Timestamp::new(t),
+            vec![Value::from(user), Value::from(page)],
+        ));
     };
 
-    let mut session = |rng: &mut StdRng,
-                       rows: &mut Vec<(Timestamp, Vec<Value>)>,
-                       kind: SessionKind| {
-        user += 1;
-        let start = rng.random_range(0..config.horizon_seconds - 1800);
-        let mut t = start;
-        // Noise clicks sprinkled through the session.
-        for _ in 0..config.noise_clicks {
-            t += rng.random_range(5..60);
-            let page = NOISE_PAGES[rng.random_range(0..NOISE_PAGES.len())];
-            click(rows, user, page, t);
-        }
-        if kind == SessionKind::Browser {
-            return;
-        }
-        // The research steps, in a random order.
-        let mut steps = ["product", "reviews", "shipping"];
-        steps.shuffle(rng);
-        for step in steps {
-            t += rng.random_range(10..120);
-            click(rows, user, step, t);
-        }
-        if kind == SessionKind::Interrupted {
-            t += rng.random_range(5..60);
-            click(rows, user, "support_ticket", t);
-        }
-        t += rng.random_range(30..300);
-        click(rows, user, "checkout", t);
-    };
+    let mut session =
+        |rng: &mut StdRng, rows: &mut Vec<(Timestamp, Vec<Value>)>, kind: SessionKind| {
+            user += 1;
+            let start = rng.random_range(0..config.horizon_seconds - 1800);
+            let mut t = start;
+            // Noise clicks sprinkled through the session.
+            for _ in 0..config.noise_clicks {
+                t += rng.random_range(5..60);
+                let page = NOISE_PAGES[rng.random_range(0..NOISE_PAGES.len())];
+                click(rows, user, page, t);
+            }
+            if kind == SessionKind::Browser {
+                return;
+            }
+            // The research steps, in a random order.
+            let mut steps = ["product", "reviews", "shipping"];
+            steps.shuffle(rng);
+            for step in steps {
+                t += rng.random_range(10..120);
+                click(rows, user, step, t);
+            }
+            if kind == SessionKind::Interrupted {
+                t += rng.random_range(5..60);
+                click(rows, user, "support_ticket", t);
+            }
+            t += rng.random_range(30..300);
+            click(rows, user, "checkout", t);
+        };
 
     #[derive(PartialEq, Clone, Copy)]
     enum SessionKind {
@@ -119,7 +121,9 @@ pub fn generate(config: &ClickstreamConfig) -> Relation {
     rows.sort_by_key(|(ts, _)| *ts);
     let mut builder = Relation::builder(schema());
     for (ts, values) in rows {
-        builder = builder.row(ts, values).expect("generated rows are well-typed");
+        builder = builder
+            .row(ts, values)
+            .expect("generated rows are well-typed");
     }
     builder.build()
 }
@@ -128,8 +132,7 @@ pub fn generate(config: &ClickstreamConfig) -> Relation {
 /// shipping info in **any order**, then checkout — same user, within
 /// `window` — optionally with no intervening support ticket.
 pub fn funnel_pattern(window: Duration, exclude_tickets: bool) -> Pattern {
-    let mut b = Pattern::builder()
-        .set(|s| s.var("product").var("reviews").var("shipping"));
+    let mut b = Pattern::builder().set(|s| s.var("product").var("reviews").var("shipping"));
     if exclude_tickets {
         b = b.negate("ticket");
     }

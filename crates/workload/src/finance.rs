@@ -113,7 +113,9 @@ pub fn generate(config: &FinanceConfig) -> Relation {
     rows.sort_by_key(|(ts, _)| *ts);
     let mut builder = Relation::builder(schema());
     for (ts, values) in rows {
-        builder = builder.row(ts, values).expect("generated rows are well-typed");
+        builder = builder
+            .row(ts, values)
+            .expect("generated rows are well-typed");
     }
     builder.build()
 }
@@ -178,7 +180,13 @@ mod tests {
             .iter()
             .filter(|e| matches!(e.values()[3], Value::Int(q) if q >= 10_000))
             .map(|e| match &e.values()[1] {
-                Value::Str(s) => if s.as_ref() == "BUY" { "B" } else { "S" },
+                Value::Str(s) => {
+                    if s.as_ref() == "BUY" {
+                        "B"
+                    } else {
+                        "S"
+                    }
+                }
                 _ => unreachable!(),
             })
             .collect();

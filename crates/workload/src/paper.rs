@@ -37,20 +37,20 @@ fn jul(day: i64, hour: i64) -> Timestamp {
 /// The event relation of Figure 1 (events `e1…e14`).
 pub fn figure1() -> Relation {
     let rows: [(i64, &str, f64, &str, i64, i64); 14] = [
-        (1, "C", 1672.5, "mg", 3, 9),       // e1
-        (1, "B", 0.0, "WHO-Tox", 3, 10),    // e2
-        (1, "D", 84.0, "mgl", 3, 11),       // e3
-        (1, "P", 111.5, "mg", 4, 9),        // e4
-        (2, "B", 0.0, "WHO-Tox", 5, 9),     // e5
-        (2, "P", 88.0, "mg", 5, 10),        // e6
-        (2, "D", 84.0, "mgl", 5, 11),       // e7
-        (2, "C", 1320.0, "mg", 6, 9),       // e8
-        (1, "P", 111.5, "mg", 6, 10),       // e9
-        (2, "P", 88.0, "mg", 6, 11),        // e10
-        (2, "P", 88.0, "mg", 7, 9),         // e11
-        (1, "B", 1.0, "WHO-Tox", 12, 9),    // e12
-        (2, "B", 1.0, "WHO-Tox", 13, 9),    // e13
-        (2, "B", 0.0, "WHO-Tox", 14, 9),    // e14
+        (1, "C", 1672.5, "mg", 3, 9),    // e1
+        (1, "B", 0.0, "WHO-Tox", 3, 10), // e2
+        (1, "D", 84.0, "mgl", 3, 11),    // e3
+        (1, "P", 111.5, "mg", 4, 9),     // e4
+        (2, "B", 0.0, "WHO-Tox", 5, 9),  // e5
+        (2, "P", 88.0, "mg", 5, 10),     // e6
+        (2, "D", 84.0, "mgl", 5, 11),    // e7
+        (2, "C", 1320.0, "mg", 6, 9),    // e8
+        (1, "P", 111.5, "mg", 6, 10),    // e9
+        (2, "P", 88.0, "mg", 6, 11),     // e10
+        (2, "P", 88.0, "mg", 7, 9),      // e11
+        (1, "B", 1.0, "WHO-Tox", 12, 9), // e12
+        (2, "B", 1.0, "WHO-Tox", 13, 9), // e13
+        (2, "B", 0.0, "WHO-Tox", 14, 9), // e14
     ];
     let mut rel = Relation::new(schema());
     for (id, l, v, u, day, hour) in rows {
@@ -97,8 +97,7 @@ fn experiment_pattern(var_specs: &[(&str, bool, &str)]) -> Pattern {
         .collect();
     let mut b = Pattern::builder();
     {
-        let names: Vec<(String, bool)> =
-            specs.iter().map(|(n, g, _)| (n.clone(), *g)).collect();
+        let names: Vec<(String, bool)> = specs.iter().map(|(n, g, _)| (n.clone(), *g)).collect();
         b = b.set(move |s| {
             for (name, group) in &names {
                 if *group {
@@ -240,7 +239,10 @@ mod tests {
             ComplexityClass::GroupPolynomial { n: 3 }
         );
         let p4 = exp2_p4().compile(&s).unwrap();
-        assert_eq!(p4.analysis().set_class(0), ComplexityClass::Factorial { n: 3 });
+        assert_eq!(
+            p4.analysis().set_class(0),
+            ComplexityClass::Factorial { n: 3 }
+        );
         let p5 = exp3_p5().compile(&s).unwrap();
         assert_eq!(p5.analysis().set_class(0), ComplexityClass::Constant);
         let p6 = exp3_p6().compile(&s).unwrap();

@@ -60,28 +60,26 @@ pub fn generate(config: &RfidConfig) -> Relation {
     let mut rows: Vec<(Timestamp, Vec<Value>)> = Vec::new();
     let mut tag = 0i64;
 
-    let mut journey = |rng: &mut StdRng, rows: &mut Vec<(Timestamp, Vec<Value>)>, complete: bool| {
-        tag += 1;
-        let start = rng.random_range(0..config.horizon_seconds - config.journey_seconds);
-        let mut stations = vec!["pack", "weigh", "label"];
-        stations.shuffle(rng);
-        if !complete {
-            stations.pop(); // skip one pre-ship station
-        }
-        let mut t = start;
-        for loc in &stations {
-            t += rng.random_range(30..config.journey_seconds / 5);
+    let mut journey =
+        |rng: &mut StdRng, rows: &mut Vec<(Timestamp, Vec<Value>)>, complete: bool| {
+            tag += 1;
+            let start = rng.random_range(0..config.horizon_seconds - config.journey_seconds);
+            let mut stations = vec!["pack", "weigh", "label"];
+            stations.shuffle(rng);
+            if !complete {
+                stations.pop(); // skip one pre-ship station
+            }
+            let mut t = start;
+            for loc in &stations {
+                t += rng.random_range(30..config.journey_seconds / 5);
+                rows.push((Timestamp::new(t), vec![Value::from(tag), Value::from(*loc)]));
+            }
+            t += rng.random_range(60..config.journey_seconds / 4);
             rows.push((
                 Timestamp::new(t),
-                vec![Value::from(tag), Value::from(*loc)],
+                vec![Value::from(tag), Value::from("ship")],
             ));
-        }
-        t += rng.random_range(60..config.journey_seconds / 4);
-        rows.push((
-            Timestamp::new(t),
-            vec![Value::from(tag), Value::from("ship")],
-        ));
-    };
+        };
 
     for _ in 0..config.complete_parcels {
         journey(&mut rng, &mut rows, true);
@@ -93,7 +91,9 @@ pub fn generate(config: &RfidConfig) -> Relation {
     rows.sort_by_key(|(ts, _)| *ts);
     let mut builder = Relation::builder(schema());
     for (ts, values) in rows {
-        builder = builder.row(ts, values).expect("generated rows are well-typed");
+        builder = builder
+            .row(ts, values)
+            .expect("generated rows are well-typed");
     }
     builder.build()
 }

@@ -37,7 +37,9 @@ fn main() {
     let matches = matcher.find_with_probe(&relation, &mut probe);
     println!("\nmatching substitutions (Example 1's intended results):");
     for m in &matches {
-        let patient = relation.event(m.first_event()).value_by_name("ID", relation.schema());
+        let patient = relation
+            .event(m.first_event())
+            .value_by_name("ID", relation.schema());
         println!(
             "  patient {}: {}  (span {} hours)",
             patient.expect("ID exists"),
@@ -50,7 +52,10 @@ fn main() {
         probe.omega_max, probe.transitions_evaluated, probe.events_filtered,
     );
     assert_eq!(matches.len(), 2);
-    assert_eq!(matches[0].display_with(&q1), "{c/e1, d/e3, p+/e4, p+/e9, b/e12}");
+    assert_eq!(
+        matches[0].display_with(&q1),
+        "{c/e1, d/e3, p+/e4, p+/e9, b/e12}"
+    );
     assert_eq!(
         matches[1].display_with(&q1),
         "{p+/e6, d/e7, c/e8, p+/e10, p+/e11, b/e13}"
@@ -77,7 +82,12 @@ fn main() {
     for m in &matches {
         let ids: std::collections::BTreeSet<String> = m
             .events()
-            .map(|e| ward.event(e).value_by_name("ID", ward.schema()).unwrap().to_string())
+            .map(|e| {
+                ward.event(e)
+                    .value_by_name("ID", ward.schema())
+                    .unwrap()
+                    .to_string()
+            })
             .collect();
         assert_eq!(ids.len(), 1, "matches never mix patients");
         assert!(m.span(&ward) <= Duration::hours(264));

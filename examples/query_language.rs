@@ -34,12 +34,12 @@ WITHIN 11 DAYS  -- 264 hours";
     // Error reporting carries positions.
     println!("error examples:");
     for bad in [
-        "PATTERN PERMUTE(a a)",             // missing comma
-        "PATTERN a WHERE a.X = ",           // missing operand
-        "PATTERN a WHERE zz.L = 'C'",       // unknown variable
-        "PATTERN a THEN a",                 // duplicate variable
-        "PATTERN a WITHIN 90 SECONDS",      // not a whole number of hour-ticks
-        "PATTERN a WHERE 1 = 2",            // constant comparison
+        "PATTERN PERMUTE(a a)",        // missing comma
+        "PATTERN a WHERE a.X = ",      // missing operand
+        "PATTERN a WHERE zz.L = 'C'",  // unknown variable
+        "PATTERN a THEN a",            // duplicate variable
+        "PATTERN a WITHIN 90 SECONDS", // not a whole number of hour-ticks
+        "PATTERN a WHERE 1 = 2",       // constant comparison
     ] {
         let err = ses::query::parse_pattern(bad, TickUnit::Hour).unwrap_err();
         println!("  {bad:<32} → {err}");

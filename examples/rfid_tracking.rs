@@ -42,10 +42,7 @@ fn main() {
     println!("parcels matched: {}", matched_tags.len());
     // Tags 1..=complete are complete; the rest skipped a station.
     let complete: BTreeSet<i64> = (1..=cfg.complete_parcels as i64).collect();
-    assert_eq!(
-        matched_tags, complete,
-        "exactly the complete parcels match"
-    );
+    assert_eq!(matched_tags, complete, "exactly the complete parcels match");
     println!("all complete parcels matched, no incomplete parcel matched ✓");
 
     // Show the variety of station orders the single SES pattern covered.

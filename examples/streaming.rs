@@ -1,5 +1,6 @@
-//! Push-based streaming: feed events one at a time and receive matches
-//! as their windows close — no batch relation required up front.
+//! Push-based streaming: feed events one at a time and receive finalized
+//! matches as soon as the watermark closes their windows — while old
+//! events are evicted to keep memory bounded.
 //!
 //! Run with: `cargo run --example streaming`
 
@@ -42,26 +43,31 @@ fn main() {
         (60, "web-1", "heartbeat"), // far future: expires open windows
     ];
 
+    let mut incidents = 0;
     for (t, host, kind) in feed {
         let emitted = stream
             .push(Timestamp::new(t), [Value::from(host), Value::from(kind)])
             .expect("events arrive in order");
         println!(
-            "t={t:<3} {host:<6} {kind:<14} |Ω|={:<3} emitted={}",
+            "t={t:<3} {host:<6} {kind:<14} |Ω|={:<3} retained={:<3} evicted={:<3} emitted={}",
             stream.active_instances(),
+            stream.retained_events(),
+            stream.evicted_events(),
             emitted.len()
         );
         for m in &emitted {
-            println!("      ⚠ incident window closed: {}", m.display_with(&pattern));
+            println!("      ⚠ incident finalized: {}", m.display_with(&pattern));
         }
+        incidents += emitted.len();
     }
 
-    // End of stream: flush still-open accepting instances and apply the
-    // full Definition-2 semantics over everything seen.
+    // End of stream: flush still-open accepting instances and finalize
+    // whatever the watermark had not yet decided.
     let final_matches = stream.finish();
-    println!("\nfinal incident reports: {}", final_matches.len());
+    println!("\nflushed at end of stream: {}", final_matches.len());
     for m in &final_matches {
         println!("  {}", m.display_with(&pattern));
     }
-    assert_eq!(final_matches.len(), 2, "one incident per host");
+    incidents += final_matches.len();
+    assert_eq!(incidents, 2, "one incident per host");
 }

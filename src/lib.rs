@@ -80,8 +80,8 @@ pub use ses_workload as workload;
 pub mod prelude {
     pub use ses_baseline::BruteForce;
     pub use ses_core::{
-        EventSelection, FilterMode, Match, Matcher, MatcherOptions, MatchSemantics,
-        MultiMatcher, NoProbe, Probe, StreamMatcher,
+        EventSelection, FilterMode, Match, MatchSemantics, Matcher, MatcherOptions, MultiMatcher,
+        NoProbe, Probe, StreamMatcher,
     };
     pub use ses_event::{
         AttrType, CmpOp, Duration, Event, EventId, Relation, Schema, Timestamp, Value,

@@ -14,9 +14,35 @@
 //! the helper cannot check that contract for you.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use ses_core::{Match, Matcher};
-use ses_event::{AttrId, EventId, Relation};
+use ses_event::{AttrId, EventId, Relation, Value};
+
+/// A hashable view of a partitioning attribute's value. [`Value`] itself
+/// is not `Hash` (floats), so partitioning hashes this instead — without
+/// the per-event `String` rendering it once did: ints, bools, and floats
+/// copy bits, and strings bump the existing `Arc` refcount.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum PartitionKey {
+    Int(i64),
+    /// Float partitions compare by bit pattern — exact-value grouping,
+    /// which is the only sensible equality for a partition key.
+    Bits(u64),
+    Str(Arc<str>),
+    Bool(bool),
+}
+
+impl PartitionKey {
+    fn of(value: &Value) -> PartitionKey {
+        match value {
+            Value::Int(i) => PartitionKey::Int(*i),
+            Value::Float(f) => PartitionKey::Bits(f.to_bits()),
+            Value::Str(s) => PartitionKey::Str(Arc::clone(s)),
+            Value::Bool(b) => PartitionKey::Bool(*b),
+        }
+    }
+}
 
 /// Matches `relation` per distinct value of `key`, in parallel, and
 /// returns all matches with bindings expressed in the *original*
@@ -24,10 +50,10 @@ use ses_event::{AttrId, EventId, Relation};
 pub fn find_partitioned(matcher: &Matcher, relation: &Relation, key: AttrId) -> Vec<Match> {
     // Split into per-key partitions, remembering each partition event's
     // original id.
-    let mut order: Vec<String> = Vec::new();
-    let mut partitions: HashMap<String, (Relation, Vec<EventId>)> = HashMap::new();
+    let mut order: Vec<PartitionKey> = Vec::new();
+    let mut partitions: HashMap<PartitionKey, (Relation, Vec<EventId>)> = HashMap::new();
     for (id, event) in relation.iter() {
-        let k = event.value(key).to_string();
+        let k = PartitionKey::of(event.value(key));
         let entry = partitions.entry(k.clone()).or_insert_with(|| {
             order.push(k);
             (Relation::new(relation.schema().clone()), Vec::new())
@@ -87,9 +113,7 @@ mod tests {
 
     #[test]
     fn partitioned_equals_global_on_q1() {
-        let ward = crate::workload::chemo::generate(
-            &crate::workload::chemo::ChemoConfig::small(),
-        );
+        let ward = crate::workload::chemo::generate(&crate::workload::chemo::ChemoConfig::small());
         let q1 = crate::workload::paper::query_q1();
         let matcher = Matcher::compile(&q1, ward.schema()).unwrap();
         let key = ward.schema().attr_id("ID").unwrap();
@@ -99,6 +123,73 @@ mod tests {
         let parallel = find_partitioned(&matcher, &ward, key);
         assert_eq!(parallel, global);
         assert!(!parallel.is_empty());
+    }
+
+    #[test]
+    fn partitioned_equals_global_on_string_key() {
+        // A `Str` partition key exercises the refcount-bump path of
+        // `PartitionKey` (no per-event allocation).
+        use ses_event::{AttrType, CmpOp, Duration, Schema, Timestamp, Value};
+        use ses_pattern::Pattern;
+
+        let schema = Schema::builder()
+            .attr("HOST", AttrType::Str)
+            .attr("KIND", AttrType::Str)
+            .build()
+            .unwrap();
+        let pattern = Pattern::builder()
+            .set(|s| s.var("d"))
+            .set(|s| s.var("e"))
+            .cond_const("d", "KIND", CmpOp::Eq, "deploy")
+            .cond_const("e", "KIND", CmpOp::Eq, "error")
+            .cond_vars("d", "HOST", CmpOp::Eq, "e", "HOST")
+            .within(Duration::ticks(10))
+            .build()
+            .unwrap();
+        let mut rel = Relation::new(schema.clone());
+        for (t, host, kind) in [
+            (0, "web-1", "deploy"),
+            (1, "web-2", "deploy"),
+            (3, "web-1", "error"),
+            (4, "web-2", "error"),
+            (20, "web-1", "deploy"),
+            (25, "web-1", "error"),
+        ] {
+            rel.push_values(Timestamp::new(t), [Value::from(host), Value::from(kind)])
+                .unwrap();
+        }
+        let matcher = Matcher::compile(&pattern, &schema).unwrap();
+        let key = schema.attr_id("HOST").unwrap();
+
+        let mut global = matcher.find(&rel);
+        global.sort();
+        let parallel = find_partitioned(&matcher, &rel, key);
+        assert_eq!(parallel, global);
+        assert_eq!(parallel.len(), 3);
+    }
+
+    #[test]
+    fn partition_keys_group_exact_values() {
+        use ses_event::Value;
+        let a = PartitionKey::of(&Value::from("web-1"));
+        let b = PartitionKey::of(&Value::from("web-1"));
+        assert_eq!(a, b);
+        assert_ne!(a, PartitionKey::of(&Value::from("web-2")));
+        // Floats group by bit pattern; ints and bools by value.
+        assert_eq!(
+            PartitionKey::of(&Value::Float(1.5)),
+            PartitionKey::of(&Value::Float(1.5))
+        );
+        assert_ne!(
+            PartitionKey::of(&Value::Float(0.0)),
+            PartitionKey::of(&Value::Float(-0.0)),
+            "distinct bit patterns are distinct partitions"
+        );
+        assert_eq!(PartitionKey::of(&Value::Int(3)), PartitionKey::Int(3));
+        assert_eq!(
+            PartitionKey::of(&Value::Bool(true)),
+            PartitionKey::Bool(true)
+        );
     }
 
     #[test]

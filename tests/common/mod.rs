@@ -1,0 +1,114 @@
+//! Generators shared by the property-test suites (`oracle.rs` and
+//! `stream_vs_batch.rs`), so the differential stream-vs-batch harness
+//! explores exactly the pattern space the oracle suite validates.
+
+#![allow(dead_code)] // each test binary uses a subset
+
+use proptest::prelude::*;
+
+use ses::prelude::*;
+
+/// Event types drawn by the generators; patterns constrain `L` to the
+/// first two so `X` rows exercise the §4.5 filter.
+pub const TYPES: [&str; 3] = ["A", "B", "X"];
+
+/// The two-attribute schema all generated relations share.
+pub fn schema() -> Schema {
+    Schema::builder()
+        .attr("L", AttrType::Str)
+        .attr("ID", AttrType::Int)
+        .build()
+        .unwrap()
+}
+
+/// Random small relations: types from [`TYPES`], correlation ids in
+/// `1..3`, strictly increasing timestamps.
+pub fn relation_strategy() -> impl Strategy<Value = Relation> {
+    relation_strategy_with(2..7, 1i64..3)
+}
+
+/// As [`relation_strategy`], but with configurable length and
+/// inter-event gaps. A gap range starting at `0` produces runs of equal
+/// timestamps — legal in a stream and a prime source of watermark
+/// boundary bugs.
+pub fn relation_strategy_with(
+    len: std::ops::Range<usize>,
+    gaps: std::ops::Range<i64>,
+) -> impl Strategy<Value = Relation> {
+    (
+        proptest::collection::vec((0u8..3, 1i64..3), len.clone()),
+        proptest::collection::vec(gaps, len),
+    )
+        .prop_map(|(rows, gaps)| {
+            let mut rel = Relation::new(schema());
+            let mut t = 0i64;
+            for ((ty, id), gap) in rows.into_iter().zip(gaps) {
+                t += gap;
+                rel.push_values(
+                    Timestamp::new(t),
+                    [Value::from(TYPES[ty as usize]), Value::from(id)],
+                )
+                .unwrap();
+            }
+            rel
+        })
+}
+
+/// Tiny patterns: 1–2 sets, ≤ 3 variables total, constant type
+/// conditions (possibly overlapping ⇒ nondeterminism), optionally a
+/// group variable and an ID-equality clique (greedy-safe correlation).
+pub fn pattern_strategy() -> impl Strategy<Value = Pattern> {
+    (
+        proptest::collection::vec(
+            proptest::collection::vec((0u8..2, proptest::bool::ANY), 1..3),
+            1..3,
+        ),
+        4i64..20,
+        proptest::bool::ANY,
+    )
+        .prop_filter("≤3 vars", |(sets, _, _)| {
+            sets.iter().map(Vec::len).sum::<usize>() <= 3
+        })
+        .prop_map(|(sets, within, correlate)| {
+            let mut b = Pattern::builder();
+            for (si, set) in sets.iter().enumerate() {
+                let vars: Vec<(String, bool)> = set
+                    .iter()
+                    .enumerate()
+                    .map(|(vi, (_, plus))| (format!("v{si}_{vi}"), *plus))
+                    .collect();
+                b = b.set(move |s| {
+                    for (n, plus) in &vars {
+                        if *plus {
+                            s.plus(n.clone());
+                        } else {
+                            s.var(n.clone());
+                        }
+                    }
+                    s
+                });
+            }
+            let mut names: Vec<String> = Vec::new();
+            for (si, set) in sets.iter().enumerate() {
+                for (vi, (ty, _)) in set.iter().enumerate() {
+                    b = b.cond_const(format!("v{si}_{vi}"), "L", CmpOp::Eq, TYPES[*ty as usize]);
+                    names.push(format!("v{si}_{vi}"));
+                }
+            }
+            // Correlate only when the pattern has no group variables: a
+            // correlated group loop can absorb an incompatible event
+            // *before* the correlating variable binds, derailing greedy
+            // execution — Definition 2 then admits matches Algorithm 1
+            // cannot find (skip-till-any-match recovers them; see
+            // `any_match_maximal_equals_oracle`).
+            let has_group = sets.iter().flatten().any(|(_, plus)| *plus);
+            if correlate && !has_group {
+                for i in 1..names.len() {
+                    for j in 0..i {
+                        b = b.cond_vars(names[j].clone(), "ID", CmpOp::Eq, names[i].clone(), "ID");
+                    }
+                }
+            }
+            b.within(Duration::ticks(within)).build().unwrap()
+        })
+}

@@ -71,7 +71,10 @@ fn zero_window_requires_simultaneity_minus_order() {
     rel.push_values(Timestamp::new(5), [Value::from(1), Value::from("B")])
         .unwrap();
     let m = Matcher::compile(&two_sets, &schema()).unwrap();
-    assert!(m.find(&rel).is_empty(), "strict inter-set order forbids ties");
+    assert!(
+        m.find(&rel).is_empty(),
+        "strict inter-set order forbids ties"
+    );
 
     // …while a single-set pattern matches simultaneous events.
     let one_set = Pattern::builder()
@@ -95,10 +98,16 @@ fn unbounded_window_never_expires() {
         .build() // no .within → Duration::MAX
         .unwrap();
     let mut rel = Relation::new(schema());
-    rel.push_values(Timestamp::new(i64::MIN / 4), [Value::from(1), Value::from("A")])
-        .unwrap();
-    rel.push_values(Timestamp::new(i64::MAX / 4), [Value::from(1), Value::from("B")])
-        .unwrap();
+    rel.push_values(
+        Timestamp::new(i64::MIN / 4),
+        [Value::from(1), Value::from("A")],
+    )
+    .unwrap();
+    rel.push_values(
+        Timestamp::new(i64::MAX / 4),
+        [Value::from(1), Value::from("B")],
+    )
+    .unwrap();
     let m = Matcher::compile(&p, &schema()).unwrap();
     assert_eq!(m.find(&rel).len(), 1, "half-range span stays within MAX");
 }
@@ -114,7 +123,11 @@ fn heavy_timestamp_ties_are_consistent() {
     let matches = Matcher::compile(&q1, base.schema()).unwrap().find(&d5);
     assert!(!matches.is_empty());
     for m in &matches {
-        assert!(ses::core::satisfies_conditions_1_3(&compiled, &d5, m.bindings()));
+        assert!(ses::core::satisfies_conditions_1_3(
+            &compiled,
+            &d5,
+            m.bindings()
+        ));
     }
 }
 

@@ -73,12 +73,21 @@ fn streaming_respects_negations() {
     )
     .unwrap();
     let mut sm = StreamMatcher::compile(&pattern, &schema).unwrap();
-    for (t, l) in [(0, "A"), (1, "X"), (2, "B"), (20, "A"), (21, "B"), (60, "A")] {
-        sm.push(Timestamp::new(t), [Value::from(l)]).unwrap();
+    let mut matches = Vec::new();
+    for (t, l) in [
+        (0, "A"),
+        (1, "X"),
+        (2, "B"),
+        (20, "A"),
+        (21, "B"),
+        (60, "A"),
+    ] {
+        matches.extend(sm.push(Timestamp::new(t), [Value::from(l)]).unwrap());
     }
-    // The first A…B pair has an X in the gap and must not be emitted;
-    // the second pair is clean.
-    let matches = sm.finish();
+    matches.extend(sm.finish());
+    // The first A…B pair has an X in the gap and must not be emitted —
+    // the negation is checked when the group is adjudicated, before the
+    // gap event is evicted; the second pair is clean.
     assert_eq!(matches.len(), 1);
     assert_eq!(matches[0].first_event(), EventId(3));
 }
@@ -103,7 +112,8 @@ fn brute_force_bank_respects_negations() {
         (31, "C"),
         (33, "B"), // clean
     ] {
-        rel.push_values(Timestamp::new(t), [Value::from(l)]).unwrap();
+        rel.push_values(Timestamp::new(t), [Value::from(l)])
+            .unwrap();
     }
     let ses_matches = Matcher::compile(&pattern, &schema).unwrap().find(&rel);
     let bank_matches = BruteForce::compile(&pattern, &schema).unwrap().find(&rel);

@@ -3,107 +3,20 @@
 //! the Definition-2 semantics are recomputed from scratch, independent of
 //! any automaton machinery.
 
+mod common;
+
 use proptest::prelude::*;
 
+use common::{pattern_strategy, relation_strategy, schema};
 use ses::core::enumerate_candidates;
 use ses::pattern::CompiledPattern;
 use ses::prelude::*;
-
-fn schema() -> Schema {
-    Schema::builder()
-        .attr("L", AttrType::Str)
-        .attr("ID", AttrType::Int)
-        .build()
-        .unwrap()
-}
-
-const TYPES: [&str; 3] = ["A", "B", "X"];
-
-fn relation_strategy() -> impl Strategy<Value = Relation> {
-    (
-        proptest::collection::vec((0u8..3, 1i64..3), 2..7),
-        proptest::collection::vec(1i64..3, 2..7),
-    )
-        .prop_map(|(rows, gaps)| {
-            let mut rel = Relation::new(schema());
-            let mut t = 0i64;
-            for ((ty, id), gap) in rows.into_iter().zip(gaps) {
-                t += gap;
-                rel.push_values(
-                    Timestamp::new(t),
-                    [Value::from(TYPES[ty as usize]), Value::from(id)],
-                )
-                .unwrap();
-            }
-            rel
-        })
-}
-
-/// Tiny patterns: 1–2 sets, ≤ 3 variables total, constant type
-/// conditions (possibly overlapping ⇒ nondeterminism), optionally a
-/// group variable and an ID-equality clique (greedy-safe correlation).
-fn pattern_strategy() -> impl Strategy<Value = Pattern> {
-    (
-        proptest::collection::vec(proptest::collection::vec((0u8..2, proptest::bool::ANY), 1..3), 1..3),
-        4i64..20,
-        proptest::bool::ANY,
-    )
-        .prop_filter("≤3 vars", |(sets, _, _)| {
-            sets.iter().map(Vec::len).sum::<usize>() <= 3
-        })
-        .prop_map(|(sets, within, correlate)| {
-            let mut b = Pattern::builder();
-            for (si, set) in sets.iter().enumerate() {
-                let vars: Vec<(String, bool)> = set
-                    .iter()
-                    .enumerate()
-                    .map(|(vi, (_, plus))| (format!("v{si}_{vi}"), *plus))
-                    .collect();
-                b = b.set(move |s| {
-                    for (n, plus) in &vars {
-                        if *plus {
-                            s.plus(n.clone());
-                        } else {
-                            s.var(n.clone());
-                        }
-                    }
-                    s
-                });
-            }
-            let mut names: Vec<String> = Vec::new();
-            for (si, set) in sets.iter().enumerate() {
-                for (vi, (ty, _)) in set.iter().enumerate() {
-                    b = b.cond_const(format!("v{si}_{vi}"), "L", CmpOp::Eq, TYPES[*ty as usize]);
-                    names.push(format!("v{si}_{vi}"));
-                }
-            }
-            // Correlate only when the pattern has no group variables: a
-            // correlated group loop can absorb an incompatible event
-            // *before* the correlating variable binds, derailing greedy
-            // execution — Definition 2 then admits matches Algorithm 1
-            // cannot find (skip-till-any-match recovers them; see
-            // `any_match_maximal_equals_oracle`).
-            let has_group = sets.iter().flatten().any(|(_, plus)| *plus);
-            if correlate && !has_group {
-                for i in 1..names.len() {
-                    for j in 0..i {
-                        b = b.cond_vars(names[j].clone(), "ID", CmpOp::Eq, names[i].clone(), "ID");
-                    }
-                }
-            }
-            b.within(Duration::ticks(within)).build().unwrap()
-        })
-}
 
 /// The oracle's condition-4 check (prefix-agreement formulation, see the
 /// `ses-core::semantics` docs): γ is violated when some `γ' ∈ Γ` binds a
 /// variable of γ to a strictly earlier in-extent event while agreeing
 /// with γ on every binding before that event.
-fn oracle_cond4(
-    m: &[(VarId, EventId)],
-    rel: &Relation,
-    gamma: &[Vec<(VarId, EventId)>],
-) -> bool {
+fn oracle_cond4(m: &[(VarId, EventId)], rel: &Relation, gamma: &[Vec<(VarId, EventId)>]) -> bool {
     let min_ts = rel.event(m[0].1).ts();
     let prefix_of = |x: &[(VarId, EventId)], cut: ses_event::Timestamp| -> Vec<(VarId, EventId)> {
         x.iter()
@@ -123,9 +36,9 @@ fn oracle_cond4(
                 continue;
             }
             let m_prefix = prefix_of(m, alt_ts);
-            let violated = gamma.iter().any(|other| {
-                other.contains(&(var, alt)) && prefix_of(other, alt_ts) == m_prefix
-            });
+            let violated = gamma
+                .iter()
+                .any(|other| other.contains(&(var, alt)) && prefix_of(other, alt_ts) == m_prefix);
             if violated {
                 return false;
             }
@@ -152,11 +65,7 @@ fn oracle_answer(rel: &Relation, cp: &CompiledPattern) -> Vec<Match> {
         .collect();
     let mut out: Vec<Match> = survivors
         .iter()
-        .filter(|m| {
-            !survivors
-                .iter()
-                .any(|other| is_subset(m, other))
-        })
+        .filter(|m| !survivors.iter().any(|other| is_subset(m, other)))
         .map(|m| Match::from_bindings((*m).clone()))
         .collect();
     out.sort();

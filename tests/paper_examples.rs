@@ -63,7 +63,10 @@ fn example4_violations_are_rejected() {
             .iter()
             .map(|m| m.display_with(&q1))
             .collect();
-        assert!(rendered.iter().all(|s| !s.contains("b/e14")), "{rendered:?}");
+        assert!(
+            rendered.iter().all(|s| !s.contains("b/e14")),
+            "{rendered:?}"
+        );
         assert!(
             !rendered.contains(&"{p+/e6, d/e7, c/e8, p+/e10, b/e13}".to_string()),
             "{rendered:?}"

@@ -111,6 +111,10 @@ fn matches_on_duplicated_data_grow() {
     let matches = matcher.find(&d2);
     assert!(!matches.is_empty());
     for m in &matches {
-        assert!(ses::core::satisfies_conditions_1_3(&compiled, &d2, m.bindings()));
+        assert!(ses::core::satisfies_conditions_1_3(
+            &compiled,
+            &d2,
+            m.bindings()
+        ));
     }
 }

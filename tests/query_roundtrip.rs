@@ -6,7 +6,14 @@ use proptest::prelude::*;
 
 use ses::prelude::*;
 
-const OPS: [CmpOp; 6] = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+const OPS: [CmpOp; 6] = [
+    CmpOp::Eq,
+    CmpOp::Ne,
+    CmpOp::Lt,
+    CmpOp::Le,
+    CmpOp::Gt,
+    CmpOp::Ge,
+];
 const ATTRS: [&str; 3] = ["ID", "L", "V"];
 
 #[derive(Debug, Clone)]
@@ -31,10 +38,7 @@ fn rhs_strategy() -> impl Strategy<Value = RandRhs> {
 fn pattern_strategy() -> impl Strategy<Value = Pattern> {
     (
         proptest::collection::vec(proptest::collection::vec(proptest::bool::ANY, 1..4), 1..4),
-        proptest::collection::vec(
-            (0usize..6, 0usize..3, 0usize..6, rhs_strategy()),
-            0..6,
-        ),
+        proptest::collection::vec((0usize..6, 0usize..3, 0usize..6, rhs_strategy()), 0..6),
         proptest::bool::ANY, // include a negation?
         proptest::option::of(0i64..100_000),
     )
@@ -81,14 +85,19 @@ fn pattern_strategy() -> impl Strategy<Value = Pattern> {
                 };
             }
             if negate && sets.len() > 1 {
-                b = b
-                    .neg_cond_const("nn", "L", CmpOp::Eq, "NEG")
-                    .neg_cond_vars("nn", "ID", CmpOp::Eq, names[0].clone(), "ID");
+                b = b.neg_cond_const("nn", "L", CmpOp::Eq, "NEG").neg_cond_vars(
+                    "nn",
+                    "ID",
+                    CmpOp::Eq,
+                    names[0].clone(),
+                    "ID",
+                );
             }
             if let Some(w) = within {
                 b = b.within(Duration::ticks(w));
             }
-            b.build().expect("generated patterns are structurally valid")
+            b.build()
+                .expect("generated patterns are structurally valid")
         })
 }
 

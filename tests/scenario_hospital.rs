@@ -25,7 +25,9 @@ fn end_to_end_hospital_monitoring() {
     let dir = std::env::temp_dir().join("ses-scenario");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join(format!("ward-{}.csv", std::process::id()));
-    EventStore::new("ward", ward.clone()).save_csv(&path).unwrap();
+    EventStore::new("ward", ward.clone())
+        .save_csv(&path)
+        .unwrap();
     let reloaded = EventStore::load_csv_with_schema(&path, &schema).unwrap();
     assert_eq!(reloaded.len(), ward.len());
     std::fs::remove_file(&path).ok();
@@ -46,12 +48,13 @@ fn end_to_end_hospital_monitoring() {
     assert!(!matches.is_empty());
     assert!(probe.events_filtered > 0, "aux events must be filtered");
 
-    // --- Batch == streaming. -------------------------------------------
+    // --- Batch == streaming (eager emissions + final flush). -----------
     let mut stream = StreamMatcher::compile(&q1, &schema).unwrap();
+    let mut streamed = Vec::new();
     for e in ward.events() {
-        stream.push(e.ts(), e.values().to_vec()).unwrap();
+        streamed.extend(stream.push(e.ts(), e.values().to_vec()).unwrap());
     }
-    let mut streamed = stream.finish();
+    streamed.extend(stream.finish());
     let mut batch = matches.clone();
     streamed.sort();
     batch.sort();
@@ -77,8 +80,7 @@ fn end_to_end_hospital_monitoring() {
             .value_by_name("ID", &schema)
             .unwrap()
             .to_string();
-        let total = match ses::core::aggregate(m, p_var, v_attr, ses::core::Aggregate::Sum, &ward)
-        {
+        let total = match ses::core::aggregate(m, p_var, v_attr, ses::core::Aggregate::Sum, &ward) {
             Some(Value::Float(f)) => f,
             Some(Value::Int(i)) => i as f64,
             other => panic!("dose sum must be numeric, got {other:?}"),
@@ -89,7 +91,10 @@ fn end_to_end_hospital_monitoring() {
     }
     assert!(!report.is_empty());
     for (patient, (cycles, dose)) in &report {
-        assert!(*cycles >= 1 && *cycles <= 3, "patient {patient}: {cycles} cycles");
+        assert!(
+            *cycles >= 1 && *cycles <= 3,
+            "patient {patient}: {cycles} cycles"
+        );
         // 1–5 Prednisone administrations of 80–130 mg per matched cycle.
         assert!(
             *dose >= 80.0 * *cycles as f64 && *dose <= 5.0 * 130.0 * *cycles as f64,
@@ -131,7 +136,9 @@ fn merged_wards_match_like_a_single_ward() {
     let mut site_b = Relation::new(paper::schema());
     for e in site_b_raw.events() {
         let mut values = e.values().to_vec();
-        let Value::Int(id) = values[0] else { panic!("ID is INT") };
+        let Value::Int(id) = values[0] else {
+            panic!("ID is INT")
+        };
         values[0] = Value::Int(id + 1000);
         site_b.push_values(e.ts(), values).unwrap();
     }

@@ -50,9 +50,8 @@ fn pattern_strategy() -> impl Strategy<Value = Pattern> {
             let mut b = Pattern::builder();
             let mut names: Vec<Vec<String>> = Vec::new();
             for (si, set) in sets.iter().enumerate() {
-                let set_names: Vec<String> = (0..set.len())
-                    .map(|vi| format!("v{si}_{vi}"))
-                    .collect();
+                let set_names: Vec<String> =
+                    (0..set.len()).map(|vi| format!("v{si}_{vi}")).collect();
                 names.push(set_names.clone());
                 b = b.set(move |s| {
                     for n in &set_names {
@@ -63,12 +62,7 @@ fn pattern_strategy() -> impl Strategy<Value = Pattern> {
             }
             for (si, set) in sets.iter().enumerate() {
                 for (vi, ty) in set.iter().enumerate() {
-                    b = b.cond_const(
-                        format!("v{si}_{vi}"),
-                        "L",
-                        CmpOp::Eq,
-                        TYPES[*ty as usize],
-                    );
+                    b = b.cond_const(format!("v{si}_{vi}"), "L", CmpOp::Eq, TYPES[*ty as usize]);
                 }
             }
             if correlate {

@@ -90,7 +90,10 @@ fn theorem2_factorial_bound() {
             "n = {n}: peak |Ω| = {peak} exceeds W·n! = {}",
             w * fact
         );
-        assert!(peak >= fact, "n = {n}: expected ≥ {fact} interleavings, got {peak}");
+        assert!(
+            peak >= fact,
+            "n = {n}: expected ≥ {fact} interleavings, got {peak}"
+        );
     }
 }
 
@@ -127,7 +130,10 @@ fn theorem3_group_variable_scales_with_window() {
         "group peaks {grouped:?} should grow superlinearly"
     );
     // …and dominates the plain variant ever more strongly.
-    assert!(grouped[2] > 4 * plain[2], "grouped {grouped:?} vs plain {plain:?}");
+    assert!(
+        grouped[2] > 4 * plain[2],
+        "grouped {grouped:?} vs plain {plain:?}"
+    );
     // The plain variant grows at most linearly with W.
     assert!(
         plain[2] <= plain[0] * 8,
@@ -154,10 +160,7 @@ fn predicted_bounds_dominate_measurements() {
         let compiled = pattern.compile(&paper::schema()).unwrap();
         let w = rel.window_size(pattern.within()) as u64;
         // Overall bound: per start instance; multiply by W starts.
-        let bound = compiled
-            .analysis()
-            .worst_set_bound(w)
-            .saturating_mul(w);
+        let bound = compiled.analysis().worst_set_bound(w).saturating_mul(w);
         let chemo_rel = {
             let mut r = Relation::new(paper::schema());
             for (i, e) in rel.events().iter().enumerate() {
