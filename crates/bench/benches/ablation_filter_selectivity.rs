@@ -8,6 +8,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use ses_core::{FilterMode, MatchSemantics, Matcher, MatcherOptions};
+use ses_event::{CmpOp, Duration};
+use ses_pattern::Pattern;
 use ses_workload::chemo::{generate, ChemoConfig};
 use ses_workload::paper;
 
@@ -40,5 +42,55 @@ fn bench_selectivity(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_selectivity);
+/// P6 reshaped so `d`'s type arrives only through a variable link
+/// (`d.L = c.L`): without analysis the §4.5 filter silently downgrades
+/// to `Off`; the analyzer's constant propagation derives `d.L = 'V'`
+/// and restores it.
+fn derived_constant_pattern() -> Pattern {
+    Pattern::builder()
+        .set(|s| s.var("c").var("d"))
+        .set(|s| s.var("b"))
+        .cond_const("c", "L", CmpOp::Eq, paper::SHARED_TYPE)
+        .cond_vars("d", "L", CmpOp::Eq, "c", "L")
+        .cond_const("b", "L", CmpOp::Eq, "B")
+        .within(Duration::hours(264))
+        .build()
+        .expect("derived-constant pattern is valid")
+}
+
+/// Ablation: the same selectivity sweep on a pattern whose filter
+/// constants are only *derivable*. Compares the silent downgrade
+/// (`downgraded`) against `--propagate` (`propagated`), which should
+/// approach the hand-written-constant case as the auxiliary rate grows.
+fn bench_derived_constants(c: &mut Criterion) {
+    let schema = paper::schema();
+    let mut group = c.benchmark_group("filter_derived_constants");
+    group.sample_size(10);
+    for aux_per_day in [0.0f64, 1.0, 3.0] {
+        let mut cfg = ChemoConfig::paper_d1().scaled(0.05);
+        cfg.aux_per_day = aux_per_day;
+        let rel = generate(&cfg);
+        for (fname, propagate) in [("downgraded", false), ("propagated", true)] {
+            let matcher = Matcher::with_options(
+                &derived_constant_pattern(),
+                &schema,
+                MatcherOptions {
+                    filter: FilterMode::Paper,
+                    semantics: MatchSemantics::AllRuns,
+                    propagate_constants: propagate,
+                    ..MatcherOptions::default()
+                },
+            )
+            .unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(fname, format!("aux{aux_per_day}")),
+                &rel,
+                |b, rel| b.iter(|| matcher.find(rel).len()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selectivity, bench_derived_constants);
 criterion_main!(benches);

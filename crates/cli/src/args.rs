@@ -32,6 +32,7 @@ const VALUED: &[&str] = &[
     "schema",
     "limit",
     "selection",
+    "format",
 ];
 
 impl Args {

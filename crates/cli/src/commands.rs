@@ -22,12 +22,23 @@ USAGE:
                    [--tick hour] [--semantics maximal|definition2|all]
                    [--filter paper|pervariable|off]
                    [--selection next-match|any-match] [--closure]
-                   [--limit N] [--stats]
+                   [--propagate] [--limit N] [--stats]
+                   (--propagate runs the static analyzer first: derived
+                    constants can rescue the §4.5 filter, see `check`)
   ses-cli stream   --query <file-or-text> --data <file.csv>
                    [--no-evict] [--limit N] [--stats]
                    (replays the data as a stream: matches are finalized
                     eagerly at the watermark and old events are evicted
                     unless --no-evict)
+  ses-cli check    --query <file-or-text>
+                   [--schema \"NAME:TYPE,...\"] [--data <file.csv>]
+                   [--format human|json] [--tick hour]
+                   (static analysis: unsatisfiable Θ [SES001], redundant
+                    conditions [SES002], filter downgrades [SES003],
+                    factorial/exponential bounds [SES004], schema
+                    mismatches [SES005]; exits non-zero on errors.
+                    The schema comes from --schema, a `-- schema: …`
+                    pragma line in the query file, or --data)
   ses-cli explain  --query <file-or-text> --data <file.csv> [--dot|--trace]
   ses-cli generate --workload chemo|finance|rfid|clickstream --out <file.csv>
                    [--seed N] [--scale F]
@@ -50,6 +61,7 @@ The query language (THEN NOT x adds a gap constraint):
 pub fn dispatch(args: &Args, out: &mut dyn Write) -> i32 {
     let result = match args.command.as_deref() {
         Some("run") => cmd_run(args, out),
+        Some("check") => cmd_check(args, out),
         Some("stream") => cmd_stream(args, out),
         Some("explain") => cmd_explain(args, out),
         Some("generate") => cmd_generate(args, out),
@@ -123,6 +135,7 @@ fn matcher_options(args: &Args) -> Result<MatcherOptions, String> {
         selection: parse_selection(args)?,
         semantics: parse_semantics(args)?,
         derive_equalities: args.has_flag("closure"),
+        propagate_constants: args.has_flag("propagate"),
         ..MatcherOptions::default()
     })
 }
@@ -238,7 +251,164 @@ fn cmd_run(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         ]);
         t.row(["max |Ω|", &probe.omega_max.to_string()]);
         t.row(["raw matches", &probe.matches_emitted.to_string()]);
+        t.row(["filter requested", filter_mode_name(probe.filter_requested)]);
+        t.row(["filter effective", filter_mode_name(probe.filter_effective)]);
+        if probe.filter_downgraded() {
+            t.row(["filter downgraded", "yes (SES003: run `ses-cli check`)"]);
+        }
         write!(out, "\n{t}").map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Parses a `--schema` spec like `ID:int,L:str,V:float` into a schema.
+fn parse_schema_spec(spec: &str) -> Result<ses_event::Schema, String> {
+    let mut b = ses_event::Schema::builder();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (name, ty) = part
+            .split_once(':')
+            .ok_or_else(|| format!("schema: expected NAME:TYPE, got `{part}`"))?;
+        let ty = match ty.trim().to_ascii_lowercase().as_str() {
+            "int" => ses_event::AttrType::Int,
+            "float" => ses_event::AttrType::Float,
+            "str" | "string" => ses_event::AttrType::Str,
+            "bool" => ses_event::AttrType::Bool,
+            other => return Err(format!("schema: unknown type `{other}`")),
+        };
+        b = b.attr(name.trim(), ty);
+    }
+    b.build().map_err(|e| e.to_string())
+}
+
+/// Splits query text into (sanitized text, schema pragma): lines starting
+/// with `--` are comments for `check`; a `-- schema: NAME:TYPE,…` line
+/// declares the schema to analyze against. Comment lines are blanked in
+/// place so source positions survive.
+fn strip_pragmas(raw: &str) -> (String, Option<String>) {
+    let mut pragma = None;
+    let lines: Vec<String> = raw
+        .lines()
+        .map(|line| {
+            let trimmed = line.trim_start();
+            if let Some(comment) = trimmed.strip_prefix("--") {
+                if let Some(spec) = comment.trim_start().strip_prefix("schema:") {
+                    pragma = Some(spec.trim().to_string());
+                }
+                " ".repeat(line.chars().count())
+            } else {
+                line.to_string()
+            }
+        })
+        .collect();
+    (lines.join("\n"), pragma)
+}
+
+/// Runs the static analyzer over every query in `--query` and renders the
+/// diagnostics (human one-per-line or `--format json`). Exits non-zero
+/// when any error-severity diagnostic (SES001 unsatisfiable, SES005
+/// schema mismatch) is found.
+fn cmd_check(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let raw = load_query(args.require("query")?)?;
+    let (text, pragma) = strip_pragmas(&raw);
+
+    let schema = if let Some(spec) = args.get("schema") {
+        parse_schema_spec(spec)?
+    } else if let Some(spec) = &pragma {
+        parse_schema_spec(spec)?
+    } else if let Some(data) = args.get("data") {
+        load_store(data)?.relation().schema().clone()
+    } else {
+        return Err(
+            "no schema to check against: give --schema, a `-- schema: …` pragma line, or --data"
+                .to_string(),
+        );
+    };
+
+    let json = match args.get("format").unwrap_or("human") {
+        "human" | "text" => false,
+        "json" => true,
+        other => return Err(format!("--format: unknown format `{other}`")),
+    };
+
+    let tick = parse_tick(args)?;
+    let items = ses_query::parse_file(&text).map_err(|e| e.to_string())?;
+    if items.is_empty() {
+        return Err("no queries found in --query".to_string());
+    }
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut json_out = String::from("[");
+    for (i, (name, ast)) in items.iter().enumerate() {
+        let name = name.clone().unwrap_or_else(|| format!("query-{}", i + 1));
+        let pattern = ses_query::analyze(ast, tick).map_err(|e| format!("{name}: {e}"))?;
+        let spans = ses_query::condition_spans(ast);
+        let analysis = ses_pattern::analyze(&pattern, &schema);
+
+        // Thread query-source spans onto condition-level diagnostics.
+        let mut diags = ses_pattern::Diagnostics::new();
+        for mut d in analysis.diagnostics {
+            if let Some(ci) = d.condition {
+                if let Some(pos) = spans.get(ci) {
+                    d = d.with_span(ses_pattern::Span {
+                        line: pos.line,
+                        col: pos.col,
+                    });
+                }
+            }
+            diags.push(d);
+        }
+        errors += diags
+            .iter()
+            .filter(|d| d.severity == ses_pattern::Severity::Error)
+            .count();
+        warnings += diags
+            .iter()
+            .filter(|d| d.severity == ses_pattern::Severity::Warning)
+            .count();
+
+        if json {
+            if i > 0 {
+                json_out.push(',');
+            }
+            json_out.push_str("{\"query\":\"");
+            json_out.push_str(&name.replace('\\', "\\\\").replace('"', "\\\""));
+            json_out.push_str("\",\"satisfiable\":");
+            json_out.push_str(if analysis.satisfiable {
+                "true"
+            } else {
+                "false"
+            });
+            json_out.push_str(",\"diagnostics\":");
+            json_out.push_str(&diags.to_json());
+            json_out.push('}');
+        } else if diags.is_empty() {
+            writeln!(out, "{name}: ok").map_err(io_err)?;
+        } else {
+            writeln!(out, "{name}:").map_err(io_err)?;
+            for d in diags.iter() {
+                writeln!(out, "  {d}").map_err(io_err)?;
+            }
+        }
+    }
+
+    if json {
+        json_out.push(']');
+        writeln!(out, "{json_out}").map_err(io_err)?;
+    } else {
+        writeln!(
+            out,
+            "{} quer(ies) checked: {errors} error(s), {warnings} warning(s)",
+            items.len()
+        )
+        .map_err(io_err)?;
+    }
+    if errors > 0 {
+        return Err(format!("{errors} error-severity diagnostic(s)"));
     }
     Ok(())
 }
@@ -307,6 +477,11 @@ fn cmd_stream(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         t.row(["max |Ω|", &probe.omega_max.to_string()]);
         t.row(["instances expired", &probe.instances_expired.to_string()]);
         t.row(["eviction", if evict { "on" } else { "off" }]);
+        t.row(["filter requested", filter_mode_name(probe.filter_requested)]);
+        t.row(["filter effective", filter_mode_name(probe.filter_effective)]);
+        if probe.filter_downgraded() {
+            t.row(["filter downgraded", "yes (SES003: run `ses-cli check`)"]);
+        }
         write!(out, "\n{t}").map_err(io_err)?;
     }
     Ok(())
@@ -443,6 +618,15 @@ fn cmd_stats(args: &Args, out: &mut dyn Write) -> Result<(), String> {
 
 fn io_err(e: std::io::Error) -> String {
     format!("i/o error: {e}")
+}
+
+fn filter_mode_name(m: Option<FilterMode>) -> &'static str {
+    match m {
+        None => "-",
+        Some(FilterMode::Off) => "off",
+        Some(FilterMode::Paper) => "paper",
+        Some(FilterMode::PerVariable) => "per-variable",
+    }
 }
 
 #[cfg(test)]
@@ -612,6 +796,128 @@ mod tests {
         assert!(out.contains("== bloodcounts: 5 match(es)"), "{out}");
         assert!(out.contains("single pass"), "{out}");
         std::fs::remove_file(&file).ok();
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn check_reports_unsatisfiable_query_and_exits_nonzero() {
+        let q = "PATTERN PERMUTE(a, b) \
+                 WHERE a.ID > 5 AND a.ID < 3 AND b.L = 'B' \
+                 WITHIN 10 TICKS";
+        let (code, out) = run(&["check", "--query", q, "--schema", "ID:int,L:str"]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("SES001"), "{out}");
+        assert!(out.contains("1 error(s)"), "{out}");
+    }
+
+    #[test]
+    fn check_json_format_carries_codes_and_satisfiability() {
+        let q = "PATTERN PERMUTE(a, b) \
+                 WHERE a.ID > 5 AND a.ID < 3 AND b.L = 'B' \
+                 WITHIN 10 TICKS";
+        let (code, out) = run(&[
+            "check",
+            "--query",
+            q,
+            "--schema",
+            "ID:int,L:str",
+            "--format",
+            "json",
+        ]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("\"satisfiable\":false"), "{out}");
+        assert!(out.contains("SES001"), "{out}");
+    }
+
+    #[test]
+    fn check_clean_query_is_ok_with_data_schema() {
+        let data = figure1_csv();
+        let (code, out) = run(&["check", "--query", Q1, "--data", &data]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("ok"), "{out}");
+        assert!(out.contains("0 error(s)"), "{out}");
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn check_schema_pragma_and_source_spans() {
+        let file = std::env::temp_dir().join(format!("ses-check-{}.ses", std::process::id()));
+        std::fs::write(
+            &file,
+            "-- schema: ID:int,L:str\n\
+             loose: PATTERN PERMUTE(a) THEN b\n\
+             WHERE a.ID > 5 AND a.ID > 3 AND a.L = 'A' AND b.L = 'B'\n\
+             WITHIN 10 TICKS;\n",
+        )
+        .unwrap();
+        let (code, out) = run(&["check", "--query", &file.to_string_lossy()]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("loose:"), "{out}");
+        // `a.ID > 3` is implied by `a.ID > 5`: SES002 with the source
+        // position of the redundant condition (line 3 of the file).
+        assert!(out.contains("SES002"), "{out}");
+        assert!(out.contains("(at 3:"), "{out}");
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn check_warns_on_filter_downgrade_and_superpolynomial_class() {
+        // `a` and `free` are not mutually exclusive and `free` has no
+        // constant condition: SES003 (downgrade) + SES004 (factorial).
+        let q = "PATTERN PERMUTE(a, free) \
+                 WHERE a.L = 'A' AND free.ID = a.ID \
+                 WITHIN 10 TICKS";
+        let (code, out) = run(&["check", "--query", q, "--schema", "ID:int,L:str"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("SES003"), "{out}");
+        assert!(out.contains("SES004"), "{out}");
+    }
+
+    #[test]
+    fn check_without_schema_errors() {
+        let (code, out) = run(&["check", "--query", Q1]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("no schema"), "{out}");
+    }
+
+    #[test]
+    fn run_stats_report_filter_modes() {
+        let data = figure1_csv();
+        let (code, out) = run(&["run", "--query", Q1, "--data", &data, "--stats"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("filter requested"), "{out}");
+        assert!(out.contains("filter effective"), "{out}");
+        let (code, out) = run(&["stream", "--query", Q1, "--data", &data, "--stats"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("filter requested"), "{out}");
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn propagate_flag_rescues_filter() {
+        let data = figure1_csv();
+        // `b` has no constant condition of its own: the filter downgrades
+        // to off unless --propagate derives `b.ID = 1` through `b.ID = a.ID`.
+        let q = "PATTERN PERMUTE(a) THEN b \
+                 WHERE a.L = 'C' AND a.ID = 1 AND b.ID = a.ID \
+                 WITHIN 264 HOURS";
+        let (code, plain) = run(&["run", "--query", q, "--data", &data, "--stats"]);
+        assert_eq!(code, 0, "{plain}");
+        assert!(plain.contains("filter downgraded"), "{plain}");
+        let (code, prop) = run(&[
+            "run",
+            "--query",
+            q,
+            "--data",
+            &data,
+            "--stats",
+            "--propagate",
+        ]);
+        assert_eq!(code, 0, "{prop}");
+        assert!(!prop.contains("filter downgraded"), "{prop}");
+        // Same matches either way.
+        let count = |s: &str| s.matches("match ").count();
+        assert_eq!(count(&plain), count(&prop), "{plain}\n{prop}");
         std::fs::remove_file(&data).ok();
     }
 

@@ -120,6 +120,10 @@ pub fn execute<P: Probe>(
     probe: &mut P,
 ) -> Vec<RawMatch> {
     let mut exec = Execution::new(automaton, relation, options.clone());
+    probe.filter_mode(
+        exec.filter().requested_mode(),
+        exec.filter().effective_mode(),
+    );
     while exec.step(probe) {}
     exec.finish(probe)
 }
@@ -143,6 +147,11 @@ pub struct Execution<'a> {
 }
 
 impl<'a> Execution<'a> {
+    /// The compiled event filter, including any silent downgrade.
+    pub fn filter(&self) -> &EventFilter {
+        &self.filter
+    }
+
     /// Prepares an execution positioned before the first event.
     pub fn new(automaton: &'a Automaton, relation: &'a Relation, options: ExecOptions) -> Self {
         let filter = EventFilter::new(automaton.pattern(), options.filter);

@@ -60,6 +60,11 @@ impl EventFilter {
         self.mode
     }
 
+    /// The mode the options asked for (before any downgrade).
+    pub fn requested_mode(&self) -> FilterMode {
+        self.requested
+    }
+
     /// `true` iff the requested mode had to be downgraded to `Off`.
     pub fn downgraded(&self) -> bool {
         self.mode != self.requested

@@ -65,6 +65,14 @@ pub struct MatcherOptions {
     /// instances from derailing on under-correlated patterns (strictly
     /// more matches found). Default: `false` (paper-faithful Θ).
     pub derive_equalities: bool,
+    /// Run the full static-analyzer rewrite ([`ses_pattern::analyze`])
+    /// before compiling: equality closure **plus** order-and-constant
+    /// propagation, redundant constant conditions dropped. Derived
+    /// constants can rescue the §4.5 filter from its silent `Off`
+    /// downgrade when a variable is only correlated to a
+    /// constant-constrained one. Implies the effect of
+    /// `derive_equalities`. Default: `false` (paper-faithful Θ).
+    pub propagate_constants: bool,
     /// State budget for the powerset construction.
     pub max_states: usize,
     /// Optional hard cap on simultaneous instances (tests/guards only).
@@ -80,6 +88,7 @@ impl Default for MatcherOptions {
             flush_at_end: true,
             type_precheck: true,
             derive_equalities: false,
+            propagate_constants: false,
             max_states: DEFAULT_MAX_STATES,
             max_instances: None,
         }
@@ -105,7 +114,11 @@ impl Matcher {
         schema: &Schema,
         options: MatcherOptions,
     ) -> Result<Matcher, CoreError> {
-        let compiled = if options.derive_equalities {
+        let compiled = if options.propagate_constants {
+            ses_pattern::analyze(pattern, schema)
+                .pattern
+                .compile(schema)?
+        } else if options.derive_equalities {
             ses_pattern::equality_closure(pattern).compile(schema)?
         } else {
             pattern.compile(schema)?
@@ -140,6 +153,11 @@ impl Matcher {
     /// Finds all matching substitutions, reporting engine events to
     /// `probe`.
     pub fn find_with_probe<P: Probe>(&self, relation: &Relation, probe: &mut P) -> Vec<Match> {
+        // A provably unsatisfiable Θ (analyzer SES001) matches nothing;
+        // skip the scan entirely.
+        if !self.automaton.pattern().is_satisfiable() {
+            return Vec::new();
+        }
         let exec = ExecOptions {
             filter: self.options.filter,
             selection: self.options.selection,
@@ -289,6 +307,86 @@ mod tests {
         let found = closed.find(&r);
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].to_string(), "{v0/e1, v1/e3, v2/e4}");
+    }
+
+    #[test]
+    fn unsatisfiable_pattern_short_circuits() {
+        let p = Pattern::builder()
+            .set(|s| s.var("a"))
+            .cond_const("a", "ID", CmpOp::Gt, 10)
+            .cond_const("a", "ID", CmpOp::Lt, 5)
+            .within(Duration::ticks(5))
+            .build()
+            .unwrap();
+        let m = Matcher::compile(&p, &schema()).unwrap();
+        assert!(!m.automaton().pattern().is_satisfiable());
+        // No event can match (the engine is never even consulted).
+        struct Panicking;
+        impl Probe for Panicking {
+            fn event_read(&mut self) {
+                panic!("engine ran on an unsatisfiable pattern");
+            }
+        }
+        let out = m.find_with_probe(&rel(&[(0, 1, "A"), (1, 7, "B")]), &mut Panicking);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn propagated_constants_rescue_the_event_filter() {
+        // `b` carries no constant condition — only the correlation
+        // b.ID = a.ID to the constant-constrained `a`. Without the
+        // analyzer the §4.5 filter silently downgrades to Off; with
+        // propagate_constants the derived `b.ID = 1` makes every variable
+        // constrained and the filter runs in the requested Paper mode.
+        let p = Pattern::builder()
+            .set(|s| s.var("a"))
+            .set(|s| s.var("b"))
+            .cond_const("a", "ID", CmpOp::Eq, 1)
+            .cond_const("a", "L", CmpOp::Eq, "A")
+            .cond_vars("b", "ID", CmpOp::Eq, "a", "ID")
+            .within(Duration::ticks(100))
+            .build()
+            .unwrap();
+
+        #[derive(Default)]
+        struct Modes {
+            requested: Option<FilterMode>,
+            effective: Option<FilterMode>,
+        }
+        impl Probe for Modes {
+            fn filter_mode(&mut self, requested: FilterMode, effective: FilterMode) {
+                self.requested = Some(requested);
+                self.effective = Some(effective);
+            }
+        }
+
+        let r = rel(&[(0, 1, "A"), (1, 1, "X")]);
+
+        let plain = Matcher::compile(&p, &schema()).unwrap();
+        let mut modes = Modes::default();
+        let baseline = plain.find_with_probe(&r, &mut modes);
+        assert_eq!(modes.requested, Some(FilterMode::Paper));
+        assert_eq!(modes.effective, Some(FilterMode::Off), "silent downgrade");
+
+        let analyzed = Matcher::with_options(
+            &p,
+            &schema(),
+            MatcherOptions {
+                propagate_constants: true,
+                ..MatcherOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(analyzed.automaton().pattern().every_var_constrained());
+        let mut modes = Modes::default();
+        let found = analyzed.find_with_probe(&r, &mut modes);
+        assert_eq!(modes.effective, Some(FilterMode::Paper), "filter rescued");
+        // Same matches either way.
+        assert_eq!(
+            found.iter().map(|m| m.to_string()).collect::<Vec<_>>(),
+            baseline.iter().map(|m| m.to_string()).collect::<Vec<_>>(),
+        );
+        assert_eq!(found.len(), 1);
     }
 
     #[test]

@@ -56,6 +56,14 @@ pub trait Probe {
     /// stays flat as the stream grows.
     #[inline]
     fn retained_events(&mut self, _n: usize) {}
+
+    /// The §4.5 event pre-filter resolved its mode: `requested` is what
+    /// the options asked for, `effective` what actually runs (they differ
+    /// when some variable lacks a constant condition and the filter
+    /// silently downgrades to `Off` — the analyzer's `SES003`). Fired once
+    /// per execution/stream construction.
+    #[inline]
+    fn filter_mode(&mut self, _requested: crate::FilterMode, _effective: crate::FilterMode) {}
 }
 
 /// The no-op probe: compiles to nothing.
@@ -108,6 +116,10 @@ impl<P: Probe + ?Sized> Probe for &mut P {
     #[inline]
     fn retained_events(&mut self, n: usize) {
         (**self).retained_events(n);
+    }
+    #[inline]
+    fn filter_mode(&mut self, requested: crate::FilterMode, effective: crate::FilterMode) {
+        (**self).filter_mode(requested, effective);
     }
 }
 

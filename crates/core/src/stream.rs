@@ -88,7 +88,11 @@ impl StreamMatcher {
         schema: &Schema,
         options: MatcherOptions,
     ) -> Result<StreamMatcher, CoreError> {
-        let compiled = if options.derive_equalities {
+        let compiled = if options.propagate_constants {
+            ses_pattern::analyze(pattern, schema)
+                .pattern
+                .compile(schema)?
+        } else if options.derive_equalities {
             ses_pattern::equality_closure(pattern).compile(schema)?
         } else {
             pattern.compile(schema)?
@@ -140,7 +144,22 @@ impl StreamMatcher {
         probe: &mut P,
     ) -> Result<Vec<Match>, EventError> {
         let id = self.relation.push_values(ts, values)?;
+        if self.watermark.is_none() {
+            probe.filter_mode(self.filter.requested_mode(), self.filter.effective_mode());
+        }
         self.watermark = Some(ts);
+        // A provably unsatisfiable Θ never matches; retain the watermark
+        // bookkeeping but skip the engine.
+        if !self.automaton.pattern().is_satisfiable() {
+            if self.evict {
+                let evicted = self.relation.evict_before(ts - self.automaton.tau());
+                if evicted > 0 {
+                    probe.events_evicted(evicted);
+                }
+            }
+            probe.retained_events(self.relation.len());
+            return Ok(Vec::new());
+        }
         // Retire runs whose window can no longer close *before* the new
         // event is processed — on every push, including filtered ones
         // (sweeping early is observationally identical; see

@@ -1,7 +1,7 @@
 //! A counting [`Probe`] recording the quantities the paper's evaluation
 //! reports.
 
-use ses_core::Probe;
+use ses_core::{FilterMode, Probe};
 
 /// Counters collected during one engine run.
 ///
@@ -37,6 +37,12 @@ pub struct CountingProbe {
     /// Peak retained-relation size across streaming pushes. Stays flat
     /// on unbounded streams when eviction is working.
     pub retained_max: usize,
+    /// §4.5 filter mode the options requested, once the engine reports it.
+    pub filter_requested: Option<FilterMode>,
+    /// Filter mode actually in effect — differs from `filter_requested`
+    /// exactly when the filter silently downgraded to `Off` (the
+    /// analyzer's `SES003`).
+    pub filter_effective: Option<FilterMode>,
 }
 
 impl CountingProbe {
@@ -61,6 +67,11 @@ impl CountingProbe {
         } else {
             self.events_filtered as f64 / self.events_read as f64
         }
+    }
+
+    /// `true` iff the engine reported a §4.5 filter downgrade.
+    pub fn filter_downgraded(&self) -> bool {
+        self.filter_requested.is_some() && self.filter_requested != self.filter_effective
     }
 
     /// Resets every counter.
@@ -104,6 +115,10 @@ impl Probe for CountingProbe {
     }
     fn retained_events(&mut self, n: usize) {
         self.retained_max = self.retained_max.max(n);
+    }
+    fn filter_mode(&mut self, requested: FilterMode, effective: FilterMode) {
+        self.filter_requested = Some(requested);
+        self.filter_effective = Some(effective);
     }
 }
 
@@ -169,6 +184,9 @@ impl Probe for SeriesProbe {
     fn retained_events(&mut self, n: usize) {
         self.counts.retained_events(n);
     }
+    fn filter_mode(&mut self, requested: FilterMode, effective: FilterMode) {
+        self.counts.filter_mode(requested, effective);
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +229,18 @@ mod tests {
         assert!((p.filter_rate() - 0.5).abs() < 1e-12);
         p.reset();
         assert_eq!(p, CountingProbe::default());
+    }
+
+    #[test]
+    fn filter_mode_report() {
+        let mut p = CountingProbe::new();
+        assert!(!p.filter_downgraded());
+        p.filter_mode(FilterMode::Paper, FilterMode::Off);
+        assert_eq!(p.filter_requested, Some(FilterMode::Paper));
+        assert_eq!(p.filter_effective, Some(FilterMode::Off));
+        assert!(p.filter_downgraded());
+        p.filter_mode(FilterMode::Paper, FilterMode::Paper);
+        assert!(!p.filter_downgraded());
     }
 
     #[test]

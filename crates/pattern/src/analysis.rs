@@ -66,6 +66,15 @@ impl ComplexityClass {
                 .unwrap_or(u64::MAX),
         }
     }
+
+    /// `true` for the factorial and exponential classes (Theorems 2–3) —
+    /// the ones the static analyzer lints with `SES004`.
+    pub fn is_superpolynomial(&self) -> bool {
+        matches!(
+            self,
+            ComplexityClass::Factorial { .. } | ComplexityClass::GroupExponential { .. }
+        )
+    }
 }
 
 impl fmt::Display for ComplexityClass {

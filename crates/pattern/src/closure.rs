@@ -22,33 +22,85 @@ use ses_event::CmpOp;
 use crate::condition::{AttrRef, Rhs};
 use crate::{Condition, Pattern, VarId};
 
+/// An interner for the `(variable, attribute)` nodes the closure and
+/// propagation passes reason over.
+#[derive(Debug, Default)]
+pub(crate) struct NodeSet {
+    nodes: Vec<(VarId, Arc<str>)>,
+}
+
+impl NodeSet {
+    pub(crate) fn new() -> NodeSet {
+        NodeSet::default()
+    }
+
+    /// Interns `(var, attr)`, returning its dense id.
+    pub(crate) fn intern(&mut self, var: VarId, attr: &Arc<str>) -> usize {
+        if let Some(i) = self
+            .nodes
+            .iter()
+            .position(|(v, a)| *v == var && a.as_ref() == attr.as_ref())
+        {
+            i
+        } else {
+            self.nodes.push((var, attr.clone()));
+            self.nodes.len() - 1
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub(crate) fn get(&self, i: usize) -> &(VarId, Arc<str>) {
+        &self.nodes[i]
+    }
+}
+
+/// A plain union–find with path compression, over dense node ids.
+#[derive(Debug)]
+pub(crate) struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    pub(crate) fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    pub(crate) fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    pub(crate) fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
 /// Returns an equivalent pattern with the equality conditions closed
 /// under transitivity (see the module docs). Non-equality conditions,
 /// negations, sets, and the window are untouched. Idempotent.
 pub fn equality_closure(pattern: &Pattern) -> Pattern {
     // Collect the distinct (var, attr) nodes participating in `=`
     // var-var conditions.
-    let mut nodes: Vec<(VarId, Arc<str>)> = Vec::new();
-    let node_id = |nodes: &mut Vec<(VarId, Arc<str>)>, var: VarId, attr: &Arc<str>| -> usize {
-        if let Some(i) = nodes
-            .iter()
-            .position(|(v, a)| *v == var && a.as_ref() == attr.as_ref())
-        {
-            i
-        } else {
-            nodes.push((var, attr.clone()));
-            nodes.len() - 1
-        }
-    };
-
+    let mut nodes = NodeSet::new();
     let mut edges: Vec<(usize, usize)> = Vec::new();
     for c in pattern.conditions() {
         if c.op != CmpOp::Eq {
             continue;
         }
         if let Rhs::Attr(r) = &c.rhs {
-            let a = node_id(&mut nodes, c.lhs.var, &c.lhs.attr);
-            let b = node_id(&mut nodes, r.var, &r.attr);
+            let a = nodes.intern(c.lhs.var, &c.lhs.attr);
+            let b = nodes.intern(r.var, &r.attr);
             edges.push((a, b));
         }
     }
@@ -56,20 +108,9 @@ pub fn equality_closure(pattern: &Pattern) -> Pattern {
         return pattern.clone();
     }
 
-    // Union-find over the nodes.
-    let mut parent: Vec<usize> = (0..nodes.len()).collect();
-    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
-        if parent[x] != x {
-            let root = find(parent, parent[x]);
-            parent[x] = root;
-        }
-        parent[x]
-    }
+    let mut uf = UnionFind::new(nodes.len());
     for (a, b) in edges {
-        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
-        if ra != rb {
-            parent[ra] = rb;
-        }
+        uf.union(a, b);
     }
 
     // Emit one equality per pair within each class, skipping pairs the
@@ -90,20 +131,15 @@ pub fn equality_closure(pattern: &Pattern) -> Pattern {
     let mut conditions: Vec<Condition> = pattern.conditions().to_vec();
     for i in 0..nodes.len() {
         for j in (i + 1)..nodes.len() {
-            if find(&mut parent, i) != find(&mut parent, j) || already_related(&nodes[i], &nodes[j])
-            {
+            if uf.find(i) != uf.find(j) || already_related(nodes.get(i), nodes.get(j)) {
                 continue;
             }
+            let (iv, ia) = nodes.get(i).clone();
+            let (jv, ja) = nodes.get(j).clone();
             conditions.push(Condition {
-                lhs: AttrRef {
-                    var: nodes[i].0,
-                    attr: nodes[i].1.clone(),
-                },
+                lhs: AttrRef { var: iv, attr: ia },
                 op: CmpOp::Eq,
-                rhs: Rhs::Attr(AttrRef {
-                    var: nodes[j].0,
-                    attr: nodes[j].1.clone(),
-                }),
+                rhs: Rhs::Attr(AttrRef { var: jv, attr: ja }),
             });
         }
     }

@@ -88,6 +88,7 @@ pub struct CompiledPattern {
     negations: Vec<crate::CompiledNegation>,
     const_conds_by_var: Vec<Vec<usize>>,
     analysis: PatternAnalysis,
+    unsatisfiable: Option<String>,
 }
 
 impl CompiledPattern {
@@ -164,6 +165,7 @@ impl CompiledPattern {
         }
 
         let analysis = PatternAnalysis::analyze(&pattern, &conditions);
+        let unsatisfiable = crate::analyzer::provably_unsatisfiable(&pattern);
         Ok(CompiledPattern {
             pattern,
             schema: schema.clone(),
@@ -171,6 +173,7 @@ impl CompiledPattern {
             negations,
             const_conds_by_var,
             analysis,
+            unsatisfiable,
         })
     }
 
@@ -233,6 +236,18 @@ impl CompiledPattern {
     /// The static analysis (mutual exclusion, complexity classes).
     pub fn analysis(&self) -> &PatternAnalysis {
         &self.analysis
+    }
+
+    /// `false` iff constraint propagation proved `Θ` unsatisfiable at
+    /// compile time — the matcher can then return the empty answer without
+    /// scanning a single event. See [`crate::provably_unsatisfiable`].
+    pub fn is_satisfiable(&self) -> bool {
+        self.unsatisfiable.is_none()
+    }
+
+    /// The unsatisfiability proof, when [`Self::is_satisfiable`] is false.
+    pub fn unsatisfiable_reason(&self) -> Option<&str> {
+        self.unsatisfiable.as_deref()
     }
 }
 
@@ -362,6 +377,22 @@ mod tests {
         let cond = &cp.conditions()[4];
         assert!(cond.eval_vars(&event(1, "C", 0.0), &event(1, "P", 0.0)));
         assert!(!cond.eval_vars(&event(1, "C", 0.0), &event(2, "P", 0.0)));
+    }
+
+    #[test]
+    fn unsatisfiable_theta_flagged_at_compile_time() {
+        let p = Pattern::builder()
+            .set(|s| s.var("a"))
+            .cond_const("a", "V", CmpOp::Gt, 10.0)
+            .cond_const("a", "V", CmpOp::Lt, 5.0)
+            .build()
+            .unwrap();
+        let cp = p.compile(&schema()).unwrap();
+        assert!(!cp.is_satisfiable());
+        assert!(cp.unsatisfiable_reason().unwrap().contains("a.V"));
+        let cp = q1().compile(&schema()).unwrap();
+        assert!(cp.is_satisfiable());
+        assert!(cp.unsatisfiable_reason().is_none());
     }
 
     #[test]

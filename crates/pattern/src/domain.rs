@@ -1,0 +1,494 @@
+//! Interval abstract domain over constant conditions.
+//!
+//! A [`Domain`] abstracts the set of attribute values an event can carry
+//! while satisfying a conjunction of constant conditions `v.A φ C` on one
+//! `(variable, attribute)` node: a lower bound, an upper bound (each
+//! possibly strict), and a set of excluded points from `≠` conditions.
+//!
+//! The domain follows the same contract as [`crate::PatternAnalysis`]:
+//! it is **conservative in the sound direction** and assumes values range
+//! over a *dense* total order. Over the integers `x > 5 ∧ x < 6` is
+//! unsatisfiable, but the domain reports it satisfiable — claiming
+//! emptiness only when it holds over every totally ordered interpretation.
+//! Consequently [`Domain::is_empty`] never flags a satisfiable condition
+//! set and [`Domain::implies`] never certifies a non-implied condition.
+//!
+//! Values of incomparable types (e.g. a string bound and an integer
+//! bound) poison the interval: the domain degrades to "unknown" and makes
+//! no emptiness or implication claims, except for the always-sound pair
+//! of contradicting equalities.
+
+use std::cmp::Ordering;
+
+use ses_event::{CmpOp, Value};
+
+/// One endpoint of an interval: a value plus whether the comparison
+/// excludes the value itself (`<`/`>` vs `≤`/`≥`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bound {
+    /// The endpoint value.
+    pub value: Value,
+    /// `true` for `<`/`>` (endpoint excluded), `false` for `≤`/`≥`.
+    pub strict: bool,
+}
+
+/// The abstract value set of one `(variable, attribute)` node.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Domain {
+    lo: Option<Bound>,
+    hi: Option<Bound>,
+    excluded: Vec<Value>,
+    /// Two `=` constraints pinned different points — empty regardless of
+    /// interval reasoning (sound even across incomparable types).
+    conflict: bool,
+    /// An unorderable pair of bounds was seen; the interval is unreliable
+    /// and the domain makes no further claims.
+    poisoned: bool,
+}
+
+impl Domain {
+    /// The unconstrained domain ⊤.
+    pub fn top() -> Domain {
+        Domain::default()
+    }
+
+    /// The current lower bound, if any.
+    pub fn lo(&self) -> Option<&Bound> {
+        self.lo.as_ref()
+    }
+
+    /// The current upper bound, if any.
+    pub fn hi(&self) -> Option<&Bound> {
+        self.hi.as_ref()
+    }
+
+    /// Points excluded by `≠` constraints.
+    pub fn excluded(&self) -> &[Value] {
+        &self.excluded
+    }
+
+    /// `true` iff an unorderable bound pair degraded the domain to
+    /// "unknown" (see the module docs).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// The single point the domain is pinned to, when `lo = hi` and both
+    /// ends are inclusive.
+    pub fn point(&self) -> Option<&Value> {
+        let (lo, hi) = (self.lo.as_ref()?, self.hi.as_ref()?);
+        if !lo.strict && !hi.strict && lo.value.try_cmp(&hi.value) == Some(Ordering::Equal) {
+            Some(&lo.value)
+        } else {
+            None
+        }
+    }
+
+    /// Intersects the domain with `x φ value`. Returns `true` iff the
+    /// domain changed.
+    pub fn constrain(&mut self, op: CmpOp, value: &Value) -> bool {
+        match op {
+            CmpOp::Eq => {
+                // A second, different pinned point is a conflict even when
+                // the values are incomparable (nothing equals both).
+                if let Some(p) = self.point() {
+                    if p.try_cmp(value) != Some(Ordering::Equal) {
+                        let changed = !self.conflict;
+                        self.conflict = true;
+                        return changed;
+                    }
+                }
+                let a = self.tighten_lo(value, false);
+                let b = self.tighten_hi(value, false);
+                a || b
+            }
+            CmpOp::Ne => self.exclude(value),
+            CmpOp::Lt => self.tighten_hi(value, true),
+            CmpOp::Le => self.tighten_hi(value, false),
+            CmpOp::Gt => self.tighten_lo(value, true),
+            CmpOp::Ge => self.tighten_lo(value, false),
+        }
+    }
+
+    /// Poisons the domain when the two bounds are of unorderable types —
+    /// the interval can then support no cross-bound reasoning.
+    fn check_bounds_orderable(&mut self) {
+        if let (Some(lo), Some(hi)) = (&self.lo, &self.hi) {
+            if lo.value.try_cmp(&hi.value).is_none() {
+                self.poisoned = true;
+            }
+        }
+    }
+
+    /// Tightens the lower bound to `(value, strict)` if stronger. Returns
+    /// `true` iff the domain changed.
+    pub fn tighten_lo(&mut self, value: &Value, strict: bool) -> bool {
+        let changed = self.tighten_lo_inner(value, strict);
+        self.check_bounds_orderable();
+        changed
+    }
+
+    fn tighten_lo_inner(&mut self, value: &Value, strict: bool) -> bool {
+        match &mut self.lo {
+            None => {
+                self.lo = Some(Bound {
+                    value: value.clone(),
+                    strict,
+                });
+                true
+            }
+            Some(cur) => match value.try_cmp(&cur.value) {
+                Some(Ordering::Greater) => {
+                    *cur = Bound {
+                        value: value.clone(),
+                        strict,
+                    };
+                    true
+                }
+                Some(Ordering::Equal) if strict && !cur.strict => {
+                    cur.strict = true;
+                    true
+                }
+                Some(_) => false,
+                None => {
+                    let changed = !self.poisoned;
+                    self.poisoned = true;
+                    changed
+                }
+            },
+        }
+    }
+
+    /// Tightens the upper bound to `(value, strict)` if stronger. Returns
+    /// `true` iff the domain changed.
+    pub fn tighten_hi(&mut self, value: &Value, strict: bool) -> bool {
+        let changed = self.tighten_hi_inner(value, strict);
+        self.check_bounds_orderable();
+        changed
+    }
+
+    fn tighten_hi_inner(&mut self, value: &Value, strict: bool) -> bool {
+        match &mut self.hi {
+            None => {
+                self.hi = Some(Bound {
+                    value: value.clone(),
+                    strict,
+                });
+                true
+            }
+            Some(cur) => match value.try_cmp(&cur.value) {
+                Some(Ordering::Less) => {
+                    *cur = Bound {
+                        value: value.clone(),
+                        strict,
+                    };
+                    true
+                }
+                Some(Ordering::Equal) if strict && !cur.strict => {
+                    cur.strict = true;
+                    true
+                }
+                Some(_) => false,
+                None => {
+                    let changed = !self.poisoned;
+                    self.poisoned = true;
+                    changed
+                }
+            },
+        }
+    }
+
+    /// Adds `value` to the excluded point set. Returns `true` iff it was
+    /// not already excluded.
+    pub fn exclude(&mut self, value: &Value) -> bool {
+        if self
+            .excluded
+            .iter()
+            .any(|v| v.try_cmp(value) == Some(Ordering::Equal))
+        {
+            false
+        } else {
+            self.excluded.push(value.clone());
+            true
+        }
+    }
+
+    /// Absorbs every constraint of `other` (used across `=` variable
+    /// conditions: equal nodes share one domain). Returns `true` iff this
+    /// domain changed.
+    pub fn absorb(&mut self, other: &Domain) -> bool {
+        let mut changed = false;
+        if other.conflict && !self.conflict {
+            self.conflict = true;
+            changed = true;
+        }
+        if other.poisoned && !self.poisoned {
+            self.poisoned = true;
+            changed = true;
+        }
+        if let Some(lo) = &other.lo {
+            changed |= self.tighten_lo(&lo.value, lo.strict);
+        }
+        if let Some(hi) = &other.hi {
+            changed |= self.tighten_hi(&hi.value, hi.strict);
+        }
+        for v in &other.excluded {
+            changed |= self.exclude(v);
+        }
+        changed
+    }
+
+    /// `true` iff the domain is **provably** empty over every dense
+    /// totally ordered interpretation. Never claims emptiness that relies
+    /// on discreteness: `> 5 ∧ < 6` stays satisfiable.
+    pub fn is_empty(&self) -> bool {
+        if self.conflict {
+            return true;
+        }
+        if self.poisoned {
+            return false; // no reliable interval — claim nothing
+        }
+        let (Some(lo), Some(hi)) = (&self.lo, &self.hi) else {
+            return false;
+        };
+        match lo.value.try_cmp(&hi.value) {
+            Some(Ordering::Greater) => true,
+            Some(Ordering::Equal) => {
+                lo.strict
+                    || hi.strict
+                    || self
+                        .excluded
+                        .iter()
+                        .any(|v| v.try_cmp(&lo.value) == Some(Ordering::Equal))
+            }
+            _ => false,
+        }
+    }
+
+    /// `true` iff **every** value in the domain provably satisfies
+    /// `x op value`. Conservative: `false` whenever implication cannot be
+    /// certified (including on poisoned domains). On an empty domain the
+    /// implication holds vacuously.
+    pub fn implies(&self, op: CmpOp, value: &Value) -> bool {
+        if self.conflict {
+            return true; // vacuous: the domain is empty
+        }
+        if self.poisoned {
+            return false;
+        }
+        let below = |b: &Bound, allow_equal: bool| match b.value.try_cmp(value) {
+            Some(Ordering::Less) => true,
+            Some(Ordering::Equal) => allow_equal || b.strict,
+            _ => false,
+        };
+        let above = |b: &Bound, allow_equal: bool| match b.value.try_cmp(value) {
+            Some(Ordering::Greater) => true,
+            Some(Ordering::Equal) => allow_equal || b.strict,
+            _ => false,
+        };
+        match op {
+            // Point domain pinned exactly to `value`.
+            CmpOp::Eq => self
+                .point()
+                .is_some_and(|p| p.try_cmp(value) == Some(Ordering::Equal)),
+            // `value` lies outside the interval, or is explicitly excluded.
+            CmpOp::Ne => {
+                self.hi.as_ref().is_some_and(|h| below(h, false))
+                    || self.lo.as_ref().is_some_and(|l| above(l, false))
+                    || self
+                        .excluded
+                        .iter()
+                        .any(|v| v.try_cmp(value) == Some(Ordering::Equal))
+            }
+            CmpOp::Lt => self.hi.as_ref().is_some_and(|h| below(h, false)),
+            CmpOp::Le => self.hi.as_ref().is_some_and(|h| below(h, true)),
+            CmpOp::Gt => self.lo.as_ref().is_some_and(|l| above(l, false)),
+            CmpOp::Ge => self.lo.as_ref().is_some_and(|l| above(l, true)),
+        }
+    }
+
+    /// The minimal constant conditions describing this domain, as
+    /// `(op, value)` pairs: a pinned point renders as one `=`, otherwise
+    /// the bounds render as `≥`/`>` and `≤`/`<`, followed by the excluded
+    /// points still inside the interval as `≠`.
+    pub fn to_constraints(&self) -> Vec<(CmpOp, Value)> {
+        if self.poisoned || self.conflict {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        if let Some(p) = self.point() {
+            out.push((CmpOp::Eq, p.clone()));
+        } else {
+            if let Some(lo) = &self.lo {
+                let op = if lo.strict { CmpOp::Gt } else { CmpOp::Ge };
+                out.push((op, lo.value.clone()));
+            }
+            if let Some(hi) = &self.hi {
+                let op = if hi.strict { CmpOp::Lt } else { CmpOp::Le };
+                out.push((op, hi.value.clone()));
+            }
+            // `≠` points outside the interval are already implied by a
+            // bound; only in-interval exclusions carry information.
+            let interval_only = Domain {
+                lo: self.lo.clone(),
+                hi: self.hi.clone(),
+                excluded: Vec::new(),
+                conflict: false,
+                poisoned: false,
+            };
+            for v in &self.excluded {
+                if !interval_only.implies(CmpOp::Ne, v) {
+                    out.push((CmpOp::Ne, v.clone()));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dom(cs: &[(CmpOp, Value)]) -> Domain {
+        let mut d = Domain::top();
+        for (op, v) in cs {
+            d.constrain(*op, v);
+        }
+        d
+    }
+
+    #[test]
+    fn discrete_integer_gap_is_conservatively_satisfiable() {
+        // Over ℤ, `x > 5 ∧ x < 6` is empty — but the domain assumes
+        // density (per the analysis.rs doc contract) and must NOT claim
+        // emptiness.
+        let d = dom(&[(CmpOp::Gt, Value::from(5)), (CmpOp::Lt, Value::from(6))]);
+        assert!(!d.is_empty());
+        // The genuinely empty float analogue at the same endpoint:
+        let d = dom(&[(CmpOp::Gt, Value::from(5)), (CmpOp::Lt, Value::from(5))]);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn empty_at_equal_vs_le_boundaries() {
+        // `x < 5 ∧ x = 5` → empty (strict endpoint vs pinned point).
+        let d = dom(&[(CmpOp::Lt, Value::from(5)), (CmpOp::Eq, Value::from(5))]);
+        assert!(d.is_empty());
+        // `x ≤ 5 ∧ x = 5` → satisfiable (inclusive endpoint).
+        let d = dom(&[(CmpOp::Le, Value::from(5)), (CmpOp::Eq, Value::from(5))]);
+        assert!(!d.is_empty());
+        assert_eq!(d.point(), Some(&Value::from(5)));
+        // `x ≤ 5 ∧ x ≥ 5` pins the point; `x < 5 ∧ x ≥ 5` is empty.
+        let d = dom(&[(CmpOp::Le, Value::from(5)), (CmpOp::Ge, Value::from(5))]);
+        assert!(!d.is_empty());
+        assert_eq!(d.point(), Some(&Value::from(5)));
+        let d = dom(&[(CmpOp::Lt, Value::from(5)), (CmpOp::Ge, Value::from(5))]);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn ne_point_exclusion_chains() {
+        // `x ≥ 5 ∧ x ≤ 5 ∧ x ≠ 5` → empty: the only point is excluded.
+        let d = dom(&[
+            (CmpOp::Ge, Value::from(5)),
+            (CmpOp::Le, Value::from(5)),
+            (CmpOp::Ne, Value::from(5)),
+        ]);
+        assert!(d.is_empty());
+        // `x = 5 ∧ x ≠ 5` → empty.
+        let d = dom(&[(CmpOp::Eq, Value::from(5)), (CmpOp::Ne, Value::from(5))]);
+        assert!(d.is_empty());
+        // A chain of exclusions over an interval stays satisfiable
+        // (density: removing finitely many points never empties it).
+        let d = dom(&[
+            (CmpOp::Ge, Value::from(0)),
+            (CmpOp::Le, Value::from(3)),
+            (CmpOp::Ne, Value::from(1)),
+            (CmpOp::Ne, Value::from(2)),
+            (CmpOp::Ne, Value::from(3)),
+        ]);
+        assert!(!d.is_empty());
+        // Duplicate exclusions are deduplicated (Int 1 ≡ Float 1.0).
+        let mut d = Domain::top();
+        assert!(d.exclude(&Value::from(1)));
+        assert!(!d.exclude(&Value::from(1.0)));
+        assert_eq!(d.excluded().len(), 1);
+    }
+
+    #[test]
+    fn mixed_type_bounds_poison_the_interval() {
+        // A string bound against an integer bound is unorderable: the
+        // domain degrades and claims nothing.
+        let d = dom(&[(CmpOp::Gt, Value::from(5)), (CmpOp::Lt, Value::from("abc"))]);
+        assert!(d.is_poisoned());
+        assert!(!d.is_empty());
+        assert!(!d.implies(CmpOp::Gt, &Value::from(5)));
+        assert!(d.to_constraints().is_empty());
+        // ... except contradicting equalities, which are sound even
+        // across types: nothing equals both 5 and "abc".
+        let d = dom(&[(CmpOp::Eq, Value::from(5)), (CmpOp::Eq, Value::from("abc"))]);
+        assert!(d.is_empty());
+        // Numeric cross-type bounds are comparable, not poison.
+        let d = dom(&[(CmpOp::Ge, Value::from(5)), (CmpOp::Le, Value::from(4.5))]);
+        assert!(!d.is_poisoned());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn implication_direction_is_sound() {
+        let d = dom(&[(CmpOp::Gt, Value::from(3)), (CmpOp::Le, Value::from(7))]);
+        // Implied by the interval (3, 7]:
+        assert!(d.implies(CmpOp::Gt, &Value::from(2)));
+        assert!(d.implies(CmpOp::Ge, &Value::from(3)));
+        assert!(d.implies(CmpOp::Gt, &Value::from(3))); // strict lower bound
+        assert!(d.implies(CmpOp::Le, &Value::from(7)));
+        assert!(d.implies(CmpOp::Lt, &Value::from(8)));
+        assert!(d.implies(CmpOp::Ne, &Value::from(3))); // 3 itself excluded
+        assert!(d.implies(CmpOp::Ne, &Value::from(10)));
+        // Not implied:
+        assert!(!d.implies(CmpOp::Lt, &Value::from(7))); // 7 is attainable
+        assert!(!d.implies(CmpOp::Gt, &Value::from(4)));
+        assert!(!d.implies(CmpOp::Ne, &Value::from(5)));
+        assert!(!d.implies(CmpOp::Eq, &Value::from(5)));
+        // Point domain implies its own equality.
+        let p = dom(&[(CmpOp::Eq, Value::from(5))]);
+        assert!(p.implies(CmpOp::Eq, &Value::from(5)));
+        assert!(p.implies(CmpOp::Eq, &Value::from(5.0)));
+        assert!(p.implies(CmpOp::Le, &Value::from(5)));
+        assert!(!p.implies(CmpOp::Lt, &Value::from(5)));
+    }
+
+    #[test]
+    fn absorb_merges_all_constraints() {
+        let mut a = dom(&[(CmpOp::Ge, Value::from(0))]);
+        let b = dom(&[(CmpOp::Le, Value::from(9)), (CmpOp::Ne, Value::from(4))]);
+        assert!(a.absorb(&b));
+        assert!(!a.absorb(&b)); // idempotent once merged
+        assert!(a.implies(CmpOp::Ge, &Value::from(0)));
+        assert!(a.implies(CmpOp::Le, &Value::from(9)));
+        assert!(a.implies(CmpOp::Ne, &Value::from(4)));
+    }
+
+    #[test]
+    fn to_constraints_round_trips() {
+        let d = dom(&[
+            (CmpOp::Gt, Value::from(3)),
+            (CmpOp::Le, Value::from(7)),
+            (CmpOp::Ne, Value::from(5)),
+            (CmpOp::Ne, Value::from(100)), // outside — implied, dropped
+        ]);
+        let cs = d.to_constraints();
+        assert_eq!(
+            cs,
+            vec![
+                (CmpOp::Gt, Value::from(3)),
+                (CmpOp::Le, Value::from(7)),
+                (CmpOp::Ne, Value::from(5)),
+            ]
+        );
+        let p = dom(&[(CmpOp::Ge, Value::from(5)), (CmpOp::Le, Value::from(5))]);
+        assert_eq!(p.to_constraints(), vec![(CmpOp::Eq, Value::from(5))]);
+        assert!(Domain::top().to_constraints().is_empty());
+    }
+}

@@ -54,23 +54,31 @@
 #![warn(missing_docs)]
 
 mod analysis;
+mod analyzer;
 mod builder;
 mod closure;
 mod compiled;
 mod condition;
+mod diagnostics;
+mod domain;
 mod error;
 mod negation;
 mod pattern;
+mod propagate;
 mod variable;
 
 pub use analysis::{ComplexityClass, PatternAnalysis};
+pub use analyzer::{analyze, provably_unsatisfiable, Analysis};
 pub use builder::{PatternBuilder, SetBuilder};
 pub use closure::equality_closure;
 pub use compiled::{CompiledCondition, CompiledPattern, CompiledRhs};
 pub use condition::{AttrRef, Condition, Rhs};
+pub use diagnostics::{Diagnostic, DiagnosticCode, Diagnostics, Severity, Span};
+pub use domain::{Bound, Domain};
 pub use error::PatternError;
 pub use negation::{
     CompiledNegCondition, CompiledNegRhs, CompiledNegation, NegCondition, Negation,
 };
 pub use pattern::Pattern;
+pub use propagate::{propagate, Propagation};
 pub use variable::{Quantifier, VarId, Variable};

@@ -1,0 +1,392 @@
+//! Order-and-constant propagation over the condition graph.
+//!
+//! Generalizes [`crate::equality_closure`] from `=` to the full ordering
+//! fragment `{=, <, ≤, >, ≥}`: variable conditions induce ordering edges
+//! between `(variable, attribute)` nodes, constant conditions seed each
+//! node's [`Domain`], and a fixpoint pushes bounds along the edges:
+//!
+//! * `a.X ≤ b.X ∧ b.X < 5 ⟹ a.X < 5` — upper bounds flow *against* the
+//!   order, lower bounds flow *with* it, strictness accumulates;
+//! * `a.X = b.Y` — the two nodes share one domain (bounds *and* `≠`
+//!   exclusions merge both ways);
+//! * transitive chains `a < b ≤ c < 7` tighten every node on the path.
+//!
+//! The pass also decides **satisfiability**: an empty node domain, an
+//! ordering cycle through a strict edge (`a.X < b.X ∧ b.X ≤ a.X`), or a
+//! `≠` between provably equal nodes all make `Θ` unsatisfiable — no
+//! substitution can pass conditions 1–3 of Definition 2, so the matcher
+//! can refuse the pattern outright instead of scanning events.
+//!
+//! Every derived constant condition is *implied* by `Θ` for complete
+//! substitutions (group variables included: a bound that holds for a
+//! variable holds for every event bound to it), so adding it preserves
+//! the Definition-2 answer exactly — the same soundness argument as the
+//! equality closure.
+
+use ses_event::CmpOp;
+
+use crate::closure::NodeSet;
+use crate::condition::Rhs;
+use crate::domain::Domain;
+use crate::{Condition, Pattern};
+
+/// Result of the propagation pass over one pattern.
+#[derive(Debug)]
+pub struct Propagation {
+    /// Proof of unsatisfiability (human-readable), if `Θ` admits no
+    /// substitution.
+    pub unsat: Option<String>,
+    /// Constant conditions implied by `Θ` but not present in it, in node
+    /// order. Empty when `unsat` is set.
+    pub derived: Vec<Condition>,
+}
+
+/// Upper bound on fixpoint sweeps; the bound lattice is finite (bounds
+/// only take values from the constant pool and strictness only rises), so
+/// this is a safety net, not a tuning knob.
+const MAX_SWEEPS: usize = 64;
+
+/// Runs order-and-constant propagation over `pattern` (see the module
+/// docs). Call on the [`crate::equality_closure`] of a pattern to also
+/// pick up transitively implied equalities — the analyzer pipeline does.
+pub fn propagate(pattern: &Pattern) -> Propagation {
+    let mut nodes = NodeSet::new();
+    // Ordering edges (from, to, strict): "from ≤/< to".
+    let mut le_edges: Vec<(usize, usize, bool)> = Vec::new();
+    let mut eq_edges: Vec<(usize, usize)> = Vec::new();
+    let mut ne_edges: Vec<(usize, usize)> = Vec::new();
+    // Constant conditions, resolved to node ids up front so the interner
+    // is not touched again once `render` borrows it.
+    let mut const_conds: Vec<(usize, CmpOp, &ses_event::Value)> = Vec::new();
+
+    for c in pattern.conditions() {
+        let a = nodes.intern(c.lhs.var, &c.lhs.attr);
+        match &c.rhs {
+            Rhs::Attr(r) => {
+                let b = nodes.intern(r.var, &r.attr);
+                match c.op {
+                    CmpOp::Eq => eq_edges.push((a, b)),
+                    CmpOp::Ne => ne_edges.push((a, b)),
+                    CmpOp::Lt => le_edges.push((a, b, true)),
+                    CmpOp::Le => le_edges.push((a, b, false)),
+                    CmpOp::Gt => le_edges.push((b, a, true)),
+                    CmpOp::Ge => le_edges.push((b, a, false)),
+                }
+            }
+            Rhs::Const(v) => const_conds.push((a, c.op, v)),
+        }
+    }
+    let n = nodes.len();
+
+    let render = |i: usize| {
+        let (var, attr) = nodes.get(i);
+        format!("{}.{}", pattern.var(*var).name(), attr)
+    };
+
+    // --- Pure-order unsatisfiability: reachability with strictness.
+    // reach[i][j] = Some(strict) means the conditions force
+    // node_i ≤ node_j (strict: <). Equalities contribute both directions.
+    let mut reach: Vec<Vec<Option<bool>>> = vec![vec![None; n]; n];
+    let relax = |m: &mut Vec<Vec<Option<bool>>>, a: usize, b: usize, strict: bool| {
+        let stronger = match m[a][b] {
+            None => true,
+            Some(s) => strict && !s,
+        };
+        if stronger {
+            m[a][b] = Some(strict);
+        }
+    };
+    for &(a, b, strict) in &le_edges {
+        relax(&mut reach, a, b, strict);
+    }
+    for &(a, b) in &eq_edges {
+        relax(&mut reach, a, b, false);
+        relax(&mut reach, b, a, false);
+    }
+    for k in 0..n {
+        for i in 0..n {
+            let Some(s1) = reach[i][k] else { continue };
+            for j in 0..n {
+                let Some(s2) = reach[k][j] else { continue };
+                relax(&mut reach, i, j, s1 || s2);
+            }
+        }
+    }
+    for (i, row) in reach.iter().enumerate() {
+        if row[i] == Some(true) {
+            return Propagation {
+                unsat: Some(format!(
+                    "ordering cycle forces {} < {}",
+                    render(i),
+                    render(i)
+                )),
+                derived: Vec::new(),
+            };
+        }
+    }
+    // `a ≠ b` with `a ≤ b` and `b ≤ a` (both non-strict, else the cycle
+    // above fires): the order pins them equal, the `≠` forbids it.
+    for &(a, b) in &ne_edges {
+        if a == b {
+            return Propagation {
+                unsat: Some(format!("{} ≠ {} can never hold", render(a), render(a))),
+                derived: Vec::new(),
+            };
+        }
+        if reach[a][b].is_some() && reach[b][a].is_some() {
+            return Propagation {
+                unsat: Some(format!(
+                    "{} and {} are forced equal by the ordering conditions but related by ≠",
+                    render(a),
+                    render(b)
+                )),
+                derived: Vec::new(),
+            };
+        }
+    }
+
+    // --- Seed domains from the explicit constant conditions.
+    let mut domains: Vec<Domain> = vec![Domain::top(); n];
+    for &(i, op, v) in &const_conds {
+        domains[i].constrain(op, v);
+    }
+
+    // --- Fixpoint: bounds flow along edges until nothing changes. The
+    // repeated pairwise `absorb` over the `=` edges converges to one
+    // shared domain per equality class (`≠` exclusions included), so no
+    // separate union-find pass is needed.
+    let mut changed = true;
+    let mut sweeps = 0;
+    while changed && sweeps < MAX_SWEEPS {
+        changed = false;
+        sweeps += 1;
+        // Equal nodes share one domain.
+        for &(a, b) in &eq_edges {
+            let d = domains[a].clone();
+            changed |= domains[b].absorb(&d);
+            let d = domains[b].clone();
+            changed |= domains[a].absorb(&d);
+        }
+        // `from ≤ to`: upper bounds flow to `from`, lower bounds to `to`.
+        for &(from, to, strict) in &le_edges {
+            if let Some(hi) = domains[to].hi().cloned() {
+                changed |= domains[from].tighten_hi(&hi.value, hi.strict || strict);
+            }
+            if let Some(lo) = domains[from].lo().cloned() {
+                changed |= domains[to].tighten_lo(&lo.value, lo.strict || strict);
+            }
+        }
+    }
+
+    for (i, d) in domains.iter().enumerate() {
+        if d.is_empty() {
+            return Propagation {
+                unsat: Some(format!(
+                    "the constant conditions on {} admit no value",
+                    render(i)
+                )),
+                derived: Vec::new(),
+            };
+        }
+    }
+
+    // --- Derived conditions: whatever the propagated domain knows beyond
+    // the node's own explicit constant conditions.
+    let mut explicit: Vec<Domain> = vec![Domain::top(); n];
+    for &(i, op, v) in &const_conds {
+        explicit[i].constrain(op, v);
+    }
+    let mut derived = Vec::new();
+    for i in 0..n {
+        for (op, value) in domains[i].to_constraints() {
+            if explicit[i].implies(op, &value) {
+                continue;
+            }
+            let (var, attr) = nodes.get(i);
+            derived.push(Condition::constant(*var, attr.as_ref(), op, value));
+        }
+    }
+
+    Propagation {
+        unsat: None,
+        derived,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ses_event::Duration;
+
+    fn pat(build: impl FnOnce(crate::PatternBuilder) -> crate::PatternBuilder) -> Pattern {
+        build(
+            Pattern::builder()
+                .set(|s| s.var("a").var("b").var("c"))
+                .within(Duration::ticks(100)),
+        )
+        .build()
+        .unwrap()
+    }
+
+    fn derived_strings(p: &Pattern) -> Vec<String> {
+        let prop = propagate(p);
+        assert!(prop.unsat.is_none(), "{:?}", prop.unsat);
+        let names = |v: crate::VarId| p.var(v).name().to_string();
+        prop.derived
+            .iter()
+            .map(|c| crate::condition::display_condition(c, &names))
+            .collect()
+    }
+
+    #[test]
+    fn le_chain_pushes_upper_bound() {
+        // a.X ≤ b.X ∧ b.X < 5 ⟹ a.X < 5 (the module-doc example).
+        let p = pat(|b| {
+            b.cond_vars("a", "X", CmpOp::Le, "b", "X")
+                .cond_const("b", "X", CmpOp::Lt, 5)
+        });
+        assert_eq!(derived_strings(&p), vec!["a.X < 5"]);
+    }
+
+    #[test]
+    fn strictness_accumulates_along_edges() {
+        // a.X < b.X ∧ b.X ≤ 5 ⟹ a.X < 5 (strict from the edge).
+        let p = pat(|b| {
+            b.cond_vars("a", "X", CmpOp::Lt, "b", "X")
+                .cond_const("b", "X", CmpOp::Le, 5)
+        });
+        assert_eq!(derived_strings(&p), vec!["a.X < 5"]);
+    }
+
+    #[test]
+    fn transitive_chain_reaches_every_node() {
+        // a < b ≤ c ∧ c < 7 ∧ a > 0: bounds propagate both ways.
+        let p = pat(|b| {
+            b.cond_vars("a", "X", CmpOp::Lt, "b", "X")
+                .cond_vars("b", "X", CmpOp::Le, "c", "X")
+                .cond_const("c", "X", CmpOp::Lt, 7)
+                .cond_const("a", "X", CmpOp::Gt, 0)
+        });
+        let d = derived_strings(&p);
+        assert!(d.contains(&"a.X < 7".to_string()), "{d:?}");
+        assert!(d.contains(&"b.X < 7".to_string()), "{d:?}");
+        assert!(d.contains(&"b.X > 0".to_string()), "{d:?}");
+        assert!(d.contains(&"c.X > 0".to_string()), "{d:?}");
+    }
+
+    #[test]
+    fn constants_push_through_equalities_with_exclusions() {
+        // a.X = b.X ∧ b.X ≥ 1 ∧ b.X ≠ 3 ⟹ a.X ≥ 1 ∧ a.X ≠ 3.
+        let p = pat(|b| {
+            b.cond_vars("a", "X", CmpOp::Eq, "b", "X")
+                .cond_const("b", "X", CmpOp::Ge, 1)
+                .cond_const("b", "X", CmpOp::Ne, 3)
+        });
+        let d = derived_strings(&p);
+        assert!(d.contains(&"a.X >= 1".to_string()), "{d:?}");
+        assert!(d.contains(&"a.X != 3".to_string()), "{d:?}");
+    }
+
+    #[test]
+    fn flipped_operators_normalize() {
+        // b.X ≥ a.X is a ≤ b; with b.X < 2 the bound reaches a.
+        let p = pat(|b| {
+            b.cond_vars("b", "X", CmpOp::Ge, "a", "X")
+                .cond_const("b", "X", CmpOp::Lt, 2)
+        });
+        assert_eq!(derived_strings(&p), vec!["a.X < 2"]);
+    }
+
+    #[test]
+    fn interval_conflict_through_chain_is_unsat() {
+        // a > 10 ∧ a ≤ b ∧ b < 5: a's domain becomes (10, 5) — empty.
+        let p = pat(|b| {
+            b.cond_const("a", "X", CmpOp::Gt, 10)
+                .cond_vars("a", "X", CmpOp::Le, "b", "X")
+                .cond_const("b", "X", CmpOp::Lt, 5)
+        });
+        assert!(propagate(&p).unsat.is_some());
+    }
+
+    #[test]
+    fn strict_ordering_cycle_is_unsat() {
+        let p = pat(|b| {
+            b.cond_vars("a", "X", CmpOp::Lt, "b", "X")
+                .cond_vars("b", "X", CmpOp::Le, "a", "X")
+        });
+        let u = propagate(&p).unsat.unwrap();
+        assert!(u.contains("ordering cycle"), "{u}");
+        // Self-comparison `a.X < a.X` is the degenerate cycle.
+        let p = pat(|b| b.cond_vars("a", "X", CmpOp::Lt, "a", "X"));
+        assert!(propagate(&p).unsat.is_some());
+        // Non-strict cycles are fine (they just force equality).
+        let p = pat(|b| {
+            b.cond_vars("a", "X", CmpOp::Le, "b", "X")
+                .cond_vars("b", "X", CmpOp::Le, "a", "X")
+        });
+        assert!(propagate(&p).unsat.is_none());
+    }
+
+    #[test]
+    fn ne_between_forced_equal_nodes_is_unsat() {
+        // a = b ∧ a ≠ b.
+        let p = pat(|b| {
+            b.cond_vars("a", "X", CmpOp::Eq, "b", "X")
+                .cond_vars("a", "X", CmpOp::Ne, "b", "X")
+        });
+        assert!(propagate(&p).unsat.is_some());
+        // ≤ both ways + ≠ — equal through the order, not through `=`.
+        let p = pat(|b| {
+            b.cond_vars("a", "X", CmpOp::Le, "b", "X")
+                .cond_vars("b", "X", CmpOp::Le, "a", "X")
+                .cond_vars("a", "X", CmpOp::Ne, "b", "X")
+        });
+        assert!(propagate(&p).unsat.is_some());
+        // Self ≠ is trivially unsat.
+        let p = pat(|b| b.cond_vars("a", "X", CmpOp::Ne, "a", "X"));
+        assert!(propagate(&p).unsat.is_some());
+        // Plain ≠ between unordered nodes is fine.
+        let p = pat(|b| b.cond_vars("a", "X", CmpOp::Ne, "b", "X"));
+        assert!(propagate(&p).unsat.is_none());
+    }
+
+    #[test]
+    fn no_derivation_without_constants() {
+        let p = pat(|b| b.cond_vars("a", "X", CmpOp::Lt, "b", "X"));
+        let prop = propagate(&p);
+        assert!(prop.unsat.is_none());
+        assert!(prop.derived.is_empty());
+    }
+
+    #[test]
+    fn explicitly_present_bounds_are_not_rederived() {
+        // a ≤ b ∧ b < 5 ∧ a < 3: a already has the (stronger) bound.
+        let p = pat(|b| {
+            b.cond_vars("a", "X", CmpOp::Le, "b", "X")
+                .cond_const("b", "X", CmpOp::Lt, 5)
+                .cond_const("a", "X", CmpOp::Lt, 3)
+        });
+        assert!(derived_strings(&p).is_empty());
+    }
+
+    #[test]
+    fn idempotent_on_augmented_pattern() {
+        // Adding the derived conditions and re-propagating derives
+        // nothing new.
+        let p = pat(|b| {
+            b.cond_vars("a", "X", CmpOp::Le, "b", "X")
+                .cond_const("b", "X", CmpOp::Lt, 5)
+        });
+        let prop = propagate(&p);
+        let mut conds = p.conditions().to_vec();
+        conds.extend(prop.derived.clone());
+        let augmented = Pattern::from_parts(
+            p.variables().to_vec(),
+            p.sets().to_vec(),
+            conds,
+            p.negations().to_vec(),
+            p.within(),
+        );
+        assert!(propagate(&augmented).derived.is_empty());
+    }
+}

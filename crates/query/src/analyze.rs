@@ -67,6 +67,34 @@ pub fn analyze(ast: &QueryAst, tick: TickUnit) -> Result<Pattern, QueryError> {
     Ok(b.build()?)
 }
 
+/// Source positions of the `WHERE` conditions that lower onto the
+/// **positive** pattern, index-aligned with
+/// [`ses_pattern::Pattern::conditions`] of the analyzed pattern: the
+/// `i`-th returned position is where the `i`-th pattern condition was
+/// written. Conditions involving a negated variable live on the
+/// negations instead and are skipped, mirroring the classification in
+/// [`analyze`]. Diagnostics from `ses_pattern::analyze` carry condition
+/// indices; this is the map back to query text.
+pub fn condition_spans(ast: &QueryAst) -> Vec<crate::token::Pos> {
+    let negated: Vec<&str> = ast.negations.iter().map(|n| n.name.as_str()).collect();
+    let is_neg = |v: &str| negated.contains(&v);
+    let mut out = Vec::new();
+    for cond in &ast.conditions {
+        let positive = match (&cond.lhs, &cond.rhs) {
+            (OperandAst::Attr { var, .. }, OperandAst::Attr { var: var2, .. }) => {
+                !is_neg(var) && !is_neg(var2)
+            }
+            (OperandAst::Attr { var, .. }, OperandAst::Literal { .. })
+            | (OperandAst::Literal { .. }, OperandAst::Attr { var, .. }) => !is_neg(var),
+            (OperandAst::Literal { .. }, OperandAst::Literal { .. }) => false,
+        };
+        if positive {
+            out.push(cond.lhs.pos());
+        }
+    }
+    out
+}
+
 fn lower_condition(
     b: ses_pattern::PatternBuilder,
     cond: &CondAst,
@@ -345,6 +373,24 @@ mod tests {
         // Kleene plus on a negation is rejected by the parser.
         let err = parse("PATTERN a THEN NOT x+ THEN b").unwrap_err();
         assert!(err.to_string().contains("Kleene plus"), "{err}");
+    }
+
+    #[test]
+    fn condition_spans_align_with_pattern_conditions() {
+        let q = "PATTERN a THEN NOT x THEN b \
+                 WHERE a.L = 'A' AND x.ID = a.ID AND 5 > b.V AND b.ID = a.ID";
+        let ast = parse(q).unwrap();
+        let p = analyze(&ast, TickUnit::Hour).unwrap();
+        let spans = condition_spans(&ast);
+        // x.ID = a.ID lives on the negation; the other three are positive.
+        assert_eq!(p.conditions().len(), 3);
+        assert_eq!(spans.len(), 3);
+        // All on line 1, in source order, strictly increasing columns.
+        assert!(spans.windows(2).all(|w| w[0].col < w[1].col), "{spans:?}");
+        assert_eq!(spans[0].line, 1);
+        // First positive condition starts at `a.L`.
+        let col = q.find("a.L").unwrap() + 1;
+        assert_eq!(spans[0].col, col as u32);
     }
 
     #[test]

@@ -46,7 +46,7 @@ mod parser;
 mod render;
 mod token;
 
-pub use analyze::analyze;
+pub use analyze::{analyze, condition_spans};
 pub use ast::{
     CondAst, NegAst, OperandAst, QueryAst, SetAst, TickUnit, VarAst, WindowUnit, WithinAst,
 };

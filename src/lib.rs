@@ -87,7 +87,10 @@ pub mod prelude {
         AttrType, CmpOp, Duration, Event, EventId, Relation, Schema, Timestamp, Value,
     };
     pub use ses_metrics::CountingProbe;
-    pub use ses_pattern::{Pattern, Quantifier, VarId};
+    pub use ses_pattern::{
+        analyze, Analysis, Diagnostic, DiagnosticCode, Diagnostics, Pattern, Quantifier, Severity,
+        VarId,
+    };
     pub use ses_query::TickUnit;
     pub use ses_store::EventStore;
 }

@@ -54,6 +54,77 @@ pub fn relation_strategy_with(
         })
 }
 
+/// Patterns for the analyzer differential suite: 1–2 sets, ≤ 3 plain
+/// variables (no groups, so every selection strategy is complete), each
+/// variable optionally typed via `L`, plus random constant and order
+/// conditions on `ID`. The extra conditions make every analyzer pass
+/// fire with useful frequency: overlapping constants trigger SES002
+/// redundancy, contradictory ones SES001 emptiness (both the original
+/// and the rewritten pattern must then match nothing), and `≤`/`<`/`=`
+/// links between variables feed constant propagation.
+pub fn analyzer_pattern_strategy() -> impl Strategy<Value = Pattern> {
+    const OPS: [CmpOp; 6] = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ];
+    const LINK_OPS: [CmpOp; 3] = [CmpOp::Eq, CmpOp::Le, CmpOp::Lt];
+    (
+        proptest::collection::vec(
+            proptest::collection::vec((0u8..2, proptest::bool::ANY), 1..3),
+            1..3,
+        ),
+        4i64..20,
+        proptest::collection::vec((0u8..3, 0u8..6, 0i64..4), 0..4),
+        proptest::collection::vec((0u8..3, 0u8..3, 0u8..3), 0..3),
+    )
+        .prop_filter("≤3 vars", |(sets, ..)| {
+            sets.iter().map(Vec::len).sum::<usize>() <= 3
+        })
+        .prop_map(|(sets, within, consts, links)| {
+            let mut b = Pattern::builder();
+            for (si, set) in sets.iter().enumerate() {
+                let vars: Vec<String> = (0..set.len()).map(|vi| format!("v{si}_{vi}")).collect();
+                b = b.set(move |s| {
+                    for n in &vars {
+                        s.var(n.clone());
+                    }
+                    s
+                });
+            }
+            let mut names: Vec<String> = Vec::new();
+            for (si, set) in sets.iter().enumerate() {
+                for (vi, (ty, typed)) in set.iter().enumerate() {
+                    let name = format!("v{si}_{vi}");
+                    if *typed {
+                        b = b.cond_const(name.clone(), "L", CmpOp::Eq, TYPES[*ty as usize]);
+                    }
+                    names.push(name);
+                }
+            }
+            for (var, op, c) in consts {
+                let v = &names[var as usize % names.len()];
+                b = b.cond_const(v.clone(), "ID", OPS[op as usize], c);
+            }
+            for (op, from, to) in links {
+                let (f, t) = (from as usize % names.len(), to as usize % names.len());
+                if f != t {
+                    b = b.cond_vars(
+                        names[f].clone(),
+                        "ID",
+                        LINK_OPS[op as usize],
+                        names[t].clone(),
+                        "ID",
+                    );
+                }
+            }
+            b.within(Duration::ticks(within)).build().unwrap()
+        })
+}
+
 /// Tiny patterns: 1–2 sets, ≤ 3 variables total, constant type
 /// conditions (possibly overlapping ⇒ nondeterminism), optionally a
 /// group variable and an ID-equality clique (greedy-safe correlation).
