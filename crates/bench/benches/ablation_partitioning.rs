@@ -1,16 +1,28 @@
-//! Ablation: condition-based correlation vs pre-partitioned scans.
+//! Ablation: condition-based correlation vs partitioned scans.
 //!
 //! Query Q1 correlates events per patient via `ID`-equality conditions; a
 //! MATCH_RECOGNIZE-style `PARTITION BY ID` can instead split the relation
 //! up front and run the matcher per partition. Both give the same answer
-//! (asserted in `tests/pipeline.rs`); this bench prices the difference —
-//! partitioning shrinks every per-event instance loop but pays the
-//! split and per-partition scheduling.
+//! (asserted in `tests/pipeline.rs` and `tests/parallel_vs_global.rs`);
+//! this bench prices the difference — partitioning shrinks every
+//! per-event instance loop but pays the split and per-partition
+//! scheduling. Variants:
+//!
+//! - `global-correlated`: one scan, `|Ω|` spans all patients.
+//! - `partition-then-match`: split into *owned* per-partition relations
+//!   (event clones) and match each — the old clone-based strategy,
+//!   split measured inside the loop.
+//! - `prepartitioned-match`: split cost amortized away (e.g. a
+//!   partitioned store maintained incrementally).
+//! - `parallel-auto`: the engine's own partitioned path
+//!   (`PartitionMode::Auto`: proven key, zero-copy index-vector split,
+//!   LPT-scheduled workers) — and a pinned single-thread variant that
+//!   isolates the `|Ω|`-shrink effect from thread parallelism.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use ses_bench::datasets::Datasets;
-use ses_core::{MatchSemantics, Matcher, MatcherOptions};
+use ses_core::{MatchSemantics, Matcher, MatcherOptions, PartitionMode};
 use ses_store::EventStore;
 use ses_workload::paper;
 
@@ -18,23 +30,36 @@ fn bench_partitioning(c: &mut Criterion) {
     let datasets = Datasets::build(0.1, 1);
     let d1 = datasets.d1().clone();
     let schema = d1.schema().clone();
-    let matcher = Matcher::with_options(
+    let options = MatcherOptions {
+        semantics: MatchSemantics::AllRuns,
+        ..MatcherOptions::default()
+    };
+    let matcher = Matcher::with_options(&paper::query_q1(), &schema, options.clone()).unwrap();
+    let auto = Matcher::with_options(
         &paper::query_q1(),
         &schema,
         MatcherOptions {
-            semantics: MatchSemantics::AllRuns,
-            ..MatcherOptions::default()
+            partition: PartitionMode::Auto,
+            ..options
         },
     )
     .unwrap();
+    assert!(
+        auto.partition_key().is_some(),
+        "Q1 must prove ID as a partition key"
+    );
     let id_attr = schema.attr_id("ID").expect("chemo schema has ID");
+    // Construction is hoisted out of every `b.iter()` closure: the store
+    // wrapper and the relation clone are setup, not the measured
+    // operation (cloning D1 inside the loop used to dominate the
+    // partition-then-match numbers).
+    let store = EventStore::new("d1", d1.clone());
 
     let mut group = c.benchmark_group("partitioning");
     group.sample_size(10);
     group.bench_function("global-correlated", |b| b.iter(|| matcher.find(&d1).len()));
     group.bench_function("partition-then-match", |b| {
         b.iter(|| {
-            let store = EventStore::new("d1", d1.clone());
             store
                 .partition_by(id_attr)
                 .iter()
@@ -42,15 +67,28 @@ fn bench_partitioning(c: &mut Criterion) {
                 .sum::<usize>()
         })
     });
-    // Pre-partitioned (split cost amortized away, e.g. a partitioned
-    // store maintained incrementally).
-    let parts: Vec<_> = EventStore::new("d1", d1.clone()).partition_by(id_attr);
+    let parts: Vec<_> = store.partition_by(id_attr);
     group.bench_function("prepartitioned-match", |b| {
         b.iter(|| {
             parts
                 .iter()
                 .map(|(_, part)| matcher.find(part.relation()).len())
                 .sum::<usize>()
+        })
+    });
+    group.bench_function("parallel-auto", |b| b.iter(|| auto.find(&d1).len()));
+    group.bench_function("parallel-auto-1thread", |b| {
+        b.iter(|| {
+            ses_core::parallel::find_partitioned_with(
+                &auto,
+                &d1,
+                auto.partition_key().unwrap(),
+                Some(1),
+                &mut ses_core::NoProbe,
+                || ses_core::NoProbe,
+            )
+            .0
+            .len()
         })
     });
     group.finish();

@@ -1,0 +1,161 @@
+//! Quick partitioning benchmark: Q1 throughput on D1, global scan vs
+//! the analyzer-proven partition-parallel path.
+//!
+//! ```text
+//! cargo run -p ses-bench --release --bin partitioning -- \
+//!     [--scale F] [--iters N] [--threads N] [--out FILE.json]
+//! ```
+//!
+//! Writes a small JSON report (default `BENCH_partitioning.json`) with
+//! events/sec for both paths and the speedup — the CI smoke step runs
+//! this at `--scale 0.1` and the committed report tracks the ratio.
+//! Both paths are asserted to return the same matches before any number
+//! is reported.
+
+use ses_bench::datasets::Datasets;
+use ses_core::{MatchSemantics, Matcher, MatcherOptions, PartitionMode};
+use ses_event::Relation;
+use ses_metrics::{CountingProbe, Stopwatch};
+use ses_workload::paper;
+
+struct Options {
+    scale: f64,
+    iters: usize,
+    threads: Option<usize>,
+    out: std::path::PathBuf,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        scale: 0.1,
+        iters: 3,
+        threads: None,
+        out: "BENCH_partitioning.json".into(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("--{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--scale" => {
+                opts.scale = take("scale")?
+                    .parse()
+                    .map_err(|_| "--scale: not a number".to_string())?
+            }
+            "--iters" => {
+                opts.iters = take("iters")?
+                    .parse()
+                    .map_err(|_| "--iters: not a number".to_string())?
+            }
+            "--threads" => {
+                opts.threads = Some(
+                    take("threads")?
+                        .parse()
+                        .map_err(|_| "--threads: not a number".to_string())?,
+                )
+            }
+            "--out" => opts.out = take("out")?.into(),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if opts.iters == 0 {
+        return Err("--iters must be positive".to_string());
+    }
+    Ok(opts)
+}
+
+/// Best-of-`iters` wall time of `f`.
+fn best_secs(iters: usize, mut f: impl FnMut() -> usize) -> (f64, usize) {
+    let mut best = f64::INFINITY;
+    let mut matches = 0;
+    for _ in 0..iters {
+        let sw = Stopwatch::start();
+        matches = f();
+        best = best.min(sw.elapsed_secs());
+    }
+    (best, matches)
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let datasets = Datasets::build(opts.scale, 1);
+    let d1: &Relation = datasets.d1();
+    let events = d1.len();
+    let q1 = paper::query_q1();
+    let base = MatcherOptions {
+        semantics: MatchSemantics::AllRuns,
+        ..MatcherOptions::default()
+    };
+    let global = Matcher::with_options(&q1, d1.schema(), base.clone()).expect("Q1 compiles");
+    let auto = Matcher::with_options(
+        &q1,
+        d1.schema(),
+        MatcherOptions {
+            partition: PartitionMode::Auto,
+            threads: opts.threads,
+            ..base
+        },
+    )
+    .expect("Q1 compiles");
+    let key = auto.partition_key().expect("the analyzer proves ID for Q1");
+
+    // Same answer first, then the clock.
+    let expect = global.find(d1);
+    assert_eq!(auto.find(d1), expect, "partitioned answer must be global's");
+
+    let (global_secs, n_global) = best_secs(opts.iters, || global.find(d1).len());
+    let (part_secs, n_part) = best_secs(opts.iters, || auto.find(d1).len());
+    assert_eq!(n_global, n_part);
+
+    let mut layout = CountingProbe::new();
+    ses_core::parallel::find_partitioned_with(&auto, d1, key, opts.threads, &mut layout, || {
+        ses_core::NoProbe
+    });
+    let threads = opts.threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+
+    let eps = |secs: f64| events as f64 / secs.max(1e-12);
+    let speedup = global_secs / part_secs.max(1e-12);
+    let json = format!(
+        "{{\n  \"dataset\": \"D1\",\n  \"scale\": {},\n  \"events\": {},\n  \"matches\": {},\n  \
+         \"query\": \"Q1\",\n  \"semantics\": \"all-runs\",\n  \"partition_key\": \"ID\",\n  \
+         \"partitions\": {},\n  \"key_skew\": {:.3},\n  \"threads\": {},\n  \
+         \"global\": {{ \"secs\": {:.6}, \"events_per_sec\": {:.1} }},\n  \
+         \"partitioned\": {{ \"secs\": {:.6}, \"events_per_sec\": {:.1} }},\n  \
+         \"speedup\": {:.2}\n}}\n",
+        opts.scale,
+        events,
+        n_global,
+        layout.partition_count(),
+        layout.partition_skew(),
+        threads,
+        global_secs,
+        eps(global_secs),
+        part_secs,
+        eps(part_secs),
+        speedup,
+    );
+    std::fs::write(&opts.out, &json).expect("can write the report");
+    print!("{json}");
+    println!(
+        "global {:.1} ev/s vs partitioned {:.1} ev/s — ×{:.2} ({} partitions, {} thread(s)); \
+         wrote {}",
+        eps(global_secs),
+        eps(part_secs),
+        speedup,
+        layout.partition_count(),
+        threads,
+        opts.out.display(),
+    );
+}

@@ -33,6 +33,9 @@ const VALUED: &[&str] = &[
     "limit",
     "selection",
     "format",
+    "partition",
+    "threads",
+    "shards",
 ];
 
 impl Args {

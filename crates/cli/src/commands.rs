@@ -5,7 +5,10 @@
 
 use std::io::Write;
 
-use ses_core::{EventSelection, FilterMode, MatchSemantics, Matcher, MatcherOptions, MultiMatcher};
+use ses_core::{
+    EventSelection, FilterMode, MatchSemantics, Matcher, MatcherOptions, MultiMatcher,
+    PartitionMode,
+};
 use ses_event::Duration;
 use ses_metrics::{CountingProbe, Stopwatch, Table};
 use ses_query::TickUnit;
@@ -23,13 +26,19 @@ USAGE:
                    [--filter paper|pervariable|off]
                    [--selection next-match|any-match] [--closure]
                    [--propagate] [--limit N] [--stats]
+                   [--partition auto|ATTR|off] [--threads N]
                    (--propagate runs the static analyzer first: derived
-                    constants can rescue the §4.5 filter, see `check`)
+                    constants can rescue the §4.5 filter, see `check`.
+                    --partition auto splits the scan per proven partition
+                    key and matches partitions in parallel; an explicit
+                    ATTR is refused unless the analyzer proves it)
   ses-cli stream   --query <file-or-text> --data <file.csv>
                    [--no-evict] [--limit N] [--stats]
+                   [--partition auto|ATTR|off] [--shards N]
                    (replays the data as a stream: matches are finalized
                     eagerly at the watermark and old events are evicted
-                    unless --no-evict)
+                    unless --no-evict. --partition hash-routes events by
+                    the partition key to N independent shards)
   ses-cli check    --query <file-or-text>
                    [--schema \"NAME:TYPE,...\"] [--data <file.csv>]
                    [--format human|json] [--tick hour]
@@ -129,13 +138,35 @@ fn parse_filter(args: &Args) -> Result<FilterMode, String> {
     })
 }
 
-fn matcher_options(args: &Args) -> Result<MatcherOptions, String> {
+/// Parses `--partition auto|ATTR|off` against the data's schema.
+fn parse_partition(args: &Args, schema: &ses_event::Schema) -> Result<PartitionMode, String> {
+    Ok(match args.get("partition") {
+        None | Some("off") | Some("none") => PartitionMode::Off,
+        Some("auto") => PartitionMode::Auto,
+        Some(attr) => PartitionMode::Key(schema.attr_id(attr).ok_or_else(|| {
+            format!("--partition: the data has no attribute named `{attr}` (try `auto`)")
+        })?),
+    })
+}
+
+fn matcher_options(args: &Args, schema: &ses_event::Schema) -> Result<MatcherOptions, String> {
+    let threads = match args.get("threads") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("--threads: expected a positive integer, got `{v}`"))?,
+        ),
+    };
     Ok(MatcherOptions {
         filter: parse_filter(args)?,
         selection: parse_selection(args)?,
         semantics: parse_semantics(args)?,
         derive_equalities: args.has_flag("closure"),
         propagate_constants: args.has_flag("propagate"),
+        partition: parse_partition(args, schema)?,
+        threads,
         ..MatcherOptions::default()
     })
 }
@@ -160,9 +191,9 @@ fn build_matcher(
         .into_iter()
         .next()
         .ok_or_else(|| "no query given".to_string())?;
-    let matcher =
-        Matcher::with_options(&pattern, store.relation().schema(), matcher_options(args)?)
-            .map_err(|e| e.to_string())?;
+    let schema = store.relation().schema();
+    let matcher = Matcher::with_options(&pattern, schema, matcher_options(args, schema)?)
+        .map_err(|e| e.to_string())?;
     Ok((matcher, pattern))
 }
 
@@ -213,7 +244,24 @@ fn cmd_run(args: &Args, out: &mut dyn Write) -> Result<(), String> {
 
     let sw = Stopwatch::start();
     let mut probe = CountingProbe::new();
-    let matches = matcher.find_with_probe(store.relation(), &mut probe);
+    let matches = if let Some(key) = matcher.partition_key() {
+        // Drive the partitioned path directly so every worker gets its
+        // own counting probe; merging them preserves the full report.
+        let (matches, workers) = ses_core::parallel::find_partitioned_with(
+            &matcher,
+            store.relation(),
+            key,
+            matcher.options().threads,
+            &mut probe,
+            CountingProbe::new,
+        );
+        for w in &workers {
+            probe.merge(w);
+        }
+        matches
+    } else {
+        matcher.find_with_probe(store.relation(), &mut probe)
+    };
     let elapsed = sw.elapsed_secs();
 
     for (i, m) in matches.iter().take(limit).enumerate() {
@@ -255,6 +303,27 @@ fn cmd_run(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         t.row(["filter effective", filter_mode_name(probe.filter_effective)]);
         if probe.filter_downgraded() {
             t.row(["filter downgraded", "yes (SES003: run `ses-cli check`)"]);
+        }
+        match matcher.partition_key() {
+            Some(key) => {
+                t.row(["partitioned by", store.relation().schema().attr_name(key)]);
+                t.row(["partitions", &probe.partition_count().to_string()]);
+                t.row([
+                    "largest partition",
+                    &probe
+                        .partition_events
+                        .iter()
+                        .max()
+                        .copied()
+                        .unwrap_or(0)
+                        .to_string(),
+                ]);
+                t.row(["key skew", &format!("{:.2}", probe.partition_skew())]);
+            }
+            None if args.get("partition") == Some("auto") => {
+                t.row(["partitioned by", "- (no provable key; ran global)"]);
+            }
+            None => {}
         }
         write!(out, "\n{t}").map_err(io_err)?;
     }
@@ -348,6 +417,17 @@ fn cmd_check(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         let pattern = ses_query::analyze(ast, tick).map_err(|e| format!("{name}: {e}"))?;
         let spans = ses_query::condition_spans(ast);
         let analysis = ses_pattern::analyze(&pattern, &schema);
+        // Proven partition keys: attributes whose equality graph connects
+        // every variable, so `run --partition auto` can parallelize.
+        let partition_keys: Vec<String> = pattern
+            .compile(&schema)
+            .map(|c| {
+                c.partition_keys()
+                    .iter()
+                    .map(|&a| schema.attr_name(a).to_string())
+                    .collect()
+            })
+            .unwrap_or_default();
 
         // Thread query-source spans onto condition-level diagnostics.
         let mut diags = ses_pattern::Diagnostics::new();
@@ -383,15 +463,35 @@ fn cmd_check(args: &Args, out: &mut dyn Write) -> Result<(), String> {
             } else {
                 "false"
             });
+            json_out.push_str(",\"partition_keys\":[");
+            for (j, k) in partition_keys.iter().enumerate() {
+                if j > 0 {
+                    json_out.push(',');
+                }
+                json_out.push('"');
+                json_out.push_str(&k.replace('\\', "\\\\").replace('"', "\\\""));
+                json_out.push('"');
+            }
+            json_out.push(']');
             json_out.push_str(",\"diagnostics\":");
             json_out.push_str(&diags.to_json());
             json_out.push('}');
-        } else if diags.is_empty() {
-            writeln!(out, "{name}: ok").map_err(io_err)?;
         } else {
-            writeln!(out, "{name}:").map_err(io_err)?;
-            for d in diags.iter() {
-                writeln!(out, "  {d}").map_err(io_err)?;
+            if diags.is_empty() {
+                writeln!(out, "{name}: ok").map_err(io_err)?;
+            } else {
+                writeln!(out, "{name}:").map_err(io_err)?;
+                for d in diags.iter() {
+                    writeln!(out, "  {d}").map_err(io_err)?;
+                }
+            }
+            if !partition_keys.is_empty() {
+                writeln!(
+                    out,
+                    "  note: partitionable by {} (run --partition auto)",
+                    partition_keys.join(", ")
+                )
+                .map_err(io_err)?;
             }
         }
     }
@@ -423,13 +523,33 @@ fn cmd_stream(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         .next()
         .ok_or_else(|| "no query given".to_string())?;
     let evict = !args.has_flag("no-evict");
-    let mut sm = ses_core::StreamMatcher::with_options(
-        &pattern,
-        store.relation().schema(),
-        matcher_options(args)?,
-    )
-    .map_err(|e| e.to_string())?
-    .with_eviction(evict);
+    let schema = store.relation().schema().clone();
+    let options = matcher_options(args, &schema)?;
+
+    if options.partition != PartitionMode::Off {
+        let shards: usize = args.get_parsed("shards", 4)?;
+        if shards == 0 {
+            return Err("--shards must be positive".to_string());
+        }
+        match ses_core::ShardedStreamMatcher::with_options(
+            &pattern,
+            &schema,
+            options.clone(),
+            shards,
+        ) {
+            Ok(sm) => return stream_sharded(args, out, &store, &pattern, sm, evict),
+            // Auto degrades to a global stream when nothing is provable;
+            // an explicit key the analyzer rejects is a hard error.
+            Err(e) if options.partition == PartitionMode::Auto => {
+                writeln!(out, "note: {e}; streaming globally").map_err(io_err)?;
+            }
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+
+    let mut sm = ses_core::StreamMatcher::with_options(&pattern, &schema, options)
+        .map_err(|e| e.to_string())?
+        .with_eviction(evict);
     let limit: usize = args.get_parsed("limit", usize::MAX)?;
 
     let sw = Stopwatch::start();
@@ -487,6 +607,82 @@ fn cmd_stream(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     Ok(())
 }
 
+/// Replays the data through a hash-sharded stream matcher (one
+/// independent Ω/watermark per shard, routed by the proven partition
+/// key).
+fn stream_sharded(
+    args: &Args,
+    out: &mut dyn Write,
+    store: &EventStore,
+    pattern: &ses_pattern::Pattern,
+    sm: ses_core::ShardedStreamMatcher,
+    evict: bool,
+) -> Result<(), String> {
+    let mut sm = sm.with_eviction(evict);
+    let limit: usize = args.get_parsed("limit", usize::MAX)?;
+    let key_name = store
+        .relation()
+        .schema()
+        .attr_name(sm.partition_key())
+        .to_string();
+
+    let sw = Stopwatch::start();
+    let mut probe = CountingProbe::new();
+    let mut total = 0usize;
+    for (_, e) in store.relation().iter() {
+        let emitted = sm
+            .push_with_probe(e.ts(), e.values().to_vec(), &mut probe)
+            .map_err(|x| x.to_string())?;
+        for m in &emitted {
+            total += 1;
+            if total <= limit {
+                writeln!(
+                    out,
+                    "[t={}] match {total}: {}",
+                    e.ts(),
+                    m.display_with(pattern)
+                )
+                .map_err(io_err)?;
+            }
+        }
+    }
+    let retained = sm.retained_events();
+    let evicted = sm.evicted_events();
+    let shard_sizes = sm.shard_sizes();
+    let shard_peaks = sm.shard_peak_omega();
+    for m in &sm.finish() {
+        total += 1;
+        if total <= limit {
+            writeln!(out, "[finish] match {total}: {}", m.display_with(pattern)).map_err(io_err)?;
+        }
+    }
+    let elapsed = sw.elapsed_secs();
+    if total > limit {
+        writeln!(out, "… {} more matches (raise --limit)", total - limit).map_err(io_err)?;
+    }
+    writeln!(
+        out,
+        "{total} match(es) streamed in {elapsed:.3}s across {} shard(s)",
+        shard_sizes.len()
+    )
+    .map_err(io_err)?;
+
+    if args.has_flag("stats") {
+        let fmt_list = |v: &[usize]| v.iter().map(usize::to_string).collect::<Vec<_>>().join(" ");
+        let mut t = Table::new(["metric", "value"]);
+        t.row(["events pushed", &probe.events_read.to_string()]);
+        t.row(["sharded by", &key_name]);
+        t.row(["shards", &shard_sizes.len().to_string()]);
+        t.row(["shard events", &fmt_list(&shard_sizes)]);
+        t.row(["per-shard peak |Ω|", &fmt_list(&shard_peaks)]);
+        t.row(["events evicted", &evicted.to_string()]);
+        t.row(["retained at end", &retained.to_string()]);
+        t.row(["eviction", if evict { "on" } else { "off" }]);
+        write!(out, "\n{t}").map_err(io_err)?;
+    }
+    Ok(())
+}
+
 /// Evaluates a multi-query file in a single pass over the data.
 fn cmd_run_multi(
     args: &Args,
@@ -494,7 +690,7 @@ fn cmd_run_multi(
     store: &EventStore,
     patterns: Vec<(String, ses_pattern::Pattern)>,
 ) -> Result<(), String> {
-    let options = matcher_options(args)?;
+    let options = matcher_options(args, store.relation().schema())?;
     let mut multi = MultiMatcher::new();
     let mut by_name = Vec::new();
     for (name, pattern) in patterns {
@@ -937,11 +1133,135 @@ mod tests {
             vec!["run", "--query", Q1, "--data", &data, "--tick", "wat"],
             vec!["run", "--query", Q1, "--data", &data, "--semantics", "wat"],
             vec!["run", "--query", Q1, "--data", &data, "--filter", "wat"],
+            vec!["run", "--query", Q1, "--data", &data, "--threads", "0"],
+            vec!["run", "--query", Q1, "--data", &data, "--partition", "NOPE"],
             vec!["generate", "--workload", "wat", "--out", "/tmp/x.csv"],
         ] {
             let (code, out) = run(&bad);
             assert_eq!(code, 1, "{out}");
         }
         std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn run_partition_auto_matches_global_and_reports_layout() {
+        let data = figure1_csv();
+        let (code, global) = run(&["run", "--query", Q1, "--data", &data]);
+        assert_eq!(code, 0, "{global}");
+        let (code, out) = run(&[
+            "run",
+            "--query",
+            Q1,
+            "--data",
+            &data,
+            "--partition",
+            "auto",
+            "--threads",
+            "2",
+            "--stats",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        // Q1 correlates every variable on ID, so auto proves ID and the
+        // match set is identical to the global scan's.
+        assert!(out.contains("2 match(es)"), "{out}");
+        assert!(out.contains("c/e1"), "{out}");
+        assert!(out.contains("partitioned by"), "{out}");
+        assert!(out.contains("ID"), "{out}");
+        assert!(out.contains("partitions"), "{out}");
+        assert!(out.contains("key skew"), "{out}");
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn run_refuses_unproven_explicit_partition_key() {
+        let data = figure1_csv();
+        // L carries no cross-variable equality in Q1.
+        let (code, out) = run(&["run", "--query", Q1, "--data", &data, "--partition", "L"]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("not a proven partition key"), "{out}");
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn run_partition_auto_falls_back_when_unprovable() {
+        let data = figure1_csv();
+        // Uncorrelated query: nothing provable, auto runs global.
+        let q = "PATTERN PERMUTE(c) THEN b WHERE c.L = 'C' AND b.L = 'B' WITHIN 264 HOURS";
+        let (code, out) = run(&[
+            "run",
+            "--query",
+            q,
+            "--data",
+            &data,
+            "--partition",
+            "auto",
+            "--stats",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("no provable key"), "{out}");
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn stream_partition_auto_shards_by_key() {
+        let data = figure1_csv();
+        let (code, out) = run(&[
+            "stream",
+            "--query",
+            Q1,
+            "--data",
+            &data,
+            "--partition",
+            "auto",
+            "--shards",
+            "3",
+            "--stats",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("2 match(es) streamed"), "{out}");
+        assert!(out.contains("3 shard(s)"), "{out}");
+        assert!(out.contains("sharded by"), "{out}");
+        assert!(out.contains("per-shard peak |Ω|"), "{out}");
+        // Unproven explicit key aborts; auto on a keyless query degrades
+        // to a global stream with a notice.
+        let (code, out) = run(&["stream", "--query", Q1, "--data", &data, "--partition", "L"]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("not a proven partition key"), "{out}");
+        let q = "PATTERN PERMUTE(c) THEN b WHERE c.L = 'C' AND b.L = 'B' WITHIN 264 HOURS";
+        let (code, out) = run(&[
+            "stream",
+            "--query",
+            q,
+            "--data",
+            &data,
+            "--partition",
+            "auto",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("streaming globally"), "{out}");
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn check_reports_partition_keys() {
+        let (code, out) = run(&["check", "--query", Q1, "--schema", "ID:int,L:str"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("partitionable by ID"), "{out}");
+        let (code, out) = run(&[
+            "check",
+            "--query",
+            Q1,
+            "--schema",
+            "ID:int,L:str",
+            "--format",
+            "json",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("\"partition_keys\":[\"ID\"]"), "{out}");
+        // A keyless query gets no note and an empty key list.
+        let q = "PATTERN PERMUTE(c) THEN b WHERE c.L = 'C' AND b.L = 'B' WITHIN 10 TICKS";
+        let (code, out) = run(&["check", "--query", q, "--schema", "ID:int,L:str"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(!out.contains("partitionable"), "{out}");
     }
 }

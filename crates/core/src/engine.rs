@@ -17,7 +17,7 @@
 //! accepting state emit their buffers (configurable via
 //! [`ExecOptions::flush_at_end`]).
 
-use ses_event::{Event, EventId, Relation, Timestamp};
+use ses_event::{Event, EventId, EventSource, Relation, Timestamp};
 
 use crate::automaton::{Automaton, TransCond, Transition};
 use crate::buffer::Buffer;
@@ -108,14 +108,18 @@ impl RawMatch {
     }
 }
 
-/// Executes the automaton over a relation — the paper's `SESExec`.
+/// Executes the automaton over an event source — the paper's `SESExec`.
+///
+/// The source is usually a [`Relation`], but any [`EventSource`] works;
+/// partitioned execution passes zero-copy [`ses_event::RelationView`]s,
+/// in which case the returned event ids are view-local.
 ///
 /// Returns the raw matches in emission order. Apply
 /// [`crate::semantics::select`] to obtain the matching substitutions of
 /// Definition 2.
-pub fn execute<P: Probe>(
+pub fn execute<S: EventSource, P: Probe>(
     automaton: &Automaton,
-    relation: &Relation,
+    relation: &S,
     options: &ExecOptions,
     probe: &mut P,
 ) -> Vec<RawMatch> {
@@ -135,9 +139,9 @@ pub fn execute<P: Probe>(
 /// across automata is sampled at the same points in time as the paper's
 /// experiment 1.
 #[derive(Debug)]
-pub struct Execution<'a> {
+pub struct Execution<'a, S: EventSource = Relation> {
     automaton: &'a Automaton,
-    relation: &'a Relation,
+    relation: &'a S,
     options: ExecOptions,
     filter: EventFilter,
     omega: Vec<Instance>,
@@ -146,14 +150,14 @@ pub struct Execution<'a> {
     position: usize,
 }
 
-impl<'a> Execution<'a> {
+impl<'a, S: EventSource> Execution<'a, S> {
     /// The compiled event filter, including any silent downgrade.
     pub fn filter(&self) -> &EventFilter {
         &self.filter
     }
 
     /// Prepares an execution positioned before the first event.
-    pub fn new(automaton: &'a Automaton, relation: &'a Relation, options: ExecOptions) -> Self {
+    pub fn new(automaton: &'a Automaton, relation: &'a S, options: ExecOptions) -> Self {
         let filter = EventFilter::new(automaton.pattern(), options.filter);
         Execution {
             automaton,
@@ -269,9 +273,9 @@ pub(crate) fn sweep_expired<P: Probe>(
 /// instance, expire/emit, consume. Shared by the batch [`Execution`] and
 /// the push-based [`crate::StreamMatcher`].
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn process_event<P: Probe>(
+pub(crate) fn process_event<S: EventSource, P: Probe>(
     automaton: &Automaton,
-    relation: &Relation,
+    relation: &S,
     filter: &EventFilter,
     options: &ExecOptions,
     omega: &mut Vec<Instance>,
@@ -357,9 +361,9 @@ pub(crate) fn process_event<P: Probe>(
 /// Algorithm 2: offers `event` to `instance`; pushes the successor
 /// instances into `out`.
 #[allow(clippy::too_many_arguments)]
-fn consume_event<P: Probe>(
+fn consume_event<S: EventSource, P: Probe>(
     automaton: &Automaton,
-    relation: &Relation,
+    relation: &S,
     instance: &Instance,
     event: &Event,
     event_id: EventId,
@@ -418,9 +422,9 @@ fn consume_event<P: Probe>(
 /// the condition instances involving the new binding are checked here;
 /// every other combination was checked when its own binding was added.
 #[inline]
-fn eval_conditions(
+fn eval_conditions<S: EventSource>(
     automaton: &Automaton,
-    relation: &Relation,
+    relation: &S,
     transition: &Transition,
     buffer: &Buffer,
     event: &Event,

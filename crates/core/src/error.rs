@@ -16,6 +16,16 @@ pub enum CoreError {
     },
     /// A pattern failed to compile against the schema.
     Pattern(ses_pattern::PatternError),
+    /// An explicitly requested partition key could not be proven sound
+    /// for the pattern — splitting by it could lose cross-partition
+    /// matches, so the matcher refuses rather than silently mis-answer.
+    /// Use `PartitionMode::Auto` to partition only when provable.
+    UnprovenPartitionKey {
+        /// The requested attribute's name.
+        attr: String,
+        /// Why the proof failed.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -26,6 +36,11 @@ impl fmt::Display for CoreError {
                 "automaton would need {required} states, exceeding the limit of {limit}"
             ),
             CoreError::Pattern(e) => write!(f, "pattern error: {e}"),
+            CoreError::UnprovenPartitionKey { attr, reason } => write!(
+                f,
+                "`{attr}` is not a proven partition key: {reason} \
+                 (use `Auto` to partition only when provable)"
+            ),
         }
     }
 }

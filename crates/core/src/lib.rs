@@ -60,9 +60,11 @@ mod matches;
 mod measures;
 mod multi;
 mod negation;
+pub mod parallel;
 mod probe;
 mod reference;
 mod semantics;
+mod shard;
 mod state;
 mod stream;
 mod trace;
@@ -72,7 +74,7 @@ pub use buffer::{Binding, Buffer, BufferIter};
 pub use engine::{execute, EventSelection, ExecOptions, Execution, Instance, RawMatch};
 pub use error::CoreError;
 pub use filter::{EventFilter, FilterMode};
-pub use matcher::{Matcher, MatcherOptions};
+pub use matcher::{Matcher, MatcherOptions, PartitionMode};
 pub use matches::Match;
 pub use measures::{aggregate, Aggregate};
 pub use multi::MultiMatcher;
@@ -80,6 +82,7 @@ pub use negation::{filter_negations, passes_negations};
 pub use probe::{NoProbe, Probe};
 pub use reference::{enumerate_candidates, satisfies_conditions_1_3};
 pub use semantics::{select, MatchSemantics};
+pub use shard::ShardedStreamMatcher;
 pub use state::{StateId, StateSet};
 pub use stream::StreamMatcher;
 pub use trace::{trace_execution, ExecutionTrace, TraceStep};

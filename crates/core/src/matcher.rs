@@ -30,7 +30,7 @@
 //! assert_eq!(matches.len(), 1); // B and A in any order
 //! ```
 
-use ses_event::{Relation, Schema};
+use ses_event::{AttrId, Relation, Schema};
 use ses_pattern::{CompiledPattern, Pattern};
 
 use crate::automaton::{Automaton, DEFAULT_MAX_STATES};
@@ -40,6 +40,31 @@ use crate::matches::Match;
 use crate::probe::{NoProbe, Probe};
 use crate::semantics::{select, MatchSemantics};
 use crate::CoreError;
+
+/// How a [`Matcher`] splits its input for partition-parallel execution.
+///
+/// Splitting is sound only when every match is confined to one value of
+/// the partitioning attribute — see
+/// [`CompiledPattern::partition_keys`] for the proof the matcher relies
+/// on. Partitioning also requires `flush_at_end` (the default): without
+/// the end-of-input flush, emission is driven by *later* events arriving
+/// in the same scan, and a partition lacks the other keys' events that
+/// would expire its instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionMode {
+    /// Never partition: one global scan (the default).
+    #[default]
+    Off,
+    /// Partition by the first proven key, when the analyzer proves one
+    /// and `flush_at_end` is set; fall back to a global scan otherwise.
+    /// Never an error.
+    Auto,
+    /// Partition by this attribute. Construction fails with
+    /// [`CoreError::UnprovenPartitionKey`] unless the attribute is a
+    /// proven key and `flush_at_end` is set — an unproven split could
+    /// silently lose cross-partition matches.
+    Key(AttrId),
+}
 
 /// Configuration for a [`Matcher`].
 #[derive(Debug, Clone)]
@@ -77,6 +102,11 @@ pub struct MatcherOptions {
     pub max_states: usize,
     /// Optional hard cap on simultaneous instances (tests/guards only).
     pub max_instances: Option<usize>,
+    /// Partition-parallel execution mode. Default: [`PartitionMode::Off`].
+    pub partition: PartitionMode,
+    /// Worker threads for partitioned execution. `None` (the default)
+    /// uses [`std::thread::available_parallelism`].
+    pub threads: Option<usize>,
 }
 
 impl Default for MatcherOptions {
@@ -91,6 +121,8 @@ impl Default for MatcherOptions {
             propagate_constants: false,
             max_states: DEFAULT_MAX_STATES,
             max_instances: None,
+            partition: PartitionMode::Off,
+            threads: None,
         }
     }
 }
@@ -100,6 +132,53 @@ impl Default for MatcherOptions {
 pub struct Matcher {
     automaton: Automaton,
     options: MatcherOptions,
+    /// The attribute [`Matcher::find`] partitions by, resolved from
+    /// `options.partition` at construction.
+    partition_key: Option<AttrId>,
+}
+
+/// Resolves a [`PartitionMode`] against a compiled pattern's proven
+/// keys. Shared by [`Matcher`] and [`crate::ShardedStreamMatcher`].
+pub(crate) fn resolve_partition_key(
+    compiled: &CompiledPattern,
+    options: &MatcherOptions,
+) -> Result<Option<AttrId>, CoreError> {
+    match options.partition {
+        PartitionMode::Off => Ok(None),
+        PartitionMode::Auto => Ok(if options.flush_at_end {
+            compiled.partition_keys().first().copied()
+        } else {
+            None
+        }),
+        PartitionMode::Key(attr) => {
+            if attr.index() >= compiled.schema().len() {
+                return Err(CoreError::UnprovenPartitionKey {
+                    attr: attr.to_string(),
+                    reason: "the schema has no such attribute".to_string(),
+                });
+            }
+            let name = compiled.schema().attr_name(attr);
+            if !options.flush_at_end {
+                return Err(CoreError::UnprovenPartitionKey {
+                    attr: name.to_string(),
+                    reason: "partitioned execution requires `flush_at_end`: without the \
+                             end-of-input flush, emission depends on later events of \
+                             *other* keys expiring the instance"
+                        .to_string(),
+                });
+            }
+            if !compiled.is_partition_key(attr) {
+                return Err(CoreError::UnprovenPartitionKey {
+                    attr: name.to_string(),
+                    reason: format!(
+                        "the equality-condition graph on `{name}` does not connect every \
+                         variable, so a match could span two `{name}` values"
+                    ),
+                });
+            }
+            Ok(Some(attr))
+        }
+    }
 }
 
 impl Matcher {
@@ -131,8 +210,13 @@ impl Matcher {
         compiled: CompiledPattern,
         options: MatcherOptions,
     ) -> Result<Matcher, CoreError> {
+        let partition_key = resolve_partition_key(&compiled, &options)?;
         let automaton = Automaton::build_with_limit(compiled, options.max_states)?;
-        Ok(Matcher { automaton, options })
+        Ok(Matcher {
+            automaton,
+            options,
+            partition_key,
+        })
     }
 
     /// The underlying SES automaton.
@@ -145,6 +229,23 @@ impl Matcher {
         &self.options
     }
 
+    /// The attribute [`Matcher::find`] partitions by, if any — `Some`
+    /// when the configured [`PartitionMode`] resolved against a proven
+    /// key at construction.
+    pub fn partition_key(&self) -> Option<AttrId> {
+        self.partition_key
+    }
+
+    pub(crate) fn exec_options(&self) -> ExecOptions {
+        ExecOptions {
+            filter: self.options.filter,
+            selection: self.options.selection,
+            flush_at_end: self.options.flush_at_end,
+            type_precheck: self.options.type_precheck,
+            max_instances: self.options.max_instances,
+        }
+    }
+
     /// Finds all matching substitutions in `relation`.
     pub fn find(&self, relation: &Relation) -> Vec<Match> {
         self.find_with_probe(relation, &mut NoProbe)
@@ -152,20 +253,43 @@ impl Matcher {
 
     /// Finds all matching substitutions, reporting engine events to
     /// `probe`.
+    ///
+    /// When a partition key is resolved (see [`Matcher::partition_key`])
+    /// the scan runs partition-parallel. Per-event probe hooks are then
+    /// sampled inside worker threads and only the aggregate hooks
+    /// (`partitions`, `partition_events`, per-partition peak `omega`,
+    /// `filter_mode`) reach `probe` — use
+    /// [`crate::parallel::find_partitioned_with`] directly for full
+    /// per-partition instrumentation.
     pub fn find_with_probe<P: Probe>(&self, relation: &Relation, probe: &mut P) -> Vec<Match> {
         // A provably unsatisfiable Θ (analyzer SES001) matches nothing;
         // skip the scan entirely.
         if !self.automaton.pattern().is_satisfiable() {
             return Vec::new();
         }
-        let exec = ExecOptions {
-            filter: self.options.filter,
-            selection: self.options.selection,
-            flush_at_end: self.options.flush_at_end,
-            type_precheck: self.options.type_precheck,
-            max_instances: self.options.max_instances,
-        };
-        let raw = execute(&self.automaton, relation, &exec, probe);
+        if let Some(key) = self.partition_key {
+            /// Minimal per-partition worker probe: peak `|Ω|` only.
+            #[derive(Default)]
+            struct Peak(usize);
+            impl Probe for Peak {
+                fn omega(&mut self, n: usize) {
+                    self.0 = self.0.max(n);
+                }
+            }
+            let (matches, peaks) = crate::parallel::find_partitioned_with(
+                self,
+                relation,
+                key,
+                self.options.threads,
+                probe,
+                Peak::default,
+            );
+            for p in peaks {
+                probe.omega(p.0);
+            }
+            return matches;
+        }
+        let raw = execute(&self.automaton, relation, &self.exec_options(), probe);
         let raw = crate::negation::filter_negations(raw, relation, self.automaton.pattern());
         select(
             raw,
@@ -401,5 +525,115 @@ mod tests {
         assert_eq!(m.find(&rel(&[(0, 1, "A")])).len(), 1);
         assert_eq!(m.find(&rel(&[(0, 1, "B")])).len(), 0);
         assert_eq!(m.find(&rel(&[(0, 1, "A"), (100, 2, "A")])).len(), 2);
+    }
+
+    fn correlated_pair() -> Pattern {
+        Pattern::builder()
+            .set(|s| s.var("a"))
+            .set(|s| s.var("b"))
+            .cond_const("a", "L", CmpOp::Eq, "A")
+            .cond_const("b", "L", CmpOp::Eq, "B")
+            .cond_vars("a", "ID", CmpOp::Eq, "b", "ID")
+            .within(Duration::ticks(10))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn auto_partition_uses_the_proven_key() {
+        let m = Matcher::with_options(
+            &correlated_pair(),
+            &schema(),
+            MatcherOptions {
+                partition: PartitionMode::Auto,
+                ..MatcherOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(m.partition_key(), schema().attr_id("ID"));
+    }
+
+    #[test]
+    fn auto_partition_falls_back_without_flush_or_proof() {
+        // flush_at_end=false: partitioning is unsound (emission would
+        // depend on other keys' events expiring instances), so Auto
+        // silently runs global.
+        let m = Matcher::with_options(
+            &correlated_pair(),
+            &schema(),
+            MatcherOptions {
+                partition: PartitionMode::Auto,
+                flush_at_end: false,
+                ..MatcherOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(m.partition_key(), None);
+
+        // Uncorrelated pattern: nothing provable, Auto runs global.
+        let p = Pattern::builder()
+            .set(|s| s.var("a"))
+            .set(|s| s.var("b"))
+            .cond_const("a", "L", CmpOp::Eq, "A")
+            .cond_const("b", "L", CmpOp::Eq, "B")
+            .within(Duration::ticks(10))
+            .build()
+            .unwrap();
+        let m = Matcher::with_options(
+            &p,
+            &schema(),
+            MatcherOptions {
+                partition: PartitionMode::Auto,
+                ..MatcherOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(m.partition_key(), None);
+    }
+
+    #[test]
+    fn explicit_unproven_key_is_refused() {
+        // L carries no cross-variable equality: partitioning by it could
+        // split a's event from b's, so Key(L) must be rejected loudly.
+        let err = Matcher::with_options(
+            &correlated_pair(),
+            &schema(),
+            MatcherOptions {
+                partition: PartitionMode::Key(schema().attr_id("L").unwrap()),
+                ..MatcherOptions::default()
+            },
+        )
+        .unwrap_err();
+        match err {
+            CoreError::UnprovenPartitionKey { attr, reason } => {
+                assert_eq!(attr, "L");
+                assert!(reason.contains("does not connect every"), "{reason}");
+            }
+            other => panic!("expected UnprovenPartitionKey, got {other:?}"),
+        }
+
+        // Out-of-schema attribute ids are refused, not panicked on.
+        let err = Matcher::with_options(
+            &correlated_pair(),
+            &schema(),
+            MatcherOptions {
+                partition: PartitionMode::Key(AttrId(99)),
+                ..MatcherOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("no such attribute"));
+
+        // A proven explicit key is accepted.
+        let m = Matcher::with_options(
+            &correlated_pair(),
+            &schema(),
+            MatcherOptions {
+                partition: PartitionMode::Key(schema().attr_id("ID").unwrap()),
+                ..MatcherOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(m.partition_key(), schema().attr_id("ID"));
     }
 }

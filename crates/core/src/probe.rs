@@ -64,6 +64,16 @@ pub trait Probe {
     /// per execution/stream construction.
     #[inline]
     fn filter_mode(&mut self, _requested: crate::FilterMode, _effective: crate::FilterMode) {}
+
+    /// Partitioned execution split the input into `_n` partitions. Fired
+    /// once per partitioned run, before any partition executes.
+    #[inline]
+    fn partitions(&mut self, _n: usize) {}
+
+    /// One partition holds `_n` events. Fired once per partition, in
+    /// partition order — the spread over these samples is the key skew.
+    #[inline]
+    fn partition_events(&mut self, _n: usize) {}
 }
 
 /// The no-op probe: compiles to nothing.
@@ -120,6 +130,14 @@ impl<P: Probe + ?Sized> Probe for &mut P {
     #[inline]
     fn filter_mode(&mut self, requested: crate::FilterMode, effective: crate::FilterMode) {
         (**self).filter_mode(requested, effective);
+    }
+    #[inline]
+    fn partitions(&mut self, n: usize) {
+        (**self).partitions(n);
+    }
+    #[inline]
+    fn partition_events(&mut self, n: usize) {
+        (**self).partition_events(n);
     }
 }
 

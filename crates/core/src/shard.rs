@@ -1,0 +1,625 @@
+//! Hash-sharded streaming: a [`StreamMatcher`] per shard, routed by a
+//! proven partition key.
+//!
+//! When the pattern proves a partition key (see
+//! [`ses_pattern::CompiledPattern::partition_keys`]), no match spans two
+//! key values, so a stream splits by `hash(key) % shards` into
+//! independent [`StreamMatcher`]s, each with its own instance set Ω,
+//! watermark, and eviction window. Per-shard `|Ω|` shrinks to the
+//! shard's own keys, and [`ShardedStreamMatcher::push_batch`] runs the
+//! shards on scoped threads.
+//!
+//! Per-shard adjudication is exact under the key proof: adjudication
+//! verdicts only compare matches sharing a first binding, and
+//! skip-till-next-match swap candidates must satisfy the key equality —
+//! both partition-local, so no shard needs another shard's matches.
+//!
+//! # Emission-timing caveat
+//!
+//! A shard's watermark advances only when *its* events arrive, so a
+//! match on an idle key is emitted later than a global matcher would
+//! emit it (at the next event of that shard, or at
+//! [`ShardedStreamMatcher::finish`]). The *set* of matches is
+//! identical; only the push at which each one surfaces may differ.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use ses_event::{AttrId, EventError, EventId, PartitionKey, Schema, Timestamp, Value};
+use ses_pattern::Pattern;
+
+use crate::automaton::Automaton;
+use crate::error::CoreError;
+use crate::matcher::{resolve_partition_key, MatcherOptions, PartitionMode};
+use crate::matches::Match;
+use crate::probe::{NoProbe, Probe};
+use crate::stream::StreamMatcher;
+
+/// One shard: a stream matcher plus the map from its local event ids
+/// back to global ones.
+#[derive(Debug)]
+struct Shard {
+    sm: StreamMatcher,
+    /// Global ids of this shard's events, indexed by `local - base`.
+    ids: Vec<EventId>,
+    /// The shard relation's first retained local index; `ids` is pruned
+    /// to it whenever the shard evicts.
+    base: usize,
+    /// Peak `|Ω|` observed on this shard.
+    peak_omega: usize,
+}
+
+/// Rewrites a shard-local match into global event ids.
+fn remap(ids: &[EventId], base: usize, m: &Match) -> Match {
+    Match::from_bindings(
+        m.bindings()
+            .iter()
+            .map(|&(v, e)| (v, ids[e.index() - base]))
+            .collect(),
+    )
+}
+
+impl Shard {
+    fn note_peak(&mut self) {
+        self.peak_omega = self.peak_omega.max(self.sm.active_instances());
+    }
+
+    /// Drops id-map entries for events the shard has evicted. Eviction
+    /// hysteresis makes this amortized O(1) per event.
+    fn prune(&mut self) {
+        let first = self.sm.relation().first_index();
+        if first > self.base {
+            self.ids.drain(..first - self.base);
+            self.base = first;
+        }
+    }
+}
+
+/// A partition-parallel [`StreamMatcher`]: events are hash-routed by a
+/// proven partition key to independent per-shard stream matchers, and
+/// emitted matches are reported in global event ids.
+///
+/// Requires [`MatcherOptions::partition`] to be `Auto` (with a provable
+/// key) or a proven explicit `Key`; construction fails otherwise — a
+/// sharded stream over an unproven key would silently lose
+/// cross-partition matches.
+///
+/// ```
+/// use ses_event::{AttrType, CmpOp, Duration, Schema, Timestamp, Value};
+/// use ses_pattern::Pattern;
+/// use ses_core::{MatcherOptions, PartitionMode, ShardedStreamMatcher};
+///
+/// let schema = Schema::builder()
+///     .attr("ID", AttrType::Int)
+///     .attr("L", AttrType::Str)
+///     .build()
+///     .unwrap();
+/// let pattern = Pattern::builder()
+///     .set(|s| s.var("a").var("b"))
+///     .cond_const("a", "L", CmpOp::Eq, "A")
+///     .cond_const("b", "L", CmpOp::Eq, "B")
+///     .cond_vars("a", "ID", CmpOp::Eq, "b", "ID")
+///     .within(Duration::ticks(10))
+///     .build()
+///     .unwrap();
+///
+/// let options = MatcherOptions {
+///     partition: PartitionMode::Auto,
+///     ..MatcherOptions::default()
+/// };
+/// let mut sm = ShardedStreamMatcher::with_options(&pattern, &schema, options, 4).unwrap();
+/// for (t, id, l) in [(0, 7, "A"), (1, 9, "A"), (2, 9, "B"), (3, 7, "B")] {
+///     sm.push(Timestamp::new(t), [Value::from(id), Value::from(l)]).unwrap();
+/// }
+/// let mut matches = sm.finish();
+/// assert_eq!(matches.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct ShardedStreamMatcher {
+    shards: Vec<Shard>,
+    key: AttrId,
+    schema: Schema,
+    last_ts: Option<Timestamp>,
+    next_id: usize,
+    emitted: usize,
+}
+
+impl ShardedStreamMatcher {
+    /// Builds a sharded stream matcher with `shards` shards (clamped to
+    /// at least one). Fails with [`CoreError::UnprovenPartitionKey`]
+    /// when the options' partition mode does not resolve to a proven
+    /// key.
+    pub fn with_options(
+        pattern: &Pattern,
+        schema: &Schema,
+        options: MatcherOptions,
+        shards: usize,
+    ) -> Result<ShardedStreamMatcher, CoreError> {
+        let compiled = if options.propagate_constants {
+            ses_pattern::analyze(pattern, schema)
+                .pattern
+                .compile(schema)?
+        } else if options.derive_equalities {
+            ses_pattern::equality_closure(pattern).compile(schema)?
+        } else {
+            pattern.compile(schema)?
+        };
+        let key = match resolve_partition_key(&compiled, &options)? {
+            Some(key) => key,
+            None => {
+                let reason = match options.partition {
+                    PartitionMode::Off => "partition mode is `Off`; a sharded stream needs a \
+                                           key — use `StreamMatcher` for a global stream"
+                        .to_string(),
+                    PartitionMode::Auto if !options.flush_at_end => {
+                        "partitioned execution requires `flush_at_end`".to_string()
+                    }
+                    _ => "the pattern proves no partition key".to_string(),
+                };
+                return Err(CoreError::UnprovenPartitionKey {
+                    attr: "<auto>".to_string(),
+                    reason,
+                });
+            }
+        };
+        let automaton = Automaton::build_with_limit(compiled, options.max_states)?;
+        let shards = (0..shards.max(1))
+            .map(|_| Shard {
+                sm: StreamMatcher::from_automaton(automaton.clone(), options.clone()),
+                ids: Vec::new(),
+                base: 0,
+                peak_omega: 0,
+            })
+            .collect();
+        Ok(ShardedStreamMatcher {
+            shards,
+            key,
+            schema: schema.clone(),
+            last_ts: None,
+            next_id: 0,
+            emitted: 0,
+        })
+    }
+
+    /// Enables or disables eviction on every shard (see
+    /// [`StreamMatcher::with_eviction`]).
+    pub fn with_eviction(mut self, evict: bool) -> ShardedStreamMatcher {
+        self.shards = self
+            .shards
+            .into_iter()
+            .map(|mut s| {
+                s.sm = s.sm.with_eviction(evict);
+                s
+            })
+            .collect();
+        self
+    }
+
+    /// Validates a row and the global arrival order before routing.
+    fn check(&self, ts: Timestamp, values: &[Value]) -> Result<(), EventError> {
+        self.schema.check_row(values)?;
+        if let Some(last) = self.last_ts {
+            if ts < last {
+                return Err(EventError::OutOfOrder {
+                    previous: last.ticks(),
+                    got: ts.ticks(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn shard_of(&self, values: &[Value]) -> usize {
+        let mut h = DefaultHasher::new();
+        PartitionKey::of(&values[self.key.index()]).hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    /// Pushes one event, returning the matches its shard finalized.
+    pub fn push(
+        &mut self,
+        ts: Timestamp,
+        values: impl Into<Vec<Value>>,
+    ) -> Result<Vec<Match>, EventError> {
+        self.push_with_probe(ts, values, &mut NoProbe)
+    }
+
+    /// [`ShardedStreamMatcher::push`] with a probe; the probe observes
+    /// the receiving shard's engine events.
+    pub fn push_with_probe<P: Probe>(
+        &mut self,
+        ts: Timestamp,
+        values: impl Into<Vec<Value>>,
+        probe: &mut P,
+    ) -> Result<Vec<Match>, EventError> {
+        let values = values.into();
+        self.check(ts, &values)?;
+        let si = self.shard_of(&values);
+        let shard = &mut self.shards[si];
+        // The shard push cannot fail: the row and the global order were
+        // checked above, and the shard's last timestamp never exceeds
+        // the global one.
+        shard.ids.push(EventId::from(self.next_id));
+        let out = shard.sm.push_with_probe(ts, values, probe)?;
+        self.last_ts = Some(ts);
+        self.next_id += 1;
+        shard.note_peak();
+        let out: Vec<Match> = out
+            .iter()
+            .map(|m| remap(&shard.ids, shard.base, m))
+            .collect();
+        shard.prune();
+        self.emitted += out.len();
+        Ok(out)
+    }
+
+    /// Pushes a batch of events, running the shards on scoped threads,
+    /// and returns the matches finalized during the batch in canonical
+    /// order. Routing (and the order/schema checks) is sequential so
+    /// global event ids reflect arrival order; only the per-shard
+    /// matching runs in parallel.
+    pub fn push_batch(
+        &mut self,
+        events: Vec<(Timestamp, Vec<Value>)>,
+    ) -> Result<Vec<Match>, EventError> {
+        let mut routed: Vec<Vec<(Timestamp, Vec<Value>)>> = Vec::new();
+        routed.resize_with(self.shards.len(), Vec::new);
+        for (ts, values) in events {
+            self.check(ts, &values)?;
+            let si = self.shard_of(&values);
+            self.shards[si].ids.push(EventId::from(self.next_id));
+            self.next_id += 1;
+            self.last_ts = Some(ts);
+            routed[si].push((ts, values));
+        }
+        let results: Vec<Result<Vec<Match>, EventError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .zip(routed)
+                .map(|(shard, events)| {
+                    scope.spawn(move || -> Result<Vec<Match>, EventError> {
+                        let mut local = Vec::new();
+                        for (ts, values) in events {
+                            let emitted = shard.sm.push(ts, values)?;
+                            shard.note_peak();
+                            local.extend(emitted.iter().map(|m| remap(&shard.ids, shard.base, m)));
+                        }
+                        shard.prune();
+                        Ok(local)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        let mut out = Vec::new();
+        for r in results {
+            // Unreachable after the pre-checks above, but propagated
+            // rather than swallowed.
+            out.extend(r?);
+        }
+        out.sort_unstable();
+        self.emitted += out.len();
+        Ok(out)
+    }
+
+    /// Ends every shard's stream, flushing still-accepting instances and
+    /// adjudicating pending matches; returns the remaining matches in
+    /// canonical order.
+    pub fn finish(self) -> Vec<Match> {
+        let mut out: Vec<Match> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .into_iter()
+                .map(|shard| {
+                    scope.spawn(move || {
+                        let Shard { sm, ids, base, .. } = shard;
+                        sm.finish()
+                            .iter()
+                            .map(|m| remap(&ids, base, m))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        out.sort_unstable();
+        out
+    }
+
+    /// The attribute events are routed by.
+    pub fn partition_key(&self) -> AttrId {
+        self.key
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Events routed to each shard so far — the spread is the key skew.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.base + s.ids.len()).collect()
+    }
+
+    /// Peak `|Ω|` observed on each shard.
+    pub fn shard_peak_omega(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.peak_omega).collect()
+    }
+
+    /// Active instances summed over all shards.
+    pub fn active_instances(&self) -> usize {
+        self.shards.iter().map(|s| s.sm.active_instances()).sum()
+    }
+
+    /// Events currently retained, summed over all shards.
+    pub fn retained_events(&self) -> usize {
+        self.shards.iter().map(|s| s.sm.retained_events()).sum()
+    }
+
+    /// Events evicted so far, summed over all shards.
+    pub fn evicted_events(&self) -> usize {
+        self.shards.iter().map(|s| s.sm.evicted_events()).sum()
+    }
+
+    /// Matches emitted by pushes so far (excludes [`finish`]).
+    ///
+    /// [`finish`]: ShardedStreamMatcher::finish
+    pub fn emitted_so_far(&self) -> usize {
+        self.emitted
+    }
+
+    /// The latest timestamp pushed, if any.
+    pub fn watermark(&self) -> Option<Timestamp> {
+        self.last_ts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::Matcher;
+    use crate::semantics::MatchSemantics;
+    use ses_event::{AttrType, CmpOp, Duration, Relation};
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attr("ID", AttrType::Int)
+            .attr("L", AttrType::Str)
+            .build()
+            .unwrap()
+    }
+
+    /// `{a, b} ; {c}` fully correlated on ID — every attribute-ID chain
+    /// connects all three variables, so ID is a proven partition key.
+    fn keyed_pattern() -> Pattern {
+        Pattern::builder()
+            .set(|s| s.var("a").var("b"))
+            .set(|s| s.var("c"))
+            .cond_const("a", "L", CmpOp::Eq, "A")
+            .cond_const("b", "L", CmpOp::Eq, "B")
+            .cond_const("c", "L", CmpOp::Eq, "C")
+            .cond_vars("a", "ID", CmpOp::Eq, "b", "ID")
+            .cond_vars("a", "ID", CmpOp::Eq, "c", "ID")
+            .within(Duration::ticks(10))
+            .build()
+            .unwrap()
+    }
+
+    fn auto_options(semantics: MatchSemantics) -> MatcherOptions {
+        MatcherOptions {
+            partition: PartitionMode::Auto,
+            semantics,
+            ..MatcherOptions::default()
+        }
+    }
+
+    /// A multi-key interleaved workload: each key runs A, B, C with the
+    /// keys' events shuffled together.
+    fn workload() -> Vec<(Timestamp, Vec<Value>)> {
+        let mut events = Vec::new();
+        let labels = ["A", "B", "C"];
+        for step in 0..3 {
+            for key in 0..5i64 {
+                let t = step * 5 + key;
+                events.push((
+                    Timestamp::new(t),
+                    vec![Value::from(key), Value::from(labels[step as usize])],
+                ));
+            }
+        }
+        events
+    }
+
+    fn global_answer(semantics: MatchSemantics) -> Vec<Match> {
+        let mut rel = Relation::new(schema());
+        for (ts, values) in workload() {
+            rel.push_values(ts, values).unwrap();
+        }
+        let matcher = Matcher::with_options(
+            &keyed_pattern(),
+            &schema(),
+            MatcherOptions {
+                semantics,
+                ..MatcherOptions::default()
+            },
+        )
+        .unwrap();
+        matcher.find(&rel)
+    }
+
+    #[test]
+    fn sharded_stream_union_equals_global_batch() {
+        for semantics in [
+            MatchSemantics::AllRuns,
+            MatchSemantics::Definition2,
+            MatchSemantics::Maximal,
+        ] {
+            let mut sm = ShardedStreamMatcher::with_options(
+                &keyed_pattern(),
+                &schema(),
+                auto_options(semantics),
+                4,
+            )
+            .unwrap();
+            let mut got = Vec::new();
+            for (ts, values) in workload() {
+                got.extend(sm.push(ts, values).unwrap());
+            }
+            assert_eq!(sm.num_shards(), 4);
+            assert_eq!(sm.shard_sizes().iter().sum::<usize>(), 15);
+            got.extend(sm.finish());
+            got.sort_unstable();
+            assert_eq!(got, global_answer(semantics), "{semantics:?}");
+        }
+    }
+
+    #[test]
+    fn push_batch_equals_per_event_pushes() {
+        let mut a = ShardedStreamMatcher::with_options(
+            &keyed_pattern(),
+            &schema(),
+            auto_options(MatchSemantics::AllRuns),
+            3,
+        )
+        .unwrap();
+        let mut b = ShardedStreamMatcher::with_options(
+            &keyed_pattern(),
+            &schema(),
+            auto_options(MatchSemantics::AllRuns),
+            3,
+        )
+        .unwrap();
+        let mut got_a = Vec::new();
+        for (ts, values) in workload() {
+            got_a.extend(a.push(ts, values).unwrap());
+        }
+        let mut got_b = b.push_batch(workload()).unwrap();
+        assert_eq!(a.shard_sizes(), b.shard_sizes());
+        assert_eq!(a.shard_peak_omega(), b.shard_peak_omega());
+        got_a.extend(a.finish());
+        got_b.extend(b.finish());
+        got_a.sort_unstable();
+        got_b.sort_unstable();
+        assert_eq!(got_a, got_b);
+    }
+
+    #[test]
+    fn single_shard_matches_plain_stream_matcher() {
+        let mut sharded = ShardedStreamMatcher::with_options(
+            &keyed_pattern(),
+            &schema(),
+            auto_options(MatchSemantics::Maximal),
+            1,
+        )
+        .unwrap();
+        let mut plain =
+            StreamMatcher::with_options(&keyed_pattern(), &schema(), MatcherOptions::default())
+                .unwrap();
+        let mut got_s = Vec::new();
+        let mut got_p = Vec::new();
+        for (ts, values) in workload() {
+            got_s.extend(sharded.push(ts, values.clone()).unwrap());
+            got_p.extend(plain.push(ts, values).unwrap());
+        }
+        got_s.extend(sharded.finish());
+        got_p.extend(plain.finish());
+        got_s.sort_unstable();
+        got_p.sort_unstable();
+        assert_eq!(got_s, got_p);
+    }
+
+    #[test]
+    fn rejects_partition_off() {
+        let err = ShardedStreamMatcher::with_options(
+            &keyed_pattern(),
+            &schema(),
+            MatcherOptions::default(),
+            4,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::UnprovenPartitionKey { .. }));
+        assert!(err.to_string().contains("Off"));
+    }
+
+    #[test]
+    fn rejects_keyless_pattern() {
+        // No cross-variable equalities: nothing confines a match to one
+        // ID, so Auto resolves to no key and sharding must refuse.
+        let pattern = Pattern::builder()
+            .set(|s| s.var("a"))
+            .set(|s| s.var("b"))
+            .cond_const("a", "L", CmpOp::Eq, "A")
+            .cond_const("b", "L", CmpOp::Eq, "B")
+            .within(Duration::ticks(10))
+            .build()
+            .unwrap();
+        let err = ShardedStreamMatcher::with_options(
+            &pattern,
+            &schema(),
+            auto_options(MatchSemantics::Maximal),
+            4,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("no partition key"));
+    }
+
+    #[test]
+    fn rejects_out_of_order_pushes() {
+        let mut sm = ShardedStreamMatcher::with_options(
+            &keyed_pattern(),
+            &schema(),
+            auto_options(MatchSemantics::Maximal),
+            4,
+        )
+        .unwrap();
+        sm.push(Timestamp::new(5), [Value::from(1i64), Value::from("A")])
+            .unwrap();
+        // Regression guard: the order check must be *global*, not per
+        // shard — key 2 likely routes to a different shard whose own
+        // stream would happily accept t=3.
+        let err = sm
+            .push(Timestamp::new(3), [Value::from(2i64), Value::from("A")])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EventError::OutOfOrder {
+                previous: 5,
+                got: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn eviction_keeps_id_maps_bounded() {
+        let mut sm = ShardedStreamMatcher::with_options(
+            &keyed_pattern(),
+            &schema(),
+            auto_options(MatchSemantics::AllRuns),
+            2,
+        )
+        .unwrap();
+        let labels = ["A", "B", "C"];
+        for i in 0..3000i64 {
+            let key = i % 4;
+            let label = labels[(i % 3) as usize];
+            sm.push(Timestamp::new(i), [Value::from(key), Value::from(label)])
+                .unwrap();
+        }
+        assert!(sm.evicted_events() > 0, "eviction never ran");
+        let retained = sm.retained_events();
+        let mapped: usize = sm.shards.iter().map(|s| s.ids.len()).sum();
+        // The id map tracks the retained window, not the whole stream.
+        assert!(
+            mapped <= retained + 64,
+            "id maps not pruned: {mapped} mapped vs {retained} retained"
+        );
+        assert_eq!(sm.shard_sizes().iter().sum::<usize>(), 3000);
+    }
+}

@@ -98,10 +98,16 @@ impl StreamMatcher {
             pattern.compile(schema)?
         };
         let automaton = Automaton::build_with_limit(compiled, options.max_states)?;
+        Ok(StreamMatcher::from_automaton(automaton, options))
+    }
+
+    /// Builds a stream matcher around an already constructed automaton —
+    /// the sharded matcher clones one automaton per shard through here.
+    pub(crate) fn from_automaton(automaton: Automaton, options: MatcherOptions) -> StreamMatcher {
         let filter = EventFilter::new(automaton.pattern(), options.filter);
         let adjudicator = Adjudicator::new(options.semantics);
-        Ok(StreamMatcher {
-            relation: Relation::new(schema.clone()),
+        StreamMatcher {
+            relation: Relation::new(automaton.pattern().schema().clone()),
             automaton,
             options,
             filter,
@@ -113,7 +119,7 @@ impl StreamMatcher {
             watermark: None,
             evict: true,
             emitted: 0,
-        })
+        }
     }
 
     /// Enables or disables watermark eviction of old events (on by

@@ -43,6 +43,7 @@ mod relation;
 mod schema;
 mod time;
 mod value;
+mod view;
 
 pub use error::EventError;
 pub use event::{Event, EventId};
@@ -50,3 +51,4 @@ pub use relation::{Relation, RelationBuilder};
 pub use schema::{AttrDef, AttrId, AttrType, Schema, SchemaBuilder};
 pub use time::{Duration, Timestamp};
 pub use value::{CmpOp, Value};
+pub use view::{partition_views, EventSource, PartitionKey, RelationView};

@@ -43,6 +43,11 @@ pub struct CountingProbe {
     /// exactly when the filter silently downgraded to `Off` (the
     /// analyzer's `SES003`).
     pub filter_effective: Option<FilterMode>,
+    /// Partitioned runs observed (each fires the `partitions` hook once).
+    pub partitioned_runs: u64,
+    /// Per-partition event counts, in partition order — the spread over
+    /// these is the key skew.
+    pub partition_events: Vec<usize>,
 }
 
 impl CountingProbe {
@@ -72,6 +77,55 @@ impl CountingProbe {
     /// `true` iff the engine reported a §4.5 filter downgrade.
     pub fn filter_downgraded(&self) -> bool {
         self.filter_requested.is_some() && self.filter_requested != self.filter_effective
+    }
+
+    /// Number of partitions seen by the last partitioned run.
+    pub fn partition_count(&self) -> usize {
+        self.partition_events.len()
+    }
+
+    /// Key skew of the partition layout: largest partition over the mean
+    /// partition size (1.0 = perfectly balanced; 0.0 when unpartitioned).
+    pub fn partition_skew(&self) -> f64 {
+        if self.partition_events.is_empty() {
+            return 0.0;
+        }
+        let max = *self.partition_events.iter().max().unwrap() as f64;
+        let mean =
+            self.partition_events.iter().sum::<usize>() as f64 / self.partition_events.len() as f64;
+        if mean == 0.0 {
+            0.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// Folds another probe's counters into this one — used to aggregate
+    /// the per-partition worker probes of a partitioned run into one
+    /// report. Additive counters sum; peaks (`omega_max`, `retained_max`)
+    /// take the maximum, which is correct for concurrent workers only if
+    /// the partitions genuinely never overlap in one instance set — true
+    /// under a proven partition key.
+    pub fn merge(&mut self, other: &CountingProbe) {
+        self.events_read += other.events_read;
+        self.events_filtered += other.events_filtered;
+        self.instances_spawned += other.instances_spawned;
+        self.instances_branched += other.instances_branched;
+        self.instances_expired += other.instances_expired;
+        self.transitions_evaluated += other.transitions_evaluated;
+        self.transitions_taken += other.transitions_taken;
+        self.matches_emitted += other.matches_emitted;
+        self.omega_max = self.omega_max.max(other.omega_max);
+        self.omega_sum += other.omega_sum;
+        self.omega_samples += other.omega_samples;
+        self.events_evicted += other.events_evicted;
+        self.retained_max = self.retained_max.max(other.retained_max);
+        if self.filter_requested.is_none() {
+            self.filter_requested = other.filter_requested;
+            self.filter_effective = other.filter_effective;
+        }
+        self.partitioned_runs += other.partitioned_runs;
+        self.partition_events.extend(&other.partition_events);
     }
 
     /// Resets every counter.
@@ -119,6 +173,13 @@ impl Probe for CountingProbe {
     fn filter_mode(&mut self, requested: FilterMode, effective: FilterMode) {
         self.filter_requested = Some(requested);
         self.filter_effective = Some(effective);
+    }
+    fn partitions(&mut self, _n: usize) {
+        self.partitioned_runs += 1;
+        self.partition_events.clear();
+    }
+    fn partition_events(&mut self, n: usize) {
+        self.partition_events.push(n);
     }
 }
 
@@ -187,6 +248,12 @@ impl Probe for SeriesProbe {
     fn filter_mode(&mut self, requested: FilterMode, effective: FilterMode) {
         self.counts.filter_mode(requested, effective);
     }
+    fn partitions(&mut self, n: usize) {
+        Probe::partitions(&mut self.counts, n);
+    }
+    fn partition_events(&mut self, n: usize) {
+        Probe::partition_events(&mut self.counts, n);
+    }
 }
 
 #[cfg(test)]
@@ -248,5 +315,46 @@ mod tests {
         let p = CountingProbe::new();
         assert_eq!(p.omega_mean(), 0.0);
         assert_eq!(p.filter_rate(), 0.0);
+        assert_eq!(p.partition_skew(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_peaks() {
+        let mut a = CountingProbe::new();
+        a.event_read();
+        a.omega(5);
+        a.retained_events(10);
+        a.filter_mode(FilterMode::Paper, FilterMode::Paper);
+        let mut b = CountingProbe::new();
+        b.event_read();
+        b.event_read();
+        b.omega(3);
+        b.omega(9);
+        b.retained_events(4);
+        a.merge(&b);
+        assert_eq!(a.events_read, 3);
+        assert_eq!(a.omega_max, 9);
+        assert_eq!(a.omega_samples, 3);
+        assert_eq!(a.retained_max, 10);
+        // merge keeps the first filter report rather than clobbering it.
+        assert_eq!(a.filter_requested, Some(FilterMode::Paper));
+    }
+
+    #[test]
+    fn partition_hooks_record_layout_and_skew() {
+        let mut p = CountingProbe::new();
+        Probe::partitions(&mut p, 3);
+        Probe::partition_events(&mut p, 8);
+        Probe::partition_events(&mut p, 2);
+        Probe::partition_events(&mut p, 2);
+        assert_eq!(p.partitioned_runs, 1);
+        assert_eq!(p.partition_count(), 3);
+        assert!((p.partition_skew() - 2.0).abs() < 1e-12);
+        // A second partitioned run replaces the layout, not appends.
+        Probe::partitions(&mut p, 2);
+        Probe::partition_events(&mut p, 1);
+        Probe::partition_events(&mut p, 1);
+        assert_eq!(p.partitioned_runs, 2);
+        assert_eq!(p.partition_events, vec![1, 1]);
     }
 }

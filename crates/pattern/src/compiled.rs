@@ -3,6 +3,7 @@
 use ses_event::{AttrId, CmpOp, Event, Schema, Value};
 
 use crate::analysis::PatternAnalysis;
+use crate::closure::UnionFind;
 use crate::condition::Rhs;
 use crate::{Pattern, PatternError, VarId};
 
@@ -89,6 +90,7 @@ pub struct CompiledPattern {
     const_conds_by_var: Vec<Vec<usize>>,
     analysis: PatternAnalysis,
     unsatisfiable: Option<String>,
+    partition_keys: Vec<AttrId>,
 }
 
 impl CompiledPattern {
@@ -96,6 +98,14 @@ impl CompiledPattern {
         pattern: Pattern,
         schema: &Schema,
     ) -> Result<CompiledPattern, PatternError> {
+        // Defense in depth: `PatternBuilder::build` enforces the same
+        // limit, but patterns constructed by other front ends must not
+        // slip past it — the automaton's state bitsets and the engine's
+        // per-event type-precheck mask are `u64`s, so `VarId::bit()`
+        // silently overflows beyond 64 variables.
+        if pattern.num_vars() > 64 {
+            return Err(PatternError::TooManyVariables(pattern.num_vars()));
+        }
         let mut conditions = Vec::with_capacity(pattern.conditions().len());
         let mut const_conds_by_var = vec![Vec::new(); pattern.num_vars()];
 
@@ -166,6 +176,7 @@ impl CompiledPattern {
 
         let analysis = PatternAnalysis::analyze(&pattern, &conditions);
         let unsatisfiable = crate::analyzer::provably_unsatisfiable(&pattern);
+        let partition_keys = infer_partition_keys(&pattern, &conditions, schema);
         Ok(CompiledPattern {
             pattern,
             schema: schema.clone(),
@@ -174,6 +185,7 @@ impl CompiledPattern {
             const_conds_by_var,
             analysis,
             unsatisfiable,
+            partition_keys,
         })
     }
 
@@ -249,6 +261,101 @@ impl CompiledPattern {
     pub fn unsatisfiable_reason(&self) -> Option<&str> {
         self.unsatisfiable.as_deref()
     }
+
+    /// The attributes proven to be **partition keys**: every match binds
+    /// only events sharing one value of the attribute, so the relation
+    /// can be split per distinct value and matched independently without
+    /// changing the answer set (cross-partition matches are impossible).
+    ///
+    /// Attribute `A` is proven iff the equality-condition graph over
+    /// `(variable, attribute)` nodes connects `(v, A)` for *every*
+    /// variable `v` of the pattern — each edge `v.A = v'.A'` equates the
+    /// values across **all** bindings of both variables (group variables
+    /// included, since each binding is checked against each), so
+    /// connectivity transports one key value to every bound event. A
+    /// single-singleton pattern trivially qualifies for every attribute
+    /// (each match is one event). Patterns with negations never qualify:
+    /// a forbidden event may carry a different key value and would be
+    /// invisible to the match's partition.
+    ///
+    /// Returned in schema order; empty when nothing is provable.
+    pub fn partition_keys(&self) -> &[AttrId] {
+        &self.partition_keys
+    }
+
+    /// `true` iff [`Self::partition_keys`] contains `attr`.
+    pub fn is_partition_key(&self, attr: AttrId) -> bool {
+        self.partition_keys.contains(&attr)
+    }
+}
+
+/// See [`CompiledPattern::partition_keys`] for the proof obligation this
+/// discharges.
+fn infer_partition_keys(
+    pattern: &Pattern,
+    conditions: &[CompiledCondition],
+    schema: &Schema,
+) -> Vec<AttrId> {
+    if pattern.has_negations() || pattern.num_vars() == 0 {
+        return Vec::new();
+    }
+    let all_attrs = || (0..schema.len() as u16).map(AttrId).collect();
+    if pattern.num_vars() == 1 {
+        // One singleton variable: a match is a single event, which
+        // trivially lives in one partition of any attribute. One *group*
+        // variable is the opposite extreme: its bindings are mutually
+        // unconstrained (conditions relate distinct variables, or an
+        // event to itself), so nothing is provable.
+        return if pattern.variables()[0].is_group() {
+            Vec::new()
+        } else {
+            all_attrs()
+        };
+    }
+
+    // Intern the (variable, attribute) nodes of the `=` variable
+    // conditions and union the endpoints — the compiled mirror of
+    // `equality_closure`, over dense `AttrId`s. Cross-attribute chains
+    // (`a.X = b.Y`, `b.Y = c.X`) connect through the shared node.
+    let mut nodes: Vec<(VarId, AttrId)> = Vec::new();
+    let intern = |nodes: &mut Vec<(VarId, AttrId)>, n: (VarId, AttrId)| {
+        nodes.iter().position(|&m| m == n).unwrap_or_else(|| {
+            nodes.push(n);
+            nodes.len() - 1
+        })
+    };
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for c in conditions {
+        if c.op != CmpOp::Eq {
+            continue;
+        }
+        if let CompiledRhs::Attr { var, attr } = c.rhs {
+            let a = intern(&mut nodes, (c.lhs_var, c.lhs_attr));
+            let b = intern(&mut nodes, (var, attr));
+            edges.push((a, b));
+        }
+    }
+    let mut uf = UnionFind::new(nodes.len());
+    for (a, b) in edges {
+        uf.union(a, b);
+    }
+
+    let vars: Vec<VarId> = (0..pattern.num_vars() as u16).map(VarId).collect();
+    (0..schema.len() as u16)
+        .map(AttrId)
+        .filter(|&attr| {
+            let mut root = None;
+            vars.iter().all(|&v| {
+                match nodes.iter().position(|&n| n == (v, attr)) {
+                    None => false, // v's value of `attr` is unconstrained
+                    Some(n) => {
+                        let r = uf.find(n);
+                        *root.get_or_insert(r) == r
+                    }
+                }
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -393,6 +500,112 @@ mod tests {
         let cp = q1().compile(&schema()).unwrap();
         assert!(cp.is_satisfiable());
         assert!(cp.unsatisfiable_reason().is_none());
+    }
+
+    #[test]
+    fn q1_partition_key_is_id() {
+        let cp = q1().compile(&schema()).unwrap();
+        let id = schema().attr_id("ID").unwrap();
+        assert_eq!(cp.partition_keys(), &[id]);
+        assert!(cp.is_partition_key(id));
+        assert!(!cp.is_partition_key(schema().attr_id("L").unwrap()));
+    }
+
+    #[test]
+    fn under_correlated_pattern_has_no_keys() {
+        // b is not reached by the ID-equality graph.
+        let p = Pattern::builder()
+            .set(|s| s.var("a").var("b").var("c"))
+            .cond_vars("a", "ID", CmpOp::Eq, "c", "ID")
+            .within(Duration::ticks(5))
+            .build()
+            .unwrap();
+        assert!(p.compile(&schema()).unwrap().partition_keys().is_empty());
+    }
+
+    #[test]
+    fn non_equality_links_prove_nothing() {
+        let p = Pattern::builder()
+            .set(|s| s.var("a").var("b"))
+            .cond_vars("a", "ID", CmpOp::Le, "b", "ID")
+            .within(Duration::ticks(5))
+            .build()
+            .unwrap();
+        assert!(p.compile(&schema()).unwrap().partition_keys().is_empty());
+    }
+
+    #[test]
+    fn single_singleton_pattern_keys_every_attribute() {
+        let p = Pattern::builder()
+            .set(|s| s.var("a"))
+            .cond_const("a", "L", CmpOp::Eq, "A")
+            .within(Duration::ticks(5))
+            .build()
+            .unwrap();
+        let cp = p.compile(&schema()).unwrap();
+        assert_eq!(cp.partition_keys().len(), schema().len());
+    }
+
+    #[test]
+    fn single_group_pattern_has_no_keys() {
+        // p+'s bindings are mutually unconstrained: two events with
+        // different IDs can form one match.
+        let p = Pattern::builder()
+            .set(|s| s.plus("p"))
+            .cond_const("p", "L", CmpOp::Eq, "P")
+            .within(Duration::ticks(5))
+            .build()
+            .unwrap();
+        assert!(p.compile(&schema()).unwrap().partition_keys().is_empty());
+    }
+
+    #[test]
+    fn cross_attribute_chain_connects_through_shared_node() {
+        // a.ID = b.V and b.V = b.ID: both variables' ID nodes join one
+        // class (through (b, V)), so ID is proven; V is not (a has no V
+        // node).
+        let p = Pattern::builder()
+            .set(|s| s.var("a").var("b"))
+            .cond_vars("a", "ID", CmpOp::Eq, "b", "V")
+            .cond_vars("b", "V", CmpOp::Eq, "b", "ID")
+            .within(Duration::ticks(5))
+            .build()
+            .unwrap();
+        let cp = p.compile(&schema()).unwrap();
+        assert_eq!(cp.partition_keys(), &[schema().attr_id("ID").unwrap()]);
+    }
+
+    #[test]
+    fn negations_disable_partition_keys() {
+        let p = Pattern::builder()
+            .set(|s| s.var("a"))
+            .negate("x")
+            .set(|s| s.var("b"))
+            .cond_vars("a", "ID", CmpOp::Eq, "b", "ID")
+            .neg_cond_const("x", "L", CmpOp::Eq, "X")
+            .within(Duration::ticks(5))
+            .build()
+            .unwrap();
+        assert!(p.compile(&schema()).unwrap().partition_keys().is_empty());
+    }
+
+    #[test]
+    fn compile_rejects_too_many_variables() {
+        // `PatternBuilder::build` already enforces the limit; this
+        // constructs the oversized pattern behind the builder's back to
+        // pin the compile-time backstop (65 variables overflow the u64
+        // state bitsets and the engine's type-precheck mask).
+        use crate::variable::{Quantifier, Variable};
+        use std::sync::Arc;
+        let vars: Vec<Variable> = (0..65)
+            .map(|i| Variable::new(Arc::from(format!("v{i}")), Quantifier::Singleton, 0))
+            .collect();
+        let sets = vec![(0..65).map(|i| VarId(i as u16)).collect()];
+        let p = Pattern::from_parts(vars, sets, Vec::new(), Vec::new(), Duration::ticks(5));
+        assert!(matches!(
+            p.compile(&schema()),
+            Err(PatternError::TooManyVariables(65))
+        ));
     }
 
     #[test]

@@ -106,35 +106,30 @@ impl EventStore {
             .collect()
     }
 
+    /// Splits the store by the distinct values of `attr` without copying
+    /// any event payload: each partition is an index vector over this
+    /// store's relation (see [`ses_event::RelationView`]). Partitions
+    /// preserve chronological order and are returned in first-occurrence
+    /// order of their key. This is what partitioned matching consumes;
+    /// use [`EventStore::partition_by`] when owned sub-stores are needed.
+    pub fn partition_views(&self, attr: AttrId) -> Vec<(Value, ses_event::RelationView<'_>)> {
+        ses_event::partition_views(&self.relation, attr)
+    }
+
     /// Splits the store by the distinct values of `attr` (e.g. one
-    /// sub-store per patient). Partitions preserve chronological order and
-    /// are returned in first-occurrence order of their key.
+    /// sub-store per patient) into owned sub-stores. Partitions preserve
+    /// chronological order and are returned in first-occurrence order of
+    /// their key.
     pub fn partition_by(&self, attr: AttrId) -> Vec<(Value, EventStore)> {
-        let mut keys: Vec<Value> = Vec::new();
-        let mut parts: Vec<Relation> = Vec::new();
-        for (_, event) in self.relation.iter() {
-            let key = event.value(attr);
-            let idx = match keys.iter().position(|k| k == key) {
-                Some(i) => i,
-                None => {
-                    keys.push(key.clone());
-                    parts.push(Relation::new(self.relation.schema().clone()));
-                    keys.len() - 1
-                }
-            };
-            parts[idx]
-                .push_event(event.clone())
-                .expect("chronological order is preserved by a linear scan");
-        }
-        keys.into_iter()
-            .zip(parts)
+        self.partition_views(attr)
+            .into_iter()
             .enumerate()
-            .map(|(i, (k, rel))| {
+            .map(|(i, (k, view))| {
                 (
                     k.clone(),
                     EventStore {
                         name: format!("{}[{}={}]", self.name, i, k),
-                        relation: rel,
+                        relation: view.materialize(),
                     },
                 )
             })
@@ -248,6 +243,29 @@ mod tests {
         // Partition of empty store.
         let empty = EventStore::new("e", Relation::new(store.relation().schema().clone()));
         assert!(empty.partition_by(AttrId(0)).is_empty());
+    }
+
+    #[test]
+    fn partition_views_share_the_parent_events() {
+        let store = sample();
+        let views = store.partition_views(AttrId(0));
+        assert_eq!(views.len(), 2);
+        for (_, view) in &views {
+            for (local, event) in view.iter() {
+                // Zero-copy: the view hands out the store's own events.
+                assert!(std::ptr::eq(
+                    event,
+                    store.relation().event(view.global_id(local))
+                ));
+            }
+        }
+        // Owned partitions agree with the views they materialize from.
+        let owned = store.partition_by(AttrId(0));
+        for ((kv, view), (ko, part)) in views.iter().zip(&owned) {
+            assert_eq!(kv, ko);
+            assert_eq!(view.ids().len(), part.len());
+        }
+        assert_eq!(owned[0].1.name(), "sample[0=1]");
     }
 
     #[test]

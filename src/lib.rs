@@ -81,7 +81,7 @@ pub mod prelude {
     pub use ses_baseline::BruteForce;
     pub use ses_core::{
         EventSelection, FilterMode, Match, MatchSemantics, Matcher, MatcherOptions, MultiMatcher,
-        NoProbe, Probe, StreamMatcher,
+        NoProbe, PartitionMode, Probe, ShardedStreamMatcher, StreamMatcher,
     };
     pub use ses_event::{
         AttrType, CmpOp, Duration, Event, EventId, Relation, Schema, Timestamp, Value,

@@ -1,115 +1,26 @@
-//! Parallel partitioned matching.
+//! Parallel partitioned matching — re-exported from [`ses_core::parallel`].
 //!
 //! When a pattern correlates all variables on one key (Q1's patient id,
 //! the RFID tag, the clickstream user), matches never span two key
-//! values, so the relation can be split per key and matched on worker
-//! threads. [`find_partitioned`] does the split, fans partitions out over
-//! [`std::thread::scope`], and maps the per-partition matches back to the
-//! original relation's event ids — the result is set-equal to matching
-//! the whole relation directly (asserted by the in-module tests and the
-//! partitioned-vs-global check in `tests/pipeline.rs`).
-//!
-//! **Soundness caveat**: partitioning is only equivalent when the
-//! pattern's conditions confine every match to a single key value;
-//! the helper cannot check that contract for you.
+//! values, so the relation splits per key into zero-copy
+//! [`ses_event::RelationView`]s matched on worker threads. The engine
+//! proves that contract at compile time: configure
+//! [`ses_core::PartitionMode::Auto`] on [`ses_core::MatcherOptions`]
+//! (or query [`ses_pattern::CompiledPattern::partition_keys`]) instead
+//! of hand-picking a key. [`find_partitioned`] is the unchecked
+//! primitive underneath; its result is set-equal to matching the whole
+//! relation directly (asserted by the in-module tests, the
+//! partitioned-vs-global check in `tests/pipeline.rs`, and the property
+//! suite in `tests/parallel_vs_global.rs`).
 
-use std::collections::HashMap;
-use std::sync::Arc;
-
-use ses_core::{Match, Matcher};
-use ses_event::{AttrId, EventId, Relation, Value};
-
-/// A hashable view of a partitioning attribute's value. [`Value`] itself
-/// is not `Hash` (floats), so partitioning hashes this instead — without
-/// the per-event `String` rendering it once did: ints, bools, and floats
-/// copy bits, and strings bump the existing `Arc` refcount.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum PartitionKey {
-    Int(i64),
-    /// Float partitions compare by bit pattern — exact-value grouping,
-    /// which is the only sensible equality for a partition key.
-    Bits(u64),
-    Str(Arc<str>),
-    Bool(bool),
-}
-
-impl PartitionKey {
-    fn of(value: &Value) -> PartitionKey {
-        match value {
-            Value::Int(i) => PartitionKey::Int(*i),
-            Value::Float(f) => PartitionKey::Bits(f.to_bits()),
-            Value::Str(s) => PartitionKey::Str(Arc::clone(s)),
-            Value::Bool(b) => PartitionKey::Bool(*b),
-        }
-    }
-}
-
-/// Matches `relation` per distinct value of `key`, in parallel, and
-/// returns all matches with bindings expressed in the *original*
-/// relation's event ids, sorted canonically.
-pub fn find_partitioned(matcher: &Matcher, relation: &Relation, key: AttrId) -> Vec<Match> {
-    // Split into per-key partitions, remembering each partition event's
-    // original id.
-    let mut order: Vec<PartitionKey> = Vec::new();
-    let mut partitions: HashMap<PartitionKey, (Relation, Vec<EventId>)> = HashMap::new();
-    for (id, event) in relation.iter() {
-        let k = PartitionKey::of(event.value(key));
-        let entry = partitions.entry(k.clone()).or_insert_with(|| {
-            order.push(k);
-            (Relation::new(relation.schema().clone()), Vec::new())
-        });
-        entry
-            .0
-            .push_event(event.clone())
-            .expect("a linear scan preserves chronological order");
-        entry.1.push(id);
-    }
-
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let work: Vec<(&Relation, &[EventId])> = order
-        .iter()
-        .map(|k| {
-            let (rel, ids) = &partitions[k];
-            (rel, ids.as_slice())
-        })
-        .collect();
-
-    let mut all: Vec<Match> = std::thread::scope(|scope| {
-        let chunk = work.len().div_ceil(workers).max(1);
-        let handles: Vec<_> = work
-            .chunks(chunk)
-            .map(|chunk| {
-                scope.spawn(move || {
-                    let mut out = Vec::new();
-                    for (rel, ids) in chunk {
-                        for m in matcher.find(rel) {
-                            // Remap partition-local event ids to global.
-                            let bindings = m
-                                .bindings()
-                                .iter()
-                                .map(|&(v, e)| (v, ids[e.index()]))
-                                .collect();
-                            out.push(Match::from_bindings(bindings));
-                        }
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("partition workers do not panic"))
-            .collect()
-    });
-    all.sort();
-    all
-}
+pub use ses_core::parallel::{find_partitioned, find_partitioned_with};
+pub use ses_event::{partition_views, PartitionKey, RelationView};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ses_core::Matcher;
+    use ses_event::Relation;
 
     #[test]
     fn partitioned_equals_global_on_q1() {

@@ -1,0 +1,116 @@
+//! Differential suite: `PartitionMode::Auto` — analyzer-proven key,
+//! zero-copy per-key shards, worker threads — returns exactly the
+//! global-scan (`PartitionMode::Off`) answer, match for match, under
+//! every semantics × selection combination and thread count.
+//!
+//! The generators are shared with `oracle.rs` and `stream_vs_batch.rs`
+//! (see `common/`), so the pattern space this suite proves
+//! partition-invariant is the same space those suites prove correct:
+//! together they give `partitioned ≡ global ≡ stream ≡ oracle`.
+//! Patterns the analyzer cannot prove a key for (uncorrelated ones, or
+//! runs without the end-of-relation flush) fall back to the global scan
+//! inside the same API, so the equality is trivially preserved — the
+//! suite covers that path too rather than filtering it out.
+
+mod common;
+
+use proptest::prelude::*;
+
+use common::{pattern_strategy, relation_strategy_with, schema};
+use ses::prelude::*;
+
+const MODES: [MatchSemantics; 3] = [
+    MatchSemantics::Maximal,
+    MatchSemantics::Definition2,
+    MatchSemantics::AllRuns,
+];
+
+const SELECTIONS: [EventSelection; 2] = [
+    EventSelection::SkipTillNextMatch,
+    EventSelection::SkipTillAnyMatch,
+];
+
+fn answer(pat: &Pattern, rel: &Relation, options: MatcherOptions) -> Vec<Match> {
+    let mut out = Matcher::with_options(pat, &schema(), options)
+        .unwrap()
+        .find(rel);
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `Auto` equals `Off` for every semantics × selection × thread
+    /// count. Whether the generated pattern proves a key (full
+    /// ID-equality clique) or not (uncorrelated / grouped), the two
+    /// modes must be indistinguishable from the outside.
+    #[test]
+    fn auto_equals_off_under_every_mode(
+        rel in relation_strategy_with(2..9, 0..4),
+        pat in pattern_strategy(),
+    ) {
+        for semantics in MODES {
+            for selection in SELECTIONS {
+                let base = MatcherOptions { semantics, selection, ..MatcherOptions::default() };
+                let global = answer(&pat, &rel, base.clone());
+                for threads in [None, Some(1), Some(3)] {
+                    let auto = answer(&pat, &rel, MatcherOptions {
+                        partition: PartitionMode::Auto,
+                        threads,
+                        ..base.clone()
+                    });
+                    prop_assert_eq!(
+                        &auto, &global,
+                        "{:?}/{:?} threads={:?} diverged from global",
+                        semantics, selection, threads
+                    );
+                }
+            }
+        }
+    }
+
+    /// Without the end-of-relation flush, partial groups may stay
+    /// pending at the last watermark, and a per-key run would flush them
+    /// differently — so `Auto` must *refuse* the key and fall back to
+    /// the global scan, changing nothing.
+    #[test]
+    fn auto_falls_back_without_flush(
+        rel in relation_strategy_with(2..9, 0..4),
+        pat in pattern_strategy(),
+    ) {
+        let base = MatcherOptions { flush_at_end: false, ..MatcherOptions::default() };
+        let auto_matcher = Matcher::with_options(&pat, &schema(), MatcherOptions {
+            partition: PartitionMode::Auto,
+            ..base.clone()
+        }).unwrap();
+        prop_assert!(
+            auto_matcher.partition_key().is_none(),
+            "no key may be resolved without flush_at_end"
+        );
+        let mut auto = auto_matcher.find(&rel);
+        auto.sort();
+        prop_assert_eq!(auto, answer(&pat, &rel, base));
+    }
+
+    /// The raw per-key split never clones an event payload: every event
+    /// reachable through a partition view is pointer-identical to the
+    /// parent relation's event.
+    #[test]
+    fn partition_views_are_zero_copy(
+        rel in relation_strategy_with(2..9, 0..4),
+    ) {
+        let key = schema().attr_id("ID").unwrap();
+        let mut seen = 0usize;
+        for (_, view) in ses::parallel::partition_views(&rel, key) {
+            for (local, event) in view.iter() {
+                prop_assert!(
+                    std::ptr::eq(event, rel.event(view.global_id(local))),
+                    "partitioning must not clone events"
+                );
+                seen += 1;
+            }
+        }
+        prop_assert_eq!(seen, rel.len(), "views must cover the relation exactly");
+    }
+}
