@@ -1,0 +1,183 @@
+//! Quick time-slicing benchmark: a keyless ward-wide query on D1,
+//! global scan vs the τ-overlapping time-sliced path.
+//!
+//! ```text
+//! cargo run -p ses-bench --release --bin timeslice -- \
+//!     [--scale F] [--iters N] [--threads N] [--out FILE.json]
+//! ```
+//!
+//! The query correlates nothing across variables, so
+//! `CompiledPattern::partition_keys` proves no key and key partitioning
+//! cannot apply — time slicing is the only parallel strategy left.
+//! Writes a small JSON report (default `BENCH_timeslice.json`) with
+//! events/sec for both paths, the slice layout, the τ-overlap rescans,
+//! and the speedup — the CI smoke step runs this at `--scale 0.1` and
+//! the committed report tracks the ratio. Both paths are asserted to
+//! return the same matches before any number is reported.
+
+use ses_bench::datasets::Datasets;
+use ses_core::{MatchSemantics, Matcher, MatcherOptions, PartitionMode, PartitionStrategy};
+use ses_event::{CmpOp, Duration, Relation};
+use ses_metrics::{CountingProbe, Stopwatch};
+use ses_pattern::Pattern;
+
+struct Options {
+    scale: f64,
+    iters: usize,
+    threads: Option<usize>,
+    out: std::path::PathBuf,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        scale: 0.1,
+        iters: 3,
+        threads: None,
+        out: "BENCH_timeslice.json".into(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("--{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--scale" => {
+                opts.scale = take("scale")?
+                    .parse()
+                    .map_err(|_| "--scale: not a number".to_string())?
+            }
+            "--iters" => {
+                opts.iters = take("iters")?
+                    .parse()
+                    .map_err(|_| "--iters: not a number".to_string())?
+            }
+            "--threads" => {
+                opts.threads = Some(
+                    take("threads")?
+                        .parse()
+                        .map_err(|_| "--threads: not a number".to_string())?,
+                )
+            }
+            "--out" => opts.out = take("out")?.into(),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if opts.iters == 0 {
+        return Err("--iters must be positive".to_string());
+    }
+    Ok(opts)
+}
+
+/// Ward-wide Ciclofosfamide-then-bloodcount within 48 h, for *any* pair
+/// of patients — deliberately uncorrelated so no partition key exists.
+fn keyless_query() -> Pattern {
+    Pattern::builder()
+        .set(|s| s.var("c"))
+        .set(|s| s.var("b"))
+        .cond_const("c", "L", CmpOp::Eq, "C")
+        .cond_const("b", "L", CmpOp::Eq, "B")
+        .within(Duration::ticks(48))
+        .build()
+        .expect("keyless query builds")
+}
+
+/// Best-of-`iters` wall time of `f`.
+fn best_secs(iters: usize, mut f: impl FnMut() -> usize) -> (f64, usize) {
+    let mut best = f64::INFINITY;
+    let mut matches = 0;
+    for _ in 0..iters {
+        let sw = Stopwatch::start();
+        matches = f();
+        best = best.min(sw.elapsed_secs());
+    }
+    (best, matches)
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let datasets = Datasets::build(opts.scale, 1);
+    let d1: &Relation = datasets.d1();
+    let events = d1.len();
+    let query = keyless_query();
+    let base = MatcherOptions {
+        semantics: MatchSemantics::AllRuns,
+        ..MatcherOptions::default()
+    };
+    let global = Matcher::with_options(&query, d1.schema(), base.clone()).expect("query compiles");
+    let sliced = Matcher::with_options(
+        &query,
+        d1.schema(),
+        MatcherOptions {
+            partition: PartitionMode::TimeAuto,
+            threads: opts.threads,
+            ..base
+        },
+    )
+    .expect("query compiles");
+    assert_eq!(
+        sliced.partition_strategy(),
+        PartitionStrategy::TimeSliced,
+        "the query must prove no key so TimeAuto slices by time"
+    );
+
+    // Same answer first, then the clock.
+    let expect = global.find(d1);
+    assert_eq!(sliced.find(d1), expect, "sliced answer must be global's");
+
+    let (global_secs, n_global) = best_secs(opts.iters, || global.find(d1).len());
+    let (sliced_secs, n_sliced) = best_secs(opts.iters, || sliced.find(d1).len());
+    assert_eq!(n_global, n_sliced);
+
+    let mut layout = CountingProbe::new();
+    ses_core::parallel::find_time_sliced_with(&sliced, d1, opts.threads, &mut layout, || {
+        ses_core::NoProbe
+    });
+    let threads = opts.threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+
+    let eps = |secs: f64| events as f64 / secs.max(1e-12);
+    let speedup = global_secs / sliced_secs.max(1e-12);
+    let overlap = layout.slice_overlap_events(events);
+    let json = format!(
+        "{{\n  \"dataset\": \"D1\",\n  \"scale\": {},\n  \"events\": {},\n  \"matches\": {},\n  \
+         \"query\": \"ward C->B (keyless)\",\n  \"semantics\": \"all-runs\",\n  \
+         \"slices\": {},\n  \"overlap_events\": {},\n  \"threads\": {},\n  \
+         \"global\": {{ \"secs\": {:.6}, \"events_per_sec\": {:.1} }},\n  \
+         \"time_sliced\": {{ \"secs\": {:.6}, \"events_per_sec\": {:.1} }},\n  \
+         \"speedup\": {:.2}\n}}\n",
+        opts.scale,
+        events,
+        n_global,
+        layout.slice_count(),
+        overlap,
+        threads,
+        global_secs,
+        eps(global_secs),
+        sliced_secs,
+        eps(sliced_secs),
+        speedup,
+    );
+    std::fs::write(&opts.out, &json).expect("can write the report");
+    print!("{json}");
+    println!(
+        "global {:.1} ev/s vs time-sliced {:.1} ev/s — ×{:.2} ({} slice(s), {} overlap event(s), \
+         {} thread(s)); wrote {}",
+        eps(global_secs),
+        eps(sliced_secs),
+        speedup,
+        layout.slice_count(),
+        overlap,
+        threads,
+        opts.out.display(),
+    );
+}

@@ -7,7 +7,7 @@ use std::io::Write;
 
 use ses_core::{
     EventSelection, FilterMode, MatchSemantics, Matcher, MatcherOptions, MultiMatcher,
-    PartitionMode,
+    PartitionMode, PartitionStrategy,
 };
 use ses_event::Duration;
 use ses_metrics::{CountingProbe, Stopwatch, Table};
@@ -26,12 +26,15 @@ USAGE:
                    [--filter paper|pervariable|off]
                    [--selection next-match|any-match] [--closure]
                    [--propagate] [--limit N] [--stats]
-                   [--partition auto|ATTR|off] [--threads N]
+                   [--partition auto|time|ATTR|off] [--threads N]
                    (--propagate runs the static analyzer first: derived
                     constants can rescue the §4.5 filter, see `check`.
                     --partition auto splits the scan per proven partition
                     key and matches partitions in parallel; an explicit
-                    ATTR is refused unless the analyzer proves it)
+                    ATTR is refused unless the analyzer proves it.
+                    --partition time also prefers a proven key but falls
+                    back to τ-overlapping time slices when the pattern
+                    proves none — sound for any windowed pattern)
   ses-cli stream   --query <file-or-text> --data <file.csv>
                    [--no-evict] [--limit N] [--stats]
                    [--partition auto|ATTR|off] [--shards N]
@@ -138,11 +141,12 @@ fn parse_filter(args: &Args) -> Result<FilterMode, String> {
     })
 }
 
-/// Parses `--partition auto|ATTR|off` against the data's schema.
+/// Parses `--partition auto|time|ATTR|off` against the data's schema.
 fn parse_partition(args: &Args, schema: &ses_event::Schema) -> Result<PartitionMode, String> {
     Ok(match args.get("partition") {
         None | Some("off") | Some("none") => PartitionMode::Off,
         Some("auto") => PartitionMode::Auto,
+        Some("time") => PartitionMode::TimeAuto,
         Some(attr) => PartitionMode::Key(schema.attr_id(attr).ok_or_else(|| {
             format!("--partition: the data has no attribute named `{attr}` (try `auto`)")
         })?),
@@ -244,23 +248,37 @@ fn cmd_run(args: &Args, out: &mut dyn Write) -> Result<(), String> {
 
     let sw = Stopwatch::start();
     let mut probe = CountingProbe::new();
-    let matches = if let Some(key) = matcher.partition_key() {
-        // Drive the partitioned path directly so every worker gets its
-        // own counting probe; merging them preserves the full report.
-        let (matches, workers) = ses_core::parallel::find_partitioned_with(
-            &matcher,
-            store.relation(),
-            key,
-            matcher.options().threads,
-            &mut probe,
-            CountingProbe::new,
-        );
-        for w in &workers {
-            probe.merge(w);
+    let matches = match matcher.partition_strategy() {
+        // Drive the split paths directly so every worker gets its own
+        // counting probe; merging them preserves the full report.
+        PartitionStrategy::Key(key) => {
+            let (matches, workers) = ses_core::parallel::find_partitioned_with(
+                &matcher,
+                store.relation(),
+                key,
+                matcher.options().threads,
+                &mut probe,
+                CountingProbe::new,
+            );
+            for w in &workers {
+                probe.merge(w);
+            }
+            matches
         }
-        matches
-    } else {
-        matcher.find_with_probe(store.relation(), &mut probe)
+        PartitionStrategy::TimeSliced => {
+            let (matches, workers) = ses_core::parallel::find_time_sliced_with(
+                &matcher,
+                store.relation(),
+                matcher.options().threads,
+                &mut probe,
+                CountingProbe::new,
+            );
+            for w in &workers {
+                probe.merge(w);
+            }
+            matches
+        }
+        PartitionStrategy::Global => matcher.find_with_probe(store.relation(), &mut probe),
     };
     let elapsed = sw.elapsed_secs();
 
@@ -304,8 +322,8 @@ fn cmd_run(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         if probe.filter_downgraded() {
             t.row(["filter downgraded", "yes (SES003: run `ses-cli check`)"]);
         }
-        match matcher.partition_key() {
-            Some(key) => {
+        match matcher.partition_strategy() {
+            PartitionStrategy::Key(key) => {
                 t.row(["partitioned by", store.relation().schema().attr_name(key)]);
                 t.row(["partitions", &probe.partition_count().to_string()]);
                 t.row([
@@ -320,10 +338,32 @@ fn cmd_run(args: &Args, out: &mut dyn Write) -> Result<(), String> {
                 ]);
                 t.row(["key skew", &format!("{:.2}", probe.partition_skew())]);
             }
-            None if args.get("partition") == Some("auto") => {
+            PartitionStrategy::TimeSliced => {
+                t.row(["partitioned by", "time (no provable key)"]);
+                t.row(["time slices", &probe.slice_count().to_string()]);
+                t.row([
+                    "largest slice",
+                    &probe
+                        .slice_events
+                        .iter()
+                        .max()
+                        .copied()
+                        .unwrap_or(0)
+                        .to_string(),
+                ]);
+                t.row([
+                    "overlap events rescanned",
+                    &probe
+                        .slice_overlap_events(store.relation().len())
+                        .to_string(),
+                ]);
+            }
+            PartitionStrategy::Global
+                if matches!(args.get("partition"), Some("auto") | Some("time")) =>
+            {
                 t.row(["partitioned by", "- (no provable key; ran global)"]);
             }
-            None => {}
+            PartitionStrategy::Global => {}
         }
         write!(out, "\n{t}").map_err(io_err)?;
     }
@@ -538,9 +578,15 @@ fn cmd_stream(args: &Args, out: &mut dyn Write) -> Result<(), String> {
             shards,
         ) {
             Ok(sm) => return stream_sharded(args, out, &store, &pattern, sm, evict),
-            // Auto degrades to a global stream when nothing is provable;
-            // an explicit key the analyzer rejects is a hard error.
-            Err(e) if options.partition == PartitionMode::Auto => {
+            // Auto/time degrade to a global stream when nothing is provable
+            // (time slicing is batch-only); an explicit key the analyzer
+            // rejects is a hard error.
+            Err(e)
+                if matches!(
+                    options.partition,
+                    PartitionMode::Auto | PartitionMode::TimeAuto
+                ) =>
+            {
                 writeln!(out, "note: {e}; streaming globally").map_err(io_err)?;
             }
             Err(e) => return Err(e.to_string()),
@@ -1199,6 +1245,80 @@ mod tests {
         ]);
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("no provable key"), "{out}");
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn run_partition_time_slices_keyless_queries() {
+        let data = figure1_csv();
+        // Uncorrelated query: no provable key, so `time` engages the
+        // τ-overlapping slicer instead of degrading to a global scan.
+        let q = "PATTERN PERMUTE(c) THEN b WHERE c.L = 'C' AND b.L = 'B' WITHIN 264 HOURS";
+        let (code, global) = run(&["run", "--query", q, "--data", &data]);
+        assert_eq!(code, 0, "{global}");
+        let (code, out) = run(&[
+            "run",
+            "--query",
+            q,
+            "--data",
+            &data,
+            "--partition",
+            "time",
+            "--threads",
+            "2",
+            "--stats",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        let count = |s: &str| s.matches("match ").count();
+        assert_eq!(count(&global), count(&out), "{global}\n{out}");
+        assert!(out.contains("time (no provable key)"), "{out}");
+        assert!(out.contains("time slices"), "{out}");
+        assert!(out.contains("largest slice"), "{out}");
+        assert!(out.contains("overlap events rescanned"), "{out}");
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn run_partition_time_still_prefers_a_proven_key() {
+        let data = figure1_csv();
+        // Q1 proves ID, so `time` routes through the key path — no
+        // duplicated seam work when a cheaper strategy exists.
+        let (code, out) = run(&[
+            "run",
+            "--query",
+            Q1,
+            "--data",
+            &data,
+            "--partition",
+            "time",
+            "--stats",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("2 match(es)"), "{out}");
+        assert!(out.contains("partitioned by"), "{out}");
+        assert!(out.contains("key skew"), "{out}");
+        assert!(!out.contains("time slices"), "{out}");
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn stream_partition_time_degrades_to_global() {
+        let data = figure1_csv();
+        // Time slicing is batch-only: a keyless stream falls back to a
+        // single global matcher with a notice rather than erroring.
+        let q = "PATTERN PERMUTE(c) THEN b WHERE c.L = 'C' AND b.L = 'B' WITHIN 264 HOURS";
+        let (code, out) = run(&[
+            "stream",
+            "--query",
+            q,
+            "--data",
+            &data,
+            "--partition",
+            "time",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("streaming globally"), "{out}");
+        assert!(out.contains("batch-only"), "{out}");
         std::fs::remove_file(&data).ok();
     }
 

@@ -74,7 +74,7 @@ pub use buffer::{Binding, Buffer, BufferIter};
 pub use engine::{execute, EventSelection, ExecOptions, Execution, Instance, RawMatch};
 pub use error::CoreError;
 pub use filter::{EventFilter, FilterMode};
-pub use matcher::{Matcher, MatcherOptions, PartitionMode};
+pub use matcher::{Matcher, MatcherOptions, PartitionMode, PartitionStrategy};
 pub use matches::Match;
 pub use measures::{aggregate, Aggregate};
 pub use multi::MultiMatcher;

@@ -64,6 +64,31 @@ pub enum PartitionMode {
     /// proven key and `flush_at_end` is set — an unproven split could
     /// silently lose cross-partition matches.
     Key(AttrId),
+    /// Like [`PartitionMode::Auto`], but when no key is provable fall
+    /// back to *time-sliced* execution
+    /// ([`crate::parallel::find_time_sliced`]) instead of a global scan:
+    /// the window `τ` bounds every match's temporal extent, so
+    /// `τ`-overlapping time ranges cover every match even when nothing
+    /// confines matches to one key value. Requires `flush_at_end` like
+    /// every split mode (falls back to a global scan without it). Never
+    /// an error. Batch-only: [`crate::ShardedStreamMatcher`] refuses it.
+    TimeAuto,
+}
+
+/// How a [`Matcher`] actually executes, resolved from
+/// [`MatcherOptions::partition`] against the compiled pattern at
+/// construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionStrategy {
+    /// One global scan.
+    #[default]
+    Global,
+    /// Key-partitioned scan over this proven attribute
+    /// ([`crate::parallel::find_partitioned`]).
+    Key(AttrId),
+    /// Time-sliced scan over `τ`-overlapping ranges
+    /// ([`crate::parallel::find_time_sliced`]).
+    TimeSliced,
 }
 
 /// Configuration for a [`Matcher`].
@@ -132,23 +157,36 @@ impl Default for MatcherOptions {
 pub struct Matcher {
     automaton: Automaton,
     options: MatcherOptions,
-    /// The attribute [`Matcher::find`] partitions by, resolved from
-    /// `options.partition` at construction.
-    partition_key: Option<AttrId>,
+    /// How [`Matcher::find`] executes, resolved from `options.partition`
+    /// at construction.
+    partition: PartitionStrategy,
 }
 
 /// Resolves a [`PartitionMode`] against a compiled pattern's proven
 /// keys. Shared by [`Matcher`] and [`crate::ShardedStreamMatcher`].
-pub(crate) fn resolve_partition_key(
+pub(crate) fn resolve_partition(
     compiled: &CompiledPattern,
     options: &MatcherOptions,
-) -> Result<Option<AttrId>, CoreError> {
-    match options.partition {
-        PartitionMode::Off => Ok(None),
-        PartitionMode::Auto => Ok(if options.flush_at_end {
+) -> Result<PartitionStrategy, CoreError> {
+    let auto_key = || {
+        if options.flush_at_end {
             compiled.partition_keys().first().copied()
         } else {
             None
+        }
+    };
+    match options.partition {
+        PartitionMode::Off => Ok(PartitionStrategy::Global),
+        PartitionMode::Auto => Ok(auto_key()
+            .map(PartitionStrategy::Key)
+            .unwrap_or(PartitionStrategy::Global)),
+        PartitionMode::TimeAuto => Ok(match auto_key() {
+            // A proven key beats time slicing: it shrinks the per-event
+            // instance loop and duplicates no work, while slices re-scan
+            // the τ overlaps.
+            Some(key) => PartitionStrategy::Key(key),
+            None if options.flush_at_end => PartitionStrategy::TimeSliced,
+            None => PartitionStrategy::Global,
         }),
         PartitionMode::Key(attr) => {
             if attr.index() >= compiled.schema().len() {
@@ -176,7 +214,7 @@ pub(crate) fn resolve_partition_key(
                     ),
                 });
             }
-            Ok(Some(attr))
+            Ok(PartitionStrategy::Key(attr))
         }
     }
 }
@@ -210,12 +248,12 @@ impl Matcher {
         compiled: CompiledPattern,
         options: MatcherOptions,
     ) -> Result<Matcher, CoreError> {
-        let partition_key = resolve_partition_key(&compiled, &options)?;
+        let partition = resolve_partition(&compiled, &options)?;
         let automaton = Automaton::build_with_limit(compiled, options.max_states)?;
         Ok(Matcher {
             automaton,
             options,
-            partition_key,
+            partition,
         })
     }
 
@@ -233,7 +271,16 @@ impl Matcher {
     /// when the configured [`PartitionMode`] resolved against a proven
     /// key at construction.
     pub fn partition_key(&self) -> Option<AttrId> {
-        self.partition_key
+        match self.partition {
+            PartitionStrategy::Key(attr) => Some(attr),
+            _ => None,
+        }
+    }
+
+    /// How [`Matcher::find`] executes — the configured [`PartitionMode`]
+    /// resolved against the pattern's proven keys at construction.
+    pub fn partition_strategy(&self) -> PartitionStrategy {
+        self.partition
     }
 
     pub(crate) fn exec_options(&self) -> ExecOptions {
@@ -254,40 +301,57 @@ impl Matcher {
     /// Finds all matching substitutions, reporting engine events to
     /// `probe`.
     ///
-    /// When a partition key is resolved (see [`Matcher::partition_key`])
-    /// the scan runs partition-parallel. Per-event probe hooks are then
-    /// sampled inside worker threads and only the aggregate hooks
-    /// (`partitions`, `partition_events`, per-partition peak `omega`,
-    /// `filter_mode`) reach `probe` — use
-    /// [`crate::parallel::find_partitioned_with`] directly for full
-    /// per-partition instrumentation.
+    /// When the resolved [`PartitionStrategy`] splits the input (by key
+    /// or by time) the scan runs in parallel. Per-event probe hooks are
+    /// then sampled inside worker threads and only the aggregate hooks
+    /// (`partitions`/`slices`, `partition_events`/`slice_events`,
+    /// per-split peak `omega`, `filter_mode`) reach `probe` — use
+    /// [`crate::parallel::find_partitioned_with`] or
+    /// [`crate::parallel::find_time_sliced_with`] directly for full
+    /// per-split instrumentation.
     pub fn find_with_probe<P: Probe>(&self, relation: &Relation, probe: &mut P) -> Vec<Match> {
+        /// Minimal per-split worker probe: peak `|Ω|` only.
+        #[derive(Default)]
+        struct Peak(usize);
+        impl Probe for Peak {
+            fn omega(&mut self, n: usize) {
+                self.0 = self.0.max(n);
+            }
+        }
         // A provably unsatisfiable Θ (analyzer SES001) matches nothing;
         // skip the scan entirely.
         if !self.automaton.pattern().is_satisfiable() {
             return Vec::new();
         }
-        if let Some(key) = self.partition_key {
-            /// Minimal per-partition worker probe: peak `|Ω|` only.
-            #[derive(Default)]
-            struct Peak(usize);
-            impl Probe for Peak {
-                fn omega(&mut self, n: usize) {
-                    self.0 = self.0.max(n);
+        match self.partition {
+            PartitionStrategy::Key(key) => {
+                let (matches, peaks) = crate::parallel::find_partitioned_with(
+                    self,
+                    relation,
+                    key,
+                    self.options.threads,
+                    probe,
+                    Peak::default,
+                );
+                for p in peaks {
+                    probe.omega(p.0);
                 }
+                return matches;
             }
-            let (matches, peaks) = crate::parallel::find_partitioned_with(
-                self,
-                relation,
-                key,
-                self.options.threads,
-                probe,
-                Peak::default,
-            );
-            for p in peaks {
-                probe.omega(p.0);
+            PartitionStrategy::TimeSliced => {
+                let (matches, peaks) = crate::parallel::find_time_sliced_with(
+                    self,
+                    relation,
+                    self.options.threads,
+                    probe,
+                    Peak::default,
+                );
+                for p in peaks {
+                    probe.omega(p.0);
+                }
+                return matches;
             }
-            return matches;
+            PartitionStrategy::Global => {}
         }
         let raw = execute(&self.automaton, relation, &self.exec_options(), probe);
         let raw = crate::negation::filter_negations(raw, relation, self.automaton.pattern());

@@ -74,6 +74,18 @@ pub trait Probe {
     /// partition order — the spread over these samples is the key skew.
     #[inline]
     fn partition_events(&mut self, _n: usize) {}
+
+    /// Time-sliced execution split the input into `_n` overlapping time
+    /// slices. Fired once per time-sliced run, before any slice executes.
+    #[inline]
+    fn slices(&mut self, _n: usize) {}
+
+    /// One time slice holds `_n` events (own region *plus* the `τ`
+    /// overlap). Fired once per slice, in chronological slice order —
+    /// the sum over these samples minus the relation length is the
+    /// duplicated overlap work.
+    #[inline]
+    fn slice_events(&mut self, _n: usize) {}
 }
 
 /// The no-op probe: compiles to nothing.
@@ -138,6 +150,14 @@ impl<P: Probe + ?Sized> Probe for &mut P {
     #[inline]
     fn partition_events(&mut self, n: usize) {
         (**self).partition_events(n);
+    }
+    #[inline]
+    fn slices(&mut self, n: usize) {
+        (**self).slices(n);
+    }
+    #[inline]
+    fn slice_events(&mut self, n: usize) {
+        (**self).slice_events(n);
     }
 }
 

@@ -14,13 +14,17 @@
 //! skip-till-next-match swap candidates must satisfy the key equality —
 //! both partition-local, so no shard needs another shard's matches.
 //!
-//! # Emission-timing caveat
+//! # Idle-shard heartbeat
 //!
-//! A shard's watermark advances only when *its* events arrive, so a
-//! match on an idle key is emitted later than a global matcher would
-//! emit it (at the next event of that shard, or at
-//! [`ShardedStreamMatcher::finish`]). The *set* of matches is
-//! identical; only the push at which each one surfaces may differ.
+//! A shard's own watermark only advances when *its* events arrive, so a
+//! match on an idle key would otherwise sit pending until the shard's
+//! next event (or [`ShardedStreamMatcher::finish`]). Every push
+//! therefore *heartbeats* the global watermark to the non-receiving
+//! shards ([`StreamMatcher::advance_watermark`]), which sweeps their
+//! expired runs, adjudicates decidable matches, and evicts old events —
+//! idle shards emit on time and stay bounded. `push_batch` heartbeats
+//! each shard once, at the batch's final timestamp, inside the shard's
+//! worker thread.
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
@@ -30,7 +34,7 @@ use ses_pattern::Pattern;
 
 use crate::automaton::Automaton;
 use crate::error::CoreError;
-use crate::matcher::{resolve_partition_key, MatcherOptions, PartitionMode};
+use crate::matcher::{resolve_partition, MatcherOptions, PartitionMode, PartitionStrategy};
 use crate::matches::Match;
 use crate::probe::{NoProbe, Probe};
 use crate::stream::StreamMatcher;
@@ -144,16 +148,23 @@ impl ShardedStreamMatcher {
         } else {
             pattern.compile(schema)?
         };
-        let key = match resolve_partition_key(&compiled, &options)? {
-            Some(key) => key,
-            None => {
+        let key = match resolve_partition(&compiled, &options)? {
+            PartitionStrategy::Key(key) => key,
+            // Time slicing is batch-only: a stream has no slice-end
+            // flush point, and every shard would need every event — so
+            // sharding refuses rather than silently running one shard.
+            PartitionStrategy::TimeSliced | PartitionStrategy::Global => {
                 let reason = match options.partition {
                     PartitionMode::Off => "partition mode is `Off`; a sharded stream needs a \
                                            key — use `StreamMatcher` for a global stream"
                         .to_string(),
-                    PartitionMode::Auto if !options.flush_at_end => {
+                    PartitionMode::Auto | PartitionMode::TimeAuto if !options.flush_at_end => {
                         "partitioned execution requires `flush_at_end`".to_string()
                     }
+                    PartitionMode::TimeAuto => "the pattern proves no partition key, and \
+                                                time-sliced execution is batch-only — a stream \
+                                                has no slice-end flush point"
+                        .to_string(),
                     _ => "the pattern proves no partition key".to_string(),
                 };
                 return Err(CoreError::UnprovenPartitionKey {
@@ -215,7 +226,9 @@ impl ShardedStreamMatcher {
         (h.finish() as usize) % self.shards.len()
     }
 
-    /// Pushes one event, returning the matches its shard finalized.
+    /// Pushes one event, returning the matches finalized across all
+    /// shards: the receiving shard's, plus any an idle shard finalizes
+    /// when the global watermark is heartbeat to it.
     pub fn push(
         &mut self,
         ts: Timestamp,
@@ -244,11 +257,22 @@ impl ShardedStreamMatcher {
         self.last_ts = Some(ts);
         self.next_id += 1;
         shard.note_peak();
-        let out: Vec<Match> = out
+        let mut out: Vec<Match> = out
             .iter()
             .map(|m| remap(&shard.ids, shard.base, m))
             .collect();
         shard.prune();
+        // Heartbeat: idle shards see the global watermark so matches on
+        // quiet keys finalize now, not at those shards' next events.
+        for (i, s) in self.shards.iter_mut().enumerate() {
+            if i == si {
+                continue;
+            }
+            let beat = s.sm.advance_watermark(ts);
+            out.extend(beat.iter().map(|m| remap(&s.ids, s.base, m)));
+            s.prune();
+        }
+        out.sort_unstable();
         self.emitted += out.len();
         Ok(out)
     }
@@ -272,6 +296,10 @@ impl ShardedStreamMatcher {
             self.last_ts = Some(ts);
             routed[si].push((ts, values));
         }
+        // Heartbeat target: once a shard has drained its routed events,
+        // advance it to the batch's final global timestamp so idle (or
+        // early-finished) shards finalize and evict on time.
+        let final_ts = self.last_ts;
         let results: Vec<Result<Vec<Match>, EventError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .shards
@@ -284,6 +312,10 @@ impl ShardedStreamMatcher {
                             let emitted = shard.sm.push(ts, values)?;
                             shard.note_peak();
                             local.extend(emitted.iter().map(|m| remap(&shard.ids, shard.base, m)));
+                        }
+                        if let Some(ts) = final_ts {
+                            let beat = shard.sm.advance_watermark(ts);
+                            local.extend(beat.iter().map(|m| remap(&shard.ids, shard.base, m)));
                         }
                         shard.prune();
                         Ok(local)
@@ -594,6 +626,112 @@ mod tests {
                 got: 3
             }
         ));
+    }
+
+    #[test]
+    fn idle_shard_heartbeat_emits_without_new_shard_events() {
+        // Two shards; a complete match lands on one, then *only* the
+        // other shard receives events. Before the heartbeat fix the
+        // match starved until finish(); now the foreign pushes advance
+        // the idle shard's watermark and it emits mid-stream.
+        let mut sm = ShardedStreamMatcher::with_options(
+            &keyed_pattern(),
+            &schema(),
+            auto_options(MatchSemantics::Maximal),
+            2,
+        )
+        .unwrap();
+        let key_a = 0i64;
+        let row = |key: i64, l: &str| vec![Value::from(key), Value::from(l)];
+        let shard_a = sm.shard_of(&row(key_a, "A"));
+        let key_b = (1..100)
+            .find(|&k| sm.shard_of(&row(k, "A")) != shard_a)
+            .expect("some key hashes to the other shard");
+
+        // Complete match for key_a inside τ = 10.
+        for (t, l) in [(0, "A"), (1, "B"), (2, "C")] {
+            assert!(sm
+                .push(Timestamp::new(t), row(key_a, l))
+                .unwrap()
+                .is_empty());
+        }
+        // Starve key_a's shard: only key_b events from here on. The
+        // first push past minT + τ must surface key_a's match.
+        assert!(sm
+            .push(Timestamp::new(9), row(key_b, "A"))
+            .unwrap()
+            .is_empty());
+        let out = sm.push(Timestamp::new(50), row(key_b, "A")).unwrap();
+        assert_eq!(out.len(), 1, "idle shard starved: {out:?}");
+        assert_eq!(sm.emitted_so_far(), 1);
+        // The idle shard's decided window is also reclaimed.
+        let evicted = sm.evicted_events();
+        assert!(evicted >= 3, "idle shard not evicted: {evicted}");
+        // Exactly-once: nothing duplicated at finish.
+        assert!(sm.finish().is_empty());
+    }
+
+    #[test]
+    fn push_batch_heartbeats_idle_shards() {
+        let mut sm = ShardedStreamMatcher::with_options(
+            &keyed_pattern(),
+            &schema(),
+            auto_options(MatchSemantics::Maximal),
+            2,
+        )
+        .unwrap();
+        let row = |key: i64, l: &str| vec![Value::from(key), Value::from(l)];
+        let shard_a = sm.shard_of(&row(0, "A"));
+        let key_b = (1..100)
+            .find(|&k| sm.shard_of(&row(k, "A")) != shard_a)
+            .expect("some key hashes to the other shard");
+        let batch = vec![
+            (Timestamp::new(0), row(0, "A")),
+            (Timestamp::new(1), row(0, "B")),
+            (Timestamp::new(2), row(0, "C")),
+            (Timestamp::new(50), row(key_b, "A")),
+        ];
+        let out = sm.push_batch(batch).unwrap();
+        assert_eq!(out.len(), 1, "batch heartbeat starved: {out:?}");
+        assert!(sm.finish().is_empty());
+    }
+
+    #[test]
+    fn rejects_time_auto() {
+        // TimeAuto on a keyless pattern resolves to time slicing, which
+        // is batch-only — the sharded stream must refuse loudly.
+        let pattern = Pattern::builder()
+            .set(|s| s.var("a"))
+            .set(|s| s.var("b"))
+            .cond_const("a", "L", CmpOp::Eq, "A")
+            .cond_const("b", "L", CmpOp::Eq, "B")
+            .within(Duration::ticks(10))
+            .build()
+            .unwrap();
+        let err = ShardedStreamMatcher::with_options(
+            &pattern,
+            &schema(),
+            MatcherOptions {
+                partition: PartitionMode::TimeAuto,
+                ..MatcherOptions::default()
+            },
+            4,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("batch-only"), "{err}");
+
+        // With a proven key, TimeAuto shards exactly like Auto.
+        let sm = ShardedStreamMatcher::with_options(
+            &keyed_pattern(),
+            &schema(),
+            MatcherOptions {
+                partition: PartitionMode::TimeAuto,
+                ..MatcherOptions::default()
+            },
+            4,
+        )
+        .unwrap();
+        assert_eq!(sm.partition_key(), schema().attr_id("ID").unwrap());
     }
 
     #[test]

@@ -149,6 +149,18 @@ impl StreamMatcher {
         values: impl Into<Vec<Value>>,
         probe: &mut P,
     ) -> Result<Vec<Match>, EventError> {
+        // Check against the *watermark*, not just the relation's last
+        // event: `advance_watermark` can move the watermark past the
+        // last pushed timestamp, and accepting an older event afterwards
+        // would be unsound (its window was already adjudicated).
+        if let Some(w) = self.watermark {
+            if ts < w {
+                return Err(EventError::OutOfOrder {
+                    previous: w.ticks(),
+                    got: ts.ticks(),
+                });
+            }
+        }
         let id = self.relation.push_values(ts, values)?;
         if self.watermark.is_none() {
             probe.filter_mode(self.filter.requested_mode(), self.filter.effective_mode());
@@ -208,6 +220,66 @@ impl StreamMatcher {
     pub fn push_event(&mut self, event: Event) -> Result<Vec<Match>, EventError> {
         let values = event.values().to_vec();
         self.push(event.ts(), values)
+    }
+
+    /// Advances the watermark to `ts` *without* pushing an event and
+    /// returns the matches that finalizes: expired runs are swept,
+    /// decidable pending groups adjudicated, and old events evicted,
+    /// exactly as a push at `ts` would — the heartbeat a sharded stream
+    /// sends to idle shards so their matches emit on time. No-op (empty
+    /// result) when `ts` does not advance the watermark or the stream
+    /// has seen no events yet. Subsequent pushes before `ts` are
+    /// rejected as out of order.
+    pub fn advance_watermark(&mut self, ts: Timestamp) -> Vec<Match> {
+        self.advance_watermark_with_probe(ts, &mut NoProbe)
+    }
+
+    /// [`StreamMatcher::advance_watermark`] with an instrumentation
+    /// probe.
+    pub fn advance_watermark_with_probe<P: Probe>(
+        &mut self,
+        ts: Timestamp,
+        probe: &mut P,
+    ) -> Vec<Match> {
+        // A stream with no events has nothing pending; staying at
+        // watermark `None` also keeps any first push acceptable.
+        let Some(w) = self.watermark else {
+            return Vec::new();
+        };
+        if ts <= w {
+            return Vec::new();
+        }
+        self.watermark = Some(ts);
+        let tau = self.automaton.tau();
+        if !self.automaton.pattern().is_satisfiable() {
+            if self.evict {
+                let evicted = self.relation.evict_before(ts - tau);
+                if evicted > 0 {
+                    probe.events_evicted(evicted);
+                }
+            }
+            probe.retained_events(self.relation.len());
+            return Vec::new();
+        }
+        sweep_expired(
+            &self.automaton,
+            &mut self.omega,
+            ts,
+            &mut self.results,
+            probe,
+        );
+        self.queue_results();
+        let out = self.drain_decidable(ts);
+        self.adjudicator.prune_survivors(ts - tau - tau);
+        if self.evict {
+            let evicted = self.relation.evict_before(ts - tau);
+            if evicted > 0 {
+                probe.events_evicted(evicted);
+            }
+        }
+        probe.retained_events(self.relation.len());
+        self.emitted += out.len();
+        out
     }
 
     /// The retained relation. With eviction on (the default) this holds
@@ -566,6 +638,62 @@ mod tests {
         assert_eq!(sm.relation().len(), 1);
         assert_eq!(sm.active_instances(), 1);
         assert_eq!(sm.emitted_so_far(), 0);
+    }
+
+    #[test]
+    fn advance_watermark_finalizes_and_evicts() {
+        let mut sm = StreamMatcher::compile(&ab_pattern(), &schema()).unwrap();
+        sm.push(Timestamp::new(0), [Value::from(1), Value::from("A")])
+            .unwrap();
+        sm.push(Timestamp::new(1), [Value::from(1), Value::from("B")])
+            .unwrap();
+        // No event arrives, but the clock (a sharded matcher's global
+        // watermark) moves on: the pending match finalizes and the old
+        // window is reclaimed.
+        let out = sm.advance_watermark(Timestamp::new(100));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].to_string(), "{v0/e1, v1/e2}");
+        assert_eq!(sm.emitted_so_far(), 1);
+        assert_eq!(sm.watermark(), Some(Timestamp::new(100)));
+        assert_eq!(sm.retained_events(), 0);
+        assert_eq!(sm.evicted_events(), 2);
+        // The advanced watermark holds for the order check: an event
+        // older than it must be rejected even though the relation's own
+        // last event is much older.
+        let err = sm
+            .push(Timestamp::new(50), [Value::from(1), Value::from("A")])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EventError::OutOfOrder {
+                previous: 100,
+                got: 50
+            }
+        ));
+        // Still fully operational at and after the watermark.
+        sm.push(Timestamp::new(100), [Value::from(1), Value::from("A")])
+            .unwrap();
+        sm.push(Timestamp::new(101), [Value::from(1), Value::from("B")])
+            .unwrap();
+        assert_eq!(sm.finish().len(), 1);
+    }
+
+    #[test]
+    fn advance_watermark_is_a_noop_when_fresh_or_stale() {
+        let mut sm = StreamMatcher::compile(&ab_pattern(), &schema()).unwrap();
+        // A stream with no events has nothing pending, and advancing it
+        // must not wedge the first real push.
+        assert!(sm.advance_watermark(Timestamp::new(50)).is_empty());
+        assert_eq!(sm.watermark(), None);
+        sm.push(Timestamp::new(5), [Value::from(1), Value::from("A")])
+            .unwrap();
+        // A stale (≤ watermark) advance changes nothing.
+        assert!(sm.advance_watermark(Timestamp::new(5)).is_empty());
+        assert!(sm.advance_watermark(Timestamp::new(3)).is_empty());
+        assert_eq!(sm.watermark(), Some(Timestamp::new(5)));
+        sm.push(Timestamp::new(6), [Value::from(1), Value::from("B")])
+            .unwrap();
+        assert_eq!(sm.finish().len(), 1);
     }
 
     #[test]

@@ -48,6 +48,12 @@ pub struct CountingProbe {
     /// Per-partition event counts, in partition order — the spread over
     /// these is the key skew.
     pub partition_events: Vec<usize>,
+    /// Time-sliced runs observed (each fires the `slices` hook once).
+    pub sliced_runs: u64,
+    /// Per-slice event counts (own region plus `τ` overlap), in
+    /// chronological slice order — their sum minus the relation length
+    /// is the duplicated overlap work.
+    pub slice_events: Vec<usize>,
 }
 
 impl CountingProbe {
@@ -82,6 +88,21 @@ impl CountingProbe {
     /// Number of partitions seen by the last partitioned run.
     pub fn partition_count(&self) -> usize {
         self.partition_events.len()
+    }
+
+    /// Number of time slices seen by the last time-sliced run.
+    pub fn slice_count(&self) -> usize {
+        self.slice_events.len()
+    }
+
+    /// Events scanned more than once by the last time-sliced run — the
+    /// `τ`-overlap duplication, given the sliced relation's length.
+    /// Saturates at zero when no time-sliced run was recorded.
+    pub fn slice_overlap_events(&self, relation_len: usize) -> usize {
+        self.slice_events
+            .iter()
+            .sum::<usize>()
+            .saturating_sub(relation_len)
     }
 
     /// Key skew of the partition layout: largest partition over the mean
@@ -126,6 +147,8 @@ impl CountingProbe {
         }
         self.partitioned_runs += other.partitioned_runs;
         self.partition_events.extend(&other.partition_events);
+        self.sliced_runs += other.sliced_runs;
+        self.slice_events.extend(&other.slice_events);
     }
 
     /// Resets every counter.
@@ -180,6 +203,13 @@ impl Probe for CountingProbe {
     }
     fn partition_events(&mut self, n: usize) {
         self.partition_events.push(n);
+    }
+    fn slices(&mut self, _n: usize) {
+        self.sliced_runs += 1;
+        self.slice_events.clear();
+    }
+    fn slice_events(&mut self, n: usize) {
+        self.slice_events.push(n);
     }
 }
 
@@ -253,6 +283,12 @@ impl Probe for SeriesProbe {
     }
     fn partition_events(&mut self, n: usize) {
         Probe::partition_events(&mut self.counts, n);
+    }
+    fn slices(&mut self, n: usize) {
+        Probe::slices(&mut self.counts, n);
+    }
+    fn slice_events(&mut self, n: usize) {
+        Probe::slice_events(&mut self.counts, n);
     }
 }
 
@@ -356,5 +392,32 @@ mod tests {
         Probe::partition_events(&mut p, 1);
         assert_eq!(p.partitioned_runs, 2);
         assert_eq!(p.partition_events, vec![1, 1]);
+    }
+
+    #[test]
+    fn slice_hooks_record_layout_and_overlap() {
+        let mut p = CountingProbe::new();
+        Probe::slices(&mut p, 3);
+        Probe::slice_events(&mut p, 8);
+        Probe::slice_events(&mut p, 7);
+        Probe::slice_events(&mut p, 5);
+        assert_eq!(p.sliced_runs, 1);
+        assert_eq!(p.slice_count(), 3);
+        // 20 scanned events over a 16-event relation: 4 re-scanned in
+        // the τ overlaps.
+        assert_eq!(p.slice_overlap_events(16), 4);
+        assert_eq!(p.slice_overlap_events(100), 0, "saturates");
+        // A second sliced run replaces the layout, not appends.
+        Probe::slices(&mut p, 1);
+        Probe::slice_events(&mut p, 4);
+        assert_eq!(p.sliced_runs, 2);
+        assert_eq!(p.slice_events, vec![4]);
+        // Merge concatenates layouts and sums run counts.
+        let mut q = CountingProbe::new();
+        Probe::slices(&mut q, 1);
+        Probe::slice_events(&mut q, 9);
+        p.merge(&q);
+        assert_eq!(p.sliced_runs, 3);
+        assert_eq!(p.slice_events, vec![4, 9]);
     }
 }

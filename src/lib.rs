@@ -80,8 +80,9 @@ pub use ses_workload as workload;
 pub mod prelude {
     pub use ses_baseline::BruteForce;
     pub use ses_core::{
-        EventSelection, FilterMode, Match, MatchSemantics, Matcher, MatcherOptions, MultiMatcher,
-        NoProbe, PartitionMode, Probe, ShardedStreamMatcher, StreamMatcher,
+        CoreError, EventSelection, FilterMode, Match, MatchSemantics, Matcher, MatcherOptions,
+        MultiMatcher, NoProbe, PartitionMode, PartitionStrategy, Probe, ShardedStreamMatcher,
+        StreamMatcher,
     };
     pub use ses_event::{
         AttrType, CmpOp, Duration, Event, EventId, Relation, Schema, Timestamp, Value,

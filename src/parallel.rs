@@ -12,8 +12,18 @@
 //! relation directly (asserted by the in-module tests, the
 //! partitioned-vs-global check in `tests/pipeline.rs`, and the property
 //! suite in `tests/parallel_vs_global.rs`).
+//!
+//! When no key is provable (uncorrelated patterns, negations), the
+//! window itself still bounds every match: [`find_time_sliced`] cuts
+//! the relation into τ-overlapping time ranges, matches them on worker
+//! threads, and attributes each raw match to the unique slice owning
+//! its first event. Configure [`ses_core::PartitionMode::TimeAuto`] to
+//! get whichever strategy applies. Equivalence with the global scan is
+//! asserted by the in-module test and `tests/timeslice_vs_global.rs`.
 
-pub use ses_core::parallel::{find_partitioned, find_partitioned_with};
+pub use ses_core::parallel::{
+    find_partitioned, find_partitioned_with, find_time_sliced, find_time_sliced_with, SliceLayout,
+};
 pub use ses_event::{partition_views, PartitionKey, RelationView};
 
 #[cfg(test)]
@@ -77,6 +87,40 @@ mod tests {
         let parallel = find_partitioned(&matcher, &rel, key);
         assert_eq!(parallel, global);
         assert_eq!(parallel.len(), 3);
+    }
+
+    #[test]
+    fn time_sliced_equals_global_on_a_keyless_chemo_query() {
+        use ses_event::{CmpOp, Duration};
+        use ses_pattern::Pattern;
+
+        // Ward-wide drug-then-bloodcount with no patient correlation:
+        // `partition_keys()` proves nothing, so time slicing is the only
+        // parallel strategy that applies.
+        let ward = crate::workload::chemo::generate(&crate::workload::chemo::ChemoConfig::small());
+        let pattern = Pattern::builder()
+            .set(|s| s.var("c"))
+            .set(|s| s.var("b"))
+            .cond_const("c", "L", CmpOp::Eq, "C")
+            .cond_const("b", "L", CmpOp::Eq, "B")
+            .within(Duration::ticks(48))
+            .build()
+            .unwrap();
+        assert!(pattern
+            .compile(ward.schema())
+            .unwrap()
+            .partition_keys()
+            .is_empty());
+        let matcher = Matcher::compile(&pattern, ward.schema()).unwrap();
+
+        let mut global = matcher.find(&ward);
+        global.sort();
+        for slices in [None, Some(1), Some(3), Some(16)] {
+            let mut sliced = find_time_sliced(&matcher, &ward, slices);
+            sliced.sort();
+            assert_eq!(sliced, global, "slices={slices:?}");
+        }
+        assert!(!global.is_empty());
     }
 
     #[test]

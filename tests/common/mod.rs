@@ -54,6 +54,109 @@ pub fn relation_strategy_with(
         })
 }
 
+/// Timestamps clustered tightly around a few well-separated anchors.
+/// Time-sliced execution cuts the relation at multiples of the slice
+/// width, so with anchors this dense a boundary routinely lands *inside*
+/// a cluster — exactly the seam-straddling matches the differential
+/// suite needs to stress first-event attribution and τ-overlap reads.
+pub fn seam_relation_strategy() -> impl Strategy<Value = Relation> {
+    (
+        proptest::collection::vec((0u8..3, 1i64..3, 0u8..4, 0i64..4), 2..10),
+        2i64..30,
+    )
+        .prop_map(|(rows, spacing)| {
+            let mut stamped: Vec<(i64, u8, i64)> = rows
+                .into_iter()
+                .map(|(ty, id, anchor, jitter)| (i64::from(anchor) * spacing + jitter, ty, id))
+                .collect();
+            stamped.sort_unstable();
+            let mut rel = Relation::new(schema());
+            for (t, ty, id) in stamped {
+                rel.push_values(
+                    Timestamp::new(t),
+                    [Value::from(TYPES[ty as usize]), Value::from(id)],
+                )
+                .unwrap();
+            }
+            rel
+        })
+}
+
+/// As [`pattern_strategy`], but the gap between the two sets carries a
+/// negated variable — typed via `L`, optionally also pinned to the first
+/// positive variable's `ID`. Negations make
+/// `CompiledPattern::partition_keys` return nothing (a killer event may
+/// live under any key), so these patterns exercise exactly the paths
+/// that cannot shard by key: the global fallback and time slicing.
+pub fn negated_pattern_strategy() -> impl Strategy<Value = Pattern> {
+    (
+        proptest::collection::vec((0u8..2, proptest::bool::ANY), 1..3),
+        proptest::collection::vec((0u8..2, proptest::bool::ANY), 1..2),
+        0u8..3,
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+        4i64..20,
+    )
+        .prop_map(
+            |(first, second, neg_ty, neg_correlate, correlate, within)| {
+                let sets = [first, second];
+                let mut b = Pattern::builder();
+                for (si, set) in sets.iter().enumerate() {
+                    let vars: Vec<(String, bool)> = set
+                        .iter()
+                        .enumerate()
+                        .map(|(vi, (_, plus))| (format!("v{si}_{vi}"), *plus))
+                        .collect();
+                    b = b.set(move |s| {
+                        for (n, plus) in &vars {
+                            if *plus {
+                                s.plus(n.clone());
+                            } else {
+                                s.var(n.clone());
+                            }
+                        }
+                        s
+                    });
+                    if si == 0 {
+                        b = b.negate("n0");
+                    }
+                }
+                let mut names: Vec<String> = Vec::new();
+                for (si, set) in sets.iter().enumerate() {
+                    for (vi, (ty, _)) in set.iter().enumerate() {
+                        b = b.cond_const(
+                            format!("v{si}_{vi}"),
+                            "L",
+                            CmpOp::Eq,
+                            TYPES[*ty as usize],
+                        );
+                        names.push(format!("v{si}_{vi}"));
+                    }
+                }
+                b = b.neg_cond_const("n0", "L", CmpOp::Eq, TYPES[neg_ty as usize]);
+                if neg_correlate {
+                    b = b.neg_cond_vars("n0", "ID", CmpOp::Eq, names[0].clone(), "ID");
+                }
+                // Same greedy-safety rule as `pattern_strategy`.
+                let has_group = sets.iter().flatten().any(|(_, plus)| *plus);
+                if correlate && !has_group {
+                    for i in 1..names.len() {
+                        for j in 0..i {
+                            b = b.cond_vars(
+                                names[j].clone(),
+                                "ID",
+                                CmpOp::Eq,
+                                names[i].clone(),
+                                "ID",
+                            );
+                        }
+                    }
+                }
+                b.within(Duration::ticks(within)).build().unwrap()
+            },
+        )
+}
+
 /// Patterns for the analyzer differential suite: 1–2 sets, ≤ 3 plain
 /// variables (no groups, so every selection strategy is complete), each
 /// variable optionally typed via `L`, plus random constant and order

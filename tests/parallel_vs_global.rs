@@ -16,7 +16,7 @@ mod common;
 
 use proptest::prelude::*;
 
-use common::{pattern_strategy, relation_strategy_with, schema};
+use common::{negated_pattern_strategy, pattern_strategy, relation_strategy_with, schema};
 use ses::prelude::*;
 
 const MODES: [MatchSemantics; 3] = [
@@ -48,7 +48,7 @@ proptest! {
     #[test]
     fn auto_equals_off_under_every_mode(
         rel in relation_strategy_with(2..9, 0..4),
-        pat in pattern_strategy(),
+        pat in prop_oneof![pattern_strategy(), negated_pattern_strategy()],
     ) {
         for semantics in MODES {
             for selection in SELECTIONS {
@@ -91,6 +91,33 @@ proptest! {
         let mut auto = auto_matcher.find(&rel);
         auto.sort();
         prop_assert_eq!(auto, answer(&pat, &rel, base));
+    }
+
+    /// A negated or grouped pattern never proves a key, and demanding
+    /// one explicitly must fail loudly: `PartitionMode::Key` rejects the
+    /// unproven attribute with [`CoreError::UnprovenPartitionKey`]
+    /// instead of silently losing cross-partition matches, while `Auto`
+    /// on the same pattern resolves to the global strategy.
+    #[test]
+    fn unproven_explicit_key_is_refused(
+        pat in negated_pattern_strategy(),
+    ) {
+        let schema = schema();
+        prop_assert!(pat.compile(&schema).unwrap().partition_keys().is_empty());
+        let key = schema.attr_id("ID").unwrap();
+        let err = Matcher::with_options(&pat, &schema, MatcherOptions {
+            partition: PartitionMode::Key(key),
+            ..MatcherOptions::default()
+        }).unwrap_err();
+        prop_assert!(
+            matches!(err, CoreError::UnprovenPartitionKey { .. }),
+            "expected UnprovenPartitionKey, got {:?}", err
+        );
+        let auto = Matcher::with_options(&pat, &schema, MatcherOptions {
+            partition: PartitionMode::Auto,
+            ..MatcherOptions::default()
+        }).unwrap();
+        prop_assert_eq!(auto.partition_strategy(), PartitionStrategy::Global);
     }
 
     /// The raw per-key split never clones an event payload: every event
