@@ -36,6 +36,10 @@ const VALUED: &[&str] = &[
     "partition",
     "threads",
     "shards",
+    "from-log",
+    "checkpoint",
+    "checkpoint-every",
+    "keep",
 ];
 
 impl Args {

@@ -6,13 +6,13 @@
 use std::io::Write;
 
 use ses_core::{
-    EventSelection, FilterMode, MatchSemantics, Matcher, MatcherOptions, MultiMatcher,
-    PartitionMode, PartitionStrategy,
+    EventSelection, FilterMode, MatchSemantics, Matcher, MatcherOptions, MatcherSnapshot,
+    MultiMatcher, PartitionMode, PartitionStrategy, Probe, ShardedStreamMatcher, StreamMatcher,
 };
-use ses_event::Duration;
+use ses_event::{Duration, Relation, Timestamp};
 use ses_metrics::{CountingProbe, Stopwatch, Table};
 use ses_query::TickUnit;
-use ses_store::{EventLog, EventStore, LogConfig};
+use ses_store::{CheckpointStore, EventLog, EventStore, LogConfig, MatchLog};
 
 use crate::args::Args;
 
@@ -35,13 +35,27 @@ USAGE:
                     --partition time also prefers a proven key but falls
                     back to τ-overlapping time slices when the pattern
                     proves none — sound for any windowed pattern)
-  ses-cli stream   --query <file-or-text> --data <file.csv>
+  ses-cli stream   --query <file-or-text> (--data <file.csv> | --from-log <dir>)
                    [--no-evict] [--limit N] [--stats]
                    [--partition auto|ATTR|off] [--shards N]
+                   [--checkpoint <dir> [--checkpoint-every N] [--keep K]]
                    (replays the data as a stream: matches are finalized
                     eagerly at the watermark and old events are evicted
                     unless --no-evict. --partition hash-routes events by
-                    the partition key to N independent shards)
+                    the partition key to N independent shards.
+                    --from-log replays a binary event log (see `import`);
+                    with --checkpoint the matcher state is snapshotted
+                    every N events (default 1000, keeping the last K
+                    checkpoints) and matches are also appended to
+                    <dir>/matches.log — `recover` resumes from there)
+  ses-cli recover  --query <file-or-text> --from-log <dir> --checkpoint <dir>
+                   [--checkpoint-every N] [--keep K] [--limit N] [--stats]
+                   [--partition auto|ATTR|off] [--shards N]
+                   (restores the newest valid checkpoint — skipping
+                    corrupt ones — replays the event log from the
+                    snapshot's watermark, and suppresses matches already
+                    durably written to <dir>/matches.log, so emission is
+                    exactly-once across a crash)
   ses-cli check    --query <file-or-text>
                    [--schema \"NAME:TYPE,...\"] [--data <file.csv>]
                    [--format human|json] [--tick hour]
@@ -75,6 +89,7 @@ pub fn dispatch(args: &Args, out: &mut dyn Write) -> i32 {
         Some("run") => cmd_run(args, out),
         Some("check") => cmd_check(args, out),
         Some("stream") => cmd_stream(args, out),
+        Some("recover") => cmd_recover(args, out),
         Some("explain") => cmd_explain(args, out),
         Some("generate") => cmd_generate(args, out),
         Some("import") => cmd_import(args, out),
@@ -553,31 +568,182 @@ fn cmd_check(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     Ok(())
 }
 
-/// Replays `--data` through the streaming matcher: matches print as the
-/// watermark finalizes them, and `--stats` reports the eviction counters
-/// that demonstrate bounded-memory operation.
-fn cmd_stream(args: &Args, out: &mut dyn Write) -> Result<(), String> {
-    let store = load_store(args.require("data")?)?;
-    let (_, pattern) = load_patterns(args)?
-        .into_iter()
-        .next()
-        .ok_or_else(|| "no query given".to_string())?;
-    let evict = !args.has_flag("no-evict");
-    let schema = store.relation().schema().clone();
-    let options = matcher_options(args, &schema)?;
+/// Either stream-matcher flavor behind one push/snapshot/finish surface,
+/// so `stream` and `recover` share a single replay loop. Boxed: the
+/// global matcher is much larger than the sharded handle.
+enum AnyStream {
+    Global(Box<StreamMatcher>),
+    Sharded(ShardedStreamMatcher),
+}
 
+/// End-of-run counters captured *before* `finish` consumes the matcher.
+enum StreamReport {
+    Global {
+        retained: usize,
+        evicted: usize,
+    },
+    Sharded {
+        key: ses_event::AttrId,
+        sizes: Vec<usize>,
+        peaks: Vec<usize>,
+        retained: usize,
+        evicted: usize,
+    },
+}
+
+impl AnyStream {
+    fn push_with_probe(
+        &mut self,
+        ts: Timestamp,
+        values: Vec<ses_event::Value>,
+        probe: &mut CountingProbe,
+    ) -> Result<Vec<ses_core::Match>, String> {
+        match self {
+            AnyStream::Global(sm) => sm.push_with_probe(ts, values, probe),
+            AnyStream::Sharded(sm) => sm.push_with_probe(ts, values, probe),
+        }
+        .map_err(|e| e.to_string())
+    }
+
+    fn snapshot(&mut self) -> MatcherSnapshot {
+        match self {
+            AnyStream::Global(sm) => MatcherSnapshot::Stream(sm.snapshot()),
+            AnyStream::Sharded(sm) => MatcherSnapshot::Sharded(sm.snapshot()),
+        }
+    }
+
+    /// Already-consumed events at the snapshot's replay timestamp — the
+    /// prefix of the replay scan to skip.
+    fn ties_at_watermark(&self) -> usize {
+        match self {
+            AnyStream::Global(sm) => sm.ties_at_watermark(),
+            AnyStream::Sharded(sm) => sm.ties_at_watermark(),
+        }
+    }
+
+    fn report(&self) -> StreamReport {
+        match self {
+            AnyStream::Global(sm) => StreamReport::Global {
+                retained: sm.retained_events(),
+                evicted: sm.evicted_events(),
+            },
+            AnyStream::Sharded(sm) => StreamReport::Sharded {
+                key: sm.partition_key(),
+                sizes: sm.shard_sizes(),
+                peaks: sm.shard_peak_omega(),
+                retained: sm.retained_events(),
+                evicted: sm.evicted_events(),
+            },
+        }
+    }
+
+    fn finish(self) -> Vec<ses_core::Match> {
+        match self {
+            AnyStream::Global(sm) => sm.finish(),
+            AnyStream::Sharded(sm) => sm.finish(),
+        }
+    }
+}
+
+/// The `--checkpoint` machinery shared by `stream` and `recover`: the
+/// checkpoint store, the durable match sink, and the every-N-events
+/// cadence. The sink is synced *before* each snapshot is saved, so its
+/// line count is always ≥ the checkpoint's emitted high-water mark —
+/// the invariant exactly-once suppression relies on.
+struct Durability {
+    store: CheckpointStore,
+    sink: MatchLog,
+    every: usize,
+    since: usize,
+}
+
+impl Durability {
+    /// Builds from `--checkpoint DIR [--checkpoint-every N] [--keep K]`;
+    /// `None` when `--checkpoint` was not given.
+    fn from_args(args: &Args) -> Result<Option<Durability>, String> {
+        let Some(dir) = args.get("checkpoint") else {
+            return Ok(None);
+        };
+        if args.get("from-log").is_none() {
+            return Err(
+                "--checkpoint requires --from-log (recovery replays the event log)".to_string(),
+            );
+        }
+        let every: usize = args.get_parsed("checkpoint-every", 1000)?;
+        if every == 0 {
+            return Err("--checkpoint-every must be positive".to_string());
+        }
+        let keep: usize = args.get_parsed("keep", 3)?;
+        if keep == 0 {
+            return Err("--keep must be positive".to_string());
+        }
+        let store = CheckpointStore::open(dir, keep).map_err(|e| e.to_string())?;
+        let sink = MatchLog::open(std::path::Path::new(dir).join("matches.log"))
+            .map_err(|e| e.to_string())?;
+        Ok(Some(Durability {
+            store,
+            sink,
+            every,
+            since: 0,
+        }))
+    }
+
+    fn record(&mut self, line: &str) -> Result<(), String> {
+        self.sink.append(line).map_err(|e| e.to_string())
+    }
+
+    /// Counts one pushed event; saves a checkpoint at the cadence.
+    fn tick(&mut self, sm: &mut AnyStream, probe: &mut CountingProbe) -> Result<(), String> {
+        self.since += 1;
+        if self.since >= self.every {
+            self.save_now(sm, probe)?;
+        }
+        Ok(())
+    }
+
+    /// Syncs the sink, then atomically saves a snapshot.
+    fn save_now(&mut self, sm: &mut AnyStream, probe: &mut CountingProbe) -> Result<(), String> {
+        self.since = 0;
+        let sw = Stopwatch::start();
+        self.sink.sync().map_err(|e| e.to_string())?;
+        let info = self.store.save(&sm.snapshot()).map_err(|e| e.to_string())?;
+        probe.checkpoint_saved(info.bytes, sw.elapsed().as_nanos() as u64);
+        Ok(())
+    }
+}
+
+/// The event source for `stream`: `--data` (CSV or log directory) or
+/// `--from-log` (binary event log replay — the durable source
+/// checkpointing requires).
+fn load_stream_source(args: &Args) -> Result<Relation, String> {
+    match (args.get("from-log"), args.get("data")) {
+        (Some(_), Some(_)) => Err("give either --data or --from-log, not both".to_string()),
+        (Some(dir), None) => {
+            let log = EventLog::open(dir, LogConfig::default()).map_err(|e| e.to_string())?;
+            log.scan().map_err(|e| e.to_string())
+        }
+        (None, Some(path)) => Ok(load_store(path)?.relation().clone()),
+        (None, None) => Err("--data or --from-log is required".to_string()),
+    }
+}
+
+/// Builds the stream matcher `stream`/`recover` cold-starts run:
+/// sharded when `--partition` proves a key, global otherwise.
+fn build_stream_matcher(
+    args: &Args,
+    out: &mut dyn Write,
+    pattern: &ses_pattern::Pattern,
+    schema: &ses_event::Schema,
+    options: MatcherOptions,
+    evict: bool,
+) -> Result<AnyStream, String> {
     if options.partition != PartitionMode::Off {
         let shards: usize = args.get_parsed("shards", 4)?;
         if shards == 0 {
             return Err("--shards must be positive".to_string());
         }
-        match ses_core::ShardedStreamMatcher::with_options(
-            &pattern,
-            &schema,
-            options.clone(),
-            shards,
-        ) {
-            Ok(sm) => return stream_sharded(args, out, &store, &pattern, sm, evict),
+        match ShardedStreamMatcher::with_options(pattern, schema, options.clone(), shards) {
+            Ok(sm) => return Ok(AnyStream::Sharded(sm.with_eviction(evict))),
             // Auto/time degrade to a global stream when nothing is provable
             // (time slicing is batch-only); an explicit key the analyzer
             // rejects is a hard error.
@@ -592,138 +758,257 @@ fn cmd_stream(args: &Args, out: &mut dyn Write) -> Result<(), String> {
             Err(e) => return Err(e.to_string()),
         }
     }
-
-    let mut sm = ses_core::StreamMatcher::with_options(&pattern, &schema, options)
-        .map_err(|e| e.to_string())?
-        .with_eviction(evict);
-    let limit: usize = args.get_parsed("limit", usize::MAX)?;
-
-    let sw = Stopwatch::start();
-    let mut probe = CountingProbe::new();
-    let mut total = 0usize;
-    for (_, e) in store.relation().iter() {
-        let emitted = sm
-            .push_with_probe(e.ts(), e.values().to_vec(), &mut probe)
-            .map_err(|x| x.to_string())?;
-        for m in &emitted {
-            total += 1;
-            if total <= limit {
-                writeln!(
-                    out,
-                    "[t={}] match {total}: {}",
-                    e.ts(),
-                    m.display_with(&pattern)
-                )
-                .map_err(io_err)?;
-            }
-        }
-    }
-    let retained = sm.retained_events();
-    let evicted = sm.evicted_events();
-    for m in &sm.finish() {
-        total += 1;
-        if total <= limit {
-            writeln!(out, "[finish] match {total}: {}", m.display_with(&pattern))
-                .map_err(io_err)?;
-        }
-    }
-    let elapsed = sw.elapsed_secs();
-    if total > limit {
-        writeln!(out, "… {} more matches (raise --limit)", total - limit).map_err(io_err)?;
-    }
-    writeln!(out, "{total} match(es) streamed in {elapsed:.3}s").map_err(io_err)?;
-
-    if args.has_flag("stats") {
-        let mut t = Table::new(["metric", "value"]);
-        t.row(["events pushed", &probe.events_read.to_string()]);
-        t.row(["events evicted", &probe.events_evicted.to_string()]);
-        t.row(["retained at end", &retained.to_string()]);
-        t.row(["evicted at end", &evicted.to_string()]);
-        t.row(["peak retained", &probe.retained_max.to_string()]);
-        t.row(["max |Ω|", &probe.omega_max.to_string()]);
-        t.row(["instances expired", &probe.instances_expired.to_string()]);
-        t.row(["eviction", if evict { "on" } else { "off" }]);
-        t.row(["filter requested", filter_mode_name(probe.filter_requested)]);
-        t.row(["filter effective", filter_mode_name(probe.filter_effective)]);
-        if probe.filter_downgraded() {
-            t.row(["filter downgraded", "yes (SES003: run `ses-cli check`)"]);
-        }
-        write!(out, "\n{t}").map_err(io_err)?;
-    }
-    Ok(())
+    Ok(AnyStream::Global(Box::new(
+        StreamMatcher::with_options(pattern, schema, options)
+            .map_err(|e| e.to_string())?
+            .with_eviction(evict),
+    )))
 }
 
-/// Replays the data through a hash-sharded stream matcher (one
-/// independent Ω/watermark per shard, routed by the proven partition
-/// key).
-fn stream_sharded(
-    args: &Args,
-    out: &mut dyn Write,
-    store: &EventStore,
-    pattern: &ses_pattern::Pattern,
-    sm: ses_core::ShardedStreamMatcher,
-    evict: bool,
-) -> Result<(), String> {
-    let mut sm = sm.with_eviction(evict);
-    let limit: usize = args.get_parsed("limit", usize::MAX)?;
-    let key_name = store
-        .relation()
-        .schema()
-        .attr_name(sm.partition_key())
-        .to_string();
+/// Replays `--data` or `--from-log` through the streaming matcher:
+/// matches print as the watermark finalizes them, `--stats` reports the
+/// eviction counters that demonstrate bounded-memory operation, and
+/// `--checkpoint` snapshots the matcher for `recover`.
+fn cmd_stream(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let relation = load_stream_source(args)?;
+    let (_, pattern) = load_patterns(args)?
+        .into_iter()
+        .next()
+        .ok_or_else(|| "no query given".to_string())?;
+    let evict = !args.has_flag("no-evict");
+    let schema = relation.schema().clone();
+    let options = matcher_options(args, &schema)?;
+    let sm = build_stream_matcher(args, out, &pattern, &schema, options, evict)?;
+    let mut dur = Durability::from_args(args)?;
+    run_stream(
+        args,
+        out,
+        &relation,
+        &pattern,
+        sm,
+        evict,
+        dur.as_mut(),
+        0,
+        0,
+        0,
+    )
+}
 
-    let sw = Stopwatch::start();
-    let mut probe = CountingProbe::new();
-    let mut total = 0usize;
-    for (_, e) in store.relation().iter() {
-        let emitted = sm
-            .push_with_probe(e.ts(), e.values().to_vec(), &mut probe)
-            .map_err(|x| x.to_string())?;
-        for m in &emitted {
-            total += 1;
-            if total <= limit {
+/// Restores the newest valid checkpoint, replays the log suffix, and
+/// suppresses matches already durably emitted — exactly-once output
+/// across a crash. Without a valid checkpoint it cold-starts from the
+/// beginning of the log (replay covers everything).
+fn cmd_recover(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let log_dir = args.require("from-log")?;
+    args.require("checkpoint")?;
+    let (_, pattern) = load_patterns(args)?
+        .into_iter()
+        .next()
+        .ok_or_else(|| "no query given".to_string())?;
+    let log = EventLog::open(log_dir, LogConfig::default()).map_err(|e| e.to_string())?;
+    let schema = log.schema().clone();
+    let options = matcher_options(args, &schema)?;
+    let evict = !args.has_flag("no-evict");
+    let mut dur = Durability::from_args(args)?.expect("--checkpoint was required above");
+
+    let loaded = dur.store.load_latest().map_err(|e| e.to_string())?;
+    let (sm, replay, skip, emitted_at_ckpt) = match &loaded {
+        Some(l) => {
+            if l.skipped > 0 {
                 writeln!(
                     out,
-                    "[t={}] match {total}: {}",
-                    e.ts(),
-                    m.display_with(pattern)
+                    "note: skipped {} corrupt checkpoint(s); falling back to seq {}",
+                    l.skipped, l.info.seq
                 )
                 .map_err(io_err)?;
             }
+            let sm = match &l.snapshot {
+                MatcherSnapshot::Stream(s) => AnyStream::Global(Box::new(
+                    StreamMatcher::restore(&pattern, &schema, options, s)
+                        .map_err(|e| e.to_string())?,
+                )),
+                MatcherSnapshot::Sharded(s) => AnyStream::Sharded(
+                    ShardedStreamMatcher::restore(&pattern, &schema, options, s)
+                        .map_err(|e| e.to_string())?,
+                ),
+            };
+            let replay = match l.snapshot.replay_from() {
+                Some(from) => log
+                    .scan_range(from, Timestamp::MAX)
+                    .map_err(|e| e.to_string())?,
+                None => log.scan().map_err(|e| e.to_string())?,
+            };
+            // Events at the snapshot's last timestamp that were already
+            // consumed reappear at the head of the range scan.
+            let skip = sm.ties_at_watermark();
+            (sm, replay, skip, l.snapshot.emitted())
         }
-    }
-    let retained = sm.retained_events();
-    let evicted = sm.evicted_events();
-    let shard_sizes = sm.shard_sizes();
-    let shard_peaks = sm.shard_peak_omega();
-    for m in &sm.finish() {
-        total += 1;
-        if total <= limit {
-            writeln!(out, "[finish] match {total}: {}", m.display_with(pattern)).map_err(io_err)?;
+        None => {
+            writeln!(
+                out,
+                "note: no valid checkpoint; cold-starting from the beginning of the log"
+            )
+            .map_err(io_err)?;
+            let sm = build_stream_matcher(args, out, &pattern, &schema, options, evict)?;
+            let replay = log.scan().map_err(|e| e.to_string())?;
+            (sm, replay, 0, 0)
         }
-    }
-    let elapsed = sw.elapsed_secs();
-    if total > limit {
-        writeln!(out, "… {} more matches (raise --limit)", total - limit).map_err(io_err)?;
-    }
+    };
+
+    // Deterministic replay re-emits the sink's post-checkpoint lines
+    // first; suppressing exactly that many makes emission exactly-once.
+    let suppress = dur.sink.lines().saturating_sub(emitted_at_ckpt);
+    let start_total = dur.sink.lines() as usize;
     writeln!(
         out,
-        "{total} match(es) streamed in {elapsed:.3}s across {} shard(s)",
-        shard_sizes.len()
+        "recovering: replaying {} event(s), suppressing {suppress} already-emitted match(es)",
+        replay.len().saturating_sub(skip)
     )
     .map_err(io_err)?;
+    run_stream(
+        args,
+        out,
+        &replay,
+        &pattern,
+        sm,
+        evict,
+        Some(&mut dur),
+        skip,
+        suppress,
+        start_total,
+    )
+}
+
+/// The shared push loop: replays `relation` (skipping the first `skip`
+/// already-consumed events), suppresses the first `suppress` emissions,
+/// records new matches in the durable sink, and checkpoints at the
+/// configured cadence. `start_total` continues the match numbering of a
+/// run being recovered.
+#[allow(clippy::too_many_arguments)]
+fn run_stream(
+    args: &Args,
+    out: &mut dyn Write,
+    relation: &Relation,
+    pattern: &ses_pattern::Pattern,
+    mut sm: AnyStream,
+    evict: bool,
+    mut dur: Option<&mut Durability>,
+    skip: usize,
+    mut suppress: u64,
+    start_total: usize,
+) -> Result<(), String> {
+    let limit: usize = args.get_parsed("limit", usize::MAX)?;
+    let sw = Stopwatch::start();
+    let mut probe = CountingProbe::new();
+    let mut total = start_total;
+
+    let emit = |m: &ses_core::Match,
+                at: &str,
+                total: &mut usize,
+                suppress: &mut u64,
+                dur: &mut Option<&mut Durability>,
+                out: &mut dyn Write|
+     -> Result<(), String> {
+        if *suppress > 0 {
+            *suppress -= 1;
+            return Ok(());
+        }
+        *total += 1;
+        let line = m.display_with(pattern).to_string();
+        if let Some(d) = dur.as_deref_mut() {
+            d.record(&line)?;
+        }
+        if *total - start_total <= limit {
+            writeln!(out, "[{at}] match {total}: {line}").map_err(io_err)?;
+        }
+        Ok(())
+    };
+
+    for (_, e) in relation.iter().skip(skip) {
+        let emitted = sm.push_with_probe(e.ts(), e.values().to_vec(), &mut probe)?;
+        let at = format!("t={}", e.ts());
+        for m in &emitted {
+            emit(m, &at, &mut total, &mut suppress, &mut dur, out)?;
+        }
+        if let Some(d) = dur.as_deref_mut() {
+            d.tick(&mut sm, &mut probe)?;
+        }
+    }
+    // Final checkpoint before `finish` consumes the matcher: a crash
+    // during/after the flush replays only the flush itself.
+    if let Some(d) = dur.as_deref_mut() {
+        d.save_now(&mut sm, &mut probe)?;
+    }
+    let report = sm.report();
+    for m in &sm.finish() {
+        emit(m, "finish", &mut total, &mut suppress, &mut dur, out)?;
+    }
+    if let Some(d) = dur {
+        d.sink.sync().map_err(|e| e.to_string())?;
+    }
+    let elapsed = sw.elapsed_secs();
+    let printed = total - start_total;
+    if printed > limit {
+        writeln!(out, "… {} more matches (raise --limit)", printed - limit).map_err(io_err)?;
+    }
+    match &report {
+        StreamReport::Global { .. } => {
+            writeln!(out, "{total} match(es) streamed in {elapsed:.3}s").map_err(io_err)?;
+        }
+        StreamReport::Sharded { sizes, .. } => {
+            writeln!(
+                out,
+                "{total} match(es) streamed in {elapsed:.3}s across {} shard(s)",
+                sizes.len()
+            )
+            .map_err(io_err)?;
+        }
+    }
 
     if args.has_flag("stats") {
-        let fmt_list = |v: &[usize]| v.iter().map(usize::to_string).collect::<Vec<_>>().join(" ");
         let mut t = Table::new(["metric", "value"]);
         t.row(["events pushed", &probe.events_read.to_string()]);
-        t.row(["sharded by", &key_name]);
-        t.row(["shards", &shard_sizes.len().to_string()]);
-        t.row(["shard events", &fmt_list(&shard_sizes)]);
-        t.row(["per-shard peak |Ω|", &fmt_list(&shard_peaks)]);
-        t.row(["events evicted", &evicted.to_string()]);
-        t.row(["retained at end", &retained.to_string()]);
-        t.row(["eviction", if evict { "on" } else { "off" }]);
+        match &report {
+            StreamReport::Global { retained, evicted } => {
+                t.row(["events evicted", &probe.events_evicted.to_string()]);
+                t.row(["retained at end", &retained.to_string()]);
+                t.row(["evicted at end", &evicted.to_string()]);
+                t.row(["peak retained", &probe.retained_max.to_string()]);
+                t.row(["max |Ω|", &probe.omega_max.to_string()]);
+                t.row(["instances expired", &probe.instances_expired.to_string()]);
+                t.row(["eviction", if evict { "on" } else { "off" }]);
+                t.row(["filter requested", filter_mode_name(probe.filter_requested)]);
+                t.row(["filter effective", filter_mode_name(probe.filter_effective)]);
+                if probe.filter_downgraded() {
+                    t.row(["filter downgraded", "yes (SES003: run `ses-cli check`)"]);
+                }
+            }
+            StreamReport::Sharded {
+                key,
+                sizes,
+                peaks,
+                retained,
+                evicted,
+            } => {
+                let fmt_list =
+                    |v: &[usize]| v.iter().map(usize::to_string).collect::<Vec<_>>().join(" ");
+                t.row(["sharded by", relation.schema().attr_name(*key)]);
+                t.row(["shards", &sizes.len().to_string()]);
+                t.row(["shard events", &fmt_list(sizes)]);
+                t.row(["per-shard peak |Ω|", &fmt_list(peaks)]);
+                t.row(["events evicted", &evicted.to_string()]);
+                t.row(["retained at end", &retained.to_string()]);
+                t.row(["eviction", if evict { "on" } else { "off" }]);
+            }
+        }
+        if probe.checkpoints > 0 {
+            t.row(["checkpoints saved", &probe.checkpoints.to_string()]);
+            t.row(["checkpoint bytes", &probe.checkpoint_bytes.to_string()]);
+            t.row([
+                "checkpoint time",
+                &format!("{:.3}s", probe.checkpoint_nanos as f64 / 1e9),
+            ]);
+        }
         write!(out, "\n{t}").map_err(io_err)?;
     }
     Ok(())
@@ -951,6 +1236,197 @@ mod tests {
         assert!(out.contains("2 match(es) streamed"), "{out}");
         assert!(out.contains("c/e1"), "{out}");
         std::fs::remove_file(&data).ok();
+    }
+
+    /// Imports the Figure 1 workload into a fresh event-log directory and
+    /// returns `(log_dir, checkpoint_dir)` unique to the calling test.
+    fn durability_dirs(tag: &str) -> (String, String) {
+        let base = std::env::temp_dir().join(format!(
+            "ses-cli-dur-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&base).ok();
+        let log_dir = base.join("log").to_string_lossy().into_owned();
+        let ckpt_dir = base.join("ckpt").to_string_lossy().into_owned();
+        let data = figure1_csv();
+        let (code, out) = run(&["import", "--data", &data, "--out", &log_dir]);
+        assert_eq!(code, 0, "{out}");
+        std::fs::remove_file(&data).ok();
+        (log_dir, ckpt_dir)
+    }
+
+    fn sink_lines(ckpt_dir: &str) -> Vec<String> {
+        let text =
+            std::fs::read_to_string(std::path::Path::new(ckpt_dir).join("matches.log")).unwrap();
+        text.lines().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn stream_from_log_matches_csv_run() {
+        let (log_dir, _ckpt) = durability_dirs("fromlog");
+        let (code, out) = run(&["stream", "--query", Q1, "--from-log", &log_dir]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("2 match(es) streamed"), "{out}");
+        assert!(out.contains("c/e1"), "{out}");
+        // --data and --from-log are mutually exclusive.
+        let (code, out) = run(&[
+            "stream",
+            "--query",
+            Q1,
+            "--from-log",
+            &log_dir,
+            "--data",
+            "x.csv",
+        ]);
+        assert_eq!(code, 1);
+        assert!(out.contains("not both"), "{out}");
+    }
+
+    #[test]
+    fn stream_checkpoint_writes_snapshots_and_durable_matches() {
+        let (log_dir, ckpt_dir) = durability_dirs("ckpt");
+        let (code, out) = run(&[
+            "stream",
+            "--query",
+            Q1,
+            "--from-log",
+            &log_dir,
+            "--checkpoint",
+            &ckpt_dir,
+            "--checkpoint-every",
+            "3",
+            "--stats",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("2 match(es) streamed"), "{out}");
+        assert!(out.contains("checkpoints saved"), "{out}");
+        let ckpts: Vec<_> = std::fs::read_dir(&ckpt_dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "sesckpt"))
+            .collect();
+        assert!(!ckpts.is_empty(), "no checkpoint files written");
+        assert!(ckpts.len() <= 3, "pruning should keep at most 3");
+        assert_eq!(sink_lines(&ckpt_dir).len(), 2, "both matches durable");
+    }
+
+    #[test]
+    fn stream_checkpoint_requires_from_log() {
+        let data = figure1_csv();
+        let (code, out) = run(&[
+            "stream",
+            "--query",
+            Q1,
+            "--data",
+            &data,
+            "--checkpoint",
+            "/tmp/x",
+        ]);
+        assert_eq!(code, 1);
+        assert!(out.contains("requires --from-log"), "{out}");
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn recover_after_completed_run_is_exactly_once() {
+        let (log_dir, ckpt_dir) = durability_dirs("recover");
+        let (code, out) = run(&[
+            "stream",
+            "--query",
+            Q1,
+            "--from-log",
+            &log_dir,
+            "--checkpoint",
+            &ckpt_dir,
+            "--checkpoint-every",
+            "4",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        let reference = sink_lines(&ckpt_dir);
+        assert_eq!(reference.len(), 2);
+
+        // Recovering a run that already completed must add nothing: the
+        // replayed suffix is suppressed line for line.
+        let (code, out) = run(&[
+            "recover",
+            "--query",
+            Q1,
+            "--from-log",
+            &log_dir,
+            "--checkpoint",
+            &ckpt_dir,
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("recovering:"), "{out}");
+        assert!(out.contains("2 match(es) streamed"), "{out}");
+        assert_eq!(sink_lines(&ckpt_dir), reference, "no duplicates, no loss");
+    }
+
+    #[test]
+    fn recover_without_checkpoint_cold_starts() {
+        let (log_dir, ckpt_dir) = durability_dirs("cold");
+        let (code, out) = run(&[
+            "recover",
+            "--query",
+            Q1,
+            "--from-log",
+            &log_dir,
+            "--checkpoint",
+            &ckpt_dir,
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("no valid checkpoint"), "{out}");
+        assert!(out.contains("2 match(es) streamed"), "{out}");
+        assert_eq!(sink_lines(&ckpt_dir).len(), 2);
+    }
+
+    #[test]
+    fn recover_skips_corrupt_checkpoint_and_replays_the_gap() {
+        let (log_dir, ckpt_dir) = durability_dirs("corrupt");
+        let (code, out) = run(&[
+            "stream",
+            "--query",
+            Q1,
+            "--from-log",
+            &log_dir,
+            "--checkpoint",
+            &ckpt_dir,
+            "--checkpoint-every",
+            "3",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        let reference = sink_lines(&ckpt_dir);
+
+        // Corrupt the newest checkpoint; recovery must fall back to the
+        // previous one and still end exactly-once.
+        let mut ckpts: Vec<_> = std::fs::read_dir(&ckpt_dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "sesckpt"))
+            .collect();
+        ckpts.sort();
+        assert!(ckpts.len() >= 2, "need two checkpoints for the fallback");
+        let newest = ckpts.last().unwrap();
+        let mut bytes = std::fs::read(newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(newest, &bytes).unwrap();
+
+        let (code, out) = run(&[
+            "recover",
+            "--query",
+            Q1,
+            "--from-log",
+            &log_dir,
+            "--checkpoint",
+            &ckpt_dir,
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("skipped 1 corrupt checkpoint(s)"), "{out}");
+        assert!(out.contains("2 match(es) streamed"), "{out}");
+        assert_eq!(sink_lines(&ckpt_dir), reference, "no duplicates, no loss");
     }
 
     #[test]

@@ -26,6 +26,14 @@ pub enum CoreError {
         /// Why the proof failed.
         reason: String,
     },
+    /// A snapshot could not be applied to this matcher: its fingerprint
+    /// disagrees with the matcher's pattern/schema/options, or its
+    /// payload is internally inconsistent. Restoring anyway would
+    /// silently corrupt matching, so the matcher refuses.
+    SnapshotMismatch {
+        /// What disagreed.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -41,6 +49,9 @@ impl fmt::Display for CoreError {
                 "`{attr}` is not a proven partition key: {reason} \
                  (use `Auto` to partition only when provable)"
             ),
+            CoreError::SnapshotMismatch { reason } => {
+                write!(f, "snapshot cannot be restored: {reason}")
+            }
         }
     }
 }

@@ -65,6 +65,7 @@ mod probe;
 mod reference;
 mod semantics;
 mod shard;
+mod snapshot;
 mod state;
 mod stream;
 mod trace;
@@ -83,6 +84,9 @@ pub use probe::{NoProbe, Probe};
 pub use reference::{enumerate_candidates, satisfies_conditions_1_3};
 pub use semantics::{select, MatchSemantics};
 pub use shard::ShardedStreamMatcher;
+pub use snapshot::{
+    InstanceSnapshot, MatcherSnapshot, ShardSnapshot, ShardedSnapshot, StreamSnapshot,
+};
 pub use state::{StateId, StateSet};
 pub use stream::StreamMatcher;
 pub use trace::{trace_execution, ExecutionTrace, TraceStep};

@@ -86,6 +86,14 @@ pub trait Probe {
     /// duplicated overlap work.
     #[inline]
     fn slice_events(&mut self, _n: usize) {}
+
+    /// A durability checkpoint was persisted: `_bytes` written to disk,
+    /// `_nanos` spent snapshotting, serializing, and syncing it. Fired
+    /// by the checkpoint driver once per saved checkpoint; the ratio of
+    /// total checkpoint time to run time is the overhead the
+    /// `durability` bench plots against the checkpoint interval.
+    #[inline]
+    fn checkpoint_saved(&mut self, _bytes: u64, _nanos: u64) {}
 }
 
 /// The no-op probe: compiles to nothing.
@@ -158,6 +166,10 @@ impl<P: Probe + ?Sized> Probe for &mut P {
     #[inline]
     fn slice_events(&mut self, n: usize) {
         (**self).slice_events(n);
+    }
+    #[inline]
+    fn checkpoint_saved(&mut self, bytes: u64, nanos: u64) {
+        (**self).checkpoint_saved(bytes, nanos);
     }
 }
 

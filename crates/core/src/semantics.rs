@@ -198,6 +198,18 @@ impl Adjudicator {
     pub(crate) fn survivor_count(&self) -> usize {
         self.survivors.len()
     }
+
+    /// The retained killers with their `minT` — read by the streaming
+    /// matcher's snapshot.
+    pub(crate) fn survivors(&self) -> &[(Timestamp, Match)] {
+        &self.survivors
+    }
+
+    /// Replaces the killer set wholesale — the restore counterpart of
+    /// [`Adjudicator::survivors`].
+    pub(crate) fn restore_survivors(&mut self, survivors: Vec<(Timestamp, Match)>) {
+        self.survivors = survivors;
+    }
 }
 
 /// Condition 4: no variable of γ could have bound a strictly earlier

@@ -37,6 +37,7 @@ use crate::error::CoreError;
 use crate::matcher::{resolve_partition, MatcherOptions, PartitionMode, PartitionStrategy};
 use crate::matches::Match;
 use crate::probe::{NoProbe, Probe};
+use crate::snapshot::{ShardSnapshot, ShardedSnapshot};
 use crate::stream::StreamMatcher;
 
 /// One shard: a stream matcher plus the map from its local event ids
@@ -363,6 +364,124 @@ impl ShardedStreamMatcher {
         });
         out.sort_unstable();
         out
+    }
+
+    /// Captures the complete dynamic state of every shard plus the
+    /// router bookkeeping under one manifest — the sharded counterpart
+    /// of [`StreamMatcher::snapshot`].
+    pub fn snapshot(&mut self) -> ShardedSnapshot {
+        let fingerprint = self.shards[0].sm.fingerprint();
+        ShardedSnapshot {
+            fingerprint,
+            key: self.key,
+            last_ts: self.last_ts,
+            next_id: self.next_id as u64,
+            emitted: self.emitted as u64,
+            shards: self
+                .shards
+                .iter_mut()
+                .map(|s| ShardSnapshot {
+                    matcher: s.sm.snapshot(),
+                    ids: s.ids.clone(),
+                    base: s.base as u64,
+                    peak_omega: s.peak_omega as u64,
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a sharded matcher from the pattern/schema/options it was
+    /// compiled with and a [`ShardedSnapshot`] taken from it. The shard
+    /// count comes from the snapshot — the hash router is deterministic
+    /// across processes, so replayed events land on the same shards.
+    /// Fails with [`CoreError::SnapshotMismatch`] on any disagreement.
+    pub fn restore(
+        pattern: &Pattern,
+        schema: &Schema,
+        options: MatcherOptions,
+        snapshot: &ShardedSnapshot,
+    ) -> Result<ShardedStreamMatcher, CoreError> {
+        let mismatch = |reason: String| CoreError::SnapshotMismatch { reason };
+        if snapshot.shards.is_empty() {
+            return Err(mismatch("sharded snapshot with no shards".to_string()));
+        }
+        let compiled = if options.propagate_constants {
+            ses_pattern::analyze(pattern, schema)
+                .pattern
+                .compile(schema)?
+        } else if options.derive_equalities {
+            ses_pattern::equality_closure(pattern).compile(schema)?
+        } else {
+            pattern.compile(schema)?
+        };
+        // The key proof must still hold for the (possibly rewritten)
+        // pattern — resurrecting shards routed by an unproven key would
+        // silently lose cross-partition matches.
+        if !compiled.is_partition_key(snapshot.key) {
+            let attr = if snapshot.key.index() < schema.len() {
+                schema.attr_name(snapshot.key).to_string()
+            } else {
+                format!("attr#{}", snapshot.key.index())
+            };
+            return Err(mismatch(format!(
+                "snapshot routes by `{attr}`, which is not a proven partition key of \
+                 this pattern"
+            )));
+        }
+        let automaton = Automaton::build_with_limit(compiled, options.max_states)?;
+        let mut shards = Vec::with_capacity(snapshot.shards.len());
+        for (i, ss) in snapshot.shards.iter().enumerate() {
+            let mut sm = StreamMatcher::from_automaton(automaton.clone(), options.clone());
+            sm.apply_snapshot(&ss.matcher)
+                .map_err(|e| mismatch(format!("shard {i}: {e}")))?;
+            if ss.ids.len() != sm.relation().len()
+                || ss.base as usize != sm.relation().first_index()
+            {
+                return Err(mismatch(format!(
+                    "shard {i}: id map covers {} events at base {}, but the relation \
+                     retains {} at base {}",
+                    ss.ids.len(),
+                    ss.base,
+                    sm.relation().len(),
+                    sm.relation().first_index()
+                )));
+            }
+            shards.push(Shard {
+                sm,
+                ids: ss.ids.clone(),
+                base: ss.base as usize,
+                peak_omega: ss.peak_omega as usize,
+            });
+        }
+        Ok(ShardedStreamMatcher {
+            shards,
+            key: snapshot.key,
+            schema: schema.clone(),
+            last_ts: snapshot.last_ts,
+            next_id: snapshot.next_id as usize,
+            emitted: snapshot.emitted as usize,
+        })
+    }
+
+    /// Events a log replay from the global watermark must skip, summed
+    /// over the shards — see [`StreamMatcher::ties_at_watermark`].
+    /// Counted against the *global* last pushed timestamp: shards whose
+    /// own last event is older contribute nothing.
+    pub fn ties_at_watermark(&self) -> usize {
+        let Some(last) = self.last_ts else {
+            return 0;
+        };
+        self.shards
+            .iter()
+            .map(|s| {
+                s.sm.relation()
+                    .events()
+                    .iter()
+                    .rev()
+                    .take_while(|e| e.ts() == last)
+                    .count()
+            })
+            .sum()
     }
 
     /// The attribute events are routed by.
@@ -732,6 +851,77 @@ mod tests {
         )
         .unwrap();
         assert_eq!(sm.partition_key(), schema().attr_id("ID").unwrap());
+    }
+
+    #[test]
+    fn sharded_snapshot_restore_resumes_identically() {
+        let events = workload();
+        for cut in 0..events.len() {
+            let mut live = ShardedStreamMatcher::with_options(
+                &keyed_pattern(),
+                &schema(),
+                auto_options(MatchSemantics::Maximal),
+                3,
+            )
+            .unwrap();
+            let mut twin = ShardedStreamMatcher::with_options(
+                &keyed_pattern(),
+                &schema(),
+                auto_options(MatchSemantics::Maximal),
+                3,
+            )
+            .unwrap();
+            let mut live_out = Vec::new();
+            let mut twin_out = Vec::new();
+            for (ts, values) in &events[..cut] {
+                live_out.extend(live.push(*ts, values.clone()).unwrap());
+                twin_out.extend(twin.push(*ts, values.clone()).unwrap());
+            }
+            let snap = live.snapshot();
+            drop(live);
+            let mut restored = ShardedStreamMatcher::restore(
+                &keyed_pattern(),
+                &schema(),
+                auto_options(MatchSemantics::Maximal),
+                &snap,
+            )
+            .unwrap();
+            assert_eq!(restored.num_shards(), 3);
+            assert_eq!(restored.emitted_so_far(), twin.emitted_so_far());
+            assert_eq!(restored.shard_sizes(), twin.shard_sizes());
+            for (ts, values) in &events[cut..] {
+                live_out.extend(restored.push(*ts, values.clone()).unwrap());
+                twin_out.extend(twin.push(*ts, values.clone()).unwrap());
+            }
+            live_out.extend(restored.finish());
+            twin_out.extend(twin.finish());
+            assert_eq!(live_out, twin_out, "divergence after restore at cut {cut}");
+        }
+    }
+
+    #[test]
+    fn sharded_restore_rejects_unproven_key() {
+        let mut sm = ShardedStreamMatcher::with_options(
+            &keyed_pattern(),
+            &schema(),
+            auto_options(MatchSemantics::Maximal),
+            2,
+        )
+        .unwrap();
+        sm.push(Timestamp::new(0), [Value::from(1i64), Value::from("A")])
+            .unwrap();
+        let mut snap = sm.snapshot();
+        // Route by an attribute the pattern proves nothing about.
+        snap.key = schema().attr_id("L").unwrap();
+        let err = ShardedStreamMatcher::restore(
+            &keyed_pattern(),
+            &schema(),
+            auto_options(MatchSemantics::Maximal),
+            &snap,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::SnapshotMismatch { .. }), "{err}");
+        assert!(err.to_string().contains("not a proven partition key"));
     }
 
     #[test]

@@ -1,0 +1,244 @@
+//! Snapshot data types for the durability subsystem.
+//!
+//! A [`StreamSnapshot`] captures the *dynamic* state of a
+//! [`crate::StreamMatcher`] — the retained relation window, the active
+//! instance set Ω with match buffers, the pending adjudication groups,
+//! the Definition-2 killer survivors, the watermark, and the
+//! emitted-match high-water mark. The *static* state (automaton, filter,
+//! options) is deliberately **not** serialized: recovery recompiles it
+//! from the pattern and options, and a fingerprint stored in the
+//! snapshot rejects restores against a different pattern, schema, or
+//! semantics (see [`CoreError::SnapshotMismatch`]).
+//!
+//! [`ShardedSnapshot`] composes per-shard stream snapshots plus the
+//! router bookkeeping (global id counter, id maps, global watermark)
+//! under a single manifest, and [`MatcherSnapshot`] unifies both for a
+//! kind-agnostic checkpoint store (`ses-store`'s `CheckpointStore`
+//! serializes it with a versioned, checksummed binary codec).
+//!
+//! The snapshot types hold plain values with public fields so the codec
+//! lives outside `ses-core` (the dependency points `ses-store →
+//! ses-core`, matching the existing `EventLog` layering).
+//!
+//! [`CoreError::SnapshotMismatch`]: crate::CoreError::SnapshotMismatch
+
+use ses_event::{AttrId, Event, EventId, Timestamp};
+use ses_pattern::VarId;
+
+use crate::automaton::Automaton;
+use crate::matcher::MatcherOptions;
+
+/// One automaton instance `Ñ = (qc, β)`: its state index and its match
+/// buffer's bindings in **oldest-first** order (the order a restore
+/// replays them in, reproducing the buffer's `minT` cache).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstanceSnapshot {
+    /// The instance's current state, as an index into the automaton's
+    /// state table.
+    pub state: u32,
+    /// The buffer's bindings, oldest first: `(variable, event, ts)`.
+    pub bindings: Vec<(VarId, EventId, Timestamp)>,
+}
+
+/// Complete dynamic state of a [`crate::StreamMatcher`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSnapshot {
+    /// Fingerprint of the compiled pattern, schema, and
+    /// behavior-relevant options the snapshot was taken under. Restoring
+    /// against a matcher with a different fingerprint fails.
+    pub fingerprint: u64,
+    /// The stream's watermark (latest pushed or heartbeat timestamp).
+    pub watermark: Option<Timestamp>,
+    /// Whether watermark eviction was enabled.
+    pub evict: bool,
+    /// Events evicted from the front of the relation; the first retained
+    /// event's id is this value.
+    pub evicted: u64,
+    /// Timestamp of the last *pushed* event — may trail the watermark
+    /// (heartbeats) and survive total eviction of the window.
+    pub last_ts: Option<Timestamp>,
+    /// The retained relation window, in chronological order.
+    pub events: Vec<Event>,
+    /// Active automaton instances Ω.
+    pub instances: Vec<InstanceSnapshot>,
+    /// Accepting runs awaiting adjudication, as canonical sorted binding
+    /// lists; regrouped by first binding on restore.
+    pub pending: Vec<Vec<(VarId, EventId)>>,
+    /// Definition-2 survivors retained as maximality killers, with their
+    /// `minT`.
+    pub survivors: Vec<(Timestamp, Vec<(VarId, EventId)>)>,
+    /// Matches already emitted by `push` — the exactly-once high-water
+    /// mark recovery suppresses duplicates against.
+    pub emitted: u64,
+}
+
+impl StreamSnapshot {
+    /// Number of events the matcher had consumed when the snapshot was
+    /// taken (evicted + retained).
+    pub fn consumed_events(&self) -> u64 {
+        self.evicted + self.events.len() as u64
+    }
+}
+
+/// One shard of a [`crate::ShardedStreamMatcher`]: its stream matcher
+/// snapshot plus the local→global event id map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSnapshot {
+    /// The shard's stream matcher state.
+    pub matcher: StreamSnapshot,
+    /// Global ids of the shard's retained events, indexed by
+    /// `local_id - base`.
+    pub ids: Vec<EventId>,
+    /// First retained local index (the shard relation's eviction base).
+    pub base: u64,
+    /// Peak `|Ω|` observed on the shard.
+    pub peak_omega: u64,
+}
+
+/// Complete dynamic state of a [`crate::ShardedStreamMatcher`]: the
+/// per-shard snapshots under one manifest, plus the router state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedSnapshot {
+    /// Shared per-shard fingerprint (every shard runs the same automaton
+    /// and options).
+    pub fingerprint: u64,
+    /// The attribute events are hash-routed by.
+    pub key: AttrId,
+    /// The global watermark: timestamp of the last pushed event.
+    pub last_ts: Option<Timestamp>,
+    /// Next global event id to assign (= total events consumed).
+    pub next_id: u64,
+    /// Matches emitted across all shards by pushes so far.
+    pub emitted: u64,
+    /// The shards, in routing order. Restore preserves the shard count —
+    /// the hash router is deterministic, so events replay to the same
+    /// shards.
+    pub shards: Vec<ShardSnapshot>,
+}
+
+/// A snapshot of either stream matcher flavor — the unit the checkpoint
+/// store persists.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatcherSnapshot {
+    /// A global (unsharded) stream matcher.
+    Stream(StreamSnapshot),
+    /// A hash-sharded stream matcher.
+    Sharded(ShardedSnapshot),
+}
+
+impl MatcherSnapshot {
+    /// Timestamp of the last event consumed before the snapshot — where
+    /// log replay resumes (see the recovery protocol in
+    /// `docs/durability.md`). `None` means nothing was consumed: replay
+    /// the whole log.
+    pub fn replay_from(&self) -> Option<Timestamp> {
+        match self {
+            MatcherSnapshot::Stream(s) => s.last_ts,
+            MatcherSnapshot::Sharded(s) => s.last_ts,
+        }
+    }
+
+    /// Matches already emitted by pushes when the snapshot was taken.
+    pub fn emitted(&self) -> u64 {
+        match self {
+            MatcherSnapshot::Stream(s) => s.emitted,
+            MatcherSnapshot::Sharded(s) => s.emitted,
+        }
+    }
+
+    /// Total events consumed when the snapshot was taken.
+    pub fn consumed_events(&self) -> u64 {
+        match self {
+            MatcherSnapshot::Stream(s) => s.consumed_events(),
+            MatcherSnapshot::Sharded(s) => s.next_id,
+        }
+    }
+}
+
+/// Fingerprints everything that must agree between snapshot and restore
+/// for the dynamic state to be meaningful: the compiled pattern (after
+/// any analyzer rewrites), the schema, and the options that change
+/// matching behavior. Partitioning/threading knobs are excluded — they
+/// affect *where* work runs, not what a shard's state means.
+pub(crate) fn matcher_fingerprint(automaton: &Automaton, options: &MatcherOptions) -> u64 {
+    let compiled = automaton.pattern();
+    let tag = format!(
+        "{}\n{}\n{:?}/{:?}/{:?}/flush={}/precheck={}/max_inst={:?}",
+        compiled.pattern(),
+        compiled.schema(),
+        options.filter,
+        options.selection,
+        options.semantics,
+        options.flush_at_end,
+        options.type_precheck,
+        options.max_instances,
+    );
+    fnv1a(tag.as_bytes())
+}
+
+/// FNV-1a, the same checksum the `ses-store` segment format uses.
+pub(crate) fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MatchSemantics, StreamMatcher};
+    use ses_event::{AttrType, CmpOp, Duration, Schema};
+    use ses_pattern::Pattern;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attr("ID", AttrType::Int)
+            .attr("L", AttrType::Str)
+            .build()
+            .unwrap()
+    }
+
+    fn pattern(within: i64) -> Pattern {
+        Pattern::builder()
+            .set(|s| s.var("a").var("b"))
+            .cond_const("a", "L", CmpOp::Eq, "A")
+            .cond_const("b", "L", CmpOp::Eq, "B")
+            .within(Duration::ticks(within))
+            .build()
+            .unwrap()
+    }
+
+    fn fingerprint_of(p: &Pattern, options: MatcherOptions) -> u64 {
+        let mut sm = StreamMatcher::with_options(p, &schema(), options).unwrap();
+        sm.snapshot().fingerprint
+    }
+
+    #[test]
+    fn fingerprint_separates_behavioral_changes() {
+        let base = fingerprint_of(&pattern(5), MatcherOptions::default());
+        // Same inputs → same fingerprint (stable across processes too:
+        // pure FNV-1a over deterministic renderings).
+        assert_eq!(base, fingerprint_of(&pattern(5), MatcherOptions::default()));
+        // Different window, pattern, or semantics → different state.
+        assert_ne!(base, fingerprint_of(&pattern(6), MatcherOptions::default()));
+        assert_ne!(
+            base,
+            fingerprint_of(
+                &pattern(5),
+                MatcherOptions {
+                    semantics: MatchSemantics::AllRuns,
+                    ..MatcherOptions::default()
+                }
+            )
+        );
+    }
+
+    #[test]
+    fn fnv1a_reference_vectors() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

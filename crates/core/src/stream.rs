@@ -53,7 +53,9 @@ use crate::matches::Match;
 use crate::negation::passes_negations;
 use crate::probe::{NoProbe, Probe};
 use crate::semantics::{Adjudicator, GroupKey};
-use crate::{Automaton, CoreError};
+use crate::snapshot::{matcher_fingerprint, InstanceSnapshot, StreamSnapshot};
+use crate::state::StateId;
+use crate::{Automaton, Buffer, CoreError};
 
 /// An incremental, push-based matcher with watermark-driven eviction.
 #[derive(Debug)]
@@ -325,6 +327,167 @@ impl StreamMatcher {
     /// still to come (pruned against the watermark like everything else).
     pub fn retained_killers(&self) -> usize {
         self.adjudicator.survivor_count()
+    }
+
+    /// Captures the matcher's complete dynamic state — the retained
+    /// window, Ω, pending adjudication groups, killer survivors,
+    /// watermark, and emitted-match count — as a [`StreamSnapshot`].
+    ///
+    /// The snapshot plus the pattern/schema/options used to build this
+    /// matcher fully determine future behavior:
+    /// [`StreamMatcher::restore`] yields a matcher whose subsequent
+    /// emissions are identical to this one's.
+    pub fn snapshot(&mut self) -> StreamSnapshot {
+        // `results` is always drained before `push` returns, but queue
+        // defensively so the invariant is local.
+        self.queue_results();
+        let mut instances = Vec::with_capacity(self.omega.len());
+        for inst in &self.omega {
+            let mut bindings: Vec<_> = inst.buffer.iter().map(|b| (b.var, b.event, b.ts)).collect();
+            bindings.reverse(); // newest-first iteration → oldest-first storage
+            instances.push(InstanceSnapshot {
+                state: inst.state.0,
+                bindings,
+            });
+        }
+        StreamSnapshot {
+            fingerprint: self.fingerprint(),
+            watermark: self.watermark,
+            evict: self.evict,
+            evicted: self.relation.evicted() as u64,
+            last_ts: self.relation.last_ts(),
+            events: self.relation.events().to_vec(),
+            instances,
+            pending: self
+                .pending
+                .values()
+                .flatten()
+                .map(|raw| raw.bindings.clone())
+                .collect(),
+            survivors: self
+                .adjudicator
+                .survivors()
+                .iter()
+                .map(|(ts, m)| (*ts, m.bindings().to_vec()))
+                .collect(),
+            emitted: self.emitted as u64,
+        }
+    }
+
+    /// Rebuilds a matcher from the pattern/schema/options it was
+    /// compiled with and a [`StreamSnapshot`] taken from it. Fails with
+    /// [`CoreError::SnapshotMismatch`] when the snapshot was taken under
+    /// a different pattern, schema, or semantics, or is internally
+    /// inconsistent.
+    pub fn restore(
+        pattern: &Pattern,
+        schema: &Schema,
+        options: MatcherOptions,
+        snapshot: &StreamSnapshot,
+    ) -> Result<StreamMatcher, CoreError> {
+        let mut sm = StreamMatcher::with_options(pattern, schema, options)?;
+        sm.apply_snapshot(snapshot)?;
+        Ok(sm)
+    }
+
+    /// The matcher's pattern/schema/options fingerprint (see
+    /// [`crate::snapshot`]).
+    pub(crate) fn fingerprint(&self) -> u64 {
+        matcher_fingerprint(&self.automaton, &self.options)
+    }
+
+    /// Overwrites this matcher's dynamic state with `snap` — shared by
+    /// [`StreamMatcher::restore`] and the sharded manifest restore.
+    pub(crate) fn apply_snapshot(&mut self, snap: &StreamSnapshot) -> Result<(), CoreError> {
+        let mismatch = |reason: String| CoreError::SnapshotMismatch { reason };
+        let expected = self.fingerprint();
+        if snap.fingerprint != expected {
+            return Err(mismatch(format!(
+                "fingerprint {:#018x} does not match this matcher's {expected:#018x} \
+                 (different pattern, schema, or options)",
+                snap.fingerprint
+            )));
+        }
+        let schema = self.automaton.pattern().schema().clone();
+        let relation = Relation::restore(
+            schema,
+            snap.evicted as usize,
+            snap.events.clone(),
+            snap.last_ts,
+        )
+        .map_err(|e| mismatch(format!("invalid relation window: {e}")))?;
+        if let (Some(w), Some(last)) = (snap.watermark, snap.last_ts) {
+            if w < last {
+                return Err(mismatch(format!(
+                    "watermark {w} behind the last pushed timestamp {last}"
+                )));
+            }
+        }
+        let num_states = self.automaton.num_states() as u32;
+        let mut omega = Vec::with_capacity(snap.instances.len());
+        for inst in &snap.instances {
+            if inst.state >= num_states {
+                return Err(mismatch(format!(
+                    "instance state {} out of range (automaton has {num_states} states)",
+                    inst.state
+                )));
+            }
+            let mut buffer = Buffer::EMPTY;
+            for &(var, event, ts) in &inst.bindings {
+                buffer = buffer.push(var, event, ts);
+            }
+            omega.push(Instance {
+                state: StateId(inst.state),
+                buffer,
+            });
+        }
+        for bindings in &snap.pending {
+            if bindings.is_empty() {
+                return Err(mismatch("pending match with no bindings".to_string()));
+            }
+        }
+        self.relation = relation;
+        self.omega = omega;
+        self.scratch.clear();
+        self.results = snap
+            .pending
+            .iter()
+            .map(|bindings| RawMatch {
+                bindings: bindings.clone(),
+            })
+            .collect();
+        self.pending.clear();
+        self.queue_results();
+        self.adjudicator = Adjudicator::new(self.options.semantics);
+        self.adjudicator.restore_survivors(
+            snap.survivors
+                .iter()
+                .map(|(ts, b)| (*ts, Match::from_bindings(b.clone())))
+                .collect(),
+        );
+        self.watermark = snap.watermark;
+        self.evict = snap.evict;
+        self.emitted = snap.emitted as usize;
+        Ok(())
+    }
+
+    /// Number of already-consumed events a log replay starting at
+    /// [`Relation::last_ts`] must **skip**: the retained events tied at
+    /// the last pushed timestamp. Events at the last pushed timestamp
+    /// are never evicted (the eviction cutoff is strictly below the
+    /// watermark), so this count is always recoverable from the retained
+    /// window — the cornerstone of the exactly-once replay protocol in
+    /// `docs/durability.md`.
+    pub fn ties_at_watermark(&self) -> usize {
+        let Some(last) = self.relation.last_ts() else {
+            return 0;
+        };
+        self.relation
+            .events()
+            .iter()
+            .rev()
+            .take_while(|e| e.ts() == last)
+            .count()
     }
 
     /// Ends the stream: flushes accepting instances, adjudicates every
@@ -694,6 +857,95 @@ mod tests {
         sm.push(Timestamp::new(6), [Value::from(1), Value::from("B")])
             .unwrap();
         assert_eq!(sm.finish().len(), 1);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identically() {
+        // Snapshot mid-stream (with live instances, pending groups, and
+        // an evicted prefix), restore into a fresh matcher, and verify
+        // the continuation emits exactly what the uninterrupted twin
+        // does — including ties at the watermark and finish().
+        let rows: &[(i64, &str)] = &[
+            (0, "A"),
+            (1, "B"),
+            (8, "A"),
+            (8, "B"),
+            (8, "A"),
+            (9, "B"),
+            (20, "A"),
+            (21, "B"),
+            (40, "X"),
+        ];
+        let pattern = ab_pattern();
+        let schema = schema();
+        for cut in 0..rows.len() {
+            let mut live = StreamMatcher::compile(&pattern, &schema).unwrap();
+            let mut twin = StreamMatcher::compile(&pattern, &schema).unwrap();
+            let mut live_out = Vec::new();
+            let mut twin_out = Vec::new();
+            for (t, l) in &rows[..cut] {
+                let values = [Value::from(1), Value::from(*l)];
+                live_out.extend(live.push(Timestamp::new(*t), values.clone()).unwrap());
+                twin_out.extend(twin.push(Timestamp::new(*t), values).unwrap());
+            }
+            let snap = live.snapshot();
+            drop(live); // the "crash"
+            let mut restored =
+                StreamMatcher::restore(&pattern, &schema, MatcherOptions::default(), &snap)
+                    .unwrap();
+            assert_eq!(restored.emitted_so_far(), twin.emitted_so_far());
+            assert_eq!(restored.watermark(), twin.watermark());
+            assert_eq!(restored.active_instances(), twin.active_instances());
+            assert_eq!(restored.pending_candidates(), twin.pending_candidates());
+            for (t, l) in &rows[cut..] {
+                let values = [Value::from(1), Value::from(*l)];
+                live_out.extend(restored.push(Timestamp::new(*t), values.clone()).unwrap());
+                twin_out.extend(twin.push(Timestamp::new(*t), values).unwrap());
+            }
+            live_out.extend(restored.finish());
+            twin_out.extend(twin.finish());
+            assert_eq!(live_out, twin_out, "divergence after restore at cut {cut}");
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_mismatched_matcher() {
+        let mut sm = StreamMatcher::compile(&ab_pattern(), &schema()).unwrap();
+        sm.push(Timestamp::new(0), [Value::from(1), Value::from("A")])
+            .unwrap();
+        let snap = sm.snapshot();
+        // Different window ⇒ different fingerprint ⇒ refused.
+        let other = Pattern::builder()
+            .set(|s| s.var("a").var("b"))
+            .cond_const("a", "L", CmpOp::Eq, "A")
+            .cond_const("b", "L", CmpOp::Eq, "B")
+            .within(Duration::ticks(6))
+            .build()
+            .unwrap();
+        let err = StreamMatcher::restore(&other, &schema(), MatcherOptions::default(), &snap)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::SnapshotMismatch { .. }), "{err}");
+        // Corrupted payload (instance state out of range) is refused too.
+        let mut bad = snap.clone();
+        bad.instances[0].state = 10_000;
+        let err = StreamMatcher::restore(&ab_pattern(), &schema(), MatcherOptions::default(), &bad)
+            .unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn ties_at_watermark_counts_the_replay_skip() {
+        let mut sm = StreamMatcher::compile(&ab_pattern(), &schema()).unwrap();
+        assert_eq!(sm.ties_at_watermark(), 0);
+        sm.push(Timestamp::new(5), [Value::from(1), Value::from("A")])
+            .unwrap();
+        assert_eq!(sm.ties_at_watermark(), 1);
+        sm.push(Timestamp::new(5), [Value::from(1), Value::from("X")])
+            .unwrap();
+        assert_eq!(sm.ties_at_watermark(), 2);
+        sm.push(Timestamp::new(7), [Value::from(1), Value::from("B")])
+            .unwrap();
+        assert_eq!(sm.ties_at_watermark(), 1);
     }
 
     #[test]

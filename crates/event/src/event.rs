@@ -51,6 +51,16 @@ pub struct Event {
     ts: Timestamp,
 }
 
+/// Events compare by timestamp and attribute values — the identity that
+/// matters for snapshot round-trips and differential tests. Follows
+/// [`Value`]'s comparison semantics (ints and floats compare
+/// numerically), so no derived `Eq`.
+impl PartialEq for Event {
+    fn eq(&self, other: &Event) -> bool {
+        self.ts == other.ts && self.values[..] == other.values[..]
+    }
+}
+
 impl Event {
     /// Creates an event. The caller is responsible for schema conformance;
     /// use [`crate::Relation::push_values`] for checked construction.

@@ -53,6 +53,53 @@ impl Relation {
         }
     }
 
+    /// Reconstructs a relation from externally persisted parts: the
+    /// number of events already `evicted` from the front, the retained
+    /// `events`, and the cached last-pushed timestamp (which may exceed
+    /// the last retained event's timestamp after total eviction).
+    ///
+    /// This is the inverse of reading [`Relation::evicted`],
+    /// [`Relation::events`] and [`Relation::last_ts`] — the streaming
+    /// matcher's snapshot/restore path uses it to resurrect its window
+    /// with every retained event keeping its original [`EventId`].
+    /// Validates schema conformance, chronological order, and that
+    /// `last_ts` is consistent with the retained tail.
+    pub fn restore(
+        schema: Schema,
+        evicted: usize,
+        events: Vec<Event>,
+        last_ts: Option<Timestamp>,
+    ) -> Result<Relation, EventError> {
+        let mut prev: Option<Timestamp> = None;
+        for e in &events {
+            schema.check_row(e.values())?;
+            if let Some(p) = prev {
+                if e.ts() < p {
+                    return Err(EventError::OutOfOrder {
+                        previous: p.ticks(),
+                        got: e.ts().ticks(),
+                    });
+                }
+            }
+            prev = Some(e.ts());
+        }
+        if let Some(tail) = prev {
+            let cached = last_ts.unwrap_or(tail);
+            if cached < tail {
+                return Err(EventError::OutOfOrder {
+                    previous: tail.ticks(),
+                    got: cached.ticks(),
+                });
+            }
+        }
+        Ok(Relation {
+            schema,
+            events,
+            base: evicted,
+            last_ts,
+        })
+    }
+
     /// Starts a builder that accepts rows in any order and sorts them
     /// stably by timestamp on [`RelationBuilder::build`].
     pub fn builder(schema: Schema) -> RelationBuilder {
@@ -555,6 +602,50 @@ mod tests {
         let mut r2 = rel_with(&[0, 1, 5, 6]);
         assert_eq!(r2.evict_before(Timestamp::new(5)), 2);
         assert_eq!(r2.first_ts(), Some(Timestamp::new(5)));
+    }
+
+    #[test]
+    fn restore_round_trips_evicted_relation() {
+        let mut r = rel_with(&[0, 1, 2, 10, 11]);
+        r.evict_before(Timestamp::new(10));
+        let restored = Relation::restore(
+            r.schema().clone(),
+            r.evicted(),
+            r.events().to_vec(),
+            r.last_ts(),
+        )
+        .unwrap();
+        assert_eq!(restored.evicted(), 3);
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored.event(EventId(3)).ts(), Timestamp::new(10));
+        assert_eq!(restored.last_ts(), Some(Timestamp::new(11)));
+        // Pushes continue the id sequence exactly as the original would.
+        let mut restored = restored;
+        let id = restored
+            .push_values(Timestamp::new(12), [9.into(), "X".into()])
+            .unwrap();
+        assert_eq!(id, EventId(5));
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_parts() {
+        let good = rel_with(&[0, 5]);
+        // Events out of order.
+        let mut events = good.events().to_vec();
+        events.reverse();
+        assert!(Relation::restore(schema(), 0, events, Some(Timestamp::new(5))).is_err());
+        // Cached last_ts behind the retained tail.
+        assert!(
+            Relation::restore(schema(), 0, good.events().to_vec(), Some(Timestamp::new(3)))
+                .is_err()
+        );
+        // Schema violation inside a retained event.
+        let bad = vec![Event::new(Timestamp::new(0), vec![Value::from("s")])];
+        assert!(Relation::restore(schema(), 0, bad, None).is_err());
+        // Total eviction: empty tail with a cached last_ts is fine.
+        let r = Relation::restore(schema(), 4, Vec::new(), Some(Timestamp::new(9))).unwrap();
+        assert_eq!(r.total_len(), 4);
+        assert_eq!(r.last_ts(), Some(Timestamp::new(9)));
     }
 
     #[test]

@@ -54,6 +54,13 @@ pub struct CountingProbe {
     /// chronological slice order — their sum minus the relation length
     /// is the duplicated overlap work.
     pub slice_events: Vec<usize>,
+    /// Durability checkpoints saved.
+    pub checkpoints: u64,
+    /// Total bytes written across saved checkpoints.
+    pub checkpoint_bytes: u64,
+    /// Total nanoseconds spent snapshotting, serializing, and syncing
+    /// checkpoints — checkpoint overhead relative to run time.
+    pub checkpoint_nanos: u64,
 }
 
 impl CountingProbe {
@@ -149,6 +156,9 @@ impl CountingProbe {
         self.partition_events.extend(&other.partition_events);
         self.sliced_runs += other.sliced_runs;
         self.slice_events.extend(&other.slice_events);
+        self.checkpoints += other.checkpoints;
+        self.checkpoint_bytes += other.checkpoint_bytes;
+        self.checkpoint_nanos += other.checkpoint_nanos;
     }
 
     /// Resets every counter.
@@ -210,6 +220,11 @@ impl Probe for CountingProbe {
     }
     fn slice_events(&mut self, n: usize) {
         self.slice_events.push(n);
+    }
+    fn checkpoint_saved(&mut self, bytes: u64, nanos: u64) {
+        self.checkpoints += 1;
+        self.checkpoint_bytes += bytes;
+        self.checkpoint_nanos += nanos;
     }
 }
 
@@ -289,6 +304,9 @@ impl Probe for SeriesProbe {
     }
     fn slice_events(&mut self, n: usize) {
         Probe::slice_events(&mut self.counts, n);
+    }
+    fn checkpoint_saved(&mut self, bytes: u64, nanos: u64) {
+        self.counts.checkpoint_saved(bytes, nanos);
     }
 }
 
@@ -392,6 +410,24 @@ mod tests {
         Probe::partition_events(&mut p, 1);
         assert_eq!(p.partitioned_runs, 2);
         assert_eq!(p.partition_events, vec![1, 1]);
+    }
+
+    #[test]
+    fn checkpoint_hook_accumulates_and_merges() {
+        let mut p = CountingProbe::new();
+        p.checkpoint_saved(100, 5_000);
+        p.checkpoint_saved(50, 2_000);
+        assert_eq!(p.checkpoints, 2);
+        assert_eq!(p.checkpoint_bytes, 150);
+        assert_eq!(p.checkpoint_nanos, 7_000);
+        let mut q = CountingProbe::new();
+        q.checkpoint_saved(1, 1);
+        p.merge(&q);
+        assert_eq!(p.checkpoints, 3);
+        assert_eq!(p.checkpoint_bytes, 151);
+        let mut s = SeriesProbe::new();
+        s.checkpoint_saved(9, 9);
+        assert_eq!(s.counts.checkpoints, 1);
     }
 
     #[test]

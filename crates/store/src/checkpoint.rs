@@ -1,0 +1,409 @@
+//! Atomic checkpoint persistence and the durable match sink.
+//!
+//! A [`CheckpointStore`] writes matcher snapshots as numbered files
+//! (`ckpt-<seq>.sesckpt`) inside a directory. Each file frames the
+//! codec payload (see [`crate::codec`]) with a magic, a format version,
+//! a length, and an FNV-1a checksum:
+//!
+//! ```text
+//! b"SESCKPT1" | u16 version | u64 payload_len | u64 fnv1a(payload) | payload
+//! ```
+//!
+//! Saves are atomic: the frame is written to a `.tmp` sibling, synced,
+//! then renamed over the final name — a crash mid-save leaves at most a
+//! stale temp file, never a half-written checkpoint under a valid name.
+//! The store keeps the last `keep` checkpoints and prunes older ones
+//! after each save; [`CheckpointStore::load_latest`] walks sequence
+//! numbers downward, skipping (and counting) corrupt or truncated
+//! files, so one bad checkpoint falls back to the previous valid one
+//! and log replay covers the widened gap.
+//!
+//! [`MatchLog`] is the other half of exactly-once emission: an
+//! append-only line sink that tolerates a torn final line on reopen
+//! (truncating it), so `lines()` after a crash counts exactly the
+//! matches that durably reached the sink.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use ses_core::MatcherSnapshot;
+
+use crate::codec::{decode_snapshot, encode_snapshot, fnv1a};
+use crate::StoreError;
+
+/// Magic prefix of a checkpoint file.
+const MAGIC: &[u8; 8] = b"SESCKPT1";
+/// Current frame format version.
+const VERSION: u16 = 1;
+/// Frame header bytes ahead of the payload: magic + version + len + checksum.
+const HEADER_LEN: usize = 8 + 2 + 8 + 8;
+/// Checkpoint file extension.
+const EXT: &str = "sesckpt";
+
+/// Metadata of one on-disk checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointInfo {
+    /// Monotonic sequence number (encoded in the file name).
+    pub seq: u64,
+    /// Path of the checkpoint file.
+    pub path: PathBuf,
+    /// Total file size in bytes (frame + payload).
+    pub bytes: u64,
+}
+
+/// A successfully loaded checkpoint.
+#[derive(Debug)]
+pub struct LoadedCheckpoint {
+    /// The decoded snapshot.
+    pub snapshot: MatcherSnapshot,
+    /// Which file it came from.
+    pub info: CheckpointInfo,
+    /// Newer checkpoints that were skipped as corrupt or unreadable.
+    pub skipped: usize,
+}
+
+/// A directory of atomically written, checksummed matcher checkpoints.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    keep: usize,
+    next_seq: u64,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a checkpoint directory, retaining the
+    /// last `keep` checkpoints on save. `keep` is clamped to at least 1.
+    pub fn open(dir: impl Into<PathBuf>, keep: usize) -> Result<CheckpointStore, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let next_seq = list_checkpoints(&dir)?
+            .last()
+            .map(|info| info.seq + 1)
+            .unwrap_or(0);
+        Ok(CheckpointStore {
+            dir,
+            keep: keep.max(1),
+            next_seq,
+        })
+    }
+
+    /// The checkpoint directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// On-disk checkpoints in ascending sequence order.
+    pub fn list(&self) -> Result<Vec<CheckpointInfo>, StoreError> {
+        list_checkpoints(&self.dir)
+    }
+
+    /// Atomically writes `snapshot` as the next checkpoint and prunes
+    /// checkpoints beyond the retention count. Returns the new file's
+    /// metadata.
+    pub fn save(&mut self, snapshot: &MatcherSnapshot) -> Result<CheckpointInfo, StoreError> {
+        let payload = encode_snapshot(snapshot);
+        let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+        frame.extend_from_slice(MAGIC);
+        frame.extend_from_slice(&VERSION.to_le_bytes());
+        frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        frame.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+
+        let seq = self.next_seq;
+        let path = self.path_of(seq);
+        let tmp = path.with_extension("tmp");
+        {
+            let mut file = File::create(&tmp)?;
+            file.write_all(&frame)?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        // Sync the directory so the rename itself survives a power loss.
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        self.next_seq = seq + 1;
+        self.prune()?;
+        Ok(CheckpointInfo {
+            seq,
+            path,
+            bytes: frame.len() as u64,
+        })
+    }
+
+    /// Loads the newest checkpoint that validates, skipping corrupt or
+    /// truncated ones. Returns `None` when no checkpoint validates (or
+    /// none exists).
+    pub fn load_latest(&self) -> Result<Option<LoadedCheckpoint>, StoreError> {
+        let mut skipped = 0;
+        for info in self.list()?.into_iter().rev() {
+            match load_file(&info.path) {
+                Ok(snapshot) => {
+                    return Ok(Some(LoadedCheckpoint {
+                        snapshot,
+                        info,
+                        skipped,
+                    }))
+                }
+                Err(_) => skipped += 1,
+            }
+        }
+        Ok(None)
+    }
+
+    /// Loads a specific checkpoint by sequence number, validating it.
+    pub fn load(&self, seq: u64) -> Result<MatcherSnapshot, StoreError> {
+        load_file(&self.path_of(seq))
+    }
+
+    fn path_of(&self, seq: u64) -> PathBuf {
+        self.dir.join(format!("ckpt-{seq:010}.{EXT}"))
+    }
+
+    fn prune(&self) -> Result<(), StoreError> {
+        let infos = self.list()?;
+        if infos.len() > self.keep {
+            for info in &infos[..infos.len() - self.keep] {
+                fs::remove_file(&info.path)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn list_checkpoints(dir: &Path) -> Result<Vec<CheckpointInfo>, StoreError> {
+    let mut infos = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = match path.file_name().and_then(|n| n.to_str()) {
+            Some(n) => n,
+            None => continue,
+        };
+        let seq = match name
+            .strip_prefix("ckpt-")
+            .and_then(|rest| rest.strip_suffix(&format!(".{EXT}")))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        {
+            Some(seq) => seq,
+            None => continue,
+        };
+        infos.push(CheckpointInfo {
+            seq,
+            path,
+            bytes: entry.metadata()?.len(),
+        });
+    }
+    infos.sort_by_key(|info| info.seq);
+    Ok(infos)
+}
+
+fn load_file(path: &Path) -> Result<MatcherSnapshot, StoreError> {
+    let data = fs::read(path)?;
+    if data.len() < HEADER_LEN || &data[..8] != MAGIC {
+        return Err(StoreError::Corrupt {
+            message: format!("{} is not a SESCKPT1 checkpoint", path.display()),
+        });
+    }
+    let version = u16::from_le_bytes(data[8..10].try_into().expect("2 bytes"));
+    if version != VERSION {
+        return Err(StoreError::Corrupt {
+            message: format!("unsupported checkpoint version {version}"),
+        });
+    }
+    let len = u64::from_le_bytes(data[10..18].try_into().expect("8 bytes")) as usize;
+    let checksum = u64::from_le_bytes(data[18..26].try_into().expect("8 bytes"));
+    let payload = &data[HEADER_LEN..];
+    if payload.len() != len {
+        return Err(StoreError::Corrupt {
+            message: format!(
+                "checkpoint payload is {} bytes, header claims {len}",
+                payload.len()
+            ),
+        });
+    }
+    if fnv1a(payload) != checksum {
+        return Err(StoreError::Corrupt {
+            message: "checkpoint checksum mismatch".into(),
+        });
+    }
+    decode_snapshot(payload)
+}
+
+/// An append-only, crash-tolerant match sink.
+///
+/// Each match is one `\n`-terminated line. On open, a torn final line
+/// (crash mid-`append`) is truncated away, so [`MatchLog::lines`]
+/// counts exactly the durably written matches — the count recovery
+/// compares against a checkpoint's emitted high-water mark to decide
+/// how many replayed matches to suppress.
+#[derive(Debug)]
+pub struct MatchLog {
+    file: File,
+    lines: u64,
+}
+
+impl MatchLog {
+    /// Opens (creating if needed) the sink at `path`, truncating any
+    /// torn final line.
+    pub fn open(path: impl AsRef<Path>) -> Result<MatchLog, StoreError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut data = Vec::new();
+        file.read_to_end(&mut data)?;
+        // Keep everything up to and including the last newline.
+        let complete = data
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        if complete != data.len() {
+            file.set_len(complete as u64)?;
+        }
+        file.seek(SeekFrom::Start(complete as u64))?;
+        let lines = data[..complete].iter().filter(|&&b| b == b'\n').count() as u64;
+        Ok(MatchLog { file, lines })
+    }
+
+    /// Number of complete lines durably present at open plus appended
+    /// since.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Appends one match line (a trailing newline is added).
+    pub fn append(&mut self, line: &str) -> Result<(), StoreError> {
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.lines += 1;
+        Ok(())
+    }
+
+    /// Forces appended lines to stable storage. Call before saving a
+    /// checkpoint, so the sink is never behind the snapshot's emitted
+    /// count.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.file.flush()?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ses_core::StreamSnapshot;
+    use ses_event::{Event, Timestamp, Value};
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ses-ckpt-{name}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn snapshot(emitted: u64) -> MatcherSnapshot {
+        MatcherSnapshot::Stream(StreamSnapshot {
+            fingerprint: 7,
+            watermark: Some(Timestamp::new(5)),
+            evict: true,
+            evicted: 0,
+            last_ts: Some(Timestamp::new(5)),
+            events: vec![Event::new(Timestamp::new(5), vec![Value::Int(1)])],
+            instances: Vec::new(),
+            pending: Vec::new(),
+            survivors: Vec::new(),
+            emitted,
+        })
+    }
+
+    #[test]
+    fn save_load_round_trips_and_prunes() {
+        let dir = temp_dir("roundtrip");
+        let mut store = CheckpointStore::open(&dir, 2).unwrap();
+        for i in 0..5 {
+            store.save(&snapshot(i)).unwrap();
+        }
+        let infos = store.list().unwrap();
+        assert_eq!(
+            infos.iter().map(|i| i.seq).collect::<Vec<_>>(),
+            vec![3, 4],
+            "keeps only the last K"
+        );
+        let loaded = store.load_latest().unwrap().unwrap();
+        assert_eq!(loaded.info.seq, 4);
+        assert_eq!(loaded.skipped, 0);
+        assert_eq!(loaded.snapshot, snapshot(4));
+        // Reopen continues the sequence instead of reusing numbers.
+        let mut reopened = CheckpointStore::open(&dir, 2).unwrap();
+        assert_eq!(reopened.save(&snapshot(9)).unwrap().seq, 5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_latest_falls_back_to_previous() {
+        let dir = temp_dir("fallback");
+        let mut store = CheckpointStore::open(&dir, 3).unwrap();
+        store.save(&snapshot(1)).unwrap();
+        let latest = store.save(&snapshot(2)).unwrap();
+        // Flip a payload byte in the newest file.
+        let mut bytes = fs::read(&latest.path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&latest.path, &bytes).unwrap();
+        let loaded = store.load_latest().unwrap().unwrap();
+        assert_eq!(loaded.info.seq, 0);
+        assert_eq!(loaded.skipped, 1);
+        assert_eq!(loaded.snapshot, snapshot(1));
+        assert!(matches!(
+            store.load(latest.seq),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // Truncated file is also skipped, not fatal.
+        fs::write(&latest.path, &bytes[..10]).unwrap();
+        assert_eq!(store.load_latest().unwrap().unwrap().info.seq, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_store_loads_none() {
+        let dir = temp_dir("empty");
+        let store = CheckpointStore::open(&dir, 3).unwrap();
+        assert!(store.load_latest().unwrap().is_none());
+        assert!(store.list().unwrap().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn match_log_truncates_torn_tail() {
+        let dir = temp_dir("matchlog");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("matches.log");
+        {
+            let mut log = MatchLog::open(&path).unwrap();
+            assert_eq!(log.lines(), 0);
+            log.append("m1").unwrap();
+            log.append("m2").unwrap();
+            log.sync().unwrap();
+        }
+        // Simulate a crash mid-append: a dangling partial line.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"m3-part").unwrap();
+        }
+        let mut log = MatchLog::open(&path).unwrap();
+        assert_eq!(log.lines(), 2, "torn line does not count");
+        log.append("m3").unwrap();
+        log.sync().unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "m1\nm2\nm3\n");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,586 @@
+//! Versioned binary codec for matcher snapshots.
+//!
+//! Hand-rolled little-endian framing in the same dialect as the
+//! [`crate::EventLog`] segment format (length-prefixed variable data,
+//! FNV-1a integrity, tagged values), so the two on-disk formats stay
+//! mutually legible. The codec is *self-describing* at the value level —
+//! each [`Value`] carries its type tag — and schema agreement is
+//! enforced one level up by the snapshot fingerprint (see
+//! `ses_core::snapshot`).
+//!
+//! Layout of an encoded [`MatcherSnapshot`] (all integers little-endian):
+//!
+//! ```text
+//! u8 kind                     0 = Stream, 1 = Sharded
+//! stream  := u64 fingerprint | opt_ts watermark | u8 evict
+//!          | u64 evicted | opt_ts last_ts
+//!          | u32 n_events  event*      event   := i64 ts | u16 n | value*
+//!          | u32 n_instances inst*     inst    := u32 state | u32 n | binding*
+//!          | u32 n_pending match*      match   := u32 n | (u32 var, u32 event)*
+//!          | u32 n_survivors surv*     surv    := i64 minT | match
+//!          | u64 emitted               binding := u32 var | u32 event | i64 ts
+//! sharded := u64 fingerprint | u32 key | opt_ts last_ts | u64 next_id
+//!          | u64 emitted | u32 n_shards shard*
+//! shard   := stream | u32 n_ids u32* | u64 base | u64 peak_omega
+//! opt_ts  := 0u8 | 1u8 i64
+//! value   := 0u8 i64 | 1u8 f64 | 2u8 u32 utf8 | 3u8 u8   (the log's tags)
+//! ```
+//!
+//! The file-level framing (magic, format version, checksum) lives in
+//! [`crate::CheckpointStore`]; this module only covers the payload.
+
+use ses_core::{InstanceSnapshot, MatcherSnapshot, ShardSnapshot, ShardedSnapshot, StreamSnapshot};
+use ses_event::{AttrId, Event, EventId, Timestamp, Value};
+use ses_pattern::VarId;
+
+use crate::StoreError;
+
+/// FNV-1a (64-bit) — the workspace's dependency-free integrity check,
+/// shared with the event log's record checksums.
+pub(crate) fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// An append-only little-endian byte sink.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// An empty encoder.
+    pub fn new() -> Encoder {
+        Encoder::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `bool` as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Appends a length-prefixed UTF-8 string (`u32 len | bytes`).
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends an optional timestamp (`0u8` or `1u8 i64`).
+    pub fn put_opt_ts(&mut self, ts: Option<Timestamp>) {
+        match ts {
+            None => self.put_u8(0),
+            Some(t) => {
+                self.put_u8(1);
+                self.put_i64(t.ticks());
+            }
+        }
+    }
+
+    /// Appends a tagged [`Value`] using the event log's tag dialect.
+    pub fn put_value(&mut self, v: &Value) {
+        match v {
+            Value::Int(i) => {
+                self.put_u8(0);
+                self.put_i64(*i);
+            }
+            Value::Float(f) => {
+                self.put_u8(1);
+                self.buf.extend_from_slice(&f.to_le_bytes());
+            }
+            Value::Str(s) => {
+                self.put_u8(2);
+                self.put_str(s);
+            }
+            Value::Bool(b) => {
+                self.put_u8(3);
+                self.put_bool(*b);
+            }
+        }
+    }
+}
+
+/// A checked little-endian byte cursor; every read fails cleanly at the
+/// end of input instead of panicking.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+fn truncated(what: &str) -> StoreError {
+    StoreError::Corrupt {
+        message: format!("snapshot payload truncated at {what}"),
+    }
+}
+
+impl<'a> Decoder<'a> {
+    /// A cursor over `data`, positioned at the start.
+    pub fn new(data: &'a [u8]) -> Decoder<'a> {
+        Decoder { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(truncated(what));
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a `u8`.
+    pub fn get_u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, StoreError> {
+        Ok(u16::from_le_bytes(
+            self.take(2, "u16")?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, "u32")?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, "u64")?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, StoreError> {
+        Ok(i64::from_le_bytes(
+            self.take(8, "i64")?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a one-byte `bool`.
+    pub fn get_bool(&mut self) -> Result<bool, StoreError> {
+        Ok(self.get_u8()? != 0)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, StoreError> {
+        let len = self.get_u32()? as usize;
+        let bytes = self.take(len, "string bytes")?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| StoreError::Corrupt {
+            message: "snapshot string is not UTF-8".into(),
+        })
+    }
+
+    /// Reads an optional timestamp.
+    pub fn get_opt_ts(&mut self) -> Result<Option<Timestamp>, StoreError> {
+        match self.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(Timestamp::new(self.get_i64()?))),
+            tag => Err(StoreError::Corrupt {
+                message: format!("invalid option tag {tag}"),
+            }),
+        }
+    }
+
+    /// Reads a tagged [`Value`].
+    pub fn get_value(&mut self) -> Result<Value, StoreError> {
+        match self.get_u8()? {
+            0 => Ok(Value::Int(self.get_i64()?)),
+            1 => Ok(Value::Float(f64::from_le_bytes(
+                self.take(8, "f64")?.try_into().expect("8 bytes"),
+            ))),
+            2 => Ok(Value::str(self.get_str()?)),
+            3 => Ok(Value::Bool(self.get_bool()?)),
+            tag => Err(StoreError::Corrupt {
+                message: format!("unknown value tag {tag}"),
+            }),
+        }
+    }
+
+    /// Fails unless every byte was consumed — trailing garbage means the
+    /// payload disagrees with its framing.
+    pub fn finish(self) -> Result<(), StoreError> {
+        if self.remaining() != 0 {
+            return Err(StoreError::Corrupt {
+                message: format!("{} trailing bytes after snapshot payload", self.remaining()),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Guards length-prefixed collection reads against hostile counts: a
+/// corrupt frame must fail fast, not allocate gigabytes.
+fn checked_len(
+    n: u32,
+    remaining: usize,
+    min_item_bytes: usize,
+    what: &str,
+) -> Result<usize, StoreError> {
+    let n = n as usize;
+    if n.saturating_mul(min_item_bytes) > remaining {
+        return Err(StoreError::Corrupt {
+            message: format!("snapshot claims {n} {what}, more than the payload can hold"),
+        });
+    }
+    Ok(n)
+}
+
+/// Serializes a snapshot to the payload layout in the module docs.
+pub fn encode_snapshot(snapshot: &MatcherSnapshot) -> Vec<u8> {
+    let mut e = Encoder::new();
+    match snapshot {
+        MatcherSnapshot::Stream(s) => {
+            e.put_u8(0);
+            encode_stream(&mut e, s);
+        }
+        MatcherSnapshot::Sharded(s) => {
+            e.put_u8(1);
+            e.put_u64(s.fingerprint);
+            e.put_u32(u32::from(s.key.0));
+            e.put_opt_ts(s.last_ts);
+            e.put_u64(s.next_id);
+            e.put_u64(s.emitted);
+            e.put_u32(s.shards.len() as u32);
+            for shard in &s.shards {
+                encode_stream(&mut e, &shard.matcher);
+                e.put_u32(shard.ids.len() as u32);
+                for id in &shard.ids {
+                    e.put_u32(id.0);
+                }
+                e.put_u64(shard.base);
+                e.put_u64(shard.peak_omega);
+            }
+        }
+    }
+    e.into_bytes()
+}
+
+fn encode_stream(e: &mut Encoder, s: &StreamSnapshot) {
+    e.put_u64(s.fingerprint);
+    e.put_opt_ts(s.watermark);
+    e.put_bool(s.evict);
+    e.put_u64(s.evicted);
+    e.put_opt_ts(s.last_ts);
+    e.put_u32(s.events.len() as u32);
+    for ev in &s.events {
+        e.put_i64(ev.ts().ticks());
+        e.put_u16(ev.values().len() as u16);
+        for v in ev.values() {
+            e.put_value(v);
+        }
+    }
+    e.put_u32(s.instances.len() as u32);
+    for inst in &s.instances {
+        e.put_u32(inst.state);
+        e.put_u32(inst.bindings.len() as u32);
+        for &(var, event, ts) in &inst.bindings {
+            e.put_u32(u32::from(var.0));
+            e.put_u32(event.0);
+            e.put_i64(ts.ticks());
+        }
+    }
+    e.put_u32(s.pending.len() as u32);
+    for m in &s.pending {
+        encode_bindings(e, m);
+    }
+    e.put_u32(s.survivors.len() as u32);
+    for (min_ts, m) in &s.survivors {
+        e.put_i64(min_ts.ticks());
+        encode_bindings(e, m);
+    }
+    e.put_u64(s.emitted);
+}
+
+fn encode_bindings(e: &mut Encoder, bindings: &[(VarId, EventId)]) {
+    e.put_u32(bindings.len() as u32);
+    for &(var, event) in bindings {
+        e.put_u32(u32::from(var.0));
+        e.put_u32(event.0);
+    }
+}
+
+/// Deserializes a snapshot payload; every byte must be consumed.
+pub fn decode_snapshot(data: &[u8]) -> Result<MatcherSnapshot, StoreError> {
+    let mut d = Decoder::new(data);
+    let snapshot = match d.get_u8()? {
+        0 => MatcherSnapshot::Stream(decode_stream(&mut d)?),
+        1 => {
+            let fingerprint = d.get_u64()?;
+            let key = d.get_u32()?;
+            if key > u32::from(u16::MAX) {
+                return Err(StoreError::Corrupt {
+                    message: format!("partition key attribute {key} out of range"),
+                });
+            }
+            let last_ts = d.get_opt_ts()?;
+            let next_id = d.get_u64()?;
+            let emitted = d.get_u64()?;
+            let n = checked_len(d.get_u32()?, d.remaining(), 1, "shards")?;
+            let mut shards = Vec::with_capacity(n);
+            for _ in 0..n {
+                let matcher = decode_stream(&mut d)?;
+                let n_ids = checked_len(d.get_u32()?, d.remaining(), 4, "shard ids")?;
+                let mut ids = Vec::with_capacity(n_ids);
+                for _ in 0..n_ids {
+                    ids.push(EventId(d.get_u32()?));
+                }
+                let base = d.get_u64()?;
+                let peak_omega = d.get_u64()?;
+                shards.push(ShardSnapshot {
+                    matcher,
+                    ids,
+                    base,
+                    peak_omega,
+                });
+            }
+            MatcherSnapshot::Sharded(ShardedSnapshot {
+                fingerprint,
+                key: AttrId(key as u16),
+                last_ts,
+                next_id,
+                emitted,
+                shards,
+            })
+        }
+        kind => {
+            return Err(StoreError::Corrupt {
+                message: format!("unknown snapshot kind {kind}"),
+            })
+        }
+    };
+    d.finish()?;
+    Ok(snapshot)
+}
+
+fn decode_stream(d: &mut Decoder<'_>) -> Result<StreamSnapshot, StoreError> {
+    let fingerprint = d.get_u64()?;
+    let watermark = d.get_opt_ts()?;
+    let evict = d.get_bool()?;
+    let evicted = d.get_u64()?;
+    let last_ts = d.get_opt_ts()?;
+    let n_events = checked_len(d.get_u32()?, d.remaining(), 10, "events")?;
+    let mut events = Vec::with_capacity(n_events);
+    for _ in 0..n_events {
+        let ts = Timestamp::new(d.get_i64()?);
+        let n_values = d.get_u16()? as usize;
+        let mut values = Vec::with_capacity(n_values);
+        for _ in 0..n_values {
+            values.push(d.get_value()?);
+        }
+        events.push(Event::new(ts, values));
+    }
+    let n_instances = checked_len(d.get_u32()?, d.remaining(), 8, "instances")?;
+    let mut instances = Vec::with_capacity(n_instances);
+    for _ in 0..n_instances {
+        let state = d.get_u32()?;
+        let n = checked_len(d.get_u32()?, d.remaining(), 16, "bindings")?;
+        let mut bindings = Vec::with_capacity(n);
+        for _ in 0..n {
+            bindings.push(decode_binding_ts(d)?);
+        }
+        instances.push(InstanceSnapshot { state, bindings });
+    }
+    let n_pending = checked_len(d.get_u32()?, d.remaining(), 4, "pending matches")?;
+    let mut pending = Vec::with_capacity(n_pending);
+    for _ in 0..n_pending {
+        pending.push(decode_bindings(d)?);
+    }
+    let n_survivors = checked_len(d.get_u32()?, d.remaining(), 12, "survivors")?;
+    let mut survivors = Vec::with_capacity(n_survivors);
+    for _ in 0..n_survivors {
+        let min_ts = Timestamp::new(d.get_i64()?);
+        survivors.push((min_ts, decode_bindings(d)?));
+    }
+    let emitted = d.get_u64()?;
+    Ok(StreamSnapshot {
+        fingerprint,
+        watermark,
+        evict,
+        evicted,
+        last_ts,
+        events,
+        instances,
+        pending,
+        survivors,
+        emitted,
+    })
+}
+
+fn decode_binding_ts(d: &mut Decoder<'_>) -> Result<(VarId, EventId, Timestamp), StoreError> {
+    let (var, event) = decode_binding(d)?;
+    let ts = Timestamp::new(d.get_i64()?);
+    Ok((var, event, ts))
+}
+
+fn decode_binding(d: &mut Decoder<'_>) -> Result<(VarId, EventId), StoreError> {
+    let var = d.get_u32()?;
+    if var > u32::from(u16::MAX) {
+        return Err(StoreError::Corrupt {
+            message: format!("variable id {var} out of range"),
+        });
+    }
+    let event = EventId(d.get_u32()?);
+    Ok((VarId(var as u16), event))
+}
+
+fn decode_bindings(d: &mut Decoder<'_>) -> Result<Vec<(VarId, EventId)>, StoreError> {
+    let n = checked_len(d.get_u32()?, d.remaining(), 8, "match bindings")?;
+    let mut bindings = Vec::with_capacity(n);
+    for _ in 0..n {
+        bindings.push(decode_binding(d)?);
+    }
+    Ok(bindings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stream() -> StreamSnapshot {
+        StreamSnapshot {
+            fingerprint: 0xdead_beef_cafe_f00d,
+            watermark: Some(Timestamp::new(42)),
+            evict: true,
+            evicted: 3,
+            last_ts: Some(Timestamp::new(42)),
+            events: vec![
+                Event::new(
+                    Timestamp::new(40),
+                    vec![Value::Int(7), Value::str("A"), Value::Float(1.5)],
+                ),
+                Event::new(
+                    Timestamp::new(42),
+                    vec![
+                        Value::Int(-1),
+                        Value::str("commas, \"quotes\"\n"),
+                        Value::Bool(true),
+                    ],
+                ),
+            ],
+            instances: vec![InstanceSnapshot {
+                state: 2,
+                bindings: vec![(VarId(0), EventId(3), Timestamp::new(40))],
+            }],
+            pending: vec![vec![(VarId(1), EventId(3)), (VarId(0), EventId(4))]],
+            survivors: vec![(Timestamp::new(39), vec![(VarId(0), EventId(3))])],
+            emitted: 9,
+        }
+    }
+
+    #[test]
+    fn stream_snapshot_round_trips() {
+        let snap = MatcherSnapshot::Stream(sample_stream());
+        let bytes = encode_snapshot(&snap);
+        let back = decode_snapshot(&bytes).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn sharded_snapshot_round_trips() {
+        let snap = MatcherSnapshot::Sharded(ShardedSnapshot {
+            fingerprint: 1,
+            key: AttrId(1),
+            last_ts: Some(Timestamp::new(100)),
+            next_id: 17,
+            emitted: 4,
+            shards: vec![
+                ShardSnapshot {
+                    matcher: sample_stream(),
+                    ids: vec![EventId(0), EventId(5), EventId(9)],
+                    base: 2,
+                    peak_omega: 11,
+                },
+                ShardSnapshot {
+                    matcher: StreamSnapshot {
+                        events: Vec::new(),
+                        instances: Vec::new(),
+                        pending: Vec::new(),
+                        survivors: Vec::new(),
+                        watermark: None,
+                        last_ts: None,
+                        evicted: 0,
+                        emitted: 0,
+                        ..sample_stream()
+                    },
+                    ids: Vec::new(),
+                    base: 0,
+                    peak_omega: 0,
+                },
+            ],
+        });
+        let bytes = encode_snapshot(&snap);
+        assert_eq!(decode_snapshot(&bytes).unwrap(), snap);
+    }
+
+    #[test]
+    fn truncation_and_garbage_fail_cleanly() {
+        let bytes = encode_snapshot(&MatcherSnapshot::Stream(sample_stream()));
+        // Every strict prefix must error, never panic.
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_snapshot(&bytes[..cut]).is_err(),
+                "prefix {cut} accepted"
+            );
+        }
+        // Trailing garbage is rejected too.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(decode_snapshot(&padded).is_err());
+        // A hostile length prefix fails fast instead of allocating.
+        let mut hostile = bytes;
+        // Stream layout: kind(1) fingerprint(8) watermark(9) evict(1)
+        // evicted(8) last_ts(9) → events count at offset 36.
+        hostile[36..40].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_snapshot(&hostile).is_err());
+    }
+
+    #[test]
+    fn fnv1a_reference_vectors() {
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -21,6 +21,11 @@ pub enum StoreError {
         /// Schema found in the file.
         found: String,
     },
+    /// A snapshot or checkpoint payload failed validation.
+    Corrupt {
+        /// Explanation.
+        message: String,
+    },
     /// Event-model violation while assembling the relation.
     Event(ses_event::EventError),
     /// A named store was not found in the catalog.
@@ -35,6 +40,7 @@ impl fmt::Display for StoreError {
             StoreError::SchemaMismatch { expected, found } => {
                 write!(f, "schema mismatch: expected {expected}, found {found}")
             }
+            StoreError::Corrupt { message } => write!(f, "corrupt snapshot: {message}"),
             StoreError::Event(e) => write!(f, "event error: {e}"),
             StoreError::NotFound(name) => write!(f, "no store named `{name}`"),
         }

@@ -15,18 +15,27 @@
 //!   harness;
 //! * [`EventLog`] — an append-only, segmented, checksummed binary log
 //!   with torn-tail recovery and time-range pruning, for workloads that
-//!   outgrow CSV.
+//!   outgrow CSV;
+//! * [`CheckpointStore`] + [`MatchLog`] — the durability subsystem:
+//!   atomic, checksummed matcher checkpoints (serialized with the
+//!   [`codec`] module's versioned binary format) and a crash-tolerant
+//!   match sink, composing with [`EventLog`] replay for exactly-once
+//!   recovery (see `docs/durability.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod catalog;
+mod checkpoint;
+pub mod codec;
 mod csv;
 mod error;
 mod log;
 mod store;
 
 pub use catalog::Catalog;
+pub use checkpoint::{CheckpointInfo, CheckpointStore, LoadedCheckpoint, MatchLog};
+pub use codec::{decode_snapshot, encode_snapshot};
 pub use csv::{parse_header, read_csv, write_csv};
 pub use error::StoreError;
 pub use log::{EventLog, LogConfig};

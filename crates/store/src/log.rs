@@ -58,6 +58,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use ses_event::{AttrType, Relation, Schema, Timestamp, Value};
 
+use crate::codec::fnv1a;
 use crate::csv::parse_header;
 use crate::StoreError;
 
@@ -147,6 +148,21 @@ impl EventLog {
                 line: 0,
                 message: format!("no log segments in {}", dir.display()),
             });
+        }
+
+        // A crash during `rotate` can leave a tail segment holding only
+        // part of the magic/header preamble, before any record was
+        // written. Drop such tails and append to the previous segment —
+        // but only while a previous segment exists: a lone torn preamble
+        // carries no schema to recover with, so it stays an error.
+        while paths.len() > 1 {
+            let last = paths.last().expect("non-empty");
+            if is_torn_preamble(&std::fs::read(last)?) {
+                std::fs::remove_file(last)?;
+                paths.pop();
+            } else {
+                break;
+            }
         }
 
         let mut schema: Option<Schema> = None;
@@ -447,6 +463,24 @@ fn read_segment_meta(
     Ok((schema, meta, last_ts))
 }
 
+/// `true` iff `data` is a strict prefix of a segment preamble
+/// (magic + `u16` header length + header text) — the footprint of a
+/// crash during segment rotation. A complete preamble with zero records
+/// is a valid empty segment, not a torn one.
+fn is_torn_preamble(data: &[u8]) -> bool {
+    if data.len() < MAGIC.len() {
+        return MAGIC.starts_with(data);
+    }
+    if &data[..MAGIC.len()] != MAGIC {
+        return false;
+    }
+    let Some(len_bytes) = data.get(MAGIC.len()..MAGIC.len() + 2) else {
+        return true;
+    };
+    let header_len = u16::from_le_bytes(len_bytes.try_into().expect("2 bytes")) as usize;
+    data.len() < MAGIC.len() + 2 + header_len
+}
+
 fn parse_segment_header(path: &Path, data: &[u8]) -> Result<(Schema, usize), StoreError> {
     if data.len() < MAGIC.len() + 2 || &data[..MAGIC.len()] != MAGIC {
         return Err(StoreError::Parse {
@@ -538,16 +572,6 @@ fn read_segment_events(
             }
         }
     }
-}
-
-/// FNV-1a (64-bit) — small, dependency-free integrity check.
-fn fnv1a(data: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in data {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
 }
 
 #[cfg(test)]
@@ -670,6 +694,113 @@ mod tests {
         // The log is appendable again and the recovered file stays clean.
         log.append(Timestamp::new(100), row(100)).unwrap();
         assert_eq!(log.scan().unwrap().len(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_rotation_header_is_dropped_on_open() {
+        // Each shape a crash inside `rotate` can leave behind: an empty
+        // file, a prefix of the magic, and a magic with a cut header.
+        for torn in [
+            &b""[..],
+            &MAGIC[..4],
+            &MAGIC[..],
+            &[&MAGIC[..], &[40u8, 0]].concat(),
+        ] {
+            let dir = temp_dir("torn-rotate");
+            {
+                let mut log = EventLog::create(&dir, schema(), LogConfig::default()).unwrap();
+                for i in 0..3 {
+                    log.append(Timestamp::new(i), row(i)).unwrap();
+                }
+                log.sync().unwrap();
+            }
+            std::fs::write(dir.join("seg-00001.seslog"), torn).unwrap();
+
+            let mut log = EventLog::open(&dir, LogConfig::default()).unwrap();
+            assert_eq!(log.len(), 3, "torn tail segment is dropped");
+            assert_eq!(log.segment_count(), 1);
+            log.append(Timestamp::new(10), row(10)).unwrap();
+            assert_eq!(log.scan().unwrap().len(), 4);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn lone_torn_preamble_stays_an_error() {
+        // With no previous segment there is no schema to recover with.
+        let dir = temp_dir("torn-lone");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("seg-00000.seslog"), &MAGIC[..5]).unwrap();
+        assert!(EventLog::open(&dir, LogConfig::default()).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_log_reopens_and_accepts_appends() {
+        let dir = temp_dir("empty");
+        {
+            let log = EventLog::create(&dir, schema(), LogConfig::default()).unwrap();
+            assert!(log.is_empty());
+        }
+        let mut log = EventLog::open(&dir, LogConfig::default()).unwrap();
+        assert!(log.is_empty());
+        assert!(log.scan().unwrap().is_empty());
+        assert!(log
+            .scan_range(Timestamp::MIN, Timestamp::MAX)
+            .unwrap()
+            .is_empty());
+        log.append(Timestamp::new(1), row(1)).unwrap();
+        assert_eq!(log.scan().unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_right_after_rotation_appends_to_fresh_segment() {
+        let dir = temp_dir("rollover-reopen");
+        let config = LogConfig {
+            max_segment_bytes: 1, // every append rotates
+        };
+        let before;
+        {
+            let mut log = EventLog::create(&dir, schema(), config.clone()).unwrap();
+            for i in 0..4 {
+                log.append(Timestamp::new(i), row(i)).unwrap();
+            }
+            log.sync().unwrap();
+            before = log.segment_count();
+            // The active segment is freshly rotated and empty.
+            assert_eq!(log.segments.last().unwrap().events, 0);
+        }
+        let mut log = EventLog::open(&dir, config).unwrap();
+        assert_eq!(log.segment_count(), before);
+        assert_eq!(log.len(), 4);
+        log.append(Timestamp::new(9), row(9)).unwrap();
+        let rel = log.scan().unwrap();
+        assert_eq!(rel.len(), 5);
+        assert_eq!(rel.last_ts(), Some(Timestamp::new(9)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_range_endpoints_are_inclusive() {
+        let dir = temp_dir("range-endpoints");
+        let mut log = EventLog::create(&dir, schema(), LogConfig::default()).unwrap();
+        // Ties at both endpoints: 5, 5, 6, 7, 7.
+        for (i, ts) in [5, 5, 6, 7, 7].into_iter().enumerate() {
+            log.append(Timestamp::new(ts), row(i as i64)).unwrap();
+        }
+        let range = |lo: i64, hi: i64| {
+            log.scan_range(Timestamp::new(lo), Timestamp::new(hi))
+                .unwrap()
+                .len()
+        };
+        assert_eq!(range(5, 7), 5, "both endpoints inclusive");
+        assert_eq!(range(5, 5), 2, "point query keeps all ties");
+        assert_eq!(range(6, 7), 3);
+        assert_eq!(range(8, 100), 0, "past the end");
+        assert_eq!(range(0, 4), 0, "before the start");
+        assert_eq!(range(7, 5), 0, "inverted range is empty");
         std::fs::remove_dir_all(&dir).ok();
     }
 

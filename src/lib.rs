@@ -81,8 +81,8 @@ pub mod prelude {
     pub use ses_baseline::BruteForce;
     pub use ses_core::{
         CoreError, EventSelection, FilterMode, Match, MatchSemantics, Matcher, MatcherOptions,
-        MultiMatcher, NoProbe, PartitionMode, PartitionStrategy, Probe, ShardedStreamMatcher,
-        StreamMatcher,
+        MatcherSnapshot, MultiMatcher, NoProbe, PartitionMode, PartitionStrategy, Probe,
+        ShardedStreamMatcher, StreamMatcher,
     };
     pub use ses_event::{
         AttrType, CmpOp, Duration, Event, EventId, Relation, Schema, Timestamp, Value,
@@ -93,5 +93,5 @@ pub mod prelude {
         VarId,
     };
     pub use ses_query::TickUnit;
-    pub use ses_store::EventStore;
+    pub use ses_store::{CheckpointStore, EventLog, EventStore, LogConfig, MatchLog};
 }
