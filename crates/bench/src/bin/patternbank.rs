@@ -1,0 +1,171 @@
+//! Multi-pattern bank benchmark: throughput vs. the number of
+//! registered patterns, predicate index on vs. off.
+//!
+//! ```text
+//! cargo run -p ses-bench --release --bin patternbank -- \
+//!     [--events N] [--iters N] [--quick] [--out FILE.json]
+//! ```
+//!
+//! For each bank size the same stream is pushed through a
+//! [`ses_core::PatternBank`] with the event→pattern predicate index
+//! enabled and disabled. Outputs are asserted identical before any
+//! number is reported; the committed report (`BENCH_patternbank.json`)
+//! tracks the routed-push reduction and the resulting speedup. The CI
+//! smoke step runs this with `--quick`.
+
+use ses_core::{Match, MatcherOptions, PatternBank};
+use ses_event::Relation;
+use ses_metrics::Stopwatch;
+use ses_pattern::Pattern;
+use ses_workload::bank::{schema, BankConfig};
+
+struct Options {
+    events: usize,
+    iters: usize,
+    out: std::path::PathBuf,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        events: 20_000,
+        iters: 3,
+        out: "BENCH_patternbank.json".into(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("--{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--events" => {
+                opts.events = take("events")?
+                    .parse()
+                    .map_err(|_| "--events: not a number".to_string())?
+            }
+            "--iters" => {
+                opts.iters = take("iters")?
+                    .parse()
+                    .map_err(|_| "--iters: not a number".to_string())?
+            }
+            "--quick" => {
+                opts.events = 2_000;
+                opts.iters = 1;
+            }
+            "--out" => opts.out = take("out")?.into(),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if opts.iters == 0 || opts.events == 0 {
+        return Err("--iters and --events must be positive".to_string());
+    }
+    Ok(opts)
+}
+
+fn build_bank(named: &[(String, Pattern)], use_index: bool) -> PatternBank {
+    let mut builder = PatternBank::builder(&schema()).with_index(use_index);
+    for (name, p) in named {
+        builder = builder
+            .register(name.clone(), p, MatcherOptions::default())
+            .expect("bank pattern compiles");
+    }
+    builder.build()
+}
+
+/// One full pass; returns the complete per-pattern output and the
+/// routed-push count.
+fn run_once(
+    named: &[(String, Pattern)],
+    rel: &Relation,
+    use_index: bool,
+) -> (Vec<(usize, Match)>, u64) {
+    let mut bank = build_bank(named, use_index);
+    let mut out = Vec::new();
+    for (_, e) in rel.iter() {
+        out.extend(
+            bank.push(e.ts(), e.values().to_vec())
+                .expect("stream is chronological"),
+        );
+    }
+    let hits = bank.total_hits();
+    out.extend(bank.finish());
+    (out, hits)
+}
+
+/// Best-of-`iters` wall time of a full pass.
+fn best_secs(named: &[(String, Pattern)], rel: &Relation, use_index: bool, iters: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let sw = Stopwatch::start();
+        std::hint::black_box(run_once(named, rel, use_index));
+        best = best.min(sw.elapsed_secs());
+    }
+    best
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut rows = Vec::new();
+    for n in [4usize, 16, 64] {
+        let cfg = BankConfig::small()
+            .with_patterns(n)
+            .with_events(opts.events);
+        let rel = ses_workload::bank::generate(&cfg);
+        let named = ses_workload::bank::patterns(&cfg);
+
+        // Same answer first, then the clock.
+        let (with_index, hits_on) = run_once(&named, &rel, true);
+        let (without_index, hits_off) = run_once(&named, &rel, false);
+        assert_eq!(
+            with_index, without_index,
+            "index changed the answer at {n} patterns"
+        );
+        assert_eq!(hits_off, (n * opts.events) as u64);
+        assert!(
+            hits_on < hits_off,
+            "the index must strictly reduce per-pattern pushes ({hits_on} vs {hits_off})"
+        );
+
+        let on_secs = best_secs(&named, &rel, true, opts.iters);
+        let off_secs = best_secs(&named, &rel, false, opts.iters);
+        let eps = |secs: f64| opts.events as f64 / secs.max(1e-12);
+        println!(
+            "{n:>3} patterns: index on {:.1} ev/s ({hits_on} pushes) vs off {:.1} ev/s \
+             ({hits_off} pushes) — ×{:.2}",
+            eps(on_secs),
+            eps(off_secs),
+            off_secs / on_secs.max(1e-12),
+        );
+        rows.push(format!(
+            "    {{ \"patterns\": {n}, \"events\": {}, \"matches\": {},\n      \
+             \"index_on\": {{ \"secs\": {:.6}, \"events_per_sec\": {:.1}, \"routed_pushes\": {hits_on} }},\n      \
+             \"index_off\": {{ \"secs\": {:.6}, \"events_per_sec\": {:.1}, \"routed_pushes\": {hits_off} }},\n      \
+             \"push_reduction\": {:.3}, \"speedup\": {:.2} }}",
+            opts.events,
+            with_index.len(),
+            on_secs,
+            eps(on_secs),
+            off_secs,
+            eps(off_secs),
+            1.0 - hits_on as f64 / hits_off as f64,
+            off_secs / on_secs.max(1e-12),
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"workload\": \"bank (disjoint type pairs, ID-correlated)\",\n  \
+         \"events\": {},\n  \"iters\": {},\n  \"sizes\": [\n{}\n  ]\n}}\n",
+        opts.events,
+        opts.iters,
+        rows.join(",\n"),
+    );
+    std::fs::write(&opts.out, &json).expect("can write the report");
+    print!("{json}");
+    println!("wrote {}", opts.out.display());
+}

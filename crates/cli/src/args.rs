@@ -37,6 +37,7 @@ const VALUED: &[&str] = &[
     "threads",
     "shards",
     "from-log",
+    "patterns",
     "checkpoint",
     "checkpoint-every",
     "keep",

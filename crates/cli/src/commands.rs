@@ -56,6 +56,18 @@ USAGE:
                     snapshot's watermark, and suppresses matches already
                     durably written to <dir>/matches.log, so emission is
                     exactly-once across a crash)
+  ses-cli bank     --patterns <file-or-dir> --data <file.csv>
+                   [--no-index] [--no-evict] [--limit N] [--stats]
+                   [--semantics …] [--selection …] [--filter …]
+                   (runs many queries over one pass of the stream:
+                    --patterns is a directory of query files or a single
+                    `;`-separated multi-query file; each event is pushed
+                    once and a predicate index built from the patterns'
+                    constant conditions routes it only to the patterns it
+                    could advance — the rest receive a watermark
+                    heartbeat. --no-index pushes every event to every
+                    pattern; output is identical either way. --stats adds
+                    a per-pattern routing table, see docs/patternbank.md)
   ses-cli check    --query <file-or-text>
                    [--schema \"NAME:TYPE,...\"] [--data <file.csv>]
                    [--format human|json] [--tick hour]
@@ -90,6 +102,7 @@ pub fn dispatch(args: &Args, out: &mut dyn Write) -> i32 {
         Some("check") => cmd_check(args, out),
         Some("stream") => cmd_stream(args, out),
         Some("recover") => cmd_recover(args, out),
+        Some("bank") => cmd_bank(args, out),
         Some("explain") => cmd_explain(args, out),
         Some("generate") => cmd_generate(args, out),
         Some("import") => cmd_import(args, out),
@@ -831,6 +844,13 @@ fn cmd_recover(args: &Args, out: &mut dyn Write) -> Result<(), String> {
                     ShardedStreamMatcher::restore(&pattern, &schema, options, s)
                         .map_err(|e| e.to_string())?,
                 ),
+                MatcherSnapshot::Bank(_) => {
+                    return Err(
+                        "the checkpoint holds a pattern-bank snapshot; `recover` resumes \
+                         single-query streams only"
+                            .to_string(),
+                    )
+                }
             };
             let replay = match l.snapshot.replay_from() {
                 Some(from) => log
@@ -877,6 +897,173 @@ fn cmd_recover(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         suppress,
         start_total,
     )
+}
+
+/// Loads `--patterns` as named patterns: a directory of query files
+/// (each optionally `;`-separated with `name:` prefixes) read in
+/// file-name order, or a single multi-query file / inline text.
+fn load_bank_patterns(args: &Args) -> Result<Vec<(String, ses_pattern::Pattern)>, String> {
+    let spec = args
+        .get("patterns")
+        .or_else(|| args.get("query"))
+        .ok_or("--patterns is required (a query file or a directory of query files)".to_string())?;
+    let tick = parse_tick(args)?;
+    // (source name, text) pairs; the source name seeds default pattern
+    // names so a directory of anonymous single-query files stays legible.
+    let mut sources: Vec<(String, String)> = Vec::new();
+    let path = std::path::Path::new(spec);
+    if path.is_dir() {
+        let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(path)
+            .map_err(|e| format!("cannot read `{spec}`: {e}"))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.is_file())
+            .collect();
+        files.sort();
+        for f in &files {
+            let stem = f
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "query".into());
+            let text = std::fs::read_to_string(f)
+                .map_err(|e| format!("cannot read `{}`: {e}", f.display()))?;
+            sources.push((stem, text));
+        }
+        if sources.is_empty() {
+            return Err(format!("`{spec}` contains no query files"));
+        }
+    } else {
+        sources.push(("query".into(), load_query(spec)?));
+    }
+    let mut patterns = Vec::new();
+    for (stem, text) in sources {
+        let items =
+            ses_query::parse_pattern_file(&text, tick).map_err(|e| format!("{stem}: {e}"))?;
+        let solo = items.len() == 1;
+        for (i, (name, p)) in items.into_iter().enumerate() {
+            let name = name.unwrap_or_else(|| {
+                if solo {
+                    stem.clone()
+                } else {
+                    format!("{stem}-{}", i + 1)
+                }
+            });
+            patterns.push((name, p));
+        }
+    }
+    Ok(patterns)
+}
+
+fn index_class_name(class: ses_pattern::IndexClass) -> &'static str {
+    match class {
+        ses_pattern::IndexClass::Every => "every",
+        ses_pattern::IndexClass::Never => "never",
+        ses_pattern::IndexClass::Indexed => "indexed",
+        ses_pattern::IndexClass::Scanned => "scanned",
+    }
+}
+
+/// Evaluates many queries in one streaming pass over the data: each
+/// event is pushed once and the predicate index routes it only to the
+/// patterns it could advance (see `docs/patternbank.md`).
+fn cmd_bank(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    let store = load_store(args.require("data")?)?;
+    let patterns = load_bank_patterns(args)?;
+    let schema = store.relation().schema().clone();
+    let options = MatcherOptions {
+        // The bank runs one stream matcher per pattern; sharding is the
+        // single-query `stream` path's concern.
+        partition: PartitionMode::Off,
+        ..matcher_options(args, &schema)?
+    };
+    let mut builder = ses_core::PatternBank::builder(&schema)
+        .with_eviction(!args.has_flag("no-evict"))
+        .with_index(!args.has_flag("no-index"));
+    for (name, p) in &patterns {
+        builder = builder
+            .register(name.clone(), p, options.clone())
+            .map_err(|e| format!("{name}: {e}"))?;
+    }
+    let mut bank = builder.build();
+    let index_on = bank.index_enabled();
+    let limit: usize = args.get_parsed("limit", usize::MAX)?;
+    let sw = Stopwatch::start();
+    let mut probe = CountingProbe::new();
+    let mut total = 0usize;
+
+    for (_, e) in store.relation().iter() {
+        let emitted = bank
+            .push_with_probe(e.ts(), e.values().to_vec(), &mut probe)
+            .map_err(|x| x.to_string())?;
+        for (i, m) in emitted {
+            total += 1;
+            if total <= limit {
+                let (name, pattern) = &patterns[i];
+                writeln!(out, "[t={}] {name}: {}", e.ts(), m.display_with(pattern))
+                    .map_err(io_err)?;
+            }
+        }
+    }
+    // `finish` consumes the bank; take the report first and fold the
+    // flush's matches into the per-pattern emission counts by hand.
+    let stats = bank.stats();
+    let consumed = bank.consumed_events();
+    let mut emitted_by: Vec<usize> = stats.iter().map(|s| s.emitted).collect();
+    for (i, m) in bank.finish() {
+        total += 1;
+        emitted_by[i] += 1;
+        if total <= limit {
+            let (name, pattern) = &patterns[i];
+            writeln!(out, "[finish] {name}: {}", m.display_with(pattern)).map_err(io_err)?;
+        }
+    }
+    let elapsed = sw.elapsed_secs();
+    if total > limit {
+        writeln!(out, "… {} more matches (raise --limit)", total - limit).map_err(io_err)?;
+    }
+    writeln!(
+        out,
+        "{total} match(es) from {} pattern(s) over {consumed} event(s) in {elapsed:.3}s \
+         (index {})",
+        patterns.len(),
+        if index_on { "on" } else { "off" }
+    )
+    .map_err(io_err)?;
+
+    if args.has_flag("stats") {
+        let mut t = Table::new([
+            "pattern",
+            "class",
+            "hits",
+            "skips",
+            "matches",
+            "peak |Ω|",
+            "retained",
+            "evicted",
+        ]);
+        for (s, emitted) in stats.iter().zip(&emitted_by) {
+            t.row([
+                s.name.clone(),
+                index_class_name(s.class).to_string(),
+                s.hits.to_string(),
+                s.skips.to_string(),
+                emitted.to_string(),
+                s.peak_omega.to_string(),
+                s.retained_events.to_string(),
+                s.evicted_events.to_string(),
+            ]);
+        }
+        write!(out, "\n{t}").map_err(io_err)?;
+        let mut totals = Table::new(["metric", "value"]);
+        totals.row(["index", if index_on { "on" } else { "off" }]);
+        totals.row(["routed pushes", &probe.index_hits.to_string()]);
+        totals.row(["skipped (heartbeat)", &probe.index_skips.to_string()]);
+        totals.row([
+            "pushes without index".to_string(),
+            (consumed * patterns.len()).to_string(),
+        ]);
+        write!(out, "\n{totals}").map_err(io_err)?;
+    }
+    Ok(())
 }
 
 /// The shared push loop: replays `relation` (skipping the first `skip`
@@ -1235,6 +1422,90 @@ mod tests {
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("2 match(es) streamed"), "{out}");
         assert!(out.contains("c/e1"), "{out}");
+        std::fs::remove_file(&data).ok();
+    }
+
+    /// Match lines of a `bank` run — the `[t=…] name: {…}` and
+    /// `[finish] name: {…}` lines, minus timing/stat noise.
+    fn match_lines(out: &str) -> Vec<&str> {
+        out.lines().filter(|l| l.starts_with('[')).collect()
+    }
+
+    #[test]
+    fn bank_runs_a_directory_of_queries() {
+        let data = figure1_csv();
+        let dir = std::env::temp_dir().join(format!(
+            "ses-cli-bank-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("protocol.ses"), Q1).unwrap();
+        std::fs::write(
+            dir.join("cd.ses"),
+            "PATTERN c THEN d WHERE c.L = 'C' AND d.L = 'D' WITHIN 264 HOURS",
+        )
+        .unwrap();
+        let dir_s = dir.to_string_lossy().into_owned();
+
+        let (code, with_index) = run(&["bank", "--patterns", &dir_s, "--data", &data, "--stats"]);
+        assert_eq!(code, 0, "{with_index}");
+        // Names default to the file stems, in file-name order.
+        assert!(with_index.contains("] cd:"), "{with_index}");
+        assert!(with_index.contains("] protocol:"), "{with_index}");
+        assert!(with_index.contains("(index on)"), "{with_index}");
+        assert!(with_index.contains("routed pushes"), "{with_index}");
+
+        // Index off: identical match lines, every push routed.
+        let (code, no_index) = run(&[
+            "bank",
+            "--patterns",
+            &dir_s,
+            "--data",
+            &data,
+            "--no-index",
+            "--stats",
+        ]);
+        assert_eq!(code, 0, "{no_index}");
+        assert_eq!(match_lines(&with_index), match_lines(&no_index));
+        assert!(no_index.contains("(index off)"), "{no_index}");
+
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn bank_accepts_a_named_multi_query_file() {
+        let data = figure1_csv();
+        let file = std::env::temp_dir().join(format!(
+            "ses-cli-bank-file-{}-{:?}.ses",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::write(
+            &file,
+            format!("protocol: {Q1};\ncd: PATTERN c THEN d WHERE c.L = 'C' AND d.L = 'D' WITHIN 264 HOURS"),
+        )
+        .unwrap();
+        let file_s = file.to_string_lossy().into_owned();
+        let (code, out) = run(&[
+            "bank",
+            "--patterns",
+            &file_s,
+            "--data",
+            &data,
+            "--limit",
+            "1",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("more matches"), "{out}");
+        assert!(out.contains("pattern(s)"), "{out}");
+        // --patterns is required.
+        let (code, out) = run(&["bank", "--data", &data]);
+        assert_eq!(code, 1);
+        assert!(out.contains("--patterns is required"), "{out}");
+        std::fs::remove_file(&file).ok();
         std::fs::remove_file(&data).ok();
     }
 

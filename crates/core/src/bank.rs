@@ -1,0 +1,836 @@
+//! Multi-pattern shared execution: N patterns, one stream, one push.
+//!
+//! A [`PatternBank`] registers N compiled patterns against a single
+//! event stream. Each event is pushed **once**; an event→pattern
+//! predicate index ([`ses_pattern::PatternIndex`]) built from the
+//! patterns' analyzer-derived constant constraints routes it to the
+//! patterns it could possibly advance, and every other pattern receives
+//! only a watermark heartbeat ([`StreamMatcher::advance_watermark`]) so
+//! its pending matches finalize and its window evicts on time — the
+//! same mechanism the sharded matcher uses for idle shards.
+//!
+//! # Why skipping is sound
+//!
+//! The index admits an event to a pattern when it fully satisfies the
+//! constant-condition conjunction of at least one variable or negation.
+//! An event admitted by *no* group can neither bind (every transition
+//! evaluates all of its variable's conditions) nor kill (a negation
+//! whose constant conjunction fails cannot be violated), so the only
+//! thing the pattern must learn from it is the time: the heartbeat
+//! performs exactly the sweep/adjudicate/evict work a push at that
+//! timestamp would, and a push at a timestamp equal to the watermark is
+//! still accepted — admitted ties are never rejected. Per-pattern
+//! output is therefore identical — matches *and* order — to N
+//! independent [`StreamMatcher`]s each fed every event, which is
+//! precisely what `tests/bank_vs_independent.rs` proves differentially.
+//! The full argument lives in `docs/patternbank.md`.
+//!
+//! # Event ids
+//!
+//! Matches are reported in **global** event ids (arrival order across
+//! the whole stream), even though each pattern's relation holds only
+//! the events admitted to it — the same local→global id remap the
+//! sharded matcher uses.
+
+use ses_event::{Event, EventError, EventId, Schema, Timestamp, Value};
+use ses_pattern::{IndexClass, Pattern, PatternIndex};
+
+use crate::error::CoreError;
+use crate::matcher::MatcherOptions;
+use crate::matches::Match;
+use crate::probe::{NoProbe, Probe};
+use crate::snapshot::{BankPatternSnapshot, BankSnapshot};
+use crate::stream::StreamMatcher;
+
+/// One registered pattern: its stream matcher plus the map from its
+/// local event ids back to global ones, and the routing counters.
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    sm: StreamMatcher,
+    /// Global ids of the events admitted to this pattern, indexed by
+    /// `local - base`.
+    ids: Vec<EventId>,
+    /// The pattern relation's first retained local index; `ids` is
+    /// pruned to it whenever the matcher evicts.
+    base: usize,
+    /// Peak `|Ω|` observed on this pattern.
+    peak_omega: usize,
+    /// Events routed into the matcher.
+    hits: u64,
+    /// Events skipped (heartbeat only).
+    skips: u64,
+}
+
+/// Rewrites a pattern-local match into global event ids.
+fn remap(ids: &[EventId], base: usize, m: &Match) -> Match {
+    Match::from_bindings(
+        m.bindings()
+            .iter()
+            .map(|&(v, e)| (v, ids[e.index() - base]))
+            .collect(),
+    )
+}
+
+impl Entry {
+    fn note_peak(&mut self) {
+        self.peak_omega = self.peak_omega.max(self.sm.active_instances());
+    }
+
+    /// Drops id-map entries for events the matcher has evicted.
+    fn prune(&mut self) {
+        let first = self.sm.relation().first_index();
+        if first > self.base {
+            self.ids.drain(..first - self.base);
+            self.base = first;
+        }
+    }
+}
+
+/// Point-in-time routing and matching statistics for one registered
+/// pattern — the rows `ses-cli bank --stats` prints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternStats {
+    /// The name the pattern was registered under.
+    pub name: String,
+    /// How the predicate index routes events to this pattern.
+    pub class: IndexClass,
+    /// Events pushed into the pattern's matcher.
+    pub hits: u64,
+    /// Events skipped (watermark heartbeat only).
+    pub skips: u64,
+    /// Matches finalized by pushes so far.
+    pub emitted: usize,
+    /// Current `|Ω|`.
+    pub active_instances: usize,
+    /// Peak `|Ω|` observed.
+    pub peak_omega: usize,
+    /// Events currently retained in the pattern's relation.
+    pub retained_events: usize,
+    /// Events evicted from the pattern's relation.
+    pub evicted_events: usize,
+}
+
+/// Builder for a [`PatternBank`]; see [`PatternBank::builder`].
+#[derive(Debug)]
+pub struct PatternBankBuilder {
+    schema: Schema,
+    entries: Vec<Entry>,
+    evict: bool,
+    use_index: bool,
+}
+
+impl PatternBankBuilder {
+    /// Compiles `pattern` against the bank's schema and registers it
+    /// under `name`. Patterns are identified by their zero-based
+    /// registration order in push results and statistics.
+    pub fn register(
+        mut self,
+        name: impl Into<String>,
+        pattern: &Pattern,
+        options: MatcherOptions,
+    ) -> Result<PatternBankBuilder, CoreError> {
+        let sm = StreamMatcher::with_options(pattern, &self.schema, options)?;
+        self.entries.push(Entry {
+            name: name.into(),
+            sm,
+            ids: Vec::new(),
+            base: 0,
+            peak_omega: 0,
+            hits: 0,
+            skips: 0,
+        });
+        Ok(self)
+    }
+
+    /// Enables or disables watermark eviction on every pattern (on by
+    /// default; see [`StreamMatcher::with_eviction`]).
+    pub fn with_eviction(mut self, evict: bool) -> PatternBankBuilder {
+        self.evict = evict;
+        self
+    }
+
+    /// Enables or disables the predicate index (on by default). With
+    /// the index off every event is pushed to every pattern — the
+    /// baseline the `patternbank` bench compares against, with
+    /// identical output either way.
+    pub fn with_index(mut self, on: bool) -> PatternBankBuilder {
+        self.use_index = on;
+        self
+    }
+
+    /// Builds the bank, constructing the predicate index from the
+    /// compiled patterns exactly as the matchers will run them (after
+    /// any analyzer rewrites).
+    pub fn build(self) -> PatternBank {
+        let entries: Vec<Entry> = self
+            .entries
+            .into_iter()
+            .map(|mut e| {
+                e.sm = e.sm.with_eviction(self.evict);
+                e
+            })
+            .collect();
+        let index = PatternIndex::build(entries.iter().map(|e| e.sm.compiled()));
+        PatternBank {
+            entries,
+            index,
+            use_index: self.use_index,
+            schema: self.schema,
+            watermark: None,
+            last_ts: None,
+            next_id: 0,
+            ties: 0,
+            emitted: 0,
+        }
+    }
+}
+
+/// N patterns sharing one event stream: push each event once, receive
+/// per-pattern finalized matches.
+///
+/// ```
+/// use ses_event::{AttrType, CmpOp, Duration, Schema, Timestamp, Value};
+/// use ses_pattern::Pattern;
+/// use ses_core::{MatcherOptions, PatternBank};
+///
+/// let schema = Schema::builder().attr("L", AttrType::Str).build().unwrap();
+/// let pair = |x: &str, y: &str| {
+///     Pattern::builder()
+///         .set(|s| s.var("a").var("b"))
+///         .cond_const("a", "L", CmpOp::Eq, x)
+///         .cond_const("b", "L", CmpOp::Eq, y)
+///         .within(Duration::ticks(5))
+///         .build()
+///         .unwrap()
+/// };
+/// let mut bank = PatternBank::builder(&schema)
+///     .register("ab", &pair("A", "B"), MatcherOptions::default())
+///     .unwrap()
+///     .register("cd", &pair("C", "D"), MatcherOptions::default())
+///     .unwrap()
+///     .build();
+/// for (t, l) in [(0, "A"), (1, "B"), (2, "C"), (3, "D")] {
+///     bank.push(Timestamp::new(t), [Value::from(l)]).unwrap();
+/// }
+/// let out = bank.finish();
+/// assert_eq!(out.len(), 2);
+/// assert_eq!(out[0].0, 0); // pattern "ab" matched
+/// assert_eq!(out[1].0, 1); // pattern "cd" matched
+/// ```
+#[derive(Debug)]
+pub struct PatternBank {
+    entries: Vec<Entry>,
+    index: PatternIndex,
+    use_index: bool,
+    schema: Schema,
+    /// The bank's clock: max of pushed and heartbeat timestamps; pushes
+    /// behind it are rejected.
+    watermark: Option<Timestamp>,
+    /// Timestamp of the last pushed event (may trail the watermark).
+    last_ts: Option<Timestamp>,
+    /// Next global event id (= events consumed).
+    next_id: usize,
+    /// Events tied at `last_ts` — tracked explicitly because skipped
+    /// events appear in no pattern's relation.
+    ties: usize,
+    /// Matches emitted by pushes and heartbeats so far.
+    emitted: usize,
+}
+
+impl PatternBank {
+    /// Starts building a bank over `schema`.
+    pub fn builder(schema: &Schema) -> PatternBankBuilder {
+        PatternBankBuilder {
+            schema: schema.clone(),
+            entries: Vec::new(),
+            evict: true,
+            use_index: true,
+        }
+    }
+
+    /// Number of registered patterns.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff no pattern is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The names the patterns were registered under, in id order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.name.as_str()).collect()
+    }
+
+    /// Whether the predicate index is consulted on pushes.
+    pub fn index_enabled(&self) -> bool {
+        self.use_index
+    }
+
+    /// How the predicate index routes events to pattern `id`.
+    pub fn index_class(&self, id: usize) -> IndexClass {
+        self.index.class(id)
+    }
+
+    /// Pushes one event (timestamps must be non-decreasing) and returns
+    /// the matches this finalizes as `(pattern id, match)` pairs —
+    /// grouped by pattern in registration order, each pattern's matches
+    /// in its own emission order, with global event ids.
+    pub fn push(
+        &mut self,
+        ts: Timestamp,
+        values: impl Into<Vec<Value>>,
+    ) -> Result<Vec<(usize, Match)>, EventError> {
+        self.push_with_probe(ts, values, &mut NoProbe)
+    }
+
+    /// [`PatternBank::push`] with an instrumentation probe. The probe
+    /// observes the receiving matchers' engine events plus the bank's
+    /// routing decisions ([`Probe::index_hits`] / [`Probe::index_skips`]).
+    pub fn push_with_probe<P: Probe>(
+        &mut self,
+        ts: Timestamp,
+        values: impl Into<Vec<Value>>,
+        probe: &mut P,
+    ) -> Result<Vec<(usize, Match)>, EventError> {
+        let values = values.into();
+        self.schema.check_row(&values)?;
+        if let Some(w) = self.watermark {
+            if ts < w {
+                return Err(EventError::OutOfOrder {
+                    previous: w.ticks(),
+                    got: ts.ticks(),
+                });
+            }
+        }
+        let event = Event::new(ts, values);
+        let admitted: Vec<usize> = if self.use_index {
+            self.index.admitted(&event)
+        } else {
+            (0..self.entries.len()).collect()
+        };
+        probe.index_hits(admitted.len());
+        probe.index_skips(self.entries.len() - admitted.len());
+        let mut out = Vec::new();
+        let mut next = admitted.iter().copied().peekable();
+        for (i, entry) in self.entries.iter_mut().enumerate() {
+            if next.peek() == Some(&i) {
+                next.next();
+                entry.ids.push(EventId::from(self.next_id));
+                // Cannot fail: the row was checked against the shared
+                // schema, and the entry's watermark never exceeds the
+                // bank's (pushes and heartbeats move them together).
+                let emitted = entry
+                    .sm
+                    .push_with_probe(ts, event.values().to_vec(), &mut *probe)?;
+                entry.hits += 1;
+                entry.note_peak();
+                out.extend(
+                    emitted
+                        .iter()
+                        .map(|m| (i, remap(&entry.ids, entry.base, m))),
+                );
+            } else {
+                // Skipped: the pattern only needs the time. No-op when
+                // the entry is already at (or past) `ts`.
+                entry.skips += 1;
+                let beat = entry.sm.advance_watermark_with_probe(ts, &mut *probe);
+                out.extend(beat.iter().map(|m| (i, remap(&entry.ids, entry.base, m))));
+            }
+            entry.prune();
+        }
+        self.ties = if self.last_ts == Some(ts) {
+            self.ties + 1
+        } else {
+            1
+        };
+        self.watermark = Some(ts);
+        self.last_ts = Some(ts);
+        self.next_id += 1;
+        self.emitted += out.len();
+        Ok(out)
+    }
+
+    /// Advances every pattern's watermark to `ts` without pushing an
+    /// event — finalizing and evicting exactly as a push at `ts` would —
+    /// and returns the matches that finalizes. No-op for patterns
+    /// already at or past `ts`. Subsequent pushes before `ts` are
+    /// rejected as out of order.
+    pub fn advance_watermark(&mut self, ts: Timestamp) -> Vec<(usize, Match)> {
+        let mut out = Vec::new();
+        for (i, entry) in self.entries.iter_mut().enumerate() {
+            let beat = entry.sm.advance_watermark(ts);
+            out.extend(beat.iter().map(|m| (i, remap(&entry.ids, entry.base, m))));
+            entry.prune();
+        }
+        if self.watermark.is_some_and(|w| ts > w) {
+            self.watermark = Some(ts);
+        }
+        self.emitted += out.len();
+        out
+    }
+
+    /// Ends the stream: flushes and adjudicates every pattern's
+    /// remaining state and returns the matches not already emitted by
+    /// pushes — together with those, each pattern's exact batch answer.
+    pub fn finish(self) -> Vec<(usize, Match)> {
+        let mut out = Vec::new();
+        for (i, entry) in self.entries.into_iter().enumerate() {
+            let Entry { sm, ids, base, .. } = entry;
+            out.extend(sm.finish().iter().map(|m| (i, remap(&ids, base, m))));
+        }
+        out
+    }
+
+    /// The bank's clock: the latest pushed or heartbeat timestamp.
+    pub fn watermark(&self) -> Option<Timestamp> {
+        self.watermark
+    }
+
+    /// Matches emitted by pushes and heartbeats so far (excludes
+    /// [`PatternBank::finish`]).
+    pub fn emitted_so_far(&self) -> usize {
+        self.emitted
+    }
+
+    /// Events consumed so far (each counted once, however many patterns
+    /// it was routed to).
+    pub fn consumed_events(&self) -> usize {
+        self.next_id
+    }
+
+    /// Events a log replay from the last pushed timestamp must skip —
+    /// the bank-level counterpart of
+    /// [`StreamMatcher::ties_at_watermark`]. Tracked explicitly: skipped
+    /// events appear in no pattern's relation, so no relation can
+    /// recover the count.
+    pub fn ties_at_watermark(&self) -> usize {
+        if self.last_ts.is_some() {
+            self.ties
+        } else {
+            0
+        }
+    }
+
+    /// Active instances summed over all patterns.
+    pub fn active_instances(&self) -> usize {
+        self.entries.iter().map(|e| e.sm.active_instances()).sum()
+    }
+
+    /// Events retained, summed over all patterns (an event admitted to
+    /// k patterns is counted k times).
+    pub fn retained_events(&self) -> usize {
+        self.entries.iter().map(|e| e.sm.retained_events()).sum()
+    }
+
+    /// Events pushed into matchers, summed over all patterns — the
+    /// quantity the index exists to reduce (without it this is
+    /// `patterns × events`).
+    pub fn total_hits(&self) -> u64 {
+        self.entries.iter().map(|e| e.hits).sum()
+    }
+
+    /// Events skipped (heartbeat only), summed over all patterns.
+    pub fn total_skips(&self) -> u64 {
+        self.entries.iter().map(|e| e.skips).sum()
+    }
+
+    /// Routing and matching statistics per pattern, in id order.
+    pub fn stats(&self) -> Vec<PatternStats> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| PatternStats {
+                name: e.name.clone(),
+                class: self.index.class(i),
+                hits: e.hits,
+                skips: e.skips,
+                emitted: e.sm.emitted_so_far(),
+                active_instances: e.sm.active_instances(),
+                peak_omega: e.peak_omega,
+                retained_events: e.sm.retained_events(),
+                evicted_events: e.sm.evicted_events(),
+            })
+            .collect()
+    }
+
+    /// Captures the complete dynamic state of every pattern plus the
+    /// bank's routing bookkeeping under one manifest.
+    pub fn snapshot(&mut self) -> BankSnapshot {
+        BankSnapshot {
+            watermark: self.watermark,
+            last_ts: self.last_ts,
+            next_id: self.next_id as u64,
+            ties: self.ties as u64,
+            emitted: self.emitted as u64,
+            use_index: self.use_index,
+            patterns: self
+                .entries
+                .iter_mut()
+                .map(|e| BankPatternSnapshot {
+                    name: e.name.clone(),
+                    matcher: e.sm.snapshot(),
+                    ids: e.ids.clone(),
+                    base: e.base as u64,
+                    peak_omega: e.peak_omega as u64,
+                    hits: e.hits,
+                    skips: e.skips,
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a bank from the `(name, pattern, options)` specs it was
+    /// built with and a [`BankSnapshot`] taken from it. Specs must match
+    /// the snapshot in count, order, and name, and each pattern's
+    /// fingerprint must agree; fails with
+    /// [`CoreError::SnapshotMismatch`] on any disagreement. The index
+    /// on/off setting is restored from the snapshot.
+    pub fn restore(
+        specs: &[(String, Pattern, MatcherOptions)],
+        schema: &Schema,
+        snapshot: &BankSnapshot,
+    ) -> Result<PatternBank, CoreError> {
+        let mismatch = |reason: String| CoreError::SnapshotMismatch { reason };
+        if specs.len() != snapshot.patterns.len() {
+            return Err(mismatch(format!(
+                "snapshot holds {} patterns, but {} were registered",
+                snapshot.patterns.len(),
+                specs.len()
+            )));
+        }
+        let mut entries = Vec::with_capacity(specs.len());
+        for (i, ((name, pattern, options), ps)) in specs.iter().zip(&snapshot.patterns).enumerate()
+        {
+            if *name != ps.name {
+                return Err(mismatch(format!(
+                    "pattern {i} is registered as `{name}`, but the snapshot calls it `{}`",
+                    ps.name
+                )));
+            }
+            let mut sm = StreamMatcher::with_options(pattern, schema, options.clone())?;
+            sm.apply_snapshot(&ps.matcher)
+                .map_err(|e| mismatch(format!("pattern `{name}`: {e}")))?;
+            if ps.ids.len() != sm.relation().len()
+                || ps.base as usize != sm.relation().first_index()
+            {
+                return Err(mismatch(format!(
+                    "pattern `{name}`: id map covers {} events at base {}, but the \
+                     relation retains {} at base {}",
+                    ps.ids.len(),
+                    ps.base,
+                    sm.relation().len(),
+                    sm.relation().first_index()
+                )));
+            }
+            entries.push(Entry {
+                name: ps.name.clone(),
+                sm,
+                ids: ps.ids.clone(),
+                base: ps.base as usize,
+                peak_omega: ps.peak_omega as usize,
+                hits: ps.hits,
+                skips: ps.skips,
+            });
+        }
+        let index = PatternIndex::build(entries.iter().map(|e| e.sm.compiled()));
+        Ok(PatternBank {
+            entries,
+            index,
+            use_index: snapshot.use_index,
+            schema: schema.clone(),
+            watermark: snapshot.watermark,
+            last_ts: snapshot.last_ts,
+            next_id: snapshot.next_id as usize,
+            ties: snapshot.ties as usize,
+            emitted: snapshot.emitted as usize,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ses_event::{AttrType, CmpOp, Duration};
+    use ses_metrics_shim::*;
+
+    // The metrics crate depends on core, so the counting probe cannot be
+    // used here; a minimal local one suffices.
+    mod ses_metrics_shim {
+        #[derive(Debug, Default)]
+        pub struct RouteProbe {
+            pub hits: usize,
+            pub skips: usize,
+        }
+        impl crate::probe::Probe for RouteProbe {
+            fn index_hits(&mut self, n: usize) {
+                self.hits += n;
+            }
+            fn index_skips(&mut self, n: usize) {
+                self.skips += n;
+            }
+        }
+    }
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attr("ID", AttrType::Int)
+            .attr("L", AttrType::Str)
+            .build()
+            .unwrap()
+    }
+
+    fn pair(x: &str, y: &str) -> Pattern {
+        Pattern::builder()
+            .set(|s| s.var("a").var("b"))
+            .cond_const("a", "L", CmpOp::Eq, x)
+            .cond_const("b", "L", CmpOp::Eq, y)
+            .within(Duration::ticks(5))
+            .build()
+            .unwrap()
+    }
+
+    fn bank(use_index: bool) -> PatternBank {
+        PatternBank::builder(&schema())
+            .register("ab", &pair("A", "B"), MatcherOptions::default())
+            .unwrap()
+            .register("cd", &pair("C", "D"), MatcherOptions::default())
+            .unwrap()
+            .with_index(use_index)
+            .build()
+    }
+
+    fn workload() -> Vec<(i64, i64, &'static str)> {
+        vec![
+            (0, 1, "A"),
+            (1, 1, "B"),
+            (2, 1, "C"),
+            (3, 1, "D"),
+            (9, 1, "A"),
+            (20, 1, "X"),
+            (21, 1, "C"),
+            (22, 1, "D"),
+            (40, 1, "B"),
+        ]
+    }
+
+    /// Bank output per pattern vs independent matchers fed every event.
+    fn assert_differential(use_index: bool) {
+        let mut bank = bank(use_index);
+        let mut ind = [
+            StreamMatcher::compile(&pair("A", "B"), &schema()).unwrap(),
+            StreamMatcher::compile(&pair("C", "D"), &schema()).unwrap(),
+        ];
+        let mut got: Vec<Vec<Match>> = vec![Vec::new(); 2];
+        let mut want: Vec<Vec<Match>> = vec![Vec::new(); 2];
+        for (t, id, l) in workload() {
+            let values = [Value::from(id), Value::from(l)];
+            for (i, m) in bank.push(Timestamp::new(t), values.clone()).unwrap() {
+                got[i].push(m);
+            }
+            for (i, sm) in ind.iter_mut().enumerate() {
+                want[i].extend(sm.push(Timestamp::new(t), values.clone()).unwrap());
+            }
+        }
+        for (i, m) in bank.finish() {
+            got[i].push(m);
+        }
+        for (i, sm) in ind.into_iter().enumerate() {
+            want[i].extend(sm.finish());
+        }
+        assert_eq!(got, want, "use_index={use_index}");
+        assert!(!got[0].is_empty() && !got[1].is_empty());
+    }
+
+    #[test]
+    fn bank_matches_independent_matchers_with_index() {
+        assert_differential(true);
+    }
+
+    #[test]
+    fn bank_matches_independent_matchers_without_index() {
+        assert_differential(false);
+    }
+
+    #[test]
+    fn index_reduces_pushes_and_probe_sees_routing() {
+        let mut bank = bank(true);
+        let mut probe = RouteProbe::default();
+        for (t, id, l) in workload() {
+            bank.push_with_probe(
+                Timestamp::new(t),
+                [Value::from(id), Value::from(l)],
+                &mut probe,
+            )
+            .unwrap();
+        }
+        let n = workload().len();
+        // Every event touches at most one of the two disjoint patterns
+        // (and the X event touches neither).
+        assert!(bank.total_hits() < (2 * n) as u64);
+        assert_eq!(bank.total_hits() + bank.total_skips(), (2 * n) as u64);
+        assert_eq!(probe.hits as u64, bank.total_hits());
+        assert_eq!(probe.skips as u64, bank.total_skips());
+        let stats = bank.stats();
+        assert_eq!(stats[0].name, "ab");
+        assert_eq!(stats[0].class, IndexClass::Indexed);
+        assert_eq!(stats[0].hits + stats[0].skips, n as u64);
+        assert!(stats[0].evicted_events > 0, "idle eviction never ran");
+    }
+
+    #[test]
+    fn index_off_pushes_everything() {
+        let mut bank = bank(false);
+        for (t, id, l) in workload() {
+            bank.push(Timestamp::new(t), [Value::from(id), Value::from(l)])
+                .unwrap();
+        }
+        assert_eq!(bank.total_hits(), (2 * workload().len()) as u64);
+        assert_eq!(bank.total_skips(), 0);
+    }
+
+    #[test]
+    fn out_of_order_rejected_globally() {
+        let mut bank = bank(true);
+        bank.push(Timestamp::new(5), [Value::from(1), Value::from("A")])
+            .unwrap();
+        // The C event routes to a different pattern than the A — order
+        // is still enforced bank-wide.
+        let err = bank
+            .push(Timestamp::new(3), [Value::from(1), Value::from("C")])
+            .unwrap_err();
+        assert!(matches!(err, EventError::OutOfOrder { .. }));
+        // Ties at the watermark stay accepted, even for patterns that
+        // skipped the first event and were only heartbeat to t=5.
+        bank.push(Timestamp::new(5), [Value::from(1), Value::from("C")])
+            .unwrap();
+        assert_eq!(bank.ties_at_watermark(), 2);
+    }
+
+    #[test]
+    fn advance_watermark_finalizes_idle_patterns() {
+        let mut bank = bank(true);
+        for (t, l) in [(0, "A"), (1, "B")] {
+            bank.push(Timestamp::new(t), [Value::from(1), Value::from(l)])
+                .unwrap();
+        }
+        let out = bank.advance_watermark(Timestamp::new(100));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 0);
+        assert_eq!(bank.emitted_so_far(), 1);
+        // The clock moved: older pushes are refused.
+        assert!(bank
+            .push(Timestamp::new(50), [Value::from(1), Value::from("A")])
+            .is_err());
+        assert!(bank.finish().is_empty());
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identically() {
+        let specs: Vec<(String, Pattern, MatcherOptions)> = vec![
+            ("ab".into(), pair("A", "B"), MatcherOptions::default()),
+            ("cd".into(), pair("C", "D"), MatcherOptions::default()),
+        ];
+        let rows = workload();
+        for cut in 0..rows.len() {
+            let build = || {
+                PatternBank::builder(&schema())
+                    .register("ab", &pair("A", "B"), MatcherOptions::default())
+                    .unwrap()
+                    .register("cd", &pair("C", "D"), MatcherOptions::default())
+                    .unwrap()
+                    .build()
+            };
+            let mut live = build();
+            let mut twin = build();
+            let mut live_out = Vec::new();
+            let mut twin_out = Vec::new();
+            for (t, id, l) in &rows[..cut] {
+                let values = [Value::from(*id), Value::from(*l)];
+                live_out.extend(live.push(Timestamp::new(*t), values.clone()).unwrap());
+                twin_out.extend(twin.push(Timestamp::new(*t), values).unwrap());
+            }
+            let snap = live.snapshot();
+            drop(live);
+            let mut restored = PatternBank::restore(&specs, &schema(), &snap).unwrap();
+            assert_eq!(restored.emitted_so_far(), twin.emitted_so_far());
+            assert_eq!(restored.consumed_events(), twin.consumed_events());
+            assert_eq!(restored.ties_at_watermark(), twin.ties_at_watermark());
+            for (t, id, l) in &rows[cut..] {
+                let values = [Value::from(*id), Value::from(*l)];
+                live_out.extend(restored.push(Timestamp::new(*t), values.clone()).unwrap());
+                twin_out.extend(twin.push(Timestamp::new(*t), values).unwrap());
+            }
+            live_out.extend(restored.finish());
+            twin_out.extend(twin.finish());
+            assert_eq!(live_out, twin_out, "divergence after restore at cut {cut}");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_specs() {
+        let mut bank = bank(true);
+        bank.push(Timestamp::new(0), [Value::from(1), Value::from("A")])
+            .unwrap();
+        let snap = bank.snapshot();
+        // Wrong count.
+        let short: Vec<(String, Pattern, MatcherOptions)> =
+            vec![("ab".into(), pair("A", "B"), MatcherOptions::default())];
+        let err = PatternBank::restore(&short, &schema(), &snap).unwrap_err();
+        assert!(matches!(err, CoreError::SnapshotMismatch { .. }), "{err}");
+        // Wrong name.
+        let renamed: Vec<(String, Pattern, MatcherOptions)> = vec![
+            ("zz".into(), pair("A", "B"), MatcherOptions::default()),
+            ("cd".into(), pair("C", "D"), MatcherOptions::default()),
+        ];
+        let err = PatternBank::restore(&renamed, &schema(), &snap).unwrap_err();
+        assert!(err.to_string().contains("registered as `zz`"), "{err}");
+        // Wrong pattern (fingerprint).
+        let swapped: Vec<(String, Pattern, MatcherOptions)> = vec![
+            ("ab".into(), pair("A", "C"), MatcherOptions::default()),
+            ("cd".into(), pair("C", "D"), MatcherOptions::default()),
+        ];
+        let err = PatternBank::restore(&swapped, &schema(), &snap).unwrap_err();
+        assert!(err.to_string().contains("fingerprint"), "{err}");
+    }
+
+    #[test]
+    fn empty_bank_consumes_events() {
+        let mut bank = PatternBank::builder(&schema()).build();
+        assert!(bank.is_empty());
+        assert!(bank
+            .push(Timestamp::new(0), [Value::from(1), Value::from("A")])
+            .unwrap()
+            .is_empty());
+        assert_eq!(bank.consumed_events(), 1);
+        assert!(bank.finish().is_empty());
+    }
+
+    #[test]
+    fn unsatisfiable_pattern_rides_along() {
+        let dead = Pattern::builder()
+            .set(|s| s.var("a"))
+            .cond_const("a", "ID", CmpOp::Gt, 10)
+            .cond_const("a", "ID", CmpOp::Lt, 5)
+            .within(Duration::ticks(5))
+            .build()
+            .unwrap();
+        let mut bank = PatternBank::builder(&schema())
+            .register("dead", &dead, MatcherOptions::default())
+            .unwrap()
+            .register("ab", &pair("A", "B"), MatcherOptions::default())
+            .unwrap()
+            .build();
+        assert_eq!(bank.index_class(0), IndexClass::Never);
+        for (t, id, l) in workload() {
+            bank.push(Timestamp::new(t), [Value::from(id), Value::from(l)])
+                .unwrap();
+        }
+        let stats = bank.stats();
+        assert_eq!(stats[0].hits, 0, "dead pattern received events");
+        let out = bank.finish();
+        assert!(out.iter().all(|(i, _)| *i == 1));
+    }
+}

@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 mod automaton;
+mod bank;
 mod buffer;
 mod dot;
 mod engine;
@@ -71,6 +72,7 @@ mod stream;
 mod trace;
 
 pub use automaton::{Automaton, State, TransCond, Transition, DEFAULT_MAX_STATES};
+pub use bank::{PatternBank, PatternBankBuilder, PatternStats};
 pub use buffer::{Binding, Buffer, BufferIter};
 pub use engine::{execute, EventSelection, ExecOptions, Execution, Instance, RawMatch};
 pub use error::CoreError;
@@ -85,7 +87,8 @@ pub use reference::{enumerate_candidates, satisfies_conditions_1_3};
 pub use semantics::{select, MatchSemantics};
 pub use shard::ShardedStreamMatcher;
 pub use snapshot::{
-    InstanceSnapshot, MatcherSnapshot, ShardSnapshot, ShardedSnapshot, StreamSnapshot,
+    BankPatternSnapshot, BankSnapshot, InstanceSnapshot, MatcherSnapshot, ShardSnapshot,
+    ShardedSnapshot, StreamSnapshot,
 };
 pub use state::{StateId, StateSet};
 pub use stream::StreamMatcher;

@@ -162,6 +162,28 @@ pub struct Matcher {
     partition: PartitionStrategy,
 }
 
+/// Compiles `pattern` against `schema`, honoring the analyzer-rewrite
+/// options: full constant propagation, the equality closure, or the
+/// paper-faithful Θ verbatim. The single compile path shared by
+/// [`Matcher`], [`crate::StreamMatcher`], [`crate::ShardedStreamMatcher`],
+/// and [`crate::PatternBank`] — the bank relies on it to build its
+/// predicate index from the *same* compiled pattern its matchers run.
+pub(crate) fn compile_pattern(
+    pattern: &Pattern,
+    schema: &Schema,
+    options: &MatcherOptions,
+) -> Result<CompiledPattern, CoreError> {
+    Ok(if options.propagate_constants {
+        ses_pattern::analyze(pattern, schema)
+            .pattern
+            .compile(schema)?
+    } else if options.derive_equalities {
+        ses_pattern::equality_closure(pattern).compile(schema)?
+    } else {
+        pattern.compile(schema)?
+    })
+}
+
 /// Resolves a [`PartitionMode`] against a compiled pattern's proven
 /// keys. Shared by [`Matcher`] and [`crate::ShardedStreamMatcher`].
 pub(crate) fn resolve_partition(
@@ -231,15 +253,7 @@ impl Matcher {
         schema: &Schema,
         options: MatcherOptions,
     ) -> Result<Matcher, CoreError> {
-        let compiled = if options.propagate_constants {
-            ses_pattern::analyze(pattern, schema)
-                .pattern
-                .compile(schema)?
-        } else if options.derive_equalities {
-            ses_pattern::equality_closure(pattern).compile(schema)?
-        } else {
-            pattern.compile(schema)?
-        };
+        let compiled = compile_pattern(pattern, schema, &options)?;
         Matcher::from_compiled(compiled, options)
     }
 

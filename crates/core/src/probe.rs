@@ -87,6 +87,19 @@ pub trait Probe {
     #[inline]
     fn slice_events(&mut self, _n: usize) {}
 
+    /// A pattern bank routed one event into `_n` pattern matchers (the
+    /// event satisfied those patterns' admission predicates). Fired once
+    /// per bank push; with the predicate index off this is always the
+    /// bank's pattern count.
+    #[inline]
+    fn index_hits(&mut self, _n: usize) {}
+
+    /// A pattern bank skipped `_n` pattern matchers for one event (they
+    /// received only a watermark heartbeat). Fired once per bank push;
+    /// always zero with the predicate index off.
+    #[inline]
+    fn index_skips(&mut self, _n: usize) {}
+
     /// A durability checkpoint was persisted: `_bytes` written to disk,
     /// `_nanos` spent snapshotting, serializing, and syncing it. Fired
     /// by the checkpoint driver once per saved checkpoint; the ratio of
@@ -166,6 +179,14 @@ impl<P: Probe + ?Sized> Probe for &mut P {
     #[inline]
     fn slice_events(&mut self, n: usize) {
         (**self).slice_events(n);
+    }
+    #[inline]
+    fn index_hits(&mut self, n: usize) {
+        (**self).index_hits(n);
+    }
+    #[inline]
+    fn index_skips(&mut self, n: usize) {
+        (**self).index_skips(n);
     }
     #[inline]
     fn checkpoint_saved(&mut self, bytes: u64, nanos: u64) {

@@ -140,15 +140,7 @@ impl ShardedStreamMatcher {
         options: MatcherOptions,
         shards: usize,
     ) -> Result<ShardedStreamMatcher, CoreError> {
-        let compiled = if options.propagate_constants {
-            ses_pattern::analyze(pattern, schema)
-                .pattern
-                .compile(schema)?
-        } else if options.derive_equalities {
-            ses_pattern::equality_closure(pattern).compile(schema)?
-        } else {
-            pattern.compile(schema)?
-        };
+        let compiled = crate::matcher::compile_pattern(pattern, schema, &options)?;
         let key = match resolve_partition(&compiled, &options)? {
             PartitionStrategy::Key(key) => key,
             // Time slicing is batch-only: a stream has no slice-end
@@ -405,15 +397,7 @@ impl ShardedStreamMatcher {
         if snapshot.shards.is_empty() {
             return Err(mismatch("sharded snapshot with no shards".to_string()));
         }
-        let compiled = if options.propagate_constants {
-            ses_pattern::analyze(pattern, schema)
-                .pattern
-                .compile(schema)?
-        } else if options.derive_equalities {
-            ses_pattern::equality_closure(pattern).compile(schema)?
-        } else {
-            pattern.compile(schema)?
-        };
+        let compiled = crate::matcher::compile_pattern(pattern, schema, &options)?;
         // The key proof must still hold for the (possibly rewritten)
         // pattern — resurrecting shards routed by an unproven key would
         // silently lose cross-partition matches.

@@ -116,7 +116,53 @@ pub struct ShardedSnapshot {
     pub shards: Vec<ShardSnapshot>,
 }
 
-/// A snapshot of either stream matcher flavor — the unit the checkpoint
+/// One registered pattern of a [`crate::PatternBank`]: its stream
+/// matcher snapshot plus the local→global event id map and the routing
+/// counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BankPatternSnapshot {
+    /// The name the pattern was registered under — restore refuses a
+    /// spec list whose names disagree.
+    pub name: String,
+    /// The pattern's stream matcher state.
+    pub matcher: StreamSnapshot,
+    /// Global ids of the pattern's retained events, indexed by
+    /// `local_id - base`.
+    pub ids: Vec<EventId>,
+    /// First retained local index (the pattern relation's eviction
+    /// base).
+    pub base: u64,
+    /// Peak `|Ω|` observed on the pattern.
+    pub peak_omega: u64,
+    /// Events routed into the pattern's matcher.
+    pub hits: u64,
+    /// Events skipped (heartbeat only).
+    pub skips: u64,
+}
+
+/// Complete dynamic state of a [`crate::PatternBank`]: the per-pattern
+/// snapshots under one manifest, plus the bank's routing bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BankSnapshot {
+    /// The bank's clock (latest pushed or heartbeat timestamp).
+    pub watermark: Option<Timestamp>,
+    /// Timestamp of the last pushed event — may trail the watermark.
+    pub last_ts: Option<Timestamp>,
+    /// Next global event id to assign (= total events consumed).
+    pub next_id: u64,
+    /// Events tied at `last_ts` — persisted explicitly because skipped
+    /// events appear in no pattern's relation, so no relation can
+    /// recover the replay-skip count.
+    pub ties: u64,
+    /// Matches emitted across all patterns by pushes and heartbeats.
+    pub emitted: u64,
+    /// Whether the predicate index was consulted on pushes.
+    pub use_index: bool,
+    /// The registered patterns, in registration order.
+    pub patterns: Vec<BankPatternSnapshot>,
+}
+
+/// A snapshot of any stream matcher flavor — the unit the checkpoint
 /// store persists.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MatcherSnapshot {
@@ -124,6 +170,8 @@ pub enum MatcherSnapshot {
     Stream(StreamSnapshot),
     /// A hash-sharded stream matcher.
     Sharded(ShardedSnapshot),
+    /// A multi-pattern bank.
+    Bank(BankSnapshot),
 }
 
 impl MatcherSnapshot {
@@ -135,6 +183,7 @@ impl MatcherSnapshot {
         match self {
             MatcherSnapshot::Stream(s) => s.last_ts,
             MatcherSnapshot::Sharded(s) => s.last_ts,
+            MatcherSnapshot::Bank(s) => s.last_ts,
         }
     }
 
@@ -143,6 +192,7 @@ impl MatcherSnapshot {
         match self {
             MatcherSnapshot::Stream(s) => s.emitted,
             MatcherSnapshot::Sharded(s) => s.emitted,
+            MatcherSnapshot::Bank(s) => s.emitted,
         }
     }
 
@@ -151,6 +201,7 @@ impl MatcherSnapshot {
         match self {
             MatcherSnapshot::Stream(s) => s.consumed_events(),
             MatcherSnapshot::Sharded(s) => s.next_id,
+            MatcherSnapshot::Bank(s) => s.next_id,
         }
     }
 }

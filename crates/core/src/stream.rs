@@ -90,15 +90,7 @@ impl StreamMatcher {
         schema: &Schema,
         options: MatcherOptions,
     ) -> Result<StreamMatcher, CoreError> {
-        let compiled = if options.propagate_constants {
-            ses_pattern::analyze(pattern, schema)
-                .pattern
-                .compile(schema)?
-        } else if options.derive_equalities {
-            ses_pattern::equality_closure(pattern).compile(schema)?
-        } else {
-            pattern.compile(schema)?
-        };
+        let compiled = crate::matcher::compile_pattern(pattern, schema, &options)?;
         let automaton = Automaton::build_with_limit(compiled, options.max_states)?;
         Ok(StreamMatcher::from_automaton(automaton, options))
     }
@@ -394,6 +386,13 @@ impl StreamMatcher {
     /// [`crate::snapshot`]).
     pub(crate) fn fingerprint(&self) -> u64 {
         matcher_fingerprint(&self.automaton, &self.options)
+    }
+
+    /// The compiled pattern the automaton runs — after any analyzer
+    /// rewrites. The bank builds its predicate index from this, so the
+    /// index always reasons about exactly the Θ the engine evaluates.
+    pub(crate) fn compiled(&self) -> &ses_pattern::CompiledPattern {
+        self.automaton.pattern()
     }
 
     /// Overwrites this matcher's dynamic state with `snap` — shared by

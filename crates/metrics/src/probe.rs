@@ -54,6 +54,12 @@ pub struct CountingProbe {
     /// chronological slice order — their sum minus the relation length
     /// is the duplicated overlap work.
     pub slice_events: Vec<usize>,
+    /// Events routed into pattern-bank matchers (summed over patterns:
+    /// one event admitted to k patterns contributes k).
+    pub index_hits: u64,
+    /// Pattern-bank matchers skipped (heartbeat only) — the per-pattern
+    /// pushes the predicate index saved.
+    pub index_skips: u64,
     /// Durability checkpoints saved.
     pub checkpoints: u64,
     /// Total bytes written across saved checkpoints.
@@ -156,6 +162,8 @@ impl CountingProbe {
         self.partition_events.extend(&other.partition_events);
         self.sliced_runs += other.sliced_runs;
         self.slice_events.extend(&other.slice_events);
+        self.index_hits += other.index_hits;
+        self.index_skips += other.index_skips;
         self.checkpoints += other.checkpoints;
         self.checkpoint_bytes += other.checkpoint_bytes;
         self.checkpoint_nanos += other.checkpoint_nanos;
@@ -220,6 +228,12 @@ impl Probe for CountingProbe {
     }
     fn slice_events(&mut self, n: usize) {
         self.slice_events.push(n);
+    }
+    fn index_hits(&mut self, n: usize) {
+        self.index_hits += n as u64;
+    }
+    fn index_skips(&mut self, n: usize) {
+        self.index_skips += n as u64;
     }
     fn checkpoint_saved(&mut self, bytes: u64, nanos: u64) {
         self.checkpoints += 1;
@@ -304,6 +318,12 @@ impl Probe for SeriesProbe {
     }
     fn slice_events(&mut self, n: usize) {
         Probe::slice_events(&mut self.counts, n);
+    }
+    fn index_hits(&mut self, n: usize) {
+        Probe::index_hits(&mut self.counts, n);
+    }
+    fn index_skips(&mut self, n: usize) {
+        Probe::index_skips(&mut self.counts, n);
     }
     fn checkpoint_saved(&mut self, bytes: u64, nanos: u64) {
         self.counts.checkpoint_saved(bytes, nanos);
@@ -428,6 +448,27 @@ mod tests {
         let mut s = SeriesProbe::new();
         s.checkpoint_saved(9, 9);
         assert_eq!(s.counts.checkpoints, 1);
+    }
+
+    #[test]
+    fn index_hooks_accumulate_and_merge() {
+        let mut p = CountingProbe::new();
+        Probe::index_hits(&mut p, 3);
+        Probe::index_skips(&mut p, 13);
+        Probe::index_hits(&mut p, 1);
+        assert_eq!(p.index_hits, 4);
+        assert_eq!(p.index_skips, 13);
+        let mut q = CountingProbe::new();
+        Probe::index_hits(&mut q, 2);
+        Probe::index_skips(&mut q, 2);
+        p.merge(&q);
+        assert_eq!(p.index_hits, 6);
+        assert_eq!(p.index_skips, 15);
+        let mut s = SeriesProbe::new();
+        Probe::index_hits(&mut s, 7);
+        Probe::index_skips(&mut s, 9);
+        assert_eq!(s.counts.index_hits, 7);
+        assert_eq!(s.counts.index_skips, 9);
     }
 
     #[test]

@@ -62,6 +62,7 @@ mod condition;
 mod diagnostics;
 mod domain;
 mod error;
+mod index;
 mod negation;
 mod pattern;
 mod propagate;
@@ -76,6 +77,7 @@ pub use condition::{AttrRef, Condition, Rhs};
 pub use diagnostics::{Diagnostic, DiagnosticCode, Diagnostics, Severity, Span};
 pub use domain::{Bound, Domain};
 pub use error::PatternError;
+pub use index::{IndexClass, PatternIndex};
 pub use negation::{
     CompiledNegCondition, CompiledNegRhs, CompiledNegation, NegCondition, Negation,
 };

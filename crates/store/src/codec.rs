@@ -11,7 +11,7 @@
 //! Layout of an encoded [`MatcherSnapshot`] (all integers little-endian):
 //!
 //! ```text
-//! u8 kind                     0 = Stream, 1 = Sharded
+//! u8 kind                     0 = Stream, 1 = Sharded, 2 = Bank
 //! stream  := u64 fingerprint | opt_ts watermark | u8 evict
 //!          | u64 evicted | opt_ts last_ts
 //!          | u32 n_events  event*      event   := i64 ts | u16 n | value*
@@ -22,14 +22,22 @@
 //! sharded := u64 fingerprint | u32 key | opt_ts last_ts | u64 next_id
 //!          | u64 emitted | u32 n_shards shard*
 //! shard   := stream | u32 n_ids u32* | u64 base | u64 peak_omega
+//! bank    := opt_ts watermark | opt_ts last_ts | u64 next_id | u64 ties
+//!          | u64 emitted | u8 use_index | u32 n_patterns bpat*
+//! bpat    := str name | stream | u32 n_ids u32* | u64 base
+//!          | u64 peak_omega | u64 hits | u64 skips
 //! opt_ts  := 0u8 | 1u8 i64
+//! str     := u32 len | utf8 bytes
 //! value   := 0u8 i64 | 1u8 f64 | 2u8 u32 utf8 | 3u8 u8   (the log's tags)
 //! ```
 //!
 //! The file-level framing (magic, format version, checksum) lives in
 //! [`crate::CheckpointStore`]; this module only covers the payload.
 
-use ses_core::{InstanceSnapshot, MatcherSnapshot, ShardSnapshot, ShardedSnapshot, StreamSnapshot};
+use ses_core::{
+    BankPatternSnapshot, BankSnapshot, InstanceSnapshot, MatcherSnapshot, ShardSnapshot,
+    ShardedSnapshot, StreamSnapshot,
+};
 use ses_event::{AttrId, Event, EventId, Timestamp, Value};
 use ses_pattern::VarId;
 
@@ -295,6 +303,28 @@ pub fn encode_snapshot(snapshot: &MatcherSnapshot) -> Vec<u8> {
                 e.put_u64(shard.peak_omega);
             }
         }
+        MatcherSnapshot::Bank(s) => {
+            e.put_u8(2);
+            e.put_opt_ts(s.watermark);
+            e.put_opt_ts(s.last_ts);
+            e.put_u64(s.next_id);
+            e.put_u64(s.ties);
+            e.put_u64(s.emitted);
+            e.put_bool(s.use_index);
+            e.put_u32(s.patterns.len() as u32);
+            for p in &s.patterns {
+                e.put_str(&p.name);
+                encode_stream(&mut e, &p.matcher);
+                e.put_u32(p.ids.len() as u32);
+                for id in &p.ids {
+                    e.put_u32(id.0);
+                }
+                e.put_u64(p.base);
+                e.put_u64(p.peak_omega);
+                e.put_u64(p.hits);
+                e.put_u64(p.skips);
+            }
+        }
     }
     e.into_bytes()
 }
@@ -384,6 +414,47 @@ pub fn decode_snapshot(data: &[u8]) -> Result<MatcherSnapshot, StoreError> {
                 next_id,
                 emitted,
                 shards,
+            })
+        }
+        2 => {
+            let watermark = d.get_opt_ts()?;
+            let last_ts = d.get_opt_ts()?;
+            let next_id = d.get_u64()?;
+            let ties = d.get_u64()?;
+            let emitted = d.get_u64()?;
+            let use_index = d.get_bool()?;
+            let n = checked_len(d.get_u32()?, d.remaining(), 4, "bank patterns")?;
+            let mut patterns = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = d.get_str()?;
+                let matcher = decode_stream(&mut d)?;
+                let n_ids = checked_len(d.get_u32()?, d.remaining(), 4, "bank pattern ids")?;
+                let mut ids = Vec::with_capacity(n_ids);
+                for _ in 0..n_ids {
+                    ids.push(EventId(d.get_u32()?));
+                }
+                let base = d.get_u64()?;
+                let peak_omega = d.get_u64()?;
+                let hits = d.get_u64()?;
+                let skips = d.get_u64()?;
+                patterns.push(BankPatternSnapshot {
+                    name,
+                    matcher,
+                    ids,
+                    base,
+                    peak_omega,
+                    hits,
+                    skips,
+                });
+            }
+            MatcherSnapshot::Bank(BankSnapshot {
+                watermark,
+                last_ts,
+                next_id,
+                ties,
+                emitted,
+                use_index,
+                patterns,
             })
         }
         kind => {
@@ -554,6 +625,74 @@ mod tests {
         });
         let bytes = encode_snapshot(&snap);
         assert_eq!(decode_snapshot(&bytes).unwrap(), snap);
+    }
+
+    fn sample_bank() -> MatcherSnapshot {
+        MatcherSnapshot::Bank(BankSnapshot {
+            watermark: Some(Timestamp::new(50)),
+            last_ts: Some(Timestamp::new(42)),
+            next_id: 23,
+            ties: 2,
+            emitted: 6,
+            use_index: true,
+            patterns: vec![
+                BankPatternSnapshot {
+                    name: "q-with a space, punctuation…".into(),
+                    matcher: sample_stream(),
+                    ids: vec![EventId(1), EventId(7), EventId(22)],
+                    base: 4,
+                    peak_omega: 13,
+                    hits: 19,
+                    skips: 4,
+                },
+                BankPatternSnapshot {
+                    name: String::new(),
+                    matcher: StreamSnapshot {
+                        events: Vec::new(),
+                        instances: Vec::new(),
+                        pending: Vec::new(),
+                        survivors: Vec::new(),
+                        watermark: None,
+                        last_ts: None,
+                        evicted: 0,
+                        emitted: 0,
+                        ..sample_stream()
+                    },
+                    ids: Vec::new(),
+                    base: 0,
+                    peak_omega: 0,
+                    hits: 0,
+                    skips: 23,
+                },
+            ],
+        })
+    }
+
+    #[test]
+    fn bank_snapshot_round_trips() {
+        let snap = sample_bank();
+        let bytes = encode_snapshot(&snap);
+        assert_eq!(decode_snapshot(&bytes).unwrap(), snap);
+    }
+
+    #[test]
+    fn bank_truncation_and_garbage_fail_cleanly() {
+        let bytes = encode_snapshot(&sample_bank());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_snapshot(&bytes[..cut]).is_err(),
+                "prefix {cut} accepted"
+            );
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(decode_snapshot(&padded).is_err());
+        // A hostile pattern count fails fast instead of allocating.
+        // Bank layout: kind(1) watermark(9) last_ts(9) next_id(8)
+        // ties(8) emitted(8) use_index(1) → pattern count at offset 44.
+        let mut hostile = bytes;
+        hostile[44..48].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_snapshot(&hostile).is_err());
     }
 
     #[test]

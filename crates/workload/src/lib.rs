@@ -10,6 +10,8 @@
 //! * [`rfid`] — warehouse RFID reads with permuted station visits.
 //! * [`clickstream`] — web sessions with any-order research funnels and
 //!   negation-relevant interruptions.
+//! * [`bank`] — N correlated two-variable queries over one stream, for
+//!   multi-pattern (`PatternBank`) execution.
 //!
 //! All generators are deterministic per seed and emit chronologically
 //! ordered, schema-conformant relations.
@@ -17,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bank;
 pub mod chemo;
 pub mod clickstream;
 pub mod finance;

@@ -81,16 +81,16 @@ pub mod prelude {
     pub use ses_baseline::BruteForce;
     pub use ses_core::{
         CoreError, EventSelection, FilterMode, Match, MatchSemantics, Matcher, MatcherOptions,
-        MatcherSnapshot, MultiMatcher, NoProbe, PartitionMode, PartitionStrategy, Probe,
-        ShardedStreamMatcher, StreamMatcher,
+        MatcherSnapshot, MultiMatcher, NoProbe, PartitionMode, PartitionStrategy, PatternBank,
+        PatternBankBuilder, PatternStats, Probe, ShardedStreamMatcher, StreamMatcher,
     };
     pub use ses_event::{
         AttrType, CmpOp, Duration, Event, EventId, Relation, Schema, Timestamp, Value,
     };
     pub use ses_metrics::CountingProbe;
     pub use ses_pattern::{
-        analyze, Analysis, Diagnostic, DiagnosticCode, Diagnostics, Pattern, Quantifier, Severity,
-        VarId,
+        analyze, Analysis, Diagnostic, DiagnosticCode, Diagnostics, IndexClass, Pattern,
+        PatternIndex, Quantifier, Severity, VarId,
     };
     pub use ses_query::TickUnit;
     pub use ses_store::{CheckpointStore, EventLog, EventStore, LogConfig, MatchLog};

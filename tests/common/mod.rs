@@ -228,6 +228,33 @@ pub fn analyzer_pattern_strategy() -> impl Strategy<Value = Pattern> {
         })
 }
 
+/// Small *sets* of correlated patterns for the multi-pattern bank
+/// suites: 2–4 patterns drawn from [`pattern_strategy`], so they share
+/// event types from [`TYPES`] (overlapping routing), plus optionally
+/// one pattern pinned to a constant `ID` no generated relation carries
+/// (ids are `1..3`, the pin is `7`) — a pattern the predicate index
+/// may route nothing to, riding along with live ones.
+pub fn pattern_set_strategy() -> impl Strategy<Value = Vec<Pattern>> {
+    (
+        proptest::collection::vec(pattern_strategy(), 2..4),
+        proptest::bool::ANY,
+    )
+        .prop_map(|(mut patterns, add_foreign)| {
+            if add_foreign {
+                patterns.push(
+                    Pattern::builder()
+                        .set(|s| s.var("f"))
+                        .cond_const("f", "L", CmpOp::Eq, TYPES[0])
+                        .cond_const("f", "ID", CmpOp::Eq, 7)
+                        .within(Duration::ticks(5))
+                        .build()
+                        .unwrap(),
+                );
+            }
+            patterns
+        })
+}
+
 /// Tiny patterns: 1–2 sets, ≤ 3 variables total, constant type
 /// conditions (possibly overlapping ⇒ nondeterminism), optionally a
 /// group variable and an ID-equality clique (greedy-safe correlation).

@@ -98,6 +98,9 @@ impl AnyStream {
                 sharded_opts(opts),
                 s,
             )?),
+            MatcherSnapshot::Bank(_) => {
+                unreachable!("this harness checkpoints single-pattern matchers only")
+            }
         })
     }
 
@@ -520,6 +523,142 @@ fn corrupted_checkpoint_falls_back_and_replays_the_gap() {
     let lines: Vec<String> = text.lines().map(str::to_string).collect();
     assert_eq!(lines, reference);
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A 3-pattern bank under the kill-point protocol: the whole bank is
+/// checkpointed through the binary codec, the run dies after every
+/// prefix, and recovery (restore + tie-skipping replay + suppression)
+/// must reproduce the uninterrupted run's durable sink line for line —
+/// exactly-once **per pattern**, including the pattern the predicate
+/// index never routes an event to (heartbeats only).
+#[test]
+fn bank_kill_points_recover_exactly_once_per_pattern() {
+    let opts = options(MatchSemantics::Maximal, EventSelection::SkipTillNextMatch);
+    let x_only = Pattern::builder()
+        .set(|s| s.var("x"))
+        .cond_const("x", "L", CmpOp::Eq, "X")
+        .within(Duration::ticks(3))
+        .build()
+        .unwrap();
+    // `ID = 9` never occurs in the relation: this pattern lives on
+    // watermark heartbeats alone, the recovery-sensitive skip path.
+    let never = Pattern::builder()
+        .set(|s| s.var("n"))
+        .cond_const("n", "L", CmpOp::Eq, "A")
+        .cond_const("n", "ID", CmpOp::Eq, 9)
+        .within(Duration::ticks(3))
+        .build()
+        .unwrap();
+    let specs: Vec<(String, Pattern, MatcherOptions)> = vec![
+        ("clique".into(), correlated_pattern(), opts.clone()),
+        ("x-only".into(), x_only, opts.clone()),
+        ("never".into(), never, opts.clone()),
+    ];
+    let rel = tie_heavy_relation();
+    let events: Vec<Event> = rel.iter().map(|(_, e)| e.clone()).collect();
+
+    let build = || {
+        let mut b = PatternBank::builder(&schema());
+        for (name, pat, o) in &specs {
+            b = b.register(name.clone(), pat, o.clone()).unwrap();
+        }
+        b.build()
+    };
+    let line = |i: usize, m: &Match| format!("{}: {}", specs[i].0, m.display_with(&specs[i].1));
+
+    // The uninterrupted reference sink.
+    let reference: Vec<String> = {
+        let mut bank = build();
+        let mut lines = Vec::new();
+        for e in &events {
+            for (i, m) in bank.push(e.ts(), e.values().to_vec()).unwrap() {
+                lines.push(line(i, &m));
+            }
+        }
+        for (i, m) in bank.finish() {
+            lines.push(line(i, &m));
+        }
+        lines
+    };
+    assert!(
+        reference.iter().any(|l| l.starts_with("clique:"))
+            && reference.iter().any(|l| l.starts_with("x-only:")),
+        "the workload must exercise at least two patterns: {reference:?}"
+    );
+
+    for kill_after in 0..=events.len() {
+        for durable_tail in [true, false] {
+            // Phase 1: the run that dies after `kill_after` pushes,
+            // checkpointing every 2 events.
+            let mut bank = build();
+            let mut sink: Vec<String> = Vec::new();
+            let mut ckpt: Option<(Vec<u8>, u64)> = None;
+            for (n, e) in events[..kill_after].iter().enumerate() {
+                for (i, m) in bank.push(e.ts(), e.values().to_vec()).unwrap() {
+                    sink.push(line(i, &m));
+                }
+                if (n + 1) % 2 == 0 {
+                    let bytes = encode_snapshot(&MatcherSnapshot::Bank(bank.snapshot()));
+                    ckpt = Some((bytes, sink.len() as u64));
+                }
+            }
+            drop(bank); // the crash
+            if !durable_tail {
+                let durable = ckpt.as_ref().map_or(0, |(_, lines)| *lines) as usize;
+                sink.truncate(durable);
+            }
+
+            // Phase 2: recovery.
+            let (mut bank, replay, skip, emitted_at_ckpt) = match &ckpt {
+                Some((bytes, _)) => {
+                    let snap = decode_snapshot(bytes).expect("checkpoint round-trips");
+                    let MatcherSnapshot::Bank(ref s) = snap else {
+                        panic!("bank snapshot expected");
+                    };
+                    let bank = PatternBank::restore(&specs, &schema(), s).unwrap();
+                    let replay: Vec<Event> = match snap.replay_from() {
+                        Some(from) => events.iter().filter(|e| e.ts() >= from).cloned().collect(),
+                        None => events.clone(),
+                    };
+                    let skip = bank.ties_at_watermark();
+                    (bank, replay, skip, snap.emitted())
+                }
+                None => (build(), events.clone(), 0, 0),
+            };
+            let mut suppress = (sink.len() as u64).saturating_sub(emitted_at_ckpt);
+            let mut emit = |i: usize, m: &Match, sink: &mut Vec<String>| {
+                if suppress > 0 {
+                    suppress -= 1;
+                } else {
+                    sink.push(line(i, m));
+                }
+            };
+            for e in replay.iter().skip(skip) {
+                for (i, m) in bank.push(e.ts(), e.values().to_vec()).unwrap() {
+                    emit(i, &m, &mut sink);
+                }
+            }
+            for (i, m) in bank.finish() {
+                emit(i, &m, &mut sink);
+            }
+
+            assert_eq!(
+                sink, reference,
+                "divergence: kill_after={kill_after} durable_tail={durable_tail}"
+            );
+            // Exactly-once per pattern, explicitly.
+            for (name, _, _) in &specs {
+                let per = |lines: &[String]| {
+                    lines
+                        .iter()
+                        .filter(|l| l.starts_with(&format!("{name}:")))
+                        .cloned()
+                        .collect::<Vec<_>>()
+                };
+                assert_eq!(per(&sink), per(&reference), "pattern `{name}` diverged");
+            }
+        }
+    }
 }
 
 proptest! {
