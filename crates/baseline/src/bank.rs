@@ -114,6 +114,7 @@ impl BruteForce {
             flush_at_end: self.options.flush_at_end,
             type_precheck: self.options.type_precheck,
             max_instances: self.options.max_instances,
+            spawn_start: true,
         };
         let mut executions: Vec<Execution<'_>> = self
             .automata

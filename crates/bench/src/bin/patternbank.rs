@@ -8,10 +8,14 @@
 //!
 //! For each bank size the same stream is pushed through a
 //! [`ses_core::PatternBank`] with the event→pattern predicate index
-//! enabled and disabled. Outputs are asserted identical before any
-//! number is reported; the committed report (`BENCH_patternbank.json`)
-//! tracks the routed-push reduction and the resulting speedup. The CI
-//! smoke step runs this with `--quick`.
+//! enabled and disabled, and — on a correlated variant of the pattern
+//! set where 75% of the patterns open with one shared anchor set —
+//! with structural sharing enabled and disabled. Outputs are asserted
+//! identical before any number is reported; the committed report
+//! (`BENCH_patternbank.json`) tracks the routed-push reduction and the
+//! resulting `speedup` per size, plus the `shared_speedup` won by
+//! evaluating each shared prefix once. The CI smoke step runs this
+//! with `--quick`.
 
 use ses_core::{Match, MatcherOptions, PatternBank};
 use ses_event::Relation;
@@ -61,8 +65,10 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
-fn build_bank(named: &[(String, Pattern)], use_index: bool) -> PatternBank {
-    let mut builder = PatternBank::builder(&schema()).with_index(use_index);
+fn build_bank(named: &[(String, Pattern)], use_index: bool, share: bool) -> PatternBank {
+    let mut builder = PatternBank::builder(&schema())
+        .with_index(use_index)
+        .with_sharing(share);
     for (name, p) in named {
         builder = builder
             .register(name.clone(), p, MatcherOptions::default())
@@ -77,8 +83,9 @@ fn run_once(
     named: &[(String, Pattern)],
     rel: &Relation,
     use_index: bool,
+    share: bool,
 ) -> (Vec<(usize, Match)>, u64) {
-    let mut bank = build_bank(named, use_index);
+    let mut bank = build_bank(named, use_index, share);
     let mut out = Vec::new();
     for (_, e) in rel.iter() {
         out.extend(
@@ -92,11 +99,17 @@ fn run_once(
 }
 
 /// Best-of-`iters` wall time of a full pass.
-fn best_secs(named: &[(String, Pattern)], rel: &Relation, use_index: bool, iters: usize) -> f64 {
+fn best_secs(
+    named: &[(String, Pattern)],
+    rel: &Relation,
+    use_index: bool,
+    share: bool,
+    iters: usize,
+) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..iters {
         let sw = Stopwatch::start();
-        std::hint::black_box(run_once(named, rel, use_index));
+        std::hint::black_box(run_once(named, rel, use_index, share));
         best = best.min(sw.elapsed_secs());
     }
     best
@@ -120,8 +133,8 @@ fn main() {
         let named = ses_workload::bank::patterns(&cfg);
 
         // Same answer first, then the clock.
-        let (with_index, hits_on) = run_once(&named, &rel, true);
-        let (without_index, hits_off) = run_once(&named, &rel, false);
+        let (with_index, hits_on) = run_once(&named, &rel, true, false);
+        let (without_index, hits_off) = run_once(&named, &rel, false, false);
         assert_eq!(
             with_index, without_index,
             "index changed the answer at {n} patterns"
@@ -132,8 +145,8 @@ fn main() {
             "the index must strictly reduce per-pattern pushes ({hits_on} vs {hits_off})"
         );
 
-        let on_secs = best_secs(&named, &rel, true, opts.iters);
-        let off_secs = best_secs(&named, &rel, false, opts.iters);
+        let on_secs = best_secs(&named, &rel, true, false, opts.iters);
+        let off_secs = best_secs(&named, &rel, false, false, opts.iters);
         let eps = |secs: f64| opts.events as f64 / secs.max(1e-12);
         println!(
             "{n:>3} patterns: index on {:.1} ev/s ({hits_on} pushes) vs off {:.1} ev/s \
@@ -142,11 +155,38 @@ fn main() {
             eps(off_secs),
             off_secs / on_secs.max(1e-12),
         );
+        // Correlated variant: 75% of the patterns open with the same
+        // anchor set, so `--share` folds them into one prefix pool.
+        // Identical answers first, then the clock (index on for both
+        // sides — the axis under test is sharing alone).
+        let ccfg = cfg.clone().with_overlap(0.75).with_anchor_share(0.4);
+        let crel = ses_workload::bank::generate(&ccfg);
+        let cnamed = ses_workload::bank::patterns(&ccfg);
+        let (shared, _) = run_once(&cnamed, &crel, true, true);
+        let (unshared, _) = run_once(&cnamed, &crel, true, false);
+        assert_eq!(
+            shared, unshared,
+            "sharing changed the answer at {n} patterns"
+        );
+        let sh_secs = best_secs(&cnamed, &crel, true, true, opts.iters);
+        let un_secs = best_secs(&cnamed, &crel, true, false, opts.iters);
+        let shared_speedup = un_secs / sh_secs.max(1e-12);
+        println!(
+            "{n:>3} patterns, {} sharing an anchor prefix: shared {:.1} ev/s vs \
+             unshared {:.1} ev/s — ×{shared_speedup:.2}",
+            ccfg.overlapped_patterns(),
+            eps(sh_secs),
+            eps(un_secs),
+        );
         rows.push(format!(
             "    {{ \"patterns\": {n}, \"events\": {}, \"matches\": {},\n      \
              \"index_on\": {{ \"secs\": {:.6}, \"events_per_sec\": {:.1}, \"routed_pushes\": {hits_on} }},\n      \
              \"index_off\": {{ \"secs\": {:.6}, \"events_per_sec\": {:.1}, \"routed_pushes\": {hits_off} }},\n      \
-             \"push_reduction\": {:.3}, \"speedup\": {:.2} }}",
+             \"push_reduction\": {:.3}, \"speedup\": {:.2},\n      \
+             \"correlated\": {{ \"overlap\": {:.2}, \"overlapped_patterns\": {}, \"matches\": {},\n        \
+             \"shared\": {{ \"secs\": {:.6}, \"events_per_sec\": {:.1} }},\n        \
+             \"unshared\": {{ \"secs\": {:.6}, \"events_per_sec\": {:.1} }},\n        \
+             \"shared_speedup\": {shared_speedup:.2} }} }}",
             opts.events,
             with_index.len(),
             on_secs,
@@ -155,11 +195,18 @@ fn main() {
             eps(off_secs),
             1.0 - hits_on as f64 / hits_off as f64,
             off_secs / on_secs.max(1e-12),
+            ccfg.overlap,
+            ccfg.overlapped_patterns(),
+            shared.len(),
+            sh_secs,
+            eps(sh_secs),
+            un_secs,
+            eps(un_secs),
         ));
     }
 
     let json = format!(
-        "{{\n  \"workload\": \"bank (disjoint type pairs, ID-correlated)\",\n  \
+        "{{\n  \"workload\": \"bank (disjoint type pairs, ID-correlated; correlated axis shares one anchor prefix)\",\n  \
          \"events\": {},\n  \"iters\": {},\n  \"sizes\": [\n{}\n  ]\n}}\n",
         opts.events,
         opts.iters,

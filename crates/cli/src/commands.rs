@@ -56,9 +56,11 @@ USAGE:
                     snapshot's watermark, and suppresses matches already
                     durably written to <dir>/matches.log, so emission is
                     exactly-once across a crash)
-  ses-cli bank     --patterns <file-or-dir> --data <file.csv>
-                   [--no-index] [--no-evict] [--limit N] [--stats]
+  ses-cli bank     --patterns <file-or-dir> (--data <file.csv> | --from-log <dir>)
+                   [--share] [--no-index] [--no-evict] [--limit N] [--stats]
                    [--semantics …] [--selection …] [--filter …]
+                   [--checkpoint <dir> [--checkpoint-every N] [--keep K]]
+                   [--recover]
                    (runs many queries over one pass of the stream:
                     --patterns is a directory of query files or a single
                     `;`-separated multi-query file; each event is pushed
@@ -66,9 +68,16 @@ USAGE:
                     constant conditions routes it only to the patterns it
                     could advance — the rest receive a watermark
                     heartbeat. --no-index pushes every event to every
-                    pattern; output is identical either way. --stats adds
-                    a per-pattern routing table, see docs/patternbank.md)
-  ses-cli check    --query <file-or-text>
+                    pattern; output is identical either way. --share
+                    deduplicates provably equivalent patterns and
+                    evaluates shared sequencing prefixes once per routed
+                    event (preview with `check --patterns`); matches are
+                    unchanged. --checkpoint snapshots the whole bank
+                    every N events when replaying --from-log, and
+                    --recover resumes from the newest valid checkpoint
+                    with exactly-once emission. --stats adds a
+                    per-pattern routing table, see docs/patternbank.md)
+  ses-cli check    (--query <file-or-text> | --patterns <file-or-dir>)
                    [--schema \"NAME:TYPE,...\"] [--data <file.csv>]
                    [--format human|json] [--tick hour]
                    (static analysis: unsatisfiable Θ [SES001], redundant
@@ -76,7 +85,12 @@ USAGE:
                     factorial/exponential bounds [SES004], schema
                     mismatches [SES005]; exits non-zero on errors.
                     The schema comes from --schema, a `-- schema: …`
-                    pragma line in the query file, or --data)
+                    pragma line in the query file, or --data.
+                    --patterns lints a whole pattern set instead,
+                    grouped by schema pragma: equivalent patterns
+                    [SES006], subsumed patterns [SES007], and shared
+                    sequencing prefixes [SES008] that `bank --share`
+                    evaluates once — plus the sharing plan per group)
   ses-cli explain  --query <file-or-text> --data <file.csv> [--dot|--trace]
   ses-cli generate --workload chemo|finance|rfid|clickstream --out <file.csv>
                    [--seed N] [--scale F]
@@ -449,6 +463,9 @@ fn strip_pragmas(raw: &str) -> (String, Option<String>) {
 /// when any error-severity diagnostic (SES001 unsatisfiable, SES005
 /// schema mismatch) is found.
 fn cmd_check(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    if args.get("patterns").is_some() {
+        return cmd_check_bank(args, out);
+    }
     let raw = load_query(args.require("query")?)?;
     let (text, pragma) = strip_pragmas(&raw);
 
@@ -572,6 +589,271 @@ fn cmd_check(args: &Args, out: &mut dyn Write) -> Result<(), String> {
             out,
             "{} quer(ies) checked: {errors} error(s), {warnings} warning(s)",
             items.len()
+        )
+        .map_err(io_err)?;
+    }
+    if errors > 0 {
+        return Err(format!("{errors} error-severity diagnostic(s)"));
+    }
+    Ok(())
+}
+
+/// Bank lint: analyzes a *set* of patterns (`--patterns <dir|file>`)
+/// for cross-pattern redundancy, grouped by schema — the `-- schema: …`
+/// pragma in each file, falling back to `--schema`/`--data`. On top of
+/// the per-pattern SES001–SES005 findings it reports:
+///
+/// - `SES006` — a later pattern provably equivalent to an earlier one;
+/// - `SES007` — a pattern subsumed by a more general one;
+/// - `SES008` — membership in a shared-prefix group `bank --share`
+///   evaluates once per routed event.
+///
+/// SES006–008 are warnings/info: the command still exits 0 unless an
+/// error-severity diagnostic (SES001/SES005) is present.
+fn cmd_check_bank(args: &Args, out: &mut dyn Write) -> Result<(), String> {
+    use ses_pattern::{Diagnostic, DiagnosticCode, PatternRelation, ShareConstraint, SharingPlan};
+
+    let spec = args.require("patterns")?;
+    let tick = parse_tick(args)?;
+    let json = match args.get("format").unwrap_or("human") {
+        "human" | "text" => false,
+        "json" => true,
+        other => return Err(format!("--format: unknown format `{other}`")),
+    };
+
+    // Fallback schema for source files without a pragma line.
+    let fallback: Option<(String, ses_event::Schema)> = if let Some(s) = args.get("schema") {
+        Some((s.to_string(), parse_schema_spec(s)?))
+    } else if let Some(data) = args.get("data") {
+        Some((
+            format!("--data {data}"),
+            load_store(data)?.relation().schema().clone(),
+        ))
+    } else {
+        None
+    };
+
+    struct Lint {
+        name: String,
+        pattern: ses_pattern::Pattern,
+        schema_key: String,
+        satisfiable: bool,
+        diags: ses_pattern::Diagnostics,
+    }
+    let mut lints: Vec<Lint> = Vec::new();
+    for (stem, raw) in load_pattern_sources(spec)? {
+        let (_, pragma) = strip_pragmas(&raw);
+        let (schema_key, schema) = match (&pragma, &fallback) {
+            (Some(p), _) => (p.clone(), parse_schema_spec(p)?),
+            (None, Some((k, s))) => (k.clone(), s.clone()),
+            (None, None) => {
+                return Err(format!(
+                    "`{stem}` declares no `-- schema: …` pragma; give --schema or --data \
+                     as a fallback"
+                ))
+            }
+        };
+        let items =
+            ses_query::parse_pattern_file(&raw, tick).map_err(|e| format!("{stem}: {e}"))?;
+        let solo = items.len() == 1;
+        for (i, (name, pattern)) in items.into_iter().enumerate() {
+            let name = name.unwrap_or_else(|| default_pattern_name(&stem, i, solo));
+            let analysis = ses_pattern::analyze(&pattern, &schema);
+            lints.push(Lint {
+                name,
+                pattern,
+                schema_key: schema_key.clone(),
+                satisfiable: analysis.satisfiable,
+                diags: analysis.diagnostics,
+            });
+        }
+    }
+    if lints.is_empty() {
+        return Err("no queries found in --patterns".to_string());
+    }
+
+    // Cross-pattern pass, independently per schema group: patterns over
+    // different schemas can never share an automaton, so relating them
+    // would be meaningless.
+    let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
+    for (i, l) in lints.iter().enumerate() {
+        match groups.iter_mut().find(|(k, _)| *k == l.schema_key) {
+            Some((_, members)) => members.push(i),
+            None => groups.push((l.schema_key.clone(), vec![i])),
+        }
+    }
+
+    let mut pending: Vec<(usize, Diagnostic)> = Vec::new();
+    let mut plans: Vec<(String, usize, SharingPlan)> = Vec::new();
+    for (key, members) in &groups {
+        // SES006/SES007 from the conservative pairwise relation; each
+        // pattern is flagged at most once per code to keep a bank of n
+        // near-duplicates from drowning in O(n²) repeats.
+        let mut equiv_flagged = std::collections::HashSet::new();
+        let mut subsumed_flagged = std::collections::HashSet::new();
+        for (ai, &a) in members.iter().enumerate() {
+            for &b in &members[ai + 1..] {
+                match ses_pattern::relate(&lints[a].pattern, &lints[b].pattern) {
+                    PatternRelation::Equivalent => {
+                        if equiv_flagged.insert(b) {
+                            pending.push((
+                                b,
+                                Diagnostic::new(
+                                    DiagnosticCode::EquivalentPatterns,
+                                    format!(
+                                        "provably equivalent to `{}` (up to variable renaming): \
+                                         one of the two is redundant; `bank --share` deduplicates \
+                                         them into one automaton",
+                                        lints[a].name
+                                    ),
+                                ),
+                            ));
+                        }
+                    }
+                    PatternRelation::SubsumedBy => {
+                        if subsumed_flagged.insert(a) {
+                            pending.push((
+                                a,
+                                Diagnostic::new(
+                                    DiagnosticCode::SubsumedPattern,
+                                    format!(
+                                        "subsumed by `{}`: every candidate match, restricted to \
+                                         the shared variables, is already a candidate match of \
+                                         the more general pattern",
+                                        lints[b].name
+                                    ),
+                                ),
+                            ));
+                        }
+                    }
+                    PatternRelation::Subsumes => {
+                        if subsumed_flagged.insert(b) {
+                            pending.push((
+                                b,
+                                Diagnostic::new(
+                                    DiagnosticCode::SubsumedPattern,
+                                    format!(
+                                        "subsumed by `{}`: every candidate match, restricted to \
+                                         the shared variables, is already a candidate match of \
+                                         the more general pattern",
+                                        lints[a].name
+                                    ),
+                                ),
+                            ));
+                        }
+                    }
+                    PatternRelation::SharedPrefix { .. } | PatternRelation::Unrelated => {}
+                }
+            }
+        }
+
+        // SES008 from the sharing plan `bank --share` would execute
+        // (declaration-order prefixes, τ included) rather than the looser
+        // pairwise relation, so the lint reports exactly what sharing
+        // would do.
+        let group_patterns: Vec<&ses_pattern::Pattern> =
+            members.iter().map(|&i| &lints[i].pattern).collect();
+        let constraints: Vec<ShareConstraint> = members
+            .iter()
+            .map(|&i| ShareConstraint {
+                compat: 0,
+                allow_prefix: lints[i].satisfiable,
+            })
+            .collect();
+        let plan = SharingPlan::compute(&group_patterns, &constraints);
+        for g in &plan.prefix_groups {
+            let first = lints[members[g.members[0]]].name.clone();
+            for (pos, &m) in g.members.iter().enumerate() {
+                if pos == 0 {
+                    continue;
+                }
+                pending.push((
+                    members[m],
+                    Diagnostic::new(
+                        DiagnosticCode::SharedPrefix,
+                        format!(
+                            "shares its first {} event set(s) ({} variable(s)) with `{first}`: \
+                             `bank --share` evaluates the common prefix once per routed event \
+                             ({} patterns in the group)",
+                            g.sets,
+                            g.vars,
+                            g.members.len()
+                        ),
+                    ),
+                ));
+            }
+        }
+        plans.push((key.clone(), members.len(), plan));
+    }
+    for (idx, d) in pending {
+        lints[idx].diags.push(d);
+    }
+
+    let errors: usize = lints
+        .iter()
+        .flat_map(|l| l.diags.iter())
+        .filter(|d| d.severity == ses_pattern::Severity::Error)
+        .count();
+    let warnings: usize = lints
+        .iter()
+        .flat_map(|l| l.diags.iter())
+        .filter(|d| d.severity == ses_pattern::Severity::Warning)
+        .count();
+
+    if json {
+        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        let mut j = String::from("{\"patterns\":[");
+        for (i, l) in lints.iter().enumerate() {
+            if i > 0 {
+                j.push(',');
+            }
+            j.push_str("{\"query\":\"");
+            j.push_str(&esc(&l.name));
+            j.push_str("\",\"schema\":\"");
+            j.push_str(&esc(&l.schema_key));
+            j.push_str("\",\"satisfiable\":");
+            j.push_str(if l.satisfiable { "true" } else { "false" });
+            j.push_str(",\"diagnostics\":");
+            j.push_str(&l.diags.to_json());
+            j.push('}');
+        }
+        j.push_str("],\"groups\":[");
+        for (i, (key, n, plan)) in plans.iter().enumerate() {
+            if i > 0 {
+                j.push(',');
+            }
+            j.push_str("{\"schema\":\"");
+            j.push_str(&esc(key));
+            j.push_str("\",\"patterns\":");
+            j.push_str(&n.to_string());
+            j.push_str(",\"plan\":\"");
+            j.push_str(&esc(&plan.describe()));
+            j.push_str("\"}");
+        }
+        j.push_str("]}");
+        writeln!(out, "{j}").map_err(io_err)?;
+    } else {
+        for l in &lints {
+            if l.diags.is_empty() {
+                writeln!(out, "{}: ok", l.name).map_err(io_err)?;
+            } else {
+                writeln!(out, "{}:", l.name).map_err(io_err)?;
+                for d in l.diags.iter() {
+                    writeln!(out, "  {d}").map_err(io_err)?;
+                }
+            }
+        }
+        for (key, n, plan) in &plans {
+            if *n > 1 {
+                writeln!(out, "schema [{key}]: {n} pattern(s), {}", plan.describe())
+                    .map_err(io_err)?;
+            }
+        }
+        writeln!(
+            out,
+            "{} pattern(s) checked in {} schema group(s): {errors} error(s), {warnings} warning(s)",
+            lints.len(),
+            groups.len()
         )
         .map_err(io_err)?;
     }
@@ -716,10 +998,40 @@ impl Durability {
 
     /// Syncs the sink, then atomically saves a snapshot.
     fn save_now(&mut self, sm: &mut AnyStream, probe: &mut CountingProbe) -> Result<(), String> {
+        self.save_snap(probe, sm.snapshot())
+    }
+
+    /// [`Durability::tick`] for a pattern bank.
+    fn tick_bank(
+        &mut self,
+        bank: &mut ses_core::PatternBank,
+        probe: &mut CountingProbe,
+    ) -> Result<(), String> {
+        self.since += 1;
+        if self.since >= self.every {
+            self.save_bank_now(bank, probe)?;
+        }
+        Ok(())
+    }
+
+    /// [`Durability::save_now`] for a pattern bank.
+    fn save_bank_now(
+        &mut self,
+        bank: &mut ses_core::PatternBank,
+        probe: &mut CountingProbe,
+    ) -> Result<(), String> {
+        self.save_snap(probe, MatcherSnapshot::Bank(bank.snapshot()))
+    }
+
+    fn save_snap(
+        &mut self,
+        probe: &mut CountingProbe,
+        snap: MatcherSnapshot,
+    ) -> Result<(), String> {
         self.since = 0;
         let sw = Stopwatch::start();
         self.sink.sync().map_err(|e| e.to_string())?;
-        let info = self.store.save(&sm.snapshot()).map_err(|e| e.to_string())?;
+        let info = self.store.save(&snap).map_err(|e| e.to_string())?;
         probe.checkpoint_saved(info.bytes, sw.elapsed().as_nanos() as u64);
         Ok(())
     }
@@ -844,12 +1156,20 @@ fn cmd_recover(args: &Args, out: &mut dyn Write) -> Result<(), String> {
                     ShardedStreamMatcher::restore(&pattern, &schema, options, s)
                         .map_err(|e| e.to_string())?,
                 ),
-                MatcherSnapshot::Bank(_) => {
-                    return Err(
-                        "the checkpoint holds a pattern-bank snapshot; `recover` resumes \
-                         single-query streams only"
-                            .to_string(),
-                    )
+                MatcherSnapshot::Bank(b) => {
+                    let mut names: Vec<&str> =
+                        b.patterns.iter().take(3).map(|p| p.name.as_str()).collect();
+                    if b.patterns.len() > 3 {
+                        names.push("…");
+                    }
+                    return Err(format!(
+                        "checkpoint seq {} holds a pattern-bank snapshot ({} pattern(s): {}), \
+                         not a single-query stream; resume it with \
+                         `ses-cli bank --patterns … --from-log {log_dir} --checkpoint … --recover`",
+                        l.info.seq,
+                        b.patterns.len(),
+                        names.join(", "),
+                    ));
                 }
             };
             let replay = match l.snapshot.replay_from() {
@@ -899,17 +1219,11 @@ fn cmd_recover(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     )
 }
 
-/// Loads `--patterns` as named patterns: a directory of query files
-/// (each optionally `;`-separated with `name:` prefixes) read in
-/// file-name order, or a single multi-query file / inline text.
-fn load_bank_patterns(args: &Args) -> Result<Vec<(String, ses_pattern::Pattern)>, String> {
-    let spec = args
-        .get("patterns")
-        .or_else(|| args.get("query"))
-        .ok_or("--patterns is required (a query file or a directory of query files)".to_string())?;
-    let tick = parse_tick(args)?;
-    // (source name, text) pairs; the source name seeds default pattern
-    // names so a directory of anonymous single-query files stays legible.
+/// Loads a `--patterns` spec as `(source name, text)` pairs: a directory
+/// of query files read in file-name order, or a single multi-query file /
+/// inline text. The source name seeds default pattern names so a
+/// directory of anonymous single-query files stays legible.
+fn load_pattern_sources(spec: &str) -> Result<Vec<(String, String)>, String> {
     let mut sources: Vec<(String, String)> = Vec::new();
     let path = std::path::Path::new(spec);
     if path.is_dir() {
@@ -934,19 +1248,35 @@ fn load_bank_patterns(args: &Args) -> Result<Vec<(String, ses_pattern::Pattern)>
     } else {
         sources.push(("query".into(), load_query(spec)?));
     }
+    Ok(sources)
+}
+
+/// Default name for the `i`-th pattern of a source file that declared no
+/// `name:` prefix.
+fn default_pattern_name(stem: &str, i: usize, solo: bool) -> String {
+    if solo {
+        stem.to_string()
+    } else {
+        format!("{stem}-{}", i + 1)
+    }
+}
+
+/// Loads `--patterns` as named patterns: a directory of query files
+/// (each optionally `;`-separated with `name:` prefixes) read in
+/// file-name order, or a single multi-query file / inline text.
+fn load_bank_patterns(args: &Args) -> Result<Vec<(String, ses_pattern::Pattern)>, String> {
+    let spec = args
+        .get("patterns")
+        .or_else(|| args.get("query"))
+        .ok_or("--patterns is required (a query file or a directory of query files)".to_string())?;
+    let tick = parse_tick(args)?;
     let mut patterns = Vec::new();
-    for (stem, text) in sources {
+    for (stem, text) in load_pattern_sources(spec)? {
         let items =
             ses_query::parse_pattern_file(&text, tick).map_err(|e| format!("{stem}: {e}"))?;
         let solo = items.len() == 1;
         for (i, (name, p)) in items.into_iter().enumerate() {
-            let name = name.unwrap_or_else(|| {
-                if solo {
-                    stem.clone()
-                } else {
-                    format!("{stem}-{}", i + 1)
-                }
-            });
+            let name = name.unwrap_or_else(|| default_pattern_name(&stem, i, solo));
             patterns.push((name, p));
         }
     }
@@ -964,44 +1294,151 @@ fn index_class_name(class: ses_pattern::IndexClass) -> &'static str {
 
 /// Evaluates many queries in one streaming pass over the data: each
 /// event is pushed once and the predicate index routes it only to the
-/// patterns it could advance (see `docs/patternbank.md`).
+/// patterns it could advance (see `docs/patternbank.md`). `--share`
+/// additionally deduplicates equivalent patterns and evaluates shared
+/// sequencing prefixes once (run `check --patterns` to preview the
+/// plan). With `--from-log` + `--checkpoint` the bank state is
+/// snapshotted at the configured cadence, and `--recover` resumes from
+/// the newest valid checkpoint with exactly-once emission.
 fn cmd_bank(args: &Args, out: &mut dyn Write) -> Result<(), String> {
-    let store = load_store(args.require("data")?)?;
+    let relation = load_stream_source(args)?;
     let patterns = load_bank_patterns(args)?;
-    let schema = store.relation().schema().clone();
+    let schema = relation.schema().clone();
     let options = MatcherOptions {
         // The bank runs one stream matcher per pattern; sharding is the
         // single-query `stream` path's concern.
         partition: PartitionMode::Off,
         ..matcher_options(args, &schema)?
     };
-    let mut builder = ses_core::PatternBank::builder(&schema)
-        .with_eviction(!args.has_flag("no-evict"))
-        .with_index(!args.has_flag("no-index"));
-    for (name, p) in &patterns {
-        builder = builder
-            .register(name.clone(), p, options.clone())
-            .map_err(|e| format!("{name}: {e}"))?;
-    }
-    let mut bank = builder.build();
+    let evict = !args.has_flag("no-evict");
+    let mut dur = Durability::from_args(args)?;
+
+    let build_fresh = || -> Result<ses_core::PatternBank, String> {
+        let mut builder = ses_core::PatternBank::builder(&schema)
+            .with_eviction(evict)
+            .with_index(!args.has_flag("no-index"))
+            .with_sharing(args.has_flag("share"));
+        for (name, p) in &patterns {
+            builder = builder
+                .register(name.clone(), p, options.clone())
+                .map_err(|e| format!("{name}: {e}"))?;
+        }
+        Ok(builder.build())
+    };
+
+    // `--recover`: restore the newest valid bank checkpoint and replay
+    // the log suffix, suppressing matches already durably emitted —
+    // the bank counterpart of `ses-cli recover`.
+    let (mut bank, skip, mut suppress, start_total) = if args.has_flag("recover") {
+        let Some(d) = dur.as_mut() else {
+            return Err("--recover requires --checkpoint and --from-log".to_string());
+        };
+        match d.store.load_latest().map_err(|e| e.to_string())? {
+            Some(l) => {
+                if l.skipped > 0 {
+                    writeln!(
+                        out,
+                        "note: skipped {} corrupt checkpoint(s); falling back to seq {}",
+                        l.skipped, l.info.seq
+                    )
+                    .map_err(io_err)?;
+                }
+                let snap = match &l.snapshot {
+                    MatcherSnapshot::Bank(b) => b,
+                    other => {
+                        let kind = match other {
+                            MatcherSnapshot::Stream(_) => "single-query stream",
+                            MatcherSnapshot::Sharded(_) => "sharded stream",
+                            MatcherSnapshot::Bank(_) => unreachable!(),
+                        };
+                        return Err(format!(
+                            "checkpoint seq {} holds a {kind} snapshot, not a pattern bank; \
+                             resume it with `ses-cli recover`",
+                            l.info.seq
+                        ));
+                    }
+                };
+                let specs: Vec<(String, ses_pattern::Pattern, MatcherOptions)> = patterns
+                    .iter()
+                    .map(|(n, p)| (n.clone(), p.clone(), options.clone()))
+                    .collect();
+                let bank = ses_core::PatternBank::restore(&specs, &schema, snap)
+                    .map_err(|e| e.to_string())?;
+                // The bank consumes the log in one total order, so the
+                // replay point is simply the consumed-event count.
+                let skip = bank.consumed_events();
+                let suppress = d.sink.lines().saturating_sub(l.snapshot.emitted());
+                let start_total = d.sink.lines() as usize;
+                writeln!(
+                    out,
+                    "recovering: replaying {} event(s), suppressing {suppress} \
+                     already-emitted match(es)",
+                    relation.len().saturating_sub(skip)
+                )
+                .map_err(io_err)?;
+                (bank, skip, suppress, start_total)
+            }
+            None => {
+                writeln!(
+                    out,
+                    "note: no valid checkpoint; cold-starting from the beginning of the log"
+                )
+                .map_err(io_err)?;
+                (build_fresh()?, 0, 0, 0)
+            }
+        }
+    } else {
+        (build_fresh()?, 0, 0, 0)
+    };
+
     let index_on = bank.index_enabled();
+    let sharing = bank.sharing_active();
+    let plan_summary = bank.sharing_plan().describe();
     let limit: usize = args.get_parsed("limit", usize::MAX)?;
     let sw = Stopwatch::start();
     let mut probe = CountingProbe::new();
-    let mut total = 0usize;
+    let mut total = start_total;
 
-    for (_, e) in store.relation().iter() {
+    let mut emit = |name: &str,
+                    pattern: &ses_pattern::Pattern,
+                    m: &ses_core::Match,
+                    at: &str,
+                    total: &mut usize,
+                    dur: &mut Option<Durability>,
+                    out: &mut dyn Write|
+     -> Result<(), String> {
+        if suppress > 0 {
+            suppress -= 1;
+            return Ok(());
+        }
+        *total += 1;
+        let line = format!("{name}: {}", m.display_with(pattern));
+        if let Some(d) = dur.as_mut() {
+            d.record(&line)?;
+        }
+        if *total - start_total <= limit {
+            writeln!(out, "[{at}] {line}").map_err(io_err)?;
+        }
+        Ok(())
+    };
+
+    for (_, e) in relation.iter().skip(skip) {
         let emitted = bank
             .push_with_probe(e.ts(), e.values().to_vec(), &mut probe)
             .map_err(|x| x.to_string())?;
+        let at = format!("t={}", e.ts());
         for (i, m) in emitted {
-            total += 1;
-            if total <= limit {
-                let (name, pattern) = &patterns[i];
-                writeln!(out, "[t={}] {name}: {}", e.ts(), m.display_with(pattern))
-                    .map_err(io_err)?;
-            }
+            let (name, pattern) = &patterns[i];
+            emit(name, pattern, &m, &at, &mut total, &mut dur, out)?;
         }
+        if let Some(d) = dur.as_mut() {
+            d.tick_bank(&mut bank, &mut probe)?;
+        }
+    }
+    // Final checkpoint before `finish` consumes the bank: a crash
+    // during/after the flush replays only the flush itself.
+    if let Some(d) = dur.as_mut() {
+        d.save_bank_now(&mut bank, &mut probe)?;
     }
     // `finish` consumes the bank; take the report first and fold the
     // flush's matches into the per-pattern emission counts by hand.
@@ -1009,23 +1446,25 @@ fn cmd_bank(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     let consumed = bank.consumed_events();
     let mut emitted_by: Vec<usize> = stats.iter().map(|s| s.emitted).collect();
     for (i, m) in bank.finish() {
-        total += 1;
+        let (name, pattern) = &patterns[i];
         emitted_by[i] += 1;
-        if total <= limit {
-            let (name, pattern) = &patterns[i];
-            writeln!(out, "[finish] {name}: {}", m.display_with(pattern)).map_err(io_err)?;
-        }
+        emit(name, pattern, &m, "finish", &mut total, &mut dur, out)?;
+    }
+    if let Some(d) = dur.as_mut() {
+        d.sink.sync().map_err(|e| e.to_string())?;
     }
     let elapsed = sw.elapsed_secs();
-    if total > limit {
-        writeln!(out, "… {} more matches (raise --limit)", total - limit).map_err(io_err)?;
+    let printed = total - start_total;
+    if printed > limit {
+        writeln!(out, "… {} more matches (raise --limit)", printed - limit).map_err(io_err)?;
     }
     writeln!(
         out,
         "{total} match(es) from {} pattern(s) over {consumed} event(s) in {elapsed:.3}s \
-         (index {})",
+         (index {}, sharing {})",
         patterns.len(),
-        if index_on { "on" } else { "off" }
+        if index_on { "on" } else { "off" },
+        if sharing { "on" } else { "off" }
     )
     .map_err(io_err)?;
 
@@ -1055,12 +1494,20 @@ fn cmd_bank(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         write!(out, "\n{t}").map_err(io_err)?;
         let mut totals = Table::new(["metric", "value"]);
         totals.row(["index", if index_on { "on" } else { "off" }]);
+        totals.row(["sharing", if sharing { "on" } else { "off" }]);
+        if sharing {
+            totals.row(["sharing plan", &plan_summary]);
+        }
         totals.row(["routed pushes", &probe.index_hits.to_string()]);
         totals.row(["skipped (heartbeat)", &probe.index_skips.to_string()]);
         totals.row([
             "pushes without index".to_string(),
             (consumed * patterns.len()).to_string(),
         ]);
+        if probe.checkpoints > 0 {
+            totals.row(["checkpoints saved", &probe.checkpoints.to_string()]);
+            totals.row(["checkpoint bytes", &probe.checkpoint_bytes.to_string()]);
+        }
         write!(out, "\n{totals}").map_err(io_err)?;
     }
     Ok(())
@@ -1454,7 +1901,10 @@ mod tests {
         // Names default to the file stems, in file-name order.
         assert!(with_index.contains("] cd:"), "{with_index}");
         assert!(with_index.contains("] protocol:"), "{with_index}");
-        assert!(with_index.contains("(index on)"), "{with_index}");
+        assert!(
+            with_index.contains("(index on, sharing off)"),
+            "{with_index}"
+        );
         assert!(with_index.contains("routed pushes"), "{with_index}");
 
         // Index off: identical match lines, every push routed.
@@ -1469,7 +1919,7 @@ mod tests {
         ]);
         assert_eq!(code, 0, "{no_index}");
         assert_eq!(match_lines(&with_index), match_lines(&no_index));
-        assert!(no_index.contains("(index off)"), "{no_index}");
+        assert!(no_index.contains("(index off, sharing off)"), "{no_index}");
 
         std::fs::remove_dir_all(&dir).ok();
         std::fs::remove_file(&data).ok();
@@ -1507,6 +1957,236 @@ mod tests {
         assert!(out.contains("--patterns is required"), "{out}");
         std::fs::remove_file(&file).ok();
         std::fs::remove_file(&data).ok();
+    }
+
+    /// A pattern directory whose files carry schema pragmas and exercise
+    /// every cross-pattern lint: `dup` is `base` with renamed variables
+    /// (SES006), `strict` adds a tightening condition (SES007), and
+    /// `follow` shares `base`'s leading event set (SES008).
+    fn lint_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ses-cli-lint-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        const PRAGMA: &str = "-- schema: ID:int,L:str,V:float,U:str\n";
+        std::fs::write(
+            dir.join("a_base.ses"),
+            format!(
+                "{PRAGMA}base: PATTERN c THEN b WHERE c.L = 'C' AND b.L = 'B' WITHIN 48 HOURS;"
+            ),
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("b_dup.ses"),
+            format!("{PRAGMA}dup: PATTERN x THEN y WHERE x.L = 'C' AND y.L = 'B' WITHIN 48 HOURS;"),
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("c_strict.ses"),
+            format!(
+                "{PRAGMA}strict: PATTERN c THEN b \
+                 WHERE c.L = 'C' AND b.L = 'B' AND c.V > 10 WITHIN 48 HOURS;"
+            ),
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("d_follow.ses"),
+            format!(
+                "{PRAGMA}follow: PATTERN c THEN d WHERE c.L = 'C' AND d.L = 'D' WITHIN 48 HOURS;"
+            ),
+        )
+        .unwrap();
+        dir
+    }
+
+    #[test]
+    fn check_patterns_lints_cross_pattern_redundancy() {
+        let dir = lint_dir("human");
+        let dir_s = dir.to_string_lossy().into_owned();
+
+        let (code, out) = run(&["check", "--patterns", &dir_s]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("SES006"), "{out}");
+        assert!(out.contains("equivalent to `base`"), "{out}");
+        assert!(out.contains("SES007"), "{out}");
+        assert!(out.contains("subsumed by `base`"), "{out}");
+        assert!(out.contains("SES008"), "{out}");
+        assert!(out.contains("prefix group"), "{out}");
+
+        let (code, json) = run(&["check", "--patterns", &dir_s, "--format", "json"]);
+        assert_eq!(code, 0, "{json}");
+        for code in ["SES006", "SES007", "SES008"] {
+            assert!(json.contains(&format!("\"code\":\"{code}\"")), "{json}");
+        }
+        assert!(json.contains("\"plan\":"), "{json}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn check_patterns_groups_by_schema_pragma() {
+        let dir = lint_dir("schema");
+        // Same query text as `follow` but under a different schema: no
+        // cross-schema SES008 may appear for it.
+        std::fs::write(
+            dir.join("e_other.ses"),
+            "-- schema: ID:int,L:str\nother: PATTERN c THEN d \
+             WHERE c.L = 'C' AND d.L = 'D' WITHIN 48 HOURS;",
+        )
+        .unwrap();
+        let dir_s = dir.to_string_lossy().into_owned();
+        let (code, out) = run(&["check", "--patterns", &dir_s]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("2 schema group(s)"), "{out}");
+        assert!(out.contains("other: ok"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bank_share_is_push_identical() {
+        let data = figure1_csv();
+        let dir = std::env::temp_dir().join(format!(
+            "ses-cli-share-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("cb.ses"),
+            "cb: PATTERN c THEN b WHERE c.L = 'C' AND b.L = 'B' WITHIN 264 HOURS;",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("cd.ses"),
+            "cd: PATTERN c THEN d WHERE c.L = 'C' AND d.L = 'D' WITHIN 264 HOURS;",
+        )
+        .unwrap();
+        let dir_s = dir.to_string_lossy().into_owned();
+
+        let (code, plain) = run(&["bank", "--patterns", &dir_s, "--data", &data]);
+        assert_eq!(code, 0, "{plain}");
+        let (code, shared) = run(&[
+            "bank",
+            "--patterns",
+            &dir_s,
+            "--data",
+            &data,
+            "--share",
+            "--stats",
+        ]);
+        assert_eq!(code, 0, "{shared}");
+        assert_eq!(match_lines(&plain), match_lines(&shared));
+        assert!(shared.contains("sharing on"), "{shared}");
+        assert!(shared.contains("prefix group"), "{shared}");
+
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn bank_checkpoints_and_recovers_exactly_once() {
+        let (log_dir, ckpt_dir) = durability_dirs("bank");
+        let qdir = std::env::temp_dir().join(format!(
+            "ses-cli-bankrec-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&qdir).ok();
+        std::fs::create_dir_all(&qdir).unwrap();
+        std::fs::write(
+            qdir.join("cb.ses"),
+            "cb: PATTERN c THEN b WHERE c.L = 'C' AND b.L = 'B' WITHIN 264 HOURS;",
+        )
+        .unwrap();
+        std::fs::write(
+            qdir.join("cd.ses"),
+            "cd: PATTERN c THEN d WHERE c.L = 'C' AND d.L = 'D' WITHIN 264 HOURS;",
+        )
+        .unwrap();
+        let qdir_s = qdir.to_string_lossy().into_owned();
+
+        let (code, first) = run(&[
+            "bank",
+            "--patterns",
+            &qdir_s,
+            "--from-log",
+            &log_dir,
+            "--checkpoint",
+            &ckpt_dir,
+            "--checkpoint-every",
+            "5",
+            "--share",
+        ]);
+        assert_eq!(code, 0, "{first}");
+        let durable = sink_lines(&ckpt_dir);
+        assert_eq!(durable.len(), match_lines(&first).len(), "{first}");
+
+        // Re-running with --recover resumes from the final checkpoint:
+        // everything durably emitted is suppressed, nothing re-emits.
+        let (code, again) = run(&[
+            "bank",
+            "--patterns",
+            &qdir_s,
+            "--from-log",
+            &log_dir,
+            "--checkpoint",
+            &ckpt_dir,
+            "--share",
+            "--recover",
+        ]);
+        assert_eq!(code, 0, "{again}");
+        assert!(again.contains("recovering:"), "{again}");
+        assert!(match_lines(&again).is_empty(), "{again}");
+        assert_eq!(sink_lines(&ckpt_dir), durable);
+
+        // `recover` refuses the bank checkpoint, naming what it found and
+        // where to take it.
+        let (code, refusal) = run(&[
+            "recover",
+            "--query",
+            Q1,
+            "--from-log",
+            &log_dir,
+            "--checkpoint",
+            &ckpt_dir,
+        ]);
+        assert_eq!(code, 1, "{refusal}");
+        assert!(refusal.contains("pattern-bank snapshot"), "{refusal}");
+        assert!(refusal.contains("2 pattern(s): cb, cd"), "{refusal}");
+        assert!(refusal.contains("bank --patterns"), "{refusal}");
+
+        // And the mirror image: `bank --recover` refuses a single-query
+        // stream checkpoint.
+        let (_, ckpt2) = durability_dirs("bankrec2");
+        let (code, out) = run(&[
+            "stream",
+            "--query",
+            Q1,
+            "--from-log",
+            &log_dir,
+            "--checkpoint",
+            &ckpt2,
+        ]);
+        assert_eq!(code, 0, "{out}");
+        let (code, out) = run(&[
+            "bank",
+            "--patterns",
+            &qdir_s,
+            "--from-log",
+            &log_dir,
+            "--checkpoint",
+            &ckpt2,
+            "--recover",
+        ]);
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("single-query stream"), "{out}");
+        assert!(out.contains("`ses-cli recover`"), "{out}");
+
+        std::fs::remove_dir_all(&qdir).ok();
     }
 
     /// Imports the Figure 1 workload into a fresh event-log directory and

@@ -25,6 +25,40 @@
 //! precisely what `tests/bank_vs_independent.rs` proves differentially.
 //! The full argument lives in `docs/patternbank.md`.
 //!
+//! # Structural sharing
+//!
+//! With [`PatternBankBuilder::with_sharing`] the bank additionally runs
+//! a cross-pattern static analysis ([`ses_pattern::SharingPlan`]) over
+//! the compiled patterns and shares execution structure two ways:
+//!
+//! * **Deduplication** — a pattern whose declaration-order evaluation
+//!   form and execution options are identical to an earlier one runs no
+//!   automaton at all; it re-emits its leader's matches (already in
+//!   global event ids) push-for-push. Identical evaluation form means
+//!   identical pushes produce identical emissions, so the re-emitted
+//!   stream *is* the member's own answer.
+//! * **Shared prefixes** — patterns agreeing on their leading event
+//!   sets (same sets, same conditions over those sets' variables, same
+//!   window τ) evaluate the common prefix **once**: a *pool* matcher
+//!   built from the group leader's automaton simulates the prefix for
+//!   the whole group, and after every push the instances that arrived
+//!   at the prefix-boundary state are harvested and injected into each
+//!   member (which runs with start-state spawning suppressed, see
+//!   [`crate::ExecOptions::spawn_start`]). A prefix group advances in
+//!   lockstep — an event admitted to *any* member is pushed to the pool
+//!   and to *every* member — so pool-local and member-local event ids
+//!   coincide and harvested buffers transfer verbatim.
+//!
+//! Sharing never changes output: `tests/bank_vs_independent.rs` runs
+//! the same differential with sharing on, and the soundness argument
+//! (prefix states only evaluate shared conditions; the boundary is
+//! harvested before the pool could evolve it with *its* suffix; the
+//! engine emits only on expiry or flush, never on reaching the accept
+//! state) lives in `docs/patternbank.md` next to the index argument.
+//! Per-pattern *statistics* may differ under sharing (a prefix member's
+//! hits include lockstep pushes; a dedup member reports its leader's
+//! matcher counters).
+//!
 //! # Event ids
 //!
 //! Matches are reported in **global** event ids (arrival order across
@@ -33,33 +67,65 @@
 //! sharded matcher uses.
 
 use ses_event::{Event, EventError, EventId, Schema, Timestamp, Value};
-use ses_pattern::{IndexClass, Pattern, PatternIndex};
+use ses_pattern::{IndexClass, Pattern, PatternIndex, ShareConstraint, ShareRole, SharingPlan};
 
+use crate::buffer::Buffer;
 use crate::error::CoreError;
 use crate::matcher::MatcherOptions;
 use crate::matches::Match;
 use crate::probe::{NoProbe, Probe};
-use crate::snapshot::{BankPatternSnapshot, BankSnapshot};
+use crate::snapshot::{options_compat, BankPatternSnapshot, BankRole, BankSnapshot};
+use crate::state::{StateId, StateSet};
 use crate::stream::StreamMatcher;
 
-/// One registered pattern: its stream matcher plus the map from its
+/// How a registered pattern executes.
+#[derive(Debug)]
+enum Exec {
+    /// Runs its own stream matcher (boxed: the matcher dwarfs the
+    /// dedup variant).
+    Own(Box<StreamMatcher>),
+    /// Evaluation-identical to the pattern at `leader`; runs nothing
+    /// and re-emits the leader's matches.
+    Dedup { leader: usize },
+}
+
+/// One registered pattern: its execution mode plus the map from its
 /// local event ids back to global ones, and the routing counters.
 #[derive(Debug)]
 struct Entry {
     name: String,
-    sm: StreamMatcher,
+    exec: Exec,
     /// Global ids of the events admitted to this pattern, indexed by
-    /// `local - base`.
+    /// `local - base`. Empty for a dedup member.
     ids: Vec<EventId>,
     /// The pattern relation's first retained local index; `ids` is
     /// pruned to it whenever the matcher evicts.
     base: usize,
-    /// Peak `|Ω|` observed on this pattern.
+    /// Peak `|Ω|` observed on this pattern (including injected forks).
     peak_omega: usize,
-    /// Events routed into the matcher.
+    /// Events routed into the matcher (for a dedup member: events the
+    /// index admitted to it).
     hits: u64,
     /// Events skipped (heartbeat only).
     skips: u64,
+}
+
+/// A shared-prefix pool: one matcher simulating the common prefix for a
+/// whole group, plus where to harvest and where to inject.
+#[derive(Debug)]
+struct Pool {
+    /// A clone of the group leader's automaton, spawning normally. Its
+    /// instances never pass the prefix boundary (harvested first) and
+    /// it never emits (strict-prefix states are never accepting).
+    sm: StreamMatcher,
+    /// The boundary state (all prefix variables bound) in the pool's
+    /// automaton.
+    boundary: StateId,
+    /// Participating pattern indices (including the leader).
+    members: Vec<usize>,
+    /// The boundary state in each member's automaton, aligned with
+    /// `members`.
+    member_boundary: Vec<StateId>,
 }
 
 /// Rewrites a pattern-local match into global event ids.
@@ -73,13 +139,89 @@ fn remap(ids: &[EventId], base: usize, m: &Match) -> Match {
 }
 
 impl Entry {
-    fn note_peak(&mut self) {
-        self.peak_omega = self.peak_omega.max(self.sm.active_instances());
+    /// `Some(leader)` iff this pattern is deduplicated into another.
+    fn leader(&self) -> Option<usize> {
+        match self.exec {
+            Exec::Dedup { leader } => Some(leader),
+            Exec::Own(_) => None,
+        }
+    }
+
+    /// The entry's own matcher, if it runs one.
+    fn own(&self) -> Option<&StreamMatcher> {
+        match &self.exec {
+            Exec::Own(sm) => Some(sm),
+            Exec::Dedup { .. } => None,
+        }
+    }
+
+    /// Pushes the event into this entry's own matcher, remapping the
+    /// finalized matches to global ids.
+    fn push_own<P: Probe>(
+        &mut self,
+        ts: Timestamp,
+        values: Vec<Value>,
+        global: usize,
+        probe: &mut P,
+    ) -> Result<Vec<Match>, EventError> {
+        self.ids.push(EventId::from(global));
+        let Exec::Own(sm) = &mut self.exec else {
+            unreachable!("push_own on a dedup member");
+        };
+        let emitted = sm.push_with_probe(ts, values, probe)?;
+        self.hits += 1;
+        self.peak_omega = self.peak_omega.max(sm.active_instances());
+        let out = emitted
+            .iter()
+            .map(|m| remap(&self.ids, self.base, m))
+            .collect();
+        self.prune();
+        Ok(out)
+    }
+
+    /// Pushes an event the bank's index proved cannot bind here —
+    /// storing it so local event ids stay aligned with the entry's
+    /// prefix pool, advancing time, but never running the engine.
+    /// Remaps whatever that finalizes to global ids.
+    fn skip_own<P: Probe>(
+        &mut self,
+        ts: Timestamp,
+        values: Vec<Value>,
+        global: usize,
+        probe: &mut P,
+    ) -> Result<Vec<Match>, EventError> {
+        self.ids.push(EventId::from(global));
+        let Exec::Own(sm) = &mut self.exec else {
+            unreachable!("skip_own on a dedup member");
+        };
+        let emitted = sm.skip_event_with_probe(ts, values, probe)?;
+        let out = emitted
+            .iter()
+            .map(|m| remap(&self.ids, self.base, m))
+            .collect();
+        self.prune();
+        Ok(out)
+    }
+
+    /// Heartbeats this entry's own matcher, remapping whatever that
+    /// finalizes. Does not touch the hit/skip counters.
+    fn beat_own<P: Probe>(&mut self, ts: Timestamp, probe: &mut P) -> Vec<Match> {
+        let Exec::Own(sm) = &mut self.exec else {
+            unreachable!("beat_own on a dedup member");
+        };
+        let beat = sm.advance_watermark_with_probe(ts, probe);
+        let out = beat
+            .iter()
+            .map(|m| remap(&self.ids, self.base, m))
+            .collect();
+        self.prune();
+        out
     }
 
     /// Drops id-map entries for events the matcher has evicted.
     fn prune(&mut self) {
-        let first = self.sm.relation().first_index();
+        let Exec::Own(sm) = &self.exec else { return };
+        let first = sm.relation().first_index();
         if first > self.base {
             self.ids.drain(..first - self.base);
             self.base = first;
@@ -88,16 +230,21 @@ impl Entry {
 }
 
 /// Point-in-time routing and matching statistics for one registered
-/// pattern — the rows `ses-cli bank --stats` prints.
+/// pattern — the rows `ses-cli bank --stats` prints. A dedup member
+/// reports its leader's matcher counters (they share one matcher) with
+/// its own hit/skip routing counts.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PatternStats {
     /// The name the pattern was registered under.
     pub name: String,
     /// How the predicate index routes events to this pattern.
     pub class: IndexClass,
-    /// Events pushed into the pattern's matcher.
+    /// Events pushed into the pattern's matcher by its own index
+    /// admission.
     pub hits: u64,
-    /// Events skipped (watermark heartbeat only).
+    /// Events skipped: watermark heartbeat only, or — for prefix
+    /// members — an alignment push a sibling's admission forced, which
+    /// stores the event without running this pattern's engine.
     pub skips: u64,
     /// Matches finalized by pushes so far.
     pub emitted: usize,
@@ -111,13 +258,137 @@ pub struct PatternStats {
     pub evicted_events: usize,
 }
 
+/// Computes the sharing plan for a set of built matchers: the pattern
+/// the engine actually evaluates (after analyzer rewrites), constrained
+/// by options compatibility and compile-time satisfiability.
+fn compute_plan(matchers: &[(String, StreamMatcher)]) -> SharingPlan {
+    let patterns: Vec<&Pattern> = matchers
+        .iter()
+        .map(|(_, sm)| sm.compiled().pattern())
+        .collect();
+    let constraints: Vec<ShareConstraint> = matchers
+        .iter()
+        .map(|(_, sm)| ShareConstraint {
+            compat: options_compat(sm.options()),
+            // The stream matcher short-circuits unsatisfiable patterns
+            // (no engine runs), so they must not anchor a prefix pool.
+            allow_prefix: sm.compiled().is_satisfiable(),
+        })
+        .collect();
+    SharingPlan::compute(&patterns, &constraints)
+}
+
+/// The per-pattern roles a snapshot records, derived from a plan.
+fn derive_roles(plan: &SharingPlan, n: usize) -> Vec<BankRole> {
+    (0..n)
+        .map(|i| match plan.roles[i] {
+            ShareRole::DedupMember { leader } => BankRole::DedupMember {
+                leader: leader as u32,
+            },
+            _ => match plan.prefix_group_of(i) {
+                Some(g) => BankRole::PrefixMember { pool: g as u32 },
+                None => BankRole::Plain,
+            },
+        })
+        .collect()
+}
+
+/// Builds the predicate index. A dedup member is indexed by its
+/// *leader's* compiled pattern — the one whose emissions it re-emits —
+/// so its routing statistics describe the automaton answering for it.
+fn build_index(matchers: &[(String, StreamMatcher)], plan: &SharingPlan) -> PatternIndex {
+    PatternIndex::build((0..matchers.len()).map(|i| {
+        let src = match plan.roles[i] {
+            ShareRole::DedupMember { leader } => leader,
+            _ => i,
+        };
+        matchers[src].1.compiled()
+    }))
+}
+
+/// Turns built matchers plus a plan into runtime entries and pools:
+/// dedup members drop their matcher, prefix members stop spawning, and
+/// each prefix group gets a pool cloned from its leader's automaton.
+fn assemble(
+    matchers: Vec<(String, StreamMatcher)>,
+    plan: &SharingPlan,
+    evict: bool,
+) -> (Vec<Entry>, Vec<Pool>) {
+    let mut sms: Vec<(String, Option<StreamMatcher>)> = matchers
+        .into_iter()
+        .map(|(name, sm)| (name, Some(sm)))
+        .collect();
+    let mut pools = Vec::with_capacity(plan.prefix_groups.len());
+    for group in &plan.prefix_groups {
+        // Shared leading variables are `VarId`s 0..vars in every member
+        // (declaration order), so the boundary state — all prefix
+        // variables bound — is the same bitset everywhere.
+        debug_assert!(group.vars < 64, "a proper prefix leaves a suffix variable");
+        let boundary_set = StateSet::from_bits((1u64 << group.vars) - 1);
+        let leader = sms[group.leader]
+            .1
+            .as_ref()
+            .expect("prefix leader runs its own automaton");
+        let sm =
+            StreamMatcher::from_automaton(leader.automaton().clone(), leader.options().clone())
+                .with_eviction(evict);
+        let boundary = sm
+            .automaton()
+            .state_for(boundary_set)
+            .expect("prefix boundary is a state of the leader's automaton");
+        let member_boundary = group
+            .members
+            .iter()
+            .map(|&m| {
+                sms[m]
+                    .1
+                    .as_ref()
+                    .expect("prefix members run their own automata")
+                    .automaton()
+                    .state_for(boundary_set)
+                    .expect("prefix boundary is a state of every member's automaton")
+            })
+            .collect();
+        for &m in &group.members {
+            sms[m].1.as_mut().unwrap().set_spawn(false);
+        }
+        pools.push(Pool {
+            sm,
+            boundary,
+            members: group.members.clone(),
+            member_boundary,
+        });
+    }
+    let entries = sms
+        .into_iter()
+        .zip(&plan.roles)
+        .map(|((name, sm), role)| {
+            let exec = match role {
+                ShareRole::DedupMember { leader } => Exec::Dedup { leader: *leader },
+                _ => Exec::Own(Box::new(sm.expect("non-dedup patterns keep their matcher"))),
+            };
+            Entry {
+                name,
+                exec,
+                ids: Vec::new(),
+                base: 0,
+                peak_omega: 0,
+                hits: 0,
+                skips: 0,
+            }
+        })
+        .collect();
+    (entries, pools)
+}
+
 /// Builder for a [`PatternBank`]; see [`PatternBank::builder`].
 #[derive(Debug)]
 pub struct PatternBankBuilder {
     schema: Schema,
-    entries: Vec<Entry>,
+    entries: Vec<(String, StreamMatcher)>,
     evict: bool,
     use_index: bool,
+    share: bool,
 }
 
 impl PatternBankBuilder {
@@ -131,15 +402,7 @@ impl PatternBankBuilder {
         options: MatcherOptions,
     ) -> Result<PatternBankBuilder, CoreError> {
         let sm = StreamMatcher::with_options(pattern, &self.schema, options)?;
-        self.entries.push(Entry {
-            name: name.into(),
-            sm,
-            ids: Vec::new(),
-            base: 0,
-            peak_omega: 0,
-            hits: 0,
-            skips: 0,
-        });
+        self.entries.push((name.into(), sm));
         Ok(self)
     }
 
@@ -159,21 +422,36 @@ impl PatternBankBuilder {
         self
     }
 
-    /// Builds the bank, constructing the predicate index from the
-    /// compiled patterns exactly as the matchers will run them (after
-    /// any analyzer rewrites).
+    /// Enables or disables structural sharing (off by default): at
+    /// build time a [`SharingPlan`] is computed over the compiled
+    /// patterns, deduplicating evaluation-identical ones and running
+    /// common sequencing prefixes once per group (see the module docs).
+    /// Output is identical either way; only statistics may differ.
+    pub fn with_sharing(mut self, on: bool) -> PatternBankBuilder {
+        self.share = on;
+        self
+    }
+
+    /// Builds the bank, constructing the sharing plan (if enabled) and
+    /// the predicate index from the compiled patterns exactly as the
+    /// matchers will run them (after any analyzer rewrites).
     pub fn build(self) -> PatternBank {
-        let entries: Vec<Entry> = self
+        let matchers: Vec<(String, StreamMatcher)> = self
             .entries
             .into_iter()
-            .map(|mut e| {
-                e.sm = e.sm.with_eviction(self.evict);
-                e
-            })
+            .map(|(name, sm)| (name, sm.with_eviction(self.evict)))
             .collect();
-        let index = PatternIndex::build(entries.iter().map(|e| e.sm.compiled()));
+        let plan = if self.share && matchers.len() > 1 {
+            compute_plan(&matchers)
+        } else {
+            SharingPlan::trivial(matchers.len())
+        };
+        let index = build_index(&matchers, &plan);
+        let (entries, pools) = assemble(matchers, &plan, self.evict);
         PatternBank {
             entries,
+            pools,
+            plan,
             index,
             use_index: self.use_index,
             schema: self.schema,
@@ -221,6 +499,11 @@ impl PatternBankBuilder {
 #[derive(Debug)]
 pub struct PatternBank {
     entries: Vec<Entry>,
+    /// Shared-prefix pools, aligned with `plan.prefix_groups`.
+    pools: Vec<Pool>,
+    /// The structural-sharing plan the bank executes (trivial when
+    /// sharing is off or nothing shares).
+    plan: SharingPlan,
     index: PatternIndex,
     use_index: bool,
     schema: Schema,
@@ -246,6 +529,7 @@ impl PatternBank {
             entries: Vec::new(),
             evict: true,
             use_index: true,
+            share: false,
         }
     }
 
@@ -272,6 +556,18 @@ impl PatternBank {
     /// How the predicate index routes events to pattern `id`.
     pub fn index_class(&self, id: usize) -> IndexClass {
         self.index.class(id)
+    }
+
+    /// The structural-sharing plan the bank executes. Trivial unless
+    /// the bank was built with [`PatternBankBuilder::with_sharing`] and
+    /// the analysis found something to share.
+    pub fn sharing_plan(&self) -> &SharingPlan {
+        &self.plan
+    }
+
+    /// `true` iff any execution structure is actually shared.
+    pub fn sharing_active(&self) -> bool {
+        !self.plan.is_trivial()
     }
 
     /// Pushes one event (timestamps must be non-decreasing) and returns
@@ -306,40 +602,118 @@ impl PatternBank {
             }
         }
         let event = Event::new(ts, values);
+        let n = self.entries.len();
         let admitted: Vec<usize> = if self.use_index {
             self.index.admitted(&event)
         } else {
-            (0..self.entries.len()).collect()
+            (0..n).collect()
         };
         probe.index_hits(admitted.len());
-        probe.index_skips(self.entries.len() - admitted.len());
-        let mut out = Vec::new();
-        let mut next = admitted.iter().copied().peekable();
-        for (i, entry) in self.entries.iter_mut().enumerate() {
-            if next.peek() == Some(&i) {
-                next.next();
-                entry.ids.push(EventId::from(self.next_id));
-                // Cannot fail: the row was checked against the shared
-                // schema, and the entry's watermark never exceeds the
-                // bank's (pushes and heartbeats move them together).
-                let emitted = entry
-                    .sm
-                    .push_with_probe(ts, event.values().to_vec(), &mut *probe)?;
-                entry.hits += 1;
-                entry.note_peak();
-                out.extend(
-                    emitted
-                        .iter()
-                        .map(|m| (i, remap(&entry.ids, entry.base, m))),
-                );
-            } else {
-                // Skipped: the pattern only needs the time. No-op when
-                // the entry is already at (or past) `ts`.
-                entry.skips += 1;
-                let beat = entry.sm.advance_watermark_with_probe(ts, &mut *probe);
-                out.extend(beat.iter().map(|m| (i, remap(&entry.ids, entry.base, m))));
+        probe.index_skips(n - admitted.len());
+        let mut routed = vec![false; n];
+        for &i in &admitted {
+            routed[i] = true;
+        }
+        // A prefix group advances in lockstep: an event admitted to any
+        // member is pushed to the pool and to every member, keeping
+        // their local event ids aligned so harvested prefix buffers
+        // transfer verbatim. For the members this is sound for the same
+        // reason skipping is: an event no member's index admits cannot
+        // bind anywhere in the group.
+        let mut pushed = routed.clone();
+        let mut pool_pushed = vec![false; self.pools.len()];
+        for (pi, pool) in self.pools.iter().enumerate() {
+            if pool.members.iter().any(|&m| routed[m]) {
+                pool_pushed[pi] = true;
+                for &m in &pool.members {
+                    pushed[m] = true;
+                }
             }
-            entry.prune();
+        }
+        // Pools run first: simulate the shared prefix, then harvest the
+        // instances that arrived at the boundary *before* the pool
+        // could evolve them further with its own suffix transitions.
+        // An event some member's index did *not* admit provably binds
+        // no variable of that member — in particular none of the
+        // shared prefix variables — so the pool only stores it for id
+        // alignment (`skip_event_with_probe`) instead of running its
+        // engine.
+        let mut forks: Vec<Vec<Buffer>> = Vec::with_capacity(self.pools.len());
+        for (pi, pool) in self.pools.iter_mut().enumerate() {
+            if pool_pushed[pi] {
+                // Cannot fail: the row was checked against the shared
+                // schema, and the pool's watermark never exceeds the
+                // bank's (pushes and heartbeats move them together).
+                let emitted = if pool.members.iter().all(|&m| routed[m]) {
+                    pool.sm.push(ts, event.values().to_vec())?
+                } else {
+                    pool.sm
+                        .skip_event_with_probe(ts, event.values().to_vec(), &mut NoProbe)?
+                };
+                debug_assert!(emitted.is_empty(), "prefix pool emitted a match");
+                forks.push(pool.sm.take_instances_at(pool.boundary));
+            } else {
+                let beat = pool.sm.advance_watermark(ts);
+                debug_assert!(beat.is_empty(), "prefix pool emitted a match");
+                forks.push(Vec::new());
+            }
+        }
+        let mut out = Vec::new();
+        // Per-pattern deltas in registration order; a dedup member
+        // clones its leader's (the plan guarantees leader < member).
+        let mut deltas: Vec<Vec<Match>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let delta = match self.entries[i].leader() {
+                Some(leader) => {
+                    let entry = &mut self.entries[i];
+                    if routed[i] {
+                        entry.hits += 1;
+                    } else {
+                        entry.skips += 1;
+                    }
+                    deltas[leader].clone()
+                }
+                None => {
+                    if routed[i] {
+                        self.entries[i].push_own(
+                            ts,
+                            event.values().to_vec(),
+                            self.next_id,
+                            &mut *probe,
+                        )?
+                    } else if pushed[i] {
+                        // Lockstep alignment only: a sibling's index
+                        // admission forced the push, but this entry's
+                        // own index proved the event binds nothing
+                        // here, so the engine need not run.
+                        let entry = &mut self.entries[i];
+                        entry.skips += 1;
+                        entry.skip_own(ts, event.values().to_vec(), self.next_id, &mut *probe)?
+                    } else {
+                        let entry = &mut self.entries[i];
+                        entry.skips += 1;
+                        entry.beat_own(ts, &mut *probe)
+                    }
+                }
+            };
+            out.extend(delta.iter().cloned().map(|m| (i, m)));
+            deltas.push(delta);
+        }
+        // Inject the boundary forks *after* the members' own pushes: an
+        // injected run bound its last prefix variable to this event and
+        // must not consume it again.
+        for (pool, forkbuf) in self.pools.iter().zip(forks) {
+            if forkbuf.is_empty() {
+                continue;
+            }
+            for (&m, &mb) in pool.members.iter().zip(&pool.member_boundary) {
+                let entry = &mut self.entries[m];
+                let Exec::Own(sm) = &mut entry.exec else {
+                    unreachable!("prefix members run their own automata");
+                };
+                sm.inject_instances_at(mb, forkbuf.iter().cloned());
+                entry.peak_omega = entry.peak_omega.max(sm.active_instances());
+            }
         }
         self.ties = if self.last_ts == Some(ts) {
             self.ties + 1
@@ -359,11 +733,21 @@ impl PatternBank {
     /// already at or past `ts`. Subsequent pushes before `ts` are
     /// rejected as out of order.
     pub fn advance_watermark(&mut self, ts: Timestamp) -> Vec<(usize, Match)> {
+        // Heartbeats never create boundary arrivals (the sweep only
+        // retires instances), so there is nothing to harvest.
+        for pool in &mut self.pools {
+            let beat = pool.sm.advance_watermark(ts);
+            debug_assert!(beat.is_empty(), "prefix pool emitted a match");
+        }
         let mut out = Vec::new();
-        for (i, entry) in self.entries.iter_mut().enumerate() {
-            let beat = entry.sm.advance_watermark(ts);
-            out.extend(beat.iter().map(|m| (i, remap(&entry.ids, entry.base, m))));
-            entry.prune();
+        let mut deltas: Vec<Vec<Match>> = Vec::with_capacity(self.entries.len());
+        for i in 0..self.entries.len() {
+            let delta = match self.entries[i].leader() {
+                Some(leader) => deltas[leader].clone(),
+                None => self.entries[i].beat_own(ts, &mut NoProbe),
+            };
+            out.extend(delta.iter().cloned().map(|m| (i, m)));
+            deltas.push(delta);
         }
         if self.watermark.is_some_and(|w| ts > w) {
             self.watermark = Some(ts);
@@ -376,12 +760,27 @@ impl PatternBank {
     /// remaining state and returns the matches not already emitted by
     /// pushes — together with those, each pattern's exact batch answer.
     pub fn finish(self) -> Vec<(usize, Match)> {
-        let mut out = Vec::new();
-        for (i, entry) in self.entries.into_iter().enumerate() {
-            let Entry { sm, ids, base, .. } = entry;
-            out.extend(sm.finish().iter().map(|m| (i, remap(&ids, base, m))));
+        let PatternBank { entries, pools, .. } = self;
+        for pool in pools {
+            let leftovers = pool.sm.finish();
+            debug_assert!(leftovers.is_empty(), "prefix pool emitted a match");
         }
-        out
+        let mut finished: Vec<Vec<Match>> = Vec::with_capacity(entries.len());
+        for entry in entries {
+            let Entry {
+                exec, ids, base, ..
+            } = entry;
+            let fin: Vec<Match> = match exec {
+                Exec::Own(sm) => sm.finish().iter().map(|m| remap(&ids, base, m)).collect(),
+                Exec::Dedup { leader } => finished[leader].clone(),
+            };
+            finished.push(fin);
+        }
+        finished
+            .into_iter()
+            .enumerate()
+            .flat_map(|(i, fin)| fin.into_iter().map(move |m| (i, m)))
+            .collect()
     }
 
     /// The bank's clock: the latest pushed or heartbeat timestamp.
@@ -414,15 +813,31 @@ impl PatternBank {
         }
     }
 
-    /// Active instances summed over all patterns.
+    /// Active instances summed over all patterns (and prefix pools).
     pub fn active_instances(&self) -> usize {
-        self.entries.iter().map(|e| e.sm.active_instances()).sum()
+        self.entries
+            .iter()
+            .filter_map(|e| e.own().map(StreamMatcher::active_instances))
+            .sum::<usize>()
+            + self
+                .pools
+                .iter()
+                .map(|p| p.sm.active_instances())
+                .sum::<usize>()
     }
 
-    /// Events retained, summed over all patterns (an event admitted to
-    /// k patterns is counted k times).
+    /// Events retained, summed over all patterns and prefix pools (an
+    /// event admitted to k matchers is counted k times).
     pub fn retained_events(&self) -> usize {
-        self.entries.iter().map(|e| e.sm.retained_events()).sum()
+        self.entries
+            .iter()
+            .filter_map(|e| e.own().map(StreamMatcher::retained_events))
+            .sum::<usize>()
+            + self
+                .pools
+                .iter()
+                .map(|p| p.sm.retained_events())
+                .sum::<usize>()
     }
 
     /// Events pushed into matchers, summed over all patterns — the
@@ -439,26 +854,45 @@ impl PatternBank {
 
     /// Routing and matching statistics per pattern, in id order.
     pub fn stats(&self) -> Vec<PatternStats> {
-        self.entries
-            .iter()
-            .enumerate()
-            .map(|(i, e)| PatternStats {
-                name: e.name.clone(),
-                class: self.index.class(i),
-                hits: e.hits,
-                skips: e.skips,
-                emitted: e.sm.emitted_so_far(),
-                active_instances: e.sm.active_instances(),
-                peak_omega: e.peak_omega,
-                retained_events: e.sm.retained_events(),
-                evicted_events: e.sm.evicted_events(),
+        (0..self.entries.len())
+            .map(|i| {
+                let e = &self.entries[i];
+                // A dedup member's matcher-derived numbers come from the
+                // automaton answering for it.
+                let (sm, peak) = match e.leader() {
+                    Some(leader) => {
+                        let l = &self.entries[leader];
+                        (
+                            l.own().expect("dedup leaders run their own automata"),
+                            l.peak_omega,
+                        )
+                    }
+                    None => (
+                        e.own().expect("non-dedup patterns run their own automata"),
+                        e.peak_omega,
+                    ),
+                };
+                PatternStats {
+                    name: e.name.clone(),
+                    class: self.index.class(i),
+                    hits: e.hits,
+                    skips: e.skips,
+                    emitted: sm.emitted_so_far(),
+                    active_instances: sm.active_instances(),
+                    peak_omega: peak,
+                    retained_events: sm.retained_events(),
+                    evicted_events: sm.evicted_events(),
+                }
             })
             .collect()
     }
 
-    /// Captures the complete dynamic state of every pattern plus the
-    /// bank's routing bookkeeping under one manifest.
+    /// Captures the complete dynamic state of every pattern (and prefix
+    /// pool) plus the bank's routing bookkeeping under one manifest.
+    /// Unshared banks record all-`Plain` roles and no pools, keeping
+    /// their serialized layout unchanged.
     pub fn snapshot(&mut self) -> BankSnapshot {
+        let roles = derive_roles(&self.plan, self.entries.len());
         BankSnapshot {
             watermark: self.watermark,
             last_ts: self.last_ts,
@@ -471,7 +905,10 @@ impl PatternBank {
                 .iter_mut()
                 .map(|e| BankPatternSnapshot {
                     name: e.name.clone(),
-                    matcher: e.sm.snapshot(),
+                    matcher: match &mut e.exec {
+                        Exec::Own(sm) => Some(sm.snapshot()),
+                        Exec::Dedup { .. } => None,
+                    },
                     ids: e.ids.clone(),
                     base: e.base as u64,
                     peak_omega: e.peak_omega as u64,
@@ -479,15 +916,20 @@ impl PatternBank {
                     skips: e.skips,
                 })
                 .collect(),
+            roles,
+            pools: self.pools.iter_mut().map(|p| p.sm.snapshot()).collect(),
         }
     }
 
     /// Rebuilds a bank from the `(name, pattern, options)` specs it was
     /// built with and a [`BankSnapshot`] taken from it. Specs must match
-    /// the snapshot in count, order, and name, and each pattern's
-    /// fingerprint must agree; fails with
-    /// [`CoreError::SnapshotMismatch`] on any disagreement. The index
-    /// on/off setting is restored from the snapshot.
+    /// the snapshot in count, order, and name; each pattern's
+    /// fingerprint must agree; and for a snapshot taken under sharing,
+    /// the plan recomputed from the specs must reproduce the recorded
+    /// roles and pool count. Fails with [`CoreError::SnapshotMismatch`]
+    /// on any disagreement. The index on/off setting is restored from
+    /// the snapshot; sharing is re-enabled iff the snapshot recorded any
+    /// shared structure.
     pub fn restore(
         specs: &[(String, Pattern, MatcherOptions)],
         schema: &Schema,
@@ -501,7 +943,14 @@ impl PatternBank {
                 specs.len()
             )));
         }
-        let mut entries = Vec::with_capacity(specs.len());
+        if !snapshot.roles.is_empty() && snapshot.roles.len() != snapshot.patterns.len() {
+            return Err(mismatch(format!(
+                "snapshot carries {} sharing roles for {} patterns",
+                snapshot.roles.len(),
+                snapshot.patterns.len()
+            )));
+        }
+        let mut matchers = Vec::with_capacity(specs.len());
         for (i, ((name, pattern, options), ps)) in specs.iter().zip(&snapshot.patterns).enumerate()
         {
             if *name != ps.name {
@@ -510,34 +959,93 @@ impl PatternBank {
                     ps.name
                 )));
             }
-            let mut sm = StreamMatcher::with_options(pattern, schema, options.clone())?;
-            sm.apply_snapshot(&ps.matcher)
-                .map_err(|e| mismatch(format!("pattern `{name}`: {e}")))?;
-            if ps.ids.len() != sm.relation().len()
-                || ps.base as usize != sm.relation().first_index()
-            {
-                return Err(mismatch(format!(
-                    "pattern `{name}`: id map covers {} events at base {}, but the \
-                     relation retains {} at base {}",
-                    ps.ids.len(),
-                    ps.base,
-                    sm.relation().len(),
-                    sm.relation().first_index()
-                )));
-            }
-            entries.push(Entry {
-                name: ps.name.clone(),
-                sm,
-                ids: ps.ids.clone(),
-                base: ps.base as usize,
-                peak_omega: ps.peak_omega as usize,
-                hits: ps.hits,
-                skips: ps.skips,
-            });
+            matchers.push((
+                name.clone(),
+                StreamMatcher::with_options(pattern, schema, options.clone())?,
+            ));
         }
-        let index = PatternIndex::build(entries.iter().map(|e| e.sm.compiled()));
+        let shared = !snapshot.pools.is_empty()
+            || snapshot.roles.iter().any(|r| !matches!(r, BankRole::Plain));
+        let plan = if shared && matchers.len() > 1 {
+            compute_plan(&matchers)
+        } else {
+            SharingPlan::trivial(matchers.len())
+        };
+        // The dynamic state only makes sense under the roles it was
+        // captured in; the plan is deterministic, so recomputing it from
+        // the same specs must reproduce them.
+        let expected = derive_roles(&plan, matchers.len());
+        if !snapshot.roles.is_empty() && snapshot.roles != expected {
+            return Err(mismatch(
+                "snapshot sharing roles disagree with the plan recomputed from the \
+                 registered patterns"
+                    .to_string(),
+            ));
+        }
+        if snapshot.roles.is_empty() && expected.iter().any(|r| !matches!(r, BankRole::Plain)) {
+            return Err(mismatch(
+                "snapshot was taken without sharing, but the recomputed plan shares \
+                 structure"
+                    .to_string(),
+            ));
+        }
+        if plan.prefix_groups.len() != snapshot.pools.len() {
+            return Err(mismatch(format!(
+                "snapshot holds {} prefix pools, but the recomputed plan needs {}",
+                snapshot.pools.len(),
+                plan.prefix_groups.len()
+            )));
+        }
+        let index = build_index(&matchers, &plan);
+        let (mut entries, mut pools) = assemble(matchers, &plan, true);
+        for (entry, ps) in entries.iter_mut().zip(&snapshot.patterns) {
+            let name = &entry.name;
+            match (&mut entry.exec, &ps.matcher) {
+                (Exec::Own(sm), Some(ms)) => {
+                    sm.apply_snapshot(ms)
+                        .map_err(|e| mismatch(format!("pattern `{name}`: {e}")))?;
+                    if ps.ids.len() != sm.relation().len()
+                        || ps.base as usize != sm.relation().first_index()
+                    {
+                        return Err(mismatch(format!(
+                            "pattern `{name}`: id map covers {} events at base {}, but the \
+                             relation retains {} at base {}",
+                            ps.ids.len(),
+                            ps.base,
+                            sm.relation().len(),
+                            sm.relation().first_index()
+                        )));
+                    }
+                }
+                (Exec::Own(_), None) => {
+                    return Err(mismatch(format!(
+                        "pattern `{name}` runs its own matcher, but the snapshot holds no \
+                         matcher state for it"
+                    )));
+                }
+                (Exec::Dedup { .. }, Some(_)) => {
+                    return Err(mismatch(format!(
+                        "pattern `{name}` deduplicates into its leader, but the snapshot \
+                         carries matcher state for it"
+                    )));
+                }
+                (Exec::Dedup { .. }, None) => {}
+            }
+            entry.ids = ps.ids.clone();
+            entry.base = ps.base as usize;
+            entry.peak_omega = ps.peak_omega as usize;
+            entry.hits = ps.hits;
+            entry.skips = ps.skips;
+        }
+        for (pool, ps) in pools.iter_mut().zip(&snapshot.pools) {
+            pool.sm
+                .apply_snapshot(ps)
+                .map_err(|e| mismatch(format!("prefix pool: {e}")))?;
+        }
         Ok(PatternBank {
             entries,
+            pools,
+            plan,
             index,
             use_index: snapshot.use_index,
             schema: schema.clone(),
@@ -587,6 +1095,20 @@ mod tests {
             .set(|s| s.var("a").var("b"))
             .cond_const("a", "L", CmpOp::Eq, x)
             .cond_const("b", "L", CmpOp::Eq, y)
+            .within(Duration::ticks(5))
+            .build()
+            .unwrap()
+    }
+
+    /// `{a,b}` then `{c}` with a per-pattern suffix label — the shape
+    /// the prefix-sharing tests overlap on (prefix = `pair("A", "B")`).
+    fn prefixed(suffix: &str) -> Pattern {
+        Pattern::builder()
+            .set(|s| s.var("a").var("b"))
+            .set(|s| s.var("c"))
+            .cond_const("a", "L", CmpOp::Eq, "A")
+            .cond_const("b", "L", CmpOp::Eq, "B")
+            .cond_const("c", "L", CmpOp::Eq, suffix)
             .within(Duration::ticks(5))
             .build()
             .unwrap()
@@ -832,5 +1354,190 @@ mod tests {
         assert_eq!(stats[0].hits, 0, "dead pattern received events");
         let out = bank.finish();
         assert!(out.iter().all(|(i, _)| *i == 1));
+    }
+
+    // ---- structural sharing ------------------------------------------
+
+    /// Events exercising overlapping prefixes, ties, window expiry, and
+    /// suffix divergence for the `prefixed` family.
+    fn shared_workload() -> Vec<(i64, &'static str)> {
+        vec![
+            (0, "A"),
+            (1, "B"),
+            (2, "C"),
+            (2, "D"),
+            (3, "A"),
+            (4, "B"),
+            (8, "C"),
+            (9, "A"),
+            (9, "B"),
+            (10, "D"),
+            (20, "X"),
+            (21, "A"),
+            (22, "B"),
+            (23, "C"),
+            (40, "X"),
+        ]
+    }
+
+    /// A pattern set whose plan exercises every sharing role: `pc2` is
+    /// a duplicate of `pc` (dedup), and `pc`/`pd`/`ab` share the
+    /// `{a,b}` prefix — with `ab` consumed entirely by it (its boundary
+    /// is its accept state).
+    fn sharing_specs() -> Vec<(String, Pattern, MatcherOptions)> {
+        vec![
+            ("pc".into(), prefixed("C"), MatcherOptions::default()),
+            ("pd".into(), prefixed("D"), MatcherOptions::default()),
+            ("pc2".into(), prefixed("C"), MatcherOptions::default()),
+            ("ab".into(), pair("A", "B"), MatcherOptions::default()),
+        ]
+    }
+
+    fn sharing_bank(share: bool) -> PatternBank {
+        let mut b = PatternBank::builder(&schema());
+        for (name, pattern, options) in sharing_specs() {
+            b = b.register(name, &pattern, options).unwrap();
+        }
+        b.with_sharing(share).build()
+    }
+
+    /// Shared execution vs independent matchers fed every event — the
+    /// push-for-push output-identity claim of `docs/patternbank.md`.
+    #[test]
+    fn sharing_matches_independent_matchers() {
+        let specs = sharing_specs();
+        let mut bank = sharing_bank(true);
+        assert!(bank.sharing_active(), "{}", bank.sharing_plan().describe());
+        let mut ind: Vec<StreamMatcher> = specs
+            .iter()
+            .map(|(_, p, o)| StreamMatcher::with_options(p, &schema(), o.clone()).unwrap())
+            .collect();
+        let mut got: Vec<Vec<Match>> = vec![Vec::new(); specs.len()];
+        let mut want: Vec<Vec<Match>> = vec![Vec::new(); specs.len()];
+        for (t, l) in shared_workload() {
+            let values = [Value::from(1), Value::from(l)];
+            for (i, m) in bank.push(Timestamp::new(t), values.clone()).unwrap() {
+                got[i].push(m);
+            }
+            for (i, sm) in ind.iter_mut().enumerate() {
+                want[i].extend(sm.push(Timestamp::new(t), values.clone()).unwrap());
+            }
+        }
+        for (i, m) in bank.finish() {
+            got[i].push(m);
+        }
+        for (i, sm) in ind.into_iter().enumerate() {
+            want[i].extend(sm.finish());
+        }
+        assert_eq!(got, want);
+        assert!(got.iter().all(|g| !g.is_empty()), "every pattern matched");
+    }
+
+    /// Sharing on vs off over the same stream: identical output.
+    #[test]
+    fn sharing_on_off_differential() {
+        let mut on = sharing_bank(true);
+        let mut off = sharing_bank(false);
+        assert!(on.sharing_active());
+        assert!(!off.sharing_active());
+        let mut got = Vec::new();
+        let mut want = Vec::new();
+        for (t, l) in shared_workload() {
+            let values = [Value::from(1), Value::from(l)];
+            got.extend(on.push(Timestamp::new(t), values.clone()).unwrap());
+            want.extend(off.push(Timestamp::new(t), values).unwrap());
+        }
+        got.extend(on.finish());
+        want.extend(off.finish());
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sharing_plan_surfaces_roles_and_stats_resolve_leaders() {
+        let mut bank = sharing_bank(true);
+        let plan = bank.sharing_plan().clone();
+        // pc2 deduplicates into pc; pc, pd, ab share the {a,b} prefix.
+        assert_eq!(plan.roles[2], ShareRole::DedupMember { leader: 0 });
+        assert_eq!(plan.prefix_groups.len(), 1);
+        assert_eq!(plan.prefix_groups[0].members, vec![0, 1, 3]);
+        assert_eq!(plan.prefix_groups[0].sets, 1);
+        assert_eq!(plan.prefix_groups[0].vars, 2);
+        for (t, l) in shared_workload() {
+            bank.push(Timestamp::new(t), [Value::from(1), Value::from(l)])
+                .unwrap();
+        }
+        let stats = bank.stats();
+        // The dedup member reports its leader's matcher counters with
+        // its own routing counts.
+        assert_eq!(stats[2].emitted, stats[0].emitted);
+        assert_eq!(
+            stats[2].hits + stats[2].skips,
+            shared_workload().len() as u64
+        );
+        assert!(stats[2].emitted > 0);
+    }
+
+    #[test]
+    fn sharing_heartbeat_finalizes_members() {
+        let mut bank = sharing_bank(true);
+        for (t, l) in [(0, "A"), (1, "B"), (2, "C")] {
+            bank.push(Timestamp::new(t), [Value::from(1), Value::from(l)])
+                .unwrap();
+        }
+        let out = bank.advance_watermark(Timestamp::new(100));
+        // pc, its duplicate pc2, and ab all complete; pd never saw a D.
+        let patterns: Vec<usize> = out.iter().map(|(i, _)| *i).collect();
+        assert!(patterns.contains(&0) && patterns.contains(&2) && patterns.contains(&3));
+        assert!(!patterns.contains(&1));
+        assert!(bank.finish().is_empty());
+    }
+
+    #[test]
+    fn sharing_snapshot_restore_resumes_identically() {
+        let specs = sharing_specs();
+        let rows = shared_workload();
+        for cut in 0..rows.len() {
+            let mut live = sharing_bank(true);
+            let mut twin = sharing_bank(true);
+            let mut live_out = Vec::new();
+            let mut twin_out = Vec::new();
+            for (t, l) in &rows[..cut] {
+                let values = [Value::from(1), Value::from(*l)];
+                live_out.extend(live.push(Timestamp::new(*t), values.clone()).unwrap());
+                twin_out.extend(twin.push(Timestamp::new(*t), values).unwrap());
+            }
+            let snap = live.snapshot();
+            assert_eq!(snap.pools.len(), 1);
+            assert!(snap.patterns[2].matcher.is_none(), "dedup member state");
+            drop(live);
+            let mut restored = PatternBank::restore(&specs, &schema(), &snap).unwrap();
+            assert!(restored.sharing_active());
+            for (t, l) in &rows[cut..] {
+                let values = [Value::from(1), Value::from(*l)];
+                live_out.extend(restored.push(Timestamp::new(*t), values.clone()).unwrap());
+                twin_out.extend(twin.push(Timestamp::new(*t), values).unwrap());
+            }
+            live_out.extend(restored.finish());
+            twin_out.extend(twin.finish());
+            assert_eq!(live_out, twin_out, "divergence after restore at cut {cut}");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_sharing_role_mismatch() {
+        let mut bank = sharing_bank(true);
+        bank.push(Timestamp::new(0), [Value::from(1), Value::from("A")])
+            .unwrap();
+        let snap = bank.snapshot();
+        // Replace the prefix members with patterns that no longer share:
+        // the recomputed plan disagrees with the recorded roles.
+        let broken: Vec<(String, Pattern, MatcherOptions)> = vec![
+            ("pc".into(), prefixed("C"), MatcherOptions::default()),
+            ("pd".into(), pair("E", "F"), MatcherOptions::default()),
+            ("pc2".into(), prefixed("C"), MatcherOptions::default()),
+            ("ab".into(), pair("G", "H"), MatcherOptions::default()),
+        ];
+        let err = PatternBank::restore(&broken, &schema(), &snap).unwrap_err();
+        assert!(err.to_string().contains("roles"), "{err}");
     }
 }

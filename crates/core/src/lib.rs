@@ -87,7 +87,7 @@ pub use reference::{enumerate_candidates, satisfies_conditions_1_3};
 pub use semantics::{select, MatchSemantics};
 pub use shard::ShardedStreamMatcher;
 pub use snapshot::{
-    BankPatternSnapshot, BankSnapshot, InstanceSnapshot, MatcherSnapshot, ShardSnapshot,
+    BankPatternSnapshot, BankRole, BankSnapshot, InstanceSnapshot, MatcherSnapshot, ShardSnapshot,
     ShardedSnapshot, StreamSnapshot,
 };
 pub use state::{StateId, StateSet};

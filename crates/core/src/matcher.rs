@@ -304,6 +304,7 @@ impl Matcher {
             flush_at_end: self.options.flush_at_end,
             type_precheck: self.options.type_precheck,
             max_instances: self.options.max_instances,
+            spawn_start: true,
         }
     }
 

@@ -104,6 +104,7 @@ impl MultiMatcher {
                         flush_at_end: o.flush_at_end,
                         type_precheck: o.type_precheck,
                         max_instances: o.max_instances,
+                        spawn_start: true,
                     },
                 )
             })

@@ -116,6 +116,30 @@ pub struct ShardedSnapshot {
     pub shards: Vec<ShardSnapshot>,
 }
 
+/// How one registered pattern participates in the structural-sharing
+/// plan a [`crate::PatternBank`] snapshot was taken under. Restore
+/// recomputes the plan from the registration specs and refuses a
+/// snapshot whose recorded roles disagree — the per-pattern payload
+/// layout depends on the role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BankRole {
+    /// Runs its own matcher and belongs to no prefix group.
+    Plain,
+    /// Evaluation-identical to pattern `leader`; has no matcher of its
+    /// own and re-emits the leader's matches.
+    DedupMember {
+        /// Registration index of the pattern whose matcher answers for
+        /// this one.
+        leader: u32,
+    },
+    /// Member of shared-prefix pool `pool`: runs its own matcher with
+    /// start-instance spawning disabled, fed forks by the pool.
+    PrefixMember {
+        /// Index into [`BankSnapshot::pools`].
+        pool: u32,
+    },
+}
+
 /// One registered pattern of a [`crate::PatternBank`]: its stream
 /// matcher snapshot plus the local→global event id map and the routing
 /// counters.
@@ -124,8 +148,9 @@ pub struct BankPatternSnapshot {
     /// The name the pattern was registered under — restore refuses a
     /// spec list whose names disagree.
     pub name: String,
-    /// The pattern's stream matcher state.
-    pub matcher: StreamSnapshot,
+    /// The pattern's stream matcher state; `None` for a deduplicated
+    /// member, which runs no matcher of its own.
+    pub matcher: Option<StreamSnapshot>,
     /// Global ids of the pattern's retained events, indexed by
     /// `local_id - base`.
     pub ids: Vec<EventId>,
@@ -160,6 +185,13 @@ pub struct BankSnapshot {
     pub use_index: bool,
     /// The registered patterns, in registration order.
     pub patterns: Vec<BankPatternSnapshot>,
+    /// Per-pattern sharing roles, indexed like `patterns`. All
+    /// [`BankRole::Plain`] for a bank built without sharing — such
+    /// snapshots keep the original (kind 2) serialized layout.
+    pub roles: Vec<BankRole>,
+    /// Shared-prefix pool matchers, in plan group order. Empty without
+    /// sharing.
+    pub pools: Vec<StreamSnapshot>,
 }
 
 /// A snapshot of any stream matcher flavor — the unit the checkpoint
@@ -211,12 +243,36 @@ impl MatcherSnapshot {
 /// any analyzer rewrites), the schema, and the options that change
 /// matching behavior. Partitioning/threading knobs are excluded — they
 /// affect *where* work runs, not what a shard's state means.
-pub(crate) fn matcher_fingerprint(automaton: &Automaton, options: &MatcherOptions) -> u64 {
+/// `prefix_member` marks a matcher whose Ω holds only pool-injected
+/// runs (spawning disabled); its state is not interchangeable with an
+/// independent matcher's.
+pub(crate) fn matcher_fingerprint(
+    automaton: &Automaton,
+    options: &MatcherOptions,
+    prefix_member: bool,
+) -> u64 {
     let compiled = automaton.pattern();
     let tag = format!(
-        "{}\n{}\n{:?}/{:?}/{:?}/flush={}/precheck={}/max_inst={:?}",
+        "{}\n{}\n{:?}/{:?}/{:?}/flush={}/precheck={}/max_inst={:?}{}",
         compiled.pattern(),
         compiled.schema(),
+        options.filter,
+        options.selection,
+        options.semantics,
+        options.flush_at_end,
+        options.type_precheck,
+        options.max_instances,
+        if prefix_member { "/prefix-member" } else { "" },
+    );
+    fnv1a(tag.as_bytes())
+}
+
+/// Compatibility class of a matcher's behavior-relevant options: two
+/// patterns may share execution structure only when their keys agree.
+/// Same field set as [`matcher_fingerprint`] minus pattern and schema.
+pub(crate) fn options_compat(options: &MatcherOptions) -> u64 {
+    let tag = format!(
+        "{:?}/{:?}/{:?}/flush={}/precheck={}/max_inst={:?}",
         options.filter,
         options.selection,
         options.semantics,

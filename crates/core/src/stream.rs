@@ -76,6 +76,10 @@ pub struct StreamMatcher {
     watermark: Option<Timestamp>,
     evict: bool,
     emitted: usize,
+    /// `false` for a shared-prefix *member* matcher: no fresh start
+    /// instances are spawned; runs enter via
+    /// [`StreamMatcher::inject_instances_at`] instead.
+    spawn_start: bool,
 }
 
 impl StreamMatcher {
@@ -113,6 +117,7 @@ impl StreamMatcher {
             watermark: None,
             evict: true,
             emitted: 0,
+            spawn_start: true,
         }
     }
 
@@ -199,6 +204,60 @@ impl StreamMatcher {
         let tau = self.automaton.tau();
         // Killers older than 2τ can no longer contain any future group.
         self.adjudicator.prune_survivors(ts - tau - tau);
+        if self.evict {
+            let evicted = self.relation.evict_before(ts - tau);
+            if evicted > 0 {
+                probe.events_evicted(evicted);
+            }
+        }
+        probe.retained_events(self.relation.len());
+        self.emitted += out.len();
+        Ok(out)
+    }
+
+    /// Pushes an event the caller has *proved* cannot bind any
+    /// variable of this pattern (e.g. an event the predicate index did
+    /// not admit): the event is stored — keeping local event ids
+    /// aligned with lockstep peers in a shared-prefix group — and time
+    /// advances exactly as a push would, but the transition engine
+    /// never runs. For such events this is observationally identical
+    /// to [`StreamMatcher::push`] at watermark-heartbeat cost; for any
+    /// other event it is unsound.
+    pub(crate) fn skip_event_with_probe<P: Probe>(
+        &mut self,
+        ts: Timestamp,
+        values: impl Into<Vec<Value>>,
+        probe: &mut P,
+    ) -> Result<Vec<Match>, EventError> {
+        if let Some(w) = self.watermark {
+            if ts < w {
+                return Err(EventError::OutOfOrder {
+                    previous: w.ticks(),
+                    got: ts.ticks(),
+                });
+            }
+        }
+        self.relation.push_values(ts, values)?;
+        if self.watermark.is_none() {
+            probe.filter_mode(self.filter.requested_mode(), self.filter.effective_mode());
+        }
+        self.watermark = Some(ts);
+        let tau = self.automaton.tau();
+        let out = if self.automaton.pattern().is_satisfiable() {
+            sweep_expired(
+                &self.automaton,
+                &mut self.omega,
+                ts,
+                &mut self.results,
+                probe,
+            );
+            self.queue_results();
+            let out = self.drain_decidable(ts);
+            self.adjudicator.prune_survivors(ts - tau - tau);
+            out
+        } else {
+            Vec::new()
+        };
         if self.evict {
             let evicted = self.relation.evict_before(ts - tau);
             if evicted > 0 {
@@ -383,9 +442,12 @@ impl StreamMatcher {
     }
 
     /// The matcher's pattern/schema/options fingerprint (see
-    /// [`crate::snapshot`]).
+    /// [`crate::snapshot`]), marked with the matcher's sharing role:
+    /// a shared-prefix member's Ω only contains injected runs, so its
+    /// snapshots must not restore into an independent matcher (or vice
+    /// versa).
     pub(crate) fn fingerprint(&self) -> u64 {
-        matcher_fingerprint(&self.automaton, &self.options)
+        matcher_fingerprint(&self.automaton, &self.options, !self.spawn_start)
     }
 
     /// The compiled pattern the automaton runs — after any analyzer
@@ -393,6 +455,58 @@ impl StreamMatcher {
     /// index always reasons about exactly the Θ the engine evaluates.
     pub(crate) fn compiled(&self) -> &ses_pattern::CompiledPattern {
         self.automaton.pattern()
+    }
+
+    /// The automaton itself — the bank clones it to build a prefix pool
+    /// the same way the sharded matcher clones one per shard.
+    pub(crate) fn automaton(&self) -> &Automaton {
+        &self.automaton
+    }
+
+    /// The options the matcher was compiled with.
+    pub(crate) fn options(&self) -> &MatcherOptions {
+        &self.options
+    }
+
+    /// Turns fresh start-instance spawning on or off (see
+    /// [`crate::ExecOptions::spawn_start`]). Flipping it changes the
+    /// snapshot fingerprint: a member matcher's dynamic state is only
+    /// meaningful under the role it was captured in.
+    pub(crate) fn set_spawn(&mut self, spawn: bool) {
+        self.spawn_start = spawn;
+    }
+
+    /// Removes and returns the buffers of every active instance sitting
+    /// exactly at state `q` — the pool side of shared-prefix execution.
+    /// Harvesting the prefix boundary after each push keeps the pool
+    /// from evolving instances past the prefix with *its* suffix
+    /// transitions; the members evolve the forks instead.
+    pub(crate) fn take_instances_at(&mut self, q: StateId) -> Vec<Buffer> {
+        let mut taken = Vec::new();
+        let mut kept = Vec::with_capacity(self.omega.len());
+        for inst in self.omega.drain(..) {
+            if inst.state == q {
+                taken.push(inst.buffer);
+            } else {
+                kept.push(inst);
+            }
+        }
+        self.omega = kept;
+        taken
+    }
+
+    /// Appends instances at state `q` with the given buffers — the
+    /// member side of shared-prefix execution. Instance order within Ω
+    /// never changes the emitted match set: accepting runs are grouped
+    /// by first binding and each group is sorted before adjudication.
+    pub(crate) fn inject_instances_at(
+        &mut self,
+        q: StateId,
+        buffers: impl IntoIterator<Item = Buffer>,
+    ) {
+        for buffer in buffers {
+            self.omega.push(Instance { state: q, buffer });
+        }
     }
 
     /// Overwrites this matcher's dynamic state with `snap` — shared by
@@ -564,6 +678,7 @@ impl StreamMatcher {
             flush_at_end: self.options.flush_at_end,
             type_precheck: self.options.type_precheck,
             max_instances: self.options.max_instances,
+            spawn_start: self.spawn_start,
         }
     }
 }

@@ -29,6 +29,20 @@ pub enum DiagnosticCode {
     /// `SES005` — the pattern does not compile against the schema
     /// (unknown attribute, incomparable types, NaN constant).
     SchemaMismatch,
+    /// `SES006` — two patterns in a bank are provably equivalent (up to
+    /// variable renaming and reordering within event sets): one of them
+    /// is redundant. Emitted by `ses-cli check --patterns`.
+    EquivalentPatterns,
+    /// `SES007` — a pattern is subsumed by another: every candidate
+    /// match, restricted to the shared variables, is a candidate match
+    /// of the more general pattern. Emitted by `ses-cli check
+    /// --patterns`.
+    SubsumedPattern,
+    /// `SES008` — two or more patterns share a sequencing prefix of `k`
+    /// event sets with evaluation-identical admission constraints; a
+    /// pattern bank with sharing enabled evaluates that prefix once.
+    /// Emitted by `ses-cli check --patterns`.
+    SharedPrefix,
 }
 
 impl DiagnosticCode {
@@ -40,6 +54,9 @@ impl DiagnosticCode {
             DiagnosticCode::FilterDowngraded => "SES003",
             DiagnosticCode::ComplexityBound => "SES004",
             DiagnosticCode::SchemaMismatch => "SES005",
+            DiagnosticCode::EquivalentPatterns => "SES006",
+            DiagnosticCode::SubsumedPattern => "SES007",
+            DiagnosticCode::SharedPrefix => "SES008",
         }
     }
 
@@ -49,7 +66,10 @@ impl DiagnosticCode {
             DiagnosticCode::Unsatisfiable | DiagnosticCode::SchemaMismatch => Severity::Error,
             DiagnosticCode::RedundantCondition
             | DiagnosticCode::FilterDowngraded
-            | DiagnosticCode::ComplexityBound => Severity::Warning,
+            | DiagnosticCode::ComplexityBound
+            | DiagnosticCode::EquivalentPatterns
+            | DiagnosticCode::SubsumedPattern => Severity::Warning,
+            DiagnosticCode::SharedPrefix => Severity::Info,
         }
     }
 }
@@ -285,6 +305,9 @@ mod tests {
         assert_eq!(DiagnosticCode::FilterDowngraded.as_str(), "SES003");
         assert_eq!(DiagnosticCode::ComplexityBound.as_str(), "SES004");
         assert_eq!(DiagnosticCode::SchemaMismatch.as_str(), "SES005");
+        assert_eq!(DiagnosticCode::EquivalentPatterns.as_str(), "SES006");
+        assert_eq!(DiagnosticCode::SubsumedPattern.as_str(), "SES007");
+        assert_eq!(DiagnosticCode::SharedPrefix.as_str(), "SES008");
     }
 
     #[test]
@@ -296,6 +319,18 @@ mod tests {
         assert_eq!(
             DiagnosticCode::RedundantCondition.default_severity(),
             Severity::Warning
+        );
+        assert_eq!(
+            DiagnosticCode::EquivalentPatterns.default_severity(),
+            Severity::Warning
+        );
+        assert_eq!(
+            DiagnosticCode::SubsumedPattern.default_severity(),
+            Severity::Warning
+        );
+        assert_eq!(
+            DiagnosticCode::SharedPrefix.default_severity(),
+            Severity::Info
         );
         assert!(Severity::Error > Severity::Warning);
         assert!(Severity::Warning > Severity::Info);

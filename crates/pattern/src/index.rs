@@ -521,6 +521,58 @@ mod tests {
     }
 
     #[test]
+    fn float_equality_stays_scanned_and_sign_zero_routes() {
+        // `-0.0 == 0.0` compares equal but the two values hash to
+        // different partition keys, so a Float point pin must never
+        // reach the hash map: the group stays Scanned, and the scan's
+        // value comparison treats both zeros identically.
+        let fschema = Schema::builder()
+            .attr("L", AttrType::Str)
+            .attr("V", AttrType::Float)
+            .build()
+            .unwrap();
+        let p = Pattern::builder()
+            .set(|s| s.var("a"))
+            .cond_const("a", "L", CmpOp::Eq, "A")
+            .cond_const("a", "V", CmpOp::Eq, 0.0)
+            .within(Duration::ticks(5))
+            .build()
+            .unwrap()
+            .compile(&fschema)
+            .unwrap();
+        let idx = PatternIndex::build([&p]);
+        // L = 'A' pins a hash-faithful Str point, so the group may
+        // still be Indexed through L — but never through V. Whatever
+        // the class, both zero spellings must route identically.
+        assert_eq!(
+            idx.point_subscriptions(),
+            usize::from(idx.class(0) == IndexClass::Indexed)
+        );
+        let pos = Event::new(Timestamp::new(0), vec![Value::from("A"), Value::from(0.0)]);
+        let neg = Event::new(Timestamp::new(0), vec![Value::from("A"), Value::from(-0.0)]);
+        assert!(idx.admits(0, &pos));
+        assert!(idx.admits(0, &neg));
+        assert_eq!(idx.admitted(&pos), vec![0]);
+        assert_eq!(idx.admitted(&neg), vec![0]);
+
+        // With *only* the Float pin available the pattern must fall all
+        // the way back to Scanned.
+        let p2 = Pattern::builder()
+            .set(|s| s.var("a"))
+            .cond_const("a", "V", CmpOp::Eq, 0.0)
+            .within(Duration::ticks(5))
+            .build()
+            .unwrap()
+            .compile(&fschema)
+            .unwrap();
+        let idx2 = PatternIndex::build([&p2]);
+        assert_eq!(idx2.class(0), IndexClass::Scanned);
+        assert_eq!(idx2.point_subscriptions(), 0);
+        let neg_only = Event::new(Timestamp::new(0), vec![Value::from("Z"), Value::from(-0.0)]);
+        assert_eq!(idx2.admitted(&neg_only), vec![0]);
+    }
+
+    #[test]
     fn empty_bank_admits_nothing() {
         let idx = PatternIndex::build(std::iter::empty::<&CompiledPattern>());
         assert!(idx.is_empty());

@@ -66,6 +66,7 @@ mod index;
 mod negation;
 mod pattern;
 mod propagate;
+mod relate;
 mod variable;
 
 pub use analysis::{ComplexityClass, PatternAnalysis};
@@ -83,4 +84,5 @@ pub use negation::{
 };
 pub use pattern::Pattern;
 pub use propagate::{propagate, Propagation};
+pub use relate::{relate, PatternRelation, PrefixGroup, ShareConstraint, ShareRole, SharingPlan};
 pub use variable::{Quantifier, VarId, Variable};

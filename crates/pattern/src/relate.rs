@@ -1,0 +1,1179 @@
+//! Cross-pattern static analysis: equivalence, subsumption, and shared
+//! sequencing-prefix detection over a *set* of patterns, plus the
+//! [`SharingPlan`] that drives structural sharing in a multi-pattern
+//! bank.
+//!
+//! Everything here is **static** (computed before a single event is
+//! pushed) and **conservative**: a claimed relation is always sound, a
+//! missed relation merely costs an optimization or a lint hint.
+//!
+//! # Canonical form
+//!
+//! Each pattern is normalized into two layers of per-`(variable,
+//! attribute)` admission facts:
+//!
+//! * a **semantic** layer — the interval [`Domain`] of every constant
+//!   condition, explicit *plus* the constants derived by
+//!   [`propagate`]. Domains are rendered through
+//!   [`Domain::to_constraints`], which is canonical for non-poisoned
+//!   domains, so `v.V > 5 ∧ v.V ≥ 5` and `v.V > 5` produce the same
+//!   key. Poisoned domains (unorderable bound pairs, e.g. mixed-type
+//!   comparisons) fall back to the sorted syntactic rendering.
+//! * a **literal** layer — the same rendering restricted to the
+//!   explicit constants of `Θ`. This is the *evaluation-identical*
+//!   notion: two variables with equal literal keys admit exactly the
+//!   same events at run time, which is the bar structural sharing must
+//!   clear (derived constants may not be checked by the engine, and
+//!   importing them across variables can change greedy
+//!   skip-till-next-match behavior even when it cannot change the final
+//!   answer's candidate space).
+//!
+//! Variable conditions are orientation-normalized (`a φ b` and
+//! `b φ.flip() a` render identically) and compared as sorted sets —
+//! once over the literal `Θ` and once over the §4.4 equality closure
+//! ([`equality_closure`]), whose output is candidate-space preserving.
+//!
+//! # The three relations
+//!
+//! * **Equivalence** — the sets match position-wise after sorting each
+//!   set's variables by semantic key, closed variable conditions match
+//!   under that alignment, negations and `τ` match. The equal keys are
+//!   themselves the witness isomorphism, so the claim is sound even
+//!   though no search is performed; sort ties can only cause missed
+//!   equivalences.
+//! * **Subsumption** — `A ⊑ B` iff every candidate match of `A`
+//!   (a substitution satisfying Definition 1's conditions 1–3),
+//!   restricted to the variables of `B` under an injective per-set
+//!   embedding `φ : vars(B) → vars(A)`, is a candidate match of `B`.
+//!   Certified by finding `φ` (Kuhn's matching over domain-implication
+//!   edges per set), checking `B`'s closed variable conditions appear
+//!   in `A`'s closure under `φ`, `τ_A ≤ τ_B`, and — when `B` carries
+//!   negations — that `φ` is set-bijective (so the guarded gaps
+//!   coincide) with every negation of `B` present in `A`.
+//! * **Shared prefix** — the first `k` event sets are *identical in
+//!   declaration order* (same `VarId` layout, same quantifiers, equal
+//!   literal keys) with equal literal variable conditions among the
+//!   prefix variables, equal `τ`, and no negations on either side.
+//!   This is deliberately the evaluation-identical notion: a bank can
+//!   run the shared prefix once and fork instances at the divergence
+//!   point without perturbing any member's output.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet};
+
+use ses_event::{CmpOp, Value};
+
+use crate::condition::Rhs;
+use crate::{equality_closure, propagate, Condition, Domain, Negation, Pattern, VarId};
+
+/// Renders a constant with a type tag so `1`, `1.0`, `'1'` and `true`
+/// can never collide in a canonical key.
+fn value_key(v: &Value) -> String {
+    match v {
+        Value::Int(i) => format!("i{i}"),
+        Value::Float(f) => format!("f{f}"),
+        Value::Str(s) => format!("s'{s}'"),
+        Value::Bool(b) => format!("b{b}"),
+    }
+}
+
+/// The admission facts of one `(variable, attribute)` pair.
+#[derive(Debug, Clone, Default)]
+struct AttrFacts {
+    domain: Domain,
+    /// Sorted syntactic renderings of the contributing constants —
+    /// the fallback key when the domain is poisoned.
+    raw: BTreeSet<String>,
+}
+
+impl AttrFacts {
+    fn add(&mut self, op: CmpOp, v: &Value) {
+        self.domain.constrain(op, v);
+        self.raw.insert(format!("{} {}", op, value_key(v)));
+    }
+
+    /// Canonical key: minimal interval constraints for healthy domains,
+    /// a `∅` marker for provably empty ones, the raw syntax otherwise.
+    fn key(&self) -> String {
+        if self.domain.is_poisoned() {
+            let raws: Vec<&str> = self.raw.iter().map(String::as_str).collect();
+            format!("?[{}]", raws.join(" & "))
+        } else if self.domain.is_empty() {
+            "∅".to_string()
+        } else {
+            let parts: Vec<String> = self
+                .domain
+                .to_constraints()
+                .iter()
+                .map(|(op, v)| format!("{} {}", op, value_key(v)))
+                .collect();
+            parts.join(" & ")
+        }
+    }
+
+    /// `true` iff every value admitted by `self` provably satisfies all
+    /// of `weaker`'s constraints (`self` is at least as strict).
+    fn implies_all_of(&self, weaker: &AttrFacts) -> bool {
+        if self.domain.is_poisoned() || weaker.domain.is_poisoned() {
+            return self.key() == weaker.key();
+        }
+        if weaker.domain.is_empty() {
+            return self.domain.is_empty();
+        }
+        weaker
+            .domain
+            .to_constraints()
+            .iter()
+            .all(|(op, v)| self.domain.implies(*op, v))
+    }
+}
+
+/// Admission facts of one variable: quantifier plus per-attribute facts.
+#[derive(Debug, Clone, Default)]
+struct VarFacts {
+    group: bool,
+    attrs: BTreeMap<String, AttrFacts>,
+}
+
+impl VarFacts {
+    fn key(&self) -> String {
+        let mut s = String::from(if self.group { "+{" } else { "1{" });
+        for (attr, f) in &self.attrs {
+            s.push_str(attr);
+            s.push_str(": ");
+            s.push_str(&f.key());
+            s.push_str("; ");
+        }
+        s.push('}');
+        s
+    }
+
+    /// `true` iff mapping `weaker` (a variable of the subsuming
+    /// pattern) onto `self` (a variable of the subsumed one) is sound:
+    /// quantifiers embed and `self`'s admission set is contained in
+    /// `weaker`'s.
+    fn embeds_into(&self, weaker: &VarFacts) -> bool {
+        // A group binding projected onto a singleton would bind several
+        // events to one variable; the reverse (singleton → group) is a
+        // legal one-event group binding.
+        if self.group && !weaker.group {
+            return false;
+        }
+        weaker
+            .attrs
+            .iter()
+            .all(|(attr, wf)| match self.attrs.get(attr) {
+                Some(sf) => sf.implies_all_of(wf),
+                None => false,
+            })
+    }
+}
+
+fn render_var_cond(c: &Condition, pos: &dyn Fn(VarId) -> usize) -> Option<String> {
+    let Rhs::Attr(r) = &c.rhs else { return None };
+    let l = (pos(c.lhs.var), c.lhs.attr.to_string());
+    let rr = (pos(r.var), r.attr.to_string());
+    let (l, op, rr) = if l <= rr {
+        (l, c.op, rr)
+    } else {
+        (rr, c.op.flip(), l)
+    };
+    Some(format!("@{}.{} {} @{}.{}", l.0, l.1, op, rr.0, rr.1))
+}
+
+fn render_negation(neg: &Negation, pos: &dyn Fn(VarId) -> usize) -> String {
+    let mut conds: Vec<String> = neg
+        .conditions()
+        .iter()
+        .map(|c| {
+            let rhs = match &c.rhs {
+                Rhs::Const(v) => value_key(v),
+                Rhs::Attr(r) => format!("@{}.{}", pos(r.var), r.attr),
+            };
+            format!(".{} {} {}", c.attr, c.op, rhs)
+        })
+        .collect();
+    conds.sort();
+    conds.dedup();
+    format!("¬gap{}[{}]", neg.after_set(), conds.join(" & "))
+}
+
+/// The canonical form of one pattern, precomputed once per
+/// [`relate`]/[`SharingPlan`] call.
+struct Form<'p> {
+    pattern: &'p Pattern,
+    /// Semantic facts (explicit + derived constants), by `VarId` index.
+    sem: Vec<VarFacts>,
+    /// Literal facts (explicit constants only), by `VarId` index.
+    lit: Vec<VarFacts>,
+    lit_keys: Vec<String>,
+    /// Per set: its variables' semantic keys, sorted — the
+    /// order-insensitive structural fingerprint.
+    canon_set_keys: Vec<String>,
+    /// Closure variable conditions rendered at canonical positions.
+    canon_cond_keys: BTreeSet<String>,
+    /// Negations rendered at canonical positions.
+    canon_negs: BTreeSet<String>,
+    /// Closure variable conditions rendered at declaration positions.
+    closed_cond_keys: BTreeSet<String>,
+    /// Non-constant conditions of the literal `Θ`.
+    literal_conds: Vec<Condition>,
+    /// Negations rendered at declaration positions.
+    inorder_negs: BTreeSet<String>,
+}
+
+impl<'p> Form<'p> {
+    fn build(p: &'p Pattern) -> Form<'p> {
+        let n = p.num_vars();
+        let mut sem: Vec<VarFacts> = (0..n)
+            .map(|i| VarFacts {
+                group: p.var(VarId(i as u16)).is_group(),
+                attrs: BTreeMap::new(),
+            })
+            .collect();
+        let mut lit = sem.clone();
+
+        let prop = propagate(p);
+        for c in p.conditions() {
+            if let Rhs::Const(v) = &c.rhs {
+                let attr = c.lhs.attr.to_string();
+                sem[c.lhs.var.index()]
+                    .attrs
+                    .entry(attr.clone())
+                    .or_default()
+                    .add(c.op, v);
+                lit[c.lhs.var.index()]
+                    .attrs
+                    .entry(attr)
+                    .or_default()
+                    .add(c.op, v);
+            }
+        }
+        for c in &prop.derived {
+            if let Rhs::Const(v) = &c.rhs {
+                sem[c.lhs.var.index()]
+                    .attrs
+                    .entry(c.lhs.attr.to_string())
+                    .or_default()
+                    .add(c.op, v);
+            }
+        }
+
+        let sem_keys: Vec<String> = sem.iter().map(VarFacts::key).collect();
+        let lit_keys: Vec<String> = lit.iter().map(VarFacts::key).collect();
+
+        // Canonical positions: sets in order, each set's variables
+        // sorted by semantic key (ties by declaration order).
+        let mut canon_pos = vec![0usize; n];
+        let mut canon_set_keys = Vec::with_capacity(p.num_sets());
+        let mut next = 0usize;
+        for i in 0..p.num_sets() {
+            let mut order: Vec<VarId> = p.set(i).to_vec();
+            order.sort_by(|a, b| {
+                sem_keys[a.index()]
+                    .cmp(&sem_keys[b.index()])
+                    .then_with(|| a.index().cmp(&b.index()))
+            });
+            let keys: Vec<&str> = order.iter().map(|v| sem_keys[v.index()].as_str()).collect();
+            canon_set_keys.push(keys.join(" | "));
+            for v in order {
+                canon_pos[v.index()] = next;
+                next += 1;
+            }
+        }
+
+        let closed = equality_closure(p);
+        let identity = |v: VarId| v.index();
+        let canonical = |v: VarId| canon_pos[v.index()];
+        let mut canon_cond_keys = BTreeSet::new();
+        let mut closed_cond_keys = BTreeSet::new();
+        for c in closed.conditions() {
+            if let Some(k) = render_var_cond(c, &canonical) {
+                canon_cond_keys.insert(k);
+            }
+            if let Some(k) = render_var_cond(c, &identity) {
+                closed_cond_keys.insert(k);
+            }
+        }
+        let literal_conds: Vec<Condition> = p
+            .conditions()
+            .iter()
+            .filter(|c| !c.is_constant())
+            .cloned()
+            .collect();
+
+        let mut canon_negs = BTreeSet::new();
+        let mut inorder_negs = BTreeSet::new();
+        for neg in p.negations() {
+            canon_negs.insert(render_negation(neg, &canonical));
+            inorder_negs.insert(render_negation(neg, &identity));
+        }
+
+        Form {
+            pattern: p,
+            sem,
+            lit,
+            lit_keys,
+            canon_set_keys,
+            canon_cond_keys,
+            canon_negs,
+            closed_cond_keys,
+            literal_conds,
+            inorder_negs,
+        }
+    }
+
+    /// Declaration-order evaluation fingerprint: two patterns with
+    /// equal in-order keys behave identically at run time (same
+    /// `VarId` layout, same literal admission per position, same
+    /// literal variable conditions, same negations and `τ`).
+    fn inorder_key(&self) -> String {
+        let p = self.pattern;
+        let mut s = String::new();
+        for i in 0..p.num_sets() {
+            s.push('<');
+            for v in p.set(i) {
+                s.push_str(&self.lit_keys[v.index()]);
+                s.push(',');
+            }
+            s.push('>');
+        }
+        let identity = |v: VarId| v.index();
+        let mut conds: Vec<String> = self
+            .literal_conds
+            .iter()
+            .filter_map(|c| render_var_cond(c, &identity))
+            .collect();
+        conds.sort();
+        conds.dedup();
+        s.push_str(&conds.join(" & "));
+        s.push('|');
+        for neg in &self.inorder_negs {
+            s.push_str(neg);
+            s.push(';');
+        }
+        s.push_str(&format!("|τ={}", p.within().as_ticks()));
+        s
+    }
+
+    /// Literal variable conditions confined to the first `prefix_vars`
+    /// declaration positions, rendered and sorted.
+    fn prefix_cond_keys(&self, prefix_vars: &BTreeSet<VarId>) -> BTreeSet<String> {
+        let identity = |v: VarId| v.index();
+        self.literal_conds
+            .iter()
+            .filter(|c| {
+                let (a, b) = c.variables();
+                prefix_vars.contains(&a) && b.map(|v| prefix_vars.contains(&v)).unwrap_or(true)
+            })
+            .filter_map(|c| render_var_cond(c, &identity))
+            .collect()
+    }
+}
+
+fn equivalent(a: &Form<'_>, b: &Form<'_>) -> bool {
+    a.pattern.within() == b.pattern.within()
+        && a.canon_set_keys == b.canon_set_keys
+        && a.canon_cond_keys == b.canon_cond_keys
+        && a.canon_negs == b.canon_negs
+}
+
+/// Kuhn's augmenting-path matching: tries to match every `right` node
+/// (a variable of the subsuming pattern) to a distinct `left` node
+/// (a variable of the subsumed pattern) along `compat` edges.
+fn perfect_matching(compat: &[Vec<bool>], lefts: usize) -> Option<Vec<usize>> {
+    let rights = compat.len();
+    if rights > lefts {
+        return None;
+    }
+    // owner[l] = matched right node, if any.
+    let mut owner: Vec<Option<usize>> = vec![None; lefts];
+    fn augment(
+        r: usize,
+        compat: &[Vec<bool>],
+        owner: &mut [Option<usize>],
+        seen: &mut [bool],
+    ) -> bool {
+        for l in 0..owner.len() {
+            if compat[r][l] && !seen[l] {
+                seen[l] = true;
+                if owner[l].is_none() || augment(owner[l].unwrap(), compat, owner, seen) {
+                    owner[l] = Some(r);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+    for r in 0..rights {
+        let mut seen = vec![false; lefts];
+        if !augment(r, compat, &mut owner, &mut seen) {
+            return None;
+        }
+    }
+    let mut assign = vec![usize::MAX; rights];
+    for (l, o) in owner.iter().enumerate() {
+        if let Some(r) = o {
+            assign[*r] = l;
+        }
+    }
+    Some(assign)
+}
+
+/// `true` iff every candidate match of `a`, restricted through an
+/// embedding of `b`'s variables, is a candidate match of `b`.
+fn subsumed_by(a: &Form<'_>, b: &Form<'_>) -> bool {
+    let pa = a.pattern;
+    let pb = b.pattern;
+    if pa.num_sets() != pb.num_sets() || pa.within() > pb.within() {
+        return false;
+    }
+    if pb.has_negations() {
+        // The guarded gap of a projected match only coincides with the
+        // full match's gap when every adjacent set maps bijectively.
+        if (0..pa.num_sets()).any(|i| pa.set(i).len() != pb.set(i).len()) {
+            return false;
+        }
+    }
+
+    // Build the per-set embedding φ : vars(b) → vars(a).
+    let mut phi = vec![VarId(0); pb.num_vars()];
+    for i in 0..pb.num_sets() {
+        let avars = pa.set(i);
+        let bvars = pb.set(i);
+        let compat: Vec<Vec<bool>> = bvars
+            .iter()
+            .map(|bv| {
+                avars
+                    .iter()
+                    .map(|av| a.sem[av.index()].embeds_into(&b.sem[bv.index()]))
+                    .collect()
+            })
+            .collect();
+        let Some(assign) = perfect_matching(&compat, avars.len()) else {
+            return false;
+        };
+        for (bi, ai) in assign.iter().enumerate() {
+            phi[bvars[bi].index()] = avars[*ai];
+        }
+    }
+
+    // Every closed variable condition of b, mapped through φ, must be
+    // entailed (syntactically, over the closure) by a.
+    let mapped = |v: VarId| phi[v.index()].index();
+    for c in &b.literal_conds {
+        // Checking the closure of b would be redundant: it is entailed
+        // by the literal conditions, and a's closure is itself closed.
+        if let Some(k) = render_var_cond(c, &mapped) {
+            if !a.closed_cond_keys.contains(&k) {
+                return false;
+            }
+        }
+    }
+    for neg in pb.negations() {
+        let k = render_negation(neg, &mapped);
+        if !a.inorder_negs.contains(&k) {
+            return false;
+        }
+    }
+    true
+}
+
+/// The number of leading event sets shared in declaration order with
+/// evaluation-identical admission (see the module docs); `0` when no
+/// prefix is shared.
+fn shared_prefix_sets(a: &Form<'_>, b: &Form<'_>) -> usize {
+    let pa = a.pattern;
+    let pb = b.pattern;
+    if pa.within() != pb.within() || pa.has_negations() || pb.has_negations() {
+        return 0;
+    }
+    let max_k = pa.num_sets().min(pb.num_sets());
+    let mut k = 0;
+    while k < max_k && set_identical(a, b, k) {
+        k += 1;
+    }
+    // Condition equality is downward-monotone: if the literal prefix
+    // conditions agree at k they agree at every k' < k, so walk down
+    // until they do.
+    while k > 0 {
+        let vars: BTreeSet<VarId> = (0..k).flat_map(|i| pa.set(i).iter().copied()).collect();
+        if a.prefix_cond_keys(&vars) == b.prefix_cond_keys(&vars) {
+            break;
+        }
+        k -= 1;
+    }
+    k
+}
+
+fn set_identical(a: &Form<'_>, b: &Form<'_>, i: usize) -> bool {
+    let sa = a.pattern.set(i);
+    let sb = b.pattern.set(i);
+    sa == sb
+        && sa.iter().all(|v| {
+            a.lit_keys[v.index()] == b.lit_keys[v.index()]
+                && a.lit[v.index()].group == b.lit[v.index()].group
+        })
+}
+
+/// The conservative pairwise relation between two patterns, strongest
+/// first: equivalence, then subsumption (either direction), then a
+/// shared sequencing prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternRelation {
+    /// The patterns provably admit the same candidate matches, up to
+    /// variable renaming and reordering within event sets.
+    Equivalent,
+    /// Every candidate match of the first pattern, restricted to the
+    /// embedded variables, is a candidate match of the second (the
+    /// first is the stricter, redundant one).
+    SubsumedBy,
+    /// The mirror image: the second pattern is subsumed by the first.
+    Subsumes,
+    /// The patterns share their first `sets` event sets with
+    /// evaluation-identical admission constraints.
+    SharedPrefix {
+        /// Number of shared leading event sets.
+        sets: usize,
+    },
+    /// No relation could be certified.
+    Unrelated,
+}
+
+/// Relates two patterns conservatively; see [`PatternRelation`].
+pub fn relate(a: &Pattern, b: &Pattern) -> PatternRelation {
+    let fa = Form::build(a);
+    let fb = Form::build(b);
+    if equivalent(&fa, &fb) {
+        return PatternRelation::Equivalent;
+    }
+    if subsumed_by(&fa, &fb) {
+        return PatternRelation::SubsumedBy;
+    }
+    if subsumed_by(&fb, &fa) {
+        return PatternRelation::Subsumes;
+    }
+    match shared_prefix_sets(&fa, &fb) {
+        0 => PatternRelation::Unrelated,
+        sets => PatternRelation::SharedPrefix { sets },
+    }
+}
+
+/// How one registered pattern participates in a [`SharingPlan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShareRole {
+    /// Runs its own automaton.
+    Independent,
+    /// Runs its own automaton and additionally answers for the listed
+    /// duplicate member indices.
+    DedupLeader {
+        /// Indices of the patterns deduplicated into this automaton.
+        members: Vec<usize>,
+    },
+    /// Evaluation-identical to `leader`; runs no automaton of its own
+    /// and re-emits the leader's matches.
+    DedupMember {
+        /// Index of the pattern whose automaton answers for this one.
+        leader: usize,
+    },
+}
+
+/// A group of patterns that evaluate a common sequencing prefix once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixGroup {
+    /// Participating pattern indices, ascending. Dedup members never
+    /// appear here (their leader does).
+    pub members: Vec<usize>,
+    /// Number of shared leading event sets.
+    pub sets: usize,
+    /// Number of shared leading variables (`VarId`s `0..vars` in every
+    /// member).
+    pub vars: usize,
+    /// The member whose pattern seeds the shared prefix automaton
+    /// (guaranteed to have more than `sets` event sets).
+    pub leader: usize,
+}
+
+/// Per-pattern constraints fed into [`SharingPlan::compute`] by the
+/// caller (a bank knows things this crate cannot: execution options
+/// and compile-time satisfiability).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShareConstraint {
+    /// Opaque execution-options compatibility class: only patterns
+    /// with equal keys may share anything.
+    pub compat: u64,
+    /// Whether this pattern may join a prefix group. Callers must
+    /// clear this for patterns their engine short-circuits (e.g.
+    /// compile-time unsatisfiable ones).
+    pub allow_prefix: bool,
+}
+
+impl Default for ShareConstraint {
+    fn default() -> Self {
+        ShareConstraint {
+            compat: 0,
+            allow_prefix: true,
+        }
+    }
+}
+
+/// The structural-sharing plan for a set of patterns: who runs, who
+/// re-emits, and which groups evaluate a shared prefix once.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SharingPlan {
+    /// Per-pattern role, indexed like the input slice.
+    pub roles: Vec<ShareRole>,
+    /// Shared-prefix groups over non-dedup-member patterns.
+    pub prefix_groups: Vec<PrefixGroup>,
+}
+
+impl SharingPlan {
+    /// The plan that shares nothing among `n` patterns.
+    pub fn trivial(n: usize) -> SharingPlan {
+        SharingPlan {
+            roles: vec![ShareRole::Independent; n],
+            prefix_groups: Vec::new(),
+        }
+    }
+
+    /// `true` iff the plan shares nothing.
+    pub fn is_trivial(&self) -> bool {
+        self.prefix_groups.is_empty()
+            && self
+                .roles
+                .iter()
+                .all(|r| matches!(r, ShareRole::Independent))
+    }
+
+    /// The prefix group containing pattern `idx`, if any.
+    pub fn prefix_group_of(&self, idx: usize) -> Option<usize> {
+        self.prefix_groups
+            .iter()
+            .position(|g| g.members.contains(&idx))
+    }
+
+    /// One-line human summary (for `--stats` style output).
+    pub fn describe(&self) -> String {
+        let dedup = self
+            .roles
+            .iter()
+            .filter(|r| matches!(r, ShareRole::DedupMember { .. }))
+            .count();
+        let groups: Vec<String> = self
+            .prefix_groups
+            .iter()
+            .map(|g| format!("{}×k={}", g.members.len(), g.sets))
+            .collect();
+        format!(
+            "{} deduplicated, {} prefix group(s) [{}]",
+            dedup,
+            self.prefix_groups.len(),
+            groups.join(", ")
+        )
+    }
+
+    /// Computes the sharing plan for `patterns`.
+    ///
+    /// `constraints` must be empty (all defaults) or match `patterns`
+    /// in length. Duplicate detection uses the declaration-order
+    /// evaluation fingerprint, so a dedup member behaves push-for-push
+    /// identically to its leader; prefix groups require identical
+    /// leading sets in declaration order (see the module docs). Groups
+    /// are never split: a bucket shares the deepest prefix *all* its
+    /// members agree on.
+    pub fn compute(patterns: &[&Pattern], constraints: &[ShareConstraint]) -> SharingPlan {
+        let n = patterns.len();
+        let defaults;
+        let constraints = if constraints.is_empty() {
+            defaults = vec![ShareConstraint::default(); n];
+            &defaults
+        } else {
+            assert_eq!(constraints.len(), n, "one constraint per pattern");
+            constraints
+        };
+        let forms: Vec<Form<'_>> = patterns.iter().map(|p| Form::build(p)).collect();
+
+        // 1. Deduplicate evaluation-identical patterns.
+        let mut roles = vec![ShareRole::Independent; n];
+        let mut first_of: BTreeMap<(u64, String), usize> = BTreeMap::new();
+        for i in 0..n {
+            let key = (constraints[i].compat, forms[i].inorder_key());
+            match first_of.get(&key) {
+                Some(&leader) => {
+                    roles[i] = ShareRole::DedupMember { leader };
+                    match &mut roles[leader] {
+                        ShareRole::DedupLeader { members } => members.push(i),
+                        r => *r = ShareRole::DedupLeader { members: vec![i] },
+                    }
+                }
+                None => {
+                    first_of.insert(key, i);
+                }
+            }
+        }
+
+        // 2. Bucket the remaining automaton-running patterns by their
+        //    first-set signature, then deepen each bucket as far as all
+        //    members agree.
+        let mut buckets: BTreeMap<(u64, String), Vec<usize>> = BTreeMap::new();
+        for i in 0..n {
+            if matches!(roles[i], ShareRole::DedupMember { .. }) {
+                continue;
+            }
+            if !constraints[i].allow_prefix {
+                continue;
+            }
+            let p = patterns[i];
+            if p.has_negations() || p.num_sets() == 0 {
+                continue;
+            }
+            let vars: BTreeSet<VarId> = p.set(0).iter().copied().collect();
+            let mut sig = String::new();
+            sig.push('<');
+            for v in p.set(0) {
+                sig.push_str(&format!("{}:", v.index()));
+                sig.push_str(&forms[i].lit_keys[v.index()]);
+                sig.push(',');
+            }
+            sig.push('>');
+            let conds: Vec<String> = forms[i].prefix_cond_keys(&vars).into_iter().collect();
+            sig.push_str(&conds.join(" & "));
+            sig.push_str(&format!("|τ={}", p.within().as_ticks()));
+            buckets
+                .entry((constraints[i].compat, sig))
+                .or_default()
+                .push(i);
+        }
+
+        let mut prefix_groups = Vec::new();
+        for members in buckets.into_values() {
+            if members.len() < 2 {
+                continue;
+            }
+            // Deepen while every member still agrees.
+            let rep = members[0];
+            let mut k = 1usize;
+            loop {
+                let next = k + 1;
+                if members.iter().any(|&m| patterns[m].num_sets() < next) {
+                    break;
+                }
+                let grows = members.iter().skip(1).all(|&m| {
+                    set_identical(&forms[rep], &forms[m], k) && {
+                        let vars: BTreeSet<VarId> = (0..next)
+                            .flat_map(|s| patterns[rep].set(s).iter().copied())
+                            .collect();
+                        forms[rep].prefix_cond_keys(&vars) == forms[m].prefix_cond_keys(&vars)
+                    }
+                });
+                if !grows {
+                    break;
+                }
+                k = next;
+            }
+            // The pool needs a pattern that continues past the prefix;
+            // at most one member can be fully consumed by it (two such
+            // members would have been deduplicated above).
+            let Some(leader) = members
+                .iter()
+                .copied()
+                .find(|&m| patterns[m].num_sets() > k)
+            else {
+                continue;
+            };
+            let vars = (0..k).map(|s| patterns[leader].set(s).len()).sum();
+            prefix_groups.push(PrefixGroup {
+                members,
+                sets: k,
+                vars,
+                leader,
+            });
+        }
+
+        SharingPlan {
+            roles,
+            prefix_groups,
+        }
+    }
+}
+
+/// Deterministic order for [`PatternRelation`] severity (used by lint
+/// output): equivalence strongest, unrelated weakest.
+impl PartialOrd for PatternRelation {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        fn rank(r: &PatternRelation) -> usize {
+            match r {
+                PatternRelation::Equivalent => 0,
+                PatternRelation::SubsumedBy => 1,
+                PatternRelation::Subsumes => 2,
+                PatternRelation::SharedPrefix { .. } => 3,
+                PatternRelation::Unrelated => 4,
+            }
+        }
+        Some(rank(self).cmp(&rank(other)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ses_event::Duration;
+
+    fn q(build: impl FnOnce(crate::PatternBuilder) -> crate::PatternBuilder) -> Pattern {
+        build(Pattern::builder()).build().unwrap()
+    }
+
+    #[test]
+    fn equivalence_survives_renaming_and_redundant_constants() {
+        let a = q(|b| {
+            b.set(|s| s.var("x").var("y"))
+                .cond_const("x", "L", CmpOp::Eq, "C")
+                .cond_const("y", "V", CmpOp::Gt, 5)
+                .cond_const("y", "V", CmpOp::Ge, 5) // redundant
+                .within(Duration::hours(10))
+        });
+        let b = q(|b| {
+            b.set(|s| s.var("p").var("q"))
+                .cond_const("q", "L", CmpOp::Eq, "C") // set-internal reorder
+                .cond_const("p", "V", CmpOp::Gt, 5)
+                .within(Duration::hours(10))
+        });
+        assert_eq!(relate(&a, &b), PatternRelation::Equivalent);
+    }
+
+    #[test]
+    fn set_order_and_tau_matter() {
+        let a = q(|b| {
+            b.set(|s| s.var("x"))
+                .set(|s| s.var("y"))
+                .cond_const("x", "L", CmpOp::Eq, "A")
+                .cond_const("y", "L", CmpOp::Eq, "B")
+                .within(Duration::hours(10))
+        });
+        let swapped = q(|b| {
+            b.set(|s| s.var("x"))
+                .set(|s| s.var("y"))
+                .cond_const("x", "L", CmpOp::Eq, "B")
+                .cond_const("y", "L", CmpOp::Eq, "A")
+                .within(Duration::hours(10))
+        });
+        assert_ne!(relate(&a, &swapped), PatternRelation::Equivalent);
+        let widened = q(|b| {
+            b.set(|s| s.var("x"))
+                .set(|s| s.var("y"))
+                .cond_const("x", "L", CmpOp::Eq, "A")
+                .cond_const("y", "L", CmpOp::Eq, "B")
+                .within(Duration::hours(20))
+        });
+        // Same shape, wider window: subsumed, not equivalent.
+        assert_eq!(relate(&a, &widened), PatternRelation::SubsumedBy);
+    }
+
+    #[test]
+    fn extra_conditions_mean_subsumption() {
+        let strict = q(|b| {
+            b.set(|s| s.var("a"))
+                .set(|s| s.var("b"))
+                .cond_const("a", "L", CmpOp::Eq, "C")
+                .cond_const("b", "L", CmpOp::Eq, "B")
+                .cond_vars("a", "ID", CmpOp::Eq, "b", "ID")
+                .within(Duration::hours(10))
+        });
+        let loose = q(|b| {
+            b.set(|s| s.var("a"))
+                .set(|s| s.var("b"))
+                .cond_const("a", "L", CmpOp::Eq, "C")
+                .cond_const("b", "L", CmpOp::Eq, "B")
+                .within(Duration::hours(10))
+        });
+        assert_eq!(relate(&strict, &loose), PatternRelation::SubsumedBy);
+        assert_eq!(relate(&loose, &strict), PatternRelation::Subsumes);
+    }
+
+    #[test]
+    fn tighter_domain_means_subsumption() {
+        let strict = q(|b| {
+            b.set(|s| s.var("a"))
+                .cond_const("a", "V", CmpOp::Gt, 10)
+                .within(Duration::hours(5))
+        });
+        let loose = q(|b| {
+            b.set(|s| s.var("a"))
+                .cond_const("a", "V", CmpOp::Gt, 5)
+                .within(Duration::hours(5))
+        });
+        assert_eq!(relate(&strict, &loose), PatternRelation::SubsumedBy);
+    }
+
+    #[test]
+    fn extra_variable_in_subsumed_set_embeds() {
+        let strict = q(|b| {
+            b.set(|s| s.var("a").var("x"))
+                .set(|s| s.var("b"))
+                .cond_const("a", "L", CmpOp::Eq, "C")
+                .cond_const("x", "L", CmpOp::Eq, "P")
+                .cond_const("b", "L", CmpOp::Eq, "B")
+                .within(Duration::hours(10))
+        });
+        let loose = q(|b| {
+            b.set(|s| s.var("a"))
+                .set(|s| s.var("b"))
+                .cond_const("a", "L", CmpOp::Eq, "C")
+                .cond_const("b", "L", CmpOp::Eq, "B")
+                .within(Duration::hours(10))
+        });
+        assert_eq!(relate(&strict, &loose), PatternRelation::SubsumedBy);
+    }
+
+    #[test]
+    fn negations_block_subsumption_unless_mirrored() {
+        let with_neg = Pattern::builder()
+            .set(|s| s.var("a"))
+            .negate("x")
+            .neg_cond_const("x", "L", CmpOp::Eq, "X")
+            .set(|s| s.var("b"))
+            .cond_const("a", "L", CmpOp::Eq, "C")
+            .cond_const("b", "L", CmpOp::Eq, "B")
+            .within(Duration::hours(10))
+            .build()
+            .unwrap();
+        let strict = q(|b| {
+            b.set(|s| s.var("a"))
+                .set(|s| s.var("b"))
+                .cond_const("a", "L", CmpOp::Eq, "C")
+                .cond_const("b", "L", CmpOp::Eq, "B")
+                .cond_vars("a", "ID", CmpOp::Eq, "b", "ID")
+                .within(Duration::hours(10))
+        });
+        // strict has no negation, so its matches may contain gap events
+        // with_neg forbids: no subsumption either way.
+        assert_eq!(relate(&strict, &with_neg), PatternRelation::Unrelated);
+
+        let strict_neg = Pattern::builder()
+            .set(|s| s.var("a"))
+            .negate("y")
+            .neg_cond_const("y", "L", CmpOp::Eq, "X")
+            .set(|s| s.var("b"))
+            .cond_const("a", "L", CmpOp::Eq, "C")
+            .cond_const("b", "L", CmpOp::Eq, "B")
+            .cond_vars("a", "ID", CmpOp::Eq, "b", "ID")
+            .within(Duration::hours(10))
+            .build()
+            .unwrap();
+        assert_eq!(relate(&strict_neg, &with_neg), PatternRelation::SubsumedBy);
+    }
+
+    #[test]
+    fn shared_prefix_detected_and_maximal() {
+        let mk = |suffix_label: &str| {
+            q(|b| {
+                b.set(|s| s.var("a"))
+                    .set(|s| s.plus("p"))
+                    .set(|s| s.var("z"))
+                    .cond_const("a", "L", CmpOp::Eq, "A")
+                    .cond_const("p", "L", CmpOp::Eq, "P")
+                    .cond_vars("a", "ID", CmpOp::Eq, "p", "ID")
+                    .cond_const("z", "L", CmpOp::Eq, suffix_label)
+                    .within(Duration::hours(10))
+            })
+        };
+        let x = mk("X");
+        let y = mk("Y");
+        assert_eq!(relate(&x, &y), PatternRelation::SharedPrefix { sets: 2 });
+
+        let plan = SharingPlan::compute(&[&x, &y], &[]);
+        assert_eq!(plan.prefix_groups.len(), 1);
+        let g = &plan.prefix_groups[0];
+        assert_eq!(g.members, vec![0, 1]);
+        assert_eq!(g.sets, 2);
+        assert_eq!(g.vars, 2);
+    }
+
+    #[test]
+    fn prefix_requires_identical_admission_and_tau() {
+        let a = q(|b| {
+            b.set(|s| s.var("a"))
+                .set(|s| s.var("z"))
+                .cond_const("a", "V", CmpOp::Gt, 5)
+                .cond_const("z", "L", CmpOp::Eq, "X")
+                .within(Duration::hours(10))
+        });
+        let tighter = q(|b| {
+            b.set(|s| s.var("a"))
+                .set(|s| s.var("z"))
+                .cond_const("a", "V", CmpOp::Gt, 6)
+                .cond_const("z", "L", CmpOp::Eq, "Y")
+                .within(Duration::hours(10))
+        });
+        assert_eq!(relate(&a, &tighter), PatternRelation::Unrelated);
+        let other_tau = q(|b| {
+            b.set(|s| s.var("a"))
+                .set(|s| s.var("z"))
+                .cond_const("a", "V", CmpOp::Gt, 5)
+                .cond_const("z", "L", CmpOp::Eq, "Y")
+                .within(Duration::hours(11))
+        });
+        assert_eq!(relate(&a, &other_tau), PatternRelation::Unrelated);
+    }
+
+    #[test]
+    fn plan_deduplicates_renamed_twins_and_fans_out() {
+        let mk = |n1: &str, n2: &str| {
+            q(|b| {
+                b.set(|s| s.var(n1))
+                    .set(|s| s.var(n2))
+                    .cond_const(n1, "L", CmpOp::Eq, "C")
+                    .cond_const(n2, "L", CmpOp::Eq, "B")
+                    .within(Duration::hours(10))
+            })
+        };
+        let p1 = mk("a", "b");
+        let p2 = mk("x", "y");
+        let plan = SharingPlan::compute(&[&p1, &p2], &[]);
+        assert_eq!(plan.roles[0], ShareRole::DedupLeader { members: vec![1] });
+        assert_eq!(plan.roles[1], ShareRole::DedupMember { leader: 0 });
+        assert!(plan.prefix_groups.is_empty());
+        assert!(!plan.is_trivial());
+    }
+
+    #[test]
+    fn constraints_gate_sharing() {
+        let mk = || {
+            q(|b| {
+                b.set(|s| s.var("a"))
+                    .set(|s| s.var("z"))
+                    .cond_const("a", "L", CmpOp::Eq, "A")
+                    .cond_const("z", "L", CmpOp::Eq, "Z")
+                    .within(Duration::hours(10))
+            })
+        };
+        let p1 = mk();
+        let p2 = mk();
+        // Different options classes: nothing shared.
+        let plan = SharingPlan::compute(
+            &[&p1, &p2],
+            &[
+                ShareConstraint {
+                    compat: 1,
+                    allow_prefix: true,
+                },
+                ShareConstraint {
+                    compat: 2,
+                    allow_prefix: true,
+                },
+            ],
+        );
+        assert!(plan.is_trivial());
+    }
+
+    #[test]
+    fn negations_and_prefix_opt_out_block_prefix_groups() {
+        let mk_suffix = |l: &str| {
+            Pattern::builder()
+                .set(|s| s.var("a"))
+                .set(|s| s.var("z"))
+                .cond_const("a", "L", CmpOp::Eq, "A")
+                .cond_const("z", "L", CmpOp::Eq, l)
+                .within(Duration::hours(10))
+        };
+        let p1 = mk_suffix("X").build().unwrap();
+        let p2 = Pattern::builder()
+            .set(|s| s.var("a"))
+            .negate("n")
+            .neg_cond_const("n", "L", CmpOp::Eq, "BAD")
+            .set(|s| s.var("z"))
+            .cond_const("a", "L", CmpOp::Eq, "A")
+            .cond_const("z", "L", CmpOp::Eq, "Y")
+            .within(Duration::hours(10))
+            .build()
+            .unwrap();
+        let plan = SharingPlan::compute(&[&p1, &p2], &[]);
+        assert!(plan.prefix_groups.is_empty());
+
+        let p3 = mk_suffix("Y").build().unwrap();
+        let plan = SharingPlan::compute(
+            &[&p1, &p3],
+            &[
+                ShareConstraint {
+                    compat: 0,
+                    allow_prefix: true,
+                },
+                ShareConstraint {
+                    compat: 0,
+                    allow_prefix: false,
+                },
+            ],
+        );
+        assert!(plan.prefix_groups.is_empty());
+    }
+
+    #[test]
+    fn group_quantifiers_participate_in_prefixes() {
+        let mk = |l: &str| {
+            q(|b| {
+                b.set(|s| s.plus("g"))
+                    .set(|s| s.var("z"))
+                    .cond_const("g", "L", CmpOp::Eq, "G")
+                    .cond_const("z", "L", CmpOp::Eq, l)
+                    .within(Duration::hours(10))
+            })
+        };
+        let a = mk("X");
+        let b = mk("Y");
+        assert_eq!(relate(&a, &b), PatternRelation::SharedPrefix { sets: 1 });
+        // Quantifier mismatch in the first set: no sharing.
+        let s = q(|bld| {
+            bld.set(|s| s.var("g"))
+                .set(|s| s.var("z"))
+                .cond_const("g", "L", CmpOp::Eq, "G")
+                .cond_const("z", "L", CmpOp::Eq, "Y")
+                .within(Duration::hours(10))
+        });
+        assert_eq!(relate(&a, &s), PatternRelation::Unrelated);
+    }
+
+    #[test]
+    fn full_prefix_member_is_grouped() {
+        // p1 is exactly the shared prefix of p2.
+        let p1 = q(|b| {
+            b.set(|s| s.var("a"))
+                .cond_const("a", "L", CmpOp::Eq, "A")
+                .within(Duration::hours(10))
+        });
+        let p2 = q(|b| {
+            b.set(|s| s.var("a"))
+                .set(|s| s.var("z"))
+                .cond_const("a", "L", CmpOp::Eq, "A")
+                .cond_const("z", "L", CmpOp::Eq, "Z")
+                .within(Duration::hours(10))
+        });
+        assert_eq!(relate(&p1, &p2), PatternRelation::SharedPrefix { sets: 1 });
+        let plan = SharingPlan::compute(&[&p1, &p2], &[]);
+        assert_eq!(plan.prefix_groups.len(), 1);
+        assert_eq!(plan.prefix_groups[0].leader, 1);
+    }
+
+    #[test]
+    fn mixed_type_constants_fall_back_syntactically() {
+        // `a.V > 1 ∧ a.V < 'x'` poisons the interval domain; equality
+        // must then rely on the syntactic rendering.
+        let mk = || {
+            q(|b| {
+                b.set(|s| s.var("a"))
+                    .cond_const("a", "V", CmpOp::Gt, 1)
+                    .cond_const("a", "V", CmpOp::Lt, "x")
+                    .within(Duration::hours(5))
+            })
+        };
+        let p1 = mk();
+        let p2 = mk();
+        assert_eq!(relate(&p1, &p2), PatternRelation::Equivalent);
+        let p3 = q(|b| {
+            b.set(|s| s.var("a"))
+                .cond_const("a", "V", CmpOp::Gt, 2)
+                .cond_const("a", "V", CmpOp::Lt, "x")
+                .within(Duration::hours(5))
+        });
+        assert_ne!(relate(&p1, &p3), PatternRelation::Equivalent);
+    }
+}

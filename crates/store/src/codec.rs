@@ -11,7 +11,8 @@
 //! Layout of an encoded [`MatcherSnapshot`] (all integers little-endian):
 //!
 //! ```text
-//! u8 kind                     0 = Stream, 1 = Sharded, 2 = Bank
+//! u8 kind                     0 = Stream, 1 = Sharded, 2 = Bank,
+//!                             3 = Bank with structural sharing
 //! stream  := u64 fingerprint | opt_ts watermark | u8 evict
 //!          | u64 evicted | opt_ts last_ts
 //!          | u32 n_events  event*      event   := i64 ts | u16 n | value*
@@ -26,6 +27,12 @@
 //!          | u64 emitted | u8 use_index | u32 n_patterns bpat*
 //! bpat    := str name | stream | u32 n_ids u32* | u64 base
 //!          | u64 peak_omega | u64 hits | u64 skips
+//! bank3   := <bank header as above> | u32 n_patterns bpat3*
+//!          | u32 n_pools stream*
+//! bpat3   := str name | role | u8 has_matcher | stream?
+//!          | u32 n_ids u32* | u64 base | u64 peak_omega
+//!          | u64 hits | u64 skips
+//! role    := 0u8 | 1u8 u32 leader | 2u8 u32 pool
 //! opt_ts  := 0u8 | 1u8 i64
 //! str     := u32 len | utf8 bytes
 //! value   := 0u8 i64 | 1u8 f64 | 2u8 u32 utf8 | 3u8 u8   (the log's tags)
@@ -35,7 +42,7 @@
 //! [`crate::CheckpointStore`]; this module only covers the payload.
 
 use ses_core::{
-    BankPatternSnapshot, BankSnapshot, InstanceSnapshot, MatcherSnapshot, ShardSnapshot,
+    BankPatternSnapshot, BankRole, BankSnapshot, InstanceSnapshot, MatcherSnapshot, ShardSnapshot,
     ShardedSnapshot, StreamSnapshot,
 };
 use ses_event::{AttrId, Event, EventId, Timestamp, Value};
@@ -304,7 +311,12 @@ pub fn encode_snapshot(snapshot: &MatcherSnapshot) -> Vec<u8> {
             }
         }
         MatcherSnapshot::Bank(s) => {
-            e.put_u8(2);
+            // A bank without shared structure keeps the original kind-2
+            // layout, byte for byte, so pre-sharing checkpoints and
+            // their readers stay interchangeable with new ones.
+            let shared =
+                !s.pools.is_empty() || s.roles.iter().any(|r| !matches!(r, BankRole::Plain));
+            e.put_u8(if shared { 3 } else { 2 });
             e.put_opt_ts(s.watermark);
             e.put_opt_ts(s.last_ts);
             e.put_u64(s.next_id);
@@ -312,9 +324,34 @@ pub fn encode_snapshot(snapshot: &MatcherSnapshot) -> Vec<u8> {
             e.put_u64(s.emitted);
             e.put_bool(s.use_index);
             e.put_u32(s.patterns.len() as u32);
-            for p in &s.patterns {
+            for (i, p) in s.patterns.iter().enumerate() {
                 e.put_str(&p.name);
-                encode_stream(&mut e, &p.matcher);
+                if shared {
+                    match s.roles.get(i).unwrap_or(&BankRole::Plain) {
+                        BankRole::Plain => e.put_u8(0),
+                        BankRole::DedupMember { leader } => {
+                            e.put_u8(1);
+                            e.put_u32(*leader);
+                        }
+                        BankRole::PrefixMember { pool } => {
+                            e.put_u8(2);
+                            e.put_u32(*pool);
+                        }
+                    }
+                    match &p.matcher {
+                        Some(m) => {
+                            e.put_u8(1);
+                            encode_stream(&mut e, m);
+                        }
+                        None => e.put_u8(0),
+                    }
+                } else {
+                    // Every pattern of an unshared bank runs a matcher.
+                    encode_stream(
+                        &mut e,
+                        p.matcher.as_ref().expect("unshared bank pattern matcher"),
+                    );
+                }
                 e.put_u32(p.ids.len() as u32);
                 for id in &p.ids {
                     e.put_u32(id.0);
@@ -323,6 +360,12 @@ pub fn encode_snapshot(snapshot: &MatcherSnapshot) -> Vec<u8> {
                 e.put_u64(p.peak_omega);
                 e.put_u64(p.hits);
                 e.put_u64(p.skips);
+            }
+            if shared {
+                e.put_u32(s.pools.len() as u32);
+                for pool in &s.pools {
+                    encode_stream(&mut e, pool);
+                }
             }
         }
     }
@@ -416,7 +459,8 @@ pub fn decode_snapshot(data: &[u8]) -> Result<MatcherSnapshot, StoreError> {
                 shards,
             })
         }
-        2 => {
+        kind @ (2 | 3) => {
+            let shared = kind == 3;
             let watermark = d.get_opt_ts()?;
             let last_ts = d.get_opt_ts()?;
             let next_id = d.get_u64()?;
@@ -425,9 +469,37 @@ pub fn decode_snapshot(data: &[u8]) -> Result<MatcherSnapshot, StoreError> {
             let use_index = d.get_bool()?;
             let n = checked_len(d.get_u32()?, d.remaining(), 4, "bank patterns")?;
             let mut patterns = Vec::with_capacity(n);
+            let mut roles = Vec::with_capacity(n);
             for _ in 0..n {
                 let name = d.get_str()?;
-                let matcher = decode_stream(&mut d)?;
+                let (role, matcher) = if shared {
+                    let role = match d.get_u8()? {
+                        0 => BankRole::Plain,
+                        1 => BankRole::DedupMember {
+                            leader: d.get_u32()?,
+                        },
+                        2 => BankRole::PrefixMember { pool: d.get_u32()? },
+                        tag => {
+                            return Err(StoreError::Corrupt {
+                                message: format!("unknown bank pattern role {tag}"),
+                            })
+                        }
+                    };
+                    let matcher = match d.get_u8()? {
+                        0 => None,
+                        1 => Some(decode_stream(&mut d)?),
+                        tag => {
+                            return Err(StoreError::Corrupt {
+                                message: format!("invalid option tag {tag}"),
+                            })
+                        }
+                    };
+                    (role, matcher)
+                } else {
+                    // Kind 2 predates sharing: every pattern is plain
+                    // and carries its matcher inline.
+                    (BankRole::Plain, Some(decode_stream(&mut d)?))
+                };
                 let n_ids = checked_len(d.get_u32()?, d.remaining(), 4, "bank pattern ids")?;
                 let mut ids = Vec::with_capacity(n_ids);
                 for _ in 0..n_ids {
@@ -437,6 +509,7 @@ pub fn decode_snapshot(data: &[u8]) -> Result<MatcherSnapshot, StoreError> {
                 let peak_omega = d.get_u64()?;
                 let hits = d.get_u64()?;
                 let skips = d.get_u64()?;
+                roles.push(role);
                 patterns.push(BankPatternSnapshot {
                     name,
                     matcher,
@@ -447,6 +520,14 @@ pub fn decode_snapshot(data: &[u8]) -> Result<MatcherSnapshot, StoreError> {
                     skips,
                 });
             }
+            let mut pools = Vec::new();
+            if shared {
+                let n_pools = checked_len(d.get_u32()?, d.remaining(), 1, "prefix pools")?;
+                pools.reserve(n_pools);
+                for _ in 0..n_pools {
+                    pools.push(decode_stream(&mut d)?);
+                }
+            }
             MatcherSnapshot::Bank(BankSnapshot {
                 watermark,
                 last_ts,
@@ -455,6 +536,8 @@ pub fn decode_snapshot(data: &[u8]) -> Result<MatcherSnapshot, StoreError> {
                 emitted,
                 use_index,
                 patterns,
+                roles,
+                pools,
             })
         }
         kind => {
@@ -638,7 +721,7 @@ mod tests {
             patterns: vec![
                 BankPatternSnapshot {
                     name: "q-with a space, punctuation…".into(),
-                    matcher: sample_stream(),
+                    matcher: Some(sample_stream()),
                     ids: vec![EventId(1), EventId(7), EventId(22)],
                     base: 4,
                     peak_omega: 13,
@@ -647,7 +730,7 @@ mod tests {
                 },
                 BankPatternSnapshot {
                     name: String::new(),
-                    matcher: StreamSnapshot {
+                    matcher: Some(StreamSnapshot {
                         events: Vec::new(),
                         instances: Vec::new(),
                         pending: Vec::new(),
@@ -657,7 +740,7 @@ mod tests {
                         evicted: 0,
                         emitted: 0,
                         ..sample_stream()
-                    },
+                    }),
                     ids: Vec::new(),
                     base: 0,
                     peak_omega: 0,
@@ -665,14 +748,63 @@ mod tests {
                     skips: 23,
                 },
             ],
+            roles: vec![BankRole::Plain, BankRole::Plain],
+            pools: Vec::new(),
         })
+    }
+
+    /// A bank with every sharing role populated: a prefix member, a
+    /// dedup member (no matcher of its own), and one prefix pool.
+    fn sample_shared_bank() -> MatcherSnapshot {
+        let MatcherSnapshot::Bank(mut bank) = sample_bank() else {
+            unreachable!()
+        };
+        bank.patterns[1].matcher = None;
+        bank.roles = vec![
+            BankRole::PrefixMember { pool: 0 },
+            BankRole::DedupMember { leader: 0 },
+        ];
+        bank.pools = vec![sample_stream()];
+        MatcherSnapshot::Bank(bank)
     }
 
     #[test]
     fn bank_snapshot_round_trips() {
         let snap = sample_bank();
         let bytes = encode_snapshot(&snap);
+        // Unshared banks keep the pre-sharing kind-2 layout.
+        assert_eq!(bytes[0], 2);
         assert_eq!(decode_snapshot(&bytes).unwrap(), snap);
+    }
+
+    #[test]
+    fn shared_bank_snapshot_round_trips() {
+        let snap = sample_shared_bank();
+        let bytes = encode_snapshot(&snap);
+        assert_eq!(bytes[0], 3);
+        assert_eq!(decode_snapshot(&bytes).unwrap(), snap);
+    }
+
+    #[test]
+    fn shared_bank_truncation_and_garbage_fail_cleanly() {
+        let bytes = encode_snapshot(&sample_shared_bank());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_snapshot(&bytes[..cut]).is_err(),
+                "prefix {cut} accepted"
+            );
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(decode_snapshot(&padded).is_err());
+        // An undefined role tag is rejected. The first pattern's role
+        // byte sits right after the bank header (44 bytes), the u32
+        // pattern count, the u32 name length, and the name itself.
+        let name_len = "q-with a space, punctuation…".len();
+        let mut hostile = bytes;
+        hostile[44 + 4 + 4 + name_len] = 9;
+        let err = decode_snapshot(&hostile).unwrap_err();
+        assert!(err.to_string().contains("role"), "{err}");
     }
 
     #[test]

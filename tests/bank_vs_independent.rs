@@ -18,7 +18,9 @@ mod common;
 
 use proptest::prelude::*;
 
-use common::{pattern_set_strategy, relation_strategy_with, schema};
+use common::{
+    pattern_set_strategy, pattern_set_strategy_with_overlap, relation_strategy_with, schema,
+};
 use ses::prelude::*;
 
 const MODES: [MatchSemantics; 3] = [
@@ -76,9 +78,20 @@ fn build_bank(
     evict: bool,
     use_index: bool,
 ) -> PatternBank {
+    build_bank_sharing(patterns, opts, evict, use_index, false)
+}
+
+fn build_bank_sharing(
+    patterns: &[Pattern],
+    opts: &MatcherOptions,
+    evict: bool,
+    use_index: bool,
+    share: bool,
+) -> PatternBank {
     let mut builder = PatternBank::builder(&schema())
         .with_eviction(evict)
-        .with_index(use_index);
+        .with_index(use_index)
+        .with_sharing(share);
     for (i, p) in patterns.iter().enumerate() {
         builder = builder.register(format!("p{i}"), p, opts.clone()).unwrap();
     }
@@ -103,7 +116,19 @@ fn bank_schedule(
     evict: bool,
     use_index: bool,
 ) -> Vec<Vec<Vec<Match>>> {
-    let mut bank = build_bank(patterns, opts, evict, use_index);
+    bank_schedule_sharing(patterns, rel, opts, evict, use_index, false)
+}
+
+/// As [`bank_schedule`], with structural sharing on or off.
+fn bank_schedule_sharing(
+    patterns: &[Pattern],
+    rel: &Relation,
+    opts: &MatcherOptions,
+    evict: bool,
+    use_index: bool,
+    share: bool,
+) -> Vec<Vec<Vec<Match>>> {
+    let mut bank = build_bank_sharing(patterns, opts, evict, use_index, share);
     let mut schedule = Vec::new();
     for e in rel.events() {
         let emitted = bank.push(e.ts(), e.values().to_vec()).unwrap();
@@ -133,6 +158,36 @@ proptest! {
                 prop_assert_eq!(
                     &got, &want,
                     "schedules diverged (evict={}, index={})", evict, use_index
+                );
+            }
+        }
+    }
+
+    /// The sharing-on/off differential axis: over pattern sets with a
+    /// high shared-prefix overlap (dedup members, prefix groups, and
+    /// independents mixed), a bank with structural sharing enabled
+    /// emits push-for-push exactly what the independent matchers emit
+    /// — sharing is an execution strategy, never an answer change.
+    #[test]
+    fn bank_sharing_equals_independent_matchers(
+        patterns in pattern_set_strategy_with_overlap(75),
+        rel in relation_strategy_with(2..10, 0i64..3),
+        mode in 0usize..3,
+        sel in 0usize..2,
+    ) {
+        let opts = options(MODES[mode], SELECTIONS[sel]);
+        for evict in [true, false] {
+            let want = independent_schedule(&patterns, &rel, &opts, evict);
+            for use_index in [true, false] {
+                let shared = bank_schedule_sharing(&patterns, &rel, &opts, evict, use_index, true);
+                prop_assert_eq!(
+                    &shared, &want,
+                    "sharing diverged from independent (evict={}, index={})", evict, use_index
+                );
+                let unshared = bank_schedule_sharing(&patterns, &rel, &opts, evict, use_index, false);
+                prop_assert_eq!(
+                    &shared, &unshared,
+                    "sharing on/off diverged (evict={}, index={})", evict, use_index
                 );
             }
         }
@@ -184,6 +239,61 @@ proptest! {
         live_out.extend(restored.finish());
         twin_out.extend(twin.finish());
         prop_assert_eq!(live_out, twin_out, "divergence after restore at cut {}", cut);
+    }
+
+    /// The same seamless-restore property with structural sharing on,
+    /// over high-overlap pattern sets: the snapshot travels through the
+    /// bumped codec kind (kind 3 whenever the plan actually shares —
+    /// dedup members without a matcher, prefix pools with live
+    /// instances), and the restored bank both recomputes the identical
+    /// plan and finishes the stream exactly like its uninterrupted
+    /// twin.
+    #[test]
+    fn shared_bank_checkpoint_restore_is_seamless(
+        patterns in pattern_set_strategy_with_overlap(75),
+        rel in relation_strategy_with(3..10, 0i64..3),
+        mode in 0usize..3,
+        cut_pick in 0usize..1000,
+    ) {
+        let opts = options(MODES[mode], EventSelection::SkipTillNextMatch);
+        let cut = cut_pick % (rel.len() + 1);
+        let specs: Vec<(String, Pattern, MatcherOptions)> = patterns
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (format!("p{i}"), p.clone(), opts.clone()))
+            .collect();
+
+        let mut live = build_bank_sharing(&patterns, &opts, true, true, true);
+        let mut twin = build_bank_sharing(&patterns, &opts, true, true, true);
+        let shares = live.sharing_active();
+        let mut live_out = Vec::new();
+        let mut twin_out = Vec::new();
+        for e in &rel.events()[..cut] {
+            live_out.extend(live.push(e.ts(), e.values().to_vec()).unwrap());
+            twin_out.extend(twin.push(e.ts(), e.values().to_vec()).unwrap());
+        }
+
+        let plan = live.sharing_plan().clone();
+        let bytes = ses::store::encode_snapshot(&MatcherSnapshot::Bank(live.snapshot()));
+        drop(live);
+        // Shared structure serializes as the bumped kind; a plan that
+        // happens to share nothing keeps the legacy layout.
+        prop_assert_eq!(bytes[0], if shares { 3 } else { 2 });
+        let MatcherSnapshot::Bank(snap) = ses::store::decode_snapshot(&bytes).unwrap() else {
+            panic!("codec changed the snapshot kind");
+        };
+        let mut restored = ses::core::PatternBank::restore(&specs, &schema(), &snap).unwrap();
+        prop_assert_eq!(restored.sharing_plan(), &plan);
+        prop_assert_eq!(restored.emitted_so_far(), twin.emitted_so_far());
+        prop_assert_eq!(restored.consumed_events(), twin.consumed_events());
+
+        for e in &rel.events()[cut..] {
+            live_out.extend(restored.push(e.ts(), e.values().to_vec()).unwrap());
+            twin_out.extend(twin.push(e.ts(), e.values().to_vec()).unwrap());
+        }
+        live_out.extend(restored.finish());
+        twin_out.extend(twin.finish());
+        prop_assert_eq!(live_out, twin_out, "shared divergence after restore at cut {}", cut);
     }
 }
 

@@ -255,6 +255,69 @@ pub fn pattern_set_strategy() -> impl Strategy<Value = Vec<Pattern>> {
         })
 }
 
+/// As [`pattern_set_strategy`], but with a tunable shared-prefix
+/// overlap knob: `overlap_pct`% of the generated patterns (rounded up)
+/// are rebuilt to open with one common leading event set — identical
+/// declaration order, types, and window τ — diverging only in a typed
+/// suffix variable. That is exactly the shape `PatternBank`'s
+/// structural sharing detects: overlapped patterns land in one prefix
+/// group (or, when their suffixes also coincide, deduplicate
+/// entirely), so the sharing differential suite gets dedup members,
+/// prefix members, and untouched independents in one set. The
+/// `ses-workload` bank generator exposes the same knob for benches
+/// (`BankConfig::overlap`).
+pub fn pattern_set_strategy_with_overlap(overlap_pct: u8) -> impl Strategy<Value = Vec<Pattern>> {
+    (
+        pattern_set_strategy(),
+        proptest::collection::vec((0u8..2, proptest::bool::ANY), 1..3),
+        4i64..20,
+        proptest::collection::vec(0u8..3, 8),
+        proptest::bool::ANY,
+    )
+        .prop_map(
+            move |(mut patterns, prefix, within, suffix_tys, correlate)| {
+                let n = patterns.len();
+                let k = n.min((n * overlap_pct as usize).div_ceil(100));
+                for (i, pattern) in patterns.iter_mut().take(k).enumerate() {
+                    let mut b = Pattern::builder();
+                    let vars: Vec<(String, bool)> = prefix
+                        .iter()
+                        .enumerate()
+                        .map(|(vi, (_, plus))| (format!("s{vi}"), *plus))
+                        .collect();
+                    let set_vars = vars.clone();
+                    b = b.set(move |s| {
+                        for (name, plus) in &set_vars {
+                            if *plus {
+                                s.plus(name.clone());
+                            } else {
+                                s.var(name.clone());
+                            }
+                        }
+                        s
+                    });
+                    b = b.set(|s| s.var("t"));
+                    for (vi, (ty, _)) in prefix.iter().enumerate() {
+                        b = b.cond_const(format!("s{vi}"), "L", CmpOp::Eq, TYPES[*ty as usize]);
+                    }
+                    b = b.cond_const(
+                        "t",
+                        "L",
+                        CmpOp::Eq,
+                        TYPES[suffix_tys[i % suffix_tys.len()] as usize],
+                    );
+                    // Same greedy-safety rule as `pattern_strategy`.
+                    let has_group = prefix.iter().any(|(_, plus)| *plus);
+                    if correlate && !has_group {
+                        b = b.cond_vars("s0", "ID", CmpOp::Eq, "t", "ID");
+                    }
+                    *pattern = b.within(Duration::ticks(within)).build().unwrap();
+                }
+                patterns
+            },
+        )
+}
+
 /// Tiny patterns: 1–2 sets, ≤ 3 variables total, constant type
 /// conditions (possibly overlapping ⇒ nondeterminism), optionally a
 /// group variable and an ID-equality clique (greedy-safe correlation).
