@@ -115,11 +115,12 @@ impl BruteForce {
             type_precheck: self.options.type_precheck,
             max_instances: self.options.max_instances,
             spawn_start: true,
+            columnar: self.options.columnar,
         };
         let mut executions: Vec<Execution<'_>> = self
             .automata
             .iter()
-            .map(|a| Execution::new(a, relation, exec_opts.clone()))
+            .map(|a| Execution::new(a, relation, &exec_opts))
             .collect();
 
         let mut suppressed = SuppressOmega { inner: probe };

@@ -41,6 +41,8 @@ const VALUED: &[&str] = &[
     "checkpoint",
     "checkpoint-every",
     "keep",
+    "columnar",
+    "batch",
 ];
 
 impl Args {

@@ -27,6 +27,7 @@ USAGE:
                    [--selection next-match|any-match] [--closure]
                    [--propagate] [--limit N] [--stats]
                    [--partition auto|time|ATTR|off] [--threads N]
+                   [--columnar auto|on|off]
                    (--propagate runs the static analyzer first: derived
                     constants can rescue the §4.5 filter, see `check`.
                     --partition auto splits the scan per proven partition
@@ -34,15 +35,25 @@ USAGE:
                     ATTR is refused unless the analyzer proves it.
                     --partition time also prefers a proven key but falls
                     back to τ-overlapping time slices when the pattern
-                    proves none — sound for any windowed pattern)
+                    proves none — sound for any windowed pattern.
+                    --columnar controls the batch admission layer:
+                    constant conditions are pre-evaluated into bitmask
+                    lanes once per batch; auto engages it when the
+                    pattern has constant conditions and the input is
+                    large enough to amortize the pass)
   ses-cli stream   --query <file-or-text> (--data <file.csv> | --from-log <dir>)
                    [--no-evict] [--limit N] [--stats]
                    [--partition auto|ATTR|off] [--shards N]
+                   [--columnar auto|on|off] [--batch N]
                    [--checkpoint <dir> [--checkpoint-every N] [--keep K]]
                    (replays the data as a stream: matches are finalized
                     eagerly at the watermark and old events are evicted
                     unless --no-evict. --partition hash-routes events by
                     the partition key to N independent shards.
+                    --batch N replays in micro-batches of N events so
+                    the columnar admission layer evaluates constant
+                    conditions once per batch — matches are identical
+                    to per-event pushes, emitted at batch boundaries.
                     --from-log replays a binary event log (see `import`);
                     with --checkpoint the matcher state is snapshotted
                     every N events (default 1000, keeping the last K
@@ -183,6 +194,16 @@ fn parse_filter(args: &Args) -> Result<FilterMode, String> {
     })
 }
 
+/// Parses `--columnar auto|on|off` (the batch-admission deployment knob).
+fn parse_columnar(args: &Args) -> Result<ses_core::ColumnarMode, String> {
+    Ok(match args.get("columnar").unwrap_or("auto") {
+        "auto" => ses_core::ColumnarMode::Auto,
+        "on" => ses_core::ColumnarMode::On,
+        "off" => ses_core::ColumnarMode::Off,
+        other => return Err(format!("--columnar: expected auto|on|off, got `{other}`")),
+    })
+}
+
 /// Parses `--partition auto|time|ATTR|off` against the data's schema.
 fn parse_partition(args: &Args, schema: &ses_event::Schema) -> Result<PartitionMode, String> {
     Ok(match args.get("partition") {
@@ -213,6 +234,7 @@ fn matcher_options(args: &Args, schema: &ses_event::Schema) -> Result<MatcherOpt
         propagate_constants: args.has_flag("propagate"),
         partition: parse_partition(args, schema)?,
         threads,
+        columnar: parse_columnar(args)?,
         ..MatcherOptions::default()
     })
 }
@@ -361,6 +383,18 @@ fn cmd_run(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         t.row(["raw matches", &probe.matches_emitted.to_string()]);
         t.row(["filter requested", filter_mode_name(probe.filter_requested)]);
         t.row(["filter effective", filter_mode_name(probe.filter_effective)]);
+        let lanes = ses_pattern::AdmissionLanes::of(matcher.automaton().pattern());
+        let mode = matcher.options().columnar;
+        t.row(["columnar mode", columnar_mode_name(mode)]);
+        t.row(["columnar lanes", &lanes.lanes().len().to_string()]);
+        t.row([
+            "columnar active",
+            if mode.active(lanes.lanes().len(), store.relation().len()) {
+                "yes"
+            } else {
+                "no"
+            },
+        ]);
         if probe.filter_downgraded() {
             t.row(["filter downgraded", "yes (SES003: run `ses-cli check`)"]);
         }
@@ -909,6 +943,32 @@ impl AnyStream {
 
     /// Already-consumed events at the snapshot's replay timestamp — the
     /// prefix of the replay scan to skip.
+    /// Pushes a micro-batch. The global matcher takes the columnar
+    /// batch path; the sharded matcher routes per event (its shards
+    /// each see only a subsequence, so batch admission would have to be
+    /// re-split anyway).
+    fn push_batch_with_probe(
+        &mut self,
+        events: Vec<ses_event::Event>,
+        probe: &mut CountingProbe,
+    ) -> Result<Vec<ses_core::Match>, String> {
+        match self {
+            AnyStream::Global(sm) => sm
+                .push_batch_with_probe(events, probe)
+                .map_err(|e| e.to_string()),
+            AnyStream::Sharded(sm) => {
+                let mut out = Vec::new();
+                for e in events {
+                    out.extend(
+                        sm.push_with_probe(e.ts(), e.values().to_vec(), probe)
+                            .map_err(|e| e.to_string())?,
+                    );
+                }
+                Ok(out)
+            }
+        }
+    }
+
     fn ties_at_watermark(&self) -> usize {
         match self {
             AnyStream::Global(sm) => sm.ties_at_watermark(),
@@ -1558,14 +1618,36 @@ fn run_stream(
         Ok(())
     };
 
-    for (_, e) in relation.iter().skip(skip) {
-        let emitted = sm.push_with_probe(e.ts(), e.values().to_vec(), &mut probe)?;
-        let at = format!("t={}", e.ts());
-        for m in &emitted {
-            emit(m, &at, &mut total, &mut suppress, &mut dur, out)?;
+    let batch: usize = args.get_parsed("batch", 1usize)?;
+    if batch == 0 {
+        return Err("--batch: expected a positive micro-batch size".into());
+    }
+    if batch > 1 {
+        // Micro-batched replay: each chunk takes the columnar admission
+        // path in one `push_batch`; emissions are labeled with the
+        // chunk's closing timestamp.
+        let events: Vec<ses_event::Event> =
+            relation.iter().skip(skip).map(|(_, e)| e.clone()).collect();
+        for chunk in events.chunks(batch) {
+            let at = format!("t={}", chunk.last().expect("chunks are non-empty").ts());
+            let emitted = sm.push_batch_with_probe(chunk.to_vec(), &mut probe)?;
+            for m in &emitted {
+                emit(m, &at, &mut total, &mut suppress, &mut dur, out)?;
+            }
+            if let Some(d) = dur.as_deref_mut() {
+                d.tick(&mut sm, &mut probe)?;
+            }
         }
-        if let Some(d) = dur.as_deref_mut() {
-            d.tick(&mut sm, &mut probe)?;
+    } else {
+        for (_, e) in relation.iter().skip(skip) {
+            let emitted = sm.push_with_probe(e.ts(), e.values().to_vec(), &mut probe)?;
+            let at = format!("t={}", e.ts());
+            for m in &emitted {
+                emit(m, &at, &mut total, &mut suppress, &mut dur, out)?;
+            }
+            if let Some(d) = dur.as_deref_mut() {
+                d.tick(&mut sm, &mut probe)?;
+            }
         }
     }
     // Final checkpoint before `finish` consumes the matcher: a crash
@@ -1613,6 +1695,21 @@ fn run_stream(
                 t.row(["eviction", if evict { "on" } else { "off" }]);
                 t.row(["filter requested", filter_mode_name(probe.filter_requested)]);
                 t.row(["filter effective", filter_mode_name(probe.filter_effective)]);
+                let mode = parse_columnar(args)?;
+                t.row(["columnar mode", columnar_mode_name(mode)]);
+                t.row(["micro-batch", &batch.to_string()]);
+                if let Ok(cp) = pattern.compile(relation.schema()) {
+                    let lanes = ses_pattern::AdmissionLanes::of(&cp);
+                    t.row(["columnar lanes", &lanes.lanes().len().to_string()]);
+                    t.row([
+                        "columnar active",
+                        if mode.active(lanes.lanes().len(), batch) {
+                            "yes"
+                        } else {
+                            "no"
+                        },
+                    ]);
+                }
                 if probe.filter_downgraded() {
                     t.row(["filter downgraded", "yes (SES003: run `ses-cli check`)"]);
                 }
@@ -1790,6 +1887,14 @@ fn filter_mode_name(m: Option<FilterMode>) -> &'static str {
     }
 }
 
+fn columnar_mode_name(m: ses_core::ColumnarMode) -> &'static str {
+    match m {
+        ses_core::ColumnarMode::Auto => "auto",
+        ses_core::ColumnarMode::On => "on",
+        ses_core::ColumnarMode::Off => "off",
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1876,6 +1981,70 @@ mod tests {
     /// `[finish] name: {…}` lines, minus timing/stat noise.
     fn match_lines(out: &str) -> Vec<&str> {
         out.lines().filter(|l| l.starts_with('[')).collect()
+    }
+
+    #[test]
+    fn run_columnar_modes_agree_and_report() {
+        let data = figure1_csv();
+        let (code, on) = run(&[
+            "run",
+            "--query",
+            Q1,
+            "--data",
+            &data,
+            "--columnar",
+            "on",
+            "--stats",
+        ]);
+        assert_eq!(code, 0, "{on}");
+        assert!(on.contains("2 match(es)"), "{on}");
+        assert!(on.contains("columnar mode"), "{on}");
+        assert!(on.contains("columnar active"), "{on}");
+        let (code, off) = run(&["run", "--query", Q1, "--data", &data, "--columnar", "off"]);
+        assert_eq!(code, 0, "{off}");
+        assert!(off.contains("2 match(es)"), "{off}");
+        let (code, bad) = run(&["run", "--query", Q1, "--data", &data, "--columnar", "x"]);
+        assert_eq!(code, 1);
+        assert!(bad.contains("--columnar"), "{bad}");
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn stream_batched_replay_matches_per_event() {
+        let data = figure1_csv();
+        let (code, per_event) = run(&["stream", "--query", Q1, "--data", &data]);
+        assert_eq!(code, 0, "{per_event}");
+        for batch in ["3", "64"] {
+            let (code, batched) = run(&[
+                "stream",
+                "--query",
+                Q1,
+                "--data",
+                &data,
+                "--batch",
+                batch,
+                "--columnar",
+                "on",
+            ]);
+            assert_eq!(code, 0, "{batched}");
+            assert!(batched.contains("2 match(es) streamed"), "{batched}");
+            // The same match buffers appear (batching may shift the
+            // emission label to the chunk's closing timestamp).
+            let bufs = |s: &str| {
+                let mut v: Vec<String> = s
+                    .lines()
+                    .filter_map(|l| l.split_once(": ").map(|(_, b)| b.to_string()))
+                    .filter(|b| b.starts_with('{'))
+                    .collect();
+                v.sort();
+                v
+            };
+            assert_eq!(bufs(&per_event), bufs(&batched), "batch {batch}");
+        }
+        let (code, bad) = run(&["stream", "--query", Q1, "--data", &data, "--batch", "0"]);
+        assert_eq!(code, 1);
+        assert!(bad.contains("--batch"), "{bad}");
+        std::fs::remove_file(&data).ok();
     }
 
     #[test]

@@ -98,6 +98,10 @@ pub struct Automaton {
     /// transitions leaving state `q` (transitions are generated grouped by
     /// source).
     outgoing: Vec<std::ops::Range<u32>>,
+    /// `outgoing_var_mask[q]` ORs `var.bit()` over the transitions
+    /// leaving `q`: when the per-event admission mask shares no bit with
+    /// it, no transition can fire and the whole loop is skipped.
+    outgoing_var_mask: Vec<u64>,
     start: StateId,
     accept: StateId,
     tau: Duration,
@@ -213,8 +217,10 @@ impl Automaton {
         }
 
         let mut outgoing = Vec::with_capacity(num_states);
+        let mut outgoing_var_mask = Vec::with_capacity(num_states);
         for ts in per_source {
             let begin = transitions.len() as u32;
+            outgoing_var_mask.push(ts.iter().fold(0u64, |m, t| m | t.var.bit()));
             transitions.extend(ts);
             outgoing.push(begin..transitions.len() as u32);
         }
@@ -226,6 +232,7 @@ impl Automaton {
             by_set,
             transitions,
             outgoing,
+            outgoing_var_mask,
             start,
             accept,
             tau,
@@ -256,6 +263,13 @@ impl Automaton {
     pub fn outgoing(&self, q: StateId) -> &[Transition] {
         let r = &self.outgoing[q.index()];
         &self.transitions[r.start as usize..r.end as usize]
+    }
+
+    /// OR of `var.bit()` over the transitions leaving `q`. An event
+    /// whose variable-admission mask is disjoint from it cannot fire
+    /// any transition from `q`.
+    pub fn outgoing_var_mask(&self, q: StateId) -> u64 {
+        self.outgoing_var_mask[q.index()]
     }
 
     /// The start state `qs = ∅`.

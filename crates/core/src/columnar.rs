@@ -1,0 +1,649 @@
+//! Columnar admission: batch pre-evaluation of constant conditions into
+//! per-variable bitmask vectors.
+//!
+//! The scalar hot path decides, for every event, which variables it can
+//! bind (`satisfies_var_constants`, one typed value comparison per
+//! constant condition) and whether the §4.5 filter keeps it at all.
+//! Those decisions depend only on the event's own attributes, so over a
+//! batch of events they factor into a *columnar* pass: evaluate each
+//! distinct constant condition — a **lane**, from the analyzer-backed
+//! [`AdmissionLanes`] enumeration shared with `PatternIndex` — once per
+//! event into a `u64` bit-vector (bit *i* = event *i* of the batch),
+//! AND a variable's lane vectors word-by-word into its admission-group
+//! vector, and OR group/lane vectors into the filter vector. The
+//! instance loop then reads one precomputed `(filter, var-mask)` pair
+//! per event instead of re-running value comparisons per condition.
+//!
+//! Lane evaluation is type-specialized: `Int`/`Str`/`Bool` constants
+//! run monomorphic comparison loops (falling back to the generic
+//! [`Value::compare`] on a variant mismatch so outcomes stay identical
+//! bit-for-bit), while `Float` constants always take the generic path —
+//! the same scanned-fallback discipline `PatternIndex` applies to Float
+//! point pins. Multiple `Str`-equality lanes over one attribute (the
+//! common "seven medication types on L" shape) share a single pass:
+//! distinct constants are mutually exclusive, so the first hit wins.
+//!
+//! Soundness: a variable's group bit equals the conjunction of exactly
+//! the conditions `satisfies_var_constants` evaluates, and the filter
+//! vector is composed from the same lanes `EventFilter::passes`
+//! consults — see `docs/columnar.md` for the full argument.
+
+use ses_event::{CmpOp, Event, Value};
+use ses_pattern::{AdmissionLanes, CompiledPattern, ConstLane};
+use std::sync::Arc;
+
+use crate::filter::FilterMode;
+
+/// Whether the columnar admission layer is used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ColumnarMode {
+    /// Columnar when the pattern has constant conditions and the batch
+    /// is large enough to amortize the plan (the default).
+    #[default]
+    Auto,
+    /// Always columnar, even for trivial plans — differential tests use
+    /// this to force the path.
+    On,
+    /// Always scalar.
+    Off,
+}
+
+/// Batches below this length stay scalar under [`ColumnarMode::Auto`]:
+/// the lane pass cannot amortize over a handful of events.
+pub(crate) const COLUMNAR_AUTO_MIN_BATCH: usize = 16;
+
+impl ColumnarMode {
+    /// Resolves the mode against a concrete plan (its constant-lane
+    /// count, e.g. `AdmissionLanes::of(..).lanes().len()`) and batch
+    /// length — `true` iff that batch runs columnar.
+    pub fn active(self, num_lanes: usize, batch_len: usize) -> bool {
+        match self {
+            ColumnarMode::On => true,
+            ColumnarMode::Off => false,
+            ColumnarMode::Auto => num_lanes > 0 && batch_len >= COLUMNAR_AUTO_MIN_BATCH,
+        }
+    }
+}
+
+/// The per-event admission decision the columnar layer hands the
+/// engine: the §4.5 filter verdict plus the "which variables can this
+/// event bind" mask (bit *v* = `VarId(v)` admitted).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EventAdmission {
+    pub passes: bool,
+    pub var_ok: u64,
+}
+
+/// One type-specialized lane evaluator.
+#[derive(Debug, Clone)]
+enum Kernel {
+    /// `attr ⟨op⟩ Int` — exact `i64` comparison on `Int` values, `f64`
+    /// comparison on `Float` values, `false` otherwise (matching
+    /// `Value::try_cmp`).
+    Int { lane: usize, op: CmpOp, rhs: i64 },
+    /// `attr ⟨op⟩ Str` — `Str` values compare lexicographically, every
+    /// other variant is incomparable (`as_f64` is `None` for strings).
+    Str {
+        lane: usize,
+        op: CmpOp,
+        rhs: Arc<str>,
+    },
+    /// `attr ⟨op⟩ Bool` — `Bool` values compare, everything else is
+    /// incomparable.
+    Bool { lane: usize, op: CmpOp, rhs: bool },
+    /// Generic fallback via [`Value::compare`]. All `Float` constants
+    /// land here — the scanned-fallback discipline `PatternIndex`
+    /// applies to Float point pins.
+    Generic { lane: usize, op: CmpOp, rhs: Value },
+    /// ≥ 2 `Str`-equality lanes over one attribute, evaluated in a
+    /// single pass: distinct constants are mutually exclusive, so the
+    /// first match sets its lane bit and ends the scan.
+    StrEqSet { lanes: Vec<(usize, Arc<str>)> },
+}
+
+/// A compiled columnar evaluation plan for one pattern: its distinct
+/// constant-condition lanes (shared derivation with `PatternIndex`),
+/// type-specialized kernels, and the lane compositions for variable
+/// groups and filter modes.
+#[derive(Debug, Clone)]
+pub(crate) struct ColumnarPlan {
+    /// Kernels grouped per attribute read; order is irrelevant (each
+    /// kernel owns its lane bits exclusively).
+    kernels: Vec<(ses_event::AttrId, Kernel)>,
+    /// Lane ids per positive variable, in `VarId` order. Empty list =
+    /// unconstrained variable (admitted everywhere).
+    var_groups: Vec<Vec<usize>>,
+    /// Union of all variable groups' lanes — the OR set of the Paper
+    /// filter (`satisfies_any_constant`). Negation-only lanes are
+    /// excluded, exactly as the scalar filter excludes negations.
+    paper_lanes: Vec<usize>,
+    num_lanes: usize,
+}
+
+impl ColumnarPlan {
+    pub(crate) fn new(cp: &CompiledPattern) -> ColumnarPlan {
+        let lanes = AdmissionLanes::of(cp);
+        let var_groups: Vec<Vec<usize>> = (0..lanes.num_vars())
+            .map(|v| lanes.var_group(ses_pattern::VarId(v as u16)).lanes.clone())
+            .collect();
+        let mut paper_lanes: Vec<usize> = var_groups.iter().flatten().copied().collect();
+        paper_lanes.sort_unstable();
+        paper_lanes.dedup();
+
+        // Collect Str-equality lanes per attribute for the shared pass;
+        // everything else gets an individual kernel.
+        let mut kernels: Vec<(ses_event::AttrId, Kernel)> = Vec::new();
+        // Lane indices paired with their string constants, keyed by attribute.
+        type StrEqLanes = Vec<(usize, Arc<str>)>;
+        let mut str_eq: Vec<(ses_event::AttrId, StrEqLanes)> = Vec::new();
+        for (i, lane) in lanes.lanes().iter().enumerate() {
+            if lane.op == CmpOp::Eq {
+                if let Value::Str(s) = &lane.value {
+                    match str_eq.iter_mut().find(|(a, _)| *a == lane.attr) {
+                        Some((_, set)) => set.push((i, s.clone())),
+                        None => str_eq.push((lane.attr, vec![(i, s.clone())])),
+                    }
+                    continue;
+                }
+            }
+            kernels.push((lane.attr, scalar_kernel(i, lane)));
+        }
+        for (attr, set) in str_eq {
+            if set.len() == 1 {
+                let (lane, rhs) = set.into_iter().next().unwrap();
+                kernels.push((
+                    attr,
+                    Kernel::Str {
+                        lane,
+                        op: CmpOp::Eq,
+                        rhs,
+                    },
+                ));
+            } else {
+                kernels.push((attr, Kernel::StrEqSet { lanes: set }));
+            }
+        }
+
+        ColumnarPlan {
+            kernels,
+            var_groups,
+            paper_lanes,
+            num_lanes: lanes.lanes().len(),
+        }
+    }
+
+    /// Number of distinct constant-condition lanes.
+    pub(crate) fn num_lanes(&self) -> usize {
+        self.num_lanes
+    }
+
+    /// Evaluates the plan over a batch of `len` events (fetched through
+    /// `get`, 0-based batch positions) into `out`, whose buffers are
+    /// reused across calls. `filter` must be the **effective** filter
+    /// mode (after any unsound-downgrade), so the filter vector agrees
+    /// with `EventFilter::passes`.
+    pub(crate) fn evaluate<'e, F>(
+        &self,
+        len: usize,
+        get: F,
+        filter: FilterMode,
+        out: &mut ColumnarBatch,
+    ) where
+        F: Fn(usize) -> &'e Event,
+    {
+        let words = len.div_ceil(64);
+        out.len = len;
+        out.words = words;
+        out.lane_bits.clear();
+        out.lane_bits.resize(self.num_lanes * words, 0);
+        let num_vars = self.var_groups.len();
+
+        // Lane pass: one type-specialized sweep per kernel.
+        for (attr, kernel) in &self.kernels {
+            let attr = *attr;
+            match kernel {
+                Kernel::Int { lane, op, rhs } => {
+                    let bits = lane_mut(&mut out.lane_bits, *lane, words);
+                    for i in 0..len {
+                        let hit = match get(i).value(attr) {
+                            Value::Int(x) => op.eval(x.cmp(rhs)),
+                            Value::Float(f) => f
+                                .partial_cmp(&(*rhs as f64))
+                                .is_some_and(|ord| op.eval(ord)),
+                            _ => false,
+                        };
+                        bits[i / 64] |= (hit as u64) << (i % 64);
+                    }
+                }
+                Kernel::Str { lane, op, rhs } => {
+                    let bits = lane_mut(&mut out.lane_bits, *lane, words);
+                    for i in 0..len {
+                        let hit = match get(i).value(attr) {
+                            Value::Str(s) => op.eval(s.as_ref().cmp(rhs.as_ref())),
+                            _ => false,
+                        };
+                        bits[i / 64] |= (hit as u64) << (i % 64);
+                    }
+                }
+                Kernel::Bool { lane, op, rhs } => {
+                    let bits = lane_mut(&mut out.lane_bits, *lane, words);
+                    for i in 0..len {
+                        let hit = match get(i).value(attr) {
+                            Value::Bool(b) => op.eval(b.cmp(rhs)),
+                            _ => false,
+                        };
+                        bits[i / 64] |= (hit as u64) << (i % 64);
+                    }
+                }
+                Kernel::Generic { lane, op, rhs } => {
+                    let bits = lane_mut(&mut out.lane_bits, *lane, words);
+                    for i in 0..len {
+                        let hit = get(i).value(attr).compare(*op, rhs);
+                        bits[i / 64] |= (hit as u64) << (i % 64);
+                    }
+                }
+                Kernel::StrEqSet { lanes } => {
+                    for i in 0..len {
+                        if let Value::Str(s) = get(i).value(attr) {
+                            for (lane, rhs) in lanes {
+                                if s.as_ref() == rhs.as_ref() {
+                                    out.lane_bits[lane * words + i / 64] |= 1u64 << (i % 64);
+                                    break; // distinct constants: at most one hits
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Group pass: AND a variable's lanes word-by-word; a variable
+        // with no lanes is unconstrained — all-ones.
+        out.group_bits.clear();
+        out.group_bits.resize(num_vars * words, 0);
+        for (v, group) in self.var_groups.iter().enumerate() {
+            let base = v * words;
+            match group.split_first() {
+                None => out.group_bits[base..base + words].fill(!0u64),
+                Some((&first, rest)) => {
+                    for w in 0..words {
+                        let mut acc = out.lane_bits[first * words + w];
+                        for &l in rest {
+                            acc &= out.lane_bits[l * words + w];
+                        }
+                        out.group_bits[base + w] = acc;
+                    }
+                }
+            }
+        }
+
+        // Filter pass, honoring the effective mode.
+        out.filtered = filter != FilterMode::Off;
+        out.filter_bits.clear();
+        match filter {
+            FilterMode::Off => {}
+            FilterMode::Paper => {
+                out.filter_bits.resize(words, 0);
+                for &l in &self.paper_lanes {
+                    for w in 0..words {
+                        out.filter_bits[w] |= out.lane_bits[l * words + w];
+                    }
+                }
+            }
+            FilterMode::PerVariable => {
+                out.filter_bits.resize(words, 0);
+                for v in 0..num_vars {
+                    for w in 0..words {
+                        out.filter_bits[w] |= out.group_bits[v * words + w];
+                    }
+                }
+            }
+        }
+
+        // Transpose the group vectors into per-event variable masks.
+        out.masks.clear();
+        out.masks.resize(len, 0);
+        for v in 0..num_vars {
+            let base = v * words;
+            let bit = 1u64 << v;
+            for (i, m) in out.masks.iter_mut().enumerate() {
+                if out.group_bits[base + i / 64] >> (i % 64) & 1 != 0 {
+                    *m |= bit;
+                }
+            }
+        }
+    }
+}
+
+/// The individual (non-shared) kernel for one lane.
+fn scalar_kernel(lane: usize, l: &ConstLane) -> Kernel {
+    match &l.value {
+        Value::Int(rhs) => Kernel::Int {
+            lane,
+            op: l.op,
+            rhs: *rhs,
+        },
+        Value::Str(rhs) => Kernel::Str {
+            lane,
+            op: l.op,
+            rhs: rhs.clone(),
+        },
+        Value::Bool(rhs) => Kernel::Bool {
+            lane,
+            op: l.op,
+            rhs: *rhs,
+        },
+        // Float constants always take the generic compare — the same
+        // scanned fallback PatternIndex uses for Float point pins.
+        Value::Float(_) => Kernel::Generic {
+            lane,
+            op: l.op,
+            rhs: l.value.clone(),
+        },
+    }
+}
+
+fn lane_mut(lane_bits: &mut [u64], lane: usize, words: usize) -> &mut [u64] {
+    &mut lane_bits[lane * words..(lane + 1) * words]
+}
+
+/// The evaluated admission bit-vectors for one batch. All buffers are
+/// pooled: `evaluate` clears and refills them, so steady-state batch
+/// evaluation allocates nothing once capacities plateau.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ColumnarBatch {
+    len: usize,
+    words: usize,
+    /// Lane-major bit-vectors: `lane_bits[l*words + i/64]` bit `i%64` =
+    /// lane `l` holds on batch event `i`.
+    lane_bits: Vec<u64>,
+    /// Variable-group bit-vectors (AND of the group's lanes).
+    group_bits: Vec<u64>,
+    /// Filter verdicts; empty when the effective mode is `Off`.
+    filter_bits: Vec<u64>,
+    filtered: bool,
+    /// Per-event variable-admission masks (transposed group bits).
+    masks: Vec<u64>,
+}
+
+impl ColumnarBatch {
+    /// The admission decision for batch event `i`.
+    pub(crate) fn admission(&self, i: usize) -> EventAdmission {
+        debug_assert!(i < self.len);
+        let passes = !self.filtered || self.filter_bits[i / 64] >> (i % 64) & 1 != 0;
+        EventAdmission {
+            passes,
+            var_ok: self.masks[i],
+        }
+    }
+
+    /// Number of events in the evaluated batch.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::EventFilter;
+    use ses_event::{AttrType, Relation, Schema, Timestamp};
+    use ses_pattern::{Pattern, VarId};
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attr("L", AttrType::Str)
+            .attr("ID", AttrType::Int)
+            .build()
+            .unwrap()
+    }
+
+    fn rel(rows: &[(i64, &str, i64)]) -> Relation {
+        let mut r = Relation::new(schema());
+        for (ts, l, id) in rows {
+            r.push_values(Timestamp::new(*ts), [Value::from(*l), Value::from(*id)])
+                .unwrap();
+        }
+        r
+    }
+
+    /// Columnar admission must agree with the scalar reference
+    /// (`satisfies_var_constants` + `EventFilter::passes`) on every
+    /// event, for every filter mode.
+    fn assert_matches_scalar(cp: &CompiledPattern, relation: &Relation) {
+        let plan = ColumnarPlan::new(cp);
+        let mut batch = ColumnarBatch::default();
+        let n = relation.len();
+        for mode in [FilterMode::Off, FilterMode::Paper, FilterMode::PerVariable] {
+            let filter = EventFilter::new(cp, mode);
+            plan.evaluate(
+                n,
+                |i| relation.event(ses_event::EventId::from(i)),
+                filter.effective_mode(),
+                &mut batch,
+            );
+            assert_eq!(batch.len(), n);
+            for i in 0..n {
+                let event = relation.event(ses_event::EventId::from(i));
+                let adm = batch.admission(i);
+                assert_eq!(
+                    adm.passes,
+                    filter.passes(cp, event),
+                    "filter bit diverges at event {i} under {mode:?}"
+                );
+                for v in 0..cp.pattern().num_vars() {
+                    let scalar = cp.satisfies_var_constants(VarId(v as u16), event);
+                    let bit = adm.var_ok >> v & 1 != 0;
+                    assert_eq!(bit, scalar, "var {v} bit diverges at event {i}");
+                }
+            }
+        }
+    }
+
+    fn two_var_pattern() -> CompiledPattern {
+        Pattern::builder()
+            .set(|s| s.var("a").var("b"))
+            .cond_const("a", "L", CmpOp::Eq, "A")
+            .cond_const("a", "ID", CmpOp::Gt, 3)
+            .cond_const("b", "L", CmpOp::Eq, "B")
+            .within(ses_event::Duration::ticks(100))
+            .build()
+            .unwrap()
+            .compile(&schema())
+            .unwrap()
+    }
+
+    #[test]
+    fn agrees_with_scalar_on_mixed_batch() {
+        let cp = two_var_pattern();
+        let rows: Vec<(i64, &str, i64)> = (0..40)
+            .map(|i| {
+                (
+                    i,
+                    ["A", "B", "X", "A"][i as usize % 4],
+                    (i % 7) - 1, // exercises ID > 3 both ways
+                )
+            })
+            .collect();
+        assert_matches_scalar(&cp, &rel(&rows));
+    }
+
+    #[test]
+    fn word_boundary_batches_63_64_65_128_129() {
+        let cp = two_var_pattern();
+        for n in [63i64, 64, 65, 128, 129] {
+            let rows: Vec<(i64, &str, i64)> = (0..n)
+                .map(|i| (i, if i % 3 == 0 { "A" } else { "B" }, i % 9))
+                .collect();
+            let r = rel(&rows);
+            assert_eq!(r.len() as i64, n);
+            assert_matches_scalar(&cp, &r);
+        }
+    }
+
+    #[test]
+    fn empty_batch_evaluates_cleanly() {
+        let cp = two_var_pattern();
+        let plan = ColumnarPlan::new(&cp);
+        let mut batch = ColumnarBatch::default();
+        let r = rel(&[]);
+        plan.evaluate(
+            0,
+            |i| r.event(ses_event::EventId::from(i)),
+            FilterMode::Paper,
+            &mut batch,
+        );
+        assert_eq!(batch.len(), 0);
+    }
+
+    #[test]
+    fn sixty_five_lanes_span_group_words() {
+        // 33 variables × 2 conditions each = 66 distinct lanes: the
+        // lane count itself crosses 64 while every group stays a small
+        // conjunction. Bits must still agree with the scalar oracle.
+        let mut b = Pattern::builder().set(|s| {
+            let mut s = s;
+            for i in 0..33 {
+                s = s.var(format!("v{i}"));
+            }
+            s
+        });
+        for i in 0..33 {
+            // Ne conditions are almost always true → they don't starve
+            // the batch, but each (attr, op, value) stays distinct.
+            b = b.cond_const(format!("v{i}"), "L", CmpOp::Ne, format!("zz{i}"));
+            b = b.cond_const(format!("v{i}"), "ID", CmpOp::Ne, 1000 + i as i64);
+        }
+        let cp = b
+            .within(ses_event::Duration::ticks(1000))
+            .build()
+            .unwrap()
+            .compile(&schema())
+            .unwrap();
+        let plan = ColumnarPlan::new(&cp);
+        assert_eq!(plan.num_lanes(), 66);
+        let rows: Vec<(i64, &str, i64)> = (0..70)
+            .map(|i| (i, if i == 5 { "zz3" } else { "ok" }, 1000 + (i % 40)))
+            .collect();
+        assert_matches_scalar(&cp, &rel(&rows));
+    }
+
+    #[test]
+    fn float_lanes_take_the_generic_kernel() {
+        let fschema = Schema::builder()
+            .attr("L", AttrType::Str)
+            .attr("V", AttrType::Float)
+            .build()
+            .unwrap();
+        let cp = Pattern::builder()
+            .set(|s| s.var("a").var("b"))
+            .cond_const("a", "V", CmpOp::Eq, 0.0)
+            .cond_const("b", "V", CmpOp::Gt, 2.5)
+            .within(ses_event::Duration::ticks(100))
+            .build()
+            .unwrap()
+            .compile(&fschema)
+            .unwrap();
+        let plan = ColumnarPlan::new(&cp);
+        assert!(plan
+            .kernels
+            .iter()
+            .all(|(_, k)| matches!(k, Kernel::Generic { .. })));
+        let mut r = Relation::new(fschema);
+        // -0.0 must satisfy V = 0.0 exactly as the scalar compare does.
+        for (ts, v) in [(0i64, 0.0f64), (1, -0.0), (2, 3.5), (3, 1.0)] {
+            r.push_values(Timestamp::new(ts), [Value::from("E"), Value::from(v)])
+                .unwrap();
+        }
+        let mut batch = ColumnarBatch::default();
+        plan.evaluate(
+            r.len(),
+            |i| r.event(ses_event::EventId::from(i)),
+            FilterMode::Off,
+            &mut batch,
+        );
+        assert_eq!(batch.admission(0).var_ok, 0b01);
+        assert_eq!(batch.admission(1).var_ok, 0b01, "-0.0 == 0.0");
+        assert_eq!(batch.admission(2).var_ok, 0b10);
+        assert_eq!(batch.admission(3).var_ok, 0b00);
+    }
+
+    #[test]
+    fn str_eq_lanes_share_one_pass() {
+        let mut b = Pattern::builder().set(|s| {
+            let mut s = s;
+            for i in 0..7 {
+                s = s.var(format!("m{i}"));
+            }
+            s
+        });
+        for (i, l) in ["C", "D", "P", "V", "R", "L", "B"].iter().enumerate() {
+            b = b.cond_const(format!("m{i}"), "L", CmpOp::Eq, *l);
+        }
+        let cp = b
+            .within(ses_event::Duration::ticks(1000))
+            .build()
+            .unwrap()
+            .compile(&schema())
+            .unwrap();
+        let plan = ColumnarPlan::new(&cp);
+        assert!(plan
+            .kernels
+            .iter()
+            .any(|(_, k)| matches!(k, Kernel::StrEqSet { lanes } if lanes.len() == 7)));
+        let rows: Vec<(i64, &str, i64)> = (0..30)
+            .map(|i| (i, ["C", "D", "X", "B", "R"][i as usize % 5], i))
+            .collect();
+        assert_matches_scalar(&cp, &rel(&rows));
+    }
+
+    #[test]
+    fn auto_mode_thresholds() {
+        assert!(!ColumnarMode::Auto.active(0, 1_000_000), "no lanes");
+        assert!(!ColumnarMode::Auto.active(5, COLUMNAR_AUTO_MIN_BATCH - 1));
+        assert!(ColumnarMode::Auto.active(5, COLUMNAR_AUTO_MIN_BATCH));
+        assert!(ColumnarMode::On.active(0, 0));
+        assert!(!ColumnarMode::Off.active(99, 1 << 20));
+    }
+
+    #[test]
+    fn buffers_are_reused_across_batches() {
+        let cp = two_var_pattern();
+        let plan = ColumnarPlan::new(&cp);
+        let mut batch = ColumnarBatch::default();
+        let big = rel(&(0..200)
+            .map(|i| (i, if i % 2 == 0 { "A" } else { "B" }, i))
+            .collect::<Vec<_>>());
+        plan.evaluate(
+            big.len(),
+            |i| big.event(ses_event::EventId::from(i)),
+            FilterMode::Paper,
+            &mut batch,
+        );
+        let cap = (
+            batch.lane_bits.capacity(),
+            batch.group_bits.capacity(),
+            batch.masks.capacity(),
+        );
+        // A smaller follow-up batch must fit in the pooled buffers.
+        let small = rel(&[(0, "A", 9), (1, "B", 0)]);
+        plan.evaluate(
+            small.len(),
+            |i| small.event(ses_event::EventId::from(i)),
+            FilterMode::Paper,
+            &mut batch,
+        );
+        assert_eq!(batch.len(), 2);
+        assert_eq!(
+            (
+                batch.lane_bits.capacity(),
+                batch.group_bits.capacity(),
+                batch.masks.capacity(),
+            ),
+            cap,
+            "pooled buffers must not shrink or reallocate"
+        );
+        assert_matches_scalar(&cp, &small);
+    }
+}

@@ -21,6 +21,7 @@ use ses_event::{Event, EventId, EventSource, Relation, Timestamp};
 
 use crate::automaton::{Automaton, TransCond, Transition};
 use crate::buffer::Buffer;
+use crate::columnar::{ColumnarBatch, ColumnarMode, ColumnarPlan, EventAdmission};
 use crate::filter::{EventFilter, FilterMode};
 use crate::probe::Probe;
 use crate::state::StateId;
@@ -83,6 +84,11 @@ pub struct ExecOptions {
     /// with this off: its runs begin at the prefix boundary, injected by
     /// the pool that simulates the common prefix for the whole group.
     pub spawn_start: bool,
+    /// Columnar admission: pre-evaluate every constant condition over
+    /// the whole batch into per-variable bitmask vectors instead of
+    /// per-event typed comparisons (see `crate::columnar`). Semantics-
+    /// neutral deployment knob; default [`ColumnarMode::Auto`].
+    pub columnar: ColumnarMode,
 }
 
 impl Default for ExecOptions {
@@ -94,6 +100,7 @@ impl Default for ExecOptions {
             type_precheck: true,
             max_instances: None,
             spawn_start: true,
+            columnar: ColumnarMode::Auto,
         }
     }
 }
@@ -129,7 +136,7 @@ pub fn execute<S: EventSource, P: Probe>(
     options: &ExecOptions,
     probe: &mut P,
 ) -> Vec<RawMatch> {
-    let mut exec = Execution::new(automaton, relation, options.clone());
+    let mut exec = Execution::new(automaton, relation, options);
     probe.filter_mode(
         exec.filter().requested_mode(),
         exec.filter().effective_mode(),
@@ -148,8 +155,10 @@ pub fn execute<S: EventSource, P: Probe>(
 pub struct Execution<'a, S: EventSource = Relation> {
     automaton: &'a Automaton,
     relation: &'a S,
-    options: ExecOptions,
+    options: &'a ExecOptions,
     filter: EventFilter,
+    /// Whole-relation columnar admission, when the mode activates.
+    columnar: Option<ColumnarBatch>,
     omega: Vec<Instance>,
     scratch: Vec<Instance>,
     results: Vec<RawMatch>,
@@ -163,18 +172,41 @@ impl<'a, S: EventSource> Execution<'a, S> {
     }
 
     /// Prepares an execution positioned before the first event.
-    pub fn new(automaton: &'a Automaton, relation: &'a S, options: ExecOptions) -> Self {
+    pub fn new(automaton: &'a Automaton, relation: &'a S, options: &'a ExecOptions) -> Self {
         let filter = EventFilter::new(automaton.pattern(), options.filter);
+        let columnar = {
+            let plan = ColumnarPlan::new(automaton.pattern());
+            options
+                .columnar
+                .active(plan.num_lanes(), relation.len())
+                .then(|| {
+                    let mut batch = ColumnarBatch::default();
+                    plan.evaluate(
+                        relation.len(),
+                        |i| relation.event(EventId::from(i)),
+                        filter.effective_mode(),
+                        &mut batch,
+                    );
+                    batch
+                })
+        };
         Execution {
             automaton,
             relation,
             options,
             filter,
+            columnar,
             omega: Vec::new(),
             scratch: Vec::new(),
             results: Vec::new(),
             position: 0,
         }
+    }
+
+    /// `true` iff this execution admits events through the columnar
+    /// bitmask layer rather than per-event comparisons.
+    pub fn is_columnar(&self) -> bool {
+        self.columnar.is_some()
     }
 
     /// Processes the next event. Returns `false` when the relation is
@@ -185,14 +217,16 @@ impl<'a, S: EventSource> Execution<'a, S> {
         }
         let position = self.position;
         self.position += 1;
+        let admission = self.columnar.as_ref().map(|b| b.admission(position));
         process_event(
             self.automaton,
             self.relation,
             &self.filter,
-            &self.options,
+            self.options,
             &mut self.omega,
             &mut self.scratch,
             EventId::from(position),
+            admission,
             &mut self.results,
             probe,
         );
@@ -248,17 +282,24 @@ impl<'a, S: EventSource> Execution<'a, S> {
 /// window excludes the current timestamp also excludes every later one,
 /// and filtered events are never offered to instances, so the raw match
 /// set is unchanged — only its emission time moves earlier.
+///
+/// Returns the minimum first-binding timestamp across the *surviving*
+/// instances (`None` when no survivor has bound an event yet): the next
+/// sweep can be skipped until the watermark moves more than `τ` past it,
+/// because no window can close before then.
 pub(crate) fn sweep_expired<P: Probe>(
     automaton: &Automaton,
     omega: &mut Vec<Instance>,
     watermark: Timestamp,
     results: &mut Vec<RawMatch>,
     probe: &mut P,
-) {
+) -> Option<Timestamp> {
     let tau = automaton.tau();
     let accept = automaton.accept();
+    let mut floor: Option<Timestamp> = None;
     omega.retain(|instance| {
-        let expired = match instance.buffer.min_ts() {
+        let min_ts = instance.buffer.min_ts();
+        let expired = match min_ts {
             Some(min) => watermark.distance(min) > tau,
             None => false,
         };
@@ -270,14 +311,21 @@ pub(crate) fn sweep_expired<P: Probe>(
                     bindings: instance.buffer.to_sorted_bindings(),
                 });
             }
+        } else if let Some(min) = min_ts {
+            floor = Some(floor.map_or(min, |f: Timestamp| f.min(min)));
         }
         !expired
     });
+    floor
 }
 
 /// The body of Algorithm 1's per-event iteration: spawn a fresh start
 /// instance, expire/emit, consume. Shared by the batch [`Execution`] and
 /// the push-based [`crate::StreamMatcher`].
+///
+/// When `admission` is provided (columnar mode), the filter verdict and
+/// variable mask were precomputed over the whole batch; otherwise both
+/// are evaluated scalar, per event, exactly as before.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn process_event<S: EventSource, P: Probe>(
     automaton: &Automaton,
@@ -287,6 +335,7 @@ pub(crate) fn process_event<S: EventSource, P: Probe>(
     omega: &mut Vec<Instance>,
     scratch: &mut Vec<Instance>,
     event_id: EventId,
+    admission: Option<EventAdmission>,
     results: &mut Vec<RawMatch>,
     probe: &mut P,
 ) {
@@ -294,7 +343,11 @@ pub(crate) fn process_event<S: EventSource, P: Probe>(
 
     probe.event_read();
     let pattern = automaton.pattern();
-    if !filter.passes(pattern, event) {
+    let passes = match admission {
+        Some(a) => a.passes,
+        None => filter.passes(pattern, event),
+    };
+    if !passes {
         probe.event_filtered();
         return;
     }
@@ -305,17 +358,21 @@ pub(crate) fn process_event<S: EventSource, P: Probe>(
 
     // Which variables can this event possibly bind? Computing the mask
     // once per event amortizes every constant-condition evaluation over
-    // all simultaneous instances.
-    let var_ok: Option<u64> = options.type_precheck.then(|| {
-        let p = pattern.pattern();
-        let mut mask = 0u64;
-        for i in 0..p.num_vars() {
-            if pattern.satisfies_var_constants(ses_pattern::VarId(i as u16), event) {
-                mask |= 1u64 << i;
+    // all simultaneous instances; columnar mode amortizes it further,
+    // over the whole batch.
+    let var_ok: Option<u64> = match admission {
+        Some(a) => Some(a.var_ok),
+        None => options.type_precheck.then(|| {
+            let p = pattern.pattern();
+            let mut mask = 0u64;
+            for i in 0..p.num_vars() {
+                if pattern.satisfies_var_constants(ses_pattern::VarId(i as u16), event) {
+                    mask |= 1u64 << i;
+                }
             }
-        }
-        mask
-    });
+            mask
+        }),
+    };
 
     // Algorithm 1, line 4: a fresh instance per (unfiltered) event.
     if options.spawn_start {
@@ -345,7 +402,7 @@ pub(crate) fn process_event<S: EventSource, P: Probe>(
         consume_event(
             automaton,
             relation,
-            &instance,
+            instance,
             event,
             event_id,
             start,
@@ -368,11 +425,15 @@ pub(crate) fn process_event<S: EventSource, P: Probe>(
 
 /// Algorithm 2: offers `event` to `instance`; pushes the successor
 /// instances into `out`.
+///
+/// Takes the instance by value: a surviving source is *moved* into
+/// `out`, so the old per-emission `instance.clone()` (an `Arc` bump +
+/// drop per retained instance per event) is gone entirely.
 #[allow(clippy::too_many_arguments)]
 fn consume_event<S: EventSource, P: Probe>(
     automaton: &Automaton,
     relation: &S,
-    instance: &Instance,
+    instance: Instance,
     event: &Event,
     event_id: EventId,
     start: StateId,
@@ -381,6 +442,18 @@ fn consume_event<S: EventSource, P: Probe>(
     out: &mut Vec<Instance>,
     probe: &mut P,
 ) {
+    if let Some(mask) = var_ok {
+        // Fast path: no outgoing transition's variable is admitted, so
+        // nothing can fire — skip the transition loop entirely. Probe-
+        // identical to walking it: every transition would have been
+        // mask-skipped before `transition_evaluated`.
+        if mask & automaton.outgoing_var_mask(instance.state) == 0 {
+            if instance.state != start {
+                out.push(instance);
+            }
+            return;
+        }
+    }
     let mut fired = 0usize;
     for transition in automaton.outgoing(instance.state) {
         // Precheck: an event failing the bound variable's constant
@@ -421,7 +494,7 @@ fn consume_event<S: EventSource, P: Probe>(
         if fired > 0 {
             probe.instance_branched();
         }
-        out.push(instance.clone());
+        out.push(instance);
     }
 }
 
@@ -846,6 +919,64 @@ mod tests {
                     out
                 };
                 assert_eq!(run(true), run(false), "{selection:?}/{filter:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_is_semantics_neutral() {
+        // Forcing the columnar admission path on yields exactly the
+        // scalar results, for every selection strategy and filter mode
+        // (including the batch-size-gated Auto default).
+        let p = Pattern::builder()
+            .set(|s| s.var("x").plus("y"))
+            .set(|s| s.var("b"))
+            .cond_const("x", "L", CmpOp::Eq, "M")
+            .cond_const("y", "L", CmpOp::Eq, "M")
+            .cond_const("b", "L", CmpOp::Eq, "B")
+            .cond_vars("x", "ID", CmpOp::Eq, "b", "ID")
+            .within(Duration::ticks(50))
+            .build()
+            .unwrap();
+        let a = automaton(p);
+        let r = rel(&[
+            (0, 1, "M"),
+            (1, 2, "M"),
+            (2, 1, "M"),
+            (3, 1, "Z"),
+            (4, 1, "B"),
+            (5, 2, "B"),
+        ]);
+        for selection in [
+            EventSelection::SkipTillNextMatch,
+            EventSelection::SkipTillAnyMatch,
+        ] {
+            for filter in [FilterMode::Off, FilterMode::Paper, FilterMode::PerVariable] {
+                for precheck in [false, true] {
+                    let run = |columnar: crate::ColumnarMode| {
+                        let opts = ExecOptions {
+                            selection,
+                            filter,
+                            type_precheck: precheck,
+                            columnar,
+                            ..ExecOptions::default()
+                        };
+                        let mut out = execute(&a, &r, &opts, &mut NoProbe);
+                        out.sort();
+                        out
+                    };
+                    let scalar = run(crate::ColumnarMode::Off);
+                    assert_eq!(
+                        run(crate::ColumnarMode::On),
+                        scalar,
+                        "on {selection:?}/{filter:?}/{precheck}"
+                    );
+                    assert_eq!(
+                        run(crate::ColumnarMode::Auto),
+                        scalar,
+                        "auto {selection:?}/{filter:?}/{precheck}"
+                    );
+                }
             }
         }
     }

@@ -52,6 +52,7 @@
 mod automaton;
 mod bank;
 mod buffer;
+mod columnar;
 mod dot;
 mod engine;
 mod error;
@@ -74,6 +75,7 @@ mod trace;
 pub use automaton::{Automaton, State, TransCond, Transition, DEFAULT_MAX_STATES};
 pub use bank::{PatternBank, PatternBankBuilder, PatternStats};
 pub use buffer::{Binding, Buffer, BufferIter};
+pub use columnar::ColumnarMode;
 pub use engine::{execute, EventSelection, ExecOptions, Execution, Instance, RawMatch};
 pub use error::CoreError;
 pub use filter::{EventFilter, FilterMode};

@@ -34,6 +34,7 @@ use ses_event::{AttrId, Relation, Schema};
 use ses_pattern::{CompiledPattern, Pattern};
 
 use crate::automaton::{Automaton, DEFAULT_MAX_STATES};
+use crate::columnar::ColumnarMode;
 use crate::engine::{execute, EventSelection, ExecOptions};
 use crate::filter::FilterMode;
 use crate::matches::Match;
@@ -132,6 +133,12 @@ pub struct MatcherOptions {
     /// Worker threads for partitioned execution. `None` (the default)
     /// uses [`std::thread::available_parallelism`].
     pub threads: Option<usize>,
+    /// Columnar admission (see [`crate::ColumnarMode`]): batch
+    /// pre-evaluation of constant conditions into per-variable bitmask
+    /// vectors. Semantics-neutral deployment knob — deliberately
+    /// excluded from the checkpoint fingerprint. Default:
+    /// [`ColumnarMode::Auto`].
+    pub columnar: ColumnarMode,
 }
 
 impl Default for MatcherOptions {
@@ -148,6 +155,7 @@ impl Default for MatcherOptions {
             max_instances: None,
             partition: PartitionMode::Off,
             threads: None,
+            columnar: ColumnarMode::Auto,
         }
     }
 }
@@ -305,6 +313,7 @@ impl Matcher {
             type_precheck: self.options.type_precheck,
             max_instances: self.options.max_instances,
             spawn_start: true,
+            columnar: self.options.columnar,
         }
     }
 

@@ -90,24 +90,27 @@ impl MultiMatcher {
             fn omega(&mut self, _n: usize) {}
         }
 
-        let mut executions: Vec<Execution<'_>> = self
+        let exec_opts: Vec<ExecOptions> = self
             .matchers
             .iter()
             .map(|(_, m)| {
                 let o = m.options();
-                Execution::new(
-                    m.automaton(),
-                    relation,
-                    ExecOptions {
-                        filter: o.filter,
-                        selection: o.selection,
-                        flush_at_end: o.flush_at_end,
-                        type_precheck: o.type_precheck,
-                        max_instances: o.max_instances,
-                        spawn_start: true,
-                    },
-                )
+                ExecOptions {
+                    filter: o.filter,
+                    selection: o.selection,
+                    flush_at_end: o.flush_at_end,
+                    type_precheck: o.type_precheck,
+                    max_instances: o.max_instances,
+                    spawn_start: true,
+                    columnar: o.columnar,
+                }
             })
+            .collect();
+        let mut executions: Vec<Execution<'_>> = self
+            .matchers
+            .iter()
+            .zip(&exec_opts)
+            .map(|((_, m), opts)| Execution::new(m.automaton(), relation, opts))
             .collect();
 
         let mut shared = SuppressOmega(probe);

@@ -46,6 +46,7 @@ use std::collections::BTreeMap;
 use ses_event::{Event, EventError, Relation, Schema, Timestamp, Value};
 use ses_pattern::Pattern;
 
+use crate::columnar::{ColumnarBatch, ColumnarMode, ColumnarPlan};
 use crate::engine::{process_event, sweep_expired, ExecOptions, Instance, RawMatch};
 use crate::filter::EventFilter;
 use crate::matcher::MatcherOptions;
@@ -56,6 +57,7 @@ use crate::semantics::{Adjudicator, GroupKey};
 use crate::snapshot::{matcher_fingerprint, InstanceSnapshot, StreamSnapshot};
 use crate::state::StateId;
 use crate::{Automaton, Buffer, CoreError};
+use ses_event::EventId;
 
 /// An incremental, push-based matcher with watermark-driven eviction.
 #[derive(Debug)]
@@ -80,6 +82,17 @@ pub struct StreamMatcher {
     /// instances are spawned; runs enter via
     /// [`StreamMatcher::inject_instances_at`] instead.
     spawn_start: bool,
+    /// Columnar admission plan for [`StreamMatcher::push_batch`];
+    /// `None` when the mode is `Off`.
+    columnar: Option<ColumnarPlan>,
+    /// Pooled micro-batch admission buffers, reused across batches.
+    columnar_batch: ColumnarBatch,
+    /// Conservative lower bound on the earliest first-binding timestamp
+    /// across `omega` (`None` when no instance has bound an event).
+    /// While the watermark is within `τ` of it, no window can have
+    /// closed, so the per-push `O(|Ω|)` expiry sweep is provably a
+    /// no-op and is skipped — see [`StreamMatcher::sweep_if_due`].
+    expiry_floor: Option<Timestamp>,
 }
 
 impl StreamMatcher {
@@ -104,11 +117,15 @@ impl StreamMatcher {
     pub(crate) fn from_automaton(automaton: Automaton, options: MatcherOptions) -> StreamMatcher {
         let filter = EventFilter::new(automaton.pattern(), options.filter);
         let adjudicator = Adjudicator::new(options.semantics);
+        let columnar =
+            (options.columnar != ColumnarMode::Off).then(|| ColumnarPlan::new(automaton.pattern()));
         StreamMatcher {
             relation: Relation::new(automaton.pattern().schema().clone()),
             automaton,
             options,
             filter,
+            columnar,
+            columnar_batch: ColumnarBatch::default(),
             omega: Vec::new(),
             scratch: Vec::new(),
             results: Vec::new(),
@@ -118,6 +135,28 @@ impl StreamMatcher {
             evict: true,
             emitted: 0,
             spawn_start: true,
+            expiry_floor: None,
+        }
+    }
+
+    /// Runs the expiry sweep only when an instance can actually have
+    /// expired. Skipping is exact, never approximate: `expiry_floor`
+    /// lower-bounds every live window's start, so within `τ` of it the
+    /// sweep would provably drop and emit nothing — emission timing is
+    /// bit-identical to sweeping on every push.
+    fn sweep_if_due<P: Probe>(&mut self, watermark: Timestamp, probe: &mut P) {
+        let due = match self.expiry_floor {
+            Some(floor) => watermark.distance(floor) > self.automaton.tau(),
+            None => false,
+        };
+        if due {
+            self.expiry_floor = sweep_expired(
+                &self.automaton,
+                &mut self.omega,
+                watermark,
+                &mut self.results,
+                probe,
+            );
         }
     }
 
@@ -161,6 +200,20 @@ impl StreamMatcher {
             }
         }
         let id = self.relation.push_values(ts, values)?;
+        Ok(self.push_stored(id, ts, None, probe))
+    }
+
+    /// The shared tail of every push flavor: runs the engine over an
+    /// event already appended to the relation. `admission` carries the
+    /// precomputed columnar verdict when the event arrived through
+    /// [`StreamMatcher::push_batch`]; `None` evaluates scalar.
+    fn push_stored<P: Probe>(
+        &mut self,
+        id: EventId,
+        ts: Timestamp,
+        admission: Option<crate::columnar::EventAdmission>,
+        probe: &mut P,
+    ) -> Vec<Match> {
         if self.watermark.is_none() {
             probe.filter_mode(self.filter.requested_mode(), self.filter.effective_mode());
         }
@@ -175,19 +228,13 @@ impl StreamMatcher {
                 }
             }
             probe.retained_events(self.relation.len());
-            return Ok(Vec::new());
+            return Vec::new();
         }
         // Retire runs whose window can no longer close *before* the new
         // event is processed — on every push, including filtered ones
         // (sweeping early is observationally identical; see
         // `sweep_expired`). Their accepting buffers join `pending`.
-        sweep_expired(
-            &self.automaton,
-            &mut self.omega,
-            ts,
-            &mut self.results,
-            probe,
-        );
+        self.sweep_if_due(ts, probe);
         process_event(
             &self.automaton,
             &self.relation,
@@ -196,9 +243,14 @@ impl StreamMatcher {
             &mut self.omega,
             &mut self.scratch,
             id,
+            admission,
             &mut self.results,
             probe,
         );
+        // Any binding made at this push starts its window at `ts`; the
+        // floor only ever needs to reach down to it. (A stale, too-low
+        // floor is harmless: the next sweep recomputes it exactly.)
+        self.expiry_floor = Some(self.expiry_floor.map_or(ts, |f| f.min(ts)));
         self.queue_results();
         let out = self.drain_decidable(ts);
         let tau = self.automaton.tau();
@@ -212,7 +264,7 @@ impl StreamMatcher {
         }
         probe.retained_events(self.relation.len());
         self.emitted += out.len();
-        Ok(out)
+        out
     }
 
     /// Pushes an event the caller has *proved* cannot bind any
@@ -244,13 +296,7 @@ impl StreamMatcher {
         self.watermark = Some(ts);
         let tau = self.automaton.tau();
         let out = if self.automaton.pattern().is_satisfiable() {
-            sweep_expired(
-                &self.automaton,
-                &mut self.omega,
-                ts,
-                &mut self.results,
-                probe,
-            );
+            self.sweep_if_due(ts, probe);
             self.queue_results();
             let out = self.drain_decidable(ts);
             self.adjudicator.prune_survivors(ts - tau - tau);
@@ -269,10 +315,98 @@ impl StreamMatcher {
         Ok(out)
     }
 
-    /// Pushes a pre-built event.
+    /// Pushes a pre-built event. The event is *moved* into the
+    /// relation (its payload is a shared `Arc` slice) — no values are
+    /// copied.
     pub fn push_event(&mut self, event: Event) -> Result<Vec<Match>, EventError> {
-        let values = event.values().to_vec();
-        self.push(event.ts(), values)
+        self.push_event_with_probe(event, &mut NoProbe)
+    }
+
+    /// [`StreamMatcher::push_event`] with an instrumentation probe.
+    pub fn push_event_with_probe<P: Probe>(
+        &mut self,
+        event: Event,
+        probe: &mut P,
+    ) -> Result<Vec<Match>, EventError> {
+        if let Some(w) = self.watermark {
+            if event.ts() < w {
+                return Err(EventError::OutOfOrder {
+                    previous: w.ticks(),
+                    got: event.ts().ticks(),
+                });
+            }
+        }
+        self.relation.schema().check_row(event.values())?;
+        let ts = event.ts();
+        let id = self.relation.push_event(event)?;
+        Ok(self.push_stored(id, ts, None, probe))
+    }
+
+    /// Pushes a micro-batch of events and returns the concatenation of
+    /// the per-event results — match-for-match and in the same order as
+    /// pushing each event individually, so batch boundaries never change
+    /// emission timing (see `docs/columnar.md`).
+    ///
+    /// When the matcher's [`ColumnarMode`] activates for the batch
+    /// length, constant conditions are pre-evaluated once over the whole
+    /// batch into bitmask vectors (single-event and sub-threshold
+    /// batches fall back to the scalar per-push path).
+    ///
+    /// Unlike sequential pushes, an invalid batch (out-of-order
+    /// timestamp or schema violation anywhere in it) is rejected as a
+    /// whole: the error is returned and **no** event is consumed.
+    pub fn push_batch(&mut self, events: Vec<Event>) -> Result<Vec<Match>, EventError> {
+        self.push_batch_with_probe(events, &mut NoProbe)
+    }
+
+    /// [`StreamMatcher::push_batch`] with an instrumentation probe.
+    pub fn push_batch_with_probe<P: Probe>(
+        &mut self,
+        events: Vec<Event>,
+        probe: &mut P,
+    ) -> Result<Vec<Match>, EventError> {
+        // Validate the whole batch before consuming anything.
+        let mut w = self.watermark;
+        for event in &events {
+            if let Some(w) = w {
+                if event.ts() < w {
+                    return Err(EventError::OutOfOrder {
+                        previous: w.ticks(),
+                        got: event.ts().ticks(),
+                    });
+                }
+            }
+            self.relation.schema().check_row(event.values())?;
+            w = Some(event.ts());
+        }
+        // Columnar admission over the batch, when the mode activates.
+        // Evaluating before the events enter the relation is safe: lanes
+        // read only the events' own attributes.
+        let mut columnar = false;
+        if let Some(plan) = &self.columnar {
+            if self.options.columnar.active(plan.num_lanes(), events.len())
+                && self.automaton.pattern().is_satisfiable()
+            {
+                plan.evaluate(
+                    events.len(),
+                    |i| &events[i],
+                    self.filter.effective_mode(),
+                    &mut self.columnar_batch,
+                );
+                columnar = true;
+            }
+        }
+        let mut out = Vec::new();
+        for (i, event) in events.into_iter().enumerate() {
+            let ts = event.ts();
+            let admission = columnar.then(|| self.columnar_batch.admission(i));
+            let id = self
+                .relation
+                .push_event(event)
+                .expect("batch order validated upfront");
+            out.extend(self.push_stored(id, ts, admission, probe));
+        }
+        Ok(out)
     }
 
     /// Advances the watermark to `ts` *without* pushing an event and
@@ -314,13 +448,7 @@ impl StreamMatcher {
             probe.retained_events(self.relation.len());
             return Vec::new();
         }
-        sweep_expired(
-            &self.automaton,
-            &mut self.omega,
-            ts,
-            &mut self.results,
-            probe,
-        );
+        self.sweep_if_due(ts, probe);
         self.queue_results();
         let out = self.drain_decidable(ts);
         self.adjudicator.prune_survivors(ts - tau - tau);
@@ -505,6 +633,9 @@ impl StreamMatcher {
         buffers: impl IntoIterator<Item = Buffer>,
     ) {
         for buffer in buffers {
+            if let Some(min) = buffer.min_ts() {
+                self.expiry_floor = Some(self.expiry_floor.map_or(min, |f| f.min(min)));
+            }
             self.omega.push(Instance { state: q, buffer });
         }
     }
@@ -561,6 +692,7 @@ impl StreamMatcher {
         }
         self.relation = relation;
         self.omega = omega;
+        self.expiry_floor = self.omega.iter().filter_map(|i| i.buffer.min_ts()).min();
         self.scratch.clear();
         self.results = snap
             .pending
@@ -679,6 +811,10 @@ impl StreamMatcher {
             type_precheck: self.options.type_precheck,
             max_instances: self.options.max_instances,
             spawn_start: self.spawn_start,
+            // The per-push scalar path never consults this (admission
+            // is precomputed only via `push_batch`), but keep the
+            // options faithful.
+            columnar: self.options.columnar,
         }
     }
 }

@@ -53,7 +53,7 @@ pub fn trace_execution(
     relation: &Relation,
     options: &ExecOptions,
 ) -> ExecutionTrace {
-    let mut exec = Execution::new(automaton, relation, options.clone());
+    let mut exec = Execution::new(automaton, relation, options);
     let mut steps = Vec::with_capacity(relation.len());
     let mut emitted_during_run = 0usize;
 

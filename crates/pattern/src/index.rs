@@ -51,8 +51,7 @@ use std::collections::HashMap;
 
 use ses_event::{AttrId, CmpOp, Event, PartitionKey, Value};
 
-use crate::negation::CompiledNegRhs;
-use crate::{CompiledPattern, CompiledRhs, Domain, VarId};
+use crate::{AdmissionLanes, CompiledPattern, Domain};
 
 /// How the index routes events to one registered pattern.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -243,6 +242,10 @@ impl PatternIndex {
 
 /// Builds pattern `id`'s admission groups and classification, inserting
 /// point subscriptions into `point` as a side effect.
+///
+/// The group derivation itself lives in [`AdmissionLanes`] — the same
+/// enumeration the columnar evaluation layer consumes — so index
+/// admission and bitmask admission cannot drift apart.
 fn classify(
     cp: &CompiledPattern,
     id: usize,
@@ -251,39 +254,23 @@ fn classify(
     if !cp.is_satisfiable() {
         return (Admission::Never, IndexClass::Never);
     }
+    let lanes = AdmissionLanes::of(cp);
     let mut groups: Vec<Group> = Vec::new();
-    for v in 0..cp.pattern().num_vars() as u16 {
-        let conds: Vec<_> = cp
-            .const_conditions_of(VarId(v))
+    for g in lanes.groups() {
+        if g.lanes.is_empty() {
+            // An unconstrained variable (any event could bind) or a
+            // negation whose constant conjunction holds vacuously (any
+            // event could be a killer).
+            return (Admission::Every, IndexClass::Every);
+        }
+        let conds = g
+            .lanes
             .iter()
             .map(|&i| {
-                let c = cp.condition(i);
-                match &c.rhs {
-                    CompiledRhs::Const(value) => (c.lhs_attr, c.op, value.clone()),
-                    CompiledRhs::Attr { .. } => unreachable!("const_conditions_of is constant"),
-                }
+                let l = &lanes.lanes()[i];
+                (l.attr, l.op, l.value.clone())
             })
             .collect();
-        if conds.is_empty() {
-            // Any event could bind to this variable.
-            return (Admission::Every, IndexClass::Every);
-        }
-        groups.push(Group { conds });
-    }
-    for neg in cp.negations() {
-        let conds: Vec<_> = neg
-            .conditions
-            .iter()
-            .filter_map(|c| match &c.rhs {
-                CompiledNegRhs::Const(value) => Some((c.attr, c.op, value.clone())),
-                CompiledNegRhs::Attr { .. } => None,
-            })
-            .collect();
-        if conds.is_empty() {
-            // The negation's constant conjunction holds vacuously: any
-            // event could be a killer.
-            return (Admission::Every, IndexClass::Every);
-        }
         groups.push(Group { conds });
     }
     if groups.is_empty() {

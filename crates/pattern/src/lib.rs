@@ -63,6 +63,7 @@ mod diagnostics;
 mod domain;
 mod error;
 mod index;
+mod lanes;
 mod negation;
 mod pattern;
 mod propagate;
@@ -79,6 +80,7 @@ pub use diagnostics::{Diagnostic, DiagnosticCode, Diagnostics, Severity, Span};
 pub use domain::{Bound, Domain};
 pub use error::PatternError;
 pub use index::{IndexClass, PatternIndex};
+pub use lanes::{AdmissionGroup, AdmissionLanes, ConstLane, LaneOwner};
 pub use negation::{
     CompiledNegCondition, CompiledNegRhs, CompiledNegation, NegCondition, Negation,
 };

@@ -1,0 +1,331 @@
+//! Differential suite: the columnar admission layer — batch bitmask
+//! pre-evaluation of constant conditions — is invisible in the answers.
+//!
+//! Two properties, over the same generator space the oracle suite
+//! validates (`common/`):
+//!
+//! 1. **Batch `find`**: forcing the columnar path (`ColumnarMode::On`)
+//!    produces exactly the scalar answer (`Off`), across every
+//!    semantics × selection × filter combination — so together with
+//!    `oracle.rs` this gives `columnar ≡ scalar ≡ oracle`.
+//! 2. **Streaming `push_batch`**: replaying a stream in micro-batches
+//!    of any size through the columnar path emits *the same matches at
+//!    the same pushes* as scalar per-event pushes — the batch API
+//!    changes admission evaluation, never emission timing.
+//!
+//! Plus bitmask edge cases the generators cannot force: batch lengths
+//! straddling the 64-bit word boundary, empty batches, and `Float`
+//! constant lanes (which take the generic scanned-fallback kernel).
+
+mod common;
+
+use proptest::prelude::*;
+
+use common::{pattern_strategy, relation_strategy_with, schema};
+use ses::prelude::*;
+
+const MODES: [MatchSemantics; 3] = [
+    MatchSemantics::Maximal,
+    MatchSemantics::Definition2,
+    MatchSemantics::AllRuns,
+];
+
+const SELECTIONS: [EventSelection; 2] = [
+    EventSelection::SkipTillNextMatch,
+    EventSelection::SkipTillAnyMatch,
+];
+
+/// Batch sizes crossing every interesting boundary: single-event
+/// degenerate batches, sizes that leave ragged tails, and the 64/65
+/// word-boundary pair.
+const BATCH_SIZES: [usize; 6] = [1, 2, 3, 7, 64, 65];
+
+fn options(semantics: MatchSemantics, columnar: ColumnarMode) -> MatcherOptions {
+    MatcherOptions {
+        semantics,
+        columnar,
+        ..MatcherOptions::default()
+    }
+}
+
+fn find_with(
+    pat: &Pattern,
+    rel: &Relation,
+    semantics: MatchSemantics,
+    selection: EventSelection,
+    columnar: ColumnarMode,
+) -> Vec<Match> {
+    let mut out = Matcher::with_options(
+        pat,
+        &schema(),
+        MatcherOptions {
+            selection,
+            ..options(semantics, columnar)
+        },
+    )
+    .unwrap()
+    .find(rel);
+    out.sort();
+    out
+}
+
+/// Per-push emission schedule of a scalar (per-event) stream replay;
+/// the finish flush is the last entry.
+fn scalar_schedule(
+    pat: &Pattern,
+    rel: &Relation,
+    semantics: MatchSemantics,
+    evict: bool,
+) -> Vec<Vec<Match>> {
+    let mut sm = StreamMatcher::with_options(pat, &schema(), options(semantics, ColumnarMode::Off))
+        .unwrap()
+        .with_eviction(evict);
+    let mut schedule = Vec::new();
+    for e in rel.events() {
+        schedule.push(sm.push(e.ts(), e.values().to_vec()).unwrap());
+    }
+    schedule.push(sm.finish());
+    schedule
+}
+
+/// Emission schedule of a micro-batched columnar replay: one entry per
+/// `push_batch` chunk, plus the finish flush.
+fn batched_schedule(
+    pat: &Pattern,
+    rel: &Relation,
+    semantics: MatchSemantics,
+    evict: bool,
+    batch: usize,
+) -> Vec<Vec<Match>> {
+    let mut sm = StreamMatcher::with_options(pat, &schema(), options(semantics, ColumnarMode::On))
+        .unwrap()
+        .with_eviction(evict);
+    let events: Vec<Event> = rel.events().to_vec();
+    let mut schedule = Vec::new();
+    for chunk in events.chunks(batch) {
+        schedule.push(sm.push_batch(chunk.to_vec()).unwrap());
+    }
+    schedule.push(sm.finish());
+    schedule
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Property 1: batch `find` is bit-for-bit identical with the
+    /// columnar path forced on, forced off, and left on auto, for every
+    /// semantics × selection × filter combination.
+    #[test]
+    fn columnar_find_equals_scalar(
+        rel in relation_strategy_with(2..8, 0..4),
+        pat in pattern_strategy(),
+    ) {
+        for semantics in MODES {
+            for selection in SELECTIONS {
+                let scalar = find_with(&pat, &rel, semantics, selection, ColumnarMode::Off);
+                let on = find_with(&pat, &rel, semantics, selection, ColumnarMode::On);
+                prop_assert_eq!(&on, &scalar, "On: {:?}/{:?}", semantics, selection);
+                let auto = find_with(&pat, &rel, semantics, selection, ColumnarMode::Auto);
+                prop_assert_eq!(&auto, &scalar, "Auto: {:?}/{:?}", semantics, selection);
+            }
+        }
+    }
+
+    /// Property 2: a columnar micro-batched stream emits the same
+    /// matches at the same pushes as a scalar per-event stream, for
+    /// every batch size and with eviction on and off. Comparing the
+    /// schedule chunk-by-chunk (the batch's emission is the exact
+    /// concatenation of its events' per-push emissions) proves the
+    /// batch API preserves push-for-push emission timing, not just the
+    /// final answer.
+    #[test]
+    fn columnar_push_batch_preserves_emission_timing(
+        rel in relation_strategy_with(2..8, 0..4),
+        pat in pattern_strategy(),
+    ) {
+        for semantics in MODES {
+            for evict in [true, false] {
+                let scalar = scalar_schedule(&pat, &rel, semantics, evict);
+                let (pushes, finish) = scalar.split_at(scalar.len() - 1);
+                for batch in BATCH_SIZES {
+                    let batched = batched_schedule(&pat, &rel, semantics, evict, batch);
+                    let (bpushes, bfinish) = batched.split_at(batched.len() - 1);
+                    // Finish flushes agree…
+                    prop_assert_eq!(
+                        &bfinish[0], &finish[0],
+                        "finish: {:?}/evict={}/batch={}", semantics, evict, batch
+                    );
+                    // …and each chunk's emission is the concatenation of
+                    // its events' scalar per-push emissions.
+                    let mut chunked: Vec<Vec<Match>> = pushes
+                        .chunks(batch)
+                        .map(|c| c.iter().flatten().cloned().collect())
+                        .collect();
+                    if chunked.is_empty() {
+                        chunked.push(Vec::new());
+                    }
+                    let got: Vec<Vec<Match>> = bpushes.to_vec();
+                    prop_assert_eq!(
+                        &got, &chunked,
+                        "schedule: {:?}/evict={}/batch={}", semantics, evict, batch
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A relation of `n` events alternating types A/B with ids cycling 1–2,
+/// one tick apart — enough structure for the word-boundary checks.
+fn alternating(n: usize) -> Relation {
+    let mut rel = Relation::new(schema());
+    for i in 0..n {
+        rel.push_values(
+            Timestamp::new(i as i64),
+            [
+                Value::from(if i % 2 == 0 { "A" } else { "B" }),
+                Value::from((i % 2 + 1) as i64),
+            ],
+        )
+        .unwrap();
+    }
+    rel
+}
+
+fn ab_pattern() -> Pattern {
+    Pattern::builder()
+        .set(|s| s.var("a"))
+        .set(|s| s.var("b"))
+        .cond_const("a", "L", CmpOp::Eq, "A")
+        .cond_const("b", "L", CmpOp::Eq, "B")
+        .within(Duration::ticks(5))
+        .build()
+        .unwrap()
+}
+
+/// Batch lengths at and just past the 64-bit word boundary: the 65th
+/// event's admission bit lives in the second word of every lane vector.
+#[test]
+fn word_boundary_batches_agree() {
+    let pat = ab_pattern();
+    for n in [63, 64, 65, 128, 129] {
+        let rel = alternating(n);
+        for mode in [ColumnarMode::On, ColumnarMode::Auto] {
+            let got = find_with(
+                &pat,
+                &rel,
+                MatchSemantics::AllRuns,
+                EventSelection::SkipTillNextMatch,
+                mode,
+            );
+            let want = find_with(
+                &pat,
+                &rel,
+                MatchSemantics::AllRuns,
+                EventSelection::SkipTillNextMatch,
+                ColumnarMode::Off,
+            );
+            assert_eq!(got, want, "n={n} mode={mode:?}");
+            assert!(!want.is_empty(), "n={n}: boundary case must have matches");
+        }
+    }
+}
+
+/// An empty batch is a no-op: no error, no matches, and the stream
+/// still accepts subsequent pushes.
+#[test]
+fn empty_batch_is_a_noop() {
+    let mut sm = StreamMatcher::with_options(
+        &ab_pattern(),
+        &schema(),
+        options(MatchSemantics::Maximal, ColumnarMode::On),
+    )
+    .unwrap();
+    assert_eq!(sm.push_batch(Vec::new()).unwrap(), Vec::new());
+    let rel = alternating(4);
+    let events: Vec<Event> = rel.events().to_vec();
+    let out = sm.push_batch(events).unwrap();
+    assert_eq!(sm.push_batch(Vec::new()).unwrap(), Vec::new());
+    let total = out.len() + sm.finish().len();
+    assert!(total > 0, "stream stays live around empty batches");
+}
+
+/// `Float` constant lanes run the generic scanned-fallback kernel —
+/// results must still match the scalar engine exactly, including the
+/// `Int`-valued-attribute-vs-`Float`-constant cross-type comparisons.
+#[test]
+fn float_lanes_take_scanned_fallback_and_agree() {
+    let schema = Schema::builder()
+        .attr("L", AttrType::Str)
+        .attr("V", AttrType::Float)
+        .build()
+        .unwrap();
+    let pat = Pattern::builder()
+        .set(|s| s.var("a"))
+        .set(|s| s.var("b"))
+        .cond_const("a", "V", CmpOp::Ge, 1.5)
+        .cond_const("b", "V", CmpOp::Lt, 1.5)
+        .cond_const("b", "L", CmpOp::Eq, "B")
+        .within(Duration::ticks(10))
+        .build()
+        .unwrap();
+    let mut rel = Relation::new(schema.clone());
+    for (t, l, v) in [
+        (0, "A", 2.0),
+        (1, "B", 1.0),
+        (2, "A", 1.5),
+        (3, "B", 1.49),
+        (4, "X", 0.0),
+        (5, "B", -1.0),
+    ] {
+        rel.push_values(Timestamp::new(t), [Value::from(l), Value::from(v)])
+            .unwrap();
+    }
+    let run = |mode: ColumnarMode| {
+        let mut out = Matcher::with_options(
+            &pat,
+            &schema,
+            MatcherOptions {
+                semantics: MatchSemantics::AllRuns,
+                columnar: mode,
+                ..MatcherOptions::default()
+            },
+        )
+        .unwrap()
+        .find(&rel);
+        out.sort();
+        out
+    };
+    let scalar = run(ColumnarMode::Off);
+    assert_eq!(run(ColumnarMode::On), scalar);
+    assert!(!scalar.is_empty(), "float workload must produce matches");
+}
+
+/// A batch with an out-of-order timestamp (or any invalid event) is
+/// rejected atomically: the error names the offender and *nothing* is
+/// consumed — the stream state is exactly as before the call.
+#[test]
+fn invalid_batch_is_rejected_atomically() {
+    let mut sm = StreamMatcher::with_options(
+        &ab_pattern(),
+        &schema(),
+        options(MatchSemantics::Maximal, ColumnarMode::On),
+    )
+    .unwrap();
+    sm.push(Timestamp::new(10), vec![Value::from("A"), Value::from(1)])
+        .unwrap();
+    let bad = vec![
+        Event::new(Timestamp::new(11), vec![Value::from("B"), Value::from(1)]),
+        // Out of order within the batch.
+        Event::new(Timestamp::new(9), vec![Value::from("A"), Value::from(1)]),
+    ];
+    assert!(sm.push_batch(bad).is_err());
+    // Nothing was consumed: the same first event still completes a match.
+    let out = sm
+        .push_batch(vec![Event::new(
+            Timestamp::new(11),
+            vec![Value::from("B"), Value::from(1)],
+        )])
+        .unwrap();
+    assert_eq!(out.len() + sm.finish().len(), 1);
+}
