@@ -1,0 +1,610 @@
+//! Indexed adjudication structures — the O(R log R)-style formulation of
+//! conditions 4–5 and maximality behind [`crate::AdjudicationMode::Indexed`].
+//!
+//! The pairwise adjudicator in [`crate::semantics`] re-derives every
+//! quantifier of Definition 2 from scratch per candidate: condition 4
+//! scans the whole retained relation per binding, the prefix test
+//! re-materializes binding prefixes per (candidate × alternative), and
+//! condition 5 / maximality compare all candidate pairs. This module
+//! replaces those scans with three indexes, each *exact* — pre-filters
+//! narrow the witness space, and every surviving witness is verified
+//! against the very predicate the pairwise code evaluates:
+//!
+//! * [`ViableIndex`] — per-variable sorted lists of *viable* events
+//!   (events satisfying the variable's constant and self-conditions).
+//!   Swap alternatives for a binding `v/e` can only be viable events in
+//!   the open interval dictated by condition 2, so the relation scan
+//!   collapses to a binary-searched slice. Lists are extended
+//!   monotonically as groups arrive in ascending order, so classifying
+//!   each event costs amortized O(vars) once per event — not per
+//!   candidate per binding.
+//! * [`GroupIndex`] — per adjudication group: posting lists
+//!   `(var, event) → candidates` drive the condition-5 and within-group
+//!   maximality subset checks (a subset victim must appear in every
+//!   posting list of its killer, so the *least frequent* binding of a
+//!   candidate bounds the killer search), and a prefix-hash map
+//!   `(var, alt, hash(bindings before alt)) → candidates` answers the
+//!   condition-4 prefix-agreement test with one lookup per alternative
+//!   (hash hits are confirmed by exact slice comparison, so collisions
+//!   cannot flip a verdict). Candidates sort by (start asc, end desc)
+//!   within a group — `Match`'s canonical order — so every potential
+//!   killer is indexed before its victims are queried, making the
+//!   single sweep over the sorted group exact.
+//! * [`SurvivorStore`] — the accumulated Definition-2 survivors that act
+//!   as cross-group Maximal killers. Groups arrive in ascending `minT`
+//!   order, so pruning is a head-offset advance (keeping
+//!   [`SurvivorStore::live`] a contiguous slice — the streaming snapshot
+//!   format is unchanged), and the same posting-list trick bounds the
+//!   killer search; a binding never seen in any survivor refutes
+//!   subsumption in O(1).
+//!
+//! Worst-case inputs (R candidates sharing almost every binding) can
+//! still force O(R²) verified comparisons — binding-set containment is
+//! strictly harder than interval containment — but the pre-filters make
+//! the expected cost near-linear in the posting-list sizes, and the
+//! early-exit discipline (first verified killer wins) keeps dense nested
+//! chains linear. See `docs/adjudication.md` for the correctness
+//! argument and the measured speedups.
+
+use std::collections::HashMap;
+
+use ses_event::{EventId, Relation, Timestamp};
+use ses_pattern::{CompiledPattern, CompiledRhs, VarId};
+
+use crate::matches::Match;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0100_0000_01b3;
+
+/// Folds one binding into a running FNV-1a hash. Used for prefix-hash
+/// keys; exact slice comparison confirms every hit.
+fn fnv_binding(mut h: u64, var: VarId, event: EventId) -> u64 {
+    for b in var.0.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    for b in event.0.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// `true` iff the canonically ordered `bindings` bind `event` (to any
+/// variable). Events in a substitution are distinct, so the event
+/// component is strictly increasing and binary-searchable.
+fn binds_event(bindings: &[(VarId, EventId)], event: EventId) -> bool {
+    let i = bindings.partition_point(|&(_, e)| e < event);
+    i < bindings.len() && bindings[i].1 == event
+}
+
+/// A binary condition as seen from one of its two variables: the
+/// condition index, the partner variable, and whether this variable is
+/// the left-hand side.
+type BinaryUse = (usize, VarId, bool);
+
+/// Per-variable viable-event lists plus the per-pattern condition
+/// analysis they are built from, owned by the adjudicator and extended
+/// monotonically across groups.
+///
+/// An event is *viable* for variable `v` iff it satisfies every constant
+/// condition and self-condition on `v` — exactly the unary part of
+/// condition 1, which [`crate::satisfies_conditions_1_3`] also enforces,
+/// so viability is necessary for any swap to be valid.
+#[derive(Debug, Default)]
+pub(crate) struct ViableIndex {
+    /// Sorted `(event, ts)` per variable; ids ascend and timestamps are
+    /// non-decreasing (relation push order), so both are binary-searchable.
+    lists: Vec<Vec<(EventId, Timestamp)>>,
+    /// Indices into `pattern.conditions()` of each variable's unary
+    /// (constant or self) conditions.
+    unary: Vec<Vec<usize>>,
+    /// Each variable's binary conditions, from that variable's side.
+    binary: Vec<Vec<BinaryUse>>,
+    /// The set each variable belongs to.
+    var_set: Vec<usize>,
+    /// Exclusive upper end of the classified id range.
+    cover_hi: usize,
+    ready: bool,
+}
+
+impl ViableIndex {
+    pub(crate) fn new() -> ViableIndex {
+        ViableIndex::default()
+    }
+
+    fn init(&mut self, pattern: &CompiledPattern, relation: &Relation) {
+        let p = pattern.pattern();
+        let nv = p.num_vars();
+        self.lists = vec![Vec::new(); nv];
+        self.unary = vec![Vec::new(); nv];
+        self.binary = vec![Vec::new(); nv];
+        for (ci, c) in pattern.conditions().iter().enumerate() {
+            match &c.rhs {
+                CompiledRhs::Const(_) => self.unary[c.lhs_var.index()].push(ci),
+                CompiledRhs::Attr { var, .. } => {
+                    if *var == c.lhs_var {
+                        self.unary[c.lhs_var.index()].push(ci);
+                    } else {
+                        self.binary[c.lhs_var.index()].push((ci, *var, true));
+                        self.binary[var.index()].push((ci, c.lhs_var, false));
+                    }
+                }
+            }
+        }
+        self.var_set = vec![0; nv];
+        for s in 0..p.num_sets() {
+            for &v in p.set(s) {
+                self.var_set[v.index()] = s;
+            }
+        }
+        self.cover_hi = relation.first_index();
+        self.ready = true;
+    }
+
+    /// The set index of `var`.
+    pub(crate) fn set_of(&self, var: VarId) -> usize {
+        self.var_set[var.index()]
+    }
+
+    /// The binary conditions involving `var`.
+    fn binary_of(&self, var: VarId) -> &[BinaryUse] {
+        &self.binary[var.index()]
+    }
+
+    /// Extends classification so every retained event with id `< hi` is
+    /// in the lists of the variables it is viable for, and drops list
+    /// heads the advancing relation has evicted. Ids at or above `hi`
+    /// carry timestamps no earlier than any alternative the current
+    /// group can ever ask for, so this coverage is complete.
+    pub(crate) fn ensure_cover(
+        &mut self,
+        pattern: &CompiledPattern,
+        relation: &Relation,
+        hi: usize,
+    ) {
+        if !self.ready {
+            self.init(pattern, relation);
+        }
+        let first = relation.first_index();
+        for list in &mut self.lists {
+            let cut = list.partition_point(|&(e, _)| e.index() < first);
+            // Hysteresis: drain only when the dead prefix dominates, so
+            // steady-state streaming amortizes the memmove.
+            if cut > 64 && cut * 2 >= list.len() {
+                list.drain(..cut);
+            }
+        }
+        if hi <= self.cover_hi {
+            return;
+        }
+        let conds = pattern.conditions();
+        for idx in self.cover_hi.max(first)..hi {
+            let ev = relation.event(EventId::from(idx));
+            'vars: for v in 0..self.lists.len() {
+                for &ci in &self.unary[v] {
+                    let c = &conds[ci];
+                    let ok = match &c.rhs {
+                        CompiledRhs::Const(_) => c.eval_const(ev),
+                        CompiledRhs::Attr { .. } => c.eval_vars(ev, ev),
+                    };
+                    if !ok {
+                        continue 'vars;
+                    }
+                }
+                self.lists[v].push((EventId::from(idx), ev.ts()));
+            }
+        }
+        self.cover_hi = hi;
+    }
+
+    /// The viable events for `var` with `lo < ts < hi` (both strict, per
+    /// conditions 2 and 4).
+    fn viable_between(&self, var: VarId, lo: Timestamp, hi: Timestamp) -> &[(EventId, Timestamp)] {
+        let list = &self.lists[var.index()];
+        let a = list.partition_point(|&(_, t)| t <= lo);
+        let b = list.partition_point(|&(_, t)| t < hi);
+        &list[a..b.max(a)]
+    }
+}
+
+/// Per-group indexes over one sorted, deduplicated adjudication group
+/// (all candidates share a first binding, hence `minT`).
+pub(crate) struct GroupIndex<'g> {
+    group: &'g [Match],
+    /// Per candidate: its bindings' timestamps, in canonical order.
+    ts: Vec<Vec<Timestamp>>,
+    /// Per candidate: running FNV-1a prefix hashes, `phash[i][j]` =
+    /// hash of the first `j` bindings.
+    phash: Vec<Vec<u64>>,
+    /// `(var, event) → candidate indices` (ascending) over the full
+    /// group — condition-5 killers are the *raw* group, including
+    /// candidates that themselves fail condition 4.
+    postings: HashMap<(VarId, EventId), Vec<u32>>,
+    /// `(var, alt, hash of bindings strictly before alt.ts) → candidates
+    /// binding var/alt with that prefix` — the condition-4 prefix test.
+    prefix: HashMap<(VarId, EventId, u64), Vec<u32>>,
+    /// Distinct events bound to each variable by any candidate, sorted.
+    var_alts: HashMap<VarId, Vec<(EventId, Timestamp)>>,
+    min_ts: Timestamp,
+    /// One past the largest bound event id — the [`ViableIndex`]
+    /// coverage this group needs.
+    cover_needed: usize,
+}
+
+impl<'g> GroupIndex<'g> {
+    /// Indexes a non-empty group. Candidates must be in sorted canonical
+    /// order (they are: `adjudicate_group` sorts and dedups first).
+    pub(crate) fn build(group: &'g [Match], relation: &Relation) -> GroupIndex<'g> {
+        let min_ts = relation.event(group[0].first_event()).ts();
+        let mut ts = Vec::with_capacity(group.len());
+        let mut phash = Vec::with_capacity(group.len());
+        let mut postings: HashMap<(VarId, EventId), Vec<u32>> = HashMap::new();
+        let mut prefix: HashMap<(VarId, EventId, u64), Vec<u32>> = HashMap::new();
+        let mut cover_needed = 0;
+        for (i, m) in group.iter().enumerate() {
+            let b = m.bindings();
+            let mts: Vec<Timestamp> = b.iter().map(|&(_, e)| relation.event(e).ts()).collect();
+            let mut ph = Vec::with_capacity(b.len() + 1);
+            ph.push(FNV_OFFSET);
+            for &(v, e) in b {
+                ph.push(fnv_binding(*ph.last().expect("seeded"), v, e));
+            }
+            for (j, &(v, e)) in b.iter().enumerate() {
+                postings.entry((v, e)).or_default().push(i as u32);
+                if mts[j] > min_ts {
+                    let boundary = mts.partition_point(|&t| t < mts[j]);
+                    prefix
+                        .entry((v, e, ph[boundary]))
+                        .or_default()
+                        .push(i as u32);
+                }
+            }
+            cover_needed = cover_needed.max(m.last_event().index() + 1);
+            ts.push(mts);
+            phash.push(ph);
+        }
+        let mut var_alts: HashMap<VarId, Vec<(EventId, Timestamp)>> = HashMap::new();
+        for &(v, e) in postings.keys() {
+            var_alts
+                .entry(v)
+                .or_default()
+                .push((e, relation.event(e).ts()));
+        }
+        for list in var_alts.values_mut() {
+            list.sort_unstable();
+        }
+        GroupIndex {
+            group,
+            ts,
+            phash,
+            postings,
+            prefix,
+            var_alts,
+            min_ts,
+            cover_needed,
+        }
+    }
+
+    /// One past the largest event id any condition-4 scan for this group
+    /// can touch — pass to [`ViableIndex::ensure_cover`].
+    pub(crate) fn cover_needed(&self) -> usize {
+        self.cover_needed
+    }
+
+    /// Condition 4 for candidate `i`: no variable could have bound a
+    /// strictly earlier in-extent event via a valid swap or an
+    /// agreeing-prefix candidate. Exact equivalent of the pairwise
+    /// `survives_condition_4` for candidates satisfying conditions 1–3
+    /// (which engine-produced raw matches do by construction).
+    pub(crate) fn survives_condition_4(
+        &self,
+        i: usize,
+        relation: &Relation,
+        pattern: &CompiledPattern,
+        viable: &ViableIndex,
+    ) -> bool {
+        let m = &self.group[i];
+        let b = m.bindings();
+        let ts = &self.ts[i];
+        let ph = &self.phash[i];
+
+        // Per-set temporal extent of m, for the condition-2 bounds of
+        // swap alternatives.
+        let nsets = pattern.pattern().num_sets();
+        let mut set_min: Vec<Option<Timestamp>> = vec![None; nsets];
+        let mut set_max: Vec<Option<Timestamp>> = vec![None; nsets];
+        for (j, &(v, _)) in b.iter().enumerate() {
+            let s = viable.set_of(v);
+            set_min[s] = Some(set_min[s].map_or(ts[j], |t: Timestamp| t.min(ts[j])));
+            set_max[s] = Some(set_max[s].map_or(ts[j], |t: Timestamp| t.max(ts[j])));
+        }
+
+        for (j, &(var, _)) in b.iter().enumerate() {
+            let bound_ts = ts[j];
+            if bound_ts <= self.min_ts {
+                continue; // no room strictly inside (minT, e.T)
+            }
+
+            // Prefix test: alternatives are events other candidates bind
+            // to `var`, strictly inside (minT, e.T).
+            if let Some(alts) = self.var_alts.get(&var) {
+                let lo = alts.partition_point(|&(_, t)| t <= self.min_ts);
+                let hi = alts.partition_point(|&(_, t)| t < bound_ts);
+                for &(alt, alt_ts) in &alts[lo..hi.max(lo)] {
+                    if binds_event(b, alt) {
+                        continue; // already used in γ (possibly by another variable)
+                    }
+                    let boundary = ts.partition_point(|&t| t < alt_ts);
+                    if let Some(offers) = self.prefix.get(&(var, alt, ph[boundary])) {
+                        for &o in offers {
+                            let ob = self.group[o as usize].bindings();
+                            let oboundary = self.ts[o as usize].partition_point(|&t| t < alt_ts);
+                            if ob[..oboundary] == b[..boundary] {
+                                return false;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Swap test: alternatives are viable events for `var` in the
+            // interval condition 2 allows; the remaining validity of the
+            // swapped substitution reduces to `var`'s binary conditions
+            // against m's other bindings (see docs/adjudication.md for
+            // why conditions 2–3 collapse to the interval).
+            let si = viable.set_of(var);
+            let mut lo_ts = self.min_ts;
+            if si > 0 {
+                if let Some(t) = set_max[si - 1] {
+                    lo_ts = lo_ts.max(t);
+                }
+            }
+            let mut hi_ts = bound_ts;
+            if si + 1 < nsets {
+                if let Some(t) = set_min[si + 1] {
+                    hi_ts = hi_ts.min(t);
+                }
+            }
+            for &(alt, _) in viable.viable_between(var, lo_ts, hi_ts) {
+                if binds_event(b, alt) {
+                    continue;
+                }
+                if self.swap_binary_ok(m, var, alt, relation, pattern, viable) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The binary-condition part of swap validity: `alt` (replacing one
+    /// of `var`'s bindings) must satisfy every binary condition
+    /// involving `var` against all of m's bindings of the partner
+    /// variable. Unary conditions are pre-filtered by [`ViableIndex`];
+    /// conditions not involving `var` are untouched by the swap.
+    fn swap_binary_ok(
+        &self,
+        m: &Match,
+        var: VarId,
+        alt: EventId,
+        relation: &Relation,
+        pattern: &CompiledPattern,
+        viable: &ViableIndex,
+    ) -> bool {
+        let ae = relation.event(alt);
+        let conds = pattern.conditions();
+        for &(ci, partner, lhs_is_var) in viable.binary_of(var) {
+            let c = &conds[ci];
+            for e in m.events_of(partner) {
+                let pe = relation.event(e);
+                let ok = if lhs_is_var {
+                    c.eval_vars(ae, pe)
+                } else {
+                    c.eval_vars(pe, ae)
+                };
+                if !ok {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Condition 5 for candidate `i`: not a proper subset of *any* group
+    /// candidate (all share the first binding by construction).
+    pub(crate) fn survives_condition_5(&self, i: usize) -> bool {
+        !self.dominated(i, None)
+    }
+
+    /// Within-group maximality: `i` is a proper subset of a candidate
+    /// the `kept` mask admits.
+    pub(crate) fn dominated_by_kept(&self, i: usize, kept: &[bool]) -> bool {
+        self.dominated(i, Some(kept))
+    }
+
+    /// `true` iff some candidate (restricted to `mask` when given) is a
+    /// proper superset of candidate `i`. A superset must appear in the
+    /// posting list of every binding of `i`; the least frequent binding
+    /// bounds the search.
+    fn dominated(&self, i: usize, mask: Option<&[bool]>) -> bool {
+        let m = &self.group[i];
+        if self.group.len() == 1 {
+            return false;
+        }
+        let list = m
+            .bindings()
+            .iter()
+            .map(|bind| &self.postings[bind])
+            .min_by_key(|l| l.len())
+            .expect("matches are non-empty");
+        list.iter().any(|&o| {
+            let o = o as usize;
+            o != i
+                && mask.is_none_or(|k| k[o])
+                && self.group[o].len() > m.len()
+                && m.is_proper_subset_of(&self.group[o])
+        })
+    }
+}
+
+/// Accumulated Definition-2 survivors — the cross-group Maximal killer
+/// set — with posting lists for indexed kill queries and a head offset
+/// so pruning never reindexes.
+///
+/// Groups arrive in ascending first-binding order, so pushed `minT`s are
+/// non-decreasing and pruning at a cutoff is exactly a prefix drop; the
+/// live survivors stay one contiguous slice, which keeps the streaming
+/// snapshot format (`StreamSnapshot::survivors`) byte-identical to the
+/// pairwise adjudicator's.
+#[derive(Debug, Default)]
+pub(crate) struct SurvivorStore {
+    items: Vec<(Timestamp, Match)>,
+    head: usize,
+    postings: HashMap<(VarId, EventId), Vec<u32>>,
+}
+
+impl SurvivorStore {
+    pub(crate) fn new() -> SurvivorStore {
+        SurvivorStore::default()
+    }
+
+    /// Appends a survivor. `min_ts` must be non-decreasing across pushes
+    /// (guaranteed by ascending group order).
+    pub(crate) fn push(&mut self, min_ts: Timestamp, m: Match) {
+        debug_assert!(self.items.last().is_none_or(|&(t, _)| t <= min_ts));
+        let idx = self.items.len() as u32;
+        for &bind in m.bindings() {
+            self.postings.entry(bind).or_default().push(idx);
+        }
+        self.items.push((min_ts, m));
+    }
+
+    /// Drops survivors with `minT < cutoff` by advancing the head;
+    /// compacts storage once the dead prefix dominates.
+    pub(crate) fn prune(&mut self, cutoff: Timestamp) {
+        self.head += self.items[self.head..].partition_point(|&(t, _)| t < cutoff);
+        if self.head > 1024 && self.head * 2 >= self.items.len() {
+            self.items.drain(..self.head);
+            self.head = 0;
+            self.postings.clear();
+            for (i, (_, m)) in self.items.iter().enumerate() {
+                for &bind in m.bindings() {
+                    self.postings.entry(bind).or_default().push(i as u32);
+                }
+            }
+        }
+    }
+
+    /// The live survivors, oldest first.
+    pub(crate) fn live(&self) -> &[(Timestamp, Match)] {
+        &self.items[self.head..]
+    }
+
+    /// Replaces the survivor set wholesale (snapshot restore).
+    pub(crate) fn restore(&mut self, items: Vec<(Timestamp, Match)>) {
+        self.items = items;
+        self.head = 0;
+        self.postings.clear();
+        for (i, (_, m)) in self.items.iter().enumerate() {
+            for &bind in m.bindings() {
+                self.postings.entry(bind).or_default().push(i as u32);
+            }
+        }
+    }
+
+    /// Indexed kill query: is `m` a proper subset of a live survivor?
+    /// Any binding absent from every survivor refutes it immediately;
+    /// otherwise the least frequent binding's posting list is verified.
+    pub(crate) fn kills_indexed(&self, m: &Match) -> bool {
+        if self.items.len() == self.head {
+            return false;
+        }
+        let mut best: Option<&Vec<u32>> = None;
+        for bind in m.bindings() {
+            match self.postings.get(bind) {
+                None => return false,
+                Some(list) => {
+                    if best.is_none_or(|b| list.len() < b.len()) {
+                        best = Some(list);
+                    }
+                }
+            }
+        }
+        let list = best.expect("matches are non-empty");
+        let start = list.partition_point(|&i| (i as usize) < self.head);
+        list[start..]
+            .iter()
+            .any(|&i| m.is_proper_subset_of(&self.items[i as usize].1))
+    }
+
+    /// Pairwise kill query — the legacy linear scan, kept verbatim as
+    /// the differential-test oracle.
+    pub(crate) fn kills_pairwise(&self, m: &Match) -> bool {
+        self.live().iter().any(|(_, o)| m.is_proper_subset_of(o))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(bindings: &[(u16, u32)]) -> Match {
+        Match::from_bindings(
+            bindings
+                .iter()
+                .map(|&(v, e)| (VarId(v), EventId(e)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn survivor_store_prunes_as_a_prefix_and_keeps_killing() {
+        let mut s = SurvivorStore::new();
+        for t in 0..10i64 {
+            s.push(Timestamp::new(t), m(&[(0, t as u32), (1, t as u32 + 100)]));
+        }
+        assert_eq!(s.live().len(), 10);
+        let victim = m(&[(0, 7)]);
+        assert!(s.kills_indexed(&victim));
+        assert!(s.kills_pairwise(&victim));
+
+        s.prune(Timestamp::new(8));
+        assert_eq!(s.live().len(), 2);
+        assert_eq!(s.live()[0].0, Timestamp::new(8));
+        // The victim's only potential killers were pruned.
+        assert!(!s.kills_indexed(&victim));
+        assert!(!s.kills_pairwise(&victim));
+        assert!(s.kills_indexed(&m(&[(0, 9)])));
+    }
+
+    #[test]
+    fn survivor_store_compacts_without_changing_answers() {
+        let mut s = SurvivorStore::new();
+        for t in 0..3000i64 {
+            s.push(Timestamp::new(t), m(&[(0, t as u32), (1, 90_000)]));
+        }
+        s.prune(Timestamp::new(2500));
+        assert_eq!(s.live().len(), 500);
+        assert!(s.head == 0, "compaction should have run");
+        assert!(!s.kills_indexed(&m(&[(0, 100)])));
+        assert!(s.kills_indexed(&m(&[(0, 2600)])));
+        // A binding no survivor has refutes in O(1).
+        assert!(!s.kills_indexed(&m(&[(5, 2600)])));
+    }
+
+    #[test]
+    fn restore_round_trips_live_set() {
+        let mut s = SurvivorStore::new();
+        s.push(Timestamp::new(1), m(&[(0, 1), (1, 2)]));
+        s.push(Timestamp::new(3), m(&[(0, 3), (1, 4)]));
+        s.prune(Timestamp::new(2));
+        let saved: Vec<_> = s.live().to_vec();
+
+        let mut r = SurvivorStore::new();
+        r.restore(saved);
+        assert_eq!(r.live().len(), 1);
+        assert!(r.kills_indexed(&m(&[(0, 3)])));
+        assert!(!r.kills_indexed(&m(&[(0, 1)])));
+    }
+}

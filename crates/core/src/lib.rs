@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adjudicate;
 mod automaton;
 mod bank;
 mod buffer;
@@ -86,7 +87,7 @@ pub use multi::MultiMatcher;
 pub use negation::{filter_negations, passes_negations};
 pub use probe::{NoProbe, Probe};
 pub use reference::{enumerate_candidates, satisfies_conditions_1_3};
-pub use semantics::{select, MatchSemantics};
+pub use semantics::{select, select_with, AdjudicationMode, MatchSemantics};
 pub use shard::ShardedStreamMatcher;
 pub use snapshot::{
     BankPatternSnapshot, BankRole, BankSnapshot, InstanceSnapshot, MatcherSnapshot, ShardSnapshot,

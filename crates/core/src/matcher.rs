@@ -39,7 +39,7 @@ use crate::engine::{execute, EventSelection, ExecOptions};
 use crate::filter::FilterMode;
 use crate::matches::Match;
 use crate::probe::{NoProbe, Probe};
-use crate::semantics::{select, MatchSemantics};
+use crate::semantics::{select_with, AdjudicationMode, MatchSemantics};
 use crate::CoreError;
 
 /// How a [`Matcher`] splits its input for partition-parallel execution.
@@ -139,6 +139,11 @@ pub struct MatcherOptions {
     /// excluded from the checkpoint fingerprint. Default:
     /// [`ColumnarMode::Auto`].
     pub columnar: ColumnarMode,
+    /// Adjudicator implementation for conditions 4–5 and maximality
+    /// (see [`crate::AdjudicationMode`]). Observably identical either
+    /// way; like `columnar`, excluded from the checkpoint fingerprint.
+    /// Default: [`AdjudicationMode::Indexed`].
+    pub adjudication: AdjudicationMode,
 }
 
 impl Default for MatcherOptions {
@@ -156,6 +161,7 @@ impl Default for MatcherOptions {
             partition: PartitionMode::Off,
             threads: None,
             columnar: ColumnarMode::Auto,
+            adjudication: AdjudicationMode::Indexed,
         }
     }
 }
@@ -379,11 +385,12 @@ impl Matcher {
         }
         let raw = execute(&self.automaton, relation, &self.exec_options(), probe);
         let raw = crate::negation::filter_negations(raw, relation, self.automaton.pattern());
-        select(
+        select_with(
             raw,
             relation,
             self.automaton.pattern(),
             self.options.semantics,
+            self.options.adjudication,
         )
     }
 }

@@ -13,7 +13,7 @@ use crate::engine::{ExecOptions, Execution};
 use crate::matcher::Matcher;
 use crate::matches::Match;
 use crate::probe::{NoProbe, Probe};
-use crate::semantics::select;
+use crate::semantics::select_with;
 
 /// A bank of independent matchers evaluated in one pass.
 #[derive(Debug, Default)]
@@ -130,11 +130,12 @@ impl MultiMatcher {
                 let raw = exec.finish(&mut shared);
                 let raw =
                     crate::negation::filter_negations(raw, relation, matcher.automaton().pattern());
-                let matches = select(
+                let matches = select_with(
                     raw,
                     relation,
                     matcher.automaton().pattern(),
                     matcher.options().semantics,
+                    matcher.options().adjudication,
                 );
                 (name.clone(), matches)
             })

@@ -35,6 +35,7 @@
 use ses_event::{EventId, Relation, Timestamp};
 use ses_pattern::{CompiledPattern, VarId};
 
+use crate::adjudicate::{GroupIndex, SurvivorStore, ViableIndex};
 use crate::engine::RawMatch;
 use crate::matches::Match;
 use crate::reference::satisfies_conditions_1_3;
@@ -52,12 +53,48 @@ pub enum MatchSemantics {
     Maximal,
 }
 
-/// Applies the selected semantics to the engine's raw matches.
+/// Which adjudicator implementation evaluates conditions 4–5 and
+/// maximality. Both produce identical matches and identical streaming
+/// emission schedules — `tests/adjudicator_vs_bruteforce.rs` proves it —
+/// so this is a deployment knob, deliberately excluded from the
+/// checkpoint fingerprint like [`crate::ColumnarMode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdjudicationMode {
+    /// Sorted-group sweep over posting-list/prefix-hash indexes with a
+    /// bounded viable-event scan for condition 4 (see
+    /// `docs/adjudication.md`). The default.
+    #[default]
+    Indexed,
+    /// The original all-pairs scans, quadratic in the group size and
+    /// linear in the retained relation per binding. Kept as the
+    /// differential-test oracle and benchmark baseline.
+    Pairwise,
+}
+
+/// Applies the selected semantics to the engine's raw matches using the
+/// default [`AdjudicationMode::Indexed`] adjudicator.
 pub fn select(
     raw: Vec<RawMatch>,
     relation: &Relation,
     pattern: &CompiledPattern,
     semantics: MatchSemantics,
+) -> Vec<Match> {
+    select_with(
+        raw,
+        relation,
+        pattern,
+        semantics,
+        AdjudicationMode::default(),
+    )
+}
+
+/// [`select`] with an explicit adjudicator implementation.
+pub fn select_with(
+    raw: Vec<RawMatch>,
+    relation: &Relation,
+    pattern: &CompiledPattern,
+    semantics: MatchSemantics,
+    adjudication: AdjudicationMode,
 ) -> Vec<Match> {
     let mut candidates: Vec<Match> = raw.into_iter().map(Match::from_raw).collect();
     candidates.sort();
@@ -77,7 +114,7 @@ pub fn select(
     for m in candidates {
         groups.entry(group_key(&m)).or_default().push(m);
     }
-    let mut adjudicator = Adjudicator::new(semantics);
+    let mut adjudicator = Adjudicator::new(semantics, adjudication);
     let mut out = Vec::new();
     for (_, group) in groups {
         out.extend(adjudicator.adjudicate_group(group, relation, pattern));
@@ -126,22 +163,31 @@ pub(crate) fn group_key(m: &Match) -> GroupKey {
 #[derive(Debug)]
 pub(crate) struct Adjudicator {
     semantics: MatchSemantics,
+    mode: AdjudicationMode,
     /// Definition-2 survivors of adjudicated groups, kept (with their
     /// `minT`) as potential Maximal killers for later groups.
-    survivors: Vec<(Timestamp, Match)>,
+    survivors: SurvivorStore,
+    /// Per-variable viable-event cache for the indexed condition-4 swap
+    /// scan, extended monotonically as groups arrive. Rebuilt lazily
+    /// after a snapshot restore; never part of the snapshot itself.
+    viable: ViableIndex,
 }
 
 impl Adjudicator {
     /// An adjudicator with no groups processed yet.
-    pub(crate) fn new(semantics: MatchSemantics) -> Adjudicator {
+    pub(crate) fn new(semantics: MatchSemantics, mode: AdjudicationMode) -> Adjudicator {
         Adjudicator {
             semantics,
-            survivors: Vec::new(),
+            mode,
+            survivors: SurvivorStore::new(),
+            viable: ViableIndex::new(),
         }
     }
 
     /// Adjudicates one complete group of candidates (all sharing a first
-    /// binding). Groups must arrive in ascending [`GroupKey`] order.
+    /// binding). Groups must arrive in ascending [`GroupKey`] order, and
+    /// candidates must satisfy conditions 1–3 (engine-produced raw
+    /// matches do by construction — the indexed swap test relies on it).
     /// Returns the group's final matches under the configured semantics.
     pub(crate) fn adjudicate_group(
         &mut self,
@@ -152,10 +198,23 @@ impl Adjudicator {
         let mut group = group;
         group.sort();
         group.dedup();
-        if self.semantics == MatchSemantics::AllRuns {
+        if group.is_empty() || self.semantics == MatchSemantics::AllRuns {
             return group;
         }
+        match self.mode {
+            AdjudicationMode::Pairwise => self.adjudicate_pairwise(group, relation, pattern),
+            AdjudicationMode::Indexed => self.adjudicate_indexed(group, relation, pattern),
+        }
+    }
 
+    /// The legacy all-pairs adjudication — the oracle the indexed path
+    /// is differentially tested against.
+    fn adjudicate_pairwise(
+        &mut self,
+        group: Vec<Match>,
+        relation: &Relation,
+        pattern: &CompiledPattern,
+    ) -> Vec<Match> {
         let kept: Vec<Match> = group
             .iter()
             .filter(|m| {
@@ -175,14 +234,56 @@ impl Adjudicator {
         let finals: Vec<Match> = kept
             .iter()
             .filter(|m| {
-                !kept.iter().any(|o| m.is_proper_subset_of(o))
-                    && !self.survivors.iter().any(|(_, o)| m.is_proper_subset_of(o))
+                !kept.iter().any(|o| m.is_proper_subset_of(o)) && !self.survivors.kills_pairwise(m)
             })
             .cloned()
             .collect();
         for m in kept {
             let min_ts = relation.event(m.first_event()).ts();
-            self.survivors.push((min_ts, m));
+            self.survivors.push(min_ts, m);
+        }
+        finals
+    }
+
+    /// The indexed adjudication: identical verdicts in sorted group
+    /// order, via the structures in [`crate::adjudicate`].
+    fn adjudicate_indexed(
+        &mut self,
+        group: Vec<Match>,
+        relation: &Relation,
+        pattern: &CompiledPattern,
+    ) -> Vec<Match> {
+        let gi = GroupIndex::build(&group, relation);
+        self.viable
+            .ensure_cover(pattern, relation, gi.cover_needed());
+        let kept: Vec<bool> = (0..group.len())
+            .map(|i| {
+                gi.survives_condition_4(i, relation, pattern, &self.viable)
+                    && gi.survives_condition_5(i)
+            })
+            .collect();
+
+        if self.semantics == MatchSemantics::Definition2 {
+            return group
+                .into_iter()
+                .zip(kept)
+                .filter_map(|(m, k)| k.then_some(m))
+                .collect();
+        }
+
+        let finals: Vec<Match> = (0..group.len())
+            .filter(|&i| {
+                kept[i]
+                    && !gi.dominated_by_kept(i, &kept)
+                    && !self.survivors.kills_indexed(&group[i])
+            })
+            .map(|i| group[i].clone())
+            .collect();
+        let min_ts = relation.event(group[0].first_event()).ts();
+        for (m, k) in group.into_iter().zip(kept) {
+            if k {
+                self.survivors.push(min_ts, m);
+            }
         }
         finals
     }
@@ -191,24 +292,24 @@ impl Adjudicator {
     /// they can no longer kill any group still to come. Used by the
     /// streaming matcher to bound memory; harmless to never call.
     pub(crate) fn prune_survivors(&mut self, cutoff: Timestamp) {
-        self.survivors.retain(|&(min_ts, _)| min_ts >= cutoff);
+        self.survivors.prune(cutoff);
     }
 
     /// Number of retained killer candidates (streaming memory probe).
     pub(crate) fn survivor_count(&self) -> usize {
-        self.survivors.len()
+        self.survivors.live().len()
     }
 
     /// The retained killers with their `minT` — read by the streaming
     /// matcher's snapshot.
     pub(crate) fn survivors(&self) -> &[(Timestamp, Match)] {
-        &self.survivors
+        self.survivors.live()
     }
 
     /// Replaces the killer set wholesale — the restore counterpart of
     /// [`Adjudicator::survivors`].
     pub(crate) fn restore_survivors(&mut self, survivors: Vec<(Timestamp, Match)>) {
-        self.survivors = survivors;
+        self.survivors.restore(survivors);
     }
 }
 
@@ -480,6 +581,91 @@ mod tests {
             MatchSemantics::Maximal,
         ] {
             assert!(select(vec![], &r, &cp, sem).is_empty());
+        }
+    }
+
+    const BOTH_BACKENDS: [AdjudicationMode; 2] =
+        [AdjudicationMode::Indexed, AdjudicationMode::Pairwise];
+
+    #[test]
+    fn condition4_duplicate_timestamp_is_no_swap() {
+        let cp = ab_pattern();
+        // A@0, then two same-ID Bs sharing ts 5: neither B is *strictly*
+        // earlier than the other, so condition 4 cannot swap either
+        // binding away — both candidates survive Definition 2.
+        let r = rel(&[(0, 1, "A"), (5, 1, "B"), (5, 1, "B")]);
+        let group = vec![raw(&[(0, 0), (1, 1)]), raw(&[(0, 0), (1, 2)])];
+        for mode in BOTH_BACKENDS {
+            let out = select_with(group.clone(), &r, &cp, MatchSemantics::Definition2, mode);
+            assert_eq!(out.len(), 2, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn condition4_swap_fires_across_duplicate_timestamps() {
+        let cp = ab_pattern();
+        // A@0, B@1, B@1, B@2 (same ID): the B@2 binding has two valid
+        // strictly-earlier alternatives (the tied pair at ts 1) → it is
+        // later than necessary and drops; the tied pair itself survives,
+        // since equal timestamps are not "earlier".
+        let r = rel(&[(0, 1, "A"), (1, 1, "B"), (1, 1, "B"), (2, 1, "B")]);
+        let group = vec![
+            raw(&[(0, 0), (1, 1)]),
+            raw(&[(0, 0), (1, 2)]),
+            raw(&[(0, 0), (1, 3)]),
+        ];
+        for mode in BOTH_BACKENDS {
+            let out = select_with(group.clone(), &r, &cp, MatchSemantics::Definition2, mode);
+            assert_eq!(out.len(), 2, "{mode:?}");
+            assert!(
+                out.iter().all(|m| m.last_event() != EventId(3)),
+                "{mode:?}: the later-than-necessary binding survived"
+            );
+        }
+    }
+
+    #[test]
+    fn condition5_drops_whole_nested_chain() {
+        let cp = pb_pattern();
+        // A nested containment chain sharing one first binding: every
+        // proper prefix run is condition-5 food; only the full run stays.
+        let r = rel(&[(0, 1, "P"), (1, 1, "P"), (2, 1, "P"), (3, 1, "B")]);
+        let group = vec![
+            raw(&[(0, 0), (1, 3)]),
+            raw(&[(0, 0), (0, 1), (1, 3)]),
+            raw(&[(0, 0), (0, 1), (0, 2), (1, 3)]),
+        ];
+        for mode in BOTH_BACKENDS {
+            let out = select_with(group.clone(), &r, &cp, MatchSemantics::Definition2, mode);
+            assert_eq!(out.len(), 1, "{mode:?}");
+            assert_eq!(out[0].len(), 4, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn survivor_pruning_cutoff_is_exact() {
+        // Streaming prunes survivors at `watermark − 2τ`; a survivor
+        // whose minT sits exactly on the cutoff must be retained (a
+        // later candidate can still tie into its window), one tick past
+        // it must go. Both backends agree on the boundary.
+        let cp = ab_pattern();
+        let r = rel(&[(10, 1, "A"), (11, 1, "B")]);
+        for mode in BOTH_BACKENDS {
+            let mut adj = Adjudicator::new(MatchSemantics::Maximal, mode);
+            let kept = adj.adjudicate_group(
+                vec![Match::from_bindings(vec![
+                    (VarId(0), EventId(0)),
+                    (VarId(1), EventId(1)),
+                ])],
+                &r,
+                &cp,
+            );
+            assert_eq!(kept.len(), 1, "{mode:?}");
+            assert_eq!(adj.survivor_count(), 1, "{mode:?}");
+            adj.prune_survivors(Timestamp::new(10));
+            assert_eq!(adj.survivor_count(), 1, "{mode:?}: cutoff == minT dropped");
+            adj.prune_survivors(Timestamp::new(11));
+            assert_eq!(adj.survivor_count(), 0, "{mode:?}: cutoff > minT retained");
         }
     }
 }

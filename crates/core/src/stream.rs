@@ -116,7 +116,7 @@ impl StreamMatcher {
     /// the sharded matcher clones one automaton per shard through here.
     pub(crate) fn from_automaton(automaton: Automaton, options: MatcherOptions) -> StreamMatcher {
         let filter = EventFilter::new(automaton.pattern(), options.filter);
-        let adjudicator = Adjudicator::new(options.semantics);
+        let adjudicator = Adjudicator::new(options.semantics, options.adjudication);
         let columnar =
             (options.columnar != ColumnarMode::Off).then(|| ColumnarPlan::new(automaton.pattern()));
         StreamMatcher {
@@ -703,7 +703,7 @@ impl StreamMatcher {
             .collect();
         self.pending.clear();
         self.queue_results();
-        self.adjudicator = Adjudicator::new(self.options.semantics);
+        self.adjudicator = Adjudicator::new(self.options.semantics, self.options.adjudication);
         self.adjudicator.restore_survivors(
             snap.survivors
                 .iter()

@@ -80,9 +80,10 @@ pub use ses_workload as workload;
 pub mod prelude {
     pub use ses_baseline::BruteForce;
     pub use ses_core::{
-        ColumnarMode, CoreError, EventSelection, FilterMode, Match, MatchSemantics, Matcher,
-        MatcherOptions, MatcherSnapshot, MultiMatcher, NoProbe, PartitionMode, PartitionStrategy,
-        PatternBank, PatternBankBuilder, PatternStats, Probe, ShardedStreamMatcher, StreamMatcher,
+        AdjudicationMode, ColumnarMode, CoreError, EventSelection, FilterMode, Match,
+        MatchSemantics, Matcher, MatcherOptions, MatcherSnapshot, MultiMatcher, NoProbe,
+        PartitionMode, PartitionStrategy, PatternBank, PatternBankBuilder, PatternStats, Probe,
+        ShardedStreamMatcher, StreamMatcher,
     };
     pub use ses_event::{
         AttrType, CmpOp, Duration, Event, EventId, Relation, Schema, Timestamp, Value,

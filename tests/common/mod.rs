@@ -82,6 +82,43 @@ pub fn seam_relation_strategy() -> impl Strategy<Value = Relation> {
         })
 }
 
+/// Relations engineered to flood single adjudication groups: short (so
+/// the group-variable subset explosion under skip-till-any-match stays
+/// around `2^8`), with zero-gap runs of equal timestamps — the
+/// duplicate-timestamp swap candidates and tie-heavy watermark seams the
+/// adjudicator's condition-4 interval logic must get exactly right.
+pub fn dense_relation_strategy() -> impl Strategy<Value = Relation> {
+    relation_strategy_with(5..10, 0..2)
+}
+
+/// Patterns whose adjudication groups are *dense*. The leading set
+/// carries a group variable, so under [`EventSelection::SkipTillAnyMatch`]
+/// every subset of a same-type run that shares its first event lands in
+/// one `(first event, first variable)` adjudication group — routinely
+/// more than ten candidates per group on [`dense_relation_strategy`]
+/// relations. Those candidates form nested containment chains
+/// (condition-5 / maximality food) and pairs with equal first and last
+/// bindings differing only in the middle (condition-4 prefix/swap food).
+pub fn dense_pattern_strategy() -> impl Strategy<Value = Pattern> {
+    (
+        0u8..2,
+        0u8..2,
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+        4i64..20,
+    )
+        .prop_map(|(ty_a, ty_b, second_set, second_plus, within)| {
+            let mut b = Pattern::builder();
+            b = b.set(|s| s.plus("a"));
+            b = b.cond_const("a", "L", CmpOp::Eq, TYPES[ty_a as usize]);
+            if second_set {
+                b = b.set(move |s| if second_plus { s.plus("b") } else { s.var("b") });
+                b = b.cond_const("b", "L", CmpOp::Eq, TYPES[ty_b as usize]);
+            }
+            b.within(Duration::ticks(within)).build().unwrap()
+        })
+}
+
 /// As [`pattern_strategy`], but the gap between the two sets carries a
 /// negated variable — typed via `L`, optionally also pinned to the first
 /// positive variable's `ID`. Negations make
