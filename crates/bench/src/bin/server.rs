@@ -1,0 +1,260 @@
+//! Server ingestion benchmark: sustained events/s over real TCP with
+//! concurrent producer clients, plus queue pressure and in-band latency.
+//!
+//! ```text
+//! cargo run -p ses-bench --release --bin server -- \
+//!     [--events N] [--quick] [--durable] [--out FILE.json]
+//! ```
+//!
+//! Each trial starts an in-process `ses-server` on an ephemeral port,
+//! registers one standing subscription, and fans N producer threads out
+//! over real sockets, each streaming its share of the events in
+//! 256-event `batch` frames with a closing `sync` barrier — so the
+//! reported rate includes JSON encode, TCP, parse, queue admission,
+//! bank matching, and fan-out. A sampler connection pings throughout
+//! the run; its round-trip percentiles measure in-band control latency
+//! under full ingest load (the queue is serviced in arrival order, so a
+//! ping's round trip bounds how stale a freshly enqueued event can be).
+//! `--durable` adds the event log + checkpoint path, fsyncs included.
+//! Writes `BENCH_server.json`; the CI smoke step runs `--quick`.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ses_event::{AttrType, Schema};
+use ses_metrics::JsonValue;
+use ses_query::TickUnit;
+use ses_server::{Client, Server, ServerConfig};
+
+const QUERY: &str = "PATTERN c THEN d WHERE c.L = 'C' AND d.L = 'D' WITHIN 50 TICKS";
+
+struct Options {
+    events: usize,
+    durable: bool,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        events: 200_000,
+        durable: false,
+        out: "BENCH_server.json".into(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--events" => {
+                opts.events = args
+                    .next()
+                    .ok_or("--events needs a value")?
+                    .parse()
+                    .map_err(|_| "--events: not a number".to_string())?
+            }
+            "--quick" => opts.events = 20_000,
+            "--durable" => opts.durable = true,
+            "--out" => opts.out = args.next().ok_or("--out needs a value")?.into(),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn schema() -> Schema {
+    Schema::builder()
+        .attr("ID", AttrType::Int)
+        .attr("L", AttrType::Str)
+        .build()
+        .unwrap()
+}
+
+struct Trial {
+    clients: usize,
+    events: usize,
+    secs: f64,
+    events_per_sec: f64,
+    matches: u64,
+    queue_high_water: u64,
+    queue_shed: u64,
+    ping_p50_us: u64,
+    ping_p99_us: u64,
+}
+
+/// One producer's slice: interleaved timestamps so all clients write the
+/// same time range (exercising the cross-producer clamp), with a C/D
+/// pair every ~500 events per client so the subscription stays hot.
+/// Pairs are client-local — a connection's events stay ordered through
+/// admission and the monotone clamp, so its own C still precedes its D
+/// no matter how the clients race.
+fn producer_events(client: usize, clients: usize, total: usize) -> Vec<(i64, Vec<JsonValue>)> {
+    let per = total / clients;
+    (0..per)
+        .map(|j| {
+            let ts = (j * clients + client) as i64;
+            let label = match j % 500 {
+                0 => "C",
+                1 => "D",
+                _ => "X",
+            };
+            (ts, vec![JsonValue::Int(ts), JsonValue::Str(label.into())])
+        })
+        .collect()
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn run_trial(clients: usize, total: usize, durable: Option<&PathBuf>) -> Trial {
+    let mut config = ServerConfig::new(schema());
+    config.tick = TickUnit::Abstract;
+    config.queue_capacity = 4096;
+    config.checkpoint = durable.cloned();
+    let server = Server::start(config).expect("server start");
+    let addr = format!("127.0.0.1:{}", server.port());
+
+    let mut subscriber = Client::connect(&addr).unwrap();
+    subscriber.subscribe("cd", QUERY, 0).unwrap();
+
+    // In-band latency sampler: pings share the queue with the ingest
+    // load, so their round trip tracks end-to-end admission latency.
+    let stop = Arc::new(AtomicBool::new(false));
+    let sampler = {
+        let addr = addr.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr).unwrap();
+            c.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+            let mut rtts_us: Vec<u64> = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                let t = Instant::now();
+                if c.ping().is_err() {
+                    break;
+                }
+                rtts_us.push(t.elapsed().as_micros() as u64);
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            rtts_us
+        })
+    };
+
+    let started = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).unwrap();
+                c.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+                let events = producer_events(i, clients, total);
+                for chunk in events.chunks(256) {
+                    c.batch(chunk).unwrap();
+                }
+                c.sync().unwrap();
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("producer thread");
+    }
+    let secs = started.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    let mut rtts = sampler.join().expect("sampler thread");
+    rtts.sort_unstable();
+
+    let mut c = Client::connect(&addr).unwrap();
+    let reply = c.stats().unwrap();
+    let stats = reply.get("stats").and_then(JsonValue::as_object).unwrap();
+    let queue = stats.get("queue").and_then(JsonValue::as_object).unwrap();
+    let patterns = stats.get("patterns").and_then(JsonValue::as_array).unwrap();
+    let matches = patterns
+        .iter()
+        .filter_map(|p| p.as_object()?.get("matches")?.as_u64())
+        .sum();
+    let consumed = stats.get("consumed").and_then(JsonValue::as_u64).unwrap();
+    let sent = (total / clients * clients) as u64;
+    assert_eq!(consumed, sent, "block policy must not lose events");
+
+    let trial = Trial {
+        clients,
+        events: sent as usize,
+        secs,
+        events_per_sec: sent as f64 / secs.max(1e-12),
+        matches,
+        queue_high_water: queue
+            .get("high_water")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(0),
+        queue_shed: queue.get("shed").and_then(JsonValue::as_u64).unwrap_or(0),
+        ping_p50_us: percentile(&rtts, 0.50),
+        ping_p99_us: percentile(&rtts, 0.99),
+    };
+    server.stop().expect("server stop");
+    trial
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("server bench: {e}");
+            std::process::exit(2);
+        }
+    };
+    let scratch = opts
+        .durable
+        .then(|| std::env::temp_dir().join(format!("ses-bench-server-{}", std::process::id())));
+
+    let mut rows = Vec::new();
+    for clients in [1, 2, 4, 8] {
+        if let Some(dir) = &scratch {
+            std::fs::remove_dir_all(dir).ok();
+        }
+        ses_server::signal::reset();
+        let t = run_trial(clients, opts.events, scratch.as_ref());
+        println!(
+            "{:>2} client(s): {:>9.0} events/s ({} events in {:.3}s), {} match(es), \
+             queue high-water {}, ping p50 {}us p99 {}us",
+            t.clients,
+            t.events_per_sec,
+            t.events,
+            t.secs,
+            t.matches,
+            t.queue_high_water,
+            t.ping_p50_us,
+            t.ping_p99_us,
+        );
+        rows.push(format!(
+            "    {{ \"clients\": {}, \"events\": {}, \"secs\": {:.6}, \
+             \"events_per_sec\": {:.1}, \"matches\": {}, \"queue_high_water\": {}, \
+             \"queue_shed\": {}, \"ping_p50_us\": {}, \"ping_p99_us\": {} }}",
+            t.clients,
+            t.events,
+            t.secs,
+            t.events_per_sec,
+            t.matches,
+            t.queue_high_water,
+            t.queue_shed,
+            t.ping_p50_us,
+            t.ping_p99_us,
+        ));
+    }
+    if let Some(dir) = &scratch {
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"server ingestion over TCP\",\n  \"query\": \"CD pair, 5-tick window\",\n  \
+         \"durable\": {},\n  \"batch\": 256,\n  \"queue_capacity\": 4096,\n  \"policy\": \"block\",\n  \
+         \"trials\": [\n{}\n  ]\n}}\n",
+        scratch.is_some(),
+        rows.join(",\n"),
+    );
+    std::fs::write(&opts.out, &json).expect("can write the report");
+    print!("{json}");
+    println!("wrote {}", opts.out.display());
+}

@@ -43,6 +43,15 @@ const VALUED: &[&str] = &[
     "keep",
     "columnar",
     "batch",
+    "listen",
+    "event-log",
+    "queue",
+    "outbound",
+    "policy",
+    "connect",
+    "cursor",
+    "name",
+    "count",
 ];
 
 impl Args {

@@ -107,6 +107,33 @@ USAGE:
                    [--seed N] [--scale F]
   ses-cli import   --data <file.csv> --out <log-dir>
   ses-cli stats    --data <file.csv> [--within N]
+  ses-cli serve    (--schema \"NAME:TYPE,...\" | --data <file.csv>)
+                   [--listen 127.0.0.1:0] [--tick hour]
+                   [--queue N] [--outbound N] [--policy block|reject]
+                   [--checkpoint <dir> [--event-log <dir>]
+                    [--checkpoint-every N] [--keep K]] [--no-evict]
+                   (long-running match server over line-delimited JSON:
+                    clients ingest events and register standing
+                    subscriptions; finalized matches stream back as they
+                    expire out of the window. Queues are bounded —
+                    --policy block applies backpressure to producers,
+                    reject sheds with counters. With --checkpoint the
+                    event log, subscription registry, and per-sub match
+                    logs make delivery exactly-once across crashes;
+                    SIGINT/SIGTERM drains and checkpoints before exit.
+                    See docs/server.md for the protocol)
+  ses-cli client   --connect HOST:PORT
+                   (ping | stats | sync | shutdown
+                    | ingest --data <file.csv>
+                    | subscribe --name N [--query Q] [--cursor K] [--count M])
+                   (protocol client: `ingest` streams a CSV in batches
+                    and syncs; `subscribe` registers or re-attaches and
+                    prints matches as they arrive — --cursor resumes a
+                    durable subscription exactly-once after a crash)
+
+`run`, `stream`, and `bank` accept --format json with --stats to emit
+the statistics as one JSON object (same shape as the server's `stats`
+verb) instead of human-readable tables.
 
 --data accepts either a CSV file or a binary event-log directory
 (created with `import`). --query accepts inline text, a single-query
@@ -132,6 +159,8 @@ pub fn dispatch(args: &Args, out: &mut dyn Write) -> i32 {
         Some("generate") => cmd_generate(args, out),
         Some("import") => cmd_import(args, out),
         Some("stats") => cmd_stats(args, out),
+        Some("serve") => crate::serve::cmd_serve(args, out),
+        Some("client") => crate::serve::cmd_client(args, out),
         Some("help") | None => {
             let _ = out.write_all(USAGE.as_bytes());
             Ok(())
@@ -157,7 +186,7 @@ fn load_query(spec: &str) -> Result<String, String> {
     }
 }
 
-fn parse_tick(args: &Args) -> Result<TickUnit, String> {
+pub(crate) fn parse_tick(args: &Args) -> Result<TickUnit, String> {
     Ok(match args.get("tick").unwrap_or("hour") {
         "second" | "seconds" => TickUnit::Second,
         "minute" | "minutes" => TickUnit::Minute,
@@ -266,7 +295,7 @@ fn build_matcher(
 }
 
 /// Loads `--data` from a CSV file or a binary event-log directory.
-fn load_store(path: &str) -> Result<EventStore, String> {
+pub(crate) fn load_store(path: &str) -> Result<EventStore, String> {
     let p = std::path::Path::new(path);
     if p.is_dir() {
         let log = EventLog::open(p, LogConfig::default()).map_err(|e| e.to_string())?;
@@ -441,13 +470,13 @@ fn cmd_run(args: &Args, out: &mut dyn Write) -> Result<(), String> {
             }
             PartitionStrategy::Global => {}
         }
-        write!(out, "\n{t}").map_err(io_err)?;
+        emit_stats_tables(args, out, &[("stats", &t)])?;
     }
     Ok(())
 }
 
 /// Parses a `--schema` spec like `ID:int,L:str,V:float` into a schema.
-fn parse_schema_spec(spec: &str) -> Result<ses_event::Schema, String> {
+pub(crate) fn parse_schema_spec(spec: &str) -> Result<ses_event::Schema, String> {
     let mut b = ses_event::Schema::builder();
     for part in spec.split(',') {
         let part = part.trim();
@@ -1482,7 +1511,13 @@ fn cmd_bank(args: &Args, out: &mut dyn Write) -> Result<(), String> {
         Ok(())
     };
 
+    ses_server::signal::install();
+    let mut interrupted = false;
     for (_, e) in relation.iter().skip(skip) {
+        if ses_server::signal::requested() {
+            interrupted = true;
+            break;
+        }
         let emitted = bank
             .push_with_probe(e.ts(), e.values().to_vec(), &mut probe)
             .map_err(|x| x.to_string())?;
@@ -1499,6 +1534,20 @@ fn cmd_bank(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     // during/after the flush replays only the flush itself.
     if let Some(d) = dur.as_mut() {
         d.save_bank_now(&mut bank, &mut probe)?;
+    }
+    if interrupted {
+        // Graceful interrupt: checkpoint taken, sink synced, no
+        // premature `finish` flush (see run_stream).
+        if let Some(d) = dur.as_mut() {
+            d.sink.sync().map_err(|e| e.to_string())?;
+        }
+        writeln!(
+            out,
+            "interrupted after {total} match(es); state checkpointed — resume with \
+             `ses-cli bank --recover`"
+        )
+        .map_err(io_err)?;
+        return Ok(());
     }
     // `finish` consumes the bank; take the report first and fold the
     // flush's matches into the per-pattern emission counts by hand.
@@ -1551,7 +1600,6 @@ fn cmd_bank(args: &Args, out: &mut dyn Write) -> Result<(), String> {
                 s.evicted_events.to_string(),
             ]);
         }
-        write!(out, "\n{t}").map_err(io_err)?;
         let mut totals = Table::new(["metric", "value"]);
         totals.row(["index", if index_on { "on" } else { "off" }]);
         totals.row(["sharing", if sharing { "on" } else { "off" }]);
@@ -1568,7 +1616,7 @@ fn cmd_bank(args: &Args, out: &mut dyn Write) -> Result<(), String> {
             totals.row(["checkpoints saved", &probe.checkpoints.to_string()]);
             totals.row(["checkpoint bytes", &probe.checkpoint_bytes.to_string()]);
         }
-        write!(out, "\n{totals}").map_err(io_err)?;
+        emit_stats_tables(args, out, &[("patterns", &t), ("totals", &totals)])?;
     }
     Ok(())
 }
@@ -1592,6 +1640,11 @@ fn run_stream(
     start_total: usize,
 ) -> Result<(), String> {
     let limit: usize = args.get_parsed("limit", usize::MAX)?;
+    // Graceful shutdown: SIGINT/SIGTERM breaks out of the replay loop
+    // below; the normal tail then takes the final checkpoint and syncs
+    // the sink, so an interrupted stream resumes exactly-once.
+    ses_server::signal::install();
+    let mut interrupted = false;
     let sw = Stopwatch::start();
     let mut probe = CountingProbe::new();
     let mut total = start_total;
@@ -1629,6 +1682,10 @@ fn run_stream(
         let events: Vec<ses_event::Event> =
             relation.iter().skip(skip).map(|(_, e)| e.clone()).collect();
         for chunk in events.chunks(batch) {
+            if ses_server::signal::requested() {
+                interrupted = true;
+                break;
+            }
             let at = format!("t={}", chunk.last().expect("chunks are non-empty").ts());
             let emitted = sm.push_batch_with_probe(chunk.to_vec(), &mut probe)?;
             for m in &emitted {
@@ -1640,6 +1697,10 @@ fn run_stream(
         }
     } else {
         for (_, e) in relation.iter().skip(skip) {
+            if ses_server::signal::requested() {
+                interrupted = true;
+                break;
+            }
             let emitted = sm.push_with_probe(e.ts(), e.values().to_vec(), &mut probe)?;
             let at = format!("t={}", e.ts());
             for m in &emitted {
@@ -1654,6 +1715,20 @@ fn run_stream(
     // during/after the flush replays only the flush itself.
     if let Some(d) = dur.as_deref_mut() {
         d.save_now(&mut sm, &mut probe)?;
+    }
+    if interrupted {
+        // Graceful interrupt: checkpoint taken, sink synced, but no
+        // `finish` — flushing unexpired partial matches would pollute
+        // the durable log `recover` resumes from.
+        if let Some(d) = dur {
+            d.sink.sync().map_err(|e| e.to_string())?;
+        }
+        writeln!(
+            out,
+            "interrupted after {total} match(es); state checkpointed — resume with `ses-cli recover`"
+        )
+        .map_err(io_err)?;
+        return Ok(());
     }
     let report = sm.report();
     for m in &sm.finish() {
@@ -1740,7 +1815,7 @@ fn run_stream(
                 &format!("{:.3}s", probe.checkpoint_nanos as f64 / 1e9),
             ]);
         }
-        write!(out, "\n{t}").map_err(io_err)?;
+        emit_stats_tables(args, out, &[("stats", &t)])?;
     }
     Ok(())
 }
@@ -1874,7 +1949,33 @@ fn cmd_stats(args: &Args, out: &mut dyn Write) -> Result<(), String> {
     Ok(())
 }
 
-fn io_err(e: std::io::Error) -> String {
+/// Renders `--stats` tables honoring `--format human|json`. JSON mode
+/// emits one object with a key per table — the same shape the server's
+/// `stats` verb returns, so dashboards parse both identically.
+fn emit_stats_tables(
+    args: &Args,
+    out: &mut dyn Write,
+    tables: &[(&str, &Table)],
+) -> Result<(), String> {
+    match args.get("format").unwrap_or("human") {
+        "human" => {
+            for (_, t) in tables {
+                write!(out, "\n{t}").map_err(io_err)?;
+            }
+            Ok(())
+        }
+        "json" => {
+            let mut o = ses_metrics::JsonObject::new();
+            for (k, t) in tables {
+                o.set(*k, t.to_json());
+            }
+            writeln!(out, "{o}").map_err(io_err)
+        }
+        other => Err(format!("--format: expected human|json, got `{other}`")),
+    }
+}
+
+pub(crate) fn io_err(e: std::io::Error) -> String {
     format!("i/o error: {e}")
 }
 
@@ -1919,6 +2020,61 @@ mod tests {
                       WHERE c.L = 'C' AND d.L = 'D' AND p.L = 'P' AND b.L = 'B' \
                         AND c.ID = p.ID AND c.ID = d.ID AND d.ID = b.ID \
                       WITHIN 264 HOURS";
+
+    #[test]
+    fn stats_format_json_emits_one_parseable_object() {
+        let data = figure1_csv();
+        for argv in [
+            vec![
+                "run", "--query", Q1, "--data", &data, "--stats", "--format", "json",
+            ],
+            vec![
+                "stream", "--query", Q1, "--data", &data, "--stats", "--format", "json",
+            ],
+        ] {
+            let (code, out) = run(&argv);
+            assert_eq!(code, 0, "{out}");
+            let json_line = out.lines().last().unwrap();
+            let v = ses_server::protocol::parse_json(json_line).expect(json_line);
+            let stats = v.as_object().unwrap().get("stats").unwrap();
+            assert!(
+                stats.as_object().unwrap().get("raw_matches").is_some()
+                    || stats.as_object().unwrap().get("events_pushed").is_some(),
+                "{json_line}"
+            );
+        }
+        // Unknown format is a hard error, not silent fallback.
+        let (code, out) = run(&[
+            "run", "--query", Q1, "--data", &data, "--stats", "--format", "xml",
+        ]);
+        assert_ne!(code, 0);
+        assert!(out.contains("expected human|json"), "{out}");
+    }
+
+    #[test]
+    fn bank_stats_format_json_has_patterns_and_totals() {
+        let data = figure1_csv();
+        let dir = std::env::temp_dir().join(format!("ses-bankjson-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("q1.ses"), Q1).unwrap();
+        let (code, out) = run(&[
+            "bank",
+            "--patterns",
+            dir.to_str().unwrap(),
+            "--data",
+            &data,
+            "--stats",
+            "--format",
+            "json",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        let json_line = out.lines().last().unwrap();
+        let v = ses_server::protocol::parse_json(json_line).expect(json_line);
+        let o = v.as_object().unwrap();
+        assert!(o.get("patterns").is_some(), "{json_line}");
+        assert!(o.get("totals").is_some(), "{json_line}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
 
     #[test]
     fn help_and_unknown_command() {

@@ -12,6 +12,7 @@
 
 mod args;
 mod commands;
+mod serve;
 
 pub use args::Args;
 pub use commands::{dispatch, USAGE};

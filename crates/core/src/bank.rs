@@ -454,6 +454,7 @@ impl PatternBankBuilder {
             plan,
             index,
             use_index: self.use_index,
+            evict: self.evict,
             schema: self.schema,
             watermark: None,
             last_ts: None,
@@ -506,6 +507,9 @@ pub struct PatternBank {
     plan: SharingPlan,
     index: PatternIndex,
     use_index: bool,
+    /// Whether watermark eviction is enabled on every pattern — the
+    /// setting new [`PatternBank::subscribe`] registrations inherit.
+    evict: bool,
     schema: Schema,
     /// The bank's clock: max of pushed and heartbeat timestamps; pushes
     /// behind it are rejected.
@@ -1042,12 +1046,21 @@ impl PatternBank {
                 .apply_snapshot(ps)
                 .map_err(|e| mismatch(format!("prefix pool: {e}")))?;
         }
+        // Every pattern shares one eviction setting (the builder applies
+        // it uniformly); recover it from any restored matcher so later
+        // `subscribe` registrations inherit it.
+        let evict = snapshot
+            .patterns
+            .iter()
+            .find_map(|p| p.matcher.as_ref().map(|m| m.evict))
+            .unwrap_or(true);
         Ok(PatternBank {
             entries,
             pools,
             plan,
             index,
             use_index: snapshot.use_index,
+            evict,
             schema: schema.clone(),
             watermark: snapshot.watermark,
             last_ts: snapshot.last_ts,
@@ -1055,6 +1068,64 @@ impl PatternBank {
             ties: snapshot.ties as usize,
             emitted: snapshot.emitted as usize,
         })
+    }
+
+    /// Registers a new pattern on a *running* bank — the subscription
+    /// path a long-lived match server needs: the pattern starts matching
+    /// at the bank's current watermark (it observes no earlier events)
+    /// and the predicate index is rebuilt to route to it. Returns the
+    /// new pattern's id (its position in push results and statistics).
+    ///
+    /// Live registration composes with the trivial sharing plan only: a
+    /// bank actively executing dedup groups or prefix pools refuses
+    /// (its plan and pools were computed over a closed pattern set), as
+    /// does a duplicate name — names identify durable subscriptions, so
+    /// reusing one would corrupt cursor-based resume.
+    pub fn subscribe(
+        &mut self,
+        name: impl Into<String>,
+        pattern: &Pattern,
+        options: MatcherOptions,
+    ) -> Result<usize, CoreError> {
+        let name = name.into();
+        let refuse = |reason: String| CoreError::Subscription { reason };
+        if self.sharing_active() {
+            return Err(refuse(
+                "the bank executes a structural sharing plan; live registration \
+                 requires sharing off"
+                    .to_string(),
+            ));
+        }
+        if self.entries.iter().any(|e| e.name == name) {
+            return Err(refuse(format!(
+                "a pattern named `{name}` is already registered"
+            )));
+        }
+        let mut sm =
+            StreamMatcher::with_options(pattern, &self.schema, options)?.with_eviction(self.evict);
+        if let Some(w) = self.watermark {
+            // Bring the fresh matcher to the bank's clock so pushes at
+            // or after the watermark are in order for it. A matcher with
+            // no instances and no events finalizes nothing.
+            let beat = sm.advance_watermark(w);
+            debug_assert!(beat.is_empty(), "a fresh matcher emitted on heartbeat");
+        }
+        self.entries.push(Entry {
+            name,
+            exec: Exec::Own(Box::new(sm)),
+            ids: Vec::new(),
+            base: 0,
+            peak_omega: 0,
+            hits: 0,
+            skips: 0,
+        });
+        self.plan = SharingPlan::trivial(self.entries.len());
+        self.index = PatternIndex::build(self.entries.iter().map(|e| {
+            e.own()
+                .expect("trivial plans run every pattern's own matcher")
+                .compiled()
+        }));
+        Ok(self.entries.len() - 1)
     }
 }
 
@@ -1328,6 +1399,140 @@ mod tests {
             .is_empty());
         assert_eq!(bank.consumed_events(), 1);
         assert!(bank.finish().is_empty());
+    }
+
+    #[test]
+    fn subscribe_mid_stream_matches_only_future_events() {
+        let mut bank = bank(true);
+        // Consume a prefix that would complete a C-D pair for an
+        // observer of the whole stream.
+        for (t, l) in [(0, "C"), (1, "A")] {
+            bank.push(Timestamp::new(t), [Value::from(1i64), Value::from(l)])
+                .unwrap();
+        }
+        let id = bank
+            .subscribe("cd2", &pair("C", "D"), MatcherOptions::default())
+            .unwrap();
+        assert_eq!(id, 2);
+        assert_eq!(bank.names(), vec!["ab", "cd", "cd2"]);
+        // The D at t=2 pairs with the pre-subscription C for the old
+        // pattern, but the new subscription never saw that C; the C-D
+        // pair at t=3/4 lies entirely after the subscription point and
+        // matches for both. The X at t=20 expires every window so the
+        // emissions finalize.
+        let mut post = Vec::new();
+        for (t, l) in [(2, "D"), (3, "C"), (4, "D"), (20, "X")] {
+            post.extend(
+                bank.push(Timestamp::new(t), [Value::from(1i64), Value::from(l)])
+                    .unwrap(),
+            );
+        }
+        for (i, m) in bank.finish() {
+            post.push((i, m));
+        }
+        let ids_of =
+            |m: &Match| -> Vec<usize> { m.bindings().iter().map(|&(_, e)| e.index()).collect() };
+        let old_matches: Vec<Vec<usize>> = post
+            .iter()
+            .filter(|(i, _)| *i == 1)
+            .map(|(_, m)| ids_of(m))
+            .collect();
+        let new_matches: Vec<Vec<usize>> = post
+            .iter()
+            .filter(|(i, _)| *i == 2)
+            .map(|(_, m)| ids_of(m))
+            .collect();
+        assert!(
+            old_matches.iter().any(|ids| ids.contains(&0)),
+            "the old pattern pairs the pre-subscription C (global id 0): {old_matches:?}"
+        );
+        assert!(
+            new_matches.iter().all(|ids| ids.iter().all(|&e| e >= 2)),
+            "the subscription must never bind pre-registration events: {new_matches:?}"
+        );
+        // Restricted to post-subscription events the two executions agree
+        // exactly (same pattern, same suffix, global ids line up).
+        let old_post_only: Vec<Vec<usize>> = old_matches
+            .into_iter()
+            .filter(|ids| ids.iter().all(|&e| e >= 2))
+            .collect();
+        assert_eq!(new_matches, old_post_only);
+        assert!(
+            new_matches.contains(&vec![3, 4]),
+            "the wholly post-subscription C-D pair matches: {new_matches:?}"
+        );
+    }
+
+    #[test]
+    fn subscribe_is_routed_by_the_rebuilt_index() {
+        let mut bank = bank(true);
+        bank.push(Timestamp::new(0), [Value::from(1i64), Value::from("A")])
+            .unwrap();
+        bank.subscribe("ef", &pair("E", "F"), MatcherOptions::default())
+            .unwrap();
+        let mut probe = RouteProbe::default();
+        // An E event is admitted only by the new pattern.
+        bank.push_with_probe(
+            Timestamp::new(1),
+            [Value::from(1i64), Value::from("E")],
+            &mut probe,
+        )
+        .unwrap();
+        assert_eq!(probe.hits, 1, "routed to the subscription only");
+        assert_eq!(probe.skips, 2);
+        assert!(matches!(bank.index_class(2), IndexClass::Indexed));
+    }
+
+    #[test]
+    fn subscribe_rejects_duplicate_names_and_active_sharing() {
+        let mut bank = bank(true);
+        assert!(matches!(
+            bank.subscribe("ab", &pair("E", "F"), MatcherOptions::default()),
+            Err(CoreError::Subscription { .. })
+        ));
+        let mut shared = sharing_bank(true);
+        assert!(shared.sharing_active());
+        assert!(matches!(
+            shared.subscribe("late", &pair("E", "F"), MatcherOptions::default()),
+            Err(CoreError::Subscription { .. })
+        ));
+    }
+
+    #[test]
+    fn subscribe_survives_snapshot_restore_round_trip() {
+        let mut bank = bank(true);
+        bank.push(Timestamp::new(0), [Value::from(1i64), Value::from("A")])
+            .unwrap();
+        bank.subscribe("ef", &pair("E", "F"), MatcherOptions::default())
+            .unwrap();
+        bank.push(Timestamp::new(1), [Value::from(1i64), Value::from("E")])
+            .unwrap();
+        let snap = bank.snapshot();
+        let specs: Vec<(String, Pattern, MatcherOptions)> = vec![
+            ("ab".into(), pair("A", "B"), MatcherOptions::default()),
+            ("cd".into(), pair("C", "D"), MatcherOptions::default()),
+            ("ef".into(), pair("E", "F"), MatcherOptions::default()),
+        ];
+        let mut restored = PatternBank::restore(&specs, &schema(), &snap).unwrap();
+        let drive = |bank: &mut PatternBank| {
+            let mut out = Vec::new();
+            for (t, l) in [(2, "F"), (3, "B"), (20, "X")] {
+                out.extend(
+                    bank.push(Timestamp::new(t), [Value::from(1i64), Value::from(l)])
+                        .unwrap(),
+                );
+            }
+            out
+        };
+        let a = drive(&mut bank);
+        let b = drive(&mut restored);
+        assert_eq!(a, b);
+        assert!(a.iter().any(|(i, _)| *i == 2), "subscription matched E-F");
+        // The restored bank keeps accepting live subscriptions.
+        restored
+            .subscribe("gh", &pair("G", "H"), MatcherOptions::default())
+            .unwrap();
+        assert_eq!(restored.len(), 4);
     }
 
     #[test]

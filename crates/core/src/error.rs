@@ -34,6 +34,13 @@ pub enum CoreError {
         /// What disagreed.
         reason: String,
     },
+    /// A dynamic subscription could not be registered on a running
+    /// pattern bank (duplicate name, or the bank executes a structural
+    /// sharing plan that live registration would invalidate).
+    Subscription {
+        /// Why the registration was refused.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -51,6 +58,9 @@ impl fmt::Display for CoreError {
             ),
             CoreError::SnapshotMismatch { reason } => {
                 write!(f, "snapshot cannot be restored: {reason}")
+            }
+            CoreError::Subscription { reason } => {
+                write!(f, "subscription rejected: {reason}")
             }
         }
     }

@@ -116,6 +116,19 @@ pub trait Probe {
     /// `durability` bench plots against the checkpoint interval.
     #[inline]
     fn checkpoint_saved(&mut self, _bytes: u64, _nanos: u64) {}
+
+    /// An ingest front-end enqueued one event onto a bounded queue that
+    /// now holds `_depth` entries. Fired per enqueue by queue owners
+    /// (the match server's router); the maximum over these samples is
+    /// the queue's high-water mark — the backpressure quantity the
+    /// server's `stats` verb reports.
+    #[inline]
+    fn ingest_enqueued(&mut self, _depth: usize) {}
+
+    /// An ingest front-end shed `_n` events because a bounded queue was
+    /// full and the load-shedding policy rejects instead of blocking.
+    #[inline]
+    fn ingest_shed(&mut self, _n: usize) {}
 }
 
 /// The no-op probe: compiles to nothing.
@@ -204,6 +217,14 @@ impl<P: Probe + ?Sized> Probe for &mut P {
     #[inline]
     fn checkpoint_saved(&mut self, bytes: u64, nanos: u64) {
         (**self).checkpoint_saved(bytes, nanos);
+    }
+    #[inline]
+    fn ingest_enqueued(&mut self, depth: usize) {
+        (**self).ingest_enqueued(depth);
+    }
+    #[inline]
+    fn ingest_shed(&mut self, n: usize) {
+        (**self).ingest_shed(n);
     }
 }
 

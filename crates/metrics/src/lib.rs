@@ -4,10 +4,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
 mod probe;
 mod report;
 mod stopwatch;
 
+pub use json::{escape_json, json_key, JsonObject, JsonValue};
 pub use probe::{CountingProbe, SeriesProbe};
 pub use report::{fmt_f64, Align, Table};
 pub use stopwatch::{timed, Stopwatch, Summary};

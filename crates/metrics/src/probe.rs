@@ -71,6 +71,14 @@ pub struct CountingProbe {
     /// Total nanoseconds spent snapshotting, serializing, and syncing
     /// checkpoints — checkpoint overhead relative to run time.
     pub checkpoint_nanos: u64,
+    /// Events enqueued onto bounded ingest queues (the match server's
+    /// admission path).
+    pub ingest_enqueued: u64,
+    /// Peak bounded-queue depth observed across enqueues — the
+    /// backpressure high-water mark.
+    pub ingest_queue_peak: usize,
+    /// Events shed by a full bounded queue under the reject policy.
+    pub ingest_shed: u64,
 }
 
 impl CountingProbe {
@@ -185,6 +193,9 @@ impl CountingProbe {
         self.checkpoints += other.checkpoints;
         self.checkpoint_bytes += other.checkpoint_bytes;
         self.checkpoint_nanos += other.checkpoint_nanos;
+        self.ingest_enqueued += other.ingest_enqueued;
+        self.ingest_queue_peak = self.ingest_queue_peak.max(other.ingest_queue_peak);
+        self.ingest_shed += other.ingest_shed;
     }
 
     /// Resets every counter.
@@ -260,6 +271,13 @@ impl Probe for CountingProbe {
         self.checkpoints += 1;
         self.checkpoint_bytes += bytes;
         self.checkpoint_nanos += nanos;
+    }
+    fn ingest_enqueued(&mut self, depth: usize) {
+        self.ingest_enqueued += 1;
+        self.ingest_queue_peak = self.ingest_queue_peak.max(depth);
+    }
+    fn ingest_shed(&mut self, n: usize) {
+        self.ingest_shed += n as u64;
     }
 }
 
@@ -351,6 +369,12 @@ impl Probe for SeriesProbe {
     }
     fn checkpoint_saved(&mut self, bytes: u64, nanos: u64) {
         self.counts.checkpoint_saved(bytes, nanos);
+    }
+    fn ingest_enqueued(&mut self, depth: usize) {
+        Probe::ingest_enqueued(&mut self.counts, depth);
+    }
+    fn ingest_shed(&mut self, n: usize) {
+        Probe::ingest_shed(&mut self.counts, n);
     }
 }
 
@@ -491,6 +515,30 @@ mod tests {
         let mut s = SeriesProbe::new();
         Probe::allocations(&mut s, 7);
         assert_eq!(s.counts.allocations, 7);
+    }
+
+    #[test]
+    fn ingest_hooks_track_depth_peak_and_shedding() {
+        let mut p = CountingProbe::new();
+        Probe::ingest_enqueued(&mut p, 3);
+        Probe::ingest_enqueued(&mut p, 17);
+        Probe::ingest_enqueued(&mut p, 5);
+        Probe::ingest_shed(&mut p, 2);
+        assert_eq!(p.ingest_enqueued, 3);
+        assert_eq!(p.ingest_queue_peak, 17);
+        assert_eq!(p.ingest_shed, 2);
+        let mut q = CountingProbe::new();
+        Probe::ingest_enqueued(&mut q, 40);
+        Probe::ingest_shed(&mut q, 1);
+        p.merge(&q);
+        assert_eq!(p.ingest_enqueued, 4);
+        assert_eq!(p.ingest_queue_peak, 40);
+        assert_eq!(p.ingest_shed, 3);
+        let mut s = SeriesProbe::new();
+        Probe::ingest_enqueued(&mut s, 7);
+        Probe::ingest_shed(&mut s, 7);
+        assert_eq!(s.counts.ingest_queue_peak, 7);
+        assert_eq!(s.counts.ingest_shed, 7);
     }
 
     #[test]

@@ -67,6 +67,38 @@ impl Table {
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }
+
+    /// Renders the table as JSON — the machine-readable twin of the
+    /// [`fmt::Display`] text rendering, shared by `--format json` and
+    /// the server's `stats` verb. A two-column table becomes one object
+    /// (`{metric: value}`); anything wider becomes an array of row
+    /// objects keyed by the headers. Labels are normalized with
+    /// [`crate::json::json_key`] and cells typed with
+    /// [`crate::json::cell_value`].
+    pub fn to_json(&self) -> crate::json::JsonValue {
+        use crate::json::{cell_value, json_key, JsonObject, JsonValue};
+        if self.headers.len() == 2 {
+            let mut o = JsonObject::new();
+            for row in &self.rows {
+                o.set(json_key(&row[0]), cell_value(&row[1]));
+            }
+            JsonValue::Object(o)
+        } else {
+            let keys: Vec<String> = self.headers.iter().map(|h| json_key(h)).collect();
+            JsonValue::Array(
+                self.rows
+                    .iter()
+                    .map(|row| {
+                        let mut o = JsonObject::new();
+                        for (k, cell) in keys.iter().zip(row) {
+                            o.set(k.clone(), cell_value(cell));
+                        }
+                        JsonValue::Object(o)
+                    })
+                    .collect(),
+            )
+        }
+    }
 }
 
 impl fmt::Display for Table {
@@ -147,6 +179,29 @@ mod tests {
         assert!(s.lines().nth(2).unwrap().contains("x "));
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn two_column_table_renders_as_one_json_object() {
+        let mut t = Table::new(["metric", "value"]);
+        t.row(["events read", "12"]);
+        t.row(["max |Ω|", "3"]);
+        t.row(["eviction", "on"]);
+        assert_eq!(
+            t.to_json().to_string(),
+            r#"{"events_read":12,"max_omega":3,"eviction":"on"}"#
+        );
+    }
+
+    #[test]
+    fn wide_table_renders_as_json_rows() {
+        let mut t = Table::new(["pattern", "hits", "matches"]);
+        t.row(["q1", "5", "2"]);
+        t.row(["q2", "0", "0"]);
+        assert_eq!(
+            t.to_json().to_string(),
+            r#"[{"pattern":"q1","hits":5,"matches":2},{"pattern":"q2","hits":0,"matches":0}]"#
+        );
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! Line-protocol client used by `ses-cli client`, the benchmarks, and
+//! the integration tests.
+//!
+//! One TCP connection, synchronous request/response plus asynchronous
+//! match delivery. Replies and match lines share the wire, so reads go
+//! through [`Client::read_reply`] (skips/collects match lines until a
+//! non-match object arrives) or [`Client::read_line`] (raw next object).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use ses_metrics::{JsonObject, JsonValue};
+
+use crate::protocol;
+
+/// A connected protocol client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    /// Match lines received while waiting for a command reply.
+    pub pending_matches: Vec<JsonObject>,
+}
+
+fn obj(value: JsonValue) -> Result<JsonObject, String> {
+    match value {
+        JsonValue::Object(o) => Ok(o),
+        other => Err(format!("expected JSON object, got {other}")),
+    }
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:4735`).
+    pub fn connect(addr: &str) -> Result<Client, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone().map_err(|e| e.to_string())?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            pending_matches: Vec::new(),
+        })
+    }
+
+    /// Sets (or clears) the read timeout for subsequent reads.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), String> {
+        self.reader
+            .get_ref()
+            .set_read_timeout(timeout)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Sends one raw protocol line.
+    pub fn send_line(&mut self, line: &str) -> Result<(), String> {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|_| self.writer.write_all(b"\n"))
+            .and_then(|_| self.writer.flush())
+            .map_err(|e| e.to_string())
+    }
+
+    /// Reads the next protocol object (reply or match).
+    /// `Ok(None)` means the server closed the connection.
+    pub fn read_line(&mut self) -> Result<Option<JsonObject>, String> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match self.reader.read_line(&mut line) {
+                Ok(0) => return Ok(None),
+                Ok(_) => {
+                    let trimmed = line.trim();
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    return obj(protocol::parse_json(trimmed)?).map(Some);
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Err("timeout".to_string());
+                }
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+    }
+
+    /// Reads until a non-match object arrives; match lines seen on the
+    /// way are appended to [`Client::pending_matches`].
+    pub fn read_reply(&mut self) -> Result<JsonObject, String> {
+        loop {
+            let Some(object) = self.read_line()? else {
+                return Err("connection closed".to_string());
+            };
+            if object.get("op").and_then(JsonValue::as_str) == Some("match") {
+                self.pending_matches.push(object);
+                continue;
+            }
+            return Ok(object);
+        }
+    }
+
+    /// Reads a reply and fails on `{"ok": false}`.
+    pub fn expect_ok(&mut self) -> Result<JsonObject, String> {
+        let reply = self.read_reply()?;
+        if reply.get("ok").and_then(JsonValue::as_bool) == Some(true) {
+            Ok(reply)
+        } else {
+            Err(format!(
+                "server error: {}",
+                reply
+                    .get("error")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("unknown")
+            ))
+        }
+    }
+
+    /// Ingests one event (fire-and-forget; pair with [`Client::sync`]).
+    pub fn ingest(&mut self, ts: i64, values: &[JsonValue]) -> Result<(), String> {
+        let rendered: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+        self.send_line(&format!(
+            "{{\"op\":\"ingest\",\"ts\":{ts},\"values\":[{}]}}",
+            rendered.join(",")
+        ))
+    }
+
+    /// Ingests a batch of events in one wire message.
+    pub fn batch(&mut self, events: &[(i64, Vec<JsonValue>)]) -> Result<(), String> {
+        let mut body = String::from("{\"op\":\"batch\",\"events\":[");
+        for (i, (ts, values)) in events.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            let rendered: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+            body.push_str(&format!("[{ts},[{}]]", rendered.join(",")));
+        }
+        body.push_str("]}");
+        self.send_line(&body)
+    }
+
+    /// Barrier: all prior ingests from this connection are consumed and
+    /// (when durability is on) fsynced once the reply returns.
+    pub fn sync(&mut self) -> Result<JsonObject, String> {
+        self.send_line("{\"op\":\"sync\"}")?;
+        self.expect_ok()
+    }
+
+    /// Liveness + watermark probe.
+    pub fn ping(&mut self) -> Result<JsonObject, String> {
+        self.send_line("{\"op\":\"ping\"}")?;
+        self.expect_ok()
+    }
+
+    /// Server statistics snapshot.
+    pub fn stats(&mut self) -> Result<JsonObject, String> {
+        self.send_line("{\"op\":\"stats\"}")?;
+        self.expect_ok()
+    }
+
+    /// Registers (or re-attaches to) the named subscription and resumes
+    /// delivery after `cursor` already-seen matches.
+    pub fn subscribe(
+        &mut self,
+        name: &str,
+        query: &str,
+        cursor: u64,
+    ) -> Result<JsonObject, String> {
+        self.send_line(&format!(
+            "{{\"op\":\"subscribe\",\"name\":{},\"query\":{},\"cursor\":{cursor}}}",
+            JsonValue::Str(name.to_string()),
+            JsonValue::Str(query.to_string()),
+        ))?;
+        self.expect_ok()
+    }
+
+    /// Asks the server to drain, checkpoint, and exit.
+    pub fn shutdown(&mut self) -> Result<JsonObject, String> {
+        self.send_line("{\"op\":\"shutdown\"}")?;
+        self.expect_ok()
+    }
+
+    /// Pops a match line: pending buffer first, then the wire.
+    /// `Ok(None)` on connection close.
+    pub fn next_match(&mut self) -> Result<Option<JsonObject>, String> {
+        if !self.pending_matches.is_empty() {
+            return Ok(Some(self.pending_matches.remove(0)));
+        }
+        loop {
+            let Some(object) = self.read_line()? else {
+                return Ok(None);
+            };
+            if object.get("op").and_then(JsonValue::as_str) == Some("match") {
+                return Ok(Some(object));
+            }
+            // Non-match object while waiting for matches (e.g. a stale
+            // reply) — ignore it.
+        }
+    }
+}

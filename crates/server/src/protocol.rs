@@ -1,0 +1,496 @@
+//! The server's wire protocol: line-delimited JSON over TCP.
+//!
+//! Every message — in either direction — is one JSON object on one
+//! line. Client requests carry an `"op"`; server replies echo it with
+//! `"ok": true|false`, and asynchronous match deliveries use
+//! `"op": "match"`. The full verb reference lives in `docs/server.md`.
+//!
+//! ```text
+//! → {"op":"ingest","ts":42,"values":[7,"C"]}
+//! → {"op":"sync"}
+//! ← {"ok":true,"op":"sync","accepted":1,"shed":0,"durable":1}
+//! → {"op":"subscribe","name":"q1","query":"PATTERN …","cursor":0}
+//! ← {"ok":true,"op":"subscribe","sub":"q1","id":0,"resend":0}
+//! ← {"op":"match","sub":"q1","seq":1,"match":"{a: 0@42, …}"}
+//! ```
+//!
+//! Parsing builds the same [`JsonValue`] tree the rendering side uses
+//! (`ses-metrics`), so there is exactly one JSON dialect in the
+//! workspace and zero third-party dependencies.
+
+use ses_event::{AttrType, Schema, Timestamp, Value};
+use ses_metrics::{JsonObject, JsonValue};
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness / progress probe.
+    Ping,
+    /// One event: timestamp ticks plus one value per schema attribute.
+    Ingest {
+        /// Event timestamp in ticks.
+        ts: i64,
+        /// Attribute values in schema order.
+        values: Vec<JsonValue>,
+    },
+    /// Many events in one line (amortizes parsing on the hot path).
+    Batch {
+        /// `(ts, values)` pairs in stream order.
+        events: Vec<(i64, Vec<JsonValue>)>,
+    },
+    /// Barrier: ack once everything this connection ingested before the
+    /// sync has been consumed, reporting durable/shed counts.
+    Sync,
+    /// Register (or re-attach to) a standing pattern subscription.
+    Subscribe {
+        /// Subscription name — the durable identity across reconnects.
+        name: String,
+        /// Query text in the `ses-query` language.
+        query: String,
+        /// Match lines already processed by this client; the server
+        /// resends everything after this cursor.
+        cursor: u64,
+    },
+    /// Server-wide statistics (queues, patterns, durability).
+    Stats,
+    /// Graceful shutdown: drain, sync, final checkpoint, exit.
+    Shutdown,
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = parse_json(line)?;
+    let o = v.as_object().ok_or("request must be a JSON object")?;
+    let op = o
+        .get("op")
+        .and_then(JsonValue::as_str)
+        .ok_or("request must have a string `op`")?;
+    match op {
+        "ping" => Ok(Request::Ping),
+        "sync" => Ok(Request::Sync),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "ingest" => {
+            let ts = o
+                .get("ts")
+                .and_then(JsonValue::as_i64)
+                .ok_or("ingest: integer `ts` required")?;
+            let values = o
+                .get("values")
+                .and_then(JsonValue::as_array)
+                .ok_or("ingest: array `values` required")?;
+            Ok(Request::Ingest {
+                ts,
+                values: values.to_vec(),
+            })
+        }
+        "batch" => {
+            let events = o
+                .get("events")
+                .and_then(JsonValue::as_array)
+                .ok_or("batch: array `events` required")?;
+            let mut out = Vec::with_capacity(events.len());
+            for e in events {
+                let pair = e.as_array().ok_or("batch: each event is [ts, [values…]]")?;
+                if pair.len() != 2 {
+                    return Err("batch: each event is [ts, [values…]]".into());
+                }
+                let ts = pair[0].as_i64().ok_or("batch: integer ts required")?;
+                let values = pair[1]
+                    .as_array()
+                    .ok_or("batch: value array required")?
+                    .to_vec();
+                out.push((ts, values));
+            }
+            Ok(Request::Batch { events: out })
+        }
+        "subscribe" => {
+            let name = o
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or("subscribe: string `name` required")?;
+            let query = o
+                .get("query")
+                .and_then(JsonValue::as_str)
+                .ok_or("subscribe: string `query` required")?;
+            let cursor = o.get("cursor").and_then(JsonValue::as_u64).unwrap_or(0);
+            Ok(Request::Subscribe {
+                name: name.to_string(),
+                query: query.to_string(),
+                cursor,
+            })
+        }
+        other => Err(format!("unknown op `{other}`")),
+    }
+}
+
+/// Converts a JSON value row into typed event values under `schema`.
+pub fn event_values(schema: &Schema, raw: &[JsonValue]) -> Result<Vec<Value>, String> {
+    let attrs = schema.attrs();
+    if raw.len() != attrs.len() {
+        return Err(format!(
+            "expected {} value(s) for the schema, got {}",
+            attrs.len(),
+            raw.len()
+        ));
+    }
+    attrs
+        .iter()
+        .zip(raw)
+        .map(|(a, v)| {
+            let fail = || format!("attribute `{}` expects {}", a.name, a.ty);
+            Ok(match a.ty {
+                AttrType::Int => Value::Int(v.as_i64().ok_or_else(fail)?),
+                AttrType::Float => Value::Float(v.as_f64().ok_or_else(fail)?),
+                AttrType::Str => Value::from(v.as_str().ok_or_else(fail)?),
+                AttrType::Bool => Value::Bool(v.as_bool().ok_or_else(fail)?),
+            })
+        })
+        .collect()
+}
+
+/// Renders typed event values back to the JSON the client would send —
+/// the client helper uses this to encode CSV rows for ingestion.
+pub fn value_json(v: &Value) -> JsonValue {
+    match v {
+        Value::Int(i) => JsonValue::Int(*i),
+        Value::Float(x) => JsonValue::Float(*x),
+        Value::Str(s) => JsonValue::Str(s.to_string()),
+        Value::Bool(b) => JsonValue::Bool(*b),
+    }
+}
+
+/// `{"ok":true,"op":…}` reply scaffold.
+pub fn ok(op: &str) -> JsonObject {
+    JsonObject::new().with("ok", true).with("op", op)
+}
+
+/// `{"ok":false,"op":…,"error":…}` reply.
+pub fn error(op: &str, message: impl Into<String>) -> String {
+    JsonObject::new()
+        .with("ok", false)
+        .with("op", op)
+        .with("error", message.into())
+        .to_string()
+}
+
+/// One asynchronous match delivery line.
+pub fn match_line(sub: &str, seq: u64, rendered: &str) -> String {
+    JsonObject::new()
+        .with("op", "match")
+        .with("sub", sub)
+        .with("seq", seq)
+        .with("match", rendered)
+        .to_string()
+}
+
+/// Renders a timestamp as a JSON value (`null` when absent).
+pub fn ts_json(ts: Option<Timestamp>) -> JsonValue {
+    match ts {
+        Some(t) => JsonValue::Int(t.ticks()),
+        None => JsonValue::Null,
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON parsing
+// ---------------------------------------------------------------------
+
+/// Parses one JSON document (trailing whitespace allowed).
+pub fn parse_json(input: &str) -> Result<JsonValue, String> {
+    let bytes = input.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(format!("trailing characters at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(format!("unexpected `{}` at byte {}", c as char, self.pos)),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut o = JsonObject::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(o));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            o.set(key, v);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(o));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            self.pos += 4;
+                            // Surrogate pairs: only the BMP round-trips;
+                            // the escaper never emits surrogates, so a
+                            // lone one is simply replaced.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("unknown escape `\\{}`", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte safe).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| "invalid UTF-8")?;
+                    let c = s.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut float = false;
+        if self.peek() == Some(b'.') {
+            float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if float {
+            text.parse::<f64>()
+                .map(JsonValue::Float)
+                .map_err(|_| format!("invalid number `{text}`"))
+        } else if let Ok(i) = text.parse::<i64>() {
+            Ok(JsonValue::Int(i))
+        } else {
+            text.parse::<u64>()
+                .map(JsonValue::UInt)
+                .map_err(|_| format!("invalid number `{text}`"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_rendering() {
+        let cases = [
+            r#"{"op":"ping"}"#,
+            r#"{"ok":true,"op":"sync","accepted":3,"shed":0,"durable":3}"#,
+            r#"{"a":[1,-2,3.5,"x",null,false],"b":{"c":"d\ne"}}"#,
+            r#"[]"#,
+            r#"{}"#,
+        ];
+        for c in cases {
+            let v = parse_json(c).unwrap();
+            assert_eq!(v.to_string(), c, "round trip of {c}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "{", "{\"a\":}", "[1,]", "tru", "1 2", "\"unterminated"] {
+            assert!(parse_json(bad).is_err(), "{bad:?} must fail");
+        }
+    }
+
+    #[test]
+    fn requests_parse() {
+        assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(
+            parse_request(r#"{"op":"ingest","ts":5,"values":[1,"C"]}"#).unwrap(),
+            Request::Ingest {
+                ts: 5,
+                values: vec![JsonValue::Int(1), JsonValue::Str("C".into())],
+            }
+        );
+        let batch = parse_request(r#"{"op":"batch","events":[[1,[1,"A"]],[2,[2,"B"]]]}"#).unwrap();
+        match batch {
+            Request::Batch { events } => assert_eq!(events.len(), 2),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            parse_request(r#"{"op":"subscribe","name":"q","query":"PATTERN a","cursor":7}"#)
+                .unwrap(),
+            Request::Subscribe {
+                name: "q".into(),
+                query: "PATTERN a".into(),
+                cursor: 7,
+            }
+        );
+        assert!(parse_request(r#"{"op":"warp"}"#).is_err());
+        assert!(parse_request(r#"{"op":"ingest","ts":"x","values":[]}"#).is_err());
+    }
+
+    #[test]
+    fn values_convert_under_schema() {
+        use ses_event::Schema;
+        let schema = Schema::builder()
+            .attr("ID", AttrType::Int)
+            .attr("L", AttrType::Str)
+            .build()
+            .unwrap();
+        let vals = event_values(&schema, &[JsonValue::Int(7), JsonValue::Str("C".into())]).unwrap();
+        assert_eq!(vals, vec![Value::Int(7), Value::from("C")]);
+        assert!(
+            event_values(&schema, &[JsonValue::Int(7)]).is_err(),
+            "arity"
+        );
+        assert!(
+            event_values(
+                &schema,
+                &[JsonValue::Str("x".into()), JsonValue::Str("C".into())]
+            )
+            .is_err(),
+            "type"
+        );
+    }
+
+    #[test]
+    fn reply_builders_render() {
+        assert_eq!(ok("ping").to_string(), r#"{"ok":true,"op":"ping"}"#);
+        assert_eq!(
+            error("subscribe", "duplicate"),
+            r#"{"ok":false,"op":"subscribe","error":"duplicate"}"#
+        );
+        assert_eq!(
+            match_line("q1", 3, "{a: 0@1}"),
+            r#"{"op":"match","sub":"q1","seq":3,"match":"{a: 0@1}"}"#
+        );
+    }
+}

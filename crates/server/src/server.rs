@@ -1,0 +1,417 @@
+//! Server assembly: TCP acceptor, per-connection threads, lifecycle.
+//!
+//! Thread model (std-only; the workspace has no async runtime):
+//!
+//! ```text
+//! acceptor ──spawns──▶ reader (per conn) ──Msg──▶ bounded core queue
+//!                      writer (per conn) ◀─lines── router (one thread)
+//! ```
+//!
+//! The reader parses line-JSON requests and enqueues `Msg`s; under the
+//! `block` policy a full core queue stalls the reader (backpressure
+//! propagates down TCP to the client), under `reject` events are shed
+//! and counted. The writer drains the connection's bounded outbound
+//! queue; a subscriber that cannot keep up fills it and is disconnected
+//! — its durable cursor lets it resume exactly where it left off.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ses_event::Schema;
+use ses_query::TickUnit;
+
+use crate::protocol::{self, Request};
+use crate::queue::{BoundedQueue, OverflowPolicy};
+use crate::router::{Conn, Msg, Router};
+use crate::signal;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see [`Server::port`]).
+    pub addr: String,
+    /// Event schema every ingested row must satisfy.
+    pub schema: Schema,
+    /// Tick unit for parsing subscription queries.
+    pub tick: TickUnit,
+    /// Core ingest queue bound.
+    pub queue_capacity: usize,
+    /// Per-connection outbound queue bound.
+    pub outbound_capacity: usize,
+    /// What producers experience when the core queue is full.
+    pub policy: OverflowPolicy,
+    /// Durability root: checkpoints, subscription registry, and
+    /// per-subscription match logs live here. `None` = memory-only.
+    pub checkpoint: Option<PathBuf>,
+    /// Event log directory; defaults to `<checkpoint>/events`.
+    pub event_log: Option<PathBuf>,
+    /// Checkpoint cadence in consumed events.
+    pub checkpoint_every: usize,
+    /// Checkpoints retained.
+    pub keep: usize,
+    /// Evict expired events from pattern relations (bounded memory).
+    pub evict: bool,
+    /// Crash injection: abort the process after consuming this many
+    /// post-restart events (the recovery suite's kill points; read from
+    /// `SES_KILL_AFTER` by [`ServerConfig::from_env`]).
+    pub kill_after: Option<u64>,
+}
+
+impl ServerConfig {
+    /// Defaults: loopback on an ephemeral port, blocking backpressure,
+    /// memory-only.
+    pub fn new(schema: Schema) -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            schema,
+            tick: TickUnit::Abstract,
+            queue_capacity: 1024,
+            outbound_capacity: 1024,
+            policy: OverflowPolicy::Block,
+            checkpoint: None,
+            event_log: None,
+            checkpoint_every: 1000,
+            keep: 3,
+            evict: true,
+            kill_after: None,
+        }
+    }
+
+    /// Applies environment overrides (currently `SES_KILL_AFTER`).
+    pub fn from_env(mut self) -> ServerConfig {
+        if let Ok(v) = std::env::var("SES_KILL_AFTER") {
+            if let Ok(n) = v.parse::<u64>() {
+                self.kill_after = Some(n);
+            }
+        }
+        self
+    }
+}
+
+/// A running server instance (in-process handle).
+pub struct Server {
+    port: u16,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    router: Option<JoinHandle<Result<(), String>>>,
+    queue: Arc<BoundedQueue<Msg>>,
+    /// Human-readable recovery summary from startup.
+    pub recovery: String,
+}
+
+impl Server {
+    /// Restores durable state, replays the event-log suffix, binds the
+    /// listener, and spawns the acceptor and router threads.
+    pub fn start(config: ServerConfig) -> Result<Server, String> {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let conns: Arc<Mutex<Vec<Arc<Conn>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let (router, recovery) = Router::recover(
+            &config,
+            Arc::clone(&queue),
+            Arc::clone(&conns),
+            Arc::clone(&shutdown),
+        )?;
+
+        let listener =
+            TcpListener::bind(&config.addr).map_err(|e| format!("bind {}: {e}", config.addr))?;
+        let port = listener.local_addr().map_err(|e| e.to_string())?.port();
+        listener.set_nonblocking(true).map_err(|e| e.to_string())?;
+
+        let router_handle = std::thread::Builder::new()
+            .name("ses-router".into())
+            .spawn(move || router.run())
+            .map_err(|e| e.to_string())?;
+
+        let acceptor_handle = {
+            let shutdown = Arc::clone(&shutdown);
+            let queue = Arc::clone(&queue);
+            let conns = Arc::clone(&conns);
+            let schema = config.schema.clone();
+            let policy = config.policy;
+            let outbound = config.outbound_capacity;
+            std::thread::Builder::new()
+                .name("ses-acceptor".into())
+                .spawn(move || {
+                    accept_loop(listener, shutdown, queue, conns, schema, policy, outbound)
+                })
+                .map_err(|e| e.to_string())?
+        };
+
+        Ok(Server {
+            port,
+            shutdown,
+            acceptor: Some(acceptor_handle),
+            router: Some(router_handle),
+            queue,
+            recovery,
+        })
+    }
+
+    /// The bound port (useful with `addr = 127.0.0.1:0`).
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Requests graceful shutdown and waits for the router to drain,
+    /// checkpoint, and exit.
+    pub fn stop(mut self) -> Result<(), String> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.join()
+    }
+
+    /// Waits for the server to exit (shutdown verb, signal, or
+    /// [`Server::stop`]).
+    pub fn join(&mut self) -> Result<(), String> {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        let result = match self.router.take() {
+            Some(h) => h.join().map_err(|_| "router panicked".to_string())?,
+            None => Ok(()),
+        };
+        self.queue.close();
+        result
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = self.join();
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn accept_loop(
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+    queue: Arc<BoundedQueue<Msg>>,
+    conns: Arc<Mutex<Vec<Arc<Conn>>>>,
+    schema: Schema,
+    policy: OverflowPolicy,
+    outbound: usize,
+) {
+    loop {
+        if shutdown.load(Ordering::SeqCst) || signal::requested() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let conn = {
+                    let mut table = conns.lock().unwrap_or_else(PoisonError::into_inner);
+                    let conn = Arc::new(Conn::new(table.len(), outbound));
+                    table.push(Arc::clone(&conn));
+                    conn
+                };
+                spawn_connection(
+                    stream,
+                    conn,
+                    Arc::clone(&queue),
+                    Arc::clone(&shutdown),
+                    schema.clone(),
+                    policy,
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+fn spawn_connection(
+    stream: TcpStream,
+    conn: Arc<Conn>,
+    queue: Arc<BoundedQueue<Msg>>,
+    shutdown: Arc<AtomicBool>,
+    schema: Schema,
+    policy: OverflowPolicy,
+) {
+    let write_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            conn.disconnect();
+            return;
+        }
+    };
+    // Writer: drain the outbound queue to the socket.
+    {
+        let conn = Arc::clone(&conn);
+        let _ = std::thread::Builder::new()
+            .name(format!("ses-conn-{}-w", conn.id))
+            .spawn(move || writer_loop(write_stream, conn));
+    }
+    // Reader: parse requests, enqueue messages.
+    let _ = std::thread::Builder::new()
+        .name(format!("ses-conn-{}-r", conn.id))
+        .spawn(move || reader_loop(stream, conn, queue, shutdown, schema, policy));
+}
+
+fn writer_loop(stream: TcpStream, conn: Arc<Conn>) {
+    let mut stream = stream;
+    while let Some(line) = conn.out.pop() {
+        if stream.write_all(line.as_bytes()).is_err() || stream.write_all(b"\n").is_err() {
+            conn.disconnect();
+            return;
+        }
+        // Flush only when the queue runs dry — batches bursts.
+        if conn.out.depth() == 0 && stream.flush().is_err() {
+            conn.disconnect();
+            return;
+        }
+    }
+    let _ = stream.flush();
+}
+
+fn reader_loop(
+    stream: TcpStream,
+    conn: Arc<Conn>,
+    queue: Arc<BoundedQueue<Msg>>,
+    shutdown: Arc<AtomicBool>,
+    schema: Schema,
+    policy: OverflowPolicy,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if shutdown.load(Ordering::SeqCst) || signal::requested() {
+            conn.disconnect();
+            return;
+        }
+        if !conn.alive.load(Ordering::SeqCst) {
+            return;
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                // Peer closed: release the writer, leave the watcher
+                // entry to be reaped on the next delivery.
+                conn.disconnect();
+                return;
+            }
+            Ok(_) => {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                if !handle_line(trimmed, &conn, &queue, &schema, policy) {
+                    conn.disconnect();
+                    return;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => {
+                conn.disconnect();
+                return;
+            }
+        }
+    }
+}
+
+/// Handles one request line; `false` ends the connection.
+fn handle_line(
+    line: &str,
+    conn: &Arc<Conn>,
+    queue: &Arc<BoundedQueue<Msg>>,
+    schema: &Schema,
+    policy: OverflowPolicy,
+) -> bool {
+    let request = match protocol::parse_request(line) {
+        Ok(r) => r,
+        Err(e) => {
+            conn.send(protocol::error("parse", e));
+            return true;
+        }
+    };
+    match request {
+        Request::Ingest { ts, values } => ingest_one(ts, &values, conn, queue, schema, policy),
+        Request::Batch { events } => {
+            for (ts, values) in events {
+                if !ingest_one(ts, &values, conn, queue, schema, policy) {
+                    return false;
+                }
+            }
+            true
+        }
+        Request::Sync => control(queue, Msg::Sync { conn: conn.id }),
+        Request::Ping => control(queue, Msg::Ping { conn: conn.id }),
+        Request::Stats => control(queue, Msg::Stats { conn: conn.id }),
+        Request::Shutdown => control(queue, Msg::Shutdown { conn: conn.id }),
+        Request::Subscribe {
+            name,
+            query,
+            cursor,
+        } => control(
+            queue,
+            Msg::Subscribe {
+                conn: conn.id,
+                name,
+                query,
+                cursor,
+            },
+        ),
+    }
+}
+
+/// Control messages always block — they are rare, must not be shed, and
+/// their queue position is their ordering guarantee.
+fn control(queue: &Arc<BoundedQueue<Msg>>, msg: Msg) -> bool {
+    queue.push(msg).is_some()
+}
+
+fn ingest_one(
+    ts: i64,
+    values: &[ses_metrics::JsonValue],
+    conn: &Arc<Conn>,
+    queue: &Arc<BoundedQueue<Msg>>,
+    schema: &Schema,
+    policy: OverflowPolicy,
+) -> bool {
+    let typed = match protocol::event_values(schema, values) {
+        Ok(v) => v,
+        Err(e) => {
+            conn.send(protocol::error("ingest", e));
+            return true;
+        }
+    };
+    let msg = Msg::Event {
+        ts,
+        values: typed,
+        conn: conn.id,
+    };
+    match policy {
+        OverflowPolicy::Block => {
+            if queue.push(msg).is_none() {
+                return false; // server shutting down
+            }
+            conn.accepted.fetch_add(1, Ordering::SeqCst);
+        }
+        OverflowPolicy::Reject => match queue.try_push(msg) {
+            Ok(_) => {
+                conn.accepted.fetch_add(1, Ordering::SeqCst);
+            }
+            Err(_) => {
+                conn.shed.fetch_add(1, Ordering::SeqCst);
+            }
+        },
+    }
+    true
+}

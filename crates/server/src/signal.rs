@@ -1,0 +1,70 @@
+//! Process-wide graceful-shutdown flag, wired to SIGINT/SIGTERM.
+//!
+//! The workspace is std-only, so instead of a signal-handling crate this
+//! installs a classic `signal(2)` handler that flips one `AtomicBool`.
+//! Everything a handler may legally do — and all the server needs: the
+//! accept loop, the router, and `ses-cli stream` poll [`requested`] and
+//! drain gracefully (finish in-flight pushes, sync sinks, write a final
+//! checkpoint) instead of dying mid-write.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" fn on_signal(_sig: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+extern "C" {
+    // Provided by libc on every supported platform; `usize` stands in
+    // for the handler function pointer (the ABI passes it untyped).
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+/// Installs the SIGINT/SIGTERM handlers (idempotent).
+pub fn install() {
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+/// `true` once a termination signal arrived or [`trigger`] ran.
+pub fn requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Requests shutdown programmatically (the `shutdown` protocol verb and
+/// in-process tests use this instead of raising a real signal).
+pub fn trigger() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Clears the flag — for tests that start several servers in one process.
+pub fn reset() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_and_reset_toggle_the_flag() {
+        reset();
+        assert!(!requested());
+        trigger();
+        assert!(requested());
+        reset();
+        assert!(!requested());
+    }
+
+    #[test]
+    fn install_is_idempotent() {
+        install();
+        install();
+    }
+}

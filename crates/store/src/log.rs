@@ -264,6 +264,12 @@ impl EventLog {
         Ok(())
     }
 
+    /// Timestamp of the most recently appended event, if any — the floor
+    /// every future append must meet (appends are non-decreasing).
+    pub fn last_ts(&self) -> Option<Timestamp> {
+        self.last_ts
+    }
+
     /// Reads the whole log into a relation.
     pub fn scan(&self) -> Result<Relation, StoreError> {
         self.scan_range(Timestamp::MIN, Timestamp::MAX)

@@ -1,0 +1,386 @@
+//! Thread-shared handles over the append-only logs.
+//!
+//! The match server's ingestion path has many producer threads (one per
+//! client connection) and one durability driver, all touching the same
+//! [`EventLog`] and [`MatchLog`]. Neither log is internally synchronized
+//! — both hand out `&mut` methods — so concurrent writers need an
+//! external discipline. [`SharedEventLog`] and [`SharedMatchLog`] provide
+//! it: cheap cloneable handles over one mutex-guarded log, serializing
+//! every append into a total order.
+//!
+//! Two properties make the mutex the *whole* discipline rather than just
+//! a data-race guard:
+//!
+//! * **Framing is transactional per append.** A record (or match line)
+//!   is written with a single buffered `write_all`, so the on-disk
+//!   suffix after a crash is a clean prefix of the serialized append
+//!   order plus at most one torn record — exactly what the logs'
+//!   torn-tail recovery truncates away on reopen. Interleaving appends
+//!   from many threads therefore never produces an *interior* corrupt
+//!   record.
+//! * **Timestamp monotonicity is decided under the lock.** The event
+//!   log refuses out-of-order appends; with concurrent producers the
+//!   order of lock acquisition *is* the event order, so
+//!   [`SharedEventLog::append_clamped`] resolves cross-producer clock
+//!   skew by clamping a stale timestamp forward to the log's floor
+//!   while holding the lock. The caller learns the timestamp actually
+//!   logged and must feed that (not its original) to the matcher so
+//!   replay from the log reproduces the exact same stream.
+//!
+//! A panicking writer poisons the mutex but not the log: the guard is
+//! recovered with [`PoisonError::into_inner`], because a half-finished
+//! in-memory buffer is precisely the torn tail the on-disk format
+//! already tolerates.
+
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use ses_event::{Relation, Schema, Timestamp, Value};
+
+use crate::checkpoint::MatchLog;
+use crate::error::StoreError;
+use crate::log::EventLog;
+
+/// A cloneable, mutex-serialized handle to one [`EventLog`].
+#[derive(Debug, Clone)]
+pub struct SharedEventLog {
+    inner: Arc<Mutex<EventLog>>,
+}
+
+impl SharedEventLog {
+    /// Wraps a log for multi-writer use.
+    pub fn new(log: EventLog) -> SharedEventLog {
+        SharedEventLog {
+            inner: Arc::new(Mutex::new(log)),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, EventLog> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Appends one event, failing if `ts` is below the log's floor
+    /// (strict producers that must never reorder use this).
+    pub fn append(&self, ts: Timestamp, values: impl Into<Vec<Value>>) -> Result<(), StoreError> {
+        self.lock().append(ts, values)
+    }
+
+    /// Appends one event, clamping `ts` forward to the log's floor if a
+    /// faster producer already advanced it. Returns the timestamp
+    /// actually logged — the caller must push *that* into the matcher,
+    /// so a replay of the log reproduces the stream bit-for-bit.
+    pub fn append_clamped(
+        &self,
+        ts: Timestamp,
+        values: impl Into<Vec<Value>>,
+    ) -> Result<Timestamp, StoreError> {
+        let mut log = self.lock();
+        let ts = match log.last_ts() {
+            Some(floor) if ts < floor => floor,
+            _ => ts,
+        };
+        log.append(ts, values)?;
+        Ok(ts)
+    }
+
+    /// Flushes buffered appends to the OS.
+    pub fn sync(&self) -> Result<(), StoreError> {
+        self.lock().sync()
+    }
+
+    /// Events appended so far (all writers).
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// `true` iff no events were appended.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Number of on-disk segments.
+    pub fn segment_count(&self) -> usize {
+        self.lock().segment_count()
+    }
+
+    /// The log's schema (cloned; the lock is not held across the return).
+    pub fn schema(&self) -> Schema {
+        self.lock().schema().clone()
+    }
+
+    /// Timestamp floor for the next append.
+    pub fn last_ts(&self) -> Option<Timestamp> {
+        self.lock().last_ts()
+    }
+
+    /// Reads the whole log into a relation.
+    pub fn scan(&self) -> Result<Relation, StoreError> {
+        self.lock().scan()
+    }
+
+    /// Reads the events with `lo ≤ T ≤ hi`.
+    pub fn scan_range(&self, lo: Timestamp, hi: Timestamp) -> Result<Relation, StoreError> {
+        self.lock().scan_range(lo, hi)
+    }
+
+    /// Runs `f` with the lock held — for multi-step invariants (e.g.
+    /// "append then record the resulting length atomically").
+    pub fn with<R>(&self, f: impl FnOnce(&mut EventLog) -> R) -> R {
+        f(&mut self.lock())
+    }
+}
+
+/// A cloneable, mutex-serialized handle to one [`MatchLog`].
+#[derive(Debug, Clone)]
+pub struct SharedMatchLog {
+    inner: Arc<Mutex<MatchLog>>,
+}
+
+impl SharedMatchLog {
+    /// Wraps a match sink for multi-writer use.
+    pub fn new(log: MatchLog) -> SharedMatchLog {
+        SharedMatchLog {
+            inner: Arc::new(Mutex::new(log)),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, MatchLog> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Appends one match line.
+    pub fn append(&self, line: &str) -> Result<(), StoreError> {
+        self.lock().append(line)
+    }
+
+    /// Appends one match line and returns the total line count after it
+    /// — the durable cursor a subscriber acknowledges, computed under
+    /// the same lock so concurrent appenders see distinct cursors.
+    pub fn append_counted(&self, line: &str) -> Result<u64, StoreError> {
+        let mut log = self.lock();
+        log.append(line)?;
+        Ok(log.lines())
+    }
+
+    /// Flushes buffered lines to the OS.
+    pub fn sync(&self) -> Result<(), StoreError> {
+        self.lock().sync()
+    }
+
+    /// Complete lines persisted so far.
+    pub fn lines(&self) -> u64 {
+        self.lock().lines()
+    }
+
+    /// Runs `f` with the lock held.
+    pub fn with<R>(&self, f: impl FnOnce(&mut MatchLog) -> R) -> R {
+        f(&mut self.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::LogConfig;
+    use ses_event::AttrType;
+    use std::thread;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .attr("ID", AttrType::Int)
+            .attr("L", AttrType::Str)
+            .build()
+            .unwrap()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ses-shared-{name}-{}-{:?}",
+            std::process::id(),
+            thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn clamped_appends_resolve_cross_producer_skew() {
+        let dir = tmp("clamp");
+        let log = EventLog::create(&dir, schema(), LogConfig::default()).unwrap();
+        let log = SharedEventLog::new(log);
+        log.append(Timestamp::new(10), [Value::from(1i64), Value::from("A")])
+            .unwrap();
+        // A strict append below the floor fails...
+        assert!(log
+            .append(Timestamp::new(5), [Value::from(2i64), Value::from("B")])
+            .is_err());
+        // ...a clamped one lands at the floor and reports it.
+        let ts = log
+            .append_clamped(Timestamp::new(5), [Value::from(2i64), Value::from("B")])
+            .unwrap();
+        assert_eq!(ts, Timestamp::new(10));
+        // In-order clamped appends pass through untouched.
+        let ts = log
+            .append_clamped(Timestamp::new(12), [Value::from(3i64), Value::from("C")])
+            .unwrap();
+        assert_eq!(ts, Timestamp::new(12));
+        assert_eq!(log.len(), 3);
+        let rel = log.scan().unwrap();
+        let ticks: Vec<i64> = rel.iter().map(|(_, e)| e.ts().ticks()).collect();
+        assert_eq!(ticks, vec![10, 10, 12]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interleaved_writers_with_rotation_yield_a_clean_log() {
+        let dir = tmp("interleave");
+        // Tiny segments so the two writers force rotations mid-race.
+        let cfg = LogConfig {
+            max_segment_bytes: 256,
+        };
+        let log = EventLog::create(&dir, schema(), cfg.clone()).unwrap();
+        let shared = SharedEventLog::new(log);
+        const PER_WRITER: usize = 500;
+        let mut handles = Vec::new();
+        for w in 0..2i64 {
+            let shared = shared.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..PER_WRITER as i64 {
+                    shared
+                        .append_clamped(
+                            Timestamp::new(i),
+                            [Value::from(w * 1_000_000 + i), Value::from("E")],
+                        )
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        shared.sync().unwrap();
+        assert_eq!(shared.len(), 2 * PER_WRITER);
+        assert!(shared.segment_count() > 1, "rotation happened under race");
+        // Reopen from disk: every record intact, timestamps non-decreasing,
+        // both writers' payloads all present exactly once.
+        drop(shared);
+        let reopened = EventLog::open(&dir, cfg).unwrap();
+        let rel = reopened.scan().unwrap();
+        assert_eq!(rel.len(), 2 * PER_WRITER);
+        let mut ids: Vec<i64> = rel
+            .iter()
+            .map(|(_, e)| match e.values()[0] {
+                Value::Int(v) => v,
+                _ => panic!("int id"),
+            })
+            .collect();
+        let mut last = i64::MIN;
+        for (_, e) in rel.iter() {
+            assert!(e.ts().ticks() >= last, "monotone on disk");
+            last = e.ts().ticks();
+        }
+        ids.sort_unstable();
+        let expect: Vec<i64> = (0..2i64)
+            .flat_map(|w| (0..PER_WRITER as i64).map(move |i| w * 1_000_000 + i))
+            .collect();
+        assert_eq!(ids, expect);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_after_concurrent_writes_leaves_a_clean_prefix() {
+        let dir = tmp("torn");
+        let cfg = LogConfig {
+            max_segment_bytes: 512,
+        };
+        let log = EventLog::create(&dir, schema(), cfg.clone()).unwrap();
+        let shared = SharedEventLog::new(log);
+        let mut handles = Vec::new();
+        for w in 0..2i64 {
+            let shared = shared.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..200i64 {
+                    shared
+                        .append_clamped(
+                            Timestamp::new(i),
+                            [Value::from(w * 1_000 + i), Value::from("E")],
+                        )
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        shared.sync().unwrap();
+        let full = shared.len();
+        drop(shared);
+        // Crash mid-append: a torn half-record on the newest segment.
+        let mut segs: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        segs.sort();
+        let newest = segs.last().unwrap();
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(newest)
+            .unwrap();
+        f.write_all(&[0x55, 0x00, 0x00, 0x00, 0xde, 0xad]).unwrap();
+        drop(f);
+        // Reopen: the torn tail is truncated, the prefix survives intact
+        // and stays scannable and appendable.
+        let reopened = EventLog::open(&dir, cfg).unwrap();
+        assert_eq!(reopened.len(), full);
+        let rel = reopened.scan_range(Timestamp::MIN, Timestamp::MAX).unwrap();
+        assert_eq!(rel.len(), full);
+        let shared = SharedEventLog::new(reopened);
+        shared
+            .append_clamped(Timestamp::new(500), [Value::from(9i64), Value::from("Z")])
+            .unwrap();
+        assert_eq!(shared.len(), full + 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn match_log_concurrent_appends_count_and_persist() {
+        let dir = tmp("mlog");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("matches.log");
+        let log = SharedMatchLog::new(MatchLog::open(&path).unwrap());
+        const PER: usize = 300;
+        let mut handles = Vec::new();
+        for w in 0..2 {
+            let log = log.clone();
+            handles.push(thread::spawn(move || {
+                let mut cursors = Vec::with_capacity(PER);
+                for i in 0..PER {
+                    cursors.push(log.append_counted(&format!("w{w}-{i}")).unwrap());
+                }
+                cursors
+            }));
+        }
+        let mut all_cursors: Vec<u64> = Vec::new();
+        for h in handles {
+            all_cursors.extend(h.join().unwrap());
+        }
+        log.sync().unwrap();
+        assert_eq!(log.lines(), 2 * PER as u64);
+        // Cursors computed under the lock are distinct and cover 1..=N.
+        all_cursors.sort_unstable();
+        let expect: Vec<u64> = (1..=2 * PER as u64).collect();
+        assert_eq!(all_cursors, expect);
+        // Reopen after a torn final line: the clean prefix is preserved.
+        drop(log);
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(b"torn-no-newline").unwrap();
+        drop(f);
+        let reopened = MatchLog::open(&path).unwrap();
+        assert_eq!(reopened.lines(), 2 * PER as u64);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,16 @@
+//! The `ses-server` binary: `ses-cli serve` under its own name, so
+//! process supervisors (and the crash/reconnect test suite) can spawn
+//! the server directly.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match ses_cli::Args::parse(std::iter::once("serve".to_string()).chain(argv)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("ses-server: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout();
+    std::process::exit(ses_cli::dispatch(&args, &mut stdout));
+}
