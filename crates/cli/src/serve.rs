@@ -41,9 +41,10 @@ pub(crate) fn cmd_serve(args: &Args, out: &mut dyn Write) -> Result<(), String> 
     ses_server::signal::install();
     let mut server = Server::start(config)?;
     writeln!(out, "recovery: {}", server.recovery).map_err(io_err)?;
-    // The port line is the startup handshake scripts wait for; flush it
-    // before blocking in join().
-    writeln!(out, "listening on 127.0.0.1:{}", server.port()).map_err(io_err)?;
+    // The address line is the startup handshake scripts wait for; flush
+    // it before blocking in join(). Print the address the listener
+    // actually bound, not the configured string.
+    writeln!(out, "listening on {}", server.local_addr()).map_err(io_err)?;
     out.flush().map_err(io_err)?;
     server.join()?;
     writeln!(out, "server stopped").map_err(io_err)?;

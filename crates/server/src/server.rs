@@ -15,7 +15,7 @@
 //! — its durable cursor lets it resume exactly where it left off.
 
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -27,7 +27,7 @@ use ses_query::TickUnit;
 
 use crate::protocol::{self, Request};
 use crate::queue::{BoundedQueue, OverflowPolicy};
-use crate::router::{Conn, Msg, Router};
+use crate::router::{Conn, ConnTable, Msg, Router};
 use crate::signal;
 
 /// Server configuration.
@@ -95,7 +95,7 @@ impl ServerConfig {
 
 /// A running server instance (in-process handle).
 pub struct Server {
-    port: u16,
+    addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
     router: Option<JoinHandle<Result<(), String>>>,
@@ -110,7 +110,7 @@ impl Server {
     pub fn start(config: ServerConfig) -> Result<Server, String> {
         let shutdown = Arc::new(AtomicBool::new(false));
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
-        let conns: Arc<Mutex<Vec<Arc<Conn>>>> = Arc::new(Mutex::new(Vec::new()));
+        let conns: Arc<Mutex<ConnTable>> = Arc::new(Mutex::new(ConnTable::default()));
 
         let (router, recovery) = Router::recover(
             &config,
@@ -121,7 +121,7 @@ impl Server {
 
         let listener =
             TcpListener::bind(&config.addr).map_err(|e| format!("bind {}: {e}", config.addr))?;
-        let port = listener.local_addr().map_err(|e| e.to_string())?.port();
+        let addr = listener.local_addr().map_err(|e| e.to_string())?;
         listener.set_nonblocking(true).map_err(|e| e.to_string())?;
 
         let router_handle = std::thread::Builder::new()
@@ -145,7 +145,7 @@ impl Server {
         };
 
         Ok(Server {
-            port,
+            addr,
             shutdown,
             acceptor: Some(acceptor_handle),
             router: Some(router_handle),
@@ -156,7 +156,13 @@ impl Server {
 
     /// The bound port (useful with `addr = 127.0.0.1:0`).
     pub fn port(&self) -> u16 {
-        self.port
+        self.addr.port()
+    }
+
+    /// The actual bound address (host and port the listener resolved
+    /// to, not the configured string).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
     }
 
     /// Requests graceful shutdown and waits for the router to drain,
@@ -193,7 +199,7 @@ fn accept_loop(
     listener: TcpListener,
     shutdown: Arc<AtomicBool>,
     queue: Arc<BoundedQueue<Msg>>,
-    conns: Arc<Mutex<Vec<Arc<Conn>>>>,
+    conns: Arc<Mutex<ConnTable>>,
     schema: Schema,
     policy: OverflowPolicy,
     outbound: usize,
@@ -204,15 +210,14 @@ fn accept_loop(
         }
         match listener.accept() {
             Ok((stream, _addr)) => {
-                let conn = {
-                    let mut table = conns.lock().unwrap_or_else(PoisonError::into_inner);
-                    let conn = Arc::new(Conn::new(table.len(), outbound));
-                    table.push(Arc::clone(&conn));
-                    conn
-                };
+                let conn = conns
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .insert(outbound);
                 spawn_connection(
                     stream,
                     conn,
+                    Arc::clone(&conns),
                     Arc::clone(&queue),
                     Arc::clone(&shutdown),
                     schema.clone(),
@@ -232,15 +237,23 @@ fn accept_loop(
 fn spawn_connection(
     stream: TcpStream,
     conn: Arc<Conn>,
+    conns: Arc<Mutex<ConnTable>>,
     queue: Arc<BoundedQueue<Msg>>,
     shutdown: Arc<AtomicBool>,
     schema: Schema,
     policy: OverflowPolicy,
 ) {
+    let drop_entry = |conn: &Arc<Conn>, conns: &Arc<Mutex<ConnTable>>| {
+        conn.disconnect();
+        conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(conn.id);
+    };
     let write_stream = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => {
-            conn.disconnect();
+            drop_entry(&conn, &conns);
             return;
         }
     };
@@ -251,10 +264,15 @@ fn spawn_connection(
             .name(format!("ses-conn-{}-w", conn.id))
             .spawn(move || writer_loop(write_stream, conn));
     }
-    // Reader: parse requests, enqueue messages.
-    let _ = std::thread::Builder::new()
-        .name(format!("ses-conn-{}-r", conn.id))
-        .spawn(move || reader_loop(stream, conn, queue, shutdown, schema, policy));
+    // Reader: parse requests, enqueue messages. The reader owns the
+    // table entry — it removes it on exit so connection churn does not
+    // grow the table (ids are never reused, see `ConnTable`).
+    let name = format!("ses-conn-{}-r", conn.id);
+    let spawned = std::thread::Builder::new().name(name).spawn(move || {
+        reader_loop(stream, &conn, &queue, &shutdown, &schema, policy);
+        drop_entry(&conn, &conns);
+    });
+    let _ = spawned;
 }
 
 fn writer_loop(stream: TcpStream, conn: Arc<Conn>) {
@@ -275,10 +293,10 @@ fn writer_loop(stream: TcpStream, conn: Arc<Conn>) {
 
 fn reader_loop(
     stream: TcpStream,
-    conn: Arc<Conn>,
-    queue: Arc<BoundedQueue<Msg>>,
-    shutdown: Arc<AtomicBool>,
-    schema: Schema,
+    conn: &Arc<Conn>,
+    queue: &Arc<BoundedQueue<Msg>>,
+    shutdown: &Arc<AtomicBool>,
+    schema: &Schema,
     policy: OverflowPolicy,
 ) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
@@ -286,29 +304,30 @@ fn reader_loop(
     let mut line = String::new();
     loop {
         if shutdown.load(Ordering::SeqCst) || signal::requested() {
-            conn.disconnect();
             return;
         }
         if !conn.alive.load(Ordering::SeqCst) {
             return;
         }
-        line.clear();
         match reader.read_line(&mut line) {
             Ok(0) => {
-                // Peer closed: release the writer, leave the watcher
-                // entry to be reaped on the next delivery.
-                conn.disconnect();
+                // Peer closed. `line` may still hold a prefix carried
+                // over from a timed-out read whose remainder never
+                // arrived; a request without its newline is the same
+                // best-effort final line as the `Ok(_)`-at-EOF case.
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    handle_line(trimmed, conn, queue, schema, policy);
+                }
                 return;
             }
             Ok(_) => {
                 let trimmed = line.trim();
-                if trimmed.is_empty() {
-                    continue;
-                }
-                if !handle_line(trimmed, &conn, &queue, &schema, policy) {
-                    conn.disconnect();
+                if !trimmed.is_empty() && !handle_line(trimmed, conn, queue, schema, policy) {
                     return;
                 }
+                // Clear only after the line is fully read and handled.
+                line.clear();
             }
             Err(e)
                 if matches!(
@@ -316,10 +335,11 @@ fn reader_loop(
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                 ) =>
             {
+                // The timed-out read may have left a partial line in
+                // `line`; keep it — the next read_line appends the rest.
                 continue;
             }
             Err(_) => {
-                conn.disconnect();
                 return;
             }
         }

@@ -122,6 +122,45 @@ fn bad_input_reports_errors_without_killing_the_connection() {
 }
 
 #[test]
+fn request_line_straddling_a_read_stall_is_not_lost() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let server = Server::start(config(None)).unwrap();
+    let mut stream = TcpStream::connect(format!("127.0.0.1:{}", server.port())).unwrap();
+    stream.set_nodelay(true).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+
+    // Send the first half of an ingest request, stall well past the
+    // server's 100ms read timeout, then finish the line: the reader
+    // must keep the partial prefix across its timed-out read_line.
+    let line = "{\"op\":\"ingest\",\"ts\":1,\"values\":[1,\"C\"]}\n";
+    let (head, tail) = line.split_at(line.len() / 2);
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(400));
+    stream.write_all(tail.as_bytes()).unwrap();
+    stream.write_all(b"{\"op\":\"sync\"}\n").unwrap();
+    stream.flush().unwrap();
+
+    let mut reader = BufReader::new(stream);
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert!(
+        reply.contains("\"ok\":true") && reply.contains("\"op\":\"sync\""),
+        "stalled line must parse as one request, got: {reply}"
+    );
+    assert!(
+        reply.contains("\"consumed\":1"),
+        "the straddled event must be ingested, got: {reply}"
+    );
+
+    server.stop().unwrap();
+}
+
+#[test]
 fn reject_policy_sheds_and_counts_when_the_queue_is_full() {
     let mut cfg = config(None);
     cfg.policy = OverflowPolicy::Reject;
